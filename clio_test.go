@@ -1,0 +1,122 @@
+package clio_test
+
+import (
+	"strings"
+	"testing"
+
+	"clio"
+	"clio/internal/paperdb"
+)
+
+// TestFacadeEndToEnd drives the whole public API: load data, open a
+// tool, build the Section 2 mapping through facade calls only.
+func TestFacadeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := clio.SaveCSVDir(dir, paperdb.Instance()); err != nil {
+		t.Fatal(err)
+	}
+	in, err := clio.LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mine the knowledge from raw CSVs: the FK structure is recovered.
+	inds := clio.DiscoverINDs(in, 1.0)
+	if len(inds) == 0 {
+		t.Fatal("no INDs discovered from CSVs")
+	}
+	fks := clio.ProposeForeignKeys(in, inds)
+	found := false
+	for _, fk := range fks {
+		if fk.FromRelation == "Children" && fk.ToRelation == "Parents" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mid/fid foreign keys not recovered from data")
+	}
+
+	target := clio.NewRelationSchema("Kids",
+		clio.Attribute{Name: "ID"},
+		clio.Attribute{Name: "name"},
+		clio.Attribute{Name: "affiliation"},
+	)
+	tool := clio.NewTool(in, target, true)
+	if err := tool.Start("kids"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.AddCorrespondence(clio.Identity("Children.ID", clio.Col("Kids", "ID"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.AddCorrespondence(clio.Identity("Children.name", clio.Col("Kids", "name"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.AddCorrespondence(clio.Identity("Parents.affiliation", clio.Col("Kids", "affiliation"))); err != nil {
+		t.Fatal(err)
+	}
+	if len(tool.Workspaces()) < 2 {
+		t.Fatalf("expected scenario alternatives, got %d", len(tool.Workspaces()))
+	}
+	view, err := tool.TargetView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() == 0 {
+		t.Fatal("empty target view")
+	}
+	out := clio.FormatTable(view, clio.RenderOptions{Unqualify: true})
+	if !strings.Contains(out, "Maya") {
+		t.Errorf("rendered view missing Maya:\n%s", out)
+	}
+	il := tool.Active().Illustration
+	if s := clio.FormatIllustration(il, nil); !strings.Contains(s, "illustration") {
+		t.Errorf("illustration rendering: %s", s)
+	}
+}
+
+func TestFacadeExpressionAndValues(t *testing.T) {
+	e, err := clio.ParseExpr("a.x < 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := clio.NewScheme("a.x")
+	tp := clio.NewTuple(s, clio.IntValue(5))
+	if e.Eval(tp).String() != "true" {
+		t.Error("facade expression evaluation wrong")
+	}
+	if !clio.IsStrong(clio.Equals("a.x", "b.y"), clio.NewScheme("a.x", "b.y")) {
+		t.Error("facade IsStrong wrong")
+	}
+	if clio.ParseValue("002").Kind() != clio.StringValue("002").Kind() {
+		t.Error("facade value parsing wrong")
+	}
+	if !clio.Null.IsNull() || clio.FloatValue(1).IsNull() || clio.BoolValue(true).IsNull() {
+		t.Error("facade constructors wrong")
+	}
+}
+
+func TestFacadeFullDisjunction(t *testing.T) {
+	in := paperdb.Instance()
+	m := paperdb.Figure6G()
+	d1, err := clio.ComputeDG(m.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := clio.FullDisjunction(m.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := clio.FullDisjunctionOuterJoin(m.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.EqualSet(d2) || !d1.EqualSet(d3) {
+		t.Error("facade D(G) algorithms disagree")
+	}
+	cov, err := clio.Coverage(d1.At(0), m.Graph, in)
+	if err != nil || len(cov) == 0 {
+		t.Error("facade coverage wrong")
+	}
+	if clio.CoverageTag([]string{"Children"}, paperdb.Abbrev()) != "C" {
+		t.Error("facade tag wrong")
+	}
+}

@@ -1,0 +1,338 @@
+// Command cliobench runs the performance experiments E1–E8 described
+// in EXPERIMENTS.md and prints one markdown table per experiment. The
+// paper publishes no performance numbers, so these experiments
+// characterize the algorithms the paper relies on and verify the
+// expected shapes (who wins, how gaps scale).
+//
+// Usage:
+//
+//	cliobench            # run everything
+//	cliobench -exp E1    # one experiment
+//	cliobench -quick     # smaller sweeps (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"clio/internal/core"
+	"clio/internal/datagen"
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/fd"
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+var quick = flag.Bool("quick", false, "smaller sweeps")
+
+// out is the harness output sink; tests redirect it.
+var out io.Writer = os.Stdout
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (E1..E8); empty runs all")
+	flag.Parse()
+	all := map[string]func(){
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4,
+		"E5": e5, "E6": e6, "E7": e7, "E8": e8, "E9": e9,
+	}
+	if *exp != "" {
+		f, ok := all[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cliobench: unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+		f()
+		return
+	}
+	for _, k := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+		all[k]()
+	}
+}
+
+// timeIt measures f's wall time, repeating until 100ms or 5 runs.
+func timeIt(f func()) time.Duration {
+	var total time.Duration
+	runs := 0
+	for total < 100*time.Millisecond && runs < 5 {
+		start := time.Now()
+		f()
+		total += time.Since(start)
+		runs++
+	}
+	return total / time.Duration(runs)
+}
+
+func header(id, title string, cols ...string) {
+	fmt.Fprintf(out, "\n## %s — %s\n\n|", id, title)
+	for _, c := range cols {
+		fmt.Fprintf(out, " %s |", c)
+	}
+	fmt.Fprintf(out, "\n|")
+	for range cols {
+		fmt.Fprintf(out, "---|")
+	}
+	fmt.Fprintln(out)
+}
+
+func row(cells ...any) {
+	fmt.Fprintf(out, "|")
+	for _, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			fmt.Fprintf(out, " %s |", v.Round(time.Microsecond))
+		default:
+			fmt.Fprintf(out, " %v |", c)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+// E1: full disjunction — subgraph enumeration vs outer-join sequence
+// on chain query graphs of growing length.
+func e1() {
+	lengths := []int{2, 3, 4, 5, 6, 8, 10}
+	rows := 200
+	if *quick {
+		lengths = []int{2, 3, 4, 5}
+		rows = 50
+	}
+	header("E1", "full disjunction: SubgraphJoin vs OuterJoinTree (chain, rows="+itoa(rows)+")",
+		"chain length", "subgraphs", "|D(G)|", "SubgraphJoin", "OuterJoinTree", "speedup")
+	for _, n := range lengths {
+		c := datagen.Chain(datagen.ChainSpec{Relations: n, Rows: rows, KeySpace: rows / 2, MatchProb: 0.85, Seed: 42})
+		subs := len(c.Graph.ConnectedSubsets())
+		var dg *relation.Relation
+		tSub := timeIt(func() { dg, _ = fd.FullDisjunction(c.Graph, c.Instance) })
+		tOJ := timeIt(func() { _, _ = fd.FullDisjunctionOuterJoin(c.Graph, c.Instance) })
+		row(n, subs, dg.Len(), tSub, tOJ, ratio(tSub, tOJ))
+	}
+}
+
+// E2: subsumption removal — naive pairwise vs mask-partitioned.
+func e2() {
+	sizes := []int{200, 400, 800, 1600, 3200}
+	if *quick {
+		sizes = []int{100, 200, 400}
+	}
+	header("E2", "subsumption removal: naive O(n²) vs mask-partitioned",
+		"tuples", "survivors", "naive", "partitioned", "speedup")
+	for _, n := range sizes {
+		r := nullRichRelation(n, 6, 3)
+		var out *relation.Relation
+		tNaive := timeIt(func() { out = relation.RemoveSubsumedNaive(r.Distinct()) })
+		tFast := timeIt(func() { out = relation.RemoveSubsumed(r) })
+		row(n, out.Len(), tNaive, tFast, ratio(tNaive, tFast))
+	}
+}
+
+func nullRichRelation(rows, arity, domain int) *relation.Relation {
+	names := make([]string, arity)
+	for i := range names {
+		names[i] = fmt.Sprintf("R.a%d", i)
+	}
+	s := relation.NewScheme(names...)
+	r := relation.New("R", s)
+	seed := uint64(12345)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	for i := 0; i < rows; i++ {
+		vals := make([]value.Value, arity)
+		for j := range vals {
+			if next(3) == 0 {
+				vals[j] = value.Null
+			} else {
+				vals[j] = value.Int(int64(next(domain)))
+			}
+		}
+		r.AddValues(vals...)
+	}
+	return r
+}
+
+// E3: sufficient illustration selection over growing D(G).
+func e3() {
+	sizes := []int{100, 200, 400, 800}
+	if *quick {
+		sizes = []int{50, 100}
+	}
+	header("E3", "sufficient illustration: greedy cover over D(G) (chain of 4)",
+		"rows/relation", "|D(G)|", "examples chosen", "time")
+	for _, n := range sizes {
+		c := datagen.Chain(datagen.ChainSpec{Relations: 4, Rows: n, KeySpace: n / 2, MatchProb: 0.8, Seed: 7})
+		c.Mapping.TargetFilters = []expr.Expr{expr.MustParse("T.vR0 IS NOT NULL")}
+		dg, err := fd.Compute(c.Graph, c.Instance)
+		if err != nil {
+			panic(err)
+		}
+		var il core.Illustration
+		t := timeIt(func() {
+			full, err := core.ExamplesOn(c.Mapping, c.Instance, dg)
+			if err != nil {
+				panic(err)
+			}
+			il = core.SelectSufficient(c.Mapping, full)
+		})
+		row(n, dg.Len(), len(il.Examples), t)
+	}
+}
+
+// E4: walk enumeration over synthetic knowledge graphs.
+func e4() {
+	type cfg struct{ rels, epn, maxLen int }
+	cfgs := []cfg{{10, 3, 2}, {10, 3, 3}, {10, 3, 4}, {20, 3, 3}, {40, 3, 3}, {20, 5, 3}}
+	if *quick {
+		cfgs = []cfg{{10, 3, 2}, {10, 3, 3}, {20, 3, 3}}
+	}
+	header("E4", "data walk: path enumeration in the join knowledge graph",
+		"relations", "edges/node", "max path len", "paths found", "time")
+	for _, c := range cfgs {
+		k := datagen.Knowledge(datagen.KnowledgeSpec{Relations: c.rels, EdgesPerNode: c.epn, Seed: 9})
+		var n int
+		t := timeIt(func() { n = len(k.Paths("R0", fmt.Sprintf("R%d", c.rels-1), c.maxLen)) })
+		row(c.rels, c.epn, c.maxLen, n, t)
+	}
+}
+
+// E5: data chase lookup — inverted index vs full scan.
+func e5() {
+	sizes := []int{1000, 10000, 100000}
+	if *quick {
+		sizes = []int{1000, 10000}
+	}
+	header("E5", "data chase: inverted value index vs full scan",
+		"total cells", "index build", "indexed probe", "scan probe", "probe speedup")
+	for _, n := range sizes {
+		rows := n / (4 * 5)
+		in := datagen.WideInstance(4, 5, rows, rows/2+1, 3)
+		var ix *discovery.ValueIndex
+		tBuild := timeIt(func() { ix = discovery.BuildValueIndex(in) })
+		v := value.Int(7)
+		tProbe := timeIt(func() {
+			for i := 0; i < 1000; i++ {
+				ix.Occurrences(v)
+			}
+		}) / 1000
+		tScan := timeIt(func() { discovery.OccurrencesScan(in, v) })
+		row(n, tBuild, tProbe, tScan, ratio(tScan, tProbe))
+	}
+}
+
+// E6: mapping evaluation over D(G) vs the left-outer-join view.
+func e6() {
+	sizes := []int{100, 200, 400, 800}
+	if *quick {
+		sizes = []int{50, 100}
+	}
+	header("E6", "mapping evaluation: D(G) pipeline vs LEFT JOIN view (chain of 4, root required)",
+		"rows/relation", "result rows", "via D(G)", "via LEFT JOINs", "ratio")
+	for _, n := range sizes {
+		c := datagen.Chain(datagen.ChainSpec{Relations: 4, Rows: n, KeySpace: n / 2, MatchProb: 0.8, Seed: 11})
+		c.Mapping.SourceFilters = []expr.Expr{expr.MustParse("R0.k IS NOT NULL")}
+		var res *relation.Relation
+		tDG := timeIt(func() { res, _ = c.Mapping.Evaluate(c.Instance) })
+		tLJ := timeIt(func() { _, _ = c.Mapping.EvaluateViaLeftJoins("R0", c.Instance) })
+		row(n, res.Len(), tDG, tLJ, ratio(tDG, tLJ))
+	}
+}
+
+// E7: continuous evolution vs recomputing the illustration.
+func e7() {
+	sizes := []int{100, 200, 400, 800, 1600}
+	if *quick {
+		sizes = []int{50, 100}
+	}
+	header("E7", "evolution after a walk: incremental D(G) maintenance and end-to-end illustration evolution",
+		"rows/relation", "ExtendLeaf", "recompute D(G')", "D(G) speedup", "EvolveFrom", "fresh illustr.", "continuity")
+	for _, n := range sizes {
+		full := datagen.Chain(datagen.ChainSpec{Relations: 4, Rows: n, KeySpace: n / 2, MatchProb: 0.8, Seed: 13})
+		old := full.Mapping.Clone()
+		old.Graph = full.Graph.Induced(full.Graph.Nodes()[:3])
+		old.Corrs = old.Corrs[:3]
+		oldDG, err := fd.Compute(old.Graph, full.Instance)
+		if err != nil {
+			panic(err)
+		}
+		oldIll, err := core.SufficientIllustration(old, full.Instance)
+		if err != nil {
+			panic(err)
+		}
+		tExt := timeIt(func() { _, _ = fd.ExtendLeaf(oldDG, old.Graph, full.Graph, full.Instance) })
+		tCmp := timeIt(func() { _, _ = fd.Compute(full.Graph, full.Instance) })
+		var ev core.Evolved
+		tEv := timeIt(func() { ev, _ = core.EvolveFrom(oldIll, oldDG, full.Mapping, full.Instance) })
+		tRe := timeIt(func() { _, _ = core.SufficientIllustration(full.Mapping, full.Instance) })
+		row(n, tExt, tCmp, ratio(tCmp, tExt), tEv, tRe, fmt.Sprintf("%.2f", ev.ContinuityRatio()))
+	}
+}
+
+// E8: discovery — IND mining and FK proposal over growing instances.
+func e8() {
+	type cfg struct{ rels, cols, rows int }
+	cfgs := []cfg{{4, 4, 500}, {8, 4, 500}, {8, 8, 500}, {8, 8, 2000}}
+	if *quick {
+		cfgs = []cfg{{4, 4, 200}, {8, 4, 200}}
+	}
+	header("E8", "knowledge discovery: IND mining over schema width and rows",
+		"relations", "cols", "rows", "INDs", "mine time")
+	for _, c := range cfgs {
+		in := datagen.WideInstance(c.rels, c.cols, c.rows, c.rows/4+1, 5)
+		var n int
+		t := timeIt(func() { n = len(discovery.DiscoverINDs(in, 0.95)) })
+		row(c.rels, c.cols, c.rows, n, t)
+	}
+}
+
+// E9: a whole mapping session — growing a chain mapping one walk at a
+// time. Cached incremental D(G) (what workspaces do) vs recomputing
+// D(G) at every step.
+func e9() {
+	type cfg struct{ rels, rows int }
+	cfgs := []cfg{{4, 200}, {5, 200}, {6, 200}, {6, 400}}
+	if *quick {
+		cfgs = []cfg{{4, 50}, {5, 50}}
+	}
+	header("E9", "session cost: growing a mapping one walk at a time (cached incremental D(G) vs per-step recompute)",
+		"relations", "rows", "incremental session", "recompute session", "speedup")
+	for _, c := range cfgs {
+		full := datagen.Chain(datagen.ChainSpec{Relations: c.rels, Rows: c.rows, KeySpace: c.rows / 2, MatchProb: 0.85, Seed: 21})
+		nodes := full.Graph.Nodes()
+		tInc := timeIt(func() {
+			cur := full.Graph.Induced(nodes[:1])
+			dg, err := fd.Compute(cur, full.Instance)
+			if err != nil {
+				panic(err)
+			}
+			for i := 2; i <= c.rels; i++ {
+				next := full.Graph.Induced(nodes[:i])
+				dg, err = fd.ExtendLeaf(dg, cur, next, full.Instance)
+				if err != nil {
+					panic(err)
+				}
+				cur = next
+			}
+		})
+		tRe := timeIt(func() {
+			for i := 1; i <= c.rels; i++ {
+				if _, err := fd.Compute(full.Graph.Induced(nodes[:i]), full.Instance); err != nil {
+					panic(err)
+				}
+			}
+		})
+		row(c.rels, c.rows, tInc, tRe, ratio(tRe, tInc))
+	}
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsQuick runs every experiment in quick mode and checks
+// each emits a well-formed markdown table.
+func TestExperimentsQuick(t *testing.T) {
+	*quick = true
+	var b bytes.Buffer
+	old := out
+	out = &b
+	defer func() { out = old }()
+	for id, f := range map[string]func(){
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4,
+		"E5": e5, "E6": e6, "E7": e7, "E8": e8, "E9": e9,
+	} {
+		b.Reset()
+		f()
+		s := b.String()
+		if !strings.Contains(s, "## "+id) {
+			t.Errorf("%s: header missing:\n%s", id, s)
+		}
+		if strings.Count(s, "\n|") < 3 {
+			t.Errorf("%s: table too small:\n%s", id, s)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := ratio(10, 0); got != "∞" {
+		t.Errorf("ratio with zero divisor = %q", got)
+	}
+	if got := ratio(20, 10); got != "2.0x" {
+		t.Errorf("ratio = %q", got)
+	}
+}

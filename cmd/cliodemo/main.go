@@ -1,0 +1,302 @@
+// Command cliodemo replays the paper's Section 2 scenario step by
+// step, printing the reconstructed figures: the source database
+// (Figure 1), the growing mapping and its target view (Figure 2), the
+// affiliation scenarios (Figure 3), the phone-number data walk
+// (Figure 4), the data chase on Maya's ID (Figure 5), the full
+// disjunction D(G) with coverage tags (Figure 8), the sufficient
+// illustration (Figure 9), and the final generated SQL (Section 2).
+//
+// Usage:
+//
+//	cliodemo            # run the whole narrative
+//	cliodemo -step 5    # print a single step (0..7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"clio/internal/core"
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/paperdb"
+	"clio/internal/relation"
+	"clio/internal/render"
+	"clio/internal/schema"
+	"clio/internal/value"
+	"clio/internal/workspace"
+)
+
+// out is the demo's output sink; tests redirect it.
+var out io.Writer = os.Stdout
+
+func main() {
+	step := flag.Int("step", -1, "print a single step (0..8); -1 runs all")
+	flag.Parse()
+	if err := run(*step); err != nil {
+		fmt.Fprintln(os.Stderr, "cliodemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(step int) error {
+	steps := []struct {
+		title string
+		f     func() error
+	}{
+		{"Figure 1: the source database", step0Source},
+		{"Figure 2: correspondences v1, v2 and the target view", step1Correspondences},
+		{"Figure 3: two ways to associate children with affiliations", step2Affiliation},
+		{"Figure 4: a data walk to PhoneDir", step3Walk},
+		{"Figure 5: chasing the value 002", step4Chase},
+		{"Figure 8: the full disjunction D(G) with coverage tags", step5FullDisjunction},
+		{"Figure 9: a sufficient illustration, focussed on the children", step6Illustration},
+		{"Section 2: the final mapping and its SQL", step7FinalSQL},
+		{"Section 3.4: joins and outer joins as mappings", step8Representation},
+	}
+	for i, s := range steps {
+		if step >= 0 && i != step {
+			continue
+		}
+		fmt.Fprintf(out, "\n================ Step %d — %s ================\n\n", i, s.title)
+		if err := s.f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step0Source() error {
+	in := paperdb.Instance()
+	fmt.Fprintln(out, in.Schema.String())
+	for _, name := range in.Names() {
+		fmt.Fprintln(out, render.Table(in.Relation(name), render.Options{Unqualify: true}))
+	}
+	return nil
+}
+
+func step1Correspondences() error {
+	in := paperdb.Instance()
+	tool := workspace.New(in, paperdb.Kids(), false)
+	if err := tool.Start("kids"); err != nil {
+		return err
+	}
+	if err := tool.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
+		return err
+	}
+	if err := tool.AddCorrespondence(core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "After v1: Children.ID -> Kids.ID and v2: Children.name -> Kids.name")
+	fmt.Fprintln(out, render.Table(in.Relation("Children"), render.Options{Unqualify: true, MaxRows: 4}))
+	view, err := tool.TargetView()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, render.Table(view, render.Options{Unqualify: true}))
+	return nil
+}
+
+func step2Affiliation() error {
+	in := paperdb.Instance()
+	k := paperdb.Knowledge()
+	m := core.NewMapping("kids", paperdb.Kids())
+	m.Graph.MustAddNode("Children", "Children")
+	m.Corrs = []core.Correspondence{
+		core.Identity("Children.ID", schema.Col("Kids", "ID")),
+		core.Identity("Children.name", schema.Col("Kids", "name")),
+	}
+	alts, err := core.AddCorrespondence(m, k,
+		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")), 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Adding v3: Parents.affiliation -> Kids.affiliation yields %d scenarios.\n", len(alts))
+	fmt.Fprintf(out, "Maya's row (ID 002) is highlighted (→) in each scenario:\n\n")
+	for i, alt := range alts {
+		e, _ := alt.Graph.EdgeBetween("Children", "Parents")
+		fmt.Fprintf(out, "--- Scenario %d: join on %s ---\n", i+1, e.Label())
+		res, err := alt.Evaluate(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, render.Table(res, render.Options{Unqualify: true, Marker: mayaMarker("Kids.ID")}))
+	}
+	fmt.Fprintln(out, "The user recognizes mid/fid as mother/father IDs and selects")
+	fmt.Fprintln(out, "Scenario 1 (father's affiliation) for the target semantics.")
+	return nil
+}
+
+func step3Walk() error {
+	in := paperdb.Instance()
+	k := paperdb.Knowledge()
+	m := core.NewMapping("kids", paperdb.Kids())
+	m.Graph.MustAddNode("Children", "Children")
+	m.Graph.MustAddNode("Parents", "Parents")
+	m.Graph.MustAddEdge("Children", "Parents", expr.Equals("Children.fid", "Parents.ID"))
+	m.Corrs = []core.Correspondence{
+		core.Identity("Children.ID", schema.Col("Kids", "ID")),
+		core.Identity("Children.name", schema.Col("Kids", "name")),
+		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")),
+	}
+	opts, err := core.DataWalk(m, k, "Children", "PhoneDir", 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "DataWalk(Children → PhoneDir) yields %d scenarios:\n\n", len(opts))
+	for i, o := range opts {
+		fmt.Fprintf(out, "--- Scenario %d: %s ---\n", i+1, o.Describe())
+		fmt.Fprint(out, o.Mapping.Graph.String())
+		mm, err := o.Mapping.WithCorrespondence(core.Identity("PhoneDir.number", schema.Col("Kids", "contactPh")))
+		if err != nil {
+			return err
+		}
+		res, err := mm.Evaluate(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, render.Table(res, render.Options{Unqualify: true, Marker: mayaMarker("Kids.ID")}))
+	}
+	fmt.Fprintln(out, "Scenario with Parents2 associates children with their mothers'")
+	fmt.Fprintln(out, "phone numbers; the user selects it and adds v4.")
+	return nil
+}
+
+func step4Chase() error {
+	in := paperdb.Instance()
+	ix := discovery.BuildValueIndex(in)
+	m := paperdb.Figure6G()
+	opts, err := core.DataChase(m, ix, "Children.ID", value.String("002"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Chasing Maya's ID 002 finds %d occurrences outside the mapping:\n\n", len(opts))
+	for i, o := range opts {
+		fmt.Fprintf(out, "--- Scenario %d: %s ---\n", i+1, o.Describe())
+		rel := in.Relation(o.To.Relation)
+		fmt.Fprintln(out, render.Table(rel, render.Options{Unqualify: true, Marker: func(t relation.Tuple) string {
+			if v, ok := t.Lookup(o.To.String()); ok && v.Equal(value.String("002")) {
+				return "→"
+			}
+			return ""
+		}}))
+	}
+	fmt.Fprintln(out, "SBPS turns out to be the School Bus Pickup Schedule; the user")
+	fmt.Fprintln(out, "selects the first scenario and adds v5: SBPS.time -> Kids.BusSchedule.")
+	return nil
+}
+
+func step5FullDisjunction() error {
+	in := paperdb.Instance()
+	m := paperdb.Figure6G()
+	d, err := m.DG(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "D(G) for G = Children—Parents—PhoneDir (Figure 6), tagged by coverage:")
+	il, err := core.ExamplesOn(m, in, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, render.Illustration(il, paperdb.Abbrev()))
+	return nil
+}
+
+func step6Illustration() error {
+	in := paperdb.Instance()
+	m := paperdb.Example315Mapping()
+	il, err := core.SufficientIllustration(m, in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Mapping of Example 3.15 (C_S: Children.age < 7; C_T: Kids.ID <> null).")
+	fmt.Fprintln(out, "A minimal sufficient illustration (greedy cover):")
+	fmt.Fprintln(out, render.Illustration(il, paperdb.Abbrev()))
+
+	// Focus on the four children (Example 4.8).
+	cs, err := in.Aliased("Children", "Children")
+	if err != nil {
+		return err
+	}
+	focusIl, err := core.Focus(m, in, "Children", cs.Tuples())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Focussed on the children 001, 002, 004, 009 (Example 4.8):")
+	fmt.Fprintln(out, render.Illustration(focusIl, paperdb.Abbrev()))
+	return nil
+}
+
+func step7FinalSQL() error {
+	in := paperdb.Instance()
+	m := paperdb.Section2Mapping()
+	root, _ := m.RequiredRoot()
+	sql, err := m.ViewSQL(root)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "In plain English:")
+	fmt.Fprintln(out, m.Explain())
+	fmt.Fprintln(out, "The final mapping, as the paper's left-outer-join view:")
+	fmt.Fprintln(out, sql)
+	fmt.Fprintln(out, "\nCanonical form over D(G) (Definition 3.14):")
+	fmt.Fprintln(out, m.CanonicalSQL())
+	res, err := m.Evaluate(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nTarget contents:")
+	fmt.Fprintln(out, render.Table(res, render.Options{Unqualify: true}))
+
+	refined := m.WithTargetFilter(expr.MustParse("Kids.BusSchedule IS NOT NULL"))
+	res2, err := refined.Evaluate(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "After the user marks BusSchedule as required (left join → inner join):")
+	fmt.Fprintln(out, render.Table(res2, render.Options{Unqualify: true}))
+	return nil
+}
+
+func step8Representation() error {
+	in := paperdb.Instance()
+	// The Section 2 view as a join/outer-join query: Children LEFT
+	// JOIN Parents (fid) LEFT JOIN SBPS (ID).
+	q := core.Left(
+		core.Left(core.NewRel("Children"), core.NewRel("Parents"),
+			"Children", "Parents", expr.Equals("Children.fid", "Parents.ID")),
+		core.NewRel("SBPS"), "Children", "SBPS", expr.Equals("Children.ID", "SBPS.ID"))
+	fmt.Fprintf(out, "query: %s\n\n", q)
+	ms, err := core.RepresentJoinQuery(q, in, "Kids")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "represented as %d term mappings (one per disjunction term):\n", len(ms))
+	for _, m := range ms {
+		fmt.Fprintf(out, "  %s over graph {%s}\n", m.Name, strings.Join(m.Graph.Nodes(), ", "))
+	}
+	combined, err := core.CombineMappings(in, ms)
+	if err != nil {
+		return err
+	}
+	direct, err := core.EvaluateJoinQuery(q, in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nminimum union of the mappings (%d rows) equals the direct query (%d rows): %v\n",
+		combined.Len(), direct.Len(), combined.Len() == direct.Len())
+	fmt.Fprintln(out, render.Table(combined.Sorted(), render.Options{Unqualify: true}))
+	return nil
+}
+
+func mayaMarker(col string) func(relation.Tuple) string {
+	return func(t relation.Tuple) string {
+		if v, ok := t.Lookup(col); ok && v.Equal(value.String("002")) {
+			return "→"
+		}
+		return ""
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs the demo with out redirected to a buffer.
+func capture(t *testing.T, step int) string {
+	t.Helper()
+	var b bytes.Buffer
+	old := out
+	out = &b
+	defer func() { out = old }()
+	if err := run(step); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
+	return b.String()
+}
+
+func TestAllStepsRun(t *testing.T) {
+	s := capture(t, -1)
+	for _, want := range []string{
+		"Step 0", "Step 7",
+		"Children(ID, name, age, mid, fid, docid)",
+		"FK mid_fk",
+		"Maya",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("demo output missing %q", want)
+		}
+	}
+}
+
+func TestStep2Scenarios(t *testing.T) {
+	s := capture(t, 2)
+	if !strings.Contains(s, "Scenario 1") || !strings.Contains(s, "Scenario 2") {
+		t.Errorf("affiliation scenarios missing:\n%s", s)
+	}
+	// Both affiliations visible for Maya.
+	if !strings.Contains(s, "Acta") || !strings.Contains(s, "IBM") {
+		t.Error("scenario affiliations missing")
+	}
+}
+
+func TestStep3WalkIntroducesCopy(t *testing.T) {
+	s := capture(t, 3)
+	if !strings.Contains(s, "Parents2") {
+		t.Errorf("walk output missing Parents2 copy:\n%s", s)
+	}
+}
+
+func TestStep4ChaseFindsSBPSAndXmasBar(t *testing.T) {
+	s := capture(t, 4)
+	if !strings.Contains(s, "SBPS") || !strings.Contains(s, "XmasBar") {
+		t.Errorf("chase output missing relations:\n%s", s)
+	}
+	if strings.Count(s, "Scenario") != 3 {
+		t.Errorf("expected 3 chase scenarios:\n%s", s)
+	}
+}
+
+func TestStep5CoverageTags(t *testing.T) {
+	s := capture(t, 5)
+	for _, tag := range []string{"CPPh", "PPh"} {
+		if !strings.Contains(s, tag) {
+			t.Errorf("D(G) output missing tag %s:\n%s", tag, s)
+		}
+	}
+}
+
+func TestStep7SQLShape(t *testing.T) {
+	s := capture(t, 7)
+	for _, want := range []string{
+		"CREATE VIEW Kids AS",
+		"LEFT JOIN Parents AS Parents2 ON Children.mid = Parents2.ID",
+		"WHERE Children.ID IS NOT NULL",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("final SQL missing %q:\n%s", want, s)
+		}
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite the golden demo transcript")
+
+// TestGoldenTranscript snapshots the entire demo narrative: the
+// figures are deterministic, so any drift in rendering or semantics
+// shows up as a diff. Regenerate with `go test -run Golden -update`.
+func TestGoldenTranscript(t *testing.T) {
+	got := capture(t, -1)
+	const path = "testdata/demo.golden"
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		// Locate the first differing line for a usable message.
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("transcript drift at line %d:\n got: %q\nwant: %q\n(run with -update to accept)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("transcript length changed: %d vs %d lines", len(gl), len(wl))
+	}
+}

@@ -1,0 +1,38 @@
+// Package clio is a from-scratch reproduction of "Data-Driven
+// Understanding and Refinement of Schema Mappings" (Yan, Miller, Haas,
+// Fagin; SIGMOD 2001) — the data-driven half of IBM's Clio schema-
+// mapping tool.
+//
+// The package is a facade: it re-exports the library's public surface
+// so applications can build schema mappings, illustrate them with
+// carefully chosen data examples, and refine them with the paper's
+// operators (data walk, data chase, trimming, correspondences) without
+// importing internal packages.
+//
+// # The model
+//
+// A Mapping is the paper's <G, V, C_S, C_T>: a query graph G of source
+// relation occurrences joined by strong predicates, value
+// correspondences V into one target relation, source filters C_S and
+// target filters C_T. Its semantics is a query over the full
+// disjunction D(G) — the minimum union of the join results of every
+// induced connected subgraph of G.
+//
+// Examples (pairs of a data association and the target tuple it
+// produces) illustrate a mapping; SufficientIllustration selects a
+// small set that demonstrates every coverage category, every filter
+// outcome, and every correspondence behaviour. Focus restricts
+// attention to familiar tuples. The Tool type manages alternative
+// mappings in workspaces, ranks them, and keeps a WYSIWYG target view.
+//
+// # Quick start
+//
+//	in, _ := clio.LoadCSVDir("data/")
+//	tool := clio.NewTool(in, target, true)
+//	tool.Start("my-mapping")
+//	tool.AddCorrespondence(clio.Identity("Orders.id", clio.Col("Report", "id")))
+//	view, _ := tool.TargetView()
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package clio

@@ -1,0 +1,74 @@
+// Discovery: mapping a directory of raw CSV files.
+//
+// The example writes the paper's source database out as CSV files,
+// loads it back with no schema or constraints, and mines everything
+// Clio needs from the data alone: column profiles, inclusion
+// dependencies, foreign-key proposals, and the join knowledge that
+// makes data walks possible.
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"clio"
+	"clio/internal/paperdb"
+)
+
+func main() {
+	// Stage the CSVs (in a real deployment these are the user's
+	// files).
+	dir, err := os.MkdirTemp("", "clio-discovery-")
+	must(err)
+	defer os.RemoveAll(dir)
+	must(clio.SaveCSVDir(dir, paperdb.Instance()))
+
+	// Load with zero schema knowledge.
+	in, err := clio.LoadCSVDir(dir)
+	must(err)
+	fmt.Printf("loaded %d relations, %d tuples, no constraints\n\n", len(in.Names()), in.TotalTuples())
+
+	// Mine inclusion dependencies and propose foreign keys.
+	inds := clio.DiscoverINDs(in, 1.0)
+	fmt.Println("full inclusion dependencies found in the data:")
+	for _, ind := range inds {
+		fmt.Printf("  %s ⊆ %s\n", ind.From, ind.To)
+	}
+	fks := clio.ProposeForeignKeys(in, inds)
+	fmt.Println("\nforeign keys proposed (IND into a unique column):")
+	for _, fk := range fks {
+		fmt.Printf("  %s.%s -> %s.%s\n", fk.FromRelation, fk.FromAttrs[0], fk.ToRelation, fk.ToAttrs[0])
+	}
+
+	// Build a tool with mined knowledge and map as usual: the walk to
+	// Parents now works even though the CSVs declared nothing.
+	target := clio.NewRelationSchema("Kids",
+		clio.Attribute{Name: "ID"},
+		clio.Attribute{Name: "name"},
+		clio.Attribute{Name: "affiliation"},
+	)
+	tool := clio.NewTool(in, target, true)
+	must(tool.Start("kids"))
+	must(tool.AddCorrespondence(clio.Identity("Children.ID", clio.Col("Kids", "ID"))))
+	must(tool.AddCorrespondence(clio.Identity("Children.name", clio.Col("Kids", "name"))))
+	must(tool.AddCorrespondence(clio.Identity("Parents.affiliation", clio.Col("Kids", "affiliation"))))
+
+	fmt.Printf("\nafter the affiliation correspondence, Clio proposes %d scenarios:\n", len(tool.Workspaces()))
+	for _, w := range tool.Workspaces() {
+		fmt.Printf("  [%d] %s\n", w.ID, w.Note)
+		fmt.Print(w.Mapping.Graph.String())
+	}
+	view, err := tool.TargetView()
+	must(err)
+	fmt.Println("\ntarget view under the first scenario:")
+	fmt.Println(clio.FormatTable(view, clio.RenderOptions{Unqualify: true}))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

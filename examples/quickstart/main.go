@@ -1,0 +1,84 @@
+// Quickstart: build the paper's Kids mapping programmatically with
+// the public clio API and print the resulting target relation and the
+// generated SQL.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clio"
+)
+
+func main() {
+	// A small source: two relations linked by a foreign key.
+	sch := clio.NewDatabase()
+	sch.MustAddRelation(clio.NewRelationSchema("Employees",
+		clio.Attribute{Name: "eid"},
+		clio.Attribute{Name: "name"},
+		clio.Attribute{Name: "deptID"},
+	))
+	sch.MustAddRelation(clio.NewRelationSchema("Departments",
+		clio.Attribute{Name: "did"},
+		clio.Attribute{Name: "title"},
+		clio.Attribute{Name: "floor"},
+	))
+	sch.AddKey("Departments", "did")
+	sch.AddForeignKey("emp_dept", "Employees", []string{"deptID"}, "Departments", []string{"did"})
+
+	in := clio.NewInstance(sch)
+	emp := in.NewRelationFor("Employees")
+	emp.AddRow("e1", "Ada", "d1")
+	emp.AddRow("e2", "Grace", "d2")
+	emp.AddRow("e3", "Alan", "-") // no department
+	in.MustAdd(emp)
+	dep := in.NewRelationFor("Departments")
+	dep.AddRow("d1", "Research", "3")
+	dep.AddRow("d2", "Engineering", "5")
+	dep.AddRow("d9", "Archive", "0") // no employees
+	in.MustAdd(dep)
+
+	// The target: a denormalized staff directory.
+	target := clio.NewRelationSchema("Directory",
+		clio.Attribute{Name: "who"},
+		clio.Attribute{Name: "dept"},
+		clio.Attribute{Name: "floor"},
+	)
+
+	// Open a tool; correspondences drive everything else. The walk to
+	// Departments is inferred from the declared foreign key.
+	tool := clio.NewTool(in, target, false)
+	must(tool.Start("directory"))
+	must(tool.AddCorrespondence(clio.Identity("Employees.name", clio.Col("Directory", "who"))))
+	must(tool.AddCorrespondence(clio.Identity("Departments.title", clio.Col("Directory", "dept"))))
+	must(tool.AddCorrespondence(clio.Identity("Departments.floor", clio.Col("Directory", "floor"))))
+	must(tool.AddTargetFilter(clio.MustParseExpr("Directory.who IS NOT NULL")))
+
+	// Inspect the illustration Clio chose: it demonstrates the
+	// employee-with-department case, the department-less employee, and
+	// the employee-less department.
+	w := tool.Active()
+	fmt.Println(clio.FormatIllustration(w.Illustration, map[string]string{
+		"Employees": "E", "Departments": "D",
+	}))
+
+	// The WYSIWYG target view.
+	view, err := tool.TargetView()
+	must(err)
+	fmt.Println(clio.FormatTable(view, clio.RenderOptions{Unqualify: true}))
+
+	// And the SQL a database would run.
+	if root, ok := w.Mapping.RequiredRoot(); ok {
+		sql, err := w.Mapping.ViewSQL(root)
+		must(err)
+		fmt.Println(sql)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package clio_test
+
+// Build-and-run checks for the example programs: each example must
+// compile and exit cleanly. Skipped with -short.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := map[string]string{
+		"quickstart": "CREATE VIEW Directory",
+		"datawalk":   "DataChase(Children.ID = 002): 3 alternatives",
+		"etl":        "final Kids (union of both mappings)",
+		"discovery":  "foreign keys proposed",
+		"largescale": "sufficient illustration:",
+	}
+	for name, marker := range examples {
+		name, marker := name, marker
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Errorf("example %s output missing %q", name, marker)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package clio_test
+
+// Whole-facade integration: an e-commerce mapping session driven
+// exclusively through the public API — discovery, suggestions, tool
+// workflow, SQL round-trip, persistence, diffing, evolution, and the
+// HTML report. Doubles as executable documentation.
+
+import (
+	"strings"
+	"testing"
+
+	"clio"
+	"clio/internal/datagen"
+)
+
+func TestFullLibraryIntegration(t *testing.T) {
+	in := datagen.ECommerce(datagen.ECommerceSpec{
+		Customers: 15, Orders: 40, LinesPerOrder: 2, Products: 10,
+		ShipRate: 0.5, Seed: 7,
+	})
+
+	// 1. Discovery: the declared FKs are also recoverable from data.
+	inds := clio.DiscoverINDs(in, 1.0)
+	fks := clio.ProposeForeignKeys(in, inds)
+	foundOC := false
+	for _, fk := range fks {
+		if fk.FromRelation == "Orders" && fk.ToRelation == "Customers" {
+			foundOC = true
+		}
+	}
+	if !foundOC {
+		t.Error("Orders→Customers FK not mined")
+	}
+
+	// 2. Suggestions seed the session.
+	target := clio.NewRelationSchema("Report",
+		clio.Attribute{Name: "oid"},
+		clio.Attribute{Name: "name"},
+		clio.Attribute{Name: "carrier"},
+	)
+	sugg := clio.SuggestCorrespondences(in, target, 1)
+	var oidSrc string
+	for _, s := range sugg {
+		if s.Target.Attr == "oid" {
+			oidSrc = s.Source.String()
+		}
+	}
+	if !strings.HasSuffix(oidSrc, ".oid") {
+		t.Errorf("oid suggestion = %q", oidSrc)
+	}
+
+	// 3. Build the mapping through the tool.
+	tool := clio.NewTool(in, target, false)
+	must(t, tool.Start("report"))
+	must(t, tool.AddCorrespondence(clio.Identity("Orders.oid", clio.Col("Report", "oid"))))
+	must(t, tool.AddCorrespondence(clio.Identity("Customers.name", clio.Col("Report", "name"))))
+	must(t, tool.AddCorrespondence(clio.Identity("Shipments.carrier", clio.Col("Report", "carrier"))))
+	must(t, tool.AddTargetFilter(clio.MustParseExpr("Report.oid IS NOT NULL")))
+	m := tool.Active().Mapping
+	must(t, m.Validate(in))
+
+	// 4. Undo and redo the filter.
+	must(t, tool.Undo())
+	if len(tool.Active().Mapping.TargetFilters) != 0 {
+		t.Error("undo failed")
+	}
+	must(t, tool.AddTargetFilter(clio.MustParseExpr("Report.oid IS NOT NULL")))
+	m = tool.Active().Mapping
+
+	// 5. The illustration is sufficient and explains itself.
+	il := tool.Active().Illustration
+	if ok, err := il.IsSufficient(in); err != nil || !ok {
+		t.Errorf("illustration sufficiency: %v %v", ok, err)
+	}
+	if !strings.Contains(m.Explain(), "populates Report") {
+		t.Error("explanation wrong")
+	}
+
+	// 6. SQL round-trip through the parser.
+	root, ok := m.RequiredRoot()
+	if !ok {
+		t.Fatal("no required root")
+	}
+	sql, err := m.ViewSQL(root)
+	must(t, err)
+	back, err := clio.ImportMapping(sql, in, "")
+	must(t, err)
+	want, err := m.Evaluate(in)
+	must(t, err)
+	got, err := back.Evaluate(in)
+	must(t, err)
+	if !want.Distinct().EqualSet(got) {
+		t.Error("SQL round-trip changed semantics")
+	}
+
+	// 7. JSON persistence round-trip.
+	data, err := m.MarshalJSON()
+	must(t, err)
+	loaded, err := clio.UnmarshalMapping(data)
+	must(t, err)
+	if d := clio.DiffMappings(m, loaded); !d.Empty() {
+		t.Errorf("persistence diff:\n%s", d)
+	}
+
+	// 8. Evolution after a programmatic walk keeps continuity.
+	opts, err := clio.DataWalk(m, tool.Knowledge, "Orders", "OrderLines", 2)
+	must(t, err)
+	if len(opts) == 0 {
+		t.Fatal("no walk to OrderLines")
+	}
+	ev, err := clio.Evolve(il, opts[0].Mapping, in)
+	must(t, err)
+	if ev.ContinuityRatio() != 1 {
+		t.Errorf("continuity = %v", ev.ContinuityRatio())
+	}
+
+	// 9. HTML report.
+	view, err := tool.TargetView()
+	must(t, err)
+	var html strings.Builder
+	must(t, clio.WriteHTMLReport(&html, clio.HTMLReport{
+		Title: "integration", Mapping: m, Illustration: il, TargetView: view,
+	}))
+	if !strings.Contains(html.String(), "<title>integration</title>") {
+		t.Error("HTML report wrong")
+	}
+
+	// 10. Representation theorem on this schema.
+	q := clio.LeftQ(
+		clio.JoinRel("Orders"), clio.JoinRel("Shipments"),
+		"Orders", "Shipments", clio.Equals("Orders.oid", "Shipments.oid"))
+	ms, err := clio.RepresentJoinQuery(q, in, "T")
+	must(t, err)
+	combined, err := clio.CombineMappings(in, ms)
+	must(t, err)
+	direct, err := clio.EvaluateJoinQuery(q, in)
+	must(t, err)
+	if combined.Len() != direct.Distinct().Len() {
+		t.Errorf("representation sizes differ: %d vs %d", combined.Len(), direct.Distinct().Len())
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

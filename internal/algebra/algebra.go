@@ -1,0 +1,310 @@
+// Package algebra implements a materializing relational-algebra
+// evaluator over relation.Instance: scans (with aliasing), selection,
+// generalized projection, inner and outer joins (with a hash fast path
+// for equi-join conjuncts), cross product, union, distinct, and the
+// paper's minimum union. Plans also render themselves as SQL, which is
+// how mapping queries are shown to users.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// Node is a relational-algebra plan node.
+type Node interface {
+	// Eval materializes the node's result against the instance.
+	Eval(in *relation.Instance) (*relation.Relation, error)
+	// SQL renders the node as a SQL table expression.
+	SQL() string
+}
+
+// Scan reads a stored relation, optionally under an alias (a relation
+// copy, e.g. Parents AS Parents2).
+type Scan struct {
+	Base  string
+	Alias string // empty means Base
+}
+
+// NewScan builds a scan of the base relation under the given alias.
+func NewScan(base, alias string) Scan {
+	if alias == "" {
+		alias = base
+	}
+	return Scan{Base: base, Alias: alias}
+}
+
+// Eval returns the (possibly aliased) stored relation.
+func (s Scan) Eval(in *relation.Instance) (*relation.Relation, error) {
+	return in.Aliased(s.Base, s.aliasOrBase())
+}
+
+func (s Scan) aliasOrBase() string {
+	if s.Alias == "" {
+		return s.Base
+	}
+	return s.Alias
+}
+
+// SQL renders "Base" or "Base AS Alias".
+func (s Scan) SQL() string {
+	if s.Alias == "" || s.Alias == s.Base {
+		return s.Base
+	}
+	return s.Base + " AS " + s.Alias
+}
+
+// Select filters the child by a predicate (kept only when true).
+type Select struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// Eval filters the child's tuples under 3VL.
+func (s Select) Eval(in *relation.Instance) (*relation.Relation, error) {
+	c, err := s.Child.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	return c.Filter(func(t relation.Tuple) bool {
+		return expr.Truth(s.Pred, t) == value.True
+	}), nil
+}
+
+// SQL renders a filtered subquery.
+func (s Select) SQL() string {
+	return "(SELECT * FROM " + s.Child.SQL() + " WHERE " + s.Pred.String() + ")"
+}
+
+// OutputCol is one column of a generalized projection: a named
+// expression.
+type OutputCol struct {
+	Name string
+	Expr expr.Expr
+}
+
+// Project computes named expressions over the child's tuples.
+type Project struct {
+	Name  string // result relation name
+	Child Node
+	Cols  []OutputCol
+}
+
+// Eval computes the projection.
+func (p Project) Eval(in *relation.Instance) (*relation.Relation, error) {
+	c, err := p.Child.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(p.Cols))
+	for i, col := range p.Cols {
+		names[i] = col.Name
+	}
+	s := relation.NewScheme(names...)
+	out := relation.New(p.Name, s)
+	for _, t := range c.Tuples() {
+		vals := make([]value.Value, len(p.Cols))
+		for i, col := range p.Cols {
+			vals[i] = col.Expr.Eval(t)
+		}
+		out.AddValues(vals...)
+	}
+	return out, nil
+}
+
+// SQL renders SELECT exprs FROM child.
+func (p Project) SQL() string {
+	parts := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		parts[i] = c.Expr.String() + " AS " + unqualify(c.Name)
+	}
+	return "(SELECT " + strings.Join(parts, ", ") + " FROM " + p.Child.SQL() + ")"
+}
+
+func unqualify(name string) string {
+	if ref, err := schema.ParseColumnRef(name); err == nil {
+		return ref.Attr
+	}
+	return name
+}
+
+// JoinKind selects join semantics.
+type JoinKind uint8
+
+// The supported join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+)
+
+// String returns the SQL keyword for the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case InnerJoin:
+		return "JOIN"
+	case LeftJoin:
+		return "LEFT JOIN"
+	case RightJoin:
+		return "RIGHT JOIN"
+	case FullJoin:
+		return "FULL JOIN"
+	default:
+		return "JOIN?"
+	}
+}
+
+// Join combines two children on a predicate. Equality conjuncts over
+// one left and one right column are executed as a hash join; any
+// residual predicate is applied per candidate pair.
+type Join struct {
+	Kind JoinKind
+	L, R Node
+	On   expr.Expr
+}
+
+// Eval executes the join.
+func (j Join) Eval(in *relation.Instance) (*relation.Relation, error) {
+	l, err := j.L.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	return JoinRelations(j.Kind, l, r, j.On), nil
+}
+
+// SQL renders the join tree.
+func (j Join) SQL() string {
+	return j.L.SQL() + " " + j.Kind.String() + " " + j.R.SQL() + " ON " + j.On.String()
+}
+
+// Cross is the cross product.
+type Cross struct{ L, R Node }
+
+// Eval computes the cross product.
+func (c Cross) Eval(in *relation.Instance) (*relation.Relation, error) {
+	l, err := c.L.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	s := l.Scheme().Concat(r.Scheme())
+	out := relation.New("", s)
+	for _, lt := range l.Tuples() {
+		for _, rt := range r.Tuples() {
+			out.Add(lt.ConcatTo(s, rt))
+		}
+	}
+	return out, nil
+}
+
+// SQL renders CROSS JOIN.
+func (c Cross) SQL() string { return c.L.SQL() + " CROSS JOIN " + c.R.SQL() }
+
+// Distinct removes duplicate tuples.
+type Distinct struct{ Child Node }
+
+// Eval deduplicates.
+func (d Distinct) Eval(in *relation.Instance) (*relation.Relation, error) {
+	c, err := d.Child.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	return c.Distinct(), nil
+}
+
+// SQL renders SELECT DISTINCT *.
+func (d Distinct) SQL() string {
+	return "(SELECT DISTINCT * FROM " + d.Child.SQL() + ")"
+}
+
+// Union is set union of union-compatible children (deduplicated).
+type Union struct{ L, R Node }
+
+// Eval unions the children; schemes must have the same attribute set.
+func (u Union) Eval(in *relation.Instance) (*relation.Relation, error) {
+	l, err := u.L.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.R.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Scheme().SameSet(r.Scheme()) {
+		return nil, fmt.Errorf("algebra: UNION of incompatible schemes %v and %v", l.Scheme(), r.Scheme())
+	}
+	out := l.Clone()
+	aligned := r
+	if !l.Scheme().Equal(r.Scheme()) {
+		aligned = r.Project(l.Scheme().Names()...)
+	}
+	for _, t := range aligned.Tuples() {
+		out.Add(t)
+	}
+	return out.Distinct(), nil
+}
+
+// SQL renders UNION.
+func (u Union) SQL() string { return u.L.SQL() + " UNION " + u.R.SQL() }
+
+// MinUnion is the paper's minimum union (outer union minus strictly
+// subsumed tuples) of any number of children.
+type MinUnion struct {
+	Name     string
+	Children []Node
+}
+
+// Eval computes the minimum union.
+func (m MinUnion) Eval(in *relation.Instance) (*relation.Relation, error) {
+	rels := make([]*relation.Relation, len(m.Children))
+	for i, c := range m.Children {
+		r, err := c.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	return relation.MinimumUnionAll(m.Name, rels...), nil
+}
+
+// SQL renders the children joined by the ⊕ pseudo-operator (minimum
+// union has no SQL surface syntax; Galindo-Legaria's operator symbol
+// is used for display).
+func (m MinUnion) SQL() string {
+	parts := make([]string, len(m.Children))
+	for i, c := range m.Children {
+		parts[i] = c.SQL()
+	}
+	return strings.Join(parts, " ⊕ ")
+}
+
+// Materialized wraps an already-computed relation as a plan node (used
+// to query over D(G) without recomputing it).
+type Materialized struct {
+	Label string
+	Rel   *relation.Relation
+}
+
+// Eval returns the wrapped relation.
+func (m Materialized) Eval(*relation.Instance) (*relation.Relation, error) { return m.Rel, nil }
+
+// SQL renders the label.
+func (m Materialized) SQL() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return m.Rel.Name
+}

@@ -1,0 +1,114 @@
+package algebra
+
+import (
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// JoinRelations joins two materialized relations under the given kind
+// and predicate. When the predicate contains equality conjuncts
+// between one left column and one right column, those conjuncts drive
+// a hash join and only the residual predicate is evaluated per pair;
+// otherwise the join degrades to a nested loop.
+func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relation.Relation {
+	s := l.Scheme().Concat(r.Scheme())
+	out := relation.New("", s)
+
+	lMatched := make([]bool, l.Len())
+	rMatched := make([]bool, r.Len())
+
+	eqL, eqR, residual := SplitEquiConjuncts(on, l.Scheme(), r.Scheme())
+
+	emit := func(li, ri int) {
+		t := l.At(li).ConcatTo(s, r.At(ri))
+		if residual != nil && expr.Truth(residual, t) != value.True {
+			return
+		}
+		lMatched[li] = true
+		rMatched[ri] = true
+		out.Add(t)
+	}
+
+	if len(eqL) > 0 {
+		// Hash join: build on the smaller side by convention (right).
+		ix := r.BuildIndex(eqR...)
+		lpos := l.Scheme().Positions(eqL...)
+		for li := range l.Tuples() {
+			for _, ri := range ix.ProbeTuple(l.At(li), lpos) {
+				emit(li, ri)
+			}
+		}
+	} else {
+		for li := range l.Tuples() {
+			for ri := range r.Tuples() {
+				t := l.At(li).ConcatTo(s, r.At(ri))
+				if expr.Truth(on, t) == value.True {
+					lMatched[li] = true
+					rMatched[ri] = true
+					out.Add(t)
+				}
+			}
+		}
+	}
+
+	// Outer padding.
+	if kind == LeftJoin || kind == FullJoin {
+		rNull := relation.AllNull(r.Scheme())
+		for li, m := range lMatched {
+			if !m {
+				out.Add(l.At(li).ConcatTo(s, rNull))
+			}
+		}
+	}
+	if kind == RightJoin || kind == FullJoin {
+		lNull := relation.AllNull(l.Scheme())
+		for ri, m := range rMatched {
+			if !m {
+				out.Add(lNull.ConcatTo(s, r.At(ri)))
+			}
+		}
+	}
+	return out
+}
+
+// SplitEquiConjuncts decomposes predicate p (viewed as a conjunction)
+// into equality conjuncts usable for hashing — Col = Col with one side
+// in each scheme — and a residual conjunction of everything else.
+// The returned column lists are aligned: lCols[i] = rCols[i] is the
+// i-th hash condition. residual is nil when nothing remains.
+func SplitEquiConjuncts(p expr.Expr, ls, rs *relation.Scheme) (lCols, rCols []string, residual expr.Expr) {
+	var rest []expr.Expr
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		if b, ok := e.(expr.Bin); ok {
+			if b.Op == expr.OpAnd {
+				walk(b.L)
+				walk(b.R)
+				return
+			}
+			if b.Op == expr.OpEq {
+				lc, lok := b.L.(expr.Col)
+				rc, rok := b.R.(expr.Col)
+				if lok && rok {
+					switch {
+					case ls.Has(lc.Name) && rs.Has(rc.Name):
+						lCols = append(lCols, lc.Name)
+						rCols = append(rCols, rc.Name)
+						return
+					case ls.Has(rc.Name) && rs.Has(lc.Name):
+						lCols = append(lCols, rc.Name)
+						rCols = append(rCols, lc.Name)
+						return
+					}
+				}
+			}
+		}
+		rest = append(rest, e)
+	}
+	walk(p)
+	if len(rest) > 0 {
+		residual = expr.And(rest...)
+	}
+	return lCols, rCols, residual
+}

@@ -1,0 +1,740 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// fixture: a small Orders/Customers/Shipments source and a target.
+func fixtureSchema() *schema.Database {
+	d := schema.NewDatabase()
+	d.MustAddRelation(schema.NewRelation("Orders",
+		schema.Attribute{Name: "oid", Type: value.KindInt},
+		schema.Attribute{Name: "cid", Type: value.KindInt},
+		schema.Attribute{Name: "total", Type: value.KindInt},
+	))
+	d.MustAddRelation(schema.NewRelation("Customers",
+		schema.Attribute{Name: "cid", Type: value.KindInt},
+		schema.Attribute{Name: "name", Type: value.KindString},
+	))
+	d.MustAddRelation(schema.NewRelation("Shipments",
+		schema.Attribute{Name: "oid", Type: value.KindInt},
+		schema.Attribute{Name: "day", Type: value.KindString},
+	))
+	d.AddKey("Customers", "cid")
+	d.AddForeignKey("o_c", "Orders", []string{"cid"}, "Customers", []string{"cid"})
+	return d
+}
+
+func fixtureInstance() *relation.Instance {
+	in := relation.NewInstance(fixtureSchema())
+	o := in.NewRelationFor("Orders")
+	o.AddRow("1", "10", "99")
+	o.AddRow("2", "11", "250")
+	o.AddRow("3", "10", "15")
+	in.MustAdd(o)
+	c := in.NewRelationFor("Customers")
+	c.AddRow("10", "Ada")
+	c.AddRow("11", "Grace")
+	c.AddRow("12", "Alan") // no orders
+	in.MustAdd(c)
+	s := in.NewRelationFor("Shipments")
+	s.AddRow("1", "Mon")
+	s.AddRow("3", "Wed")
+	in.MustAdd(s)
+	return in
+}
+
+func targetRel() *schema.Relation {
+	return schema.NewRelation("Report",
+		schema.Attribute{Name: "oid", Type: value.KindInt},
+		schema.Attribute{Name: "customer", Type: value.KindString},
+		schema.Attribute{Name: "shipped", Type: value.KindString},
+	)
+}
+
+func fixtureMapping() *Mapping {
+	m := NewMapping("report", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	m.Graph.MustAddNode("Customers", "Customers")
+	m.Graph.MustAddNode("Shipments", "Shipments")
+	m.Graph.MustAddEdge("Orders", "Customers", expr.Equals("Orders.cid", "Customers.cid"))
+	m.Graph.MustAddEdge("Orders", "Shipments", expr.Equals("Orders.oid", "Shipments.oid"))
+	m.Corrs = []Correspondence{
+		Identity("Orders.oid", schema.Col("Report", "oid")),
+		Identity("Customers.name", schema.Col("Report", "customer")),
+		Identity("Shipments.day", schema.Col("Report", "shipped")),
+	}
+	m.TargetFilters = []expr.Expr{expr.MustParse("Report.oid IS NOT NULL")}
+	return m
+}
+
+func TestParseCorrespondence(t *testing.T) {
+	c, err := ParseCorrespondence("Orders.total + 1 -> Report.oid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Target != schema.Col("Report", "oid") {
+		t.Errorf("target = %v", c.Target)
+	}
+	if len(c.SourceColumns()) != 1 || c.SourceColumns()[0] != "Orders.total" {
+		t.Errorf("source columns = %v", c.SourceColumns())
+	}
+	if _, err := ParseCorrespondence("no arrow"); err == nil {
+		t.Error("missing arrow should fail")
+	}
+	if _, err := ParseCorrespondence("(( -> Report.oid"); err == nil {
+		t.Error("bad expr should fail")
+	}
+	if _, err := ParseCorrespondence("Orders.oid -> notacolumn"); err == nil {
+		t.Error("bad target should fail")
+	}
+}
+
+func TestCorrespondenceHelpers(t *testing.T) {
+	c := FromExpr(expr.MustParse("Orders.total + Orders.total"), schema.Col("Report", "oid"))
+	if got := c.SourceColumns(); len(got) != 1 {
+		t.Errorf("dedup failed: %v", got)
+	}
+	if got := c.SourceRelations(); len(got) != 1 || got[0] != "Orders" {
+		t.Errorf("relations = %v", got)
+	}
+	if !strings.Contains(c.String(), "-> Report.oid") {
+		t.Errorf("String = %q", c.String())
+	}
+	s := relation.NewScheme("Orders.total")
+	tp := relation.NewTuple(s, value.Int(5))
+	if got := c.Apply(tp); !got.Equal(value.Int(10)) {
+		t.Errorf("Apply = %v", got)
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	if err := m.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Mapping)
+	}{
+		{"empty graph", func(m *Mapping) { m.Graph = graph.New() }},
+		{"disconnected", func(m *Mapping) { m.Graph.MustAddNode("Lone", "Customers") }},
+		{"corr foreign target", func(m *Mapping) {
+			m.Corrs = append(m.Corrs, Identity("Orders.oid", schema.Col("Other", "x")))
+		}},
+		{"corr unknown attr", func(m *Mapping) {
+			m.Corrs = append(m.Corrs, Identity("Orders.oid", schema.Col("Report", "nope")))
+		}},
+		{"corr duplicate", func(m *Mapping) {
+			m.Corrs = append(m.Corrs, Identity("Orders.total", schema.Col("Report", "oid")))
+		}},
+		{"corr outside graph", func(m *Mapping) {
+			m.Corrs = append(m.Corrs[:1], Identity("Elsewhere.x", schema.Col("Report", "customer")))
+		}},
+		{"source filter unknown column", func(m *Mapping) {
+			m.SourceFilters = append(m.SourceFilters, expr.MustParse("Zip.zap = 1"))
+		}},
+		{"target filter unknown column", func(m *Mapping) {
+			m.TargetFilters = append(m.TargetFilters, expr.MustParse("Report.nope = 1"))
+		}},
+		{"weak edge", func(m *Mapping) {
+			g := graph.New()
+			g.MustAddNode("Orders", "Orders")
+			g.MustAddNode("Customers", "Customers")
+			g.MustAddEdge("Orders", "Customers", expr.MustParse("Orders.cid IS NULL"))
+			m.Graph = g
+		}},
+		{"edge foreign node", func(m *Mapping) {
+			g := graph.New()
+			g.MustAddNode("Orders", "Orders")
+			g.MustAddNode("Customers", "Customers")
+			g.MustAddNode("Shipments", "Shipments")
+			g.MustAddEdge("Orders", "Customers", expr.Equals("Orders.oid", "Shipments.oid"))
+			g.MustAddEdge("Customers", "Shipments", expr.Equals("Customers.cid", "Shipments.oid"))
+			m.Graph = g
+		}},
+	}
+	for _, c := range cases {
+		mm := fixtureMapping()
+		c.mut(mm)
+		if err := mm.Validate(in); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	res, err := m.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orders 1, 2, 3 each produce one row (target filter keeps only
+	// order-covering associations).
+	if res.Len() != 3 {
+		t.Fatalf("rows = %d, want 3:\n%v", res.Len(), res)
+	}
+	rows := map[string]relation.Tuple{}
+	for _, tp := range res.Tuples() {
+		rows[tp.Get("Report.oid").String()] = tp
+	}
+	if rows["1"].Get("Report.customer").String() != "Ada" || rows["1"].Get("Report.shipped").String() != "Mon" {
+		t.Errorf("order 1 row wrong: %v", rows["1"])
+	}
+	if !rows["2"].Get("Report.shipped").IsNull() {
+		t.Errorf("order 2 should be unshipped: %v", rows["2"])
+	}
+}
+
+func TestEvaluateWithSourceFilter(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping().WithSourceFilter(expr.MustParse("Orders.total > 50"))
+	res, err := m.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%v", res.Len(), res)
+	}
+}
+
+func TestTransformAndFilters(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	dg, err := m.DG(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dg.Tuples() {
+		tp := m.Transform(d)
+		if tp.Scheme().Arity() != 3 {
+			t.Fatalf("target arity = %d", tp.Scheme().Arity())
+		}
+		// Unfiltered transform mirrors source values.
+		if !tp.Get("Report.oid").Equal(d.Get("Orders.oid")) &&
+			!(tp.Get("Report.oid").IsNull() && d.Get("Orders.oid").IsNull()) {
+			t.Errorf("oid not carried: %v from %v", tp, d)
+		}
+	}
+}
+
+func TestMappedAttrsAndAccessors(t *testing.T) {
+	m := fixtureMapping()
+	if got := m.MappedAttrs(); len(got) != 3 || got[0] != "oid" {
+		t.Errorf("MappedAttrs = %v", got)
+	}
+	if _, ok := m.CorrFor("customer"); !ok {
+		t.Error("CorrFor(customer) missed")
+	}
+	if _, ok := m.CorrFor("nope"); ok {
+		t.Error("CorrFor(nope) false positive")
+	}
+	if got := m.Relations(); len(got) != 3 || got[0] != "Customers" {
+		t.Errorf("Relations = %v", got)
+	}
+	if !strings.Contains(m.String(), "mapping report -> Report") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := fixtureMapping()
+	c := m.Clone()
+	c.Corrs = c.Corrs[:1]
+	c.Graph.MustAddNode("Extra", "Customers")
+	c.SourceFilters = append(c.SourceFilters, expr.MustParse("TRUE"))
+	if len(m.Corrs) != 3 || m.Graph.NodeCount() != 3 || len(m.SourceFilters) != 0 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestTrimmingOperators(t *testing.T) {
+	m := fixtureMapping()
+	m2 := m.WithSourceFilter(expr.MustParse("Orders.total > 10"))
+	if len(m2.SourceFilters) != 1 || len(m.SourceFilters) != 0 {
+		t.Error("WithSourceFilter wrong")
+	}
+	m3 := m2.WithoutSourceFilter(0)
+	if len(m3.SourceFilters) != 0 {
+		t.Error("WithoutSourceFilter wrong")
+	}
+	if got := m2.WithoutSourceFilter(5); len(got.SourceFilters) != 1 {
+		t.Error("out-of-range removal should be no-op")
+	}
+	m4 := m.WithTargetFilter(expr.MustParse("Report.shipped IS NOT NULL"))
+	if len(m4.TargetFilters) != 2 {
+		t.Error("WithTargetFilter wrong")
+	}
+	m5 := m4.WithoutTargetFilter(1)
+	if len(m5.TargetFilters) != 1 {
+		t.Error("WithoutTargetFilter wrong")
+	}
+}
+
+func TestCorrespondenceOperators(t *testing.T) {
+	m := fixtureMapping()
+	if _, err := m.WithCorrespondence(Identity("Orders.total", schema.Col("Report", "oid"))); err == nil {
+		t.Error("duplicate target attr should fail")
+	}
+	if _, err := m.WithCorrespondence(Identity("Mystery.x", schema.Col("Report", "shipped"))); err == nil {
+		t.Error("off-graph source should fail")
+	}
+	m2 := m.WithoutCorrespondence("shipped")
+	if len(m2.Corrs) != 2 {
+		t.Error("WithoutCorrespondence wrong")
+	}
+	if _, err := m2.WithCorrespondence(Identity("Shipments.day", schema.Col("Report", "shipped"))); err != nil {
+		t.Errorf("re-adding should work: %v", err)
+	}
+}
+
+func TestDataWalkErrorsAndRanking(t *testing.T) {
+	in := fixtureInstance()
+	k := discovery.BuildKnowledge(in, true, 1)
+	m := NewMapping("w", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	if _, err := DataWalk(m, k, "Nope", "Customers", 3); err == nil {
+		t.Error("unknown start should fail")
+	}
+	opts, err := DataWalk(m, k, "Orders", "Customers", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) == 0 {
+		t.Fatal("expected at least one walk option")
+	}
+	for i := 1; i < len(opts); i++ {
+		if len(opts[i-1].Path) > len(opts[i].Path) {
+			t.Error("options not ranked by path length")
+		}
+	}
+	if opts[0].Describe() == "" {
+		t.Error("Describe empty")
+	}
+}
+
+func TestDataWalkCopyNumbering(t *testing.T) {
+	// Walking to the same conflicted relation twice mints Parents2
+	// then Parents3-style names.
+	in := fixtureInstance()
+	k := discovery.BuildKnowledge(in, true, 1)
+	m := NewMapping("w", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	m.Graph.MustAddNode("Customers", "Customers")
+	// An edge with a different label than the knowledge edge, to force
+	// a conflict: Orders.oid = Customers.cid is not the FK.
+	m.Graph.MustAddEdge("Orders", "Customers", expr.Equals("Orders.oid", "Customers.cid"))
+	opts, err := DataWalk(m, k, "Orders", "Customers", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCopy := false
+	for _, o := range opts {
+		if o.Mapping.Graph.HasNode("Customers2") {
+			foundCopy = true
+			if o.Copies != 1 {
+				t.Errorf("copies = %d", o.Copies)
+			}
+		}
+	}
+	if !foundCopy {
+		t.Errorf("conflicting walk should introduce Customers2: %v", opts)
+	}
+}
+
+func TestAddCorrespondenceTooManyMissing(t *testing.T) {
+	in := fixtureInstance()
+	k := discovery.BuildKnowledge(in, true, 1)
+	m := NewMapping("w", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	c := FromExpr(expr.MustParse("concat(Customers.name, Shipments.day)"), schema.Col("Report", "customer"))
+	if _, err := AddCorrespondence(m, k, c, 3); err == nil {
+		t.Error("two missing relations should fail")
+	}
+}
+
+func TestAddCorrespondenceEmptyGraph(t *testing.T) {
+	in := fixtureInstance()
+	k := discovery.BuildKnowledge(in, true, 1)
+	m := NewMapping("w", targetRel())
+	alts, err := AddCorrespondence(m, k, Identity("Orders.oid", schema.Col("Report", "oid")), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) != 1 || !alts[0].Graph.HasNode("Orders") {
+		t.Fatalf("empty-graph seed wrong: %v", alts)
+	}
+	if err := alts[0].Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCorrespondenceUnreachable(t *testing.T) {
+	k := discovery.NewKnowledge() // empty: nothing reachable
+	m := NewMapping("w", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	if _, err := AddCorrespondence(m, k, Identity("Customers.name", schema.Col("Report", "customer")), 3); err == nil {
+		t.Error("unreachable relation should fail")
+	}
+}
+
+func TestDataChaseErrors(t *testing.T) {
+	in := fixtureInstance()
+	ix := discovery.BuildValueIndex(in)
+	m := NewMapping("w", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	if _, err := DataChase(m, ix, "notacolumn", value.Int(1)); err == nil {
+		t.Error("malformed column should fail")
+	}
+	if _, err := DataChase(m, ix, "Customers.cid", value.Int(1)); err == nil {
+		t.Error("off-graph column should fail")
+	}
+	if _, err := DataChase(m, ix, "Orders.oid", value.Null); err == nil {
+		t.Error("null chase should fail")
+	}
+	// Chasing oid=1 finds Shipments.oid (Customers is found too via
+	// nothing — cid values differ from oid 1? cid 10,11,12; so only
+	// Shipments).
+	opts, err := DataChase(m, ix, "Orders.oid", value.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 1 || opts[0].To.String() != "Shipments.oid" {
+		t.Fatalf("chase options = %v", opts)
+	}
+	if opts[0].Describe() == "" {
+		t.Error("Describe empty")
+	}
+}
+
+func TestPlanMatchesEvaluate(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping().WithSourceFilter(expr.MustParse("Orders.total > 10"))
+	dg, err := m.DG(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := m.Plan(dg)
+	got, err := plan.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.EvaluateOn(dg)
+	if !got.EqualSet(want) {
+		t.Errorf("plan vs direct mismatch:\n%v\nvs\n%v", got, want)
+	}
+	if !strings.Contains(plan.SQL(), "D(G)") {
+		t.Errorf("plan SQL = %q", plan.SQL())
+	}
+}
+
+func TestRequiredRootFromSourceFilter(t *testing.T) {
+	m := fixtureMapping()
+	m.TargetFilters = nil
+	if _, ok := m.RequiredRoot(); ok {
+		t.Error("no filters: no required root")
+	}
+	m2 := m.WithSourceFilter(expr.MustParse("Orders.oid IS NOT NULL"))
+	root, ok := m2.RequiredRoot()
+	if !ok || root != "Orders" {
+		t.Errorf("root = %q, %v", root, ok)
+	}
+}
+
+func TestViewSQLErrors(t *testing.T) {
+	m := fixtureMapping()
+	if _, err := m.ViewSQL("Nope"); err == nil {
+		t.Error("unknown root should fail")
+	}
+	// Cyclic graph: not a tree.
+	m.Graph.MustAddEdge("Customers", "Shipments", expr.Equals("Customers.cid", "Shipments.oid"))
+	if _, err := m.ViewSQL("Orders"); err == nil {
+		t.Error("non-tree should fail")
+	}
+}
+
+func TestEvolveLostAttribute(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	il, err := SufficientIllustration(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking the graph is not an evolution.
+	small := NewMapping("small", targetRel())
+	small.Graph.MustAddNode("Orders", "Orders")
+	small.Corrs = []Correspondence{Identity("Orders.oid", schema.Col("Report", "oid"))}
+	if _, err := Evolve(il, small, in); err == nil {
+		t.Error("graph shrink should fail evolution")
+	}
+}
+
+func TestEvolveSameGraphFilterChange(t *testing.T) {
+	// Trimming operators keep the graph; every example is inherited
+	// and polarity is re-derived.
+	in := fixtureInstance()
+	m := fixtureMapping()
+	il, err := SufficientIllustration(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m.WithSourceFilter(expr.MustParse("Orders.total > 100"))
+	ev, err := Evolve(il, m2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ContinuityRatio() != 1 {
+		t.Errorf("continuity = %v", ev.ContinuityRatio())
+	}
+	// Only order 2 (total 250) stays positive among order rows.
+	for _, e := range ev.Examples {
+		if e.Positive && !e.Assoc.Get("Orders.total").Equal(value.Int(250)) {
+			t.Errorf("unexpected positive: %v", e.Assoc)
+		}
+	}
+}
+
+func TestIllustrationAccessors(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	il, err := AllExamples(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(il.Positives())+len(il.Negatives()) != len(il.Examples) {
+		t.Error("polarity partition wrong")
+	}
+	if len(il.Categories()) == 0 {
+		t.Error("no categories")
+	}
+	if !strings.Contains(il.String(), "illustration of report") {
+		t.Errorf("String = %q", il.String())
+	}
+	// Merge dedupes.
+	merged := il.Merge(il)
+	if len(merged.Examples) != len(il.Examples) {
+		t.Error("self-merge should not grow")
+	}
+}
+
+func TestFocusEmptyTuples(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	il, err := Focus(m, in, "Orders", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(il.Examples) != 0 {
+		t.Error("empty focus should be empty")
+	}
+}
+
+func TestDGSQL(t *testing.T) {
+	m := fixtureMapping()
+	s := m.DGSQL()
+	if !strings.Contains(s, "FULL JOIN") || !strings.Contains(s, "minus subsumed") {
+		t.Errorf("tree DGSQL = %q", s)
+	}
+	// Cyclic: falls back to the ⊕ form.
+	m.Graph.MustAddEdge("Customers", "Shipments", expr.Equals("Customers.cid", "Shipments.oid"))
+	s2 := m.DGSQL()
+	if !strings.Contains(s2, "⊕") || !strings.Contains(s2, "F(Customers,Orders,Shipments)") {
+		t.Errorf("cyclic DGSQL = %q", s2)
+	}
+}
+
+func TestWalkEdgeOrientationReuse(t *testing.T) {
+	// A walk arriving at an existing node over the same edge written
+	// in the opposite orientation must reuse the node, not mint a
+	// copy (regression: Customers.cid = Orders.cid vs reversed).
+	in := fixtureInstance()
+	k := discovery.BuildKnowledge(in, false, 1)
+	m := NewMapping("w", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	m.Graph.MustAddNode("Customers", "Customers")
+	// Edge written Customers-first.
+	m.Graph.MustAddEdge("Orders", "Customers", expr.Equals("Customers.cid", "Orders.cid"))
+	opts, err := DataWalk(m, k, "Customers", "Orders", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		if o.Mapping.Graph.HasNode("Orders2") {
+			t.Errorf("reversed-orientation edge minted a copy: %v", o.Mapping.Graph)
+		}
+	}
+}
+
+func TestCanonicalLabel(t *testing.T) {
+	a := canonicalLabel(expr.MustParse("A.x = B.y AND C.z = A.x"))
+	b := canonicalLabel(expr.MustParse("A.x = C.z AND B.y = A.x"))
+	if a != b {
+		t.Errorf("canonical labels differ: %q vs %q", a, b)
+	}
+	// Non-equality conjuncts survive verbatim.
+	c := canonicalLabel(expr.MustParse("A.x < B.y"))
+	if !strings.Contains(c, "A.x < B.y") {
+		t.Errorf("canonical label = %q", c)
+	}
+}
+
+func TestSQLGeneration(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping().WithSourceFilter(expr.MustParse("Orders.total > 10"))
+	canon := m.CanonicalSQL()
+	for _, want := range []string{
+		"SELECT * FROM (",
+		"Orders.oid AS oid",
+		"FROM D(G)",
+		"WHERE Orders.total > 10",
+		"WHERE oid IS NOT NULL",
+	} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("canonical SQL missing %q:\n%s", want, canon)
+		}
+	}
+	root, ok := m.RequiredRoot()
+	if !ok || root != "Orders" {
+		t.Fatalf("root = %q, %v", root, ok)
+	}
+	view, err := m.ViewSQL(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CREATE VIEW Report AS",
+		"LEFT JOIN Customers ON Orders.cid = Customers.cid",
+		"LEFT JOIN Shipments ON Orders.oid = Shipments.oid",
+		"WHERE Orders.total > 10 AND Orders.oid IS NOT NULL",
+	} {
+		if !strings.Contains(view, want) {
+			t.Errorf("view SQL missing %q:\n%s", want, view)
+		}
+	}
+	// Equivalence of both evaluation paths.
+	a, err := m.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EvaluateViaLeftJoins(root, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualSet(b) {
+		t.Errorf("left-join evaluation differs:\n%v\nvs\n%v", a, b)
+	}
+	// Target filters over computed expressions rewrite through the
+	// correspondence (substitution path).
+	m2 := fixtureMapping()
+	m2.Corrs[0] = FromExpr(expr.MustParse("Orders.oid + 100"), schema.Col("Report", "oid"))
+	m2.TargetFilters = []expr.Expr{expr.MustParse("Report.oid > 101")}
+	m2 = m2.WithSourceFilter(expr.MustParse("Orders.oid IS NOT NULL"))
+	root2, _ := m2.RequiredRoot()
+	view2, err := m2.ViewSQL(root2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(view2, "(Orders.oid + 100) > 101") {
+		t.Errorf("target filter not rewritten:\n%s", view2)
+	}
+}
+
+func TestFocusOnFixture(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	orders, err := in.Aliased("Orders", "Orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Focus on order 1 only.
+	var focusTuples []relation.Tuple
+	for _, tp := range orders.Tuples() {
+		if tp.Get("Orders.oid").Equal(value.Int(1)) {
+			focusTuples = append(focusTuples, tp)
+		}
+	}
+	il, err := Focus(m, in, "Orders", focusTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(il.Examples) != 1 {
+		t.Fatalf("focussed examples = %d:\n%v", len(il.Examples), il)
+	}
+	ok, err := il.IsFocussedOn(in, "Orders", focusTuples)
+	if err != nil || !ok {
+		t.Errorf("IsFocussedOn = %v, %v", ok, err)
+	}
+	// An empty illustration is not focussed when matches exist.
+	empty := Illustration{Mapping: m}
+	if ok, _ := empty.IsFocussedOn(in, "Orders", focusTuples); ok {
+		t.Error("empty illustration should not be focussed")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	m := fixtureMapping().WithSourceFilter(expr.MustParse("Orders.total > 10"))
+	s := m.Explain()
+	for _, want := range []string{
+		`Mapping "report" populates Report.`,
+		"combine 3 source relations",
+		"Orders pairs with Customers when Orders.cid = Customers.cid",
+		"Report.oid := Orders.oid",
+		"Source rows are kept only when Orders.total > 10",
+		"Target rows are kept only when Report.oid IS NOT NULL",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explanation missing %q:\n%s", want, s)
+		}
+	}
+	// Single-node, unfiltered mapping.
+	single := NewMapping("s", targetRel())
+	single.Graph.MustAddNode("Orders", "Orders")
+	single.Corrs = []Correspondence{Identity("Orders.oid", schema.Col("Report", "oid"))}
+	s2 := single.Explain()
+	if !strings.Contains(s2, "Orders alone") || !strings.Contains(s2, "No trimming filters") {
+		t.Errorf("single-node explanation wrong:\n%s", s2)
+	}
+	if !strings.Contains(s2, "Still unmapped (always null): customer, shipped.") {
+		t.Errorf("unmapped attrs missing:\n%s", s2)
+	}
+	// Empty mapping.
+	empty := NewMapping("e", targetRel())
+	if !strings.Contains(empty.Explain(), "No source relations") {
+		t.Error("empty explanation wrong")
+	}
+	// Copies are described as copies.
+	withCopy := NewMapping("c", targetRel())
+	withCopy.Graph.MustAddNode("Orders", "Orders")
+	withCopy.Graph.MustAddNode("Customers2", "Customers")
+	withCopy.Graph.MustAddEdge("Orders", "Customers2", expr.Equals("Orders.cid", "Customers2.cid"))
+	if !strings.Contains(withCopy.Explain(), "Customers2 (a second copy of Customers)") {
+		t.Errorf("copy description missing:\n%s", withCopy.Explain())
+	}
+}
+
+func TestExplainDiff(t *testing.T) {
+	a := fixtureMapping()
+	if got := ExplainDiff(a, a.Clone()); !strings.Contains(got, "identical") {
+		t.Errorf("identical diff = %q", got)
+	}
+	b := a.WithSourceFilter(expr.MustParse("Orders.total > 100")).WithoutCorrespondence("shipped")
+	got := ExplainDiff(a, b)
+	for _, want := range []string{
+		"only the first computes Shipments.day -> Report.shipped",
+		"only the second keeps rows where Orders.total > 100",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff narration missing %q:\n%s", want, got)
+		}
+	}
+}

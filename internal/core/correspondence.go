@@ -1,0 +1,120 @@
+// Package core implements the paper's primary contribution: the
+// mapping representation M = <G, V, C_S, C_T> (Section 3), mapping
+// examples and sufficient illustrations (Section 4), and the mapping
+// operators — correspondence operators, data trimming, data walk,
+// data chase, and continuous illustration evolution (Section 5).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// Correspondence is a value correspondence (Definition 3.1): a
+// function over the values of a set of source attributes that computes
+// a value for one target attribute. The function is represented as an
+// expression over qualified source columns.
+type Correspondence struct {
+	// Target is the target attribute this correspondence populates,
+	// e.g. Kids.ID.
+	Target schema.ColumnRef
+	// Expr computes the target value from a data association. Columns
+	// it references must belong to nodes of the mapping's query graph.
+	Expr expr.Expr
+}
+
+// Identity builds the identity correspondence src → tgt (the v1, v2 of
+// Figure 2).
+func Identity(src string, tgt schema.ColumnRef) Correspondence {
+	return Correspondence{Target: tgt, Expr: expr.Col{Name: src}}
+}
+
+// FromExpr builds a correspondence computing tgt from an arbitrary
+// expression, e.g. Parents.salary + Parents2.salary → Kids.FamilyIncome
+// (Example 3.2).
+func FromExpr(e expr.Expr, tgt schema.ColumnRef) Correspondence {
+	return Correspondence{Target: tgt, Expr: e}
+}
+
+// ParseCorrespondence parses "expr -> Rel.Attr" into a Correspondence.
+func ParseCorrespondence(s string) (Correspondence, error) {
+	const sep = "->"
+	i := lastIndex(s, sep)
+	if i < 0 {
+		return Correspondence{}, fmt.Errorf("core: correspondence %q missing %q", s, sep)
+	}
+	e, err := expr.Parse(trim(s[:i]))
+	if err != nil {
+		return Correspondence{}, err
+	}
+	tgt, err := schema.ParseColumnRef(trim(s[i+len(sep):]))
+	if err != nil {
+		return Correspondence{}, err
+	}
+	return Correspondence{Target: tgt, Expr: e}, nil
+}
+
+// SourceColumns returns the qualified source columns the
+// correspondence reads, sorted and deduplicated.
+func (c Correspondence) SourceColumns() []string {
+	cols := c.Expr.Columns(nil)
+	sort.Strings(cols)
+	out := cols[:0]
+	for i, col := range cols {
+		if i == 0 || cols[i-1] != col {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// SourceRelations returns the relation occurrences (graph node names)
+// the correspondence reads, sorted and deduplicated.
+func (c Correspondence) SourceRelations() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, col := range c.SourceColumns() {
+		ref, err := schema.ParseColumnRef(col)
+		if err != nil {
+			continue
+		}
+		if !seen[ref.Relation] {
+			seen[ref.Relation] = true
+			out = append(out, ref.Relation)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply computes the correspondence's value on a data association.
+func (c Correspondence) Apply(d relation.Tuple) value.Value { return c.Expr.Eval(d) }
+
+// String renders "expr -> Rel.Attr".
+func (c Correspondence) String() string {
+	return c.Expr.String() + " -> " + c.Target.String()
+}
+
+func lastIndex(s, sub string) int {
+	for i := len(s) - len(sub); i >= 0; i-- {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func trim(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clio/internal/expr"
+	"clio/internal/relation"
+)
+
+// This file implements the paper's promise that examples "illustrate
+// any differences from alternative mappings" (Section 1): a structural
+// diff between two mappings, and distinguishing examples — data that
+// one mapping sends to the target and the other does not.
+
+// MappingDiff is the structural difference between two mappings.
+type MappingDiff struct {
+	// OnlyA / OnlyB hold human-readable elements present in exactly
+	// one mapping, grouped by kind.
+	NodesOnlyA, NodesOnlyB   []string
+	EdgesOnlyA, EdgesOnlyB   []string
+	CorrsOnlyA, CorrsOnlyB   []string
+	SourceOnlyA, SourceOnlyB []string
+	TargetOnlyA, TargetOnlyB []string
+}
+
+// Empty reports whether the mappings are structurally identical.
+func (d MappingDiff) Empty() bool {
+	return len(d.NodesOnlyA)+len(d.NodesOnlyB)+
+		len(d.EdgesOnlyA)+len(d.EdgesOnlyB)+
+		len(d.CorrsOnlyA)+len(d.CorrsOnlyB)+
+		len(d.SourceOnlyA)+len(d.SourceOnlyB)+
+		len(d.TargetOnlyA)+len(d.TargetOnlyB) == 0
+}
+
+// String renders the diff, one line per difference.
+func (d MappingDiff) String() string {
+	var b strings.Builder
+	section := func(label string, onlyA, onlyB []string) {
+		for _, s := range onlyA {
+			fmt.Fprintf(&b, "  - %s (first only): %s\n", label, s)
+		}
+		for _, s := range onlyB {
+			fmt.Fprintf(&b, "  + %s (second only): %s\n", label, s)
+		}
+	}
+	section("node", d.NodesOnlyA, d.NodesOnlyB)
+	section("edge", d.EdgesOnlyA, d.EdgesOnlyB)
+	section("correspondence", d.CorrsOnlyA, d.CorrsOnlyB)
+	section("source filter", d.SourceOnlyA, d.SourceOnlyB)
+	section("target filter", d.TargetOnlyA, d.TargetOnlyB)
+	if b.Len() == 0 {
+		return "  (structurally identical)\n"
+	}
+	return b.String()
+}
+
+// Diff computes the structural difference between two mappings over
+// the same target.
+func Diff(a, b *Mapping) MappingDiff {
+	var d MappingDiff
+	d.NodesOnlyA, d.NodesOnlyB = symmetricDiff(nodeStrings(a), nodeStrings(b))
+	d.EdgesOnlyA, d.EdgesOnlyB = symmetricDiff(edgeStrings(a), edgeStrings(b))
+	d.CorrsOnlyA, d.CorrsOnlyB = symmetricDiff(corrStrings(a), corrStrings(b))
+	d.SourceOnlyA, d.SourceOnlyB = symmetricDiff(exprStrings(a.SourceFilters), exprStrings(b.SourceFilters))
+	d.TargetOnlyA, d.TargetOnlyB = symmetricDiff(exprStrings(a.TargetFilters), exprStrings(b.TargetFilters))
+	return d
+}
+
+func nodeStrings(m *Mapping) []string {
+	var out []string
+	for _, n := range m.Graph.Nodes() {
+		node, _ := m.Graph.Node(n)
+		out = append(out, fmt.Sprintf("%s (copy of %s)", node.Name, node.Base))
+	}
+	return out
+}
+
+func edgeStrings(m *Mapping) []string {
+	var out []string
+	for _, e := range m.Graph.Edges() {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, fmt.Sprintf("%s—%s [%s]", a, b, e.Label()))
+	}
+	return out
+}
+
+func corrStrings(m *Mapping) []string {
+	var out []string
+	for _, c := range m.Corrs {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+func exprStrings(es []expr.Expr) []string {
+	var out []string
+	for _, e := range es {
+		out = append(out, e.String())
+	}
+	return out
+}
+
+func symmetricDiff(a, b []string) (onlyA, onlyB []string) {
+	as := map[string]bool{}
+	for _, x := range a {
+		as[x] = true
+	}
+	bs := map[string]bool{}
+	for _, x := range b {
+		bs[x] = true
+	}
+	for _, x := range a {
+		if !bs[x] {
+			onlyA = append(onlyA, x)
+		}
+	}
+	for _, x := range b {
+		if !as[x] {
+			onlyB = append(onlyB, x)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
+}
+
+// Distinguishing holds examples that separate two mappings: data that
+// reaches the target under exactly one of them.
+type Distinguishing struct {
+	// OnlyA are examples of mapping A whose target tuple is not
+	// produced by B; OnlyB symmetrically.
+	OnlyA, OnlyB []Example
+}
+
+// DistinguishingExamples finds up to limit examples per side that
+// separate the two mappings (which must share a target relation).
+// These are the examples Clio highlights when asking the user to
+// choose between scenarios (Figures 3 and 4).
+func DistinguishingExamples(a, b *Mapping, in *relation.Instance, limit int) (Distinguishing, error) {
+	if a.Target.Name != b.Target.Name {
+		return Distinguishing{}, fmt.Errorf("core: mappings target different relations (%s vs %s)",
+			a.Target.Name, b.Target.Name)
+	}
+	resA, err := a.Evaluate(in)
+	if err != nil {
+		return Distinguishing{}, err
+	}
+	resB, err := b.Evaluate(in)
+	if err != nil {
+		return Distinguishing{}, err
+	}
+	exA, err := AllExamples(a, in)
+	if err != nil {
+		return Distinguishing{}, err
+	}
+	exB, err := AllExamples(b, in)
+	if err != nil {
+		return Distinguishing{}, err
+	}
+	var out Distinguishing
+	out.OnlyA = witnesses(exA, resB, limit)
+	out.OnlyB = witnesses(exB, resA, limit)
+	return out, nil
+}
+
+// witnesses returns positive examples of one mapping whose target
+// tuple the other mapping's result does not contain.
+func witnesses(il Illustration, other *relation.Relation, limit int) []Example {
+	seen := map[string]bool{}
+	for _, t := range other.Tuples() {
+		seen[t.Key()] = true
+	}
+	var out []Example
+	for _, e := range il.Examples {
+		if !e.Positive {
+			continue
+		}
+		if !seen[e.Target.Key()] {
+			out = append(out, e)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PerturbationScore measures how much mapping b perturbs mapping a:
+// the number of structural elements (nodes, edges, correspondences,
+// filters) present in exactly one of the two. The workspace ranking
+// uses it to order alternatives by "least perturbation to the current
+// active mapping" (Section 6.1).
+func PerturbationScore(a, b *Mapping) int {
+	d := Diff(a, b)
+	return len(d.NodesOnlyA) + len(d.NodesOnlyB) +
+		len(d.EdgesOnlyA) + len(d.EdgesOnlyB) +
+		len(d.CorrsOnlyA) + len(d.CorrsOnlyB) +
+		len(d.SourceOnlyA) + len(d.SourceOnlyB) +
+		len(d.TargetOnlyA) + len(d.TargetOnlyB)
+}

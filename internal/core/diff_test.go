@@ -1,0 +1,240 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	m := fixtureMapping()
+	d := Diff(m, m.Clone())
+	if !d.Empty() {
+		t.Errorf("clone diff should be empty: %v", d)
+	}
+	if !strings.Contains(d.String(), "identical") {
+		t.Errorf("rendering = %q", d.String())
+	}
+}
+
+func TestDiffStructural(t *testing.T) {
+	a := fixtureMapping()
+	b := a.WithoutCorrespondence("shipped")
+	b.Graph = a.Graph.Induced([]string{"Orders", "Customers"})
+	b = b.WithSourceFilter(expr.MustParse("Orders.total > 10"))
+	d := Diff(a, b)
+	if d.Empty() {
+		t.Fatal("diff should not be empty")
+	}
+	if len(d.NodesOnlyA) != 1 || !strings.Contains(d.NodesOnlyA[0], "Shipments") {
+		t.Errorf("NodesOnlyA = %v", d.NodesOnlyA)
+	}
+	if len(d.EdgesOnlyA) != 1 {
+		t.Errorf("EdgesOnlyA = %v", d.EdgesOnlyA)
+	}
+	if len(d.CorrsOnlyA) != 1 || !strings.Contains(d.CorrsOnlyA[0], "shipped") {
+		t.Errorf("CorrsOnlyA = %v", d.CorrsOnlyA)
+	}
+	if len(d.SourceOnlyB) != 1 {
+		t.Errorf("SourceOnlyB = %v", d.SourceOnlyB)
+	}
+	s := d.String()
+	for _, want := range []string{"first only", "second only", "Shipments"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDistinguishingExamples(t *testing.T) {
+	in := fixtureInstance()
+	// Two mappings differing in a filter: one keeps only expensive
+	// orders.
+	a := fixtureMapping()
+	b := a.WithSourceFilter(expr.MustParse("Orders.total > 100"))
+	d, err := DistinguishingExamples(a, b, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orders 1 (99) and 3 (15) reach the target only under a.
+	if len(d.OnlyA) != 2 {
+		t.Fatalf("OnlyA = %d examples, want 2: %v", len(d.OnlyA), d.OnlyA)
+	}
+	if len(d.OnlyB) != 0 {
+		t.Errorf("OnlyB = %v, want none (b ⊆ a)", d.OnlyB)
+	}
+	for _, e := range d.OnlyA {
+		if tot := e.Assoc.Get("Orders.total"); !tot.Equal(value.Int(99)) && !tot.Equal(value.Int(15)) {
+			t.Errorf("unexpected witness: %v", e.Assoc)
+		}
+	}
+	// Limit caps the witnesses.
+	d1, err := DistinguishingExamples(a, b, in, 1)
+	if err != nil || len(d1.OnlyA) != 1 {
+		t.Errorf("limit not applied: %v, %v", d1.OnlyA, err)
+	}
+	// Different targets error.
+	other := NewMapping("x", schema.NewRelation("Other", schema.Attribute{Name: "y"}))
+	if _, err := DistinguishingExamples(a, other, in, 0); err == nil {
+		t.Error("different targets should fail")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping().WithSourceFilter(expr.MustParse("Shipments.day IS NOT NULL"))
+	out, err := RemoveNode(m, "Shipments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Graph.HasNode("Shipments") {
+		t.Error("node not removed")
+	}
+	if _, ok := out.CorrFor("shipped"); ok {
+		t.Error("dependent correspondence not removed")
+	}
+	if len(out.SourceFilters) != 0 {
+		t.Errorf("dependent filter not removed: %v", out.SourceFilters)
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// The original is untouched.
+	if !m.Graph.HasNode("Shipments") || len(m.SourceFilters) != 1 {
+		t.Error("RemoveNode mutated input")
+	}
+	// Errors.
+	if _, err := RemoveNode(m, "Nope"); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if _, err := RemoveNode(m, "Orders"); err == nil {
+		t.Error("internal node should fail (degree 2)")
+	}
+	single := NewMapping("s", targetRel())
+	single.Graph.MustAddNode("Orders", "Orders")
+	if _, err := RemoveNode(single, "Orders"); err == nil {
+		t.Error("last node should fail")
+	}
+}
+
+func TestRelabelEdge(t *testing.T) {
+	in := fixtureInstance()
+	k := discovery.NewKnowledge()
+	k.AddUserEdge(schema.Col("Orders", "cid"), schema.Col("Customers", "cid"))
+	k.AddUserEdge(schema.Col("Orders", "oid"), schema.Col("Customers", "cid"))
+	m := fixtureMapping()
+	alts, err := RelabelEdge(m, k, "Orders", "Customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Current label is cid=cid; the oid=cid candidate is the only
+	// alternative.
+	if len(alts) != 1 {
+		t.Fatalf("alternatives = %v", alts)
+	}
+	if !strings.Contains(alts[0].Label, "Orders.oid = Customers.cid") {
+		t.Errorf("label = %q", alts[0].Label)
+	}
+	if err := alts[0].Mapping.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// The relabeled mapping produces different rows.
+	r1, _ := m.Evaluate(in)
+	r2, _ := alts[0].Mapping.Evaluate(in)
+	if r1.EqualSet(r2) {
+		t.Error("relabeled mapping should differ")
+	}
+	// Errors.
+	if _, err := RelabelEdge(m, k, "Orders", "Shipments"); err != nil {
+		t.Errorf("no candidates is fine (empty): %v", err)
+	}
+	if _, err := RelabelEdge(m, k, "Orders", "Nope"); err == nil {
+		t.Error("unknown edge should fail")
+	}
+}
+
+func TestRelabelEdgeWithCopies(t *testing.T) {
+	// Relabeling works on aliased copies: the knowledge speaks in base
+	// relations but the predicate is qualified with the copy name.
+	k := discovery.NewKnowledge()
+	k.AddUserEdge(schema.Col("Orders", "cid"), schema.Col("Customers", "cid"))
+	k.AddUserEdge(schema.Col("Orders", "oid"), schema.Col("Customers", "cid"))
+	m := NewMapping("m", targetRel())
+	m.Graph.MustAddNode("Orders", "Orders")
+	m.Graph.MustAddNode("Customers2", "Customers")
+	m.Graph.MustAddEdge("Orders", "Customers2", expr.Equals("Orders.cid", "Customers2.cid"))
+	alts, err := RelabelEdge(m, k, "Orders", "Customers2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) != 1 || !strings.Contains(alts[0].Label, "Customers2.cid") {
+		t.Fatalf("alts = %v", alts)
+	}
+}
+
+func TestApplyTargetConstraints(t *testing.T) {
+	in := fixtureInstance()
+	m := fixtureMapping()
+	m.TargetFilters = nil
+
+	db := schema.NewDatabase()
+	db.MustAddRelation(targetRel())
+	db.AddNotNull("Report", "oid")
+	db.AddNotNull("Report", "customer")
+	db.AddNotNull("Other", "x") // foreign: ignored
+
+	out := ApplyTargetConstraints(m, db)
+	if len(out.TargetFilters) != 2 {
+		t.Fatalf("filters = %v", out.TargetFilters)
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: re-applying adds nothing.
+	again := ApplyTargetConstraints(out, db)
+	if len(again.TargetFilters) != 2 {
+		t.Errorf("re-apply duplicated filters: %v", again.TargetFilters)
+	}
+	// The derived filters drop uncovered associations: customers
+	// without orders vanish.
+	res, err := out.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range res.Tuples() {
+		if tp.Get("Report.customer").IsNull() || tp.Get("Report.oid").IsNull() {
+			t.Errorf("constraint-violating row survived: %v", tp)
+		}
+	}
+	// The input mapping is untouched.
+	if len(m.TargetFilters) != 0 {
+		t.Error("ApplyTargetConstraints mutated input")
+	}
+}
+
+func TestPerturbationScore(t *testing.T) {
+	m := fixtureMapping()
+	if got := PerturbationScore(m, m.Clone()); got != 0 {
+		t.Errorf("self score = %d", got)
+	}
+	bigger := m.WithSourceFilter(expr.MustParse("Orders.total > 1"))
+	if got := PerturbationScore(m, bigger); got != 1 {
+		t.Errorf("one filter = %d", got)
+	}
+	smaller, err := RemoveNode(m, "Shipments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node + edge + correspondence removed.
+	if got := PerturbationScore(m, smaller); got != 3 {
+		t.Errorf("leaf removal = %d, want 3", got)
+	}
+	// Symmetric.
+	if PerturbationScore(m, smaller) != PerturbationScore(smaller, m) {
+		t.Error("score should be symmetric")
+	}
+}

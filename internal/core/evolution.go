@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"clio/internal/fd"
+	"clio/internal/relation"
+)
+
+// This file implements continuous evolution of illustrations
+// (Section 5.3): when an operator turns M into M' with G an induced
+// subgraph of G', each old example is extended rather than replaced,
+// so the user keeps her place in familiar data.
+//
+// The key fact (provable from the antichain structure of D(G)): every
+// old data association d ∈ D(G) has at least one extension
+// d' ∈ D(G') whose projection onto the old scheme equals d exactly.
+// Evolve therefore maps each old example to its extensions, marks them
+// Inherited, and tops the result up to sufficiency with Fresh
+// examples.
+
+// Evolved is the result of evolving an illustration.
+type Evolved struct {
+	Illustration
+	// Extended counts old examples that found at least one extension.
+	Extended int
+	// Old is the number of old examples.
+	Old int
+	// Fresh counts examples added only to restore sufficiency.
+	Fresh int
+}
+
+// ContinuityRatio is Extended/Old (1.0 when every old example
+// survived; it always is when G is an induced subgraph of G' over the
+// same instance). NaN-free: an empty old illustration evolves with
+// ratio 1.
+func (e Evolved) ContinuityRatio() float64 {
+	if e.Old == 0 {
+		return 1
+	}
+	return float64(e.Extended) / float64(e.Old)
+}
+
+// Evolve computes the continuous evolution of oldIll under the new
+// mapping. The old mapping's query graph must be a subgraph of the new
+// one (node names and attributes are matched by qualified name).
+func Evolve(oldIll Illustration, newM *Mapping, in *relation.Instance) (Evolved, error) {
+	return EvolveFrom(oldIll, nil, newM, in)
+}
+
+// EvolveFrom is Evolve with an optional previously computed D(G) of
+// the old mapping: when the new graph extends the old one by a single
+// leaf (the walk/chase case), D(G′) is maintained incrementally with
+// one full outer join instead of recomputed (see fd.ExtendLeaf).
+func EvolveFrom(oldIll Illustration, oldDG *relation.Relation, newM *Mapping, in *relation.Instance) (Evolved, error) {
+	newDG, err := fd.ComputeIncremental(oldDG, oldIll.Mapping.Graph, newM.Graph, in)
+	if err != nil {
+		return Evolved{}, err
+	}
+	return EvolveOnDG(oldIll, newM, in, newDG)
+}
+
+// EvolveOnDG evolves an illustration given an already materialized
+// D(G′) of the new mapping (workspaces cache these).
+func EvolveOnDG(oldIll Illustration, newM *Mapping, in *relation.Instance, newDG *relation.Relation) (Evolved, error) {
+	oldScheme, err := fd.Scheme(oldIll.Mapping.Graph, in)
+	if err != nil {
+		return Evolved{}, err
+	}
+	newScheme, err := fd.Scheme(newM.Graph, in)
+	if err != nil {
+		return Evolved{}, err
+	}
+	for _, n := range oldScheme.Names() {
+		if !newScheme.Has(n) {
+			return Evolved{}, fmt.Errorf("core: evolution target lost attribute %q (old graph not a subgraph)", n)
+		}
+	}
+	full, err := ExamplesOn(newM, in, newDG)
+	if err != nil {
+		return Evolved{}, err
+	}
+
+	// Index old examples by their data association key; new
+	// associations are matched by projecting onto the old scheme via
+	// precomputed positions (KeyOn produces the same encoding as Key).
+	oldByKey := map[string]int{}
+	for i, e := range oldIll.Examples {
+		oldByKey[e.Assoc.Key()] = i
+	}
+	extended := make([]bool, len(oldIll.Examples))
+
+	out := Evolved{Illustration: Illustration{Mapping: newM}, Old: len(oldIll.Examples)}
+	chosen := make([]bool, len(full.Examples))
+	var projPos []int
+	if len(full.Examples) > 0 {
+		projPos = full.Examples[0].Assoc.Scheme().Positions(oldScheme.Names()...)
+	}
+	for i, e := range full.Examples {
+		if j, ok := oldByKey[e.Assoc.KeyOn(projPos)]; ok {
+			extended[j] = true
+			inherited := e
+			inherited.Inherited = true
+			out.Examples = append(out.Examples, inherited)
+			chosen[i] = true
+		}
+	}
+	for _, x := range extended {
+		if x {
+			out.Extended++
+		}
+	}
+
+	// Top up to sufficiency with fresh examples: greedy cover over the
+	// requirements not yet covered by the inherited examples.
+	reqs, covers := requirementsOf(newM, full.Examples)
+	covered := map[string]bool{}
+	for i := range full.Examples {
+		if chosen[i] {
+			for _, k := range covers[i] {
+				covered[k] = true
+			}
+		}
+	}
+	uncovered := 0
+	for k := range reqs {
+		if !covered[k] {
+			uncovered++
+		}
+	}
+	for uncovered > 0 {
+		best, bestGain := -1, 0
+		for i := range full.Examples {
+			if chosen[i] {
+				continue
+			}
+			gain := 0
+			for _, k := range covers[i] {
+				if !covered[k] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		out.Examples = append(out.Examples, full.Examples[best])
+		out.Fresh++
+		for _, k := range covers[best] {
+			if !covered[k] {
+				covered[k] = true
+				uncovered--
+			}
+		}
+	}
+	return out, nil
+}

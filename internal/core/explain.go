@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain narrates the mapping in plain English — the textual
+// counterpart of the understanding the paper builds through examples:
+// which relations are combined and how, what lands in each target
+// attribute, and which rows are kept or trimmed. Meant for display
+// next to illustrations.
+func (m *Mapping) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mapping %q populates %s.\n", m.Name, m.Target.Name)
+
+	// Data linking.
+	nodes := m.Graph.Nodes()
+	switch len(nodes) {
+	case 0:
+		b.WriteString("No source relations are linked yet.\n")
+	case 1:
+		fmt.Fprintf(&b, "Rows come from %s alone.\n", describeNode(m, nodes[0]))
+	default:
+		fmt.Fprintf(&b, "Rows combine %d source relations:\n", len(nodes))
+		for _, e := range m.Graph.Edges() {
+			fmt.Fprintf(&b, "  - %s pairs with %s when %s\n",
+				describeNode(m, e.A), describeNode(m, e.B), e.Label())
+		}
+		b.WriteString("Tuples that find no partner are kept and padded with nulls\n")
+		b.WriteString("(outer-join semantics over all maximal combinations).\n")
+	}
+
+	// Correspondences.
+	if len(m.Corrs) > 0 {
+		b.WriteString("Target values:\n")
+		for _, a := range m.Target.Attrs {
+			c, ok := m.CorrFor(a.Name)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  - %s.%s := %s\n", m.Target.Name, a.Name, c.Expr)
+		}
+	}
+	unmapped := unmappedAttrs(m)
+	if len(unmapped) > 0 {
+		fmt.Fprintf(&b, "Still unmapped (always null): %s.\n", strings.Join(unmapped, ", "))
+	}
+
+	// Trimming.
+	for _, f := range m.SourceFilters {
+		fmt.Fprintf(&b, "Source rows are kept only when %s.\n", f)
+	}
+	for _, f := range m.TargetFilters {
+		fmt.Fprintf(&b, "Target rows are kept only when %s.\n", f)
+	}
+	if len(m.SourceFilters)+len(m.TargetFilters) == 0 {
+		b.WriteString("No trimming filters: every data association reaches the target.\n")
+	}
+	return b.String()
+}
+
+func describeNode(m *Mapping, name string) string {
+	n, _ := m.Graph.Node(name)
+	if n.Base != n.Name {
+		return fmt.Sprintf("%s (a second copy of %s)", n.Name, n.Base)
+	}
+	return n.Name
+}
+
+func unmappedAttrs(m *Mapping) []string {
+	var out []string
+	for _, a := range m.Target.Attrs {
+		if _, ok := m.CorrFor(a.Name); !ok {
+			out = append(out, a.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExplainDiff narrates how mapping b differs from mapping a — the
+// companion to DistinguishingExamples for scenario selection.
+func ExplainDiff(a, b *Mapping) string {
+	d := Diff(a, b)
+	if d.Empty() {
+		return "The two mappings are structurally identical.\n"
+	}
+	var lines []string
+	for _, e := range d.EdgesOnlyA {
+		lines = append(lines, fmt.Sprintf("only the first links %s", e))
+	}
+	for _, e := range d.EdgesOnlyB {
+		lines = append(lines, fmt.Sprintf("only the second links %s", e))
+	}
+	for _, n := range d.NodesOnlyA {
+		lines = append(lines, fmt.Sprintf("only the first reads %s", n))
+	}
+	for _, n := range d.NodesOnlyB {
+		lines = append(lines, fmt.Sprintf("only the second reads %s", n))
+	}
+	for _, c := range d.CorrsOnlyA {
+		lines = append(lines, fmt.Sprintf("only the first computes %s", c))
+	}
+	for _, c := range d.CorrsOnlyB {
+		lines = append(lines, fmt.Sprintf("only the second computes %s", c))
+	}
+	for _, f := range d.SourceOnlyA {
+		lines = append(lines, fmt.Sprintf("only the first keeps rows where %s", f))
+	}
+	for _, f := range d.SourceOnlyB {
+		lines = append(lines, fmt.Sprintf("only the second keeps rows where %s", f))
+	}
+	for _, f := range d.TargetOnlyA {
+		lines = append(lines, fmt.Sprintf("only the first requires %s", f))
+	}
+	for _, f := range d.TargetOnlyB {
+		lines = append(lines, fmt.Sprintf("only the second requires %s", f))
+	}
+	return "The mappings differ: " + strings.Join(lines, "; ") + ".\n"
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clio/internal/algebra"
+	"clio/internal/expr"
+	"clio/internal/fd"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+)
+
+// This file makes the paper's Section 3.4 claim executable: "this
+// mapping representation can be used to represent arbitrary
+// combinations of join and outer join queries". Following
+// Galindo-Legaria's outerjoins-as-disjunctions result, a join /
+// outer-join expression over a tree of strong binary predicates equals
+// a minimum union of inner-join terms:
+//
+//	e1 JOIN  e2  =  { l ∪ r : l ∈ T(e1), r ∈ T(e2), pred endpoints ∈ l, r }
+//	e1 LEFT  e2  =  join terms ∪ T(e1)
+//	e1 RIGHT e2  =  join terms ∪ T(e2)
+//	e1 FULL  e2  =  join terms ∪ T(e1) ∪ T(e2)
+//
+// and the query result is ⊕ over F(S) for each term S. Each term S is
+// exactly one mapping: the query graph induced on S with the source
+// filter "every relation of S is covered" — so the whole query is a
+// set of mappings whose results combine by minimum union, which is how
+// Clio populates a target from several mappings (Section 6.2).
+
+// JoinQuery is a join / outer-join expression tree over source
+// relations.
+type JoinQuery interface {
+	// relations appends the relation occurrences the expression reads.
+	relations(dst []string) []string
+	// terms computes the disjunction terms T(e): each a sorted set of
+	// occurrence names.
+	terms() [][]string
+	// plan builds the direct algebra plan for differential testing.
+	plan() algebra.Node
+	// edges appends the join edges used by the expression.
+	edges(dst []joinEdge) []joinEdge
+	// String renders the expression.
+	String() string
+}
+
+type joinEdge struct {
+	a, b string
+	pred expr.Expr
+}
+
+// Rel is a leaf: one relation occurrence.
+type Rel struct {
+	Name string // occurrence name (alias)
+	Base string // stored relation; empty means Name
+}
+
+// NewRel builds a leaf over a stored relation (alias = name).
+func NewRel(name string) Rel { return Rel{Name: name, Base: name} }
+
+func (r Rel) base() string {
+	if r.Base == "" {
+		return r.Name
+	}
+	return r.Base
+}
+
+func (r Rel) relations(dst []string) []string { return append(dst, r.Name) }
+func (r Rel) terms() [][]string               { return [][]string{{r.Name}} }
+func (r Rel) plan() algebra.Node              { return algebra.NewScan(r.base(), r.Name) }
+func (r Rel) edges(dst []joinEdge) []joinEdge { return dst }
+
+// String returns the occurrence name.
+func (r Rel) String() string { return r.Name }
+
+// JQJoin is a binary join node. The predicate must be a strong
+// predicate over one relation occurrence from each side (the paper's
+// query-graph edge shape).
+type JQJoin struct {
+	Kind algebra.JoinKind
+	L, R JoinQuery
+	// LRel and RRel name the occurrences the predicate connects.
+	LRel, RRel string
+	Pred       expr.Expr
+}
+
+// Inner builds an inner join.
+func Inner(l, r JoinQuery, lrel, rrel string, pred expr.Expr) JQJoin {
+	return JQJoin{Kind: algebra.InnerJoin, L: l, R: r, LRel: lrel, RRel: rrel, Pred: pred}
+}
+
+// Left builds a left outer join.
+func Left(l, r JoinQuery, lrel, rrel string, pred expr.Expr) JQJoin {
+	return JQJoin{Kind: algebra.LeftJoin, L: l, R: r, LRel: lrel, RRel: rrel, Pred: pred}
+}
+
+// Right builds a right outer join.
+func Right(l, r JoinQuery, lrel, rrel string, pred expr.Expr) JQJoin {
+	return JQJoin{Kind: algebra.RightJoin, L: l, R: r, LRel: lrel, RRel: rrel, Pred: pred}
+}
+
+// Full builds a full outer join.
+func Full(l, r JoinQuery, lrel, rrel string, pred expr.Expr) JQJoin {
+	return JQJoin{Kind: algebra.FullJoin, L: l, R: r, LRel: lrel, RRel: rrel, Pred: pred}
+}
+
+func (j JQJoin) relations(dst []string) []string {
+	return j.R.relations(j.L.relations(dst))
+}
+
+func (j JQJoin) terms() [][]string {
+	lt, rt := j.L.terms(), j.R.terms()
+	var joined [][]string
+	for _, l := range lt {
+		if !containsStr(l, j.LRel) {
+			continue
+		}
+		for _, r := range rt {
+			if !containsStr(r, j.RRel) {
+				continue
+			}
+			joined = append(joined, sortedUnion(l, r))
+		}
+	}
+	var out [][]string
+	out = append(out, joined...)
+	switch j.Kind {
+	case algebra.LeftJoin:
+		out = append(out, lt...)
+	case algebra.RightJoin:
+		out = append(out, rt...)
+	case algebra.FullJoin:
+		out = append(out, lt...)
+		out = append(out, rt...)
+	}
+	return dedupTerms(out)
+}
+
+func (j JQJoin) plan() algebra.Node {
+	return algebra.Join{Kind: j.Kind, L: j.L.plan(), R: j.R.plan(), On: j.Pred}
+}
+
+func (j JQJoin) edges(dst []joinEdge) []joinEdge {
+	dst = j.L.edges(dst)
+	dst = j.R.edges(dst)
+	return append(dst, joinEdge{a: j.LRel, b: j.RRel, pred: j.Pred})
+}
+
+// String renders the join tree.
+func (j JQJoin) String() string {
+	return "(" + j.L.String() + " " + j.Kind.String() + " " + j.R.String() + " ON " + j.Pred.String() + ")"
+}
+
+// QueryGraphOf builds the query graph underlying a join query.
+func QueryGraphOf(q JoinQuery) (*graph.QueryGraph, error) {
+	g := graph.New()
+	for _, occ := range q.relations(nil) {
+		base := occ
+		if err := addOccurrence(g, q, occ, base); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range q.edges(nil) {
+		if err := g.AddEdge(e.a, e.b, e.pred); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func addOccurrence(g *graph.QueryGraph, q JoinQuery, occ, base string) error {
+	// Resolve the leaf to find its base relation.
+	var find func(JoinQuery) (Rel, bool)
+	find = func(n JoinQuery) (Rel, bool) {
+		switch v := n.(type) {
+		case Rel:
+			if v.Name == occ {
+				return v, true
+			}
+		case JQJoin:
+			if r, ok := find(v.L); ok {
+				return r, ok
+			}
+			if r, ok := find(v.R); ok {
+				return r, ok
+			}
+		}
+		return Rel{}, false
+	}
+	leaf, ok := find(q)
+	if !ok {
+		return fmt.Errorf("core: occurrence %q not found in join query", occ)
+	}
+	return g.AddNode(leaf.Name, leaf.base())
+}
+
+// CoveragePredicate builds the source filter "node is covered": at
+// least one of the node's attributes is non-null. Under the paper's
+// no-all-null-tuples assumption this holds exactly when the data
+// association involves a tuple of the node.
+func CoveragePredicate(g *graph.QueryGraph, in *relation.Instance, node string) (expr.Expr, error) {
+	n, ok := g.Node(node)
+	if !ok {
+		return nil, fmt.Errorf("core: no node %q", node)
+	}
+	r, err := in.Aliased(n.Base, n.Name)
+	if err != nil {
+		return nil, err
+	}
+	var disj expr.Expr
+	for _, qn := range r.Scheme().Names() {
+		atom := expr.IsNull{E: expr.Col{Name: qn}, Negate: true}
+		if disj == nil {
+			disj = atom
+		} else {
+			disj = expr.Bin{Op: expr.OpOr, L: disj, R: atom}
+		}
+	}
+	return disj, nil
+}
+
+// RepresentJoinQuery compiles a join / outer-join query into the
+// paper's mapping representation: one mapping per disjunction term,
+// each with the term's induced (connected) query graph and a source
+// filter demanding full coverage of the term. Correspondences are
+// identities over every attribute of the query, so the mappings'
+// minimum union reproduces the query's rows (CombineMappings).
+func RepresentJoinQuery(q JoinQuery, in *relation.Instance, targetName string) ([]*Mapping, error) {
+	g, err := QueryGraphOf(q)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fd.Scheme(g, in)
+	if err != nil {
+		return nil, err
+	}
+	// The shared target: one attribute per source attribute.
+	attrs := make([]schema.Attribute, s.Arity())
+	for i, qn := range s.Names() {
+		attrs[i] = schema.Attribute{Name: flatten(qn)}
+	}
+	target := schema.NewRelation(targetName, attrs...)
+
+	var out []*Mapping
+	for i, term := range q.terms() {
+		sub := g.Induced(term)
+		if !sub.Connected() {
+			return nil, fmt.Errorf("core: term %v does not induce a connected subgraph", term)
+		}
+		m := NewMapping(fmt.Sprintf("%s_term%d", targetName, i), target)
+		m.Graph = sub
+		// Identities for the term's attributes; other target
+		// attributes stay unmapped (null).
+		termScheme, err := fd.Scheme(sub, in)
+		if err != nil {
+			return nil, err
+		}
+		for _, qn := range termScheme.Names() {
+			m.Corrs = append(m.Corrs, Identity(qn, schema.Col(targetName, flatten(qn))))
+		}
+		// Full coverage of the term.
+		for _, node := range term {
+			p, err := CoveragePredicate(sub, in, node)
+			if err != nil {
+				return nil, err
+			}
+			m.SourceFilters = append(m.SourceFilters, p)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// CombineMappings evaluates a set of mappings onto their shared target
+// and combines the results by minimum union — how Clio materializes a
+// target populated by several mappings.
+func CombineMappings(in *relation.Instance, ms []*Mapping) (*relation.Relation, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("core: no mappings to combine")
+	}
+	rels := make([]*relation.Relation, len(ms))
+	for i, m := range ms {
+		r, err := m.Evaluate(in)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	out := relation.MinimumUnionAll(ms[0].Target.Name, rels...)
+	return out, nil
+}
+
+// EvaluateJoinQuery runs the query directly through the algebra; the
+// reference for the representation theorem tests.
+func EvaluateJoinQuery(q JoinQuery, in *relation.Instance) (*relation.Relation, error) {
+	return q.plan().Eval(in)
+}
+
+// flatten turns a qualified name into a target attribute name
+// (Children.ID → Children_ID).
+func flatten(qualified string) string {
+	return strings.ReplaceAll(qualified, ".", "_")
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedUnion(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupTerms(ts [][]string) [][]string {
+	seen := map[string]bool{}
+	var out [][]string
+	for _, t := range ts {
+		s := append([]string(nil), t...)
+		sort.Strings(s)
+		k := strings.Join(s, ",")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clio/internal/algebra"
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// jqInstance builds k relations R0..R(k-1), each with a key column and
+// a payload, sharing a small key space so joins hit and miss.
+func jqInstance(k, rows int, rng *rand.Rand) *relation.Instance {
+	sch := schema.NewDatabase()
+	for i := 0; i < k; i++ {
+		sch.MustAddRelation(schema.NewRelation(fmt.Sprintf("R%d", i),
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindInt},
+		))
+	}
+	in := relation.NewInstance(sch)
+	for i := 0; i < k; i++ {
+		r := in.NewRelationFor(fmt.Sprintf("R%d", i))
+		for j := 0; j < rows; j++ {
+			r.AddValues(value.Int(int64(rng.Intn(4))), value.Int(int64(i*100+j)))
+		}
+		in.MustAdd(r)
+	}
+	return in
+}
+
+// randomJoinQuery builds a random join tree over R0..R(k-1): node i
+// joins into the accumulated expression through a random prior
+// relation, with a random join kind.
+func randomJoinQuery(k int, rng *rand.Rand) JoinQuery {
+	var q JoinQuery = NewRel("R0")
+	kinds := []func(l, r JoinQuery, lrel, rrel string, pred expr.Expr) JQJoin{Inner, Left, Right, Full}
+	for i := 1; i < k; i++ {
+		prior := fmt.Sprintf("R%d", rng.Intn(i))
+		next := fmt.Sprintf("R%d", i)
+		pred := expr.Equals(prior+".k", next+".k")
+		kind := kinds[rng.Intn(len(kinds))]
+		q = kind(q, NewRel(next), prior, next, pred)
+	}
+	return q
+}
+
+// flattenRename renames a query result's qualified columns to the
+// flattened target attribute names, qualified by the target name.
+func flattenRename(r *relation.Relation, target string) *relation.Relation {
+	rename := map[string]string{}
+	for _, qn := range r.Scheme().Names() {
+		rename[qn] = target + "." + flatten(qn)
+	}
+	return r.Rename(target, rename)
+}
+
+// TestRepresentationTheorem is the paper's Section 3.4 claim: every
+// combination of joins and outer joins is representable as a set of
+// mappings whose minimum union reproduces the query.
+func TestRepresentationTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 120; trial++ {
+		k := 2 + rng.Intn(3) // 2..4 relations
+		in := jqInstance(k, 1+rng.Intn(4), rng)
+		q := randomJoinQuery(k, rng)
+
+		direct, err := EvaluateJoinQuery(q, in)
+		if err != nil {
+			t.Fatalf("trial %d: direct eval: %v", trial, err)
+		}
+		ms, err := RepresentJoinQuery(q, in, "T")
+		if err != nil {
+			t.Fatalf("trial %d: represent %s: %v", trial, q, err)
+		}
+		for _, m := range ms {
+			if err := m.Validate(in); err != nil {
+				t.Fatalf("trial %d: term mapping invalid: %v", trial, err)
+			}
+		}
+		combined, err := CombineMappings(in, ms)
+		if err != nil {
+			t.Fatalf("trial %d: combine: %v", trial, err)
+		}
+		want := flattenRename(direct, "T").Distinct()
+		if !combined.EqualSet(want) {
+			t.Fatalf("trial %d: representation differs for %s\nquery: %v\nmappings: %v\n(terms %v)",
+				trial, q, want.Sorted(), combined.Sorted(), q.terms())
+		}
+	}
+}
+
+func TestJoinQueryTerms(t *testing.T) {
+	a, b, c := NewRel("A"), NewRel("B"), NewRel("C")
+	pab := expr.Equals("A.k", "B.k")
+	pbc := expr.Equals("B.k", "C.k")
+
+	cases := []struct {
+		q    JoinQuery
+		want []string // term keys
+	}{
+		{Inner(a, b, "A", "B", pab), []string{"A,B"}},
+		{Left(a, b, "A", "B", pab), []string{"A", "A,B"}},
+		{Right(a, b, "A", "B", pab), []string{"B", "A,B"}},
+		{Full(a, b, "A", "B", pab), []string{"A", "B", "A,B"}},
+		// A LEFT (B JOIN C): the case where σ over D(G) alone fails —
+		// terms are exactly {A}, {A,B,C}, never {A,B}.
+		{Left(a, Inner(b, c, "B", "C", pbc), "A", "B", pab), []string{"A", "A,B,C"}},
+		// (A FULL B) JOIN C on B–C: rows need B and C.
+		{Inner(Full(a, b, "A", "B", pab), c, "B", "C", pbc), []string{"B,C", "A,B,C"}},
+	}
+	for _, tc := range cases {
+		got := map[string]bool{}
+		for _, term := range tc.q.terms() {
+			got[strings.Join(term, ",")] = true
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: terms = %v, want %v", tc.q, got, tc.want)
+			continue
+		}
+		for _, w := range tc.want {
+			if !got[w] {
+				t.Errorf("%s: missing term %s (got %v)", tc.q, w, got)
+			}
+		}
+	}
+}
+
+func TestJoinQueryLeftInnerCounterexample(t *testing.T) {
+	// The concrete instance showing why A LEFT (B JOIN C) is NOT a
+	// selection over D(G): a joins b, b has no c. D(G) contains
+	// (a,b,null) and not (a,null,null), but the query produces
+	// (a,null,null). The term representation handles it.
+	sch := schema.NewDatabase()
+	for _, n := range []string{"A", "B", "C"} {
+		sch.MustAddRelation(schema.NewRelation(n, schema.Attribute{Name: "k", Type: value.KindInt}))
+	}
+	in := relation.NewInstance(sch)
+	ra := in.NewRelationFor("A")
+	ra.AddRow("1")
+	in.MustAdd(ra)
+	rb := in.NewRelationFor("B")
+	rb.AddRow("1")
+	in.MustAdd(rb)
+	rc := in.NewRelationFor("C") // empty: b never matches c
+	in.MustAdd(rc)
+
+	q := Left(NewRel("A"), Inner(NewRel("B"), NewRel("C"), "B", "C", expr.Equals("B.k", "C.k")),
+		"A", "B", expr.Equals("A.k", "B.k"))
+	direct, err := EvaluateJoinQuery(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Len() != 1 {
+		t.Fatalf("direct = %v", direct)
+	}
+	if !direct.At(0).Get("B.k").IsNull() {
+		t.Fatalf("query should pad B and C: %v", direct.At(0))
+	}
+	ms, err := RepresentJoinQuery(q, in, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := CombineMappings(in, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !combined.EqualSet(flattenRename(direct, "T")) {
+		t.Fatalf("representation differs:\n%v\nvs\n%v", combined, direct)
+	}
+}
+
+func TestQueryGraphOf(t *testing.T) {
+	q := Left(NewRel("A"), Inner(NewRel("B"), NewRel("C"), "B", "C", expr.Equals("B.k", "C.k")),
+		"A", "B", expr.Equals("A.k", "B.k"))
+	g, err := QueryGraphOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 3 || !g.IsTree() {
+		t.Errorf("graph = %v", g)
+	}
+	if _, ok := g.EdgeBetween("A", "B"); !ok {
+		t.Error("A—B edge missing")
+	}
+}
+
+func TestJoinQueryAliases(t *testing.T) {
+	// Two copies of the same base relation: Parents and Parents2.
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("C",
+		schema.Attribute{Name: "m", Type: value.KindInt},
+		schema.Attribute{Name: "f", Type: value.KindInt}))
+	sch.MustAddRelation(schema.NewRelation("P",
+		schema.Attribute{Name: "id", Type: value.KindInt},
+		schema.Attribute{Name: "aff", Type: value.KindString}))
+	in := relation.NewInstance(sch)
+	rc := in.NewRelationFor("C")
+	rc.AddRow("1", "2")
+	in.MustAdd(rc)
+	rp := in.NewRelationFor("P")
+	rp.AddRow("1", "x")
+	rp.AddRow("2", "y")
+	in.MustAdd(rp)
+
+	q := Left(
+		Left(NewRel("C"), Rel{Name: "P", Base: "P"}, "C", "P", expr.Equals("C.m", "P.id")),
+		Rel{Name: "P2", Base: "P"}, "C", "P2", expr.Equals("C.f", "P2.id"))
+	direct, err := EvaluateJoinQuery(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Len() != 1 {
+		t.Fatalf("direct = %v", direct)
+	}
+	tp := direct.At(0)
+	if tp.Get("P.aff").String() != "x" || tp.Get("P2.aff").String() != "y" {
+		t.Errorf("copies wrong: %v", tp)
+	}
+	ms, err := RepresentJoinQuery(q, in, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := CombineMappings(in, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !combined.EqualSet(flattenRename(direct, "T")) {
+		t.Error("alias representation differs")
+	}
+}
+
+func TestCoveragePredicate(t *testing.T) {
+	in := jqInstance(2, 2, rand.New(rand.NewSource(1)))
+	q := Full(NewRel("R0"), NewRel("R1"), "R0", "R1", expr.Equals("R0.k", "R1.k"))
+	g, err := QueryGraphOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CoveragePredicate(g, in, "R0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := relation.NewScheme("R0.k", "R0.v", "R1.k", "R1.v")
+	covered := relation.NewTuple(s, value.Int(1), value.Int(2), value.Null, value.Null)
+	uncovered := relation.NewTuple(s, value.Null, value.Null, value.Int(1), value.Int(2))
+	if expr.Truth(p, covered) != value.True {
+		t.Error("covered tuple should satisfy")
+	}
+	if expr.Truth(p, uncovered) != value.False {
+		t.Error("uncovered tuple should fail")
+	}
+	if _, err := CoveragePredicate(g, in, "Nope"); err == nil {
+		t.Error("unknown node should fail")
+	}
+}
+
+func TestCombineMappingsErrors(t *testing.T) {
+	if _, err := CombineMappings(nil, nil); err == nil {
+		t.Error("empty mapping set should fail")
+	}
+}
+
+func TestJoinQueryPlanSQL(t *testing.T) {
+	q := Left(NewRel("A"), NewRel("B"), "A", "B", expr.Equals("A.k", "B.k"))
+	if !strings.Contains(q.String(), "LEFT JOIN") {
+		t.Errorf("String = %q", q.String())
+	}
+	if !strings.Contains(q.plan().SQL(), "LEFT JOIN") {
+		t.Errorf("plan SQL = %q", q.plan().SQL())
+	}
+	_ = algebra.InnerJoin
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// This file implements the mapping operators of Section 5. Every
+// operator is non-destructive: it returns new mappings, leaving the
+// input untouched, so workspaces can hold alternatives side by side.
+
+// --- Data trimming operators (Section 5, "data trimming operators") ---
+
+// WithSourceFilter returns a copy of m with an added C_S predicate.
+func (m *Mapping) WithSourceFilter(p expr.Expr) *Mapping {
+	out := m.Clone()
+	out.SourceFilters = append(out.SourceFilters, p)
+	return out
+}
+
+// WithoutSourceFilter returns a copy of m with the i-th C_S predicate
+// removed; out of range is a no-op copy.
+func (m *Mapping) WithoutSourceFilter(i int) *Mapping {
+	out := m.Clone()
+	if i >= 0 && i < len(out.SourceFilters) {
+		out.SourceFilters = append(out.SourceFilters[:i:i], out.SourceFilters[i+1:]...)
+	}
+	return out
+}
+
+// WithTargetFilter returns a copy of m with an added C_T predicate.
+func (m *Mapping) WithTargetFilter(p expr.Expr) *Mapping {
+	out := m.Clone()
+	out.TargetFilters = append(out.TargetFilters, p)
+	return out
+}
+
+// WithoutTargetFilter returns a copy of m with the i-th C_T predicate
+// removed; out of range is a no-op copy.
+func (m *Mapping) WithoutTargetFilter(i int) *Mapping {
+	out := m.Clone()
+	if i >= 0 && i < len(out.TargetFilters) {
+		out.TargetFilters = append(out.TargetFilters[:i:i], out.TargetFilters[i+1:]...)
+	}
+	return out
+}
+
+// --- Correspondence operators ---
+
+// WithCorrespondence returns a copy of m with the correspondence
+// added. It fails if the target attribute is already mapped (the
+// workspace layer turns that case into a new alternative mapping,
+// Example 6.2) or if the correspondence reads relations outside the
+// query graph (use AddCorrespondence to walk to them).
+func (m *Mapping) WithCorrespondence(c Correspondence) (*Mapping, error) {
+	if _, dup := m.CorrFor(c.Target.Attr); dup {
+		return nil, fmt.Errorf("core: target attribute %s already mapped", c.Target)
+	}
+	for _, rel := range c.SourceRelations() {
+		if !m.Graph.HasNode(rel) {
+			return nil, fmt.Errorf("core: correspondence reads %q which is not in the query graph", rel)
+		}
+	}
+	out := m.Clone()
+	out.Corrs = append(out.Corrs, c)
+	return out, nil
+}
+
+// WithoutCorrespondence returns a copy of m with the correspondence
+// for the named target attribute removed.
+func (m *Mapping) WithoutCorrespondence(attr string) *Mapping {
+	out := m.Clone()
+	keep := out.Corrs[:0]
+	for _, c := range out.Corrs {
+		if c.Target.Attr != attr {
+			keep = append(keep, c)
+		}
+	}
+	out.Corrs = keep
+	return out
+}
+
+// --- Data walk (Section 5.1) ---
+
+// WalkOption is one alternative produced by a data walk: a new mapping
+// whose query graph is G ∪ G' for one inferred path G'.
+type WalkOption struct {
+	Mapping *Mapping
+	// Path is the knowledge path the extension follows.
+	Path discovery.Path
+	// EndNode is the graph node name for the walk's end relation
+	// (a fresh copy name when the base was already taken).
+	EndNode string
+	// Copies is how many relation copies the extension introduced.
+	Copies int
+}
+
+// Describe renders the option for display.
+func (w WalkOption) Describe() string {
+	return fmt.Sprintf("via %s (end node %s, %d copies)", w.Path, w.EndNode, w.Copies)
+}
+
+// DataWalk implements the walk operator: it enumerates knowledge paths
+// from the start node's base relation to the end base relation, turns
+// each into a query-graph extension (introducing relation copies
+// whenever a path edge would conflict with an existing edge label,
+// per the paper's walks() conditions), and returns one new mapping per
+// viable extension. Options are ranked by path length, then by copies
+// introduced, then lexicographically.
+func DataWalk(m *Mapping, k *discovery.Knowledge, startNode, endBase string, maxLen int) ([]WalkOption, error) {
+	start, ok := m.Graph.Node(startNode)
+	if !ok {
+		return nil, fmt.Errorf("core: walk start %q is not in the query graph", startNode)
+	}
+	paths := k.Paths(start.Base, endBase, maxLen)
+	var out []WalkOption
+	seen := map[string]bool{}
+	for _, p := range paths {
+		opt, ok := applyPath(m, startNode, p)
+		if !ok {
+			continue
+		}
+		sig := graphSignature(opt.Mapping.Graph)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, opt)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Path) != len(out[j].Path) {
+			return len(out[i].Path) < len(out[j].Path)
+		}
+		if out[i].Copies != out[j].Copies {
+			return out[i].Copies < out[j].Copies
+		}
+		return out[i].Path.String() < out[j].Path.String()
+	})
+	return out, nil
+}
+
+// applyPath extends m's graph along one knowledge path, returning the
+// new mapping. The walk starts at an existing node; each subsequent
+// base relation is mapped to a node name: an existing node is reused
+// only when the path edge coincides with the graph's edge (same
+// endpoints, same label) — otherwise a fresh copy is introduced
+// (paper Section 5.1, Figure 11's Parents2).
+func applyPath(m *Mapping, startNode string, p discovery.Path) (WalkOption, bool) {
+	g := m.Graph.Clone()
+	cur := startNode
+	curBase, _ := g.Node(startNode)
+	base := curBase.Base
+	copies := 0
+	for _, e := range p {
+		// Orient the edge: fromSide qualifies cur, toSide the next.
+		fromCol, toCol := e.From, e.To
+		if fromCol.Relation != base {
+			fromCol, toCol = toCol, fromCol
+		}
+		if fromCol.Relation != base {
+			return WalkOption{}, false // path does not continue from cur
+		}
+		nextBase := toCol.Relation
+		nextName, isNew := chooseNodeName(g, cur, nextBase, fromCol, toCol)
+		if isNew && nextName != nextBase {
+			copies++
+		}
+		g.MustAddNode(nextName, nextBase)
+		pred := expr.Equals(cur+"."+fromCol.Attr, nextName+"."+toCol.Attr)
+		if _, exists := g.EdgeBetween(cur, nextName); !exists {
+			g.MustAddEdge(cur, nextName, pred)
+		}
+		cur, base = nextName, nextBase
+	}
+	out := m.Clone()
+	out.Graph = g
+	return WalkOption{Mapping: out, Path: p, EndNode: cur, Copies: copies}, true
+}
+
+// chooseNodeName picks the graph node for the next base relation on a
+// walk: reuse an existing same-base node when the walk edge coincides
+// with an existing edge label from cur (or no edge exists between cur
+// and it yet and the node was introduced by this very walk); otherwise
+// mint a fresh copy name (Base2, Base3, ...). isNew reports whether
+// the node does not yet exist.
+func chooseNodeName(g *graph.QueryGraph, cur, nextBase string, fromCol, toCol schema.ColumnRef) (name string, isNew bool) {
+	// An equality edge matches in either orientation.
+	want1 := expr.Equals(cur+"."+fromCol.Attr, nextBase+"."+toCol.Attr).String()
+	want2 := expr.Equals(nextBase+"."+toCol.Attr, cur+"."+fromCol.Attr).String()
+	if n, ok := g.Node(nextBase); ok && n.Base == nextBase {
+		if e, ok := g.EdgeBetween(cur, nextBase); ok && (e.Label() == want1 || e.Label() == want2) {
+			return nextBase, false
+		}
+		// Existing node but the edge would be new or relabeled:
+		// introduce a copy (the paper's validity condition).
+		return freshCopyName(g, nextBase), true
+	}
+	if !g.HasNode(nextBase) {
+		return nextBase, true
+	}
+	// Name taken by a node of a different base: mint a copy name.
+	return freshCopyName(g, nextBase), true
+}
+
+// freshCopyName returns base2, base3, ... — the first unused copy name.
+func freshCopyName(g *graph.QueryGraph, base string) string {
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s%d", base, i)
+		if !g.HasNode(name) {
+			return name
+		}
+	}
+}
+
+// graphSignature canonically encodes a graph for deduplication.
+// Equality conjuncts are orientation-normalized so that
+// "A.x = B.y" and "B.y = A.x" signatures coincide.
+func graphSignature(g *graph.QueryGraph) string {
+	nodes := g.Nodes()
+	sort.Strings(nodes)
+	var edges []string
+	for _, e := range g.Edges() {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, a+"~"+b+"~"+canonicalLabel(e.Pred))
+	}
+	sort.Strings(edges)
+	return strings.Join(nodes, ",") + "|" + strings.Join(edges, ";")
+}
+
+// canonicalLabel renders a predicate with each equality conjunct's
+// operands in lexicographic order and the conjuncts sorted.
+func canonicalLabel(p expr.Expr) string {
+	var conjuncts []string
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		if b, ok := e.(expr.Bin); ok {
+			switch b.Op {
+			case expr.OpAnd:
+				walk(b.L)
+				walk(b.R)
+				return
+			case expr.OpEq:
+				l, r := b.L.String(), b.R.String()
+				if l > r {
+					l, r = r, l
+				}
+				conjuncts = append(conjuncts, l+" = "+r)
+				return
+			}
+		}
+		conjuncts = append(conjuncts, e.String())
+	}
+	walk(p)
+	sort.Strings(conjuncts)
+	return strings.Join(conjuncts, " AND ")
+}
+
+// --- AddCorrespondence (Section 5, "correspondence operators") ---
+
+// AddCorrespondence adds a value correspondence, inferring graph
+// extensions when the correspondence reads relations outside the
+// current query graph (the Section 2 scenario for v3: Clio shows the
+// mid and fid alternatives). It returns one mapping per alternative;
+// when the source relations are already present, exactly one mapping
+// is returned. If an extension ends in a relation copy, the
+// correspondence is rewritten to read the copy.
+func AddCorrespondence(m *Mapping, k *discovery.Knowledge, c Correspondence, maxLen int) ([]*Mapping, error) {
+	var missing []string
+	for _, rel := range c.SourceRelations() {
+		if !m.Graph.HasNode(rel) {
+			missing = append(missing, rel)
+		}
+	}
+	switch len(missing) {
+	case 0:
+		out, err := m.WithCorrespondence(c)
+		if err != nil {
+			return nil, err
+		}
+		return []*Mapping{out}, nil
+	case 1:
+		// Walk from every existing node to the missing base; gather
+		// distinct alternatives.
+		if m.Graph.NodeCount() == 0 {
+			// Empty graph: seed it with the missing relation alone.
+			out := m.Clone()
+			out.Graph.MustAddNode(missing[0], missing[0])
+			return attachCorr(out, missing[0], missing[0], c)
+		}
+		var alts []*Mapping
+		seen := map[string]bool{}
+		for _, start := range m.Graph.Nodes() {
+			opts, err := DataWalk(m, k, start, missing[0], maxLen)
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range opts {
+				withCorr, err := attachCorr(o.Mapping, missing[0], o.EndNode, c)
+				if err != nil {
+					return nil, err
+				}
+				for _, a := range withCorr {
+					sig := graphSignature(a.Graph)
+					if !seen[sig] {
+						seen[sig] = true
+						alts = append(alts, a)
+					}
+				}
+			}
+		}
+		if len(alts) == 0 {
+			return nil, fmt.Errorf("core: no walk found to relation %q (is it in the join knowledge?)", missing[0])
+		}
+		return alts, nil
+	default:
+		return nil, fmt.Errorf("core: correspondence reads %d unmapped relations %v; add them one at a time", len(missing), missing)
+	}
+}
+
+// attachCorr rewrites c to read endNode instead of missingBase (when a
+// copy was introduced) and appends it to m.
+func attachCorr(m *Mapping, missingBase, endNode string, c Correspondence) ([]*Mapping, error) {
+	cc := c
+	if endNode != missingBase {
+		cc.Expr = expr.RenameQualifiers(c.Expr, map[string]string{missingBase: endNode})
+	}
+	out, err := m.WithCorrespondence(cc)
+	if err != nil {
+		return nil, err
+	}
+	return []*Mapping{out}, nil
+}
+
+// --- Data chase (Section 5.2) ---
+
+// ChaseOption is one alternative produced by a data chase: the mapping
+// extended with a single equijoin edge from the chased column to an
+// occurrence of the chased value elsewhere in the source.
+type ChaseOption struct {
+	Mapping *Mapping
+	// From is the chased column (node-qualified).
+	From schema.ColumnRef
+	// To is the discovered column (base-qualified; its node name in
+	// the new graph equals its relation name).
+	To schema.ColumnRef
+	// Count is how many times the value occurs in To.
+	Count int
+}
+
+// Describe renders the option for display.
+func (c ChaseOption) Describe() string {
+	return fmt.Sprintf("%s = %s (%d occurrence(s))", c.From, c.To, c.Count)
+}
+
+// DataChase implements the chase operator: given a value v of a
+// column Q.A of some graph node Q, it finds every occurrence of v in
+// relations not referenced by the mapping, and for each occurrence
+// R.B returns the mapping extended with node R and edge Q.A = R.B.
+func DataChase(m *Mapping, ix *discovery.ValueIndex, fromCol string, v value.Value) ([]ChaseOption, error) {
+	ref, err := schema.ParseColumnRef(fromCol)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m.Graph.Node(ref.Relation); !ok {
+		return nil, fmt.Errorf("core: chase column %q is not on a query-graph node", fromCol)
+	}
+	if v.IsNull() {
+		return nil, fmt.Errorf("core: cannot chase the null value")
+	}
+	referenced := map[string]bool{}
+	for _, n := range m.Graph.Nodes() {
+		gn, _ := m.Graph.Node(n)
+		referenced[gn.Base] = true
+	}
+	var out []ChaseOption
+	for _, occ := range ix.Occurrences(v) {
+		if referenced[occ.Column.Relation] {
+			continue
+		}
+		ext := m.Clone()
+		ext.Graph.MustAddNode(occ.Column.Relation, occ.Column.Relation)
+		ext.Graph.MustAddEdge(ref.Relation, occ.Column.Relation,
+			expr.Equals(fromCol, occ.Column.String()))
+		out = append(out, ChaseOption{
+			Mapping: ext,
+			From:    ref,
+			To:      occ.Column,
+			Count:   occ.Count,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].To.String() < out[j].To.String()
+	})
+	return out, nil
+}

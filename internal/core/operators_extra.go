@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/schema"
+)
+
+// Additional data-linking operators (the paper defers these to its
+// full version [17]): shrinking a query graph back (undoing a walk or
+// chase) and relabeling an edge with an alternative join condition
+// from the knowledge base (the Figure 3 mid/fid switch, applied to an
+// existing graph).
+
+// RemoveNode returns a copy of m without the named leaf node: the node
+// is dropped along with its edge, every correspondence reading it, and
+// every filter mentioning it. Only leaves (degree ≤ 1) can be removed,
+// so the graph stays connected — removal is the inverse of a walk's
+// final step or a chase.
+func RemoveNode(m *Mapping, node string) (*Mapping, error) {
+	if !m.Graph.HasNode(node) {
+		return nil, fmt.Errorf("core: no node %q to remove", node)
+	}
+	if deg := len(m.Graph.Neighbors(node)); deg > 1 {
+		return nil, fmt.Errorf("core: node %q has degree %d; only leaves can be removed", node, deg)
+	}
+	if m.Graph.NodeCount() == 1 {
+		return nil, fmt.Errorf("core: cannot remove the last node")
+	}
+	out := m.Clone()
+	var keep []string
+	for _, n := range out.Graph.Nodes() {
+		if n != node {
+			keep = append(keep, n)
+		}
+	}
+	out.Graph = out.Graph.Induced(keep)
+
+	var corrs []Correspondence
+	for _, c := range out.Corrs {
+		reads := false
+		for _, rel := range c.SourceRelations() {
+			if rel == node {
+				reads = true
+			}
+		}
+		if !reads {
+			corrs = append(corrs, c)
+		}
+	}
+	out.Corrs = corrs
+	out.SourceFilters = filtersWithout(out.SourceFilters, node)
+	return out, nil
+}
+
+func filtersWithout(fs []expr.Expr, node string) []expr.Expr {
+	var out []expr.Expr
+	for _, f := range fs {
+		mentions := false
+		for _, col := range f.Columns(nil) {
+			if ref, err := schema.ParseColumnRef(col); err == nil && ref.Relation == node {
+				mentions = true
+				break
+			}
+		}
+		if !mentions {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// EdgeAlternative is one way to relabel a query-graph edge.
+type EdgeAlternative struct {
+	Mapping *Mapping
+	// Label is the new edge predicate's rendering.
+	Label string
+}
+
+// RelabelEdge enumerates the alternative join conditions the knowledge
+// base offers for the edge between two nodes, returning one mapping
+// per alternative label (excluding the current one). This lets a user
+// flip, say, the mid edge to the fid edge without re-walking.
+func RelabelEdge(m *Mapping, k *discovery.Knowledge, a, b string) ([]EdgeAlternative, error) {
+	cur, ok := m.Graph.EdgeBetween(a, b)
+	if !ok {
+		return nil, fmt.Errorf("core: no edge between %q and %q", a, b)
+	}
+	na, okA := m.Graph.Node(a)
+	nb, okB := m.Graph.Node(b)
+	if !okA || !okB {
+		return nil, fmt.Errorf("core: unknown edge endpoints")
+	}
+	var out []EdgeAlternative
+	for _, cand := range k.EdgesBetween(na.Base, nb.Base) {
+		pred := orientEdge(cand, na, nb)
+		if pred == nil || pred.String() == cur.Label() {
+			continue
+		}
+		alt := m.Clone()
+		alt.Graph = rebuildWithEdge(alt.Graph, a, b, pred)
+		out = append(out, EdgeAlternative{Mapping: alt, Label: pred.String()})
+	}
+	return out, nil
+}
+
+// orientEdge qualifies a knowledge edge's columns with the two node
+// names (the knowledge speaks in base relations).
+func orientEdge(e discovery.JoinEdge, na, nb graph.Node) expr.Expr {
+	switch {
+	case e.From.Relation == na.Base && e.To.Relation == nb.Base:
+		return expr.Equals(na.Name+"."+e.From.Attr, nb.Name+"."+e.To.Attr)
+	case e.From.Relation == nb.Base && e.To.Relation == na.Base:
+		return expr.Equals(na.Name+"."+e.To.Attr, nb.Name+"."+e.From.Attr)
+	default:
+		return nil
+	}
+}
+
+// rebuildWithEdge clones g with the edge (a, b) carrying a new label.
+func rebuildWithEdge(g *graph.QueryGraph, a, b string, pred expr.Expr) *graph.QueryGraph {
+	out := graph.New()
+	for _, n := range g.Nodes() {
+		node, _ := g.Node(n)
+		out.MustAddNode(node.Name, node.Base)
+	}
+	for _, e := range g.Edges() {
+		if e.A == a && e.B == b || e.A == b && e.B == a {
+			continue
+		}
+		out.MustAddEdge(e.A, e.B, e.Pred)
+	}
+	out.MustAddEdge(a, b, pred)
+	return out
+}
+
+// ApplyTargetConstraints derives C_T filters from declared target
+// constraints: every NOT NULL on the target relation becomes a target
+// filter (the Section 2 behaviour — "a target constraint may indicate
+// that every Kid tuple must have an ID value", from which Clio knows
+// not to include associations that lack a Children tuple). Filters
+// already present are not duplicated.
+func ApplyTargetConstraints(m *Mapping, db *schema.Database) *Mapping {
+	out := m.Clone()
+	existing := map[string]bool{}
+	for _, f := range out.TargetFilters {
+		existing[f.String()] = true
+	}
+	for _, nn := range db.NotNulls {
+		if nn.Relation != m.Target.Name {
+			continue
+		}
+		f := expr.IsNull{E: expr.Col{Name: m.Target.Name + "." + nn.Attr}, Negate: true}
+		if !existing[f.String()] {
+			out.TargetFilters = append(out.TargetFilters, f)
+			existing[f.String()] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// randomKnowledgeCase builds a random instance plus knowledge base for
+// walk property testing.
+func randomKnowledgeCase(rng *rand.Rand, rels int) (*relation.Instance, *discovery.Knowledge) {
+	sch := schema.NewDatabase()
+	for i := 0; i < rels; i++ {
+		sch.MustAddRelation(schema.NewRelation(fmt.Sprintf("R%d", i),
+			schema.Attribute{Name: "a", Type: value.KindInt},
+			schema.Attribute{Name: "b", Type: value.KindInt}))
+	}
+	in := relation.NewInstance(sch)
+	for i := 0; i < rels; i++ {
+		r := in.NewRelationFor(fmt.Sprintf("R%d", i))
+		for j := 0; j < 3; j++ {
+			r.AddValues(value.Int(int64(rng.Intn(3))), value.Int(int64(rng.Intn(3))))
+		}
+		in.MustAdd(r)
+	}
+	k := discovery.NewKnowledge()
+	attrs := []string{"a", "b"}
+	for i := 0; i < rels*2; i++ {
+		x, y := rng.Intn(rels), rng.Intn(rels)
+		if x == y {
+			continue
+		}
+		k.AddUserEdge(
+			schema.Col(fmt.Sprintf("R%d", x), attrs[rng.Intn(2)]),
+			schema.Col(fmt.Sprintf("R%d", y), attrs[rng.Intn(2)]))
+	}
+	return in, k
+}
+
+// Property: every data-walk result is a *valid extension* per the
+// paper's walks() conditions — the old graph is an induced subgraph of
+// the new one with identical edge labels, the new graph is connected,
+// validates against the instance, and the end node's base is the walk
+// target.
+func TestDataWalkValidityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		rels := 3 + rng.Intn(4)
+		in, k := randomKnowledgeCase(rng, rels)
+		m := NewMapping("m", schema.NewRelation("T", schema.Attribute{Name: "x"}))
+		m.Graph.MustAddNode("R0", "R0")
+		// Optionally pre-extend the mapping with one knowledge edge.
+		if es := k.EdgesBetween("R0", "R1"); len(es) > 0 && rng.Intn(2) == 0 {
+			m.Graph.MustAddNode("R1", "R1")
+			e := es[0]
+			from, to := e.From, e.To
+			if from.Relation != "R0" {
+				from, to = to, from
+			}
+			m.Graph.MustAddEdge("R0", "R1", expr.Equals("R0."+from.Attr, "R1."+to.Attr))
+		}
+		end := fmt.Sprintf("R%d", rels-1)
+		opts, err := DataWalk(m, k, "R0", end, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range opts {
+			ng := o.Mapping.Graph
+			if !ng.Connected() {
+				t.Fatalf("trial %d: extension disconnected:\n%v", trial, ng)
+			}
+			// Old nodes survive with identical bases; old edges keep
+			// their labels.
+			for _, n := range m.Graph.Nodes() {
+				oldN, _ := m.Graph.Node(n)
+				newN, ok := ng.Node(n)
+				if !ok || newN.Base != oldN.Base {
+					t.Fatalf("trial %d: node %s lost or rebased", trial, n)
+				}
+			}
+			for _, e := range m.Graph.Edges() {
+				ne, ok := ng.EdgeBetween(e.A, e.B)
+				if !ok || ne.Label() != e.Label() {
+					t.Fatalf("trial %d: edge %s—%s relabeled", trial, e.A, e.B)
+				}
+			}
+			// End node has the right base.
+			endNode, ok := ng.Node(o.EndNode)
+			if !ok || endNode.Base != end {
+				t.Fatalf("trial %d: end node %q base %q, want %q", trial, o.EndNode, endNode.Base, end)
+			}
+			if err := o.Mapping.Validate(in); err != nil {
+				t.Fatalf("trial %d: invalid walk mapping: %v", trial, err)
+			}
+			// Evolution continuity from the old mapping holds.
+			if m.Graph.NodeCount() > 0 {
+				oldIll, err := SufficientIllustration(m, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev, err := Evolve(oldIll, o.Mapping, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev.ContinuityRatio() != 1 {
+					t.Fatalf("trial %d: continuity %v < 1", trial, ev.ContinuityRatio())
+				}
+			}
+		}
+	}
+}
+
+// Property: SufficientIllustration is sufficient, and stays sufficient
+// when merged with focus examples, on random tree cases with random
+// filters.
+func TestSufficiencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 30; trial++ {
+		in, _ := randomKnowledgeCase(rng, 3)
+		target := schema.NewRelation("T",
+			schema.Attribute{Name: "x"}, schema.Attribute{Name: "y"})
+		m := NewMapping("m", target)
+		m.Graph.MustAddNode("R0", "R0")
+		m.Graph.MustAddNode("R1", "R1")
+		m.Graph.MustAddEdge("R0", "R1", expr.Equals("R0.a", "R1.a"))
+		m.Corrs = []Correspondence{
+			Identity("R0.b", schema.Col("T", "x")),
+			Identity("R1.b", schema.Col("T", "y")),
+		}
+		if rng.Intn(2) == 0 {
+			m.SourceFilters = []expr.Expr{expr.MustParse(fmt.Sprintf("R0.b < %d", rng.Intn(3)))}
+		}
+		if rng.Intn(2) == 0 {
+			m.TargetFilters = []expr.Expr{expr.MustParse("T.x IS NOT NULL")}
+		}
+		il, err := SufficientIllustration(m, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := il.IsSufficient(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			missing, _ := il.MissingRequirements(in)
+			t.Fatalf("trial %d: illustration insufficient, missing %v\n%v", trial, missing, il)
+		}
+		// Greedy never selects redundant examples covering nothing new:
+		// removing the last-selected example must break sufficiency or
+		// the illustration had exactly one example.
+		if len(il.Examples) > 1 {
+			smaller := Illustration{Mapping: m, Examples: il.Examples[:len(il.Examples)-1]}
+			if ok, _ := smaller.IsSufficient(in); ok {
+				t.Fatalf("trial %d: last greedy pick was redundant", trial)
+			}
+		}
+	}
+}
+
+// Property: the chase never proposes a referenced relation, and every
+// chase mapping validates and contains exactly one extra node.
+func TestDataChaseValidityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		in, _ := randomKnowledgeCase(rng, 4)
+		ix := discovery.BuildValueIndex(in)
+		m := NewMapping("m", schema.NewRelation("T", schema.Attribute{Name: "x"}))
+		m.Graph.MustAddNode("R0", "R0")
+		v := value.Int(int64(rng.Intn(3)))
+		opts, err := DataChase(m, ix, "R0.a", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range opts {
+			if o.To.Relation == "R0" {
+				t.Fatalf("trial %d: chase proposed a referenced relation", trial)
+			}
+			if o.Mapping.Graph.NodeCount() != 2 {
+				t.Fatalf("trial %d: chase should add exactly one node", trial)
+			}
+			if err := o.Mapping.Validate(in); err != nil {
+				t.Fatalf("trial %d: chase mapping invalid: %v", trial, err)
+			}
+			// The chased value must genuinely occur in the proposed
+			// column.
+			found := false
+			rel := in.Relation(o.To.Relation)
+			pos := rel.Scheme().Index(o.To.String())
+			for _, tp := range rel.Tuples() {
+				if tp.At(pos).Equal(v) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: chase hallucinated occurrence %v", trial, o)
+			}
+		}
+	}
+}

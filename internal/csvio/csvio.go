@@ -1,0 +1,169 @@
+// Package csvio loads and saves relation instances as CSV files: one
+// file per relation, first row the attribute names. Types are inferred
+// per value with value.Parse ("-" and the empty string are null), so a
+// directory of CSVs is all a user needs to start mapping.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// ReadRelation parses one CSV stream into a relation with the given
+// name. The header row supplies unqualified attribute names; the
+// relation's scheme qualifies them with the relation name.
+func ReadRelation(name string, r io.Reader) (*relation.Relation, *schema.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("csvio: reading header of %s: %w", name, err)
+	}
+	attrs := make([]schema.Attribute, len(header))
+	qualified := make([]string, len(header))
+	seen := map[string]bool{}
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return nil, nil, fmt.Errorf("csvio: empty column name in %s", name)
+		}
+		if seen[h] {
+			return nil, nil, fmt.Errorf("csvio: duplicate column %q in %s", h, name)
+		}
+		seen[h] = true
+		attrs[i] = schema.Attribute{Name: h}
+		qualified[i] = name + "." + h
+	}
+	rel := relation.New(name, relation.NewScheme(qualified...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: reading %s: %w", name, err)
+		}
+		vals := make([]value.Value, len(header))
+		for i := range header {
+			if i < len(rec) {
+				vals[i] = value.Parse(strings.TrimSpace(rec[i]))
+			}
+		}
+		rel.AddValues(vals...)
+	}
+	// Infer column kinds from the first non-null value of each column.
+	for i := range attrs {
+		for _, t := range rel.Tuples() {
+			if v := t.At(i); !v.IsNull() {
+				attrs[i].Type = v.Kind()
+				break
+			}
+		}
+	}
+	return rel, schema.NewRelation(name, attrs...), nil
+}
+
+// LoadDir reads every *.csv file in dir into an instance. The relation
+// name is the file base name without extension. Files load in sorted
+// order for determinism.
+func LoadDir(dir string) (*relation.Instance, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("csvio: no .csv files in %s", dir)
+	}
+	sch := schema.NewDatabase()
+	in := relation.NewInstance(sch)
+	for _, f := range files {
+		name := strings.TrimSuffix(f, ".csv")
+		fh, err := os.Open(filepath.Join(dir, f))
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		rel, srel, err := ReadRelation(name, fh)
+		fh.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := sch.AddRelation(srel); err != nil {
+			return nil, err
+		}
+		if err := in.Add(rel); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// WriteRelation writes a relation as CSV with unqualified headers.
+func WriteRelation(w io.Writer, r *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Scheme().Arity())
+	for i, n := range r.Scheme().Names() {
+		if ref, err := schema.ParseColumnRef(n); err == nil {
+			header[i] = ref.Attr
+		} else {
+			header[i] = n
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples() {
+		rec := make([]string, len(header))
+		for i := range header {
+			v := t.At(i)
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveDir writes every relation of the instance into dir as
+// <name>.csv.
+func SaveDir(dir string, in *relation.Instance) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	for _, name := range in.Names() {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+		err = WriteRelation(f, in.Relation(name))
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

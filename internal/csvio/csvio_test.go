@@ -1,0 +1,175 @@
+package csvio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clio/internal/paperdb"
+	"clio/internal/value"
+)
+
+func TestReadRelation(t *testing.T) {
+	src := "ID,name,age\n001,Ann,9\n002,Maya,6\n004,Bo,\n"
+	rel, srel, err := ReadRelation("Children", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if rel.Scheme().Name(0) != "Children.ID" {
+		t.Errorf("scheme = %v", rel.Scheme())
+	}
+	if !rel.At(0).Get("Children.ID").Equal(value.String("001")) {
+		t.Error("leading-zero ID should stay a string")
+	}
+	if !rel.At(0).Get("Children.age").Equal(value.Int(9)) {
+		t.Error("age should parse as int")
+	}
+	if !rel.At(2).Get("Children.age").IsNull() {
+		t.Error("empty cell should be null")
+	}
+	if srel.Attrs[2].Type != value.KindInt {
+		t.Errorf("inferred age kind = %v", srel.Attrs[2].Type)
+	}
+}
+
+func TestReadRelationErrors(t *testing.T) {
+	if _, _, err := ReadRelation("X", strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := ReadRelation("X", strings.NewReader("a,,c\n1,2,3\n")); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, _, err := ReadRelation("X", strings.NewReader("a,b\n1,2\n3\n")); err == nil {
+		t.Error("ragged row should fail")
+	}
+}
+
+func TestRoundTripDir(t *testing.T) {
+	dir := t.TempDir()
+	in := paperdb.Instance()
+	if err := SaveDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	// All five relations written.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 5 {
+		t.Fatalf("files = %d", len(entries))
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range in.Names() {
+		orig := in.Relation(name)
+		got := back.Relation(name)
+		if got == nil {
+			t.Fatalf("relation %s lost", name)
+		}
+		if !orig.EqualSet(got) {
+			t.Errorf("relation %s changed in round-trip:\n%v\nvs\n%v", name, orig, got)
+		}
+	}
+	// The loaded schema supports validation.
+	if err := back.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/no/such/dir"); err == nil {
+		t.Error("missing dir should fail")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("dir without csv should fail")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "x.csv"), []byte("a,b\n1\n2,3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("ragged csv should fail")
+	}
+}
+
+func TestWriteRelationNulls(t *testing.T) {
+	var b strings.Builder
+	in := paperdb.Instance()
+	if err := WriteRelation(&b, in.Relation("Children")); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.HasPrefix(s, "ID,name,age,mid,fid,docid") {
+		t.Errorf("header wrong:\n%s", s)
+	}
+	// Bo's null fid becomes an empty cell.
+	if !strings.Contains(s, "004,Bo,5,104,,d1") {
+		t.Errorf("null cell wrong:\n%s", s)
+	}
+}
+
+func TestQuotedAndUnicodeCells(t *testing.T) {
+	src := "name,motto\n\"O'Brien, Pat\",\"say \"\"hi\"\"\"\nМария,日本語\n"
+	rel, _, err := ReadRelation("People", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if got := rel.At(0).Get("People.name").Str(); got != "O'Brien, Pat" {
+		t.Errorf("quoted cell = %q", got)
+	}
+	if got := rel.At(0).Get("People.motto").Str(); got != `say "hi"` {
+		t.Errorf("escaped quotes = %q", got)
+	}
+	if got := rel.At(1).Get("People.name").Str(); got != "Мария" {
+		t.Errorf("unicode = %q", got)
+	}
+	// Round trip through writer.
+	var b strings.Builder
+	if err := WriteRelation(&b, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadRelation("People", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.EqualSet(back) {
+		t.Errorf("quoted round-trip changed data:\n%s", b.String())
+	}
+}
+
+// FuzzReadRelation checks the loader never panics and that accepted
+// relations round-trip through the writer.
+func FuzzReadRelation(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("ID,name\n001,Ann\n,\n")
+	f.Add("x\n\"quo\"\"ted\"\n")
+	f.Add("")
+	f.Add("a,a\n1,1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 10000 {
+			return
+		}
+		rel, _, err := ReadRelation("F", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteRelation(&b, rel); err != nil {
+			t.Fatalf("accepted input failed to write: %v", err)
+		}
+		back, _, err := ReadRelation("F", strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("writer output does not re-parse: %v\n%q", err, b.String())
+		}
+		if rel.Len() != back.Len() {
+			t.Fatalf("round-trip changed row count: %d vs %d", rel.Len(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package datagen generates synthetic schemas, instances, query
+// graphs, and join knowledge for the benchmark harness (experiments
+// E1–E8 in EXPERIMENTS.md). Generators are deterministic given a
+// seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clio/internal/core"
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// Case bundles a generated workload: an instance, a query graph over
+// it, and a mapping using identity correspondences into a synthetic
+// target.
+type Case struct {
+	Instance *relation.Instance
+	Graph    *graph.QueryGraph
+	Mapping  *core.Mapping
+	Target   *schema.Relation
+}
+
+// ChainSpec parameterizes a chain workload R0 → R1 → ... → R(k-1):
+// each relation has a key column k and a payload column v; Ri joins
+// Ri+1 on the key. MatchProb controls how often a key value in Ri has
+// a matching key in Ri+1, which drives the null structure of D(G).
+type ChainSpec struct {
+	Relations int
+	Rows      int
+	// KeySpace is the number of distinct key values; smaller means
+	// more matches and fan-out.
+	KeySpace int
+	// MatchProb in [0,1]: probability that a row draws its key from
+	// the shared key space (otherwise it gets a private unmatched
+	// key).
+	MatchProb float64
+	Seed      int64
+}
+
+// Chain generates a chain workload.
+func Chain(spec ChainSpec) Case {
+	if spec.Relations < 1 {
+		panic("datagen: chain needs at least one relation")
+	}
+	if spec.KeySpace <= 0 {
+		spec.KeySpace = spec.Rows
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sch := schema.NewDatabase()
+	names := make([]string, spec.Relations)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		sch.MustAddRelation(schema.NewRelation(names[i],
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindInt},
+		))
+	}
+	for i := 1; i < spec.Relations; i++ {
+		sch.AddForeignKey(fmt.Sprintf("fk%d", i), names[i-1], []string{"k"}, names[i], []string{"k"})
+	}
+	in := relation.NewInstance(sch)
+	for i, n := range names {
+		r := in.NewRelationFor(n)
+		for j := 0; j < spec.Rows; j++ {
+			var key int64
+			if rng.Float64() < spec.MatchProb {
+				key = int64(rng.Intn(spec.KeySpace))
+			} else {
+				// Private key: unique per relation and row, never
+				// matching a neighbour.
+				key = int64(1_000_000 + i*spec.Rows + j)
+			}
+			r.AddValues(value.Int(key), value.Int(int64(j)))
+		}
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	for _, n := range names {
+		g.MustAddNode(n, n)
+	}
+	for i := 1; i < spec.Relations; i++ {
+		g.MustAddEdge(names[i-1], names[i], expr.Equals(names[i-1]+".k", names[i]+".k"))
+	}
+	return finishCase(in, g, names)
+}
+
+// StarSpec parameterizes a star workload: a fact relation joined to
+// Dims dimension relations.
+type StarSpec struct {
+	Dims      int
+	FactRows  int
+	DimRows   int
+	MatchProb float64
+	Seed      int64
+}
+
+// Star generates a star workload: Fact(k0..k(d-1), v), Dim_i(k, v).
+func Star(spec StarSpec) Case {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sch := schema.NewDatabase()
+	factAttrs := []schema.Attribute{{Name: "v", Type: value.KindInt}}
+	for i := 0; i < spec.Dims; i++ {
+		factAttrs = append(factAttrs, schema.Attribute{Name: fmt.Sprintf("k%d", i), Type: value.KindInt})
+	}
+	sch.MustAddRelation(schema.NewRelation("Fact", factAttrs...))
+	names := make([]string, spec.Dims)
+	for i := range names {
+		names[i] = fmt.Sprintf("Dim%d", i)
+		sch.MustAddRelation(schema.NewRelation(names[i],
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindInt},
+		))
+	}
+	in := relation.NewInstance(sch)
+	f := in.NewRelationFor("Fact")
+	for j := 0; j < spec.FactRows; j++ {
+		vals := []value.Value{value.Int(int64(j))}
+		for i := 0; i < spec.Dims; i++ {
+			if rng.Float64() < spec.MatchProb {
+				vals = append(vals, value.Int(int64(rng.Intn(spec.DimRows))))
+			} else {
+				vals = append(vals, value.Null)
+			}
+		}
+		f.AddValues(vals...)
+	}
+	in.MustAdd(f)
+	for i, n := range names {
+		r := in.NewRelationFor(n)
+		for j := 0; j < spec.DimRows; j++ {
+			r.AddValues(value.Int(int64(j)), value.Int(int64(i*1000+j)))
+		}
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	g.MustAddNode("Fact", "Fact")
+	for i, n := range names {
+		g.MustAddNode(n, n)
+		g.MustAddEdge("Fact", n, expr.Equals(fmt.Sprintf("Fact.k%d", i), n+".k"))
+	}
+	return finishCase(in, g, append([]string{"Fact"}, names...))
+}
+
+// finishCase builds the identity mapping over the payload columns.
+func finishCase(in *relation.Instance, g *graph.QueryGraph, names []string) Case {
+	tAttrs := make([]schema.Attribute, len(names))
+	corrs := make([]core.Correspondence, len(names))
+	for i, n := range names {
+		tAttrs[i] = schema.Attribute{Name: "v" + n, Type: value.KindInt}
+		corrs[i] = core.Identity(n+".v", schema.Col("T", "v"+n))
+	}
+	target := schema.NewRelation("T", tAttrs...)
+	m := core.NewMapping("generated", target)
+	m.Graph = g
+	m.Corrs = corrs
+	return Case{Instance: in, Graph: g, Mapping: m, Target: target}
+}
+
+// KnowledgeSpec parameterizes a synthetic join-knowledge graph for the
+// walk benchmarks: Relations nodes with EdgesPerNode random candidate
+// edges each.
+type KnowledgeSpec struct {
+	Relations    int
+	EdgesPerNode int
+	Seed         int64
+}
+
+// Knowledge generates a synthetic knowledge base.
+func Knowledge(spec KnowledgeSpec) *discovery.Knowledge {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	k := discovery.NewKnowledge()
+	for i := 0; i < spec.Relations; i++ {
+		for e := 0; e < spec.EdgesPerNode; e++ {
+			j := rng.Intn(spec.Relations)
+			if j == i {
+				continue
+			}
+			k.Add(discovery.JoinEdge{
+				From:   schema.Col(fmt.Sprintf("R%d", i), fmt.Sprintf("a%d", e)),
+				To:     schema.Col(fmt.Sprintf("R%d", j), fmt.Sprintf("b%d", e)),
+				Source: discovery.SourceIND,
+			})
+		}
+	}
+	return k
+}
+
+// WideInstance generates an instance with many relations and columns
+// holding overlapping value pools — the chase / discovery benchmark
+// input (E5, E8).
+func WideInstance(relations, columns, rows int, valuePool int, seed int64) *relation.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sch := schema.NewDatabase()
+	in := relation.NewInstance(sch)
+	for i := 0; i < relations; i++ {
+		name := fmt.Sprintf("W%d", i)
+		attrs := make([]schema.Attribute, columns)
+		for c := range attrs {
+			attrs[c] = schema.Attribute{Name: fmt.Sprintf("c%d", c), Type: value.KindInt}
+		}
+		sch.MustAddRelation(schema.NewRelation(name, attrs...))
+		r := in.NewRelationFor(name)
+		for j := 0; j < rows; j++ {
+			vals := make([]value.Value, columns)
+			for c := range vals {
+				vals[c] = value.Int(int64(rng.Intn(valuePool)))
+			}
+			r.AddValues(vals...)
+		}
+		in.MustAdd(r)
+	}
+	return in
+}

@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// ECommerceSpec parameterizes a realistic five-relation e-commerce
+// source: Customers, Orders, OrderLines, Products, Shipments. Orders
+// reference Customers; OrderLines reference Orders and Products;
+// Shipments reference Orders (not every order ships). This is the
+// "data-intensive application" workload the paper's introduction
+// motivates.
+type ECommerceSpec struct {
+	Customers int
+	Orders    int
+	// LinesPerOrder is the mean number of lines per order.
+	LinesPerOrder int
+	Products      int
+	// ShipRate is the fraction of orders with a shipment.
+	ShipRate float64
+	Seed     int64
+}
+
+// ECommerce generates the instance with declared keys and foreign
+// keys, so walks work out of the box.
+func ECommerce(spec ECommerceSpec) *relation.Instance {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("Customers",
+		schema.Attribute{Name: "cid", Type: value.KindInt},
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "country", Type: value.KindString},
+	))
+	sch.MustAddRelation(schema.NewRelation("Orders",
+		schema.Attribute{Name: "oid", Type: value.KindInt},
+		schema.Attribute{Name: "cid", Type: value.KindInt},
+		schema.Attribute{Name: "day", Type: value.KindString},
+	))
+	sch.MustAddRelation(schema.NewRelation("OrderLines",
+		schema.Attribute{Name: "oid", Type: value.KindInt},
+		schema.Attribute{Name: "pid", Type: value.KindInt},
+		schema.Attribute{Name: "qty", Type: value.KindInt},
+	))
+	sch.MustAddRelation(schema.NewRelation("Products",
+		schema.Attribute{Name: "pid", Type: value.KindInt},
+		schema.Attribute{Name: "title", Type: value.KindString},
+		schema.Attribute{Name: "price", Type: value.KindInt},
+	))
+	sch.MustAddRelation(schema.NewRelation("Shipments",
+		schema.Attribute{Name: "oid", Type: value.KindInt},
+		schema.Attribute{Name: "carrier", Type: value.KindString},
+		schema.Attribute{Name: "eta", Type: value.KindString},
+	))
+	sch.AddKey("Customers", "cid")
+	sch.AddKey("Orders", "oid")
+	sch.AddKey("Products", "pid")
+	sch.AddKey("Shipments", "oid")
+	sch.AddForeignKey("o_c", "Orders", []string{"cid"}, "Customers", []string{"cid"})
+	sch.AddForeignKey("l_o", "OrderLines", []string{"oid"}, "Orders", []string{"oid"})
+	sch.AddForeignKey("l_p", "OrderLines", []string{"pid"}, "Products", []string{"pid"})
+	sch.AddForeignKey("s_o", "Shipments", []string{"oid"}, "Orders", []string{"oid"})
+	sch.AddNotNull("Customers", "cid")
+	sch.AddNotNull("Orders", "oid")
+
+	countries := []string{"CA", "US", "DE", "JP", "BR"}
+	carriers := []string{"ACME", "Rocket", "Turtle"}
+
+	in := relation.NewInstance(sch)
+	cust := in.NewRelationFor("Customers")
+	for i := 0; i < spec.Customers; i++ {
+		cust.AddValues(value.Int(int64(i)),
+			value.String(fmt.Sprintf("cust-%03d", i)),
+			value.String(countries[rng.Intn(len(countries))]))
+	}
+	in.MustAdd(cust)
+
+	prod := in.NewRelationFor("Products")
+	for i := 0; i < spec.Products; i++ {
+		prod.AddValues(value.Int(int64(i)),
+			value.String(fmt.Sprintf("prod-%03d", i)),
+			value.Int(int64(5+rng.Intn(500))))
+	}
+	in.MustAdd(prod)
+
+	orders := in.NewRelationFor("Orders")
+	lines := in.NewRelationFor("OrderLines")
+	ships := in.NewRelationFor("Shipments")
+	for o := 0; o < spec.Orders; o++ {
+		orders.AddValues(value.Int(int64(o)),
+			value.Int(int64(rng.Intn(max(1, spec.Customers)))),
+			value.String(fmt.Sprintf("2026-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))))
+		n := 1 + rng.Intn(max(1, 2*spec.LinesPerOrder-1))
+		for l := 0; l < n; l++ {
+			lines.AddValues(value.Int(int64(o)),
+				value.Int(int64(rng.Intn(max(1, spec.Products)))),
+				value.Int(int64(1+rng.Intn(5))))
+		}
+		if rng.Float64() < spec.ShipRate {
+			ships.AddValues(value.Int(int64(o)),
+				value.String(carriers[rng.Intn(len(carriers))]),
+				value.String(fmt.Sprintf("2026-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))))
+		}
+	}
+	in.MustAdd(orders)
+	in.MustAdd(lines)
+	in.MustAdd(ships)
+	return in
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,308 @@
+package discovery
+
+import (
+	"testing"
+
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// miniPaperInstance builds a slice of the paper's source: Children
+// referencing Parents via mid/fid, PhoneDir sharing IDs with Parents.
+func miniPaperInstance() *relation.Instance {
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("Children",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "mid", Type: value.KindString},
+		schema.Attribute{Name: "fid", Type: value.KindString},
+	))
+	sch.MustAddRelation(schema.NewRelation("Parents",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "affiliation", Type: value.KindString},
+	))
+	sch.MustAddRelation(schema.NewRelation("PhoneDir",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "number", Type: value.KindString},
+	))
+	sch.AddForeignKey("mid_fk", "Children", []string{"mid"}, "Parents", []string{"ID"})
+	sch.AddForeignKey("fid_fk", "Children", []string{"fid"}, "Parents", []string{"ID"})
+	in := relation.NewInstance(sch)
+	c := in.NewRelationFor("Children")
+	c.AddRow("c01", "p00", "p01")
+	c.AddRow("c02", "p02", "p03")
+	c.AddRow("c04", "p00", "-")
+	c.AddRow("c05", "p04", "-") // mother p04 has no phone
+	in.MustAdd(c)
+	p := in.NewRelationFor("Parents")
+	p.AddRow("p00", "IBM")
+	p.AddRow("p01", "UofT")
+	p.AddRow("p02", "Acta")
+	p.AddRow("p03", "IBM")
+	p.AddRow("p04", "Acta")
+	in.MustAdd(p)
+	ph := in.NewRelationFor("PhoneDir")
+	ph.AddRow("p00", "555-0100")
+	ph.AddRow("p01", "555-0101")
+	ph.AddRow("p02", "555-0102")
+	in.MustAdd(ph)
+	return in
+}
+
+func TestProfileColumn(t *testing.T) {
+	in := miniPaperInstance()
+	c := in.Relation("Children")
+	id := ProfileColumn(c, "Children.ID")
+	if !id.Unique || id.Distinct != 4 || id.Nulls != 0 || id.Rows != 4 {
+		t.Errorf("ID stats = %+v", id)
+	}
+	fid := ProfileColumn(c, "Children.fid")
+	if fid.Unique || fid.Nulls != 2 || fid.Distinct != 2 {
+		t.Errorf("fid stats = %+v", fid)
+	}
+	mid := ProfileColumn(c, "Children.mid")
+	if mid.Unique || mid.Distinct != 3 {
+		t.Errorf("mid stats = %+v (p00 repeats)", mid)
+	}
+	// Missing column: zero stats.
+	if got := ProfileColumn(c, "Children.nope"); got.Distinct != 0 || got.Unique {
+		t.Errorf("missing column stats = %+v", got)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	in := miniPaperInstance()
+	stats := Profile(in)
+	if len(stats) != 3+2+2 {
+		t.Fatalf("profile count = %d", len(stats))
+	}
+	byName := map[string]ColumnStats{}
+	for _, st := range stats {
+		byName[st.Column.String()] = st
+	}
+	if !byName["Parents.ID"].Unique {
+		t.Error("Parents.ID should be unique")
+	}
+	if byName["Parents.affiliation"].Unique {
+		t.Error("affiliation repeats (IBM)")
+	}
+}
+
+func TestDiscoverINDs(t *testing.T) {
+	in := miniPaperInstance()
+	inds := DiscoverINDs(in, 1.0)
+	has := func(from, to string) bool {
+		for _, ind := range inds {
+			if ind.From.String() == from && ind.To.String() == to && ind.Overlap == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	// The two FKs are discoverable from data alone.
+	if !has("Children.mid", "Parents.ID") {
+		t.Error("mid ⊆ Parents.ID not discovered")
+	}
+	if !has("Children.fid", "Parents.ID") {
+		t.Error("fid ⊆ Parents.ID not discovered")
+	}
+	// PhoneDir.ID ⊆ Parents.ID (every phone belongs to a parent).
+	if !has("PhoneDir.ID", "Parents.ID") {
+		t.Error("PhoneDir.ID ⊆ Parents.ID not discovered")
+	}
+	// But not the reverse (parents p03, p04 lack phones).
+	if has("Parents.ID", "PhoneDir.ID") {
+		t.Error("Parents.ID ⊆ PhoneDir.ID should not hold")
+	}
+	// With a lower threshold the reverse appears as partial overlap.
+	partial := DiscoverINDs(in, 0.4)
+	found := false
+	for _, ind := range partial {
+		if ind.From.String() == "Parents.ID" && ind.To.String() == "PhoneDir.ID" {
+			found = true
+			if ind.Overlap != 0.6 {
+				t.Errorf("overlap = %v, want 0.6", ind.Overlap)
+			}
+		}
+	}
+	if !found {
+		t.Error("partial IND not found at threshold 0.4")
+	}
+	// Ordering: full-overlap INDs come first.
+	for i := 1; i < len(partial); i++ {
+		if partial[i-1].Overlap < partial[i].Overlap {
+			t.Error("INDs not sorted by overlap")
+		}
+	}
+}
+
+func TestProposeForeignKeys(t *testing.T) {
+	in := miniPaperInstance()
+	fks := ProposeForeignKeys(in, DiscoverINDs(in, 1.0))
+	want := map[string]bool{
+		"Children.mid->Parents.ID": false,
+		"Children.fid->Parents.ID": false,
+		"PhoneDir.ID->Parents.ID":  false,
+	}
+	for _, fk := range fks {
+		k := fk.FromRelation + "." + fk.FromAttrs[0] + "->" + fk.ToRelation + "." + fk.ToAttrs[0]
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+		// All proposals must target a unique column.
+		if fk.ToRelation != "Parents" && fk.ToRelation != "Children" && fk.ToRelation != "PhoneDir" {
+			t.Errorf("unexpected proposal: %v", fk)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("expected FK proposal %s", k)
+		}
+	}
+}
+
+func TestValueIndex(t *testing.T) {
+	in := miniPaperInstance()
+	ix := BuildValueIndex(in)
+	occ := ix.Occurrences(value.String("p00"))
+	// p00 appears in Children.mid (2×), Parents.ID (1×), PhoneDir.ID (1×).
+	if len(occ) != 3 {
+		t.Fatalf("occurrences = %v", occ)
+	}
+	counts := map[string]int{}
+	for _, o := range occ {
+		counts[o.Column.String()] = o.Count
+	}
+	if counts["Children.mid"] != 2 || counts["Parents.ID"] != 1 || counts["PhoneDir.ID"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if got := ix.Occurrences(value.Null); got != nil {
+		t.Error("null should have no occurrences")
+	}
+	if got := ix.Occurrences(value.String("zzz")); len(got) != 0 {
+		t.Error("absent value should have no occurrences")
+	}
+}
+
+func TestOccurrencesScanAgreesWithIndex(t *testing.T) {
+	in := miniPaperInstance()
+	ix := BuildValueIndex(in)
+	for _, v := range []value.Value{
+		value.String("p00"), value.String("p02"), value.String("c01"),
+		value.String("IBM"), value.String("zzz"), value.Null,
+	} {
+		a := ix.Occurrences(v)
+		b := OccurrencesScan(in, v)
+		if len(a) != len(b) {
+			t.Fatalf("value %v: index %v vs scan %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("value %v: occurrence %d differs: %v vs %v", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestKnowledgeEdges(t *testing.T) {
+	in := miniPaperInstance()
+	k := BuildKnowledge(in, false, 1.0)
+	// Declared FKs only: two edges Children↔Parents.
+	if len(k.Edges()) != 2 {
+		t.Fatalf("edges = %v", k.Edges())
+	}
+	between := k.EdgesBetween("Children", "Parents")
+	if len(between) != 2 {
+		t.Errorf("EdgesBetween = %v", between)
+	}
+	// Symmetric lookup.
+	if len(k.EdgesBetween("Parents", "Children")) != 2 {
+		t.Error("EdgesBetween not symmetric")
+	}
+	if got := k.Neighbors("Children"); len(got) != 1 || got[0] != "Parents" {
+		t.Errorf("Neighbors = %v", got)
+	}
+	// With mining, PhoneDir joins appear.
+	km := BuildKnowledge(in, true, 1.0)
+	if len(km.EdgesBetween("Parents", "PhoneDir")) == 0 {
+		t.Error("mined PhoneDir edge missing")
+	}
+	// FK edges deduplicate mined duplicates: mid edge appears once.
+	nMid := 0
+	for _, e := range km.Edges() {
+		if e.From.String() == "Children.mid" || e.To.String() == "Children.mid" {
+			nMid++
+		}
+	}
+	if nMid != 1 {
+		t.Errorf("Children.mid edges = %d, want 1", nMid)
+	}
+	// And the surviving edge is the declared one.
+	for _, e := range km.EdgesBetween("Children", "Parents") {
+		if e.Source != SourceFK {
+			t.Errorf("declared edge lost to mined: %v", e)
+		}
+	}
+}
+
+func TestUserEdges(t *testing.T) {
+	k := NewKnowledge()
+	k.AddUserEdge(schema.Col("A", "x"), schema.Col("B", "y"))
+	k.AddUserEdge(schema.Col("B", "y"), schema.Col("A", "x")) // dup, reversed
+	if len(k.Edges()) != 1 {
+		t.Errorf("edges = %v", k.Edges())
+	}
+	if k.Edges()[0].Source != SourceUser {
+		t.Error("source wrong")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	in := miniPaperInstance()
+	k := BuildKnowledge(in, true, 1.0)
+	// Children → PhoneDir: two 2-edge paths via Parents (mid and fid).
+	paths := k.Paths("Children", "PhoneDir", 3)
+	if len(paths) < 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		rels := p.Relations("Children")
+		if rels[0] != "Children" || rels[len(rels)-1] != "PhoneDir" {
+			t.Errorf("path endpoints wrong: %v", rels)
+		}
+		seen := map[string]bool{}
+		for _, r := range rels {
+			if seen[r] {
+				t.Errorf("path revisits %s: %v", r, rels)
+			}
+			seen[r] = true
+		}
+	}
+	// Short bound prunes.
+	if got := k.Paths("Children", "PhoneDir", 1); len(got) != 0 {
+		t.Errorf("bounded paths = %v", got)
+	}
+	// Paths are sorted by length.
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i-1]) > len(paths[i]) {
+			t.Error("paths not sorted by length")
+		}
+	}
+	// Unknown relations yield nothing.
+	if got := k.Paths("Nope", "PhoneDir", 3); len(got) != 0 {
+		t.Errorf("unknown start = %v", got)
+	}
+}
+
+func TestPathRelationsAndString(t *testing.T) {
+	e1 := JoinEdge{From: schema.Col("A", "x"), To: schema.Col("B", "y"), Source: SourceFK}
+	e2 := JoinEdge{From: schema.Col("C", "z"), To: schema.Col("B", "y"), Source: SourceIND}
+	p := Path{e1, e2}
+	rels := p.Relations("A")
+	if len(rels) != 3 || rels[1] != "B" || rels[2] != "C" {
+		t.Errorf("Relations = %v", rels)
+	}
+	if p.String() == "" || e1.String() != "A.x = B.y [fk]" {
+		t.Errorf("rendering wrong: %q", e1.String())
+	}
+}

@@ -1,0 +1,165 @@
+package discovery
+
+import (
+	"sort"
+	"strings"
+
+	"clio/internal/relation"
+	"clio/internal/schema"
+)
+
+// Correspondence suggestion: the paper assumes "users (or an automated
+// tool [7]) are able to provide value correspondences". This file is
+// that automated tool — a simple attribute matcher combining name
+// similarity and data-type compatibility, good enough to seed a
+// mapping session with ranked suggestions.
+
+// Suggestion proposes one source column for one target attribute.
+type Suggestion struct {
+	Source schema.ColumnRef
+	Target schema.ColumnRef
+	// Score in (0, 1]: name similarity, with a bonus for identical
+	// normalized names and a penalty for incompatible value kinds.
+	Score float64
+}
+
+// SuggestCorrespondences ranks, for each attribute of the target
+// relation, the source columns most likely to populate it. Per target
+// attribute at most topK suggestions are returned (topK <= 0 means 3),
+// ordered by descending score; suggestions scoring below 0.3 are
+// dropped.
+func SuggestCorrespondences(in *relation.Instance, target *schema.Relation, topK int) []Suggestion {
+	if topK <= 0 {
+		topK = 3
+	}
+	type col struct {
+		ref  schema.ColumnRef
+		kind kindClass
+	}
+	var cols []col
+	for _, r := range in.Relations() {
+		for pos, qn := range r.Scheme().Names() {
+			ref, err := schema.ParseColumnRef(qn)
+			if err != nil {
+				continue
+			}
+			cols = append(cols, col{ref: ref, kind: columnKind(r, pos)})
+		}
+	}
+	var out []Suggestion
+	for _, attr := range target.Attrs {
+		var perAttr []Suggestion
+		for _, c := range cols {
+			score := nameSimilarity(attr.Name, c.ref.Attr)
+			// Relation-name hints: Kids.name vs Children.name beats
+			// Parents.name when the relation names resemble the
+			// target's.
+			score += 0.1 * nameSimilarity(target.Name, c.ref.Relation)
+			if score > 1 {
+				score = 1
+			}
+			if score < 0.3 {
+				continue
+			}
+			perAttr = append(perAttr, Suggestion{
+				Source: c.ref,
+				Target: schema.Col(target.Name, attr.Name),
+				Score:  score,
+			})
+		}
+		sort.SliceStable(perAttr, func(i, j int) bool {
+			if perAttr[i].Score != perAttr[j].Score {
+				return perAttr[i].Score > perAttr[j].Score
+			}
+			return perAttr[i].Source.String() < perAttr[j].Source.String()
+		})
+		if len(perAttr) > topK {
+			perAttr = perAttr[:topK]
+		}
+		out = append(out, perAttr...)
+	}
+	return out
+}
+
+// kindClass buckets column kinds for compatibility checks.
+type kindClass uint8
+
+const (
+	kindEmpty kindClass = iota
+	kindNumeric
+	kindText
+)
+
+func columnKind(r *relation.Relation, pos int) kindClass {
+	for _, t := range r.Tuples() {
+		v := t.At(pos)
+		if v.IsNull() {
+			continue
+		}
+		if _, ok := v.AsFloat(); ok {
+			return kindNumeric
+		}
+		return kindText
+	}
+	return kindEmpty
+}
+
+// nameSimilarity scores two attribute names in [0, 1]: 1 for equal
+// normalized names, a containment bonus, otherwise a trigram Dice
+// coefficient over the normalized forms.
+func nameSimilarity(a, b string) float64 {
+	na, nb := normalizeName(a), normalizeName(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	if strings.Contains(na, nb) || strings.Contains(nb, na) {
+		shorter, longer := len(na), len(nb)
+		if shorter > longer {
+			shorter, longer = longer, shorter
+		}
+		return 0.6 + 0.3*float64(shorter)/float64(longer)
+	}
+	return diceTrigrams(na, nb)
+}
+
+// normalizeName lowercases and strips separators.
+func normalizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// diceTrigrams computes the Dice coefficient over character trigrams
+// (with padding for short names).
+func diceTrigrams(a, b string) float64 {
+	ta, tb := trigrams(a), trigrams(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(ta)+len(tb))
+}
+
+func trigrams(s string) map[string]bool {
+	s = "__" + s + "__"
+	out := map[string]bool{}
+	for i := 0; i+3 <= len(s); i++ {
+		out[s[i:i+3]] = true
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package discovery
+
+import (
+	"testing"
+
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+func kidsTarget() *schema.Relation {
+	return schema.NewRelation("Kids",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "affiliation", Type: value.KindString},
+		schema.Attribute{Name: "contactPh", Type: value.KindString},
+	)
+}
+
+func TestSuggestCorrespondences(t *testing.T) {
+	in := miniPaperInstance()
+	suggestions := SuggestCorrespondences(in, kidsTarget(), 3)
+	if len(suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// The top suggestion for each target attribute.
+	top := map[string]Suggestion{}
+	for _, s := range suggestions {
+		if prev, ok := top[s.Target.Attr]; !ok || s.Score > prev.Score {
+			top[s.Target.Attr] = s
+		}
+	}
+	// Kids.affiliation → Parents.affiliation (exact name).
+	if got := top["affiliation"].Source.String(); got != "Parents.affiliation" {
+		t.Errorf("affiliation suggestion = %s", got)
+	}
+	if top["affiliation"].Score < 0.9 {
+		t.Errorf("exact match score = %v", top["affiliation"].Score)
+	}
+	// Kids.ID → some .ID column (Children.ID or Parents.ID).
+	if got := top["ID"].Source.Attr; got != "ID" {
+		t.Errorf("ID suggestion = %v", top["ID"])
+	}
+	// Ordering: scores descending within an attribute.
+	seen := map[string]float64{}
+	for _, s := range suggestions {
+		if prev, ok := seen[s.Target.Attr]; ok && s.Score > prev {
+			t.Errorf("suggestions for %s not sorted", s.Target.Attr)
+		}
+		seen[s.Target.Attr] = s.Score
+	}
+	// topK bounds output per attribute.
+	one := SuggestCorrespondences(in, kidsTarget(), 1)
+	perAttr := map[string]int{}
+	for _, s := range one {
+		perAttr[s.Target.Attr]++
+	}
+	for attr, n := range perAttr {
+		if n > 1 {
+			t.Errorf("attr %s got %d suggestions with topK=1", attr, n)
+		}
+	}
+	// Default topK.
+	if got := SuggestCorrespondences(in, kidsTarget(), 0); len(got) == 0 {
+		t.Error("default topK should work")
+	}
+}
+
+func TestNameSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"ID", "ID", 1, 1},
+		{"contactPh", "contact_phone", 0.4, 1},
+		{"affiliation", "affiliation", 1, 1},
+		{"BusSchedule", "bus_schedule", 1, 1},
+		{"name", "salary", 0, 0.29},
+		{"", "x", 0, 0},
+		{"FamilyIncome", "income", 0.6, 0.95},
+	}
+	for _, c := range cases {
+		got := nameSimilarity(c.a, c.b)
+		if got < c.min || got > c.max {
+			t.Errorf("similarity(%q, %q) = %v, want in [%v, %v]", c.a, c.b, got, c.min, c.max)
+		}
+	}
+	// Symmetry.
+	if nameSimilarity("contactPh", "phone") != nameSimilarity("phone", "contactPh") {
+		t.Error("similarity should be symmetric")
+	}
+}
+
+func TestColumnKind(t *testing.T) {
+	in := miniPaperInstance()
+	c := in.Relation("Children")
+	if columnKind(c, c.Scheme().Index("Children.ID")) != kindText {
+		t.Error("ID should be text (c01 ...)")
+	}
+	p := in.Relation("Parents")
+	if columnKind(p, p.Scheme().Index("Parents.affiliation")) != kindText {
+		t.Error("affiliation should be text")
+	}
+}

@@ -1,0 +1,399 @@
+// Package expr implements the expression language used for selection
+// predicates, join predicates, and value correspondences: a small
+// SQL-flavoured expression AST with a parser and a three-valued-logic
+// evaluator over tuples.
+//
+// Predicates evaluate to true/false/unknown (value.Tri); filters keep
+// a tuple only when the predicate is true, matching SQL semantics. The
+// paper's notion of a *strong* predicate (false on the all-null tuple)
+// is decidable here by evaluation: see IsStrong.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// Expr is a typed expression evaluable against a tuple.
+type Expr interface {
+	// Eval computes the expression's value on t. Scalar expressions
+	// return data values; predicate expressions return Bool or Null
+	// (null encodes unknown).
+	Eval(t relation.Tuple) value.Value
+	// Columns appends the qualified column names the expression reads.
+	Columns(dst []string) []string
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Truth evaluates e as a predicate under 3VL: Bool(true) → True,
+// Bool(false) → False, anything else (including null and non-boolean
+// values) → Unknown.
+func Truth(e Expr, t relation.Tuple) value.Tri {
+	v := e.Eval(t)
+	if v.Kind() == value.KindBool {
+		return value.TriOf(v.BoolVal())
+	}
+	return value.Unknown
+}
+
+// IsStrong reports whether predicate e is strong over the scheme s:
+// it does not evaluate to true on the all-null tuple (paper §3,
+// Preliminaries; strong predicates are required on join edges).
+func IsStrong(e Expr, s *relation.Scheme) bool {
+	return Truth(e, relation.AllNull(s)) != value.True
+}
+
+// Lit is a literal value.
+type Lit struct{ Val value.Value }
+
+// Eval returns the literal value.
+func (l Lit) Eval(relation.Tuple) value.Value { return l.Val }
+
+// Columns returns dst unchanged.
+func (l Lit) Columns(dst []string) []string { return dst }
+
+// String renders the literal as SQL.
+func (l Lit) String() string { return l.Val.SQL() }
+
+// Col references a column by qualified name ("Children.ID").
+type Col struct{ Name string }
+
+// Eval returns the column's value in t; a column absent from the
+// tuple's scheme evaluates to null (this arises when a predicate over
+// a wide scheme is probed against a narrower tuple).
+func (c Col) Eval(t relation.Tuple) value.Value {
+	v, _ := t.Lookup(c.Name)
+	return v
+}
+
+// Columns appends the column name.
+func (c Col) Columns(dst []string) []string { return append(dst, c.Name) }
+
+// String returns the qualified name.
+func (c Col) String() string { return c.Name }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators. Comparisons yield Bool/Null; arithmetic yields
+// numbers/Null; Concat yields strings/Null.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpConcat
+)
+
+var binOpNames = map[BinOp]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpDiv: "/", OpConcat: "||",
+}
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// triToVal encodes a Tri as a Bool value, with Unknown as null.
+func triToVal(t value.Tri) value.Value {
+	switch t {
+	case value.True:
+		return value.Bool(true)
+	case value.False:
+		return value.Bool(false)
+	default:
+		return value.Null
+	}
+}
+
+// valToTri decodes a Bool value into Tri, with null/non-bool as
+// Unknown.
+func valToTri(v value.Value) value.Tri {
+	if v.Kind() == value.KindBool {
+		return value.TriOf(v.BoolVal())
+	}
+	return value.Unknown
+}
+
+// Eval evaluates the binary expression with SQL null propagation.
+func (b Bin) Eval(t relation.Tuple) value.Value {
+	switch b.Op {
+	case OpAnd:
+		return triToVal(valToTri(b.L.Eval(t)).And(valToTri(b.R.Eval(t))))
+	case OpOr:
+		return triToVal(valToTri(b.L.Eval(t)).Or(valToTri(b.R.Eval(t))))
+	}
+	l, r := b.L.Eval(t), b.R.Eval(t)
+	switch b.Op {
+	case OpEq:
+		return triToVal(value.Eq(l, r))
+	case OpNe:
+		return triToVal(value.Eq(l, r).Not())
+	case OpLt:
+		return triToVal(value.Less(l, r))
+	case OpGt:
+		return triToVal(value.Less(r, l))
+	case OpLe:
+		return triToVal(value.Less(r, l).Not())
+	case OpGe:
+		return triToVal(value.Less(l, r).Not())
+	case OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return value.Null
+		}
+		return value.String(asString(l) + asString(r))
+	}
+	// Arithmetic.
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return value.Null
+	}
+	bothInt := l.Kind() == value.KindInt && r.Kind() == value.KindInt
+	switch b.Op {
+	case OpAdd:
+		if bothInt {
+			return value.Int(l.IntVal() + r.IntVal())
+		}
+		return value.Float(lf + rf)
+	case OpSub:
+		if bothInt {
+			return value.Int(l.IntVal() - r.IntVal())
+		}
+		return value.Float(lf - rf)
+	case OpMul:
+		if bothInt {
+			return value.Int(l.IntVal() * r.IntVal())
+		}
+		return value.Float(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return value.Null
+		}
+		if bothInt && l.IntVal()%r.IntVal() == 0 {
+			return value.Int(l.IntVal() / r.IntVal())
+		}
+		return value.Float(lf / rf)
+	}
+	return value.Null
+}
+
+// Columns appends both operands' columns.
+func (b Bin) Columns(dst []string) []string { return b.R.Columns(b.L.Columns(dst)) }
+
+// String renders the expression with parentheses around compound
+// operands.
+func (b Bin) String() string {
+	return maybeParen(b.L) + " " + binOpNames[b.Op] + " " + maybeParen(b.R)
+}
+
+func maybeParen(e Expr) string {
+	switch e.(type) {
+	case Bin, Not:
+		return "(" + e.String() + ")"
+	default:
+		return e.String()
+	}
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Eval negates under 3VL.
+func (n Not) Eval(t relation.Tuple) value.Value {
+	return triToVal(valToTri(n.E.Eval(t)).Not())
+}
+
+// Columns appends the operand's columns.
+func (n Not) Columns(dst []string) []string { return n.E.Columns(dst) }
+
+// String renders NOT (...).
+func (n Not) String() string { return "NOT " + maybeParen(n.E) }
+
+// IsNull tests nullness; Negate flips it to IS NOT NULL. Unlike
+// comparisons, IS NULL is never unknown.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval returns a definite boolean.
+func (i IsNull) Eval(t relation.Tuple) value.Value {
+	isNull := i.E.Eval(t).IsNull()
+	return value.Bool(isNull != i.Negate)
+}
+
+// Columns appends the operand's columns.
+func (i IsNull) Columns(dst []string) []string { return i.E.Columns(dst) }
+
+// String renders IS [NOT] NULL.
+func (i IsNull) String() string {
+	if i.Negate {
+		return maybeParen(i.E) + " IS NOT NULL"
+	}
+	return maybeParen(i.E) + " IS NULL"
+}
+
+// Call invokes a registered scalar function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Eval applies the function; unregistered functions evaluate to null.
+func (c Call) Eval(t relation.Tuple) value.Value {
+	f, ok := funcRegistry[strings.ToLower(c.Name)]
+	if !ok {
+		return value.Null
+	}
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.Eval(t)
+	}
+	return f(args)
+}
+
+// Columns appends all argument columns.
+func (c Call) Columns(dst []string) []string {
+	for _, a := range c.Args {
+		dst = a.Columns(dst)
+	}
+	return dst
+}
+
+// String renders name(arg, ...).
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Func is a scalar function over values.
+type Func func(args []value.Value) value.Value
+
+var funcRegistry = map[string]Func{}
+
+// RegisterFunc adds a scalar function to the registry (name is
+// case-insensitive). Re-registration replaces the previous binding.
+func RegisterFunc(name string, f Func) {
+	funcRegistry[strings.ToLower(name)] = f
+}
+
+// HasFunc reports whether a function is registered.
+func HasFunc(name string) bool {
+	_, ok := funcRegistry[strings.ToLower(name)]
+	return ok
+}
+
+func asString(v value.Value) string {
+	if v.Kind() == value.KindString {
+		return v.Str()
+	}
+	return v.String()
+}
+
+func init() {
+	// The built-in scalar functions. concat matches Example 3.15:
+	// concat(a, b) = a || ":" || b.
+	RegisterFunc("concat", func(args []value.Value) value.Value {
+		for _, a := range args {
+			if a.IsNull() {
+				return value.Null
+			}
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = asString(a)
+		}
+		return value.String(strings.Join(parts, ":"))
+	})
+	RegisterFunc("coalesce", func(args []value.Value) value.Value {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a
+			}
+		}
+		return value.Null
+	})
+	RegisterFunc("upper", func(args []value.Value) value.Value {
+		if len(args) != 1 || args[0].IsNull() {
+			return value.Null
+		}
+		return value.String(strings.ToUpper(asString(args[0])))
+	})
+	RegisterFunc("lower", func(args []value.Value) value.Value {
+		if len(args) != 1 || args[0].IsNull() {
+			return value.Null
+		}
+		return value.String(strings.ToLower(asString(args[0])))
+	})
+	RegisterFunc("abs", func(args []value.Value) value.Value {
+		if len(args) != 1 {
+			return value.Null
+		}
+		switch args[0].Kind() {
+		case value.KindInt:
+			v := args[0].IntVal()
+			if v < 0 {
+				v = -v
+			}
+			return value.Int(v)
+		case value.KindFloat:
+			return value.Float(math.Abs(args[0].FloatVal()))
+		default:
+			return value.Null
+		}
+	})
+	RegisterFunc("length", func(args []value.Value) value.Value {
+		if len(args) != 1 || args[0].IsNull() {
+			return value.Null
+		}
+		return value.Int(int64(len(asString(args[0]))))
+	})
+}
+
+// Equals builds the equality predicate l = r over two columns; the
+// canonical join-edge predicate form.
+func Equals(lcol, rcol string) Expr {
+	return Bin{Op: OpEq, L: Col{lcol}, R: Col{rcol}}
+}
+
+// And conjoins predicates; And() with no arguments is TRUE.
+func And(ps ...Expr) Expr {
+	if len(ps) == 0 {
+		return Lit{value.Bool(true)}
+	}
+	e := ps[0]
+	for _, p := range ps[1:] {
+		e = Bin{Op: OpAnd, L: e, R: p}
+	}
+	return e
+}
+
+// MustParse parses s and panics on error; for statically-known
+// expressions in fixtures and tests.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(fmt.Sprintf("expr: MustParse(%q): %v", s, err))
+	}
+	return e
+}

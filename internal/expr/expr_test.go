@@ -1,0 +1,379 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+var testScheme = relation.NewScheme("C.ID", "C.age", "C.name", "P.ID", "P.salary")
+
+func tup(vals ...string) relation.Tuple {
+	vs := make([]value.Value, len(vals))
+	for i, s := range vals {
+		vs[i] = value.Parse(s)
+	}
+	return relation.NewTuple(testScheme, vs...)
+}
+
+func evalStr(t *testing.T, src string, tp relation.Tuple) value.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e.Eval(tp)
+}
+
+func truth(t *testing.T, src string, tp relation.Tuple) value.Tri {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return Truth(e, tp)
+}
+
+func TestComparisons(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	cases := []struct {
+		src  string
+		want value.Tri
+	}{
+		{"C.age < 7", value.True},
+		{"C.age < 6", value.False},
+		{"C.age <= 6", value.True},
+		{"C.age > 5", value.True},
+		{"C.age >= 7", value.False},
+		{"C.age = 6", value.True},
+		{"C.age <> 6", value.False},
+		{"C.age != 5", value.True},
+		{"C.name = 'Maya'", value.True},
+		{"C.ID = 'Maya'", value.False},
+		{"C.ID = P.ID", value.Unknown}, // string "002" vs int 101: incomparable
+		{"C.age < 7 AND C.name = 'Maya'", value.True},
+		{"C.age > 7 OR C.name = 'Maya'", value.True},
+		{"NOT C.age < 7", value.False},
+		{"NOT (C.age < 7 AND C.name = 'Maya')", value.False},
+	}
+	for _, c := range cases {
+		if got := truth(t, c.src, tp); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	tp := tup("002", "-", "-", "-", "-")
+	cases := []struct {
+		src  string
+		want value.Tri
+	}{
+		{"C.age < 7", value.Unknown},
+		{"C.age = C.age", value.Unknown},
+		{"C.age IS NULL", value.True},
+		{"C.age IS NOT NULL", value.False},
+		{"C.ID IS NOT NULL", value.True},
+		// Paper-style null comparisons normalize to IS NULL tests.
+		{"C.age = null", value.True},
+		{"C.ID <> null", value.True},
+		{"C.age <> null", value.False},
+		// Unknown propagation through logic.
+		{"C.age < 7 AND C.ID = '002'", value.Unknown},
+		{"C.age < 7 AND C.ID = 'xxx'", value.False},
+		{"C.age < 7 OR C.ID = '002'", value.True},
+		{"C.age < 7 OR C.ID = 'xxx'", value.Unknown},
+		{"NOT C.age < 7", value.Unknown},
+	}
+	for _, c := range cases {
+		if got := truth(t, c.src, tp); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	cases := []struct {
+		src  string
+		want value.Value
+	}{
+		{"C.age + 1", value.Int(7)},
+		{"C.age - 10", value.Int(-4)},
+		{"C.age * 2", value.Int(12)},
+		{"C.age / 2", value.Int(3)},
+		{"C.age / 4", value.Float(1.5)},
+		{"C.age / 0", value.Null},
+		{"-C.age", value.Int(-6)},
+		{"C.age + 0.5", value.Float(6.5)},
+		{"P.salary + P.salary", value.Int(100000)},
+		{"C.name || '!'", value.String("Maya!")},
+		{"2 + 3 * 4", value.Int(14)},
+		{"(2 + 3) * 4", value.Int(20)},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, tp); !got.Equal(c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// Null propagation in arithmetic and concat.
+	nullTp := tup("002", "-", "-", "-", "-")
+	for _, src := range []string{"C.age + 1", "C.name || 'x'", "C.age * 2"} {
+		if got := evalStr(t, src, nullTp); !got.IsNull() {
+			t.Errorf("%q on null = %v, want null", src, got)
+		}
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	cases := []struct {
+		src  string
+		want value.Value
+	}{
+		{"concat(C.name, C.ID)", value.String("Maya:002")},
+		{"concat(C.name, C.age)", value.String("Maya:6")},
+		{"upper(C.name)", value.String("MAYA")},
+		{"lower(C.name)", value.String("maya")},
+		{"coalesce(C.age, 0)", value.Int(6)},
+		{"abs(0 - C.age)", value.Int(6)},
+		{"abs(0.5 - 1)", value.Float(0.5)},
+		{"length(C.name)", value.Int(4)},
+		{"nosuchfunc(C.name)", value.Null},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, tp); !got.Equal(c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+	nullTp := tup("-", "-", "-", "-", "-")
+	if got := evalStr(t, "concat(C.name, C.ID)", nullTp); !got.IsNull() {
+		t.Errorf("concat with null arg = %v, want null", got)
+	}
+	if got := evalStr(t, "coalesce(C.age, 42)", nullTp); !got.Equal(value.Int(42)) {
+		t.Errorf("coalesce fallback = %v, want 42", got)
+	}
+	if got := evalStr(t, "coalesce(C.age, C.name)", nullTp); !got.IsNull() {
+		t.Errorf("coalesce all-null = %v, want null", got)
+	}
+}
+
+func TestRegisterFunc(t *testing.T) {
+	RegisterFunc("testDouble", func(args []value.Value) value.Value {
+		if len(args) != 1 {
+			return value.Null
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return value.Null
+		}
+		return value.Float(2 * f)
+	})
+	if !HasFunc("TESTDOUBLE") {
+		t.Error("HasFunc should be case-insensitive")
+	}
+	tp := tup("002", "6", "Maya", "101", "50000")
+	if got := evalStr(t, "testdouble(C.age)", tp); !got.Equal(value.Float(12)) {
+		t.Errorf("testdouble = %v", got)
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	if got := evalStr(t, "'O''Brien'", tp); !got.Equal(value.String("O'Brien")) {
+		t.Errorf("escaped string = %v", got)
+	}
+	if got := evalStr(t, "TRUE", tp); !got.Equal(value.Bool(true)) {
+		t.Error("TRUE literal wrong")
+	}
+	if got := evalStr(t, "false", tp); !got.Equal(value.Bool(false)) {
+		t.Error("false literal wrong")
+	}
+	if got := evalStr(t, "NULL", tp); !got.IsNull() {
+		t.Error("NULL literal wrong")
+	}
+	if got := evalStr(t, "2.5", tp); !got.Equal(value.Float(2.5)) {
+		t.Error("float literal wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "C.age <", "(C.age", "C.age AND", "f(a,", "'unterminated",
+		"C.age < null", "C.age IS 7", "* 3", "1 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input should panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestColumns(t *testing.T) {
+	e := MustParse("C.age < 7 AND concat(C.name, P.ID) = 'x'")
+	cols := e.Columns(nil)
+	want := map[string]bool{"C.age": true, "C.name": true, "P.ID": true}
+	if len(cols) != 3 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// String output must re-parse to an expression with identical
+	// semantics on sample tuples.
+	srcs := []string{
+		"C.age < 7 AND C.name = 'Maya'",
+		"NOT (C.age >= 7 OR C.ID IS NULL)",
+		"concat(C.name, C.ID) || '!'",
+		"C.age + 1 * 2 - 3",
+		"P.salary IS NOT NULL",
+		"(C.age + 1) * 2",
+	}
+	tuples := []relation.Tuple{
+		tup("002", "6", "Maya", "101", "50000"),
+		tup("-", "-", "-", "-", "-"),
+		tup("001", "9", "Ann", "-", "-"),
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", e1.String(), src, err)
+		}
+		for _, tp := range tuples {
+			if !e1.Eval(tp).Equal(e2.Eval(tp)) && !(e1.Eval(tp).IsNull() && e2.Eval(tp).IsNull()) {
+				t.Errorf("round-trip changed semantics for %q on %v", src, tp)
+			}
+		}
+	}
+}
+
+func TestIsStrong(t *testing.T) {
+	s := relation.NewScheme("A.x", "B.y")
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"A.x = B.y", true}, // join predicates are strong
+		{"A.x < B.y", true},
+		{"A.x = 5", true},
+		{"A.x IS NULL", false}, // true on all-null: not strong
+		{"TRUE", false},
+		{"A.x IS NOT NULL", true},
+		{"NOT A.x = 5", true}, // unknown on all-null: strong
+		{"A.x = 5 OR A.x IS NULL", false},
+	}
+	for _, c := range cases {
+		if got := IsStrong(MustParse(c.src), s); got != c.want {
+			t.Errorf("IsStrong(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMissingColumnEvaluatesNull(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	if got := evalStr(t, "Z.missing = 1", tp); !got.IsNull() {
+		t.Errorf("missing column comparison = %v, want null/unknown", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tp := tup("002", "6", "Maya", "002", "50000")
+	eq := Equals("C.ID", "P.ID")
+	if Truth(eq, tp) != value.True {
+		t.Error("Equals helper wrong")
+	}
+	if got := And().Eval(tp); !got.Equal(value.Bool(true)) {
+		t.Error("empty And should be TRUE")
+	}
+	conj := And(MustParse("C.age < 7"), MustParse("C.name = 'Maya'"))
+	if Truth(conj, tp) != value.True {
+		t.Error("And conjunction wrong")
+	}
+}
+
+// Property: parser round-trips arbitrary integer comparisons and the
+// evaluator agrees with Go comparison.
+func TestComparisonProperty(t *testing.T) {
+	s := relation.NewScheme("R.x")
+	f := func(x int16, y int16) bool {
+		tp := relation.NewTuple(s, value.Int(int64(x)))
+		e := MustParse("R.x < " + value.Int(int64(y)).String())
+		return (Truth(e, tp) == value.True) == (int64(x) < int64(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any conjunction of column-column equality predicates is
+// strong (false/unknown on the all-null tuple) — the requirement on
+// query-graph edge labels.
+func TestEqualityConjunctionsStrongProperty(t *testing.T) {
+	s := relation.NewScheme("A.a", "A.b", "B.a", "B.b")
+	cols := s.Names()
+	f := func(pairs [][2]uint8) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		var ps []Expr
+		for _, p := range pairs {
+			ps = append(ps, Equals(cols[int(p[0])%len(cols)], cols[int(p[1])%len(cols)]))
+		}
+		return IsStrong(And(ps...), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := MustParse("NOT (C.age < 7 AND C.ID IS NULL)")
+	s := e.String()
+	for _, want := range []string{"NOT", "C.age < 7", "IS NULL", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRenameColumns(t *testing.T) {
+	e := MustParse("C.age IN (P.ID, 1) AND C.name LIKE 'M%' AND C.age BETWEEN 1 AND P.salary AND NOT concat(C.name) IS NULL")
+	renamed := RenameColumns(e, map[string]string{"C.age": "X.age", "P.ID": "X.ID", "C.name": "X.name", "P.salary": "X.salary"})
+	for _, old := range []string{"C.age", "P.ID", "C.name", "P.salary"} {
+		for _, c := range renamed.Columns(nil) {
+			if c == old {
+				t.Errorf("column %s not renamed in %s", old, renamed)
+			}
+		}
+	}
+	// RenameQualifiers maps whole relations.
+	q := RenameQualifiers(MustParse("Parents.aff = 'x' OR Parents.salary > 1"), map[string]string{"Parents": "Parents2"})
+	for _, c := range q.Columns(nil) {
+		if c == "Parents.aff" || c == "Parents.salary" {
+			t.Errorf("qualifier not renamed: %v", q)
+		}
+	}
+	// No-op rename returns equal semantics.
+	same := RenameQualifiers(MustParse("C.age < 7"), map[string]string{"Zzz": "Yyy"})
+	if same.String() != "C.age < 7" {
+		t.Errorf("no-op rename changed expr: %s", same)
+	}
+}

@@ -1,0 +1,171 @@
+package expr
+
+import (
+	"strings"
+
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// Extended predicate forms used in trimming filters: IN lists, BETWEEN
+// ranges, and LIKE patterns. All follow SQL three-valued logic.
+
+// In tests membership of E in a list of expressions. Null E yields
+// unknown; a non-matching list containing a null yields unknown
+// (SQL's IN semantics).
+type In struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Eval implements SQL IN / NOT IN.
+func (n In) Eval(t relation.Tuple) value.Value {
+	v := n.E.Eval(t)
+	if v.IsNull() {
+		return value.Null
+	}
+	sawNull := false
+	hit := false
+	for _, e := range n.List {
+		w := e.Eval(t)
+		if w.IsNull() {
+			sawNull = true
+			continue
+		}
+		if eq := value.Eq(v, w); eq == value.True {
+			hit = true
+			break
+		}
+	}
+	var tri value.Tri
+	switch {
+	case hit:
+		tri = value.True
+	case sawNull:
+		tri = value.Unknown
+	default:
+		tri = value.False
+	}
+	if n.Negate {
+		tri = tri.Not()
+	}
+	return triToVal(tri)
+}
+
+// Columns appends all referenced columns.
+func (n In) Columns(dst []string) []string {
+	dst = n.E.Columns(dst)
+	for _, e := range n.List {
+		dst = e.Columns(dst)
+	}
+	return dst
+}
+
+// String renders E [NOT] IN (list).
+func (n In) String() string {
+	parts := make([]string, len(n.List))
+	for i, e := range n.List {
+		parts[i] = e.String()
+	}
+	not := ""
+	if n.Negate {
+		not = "NOT "
+	}
+	return maybeParen(n.E) + " " + not + "IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// Between tests Lo <= E <= Hi with SQL null propagation.
+type Between struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+// Eval implements SQL BETWEEN.
+func (b Between) Eval(t relation.Tuple) value.Value {
+	v := b.E.Eval(t)
+	lo := b.Lo.Eval(t)
+	hi := b.Hi.Eval(t)
+	tri := value.Less(v, lo).Not().And(value.Less(hi, v).Not())
+	if b.Negate {
+		tri = tri.Not()
+	}
+	return triToVal(tri)
+}
+
+// Columns appends all referenced columns.
+func (b Between) Columns(dst []string) []string {
+	return b.Hi.Columns(b.Lo.Columns(b.E.Columns(dst)))
+}
+
+// String renders E [NOT] BETWEEN Lo AND Hi.
+func (b Between) String() string {
+	not := ""
+	if b.Negate {
+		not = "NOT "
+	}
+	return maybeParen(b.E) + " " + not + "BETWEEN " + maybeParen(b.Lo) + " AND " + maybeParen(b.Hi)
+}
+
+// Like matches E against a SQL pattern with % (any run) and _ (any
+// single byte) wildcards. The pattern is a literal string fixed at
+// parse time.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Eval implements SQL LIKE with 3VL (null input → unknown).
+func (l Like) Eval(t relation.Tuple) value.Value {
+	v := l.E.Eval(t)
+	if v.IsNull() {
+		return value.Null
+	}
+	s := v.String()
+	tri := value.TriOf(likeMatch(s, l.Pattern))
+	if l.Negate {
+		tri = tri.Not()
+	}
+	return triToVal(tri)
+}
+
+// Columns appends the operand's columns.
+func (l Like) Columns(dst []string) []string { return l.E.Columns(dst) }
+
+// String renders E [NOT] LIKE 'pattern'.
+func (l Like) String() string {
+	not := ""
+	if l.Negate {
+		not = "NOT "
+	}
+	return maybeParen(l.E) + " " + not + "LIKE " + value.String(l.Pattern).SQL()
+}
+
+// likeMatch implements %/_ glob matching with backtracking on %.
+func likeMatch(s, pat string) bool {
+	var si, pi int
+	star := -1
+	mark := 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clio/internal/value"
+)
+
+func TestIn(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	nullTp := tup("002", "-", "-", "-", "-")
+	for _, c := range []struct {
+		src  string
+		null bool
+		want value.Tri
+	}{
+		{"C.age IN (5, 6, 7)", false, value.True},
+		{"C.age IN (1, 2)", false, value.False},
+		{"C.age NOT IN (1, 2)", false, value.True},
+		{"C.age NOT IN (5, 6)", false, value.False},
+		{"C.name IN ('Ann', 'Maya')", false, value.True},
+		{"C.age IN (1, NULL)", false, value.Unknown},
+		{"C.age IN (6, NULL)", false, value.True},
+		{"C.age NOT IN (1, NULL)", false, value.Unknown},
+		{"C.age IN (1, 2)", true, value.Unknown},
+	} {
+		target := tp
+		if c.null {
+			target = nullTp
+		}
+		if got := truth(t, c.src, target); got != c.want {
+			t.Errorf("%q (null=%v) = %v, want %v", c.src, c.null, got, c.want)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	nullTp := tup("002", "-", "-", "-", "-")
+	cases := []struct {
+		src  string
+		null bool
+		want value.Tri
+	}{
+		{"C.age BETWEEN 5 AND 7", false, value.True},
+		{"C.age BETWEEN 6 AND 6", false, value.True},
+		{"C.age BETWEEN 7 AND 9", false, value.False},
+		{"C.age NOT BETWEEN 7 AND 9", false, value.True},
+		{"C.age BETWEEN 1 AND 3", false, value.False},
+		{"C.age BETWEEN 5 AND 7", true, value.Unknown},
+		{"C.age BETWEEN NULL AND 7", false, value.Unknown},
+	}
+	for _, c := range cases {
+		target := tp
+		if c.null {
+			target = nullTp
+		}
+		if got := truth(t, c.src, target); got != c.want {
+			t.Errorf("%q (null=%v) = %v, want %v", c.src, c.null, got, c.want)
+		}
+	}
+	// Half-known BETWEEN can still be definite: 6 BETWEEN 8 AND null
+	// is false because 6 < 8 regardless of the upper bound.
+	if got := truth(t, "C.age BETWEEN 8 AND NULL", tp); got != value.False {
+		t.Errorf("short-circuit BETWEEN = %v, want false", got)
+	}
+}
+
+func TestLike(t *testing.T) {
+	tp := tup("002", "6", "Maya", "101", "50000")
+	nullTp := tup("002", "-", "-", "-", "-")
+	cases := []struct {
+		src  string
+		null bool
+		want value.Tri
+	}{
+		{"C.name LIKE 'Maya'", false, value.True},
+		{"C.name LIKE 'M%'", false, value.True},
+		{"C.name LIKE '%a'", false, value.True},
+		{"C.name LIKE '%ay%'", false, value.True},
+		{"C.name LIKE 'M_ya'", false, value.True},
+		{"C.name LIKE 'm%'", false, value.False},
+		{"C.name LIKE '_'", false, value.False},
+		{"C.name LIKE '____'", false, value.True},
+		{"C.name NOT LIKE 'Z%'", false, value.True},
+		{"C.name LIKE '%'", false, value.True},
+		{"C.name LIKE 'M%'", true, value.Unknown},
+	}
+	for _, c := range cases {
+		target := tp
+		if c.null {
+			target = nullTp
+		}
+		if got := truth(t, c.src, target); got != c.want {
+			t.Errorf("%q (null=%v) = %v, want %v", c.src, c.null, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// Property: a pattern equal to the string always matches; a "%"
+	// wrapped substring always matches.
+	f := func(s string) bool {
+		if len(s) > 40 {
+			s = s[:40]
+		}
+		// Avoid wildcard bytes inside the generated string.
+		clean := make([]byte, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			if s[i] != '%' && s[i] != '_' {
+				clean = append(clean, s[i])
+			}
+		}
+		cs := string(clean)
+		if !likeMatch(cs, cs) {
+			return false
+		}
+		if len(cs) >= 2 {
+			mid := cs[1 : len(cs)-1]
+			if !likeMatch(cs, "%"+mid+"%") {
+				return false
+			}
+		}
+		return likeMatch(cs, "%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendedParseErrors(t *testing.T) {
+	bad := []string{
+		"C.age IN 5",
+		"C.age IN (5",
+		"C.age IN (5;)",
+		"C.age BETWEEN 5",
+		"C.age BETWEEN 5 OR 7",
+		"C.name LIKE C.name",
+		"C.name LIKE 7",
+		"C.age NOT 5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExtendedStringRoundTrip(t *testing.T) {
+	tuples := []struct{ vals []string }{
+		{[]string{"002", "6", "Maya", "101", "50000"}},
+		{[]string{"-", "-", "-", "-", "-"}},
+	}
+	for _, src := range []string{
+		"C.age IN (5, 6, 7)",
+		"C.age NOT IN (1, C.age)",
+		"C.age BETWEEN 5 AND 7",
+		"C.age NOT BETWEEN 1 AND 3",
+		"C.name LIKE 'M%'",
+		"C.name NOT LIKE '%z'",
+	} {
+		e1 := MustParse(src)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", e1.String(), err)
+		}
+		for _, tc := range tuples {
+			tp := tup(tc.vals...)
+			v1, v2 := e1.Eval(tp), e2.Eval(tp)
+			if !v1.Equal(v2) && !(v1.IsNull() && v2.IsNull()) {
+				t.Errorf("round-trip changed %q on %v", src, tp)
+			}
+		}
+	}
+}
+
+func TestExtendedColumns(t *testing.T) {
+	e := MustParse("C.age IN (P.ID, 5) AND C.name LIKE 'M%' AND C.age BETWEEN P.salary AND 9")
+	cols := map[string]bool{}
+	for _, c := range e.Columns(nil) {
+		cols[c] = true
+	}
+	for _, want := range []string{"C.age", "P.ID", "C.name", "P.salary"} {
+		if !cols[want] {
+			t.Errorf("missing column %s in %v", want, cols)
+		}
+	}
+}
+
+func TestExtendedStrength(t *testing.T) {
+	s := testScheme
+	// IN/BETWEEN/LIKE on null input are unknown → strong.
+	for _, src := range []string{
+		"C.age IN (1, 2)", "C.age BETWEEN 1 AND 2", "C.name LIKE 'x%'",
+	} {
+		if !IsStrong(MustParse(src), s) {
+			t.Errorf("%q should be strong", src)
+		}
+	}
+	// NOT IN over null is still unknown → strong; but IS NULL is not.
+	if !IsStrong(MustParse("C.age NOT IN (1)"), s) {
+		t.Error("NOT IN should be strong")
+	}
+}

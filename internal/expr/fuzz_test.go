@@ -1,0 +1,63 @@
+package expr
+
+import (
+	"testing"
+
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts round-trips: the String rendering re-parses, and both
+// expressions evaluate identically on sample tuples.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"C.age < 7",
+		"a.b = c.d AND NOT x.y IS NULL",
+		"concat(a.b, 'x') || 'y'",
+		"a.b IN (1, 2, NULL)",
+		"a.b BETWEEN 1 AND 9 OR a.b LIKE 'x%'",
+		"1 + 2 * 3 - -4 / 5",
+		"'it''s' <> NULL",
+		"((", "a..b", "IN (", "%", "NOT NOT NOT a.b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	s1 := relation.NewScheme("a.b", "c.d", "x.y", "C.age")
+	tuples := []relation.Tuple{
+		relation.NewTuple(s1, value.Int(1), value.String("q"), value.Null, value.Int(6)),
+		relation.AllNull(s1),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		for _, tp := range tuples {
+			v1, v2 := e.Eval(tp), e2.Eval(tp)
+			if !v1.Equal(v2) && !(v1.IsNull() && v2.IsNull()) {
+				t.Fatalf("round-trip semantics changed for %q: %v vs %v", src, v1, v2)
+			}
+		}
+	})
+}
+
+// FuzzLikeMatch checks the wildcard matcher never panics or loops.
+func FuzzLikeMatch(f *testing.F) {
+	f.Add("Maya", "M%")
+	f.Add("", "%")
+	f.Add("aaa", "a_a")
+	f.Add("x", "%%%_")
+	f.Fuzz(func(t *testing.T, s, pat string) {
+		if len(s) > 200 || len(pat) > 200 {
+			return
+		}
+		likeMatch(s, pat)
+	})
+}

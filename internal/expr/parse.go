@@ -1,0 +1,414 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"clio/internal/value"
+)
+
+// Parse parses a SQL-flavoured expression:
+//
+//	expr     := or
+//	or       := and { OR and }
+//	and      := not { AND not }
+//	not      := NOT not | cmp
+//	cmp      := add [ (=|<>|!=|<|<=|>|>=) add | IS [NOT] NULL ]
+//	add      := mul { (+|-|'||') mul }
+//	mul      := unary { (*|/) unary }
+//	unary    := - unary | primary
+//	primary  := literal | column | func(args) | ( expr )
+//	literal  := number | 'string' | TRUE | FALSE | NULL
+//	column   := ident[.ident]
+//
+// Comparisons against the NULL literal (x = null, x <> null) are
+// accepted because the paper writes filters that way (Example 3.13);
+// they are normalized to IS NULL / IS NOT NULL so they behave as the
+// paper intends rather than as SQL's always-unknown comparison.
+func Parse(s string) (Expr, error) {
+	p := &parser{src: s}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d in %q", p.tok.text, p.tok.off, s)
+	}
+	return e, nil
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	off  int
+}
+
+type parser struct {
+	src string
+	pos int
+	tok token
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("expr: "+format+" (offset %d in %q)", append(args, p.tok.off, p.src)...)
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.src) {
+		p.tok = token{kind: tokEOF, off: start}
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '\'':
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.src) {
+			if p.src[p.pos] == '\'' {
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\'' {
+					b.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				p.tok = token{kind: tokString, text: b.String(), off: start}
+				return
+			}
+			b.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		p.tok = token{kind: tokOp, text: "<unterminated string>", off: start}
+	case isIdentStart(c):
+		for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+			p.pos++
+		}
+		p.tok = token{kind: tokIdent, text: p.src[start:p.pos], off: start}
+	case c >= '0' && c <= '9':
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		p.tok = token{kind: tokNumber, text: p.src[start:p.pos], off: start}
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<>", "!=", "<=", ">=", "||"} {
+			if strings.HasPrefix(p.src[p.pos:], op) {
+				p.pos += len(op)
+				p.tok = token{kind: tokOp, text: op, off: start}
+				return
+			}
+		}
+		p.pos++
+		p.tok = token{kind: tokOp, text: string(c), off: start}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive identifier).
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.keyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.tok.kind == tokOp && p.tok.text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = Bin{Op: OpOr, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	e, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		e = Bin{Op: OpAnd, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]BinOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	e, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("IS") {
+		p.next()
+		neg := p.acceptKeyword("NOT")
+		if !p.acceptKeyword("NULL") {
+			return nil, p.errf("expected NULL after IS")
+		}
+		return IsNull{E: e, Negate: neg}, nil
+	}
+	// Postfix predicate forms, with optional infix NOT: IN, BETWEEN,
+	// LIKE.
+	negate := false
+	if p.keyword("NOT") {
+		p.next()
+		if !p.keyword("IN") && !p.keyword("BETWEEN") && !p.keyword("LIKE") {
+			return nil, p.errf("expected IN, BETWEEN or LIKE after NOT")
+		}
+		negate = true
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if !p.acceptOp("(") {
+			return nil, p.errf("expected ( after IN")
+		}
+		var list []Expr
+		for {
+			item, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+			if p.acceptOp(",") {
+				continue
+			}
+			if p.acceptOp(")") {
+				break
+			}
+			return nil, p.errf("expected , or ) in IN list")
+		}
+		return In{E: e, List: list, Negate: negate}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKeyword("AND") {
+			return nil, p.errf("expected AND in BETWEEN")
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: e, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKeyword("LIKE"):
+		if p.tok.kind != tokString {
+			return nil, p.errf("LIKE requires a string literal pattern")
+		}
+		pat := p.tok.text
+		p.next()
+		return Like{E: e, Pattern: pat, Negate: negate}, nil
+	}
+	if p.tok.kind == tokOp {
+		if op, ok := cmpOps[p.tok.text]; ok {
+			p.next()
+			// Normalize "x = null" / "x <> null" to IS NULL tests,
+			// matching the paper's filter syntax (Example 3.13).
+			if p.keyword("NULL") {
+				p.next()
+				switch op {
+				case OpEq:
+					return IsNull{E: e}, nil
+				case OpNe:
+					return IsNull{E: e, Negate: true}, nil
+				default:
+					return nil, p.errf("cannot order-compare against NULL")
+				}
+			}
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Bin{Op: op, L: e, R: r}, nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	e, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.tok.kind == tokOp && p.tok.text == "+":
+			op = OpAdd
+		case p.tok.kind == tokOp && p.tok.text == "-":
+			op = OpSub
+		case p.tok.kind == tokOp && p.tok.text == "||":
+			op = OpConcat
+		default:
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		e = Bin{Op: op, L: e, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := OpMul
+		if p.tok.text == "/" {
+			op = OpDiv
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = Bin{Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Bin{Op: OpSub, L: Lit{value.Int(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		text := p.tok.text
+		p.next()
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", text)
+			}
+			return Lit{value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", text)
+		}
+		return Lit{value.Int(i)}, nil
+	case tokString:
+		text := p.tok.text
+		p.next()
+		return Lit{value.String(text)}, nil
+	case tokIdent:
+		text := p.tok.text
+		switch {
+		case strings.EqualFold(text, "TRUE"):
+			p.next()
+			return Lit{value.Bool(true)}, nil
+		case strings.EqualFold(text, "FALSE"):
+			p.next()
+			return Lit{value.Bool(false)}, nil
+		case strings.EqualFold(text, "NULL"):
+			p.next()
+			return Lit{value.Null}, nil
+		}
+		p.next()
+		if p.acceptOp("(") {
+			var args []Expr
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.acceptOp(",") {
+						continue
+					}
+					if p.acceptOp(")") {
+						break
+					}
+					return nil, p.errf("expected , or ) in call to %s", text)
+				}
+			}
+			return Call{Name: text, Args: args}, nil
+		}
+		return Col{Name: text}, nil
+	case tokOp:
+		if p.acceptOp("(") {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptOp(")") {
+				return nil, p.errf("missing )")
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", p.tok.text)
+}

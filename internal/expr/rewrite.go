@@ -1,0 +1,67 @@
+package expr
+
+// RenameColumns returns a copy of e with every column reference
+// renamed through the map (absent names are kept). Used when a data
+// walk introduces a relation copy and correspondences or filters must
+// follow the new occurrence name (Parents.affiliation →
+// Parents2.affiliation).
+func RenameColumns(e Expr, m map[string]string) Expr {
+	switch n := e.(type) {
+	case Lit:
+		return n
+	case Col:
+		if nn, ok := m[n.Name]; ok {
+			return Col{Name: nn}
+		}
+		return n
+	case Bin:
+		return Bin{Op: n.Op, L: RenameColumns(n.L, m), R: RenameColumns(n.R, m)}
+	case Not:
+		return Not{E: RenameColumns(n.E, m)}
+	case IsNull:
+		return IsNull{E: RenameColumns(n.E, m), Negate: n.Negate}
+	case Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = RenameColumns(a, m)
+		}
+		return Call{Name: n.Name, Args: args}
+	case In:
+		list := make([]Expr, len(n.List))
+		for i, a := range n.List {
+			list[i] = RenameColumns(a, m)
+		}
+		return In{E: RenameColumns(n.E, m), List: list, Negate: n.Negate}
+	case Between:
+		return Between{
+			E: RenameColumns(n.E, m), Lo: RenameColumns(n.Lo, m),
+			Hi: RenameColumns(n.Hi, m), Negate: n.Negate,
+		}
+	case Like:
+		return Like{E: RenameColumns(n.E, m), Pattern: n.Pattern, Negate: n.Negate}
+	default:
+		return e
+	}
+}
+
+// RenameQualifiers returns a copy of e with the relation qualifier of
+// every column rewritten through the map: {"Parents": "Parents2"}
+// renames Parents.x to Parents2.x for every attribute x.
+func RenameQualifiers(e Expr, m map[string]string) Expr {
+	cols := e.Columns(nil)
+	rename := map[string]string{}
+	for _, c := range cols {
+		for i := 0; i < len(c); i++ {
+			if c[i] == '.' {
+				if nn, ok := m[c[:i]]; ok {
+					rename[c] = nn + c[i:]
+				}
+				break
+			}
+		}
+	}
+	if len(rename) == 0 {
+		return e
+	}
+	return RenameColumns(e, rename)
+}

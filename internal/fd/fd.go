@@ -1,0 +1,350 @@
+// Package fd computes the full disjunction D(G) of a query graph
+// (Definitions 3.5–3.11): the minimum union of the full data
+// associations of every induced connected subgraph of G. D(G) is the
+// set of data associations a mapping query ranges over, so this is
+// the engine room of the whole system.
+//
+// Three algorithms are provided:
+//
+//   - FullDisjunctionNaive: literally Definition 3.5 — cross product
+//     plus selection per subgraph. Reference implementation for tests.
+//   - FullDisjunction: joins along each connected subgraph (hash joins
+//     on the edge predicates), then one minimum union. Exact for any
+//     connected query graph; exponential in node count because the
+//     number of connected subgraphs is.
+//   - FullDisjunctionOuterJoin: a sequence of full outer joins along a
+//     BFS spanning order, plus a final subsumption sweep. The fast
+//     path for tree query graphs, which is what Clio's data walks and
+//     chases construct (benchmark E1 quantifies the gap).
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clio/internal/algebra"
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// Scheme returns the D(G) scheme: the concatenation of every node's
+// qualified scheme, in node insertion order.
+func Scheme(g *graph.QueryGraph, in *relation.Instance) (*relation.Scheme, error) {
+	var s *relation.Scheme
+	for _, name := range g.Nodes() {
+		n, _ := g.Node(name)
+		r, err := in.Aliased(n.Base, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		if s == nil {
+			s = r.Scheme()
+		} else {
+			s = s.Concat(r.Scheme())
+		}
+	}
+	if s == nil {
+		return nil, fmt.Errorf("fd: empty query graph")
+	}
+	return s, nil
+}
+
+// nodeBlocks returns, for each node name, the positions of its
+// attributes within the D(G) scheme.
+func nodeBlocks(g *graph.QueryGraph, in *relation.Instance, s *relation.Scheme) (map[string][]int, error) {
+	out := map[string][]int{}
+	for _, name := range g.Nodes() {
+		n, _ := g.Node(name)
+		r, err := in.Aliased(n.Base, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = s.Positions(r.Scheme().Names()...)
+	}
+	return out, nil
+}
+
+// Coverage returns the node names covered by data association d: the
+// nodes whose attribute block is not all-null. This inverts
+// Definition 3.6 under the paper's assumption that source relations
+// contain no all-null tuples.
+func Coverage(d relation.Tuple, g *graph.QueryGraph, in *relation.Instance) ([]string, error) {
+	blocks, err := nodeBlocks(g, in, d.Scheme())
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, name := range g.Nodes() {
+		for _, p := range blocks[name] {
+			if !d.At(p).IsNull() {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Tag abbreviates a coverage set using the given abbreviation map
+// (missing entries fall back to the full name), concatenated in sorted
+// order — the paper's "CPPh"-style tags of Figure 8.
+func Tag(coverage []string, abbrev map[string]string) string {
+	parts := make([]string, len(coverage))
+	for i, c := range coverage {
+		if a, ok := abbrev[c]; ok {
+			parts[i] = a
+		} else {
+			parts[i] = c
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "")
+}
+
+// FullAssociations computes F(J) (Definition 3.5) for the subgraph of
+// g induced by the given node subset, which must induce a connected
+// subgraph. Joins follow a spanning order with hash joins on tree
+// edges; cycle edges are applied as residual selections.
+func FullAssociations(g *graph.QueryGraph, in *relation.Instance, subset []string) (*relation.Relation, error) {
+	j := g.Induced(subset)
+	order, treeEdges, ok := j.SpanningTreeOrder()
+	if !ok {
+		return nil, fmt.Errorf("fd: subset %v does not induce a connected subgraph", subset)
+	}
+	n0, _ := j.Node(order[0])
+	acc, err := in.Aliased(n0.Base, n0.Name)
+	if err != nil {
+		return nil, err
+	}
+	used := map[string]bool{}
+	for i := 1; i < len(order); i++ {
+		n, _ := j.Node(order[i])
+		r, err := in.Aliased(n.Base, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		e := treeEdges[i]
+		used[edgeKey(e)] = true
+		acc = algebra.JoinRelations(algebra.InnerJoin, acc, r, e.Pred)
+	}
+	// Residual (cycle) edges.
+	var residual []expr.Expr
+	for _, e := range j.Edges() {
+		if !used[edgeKey(e)] {
+			residual = append(residual, e.Pred)
+		}
+	}
+	if len(residual) > 0 {
+		pred := expr.And(residual...)
+		acc = acc.Filter(func(t relation.Tuple) bool {
+			return expr.Truth(pred, t) == value.True
+		})
+	}
+	acc.Name = "F(" + strings.Join(subset, ",") + ")"
+	return acc, nil
+}
+
+func edgeKey(e graph.Edge) string {
+	a, b := e.A, e.B
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b + "\x00" + e.Label()
+}
+
+// FullDisjunction computes D(G) by enumerating all induced connected
+// subgraphs, computing each F(J) with hash joins, padding, and taking
+// one minimum union (Definition 3.11). Exact for any connected graph.
+func FullDisjunction(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	if g.NodeCount() == 0 {
+		return nil, fmt.Errorf("fd: empty query graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("fd: query graph is not connected")
+	}
+	s, err := Scheme(g, in)
+	if err != nil {
+		return nil, err
+	}
+	subsets := g.ConnectedSubsets()
+	padded := relation.New("D(G)", s)
+	for _, sub := range subsets {
+		f, err := FullAssociations(g, in, sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range f.Tuples() {
+			padded.Add(t.PadTo(s))
+		}
+	}
+	out := relation.RemoveSubsumed(padded.Distinct())
+	out.Name = "D(G)"
+	return out, nil
+}
+
+// FullDisjunctionNaive computes D(G) per the letter of Definition 3.5:
+// cross products filtered by the conjunction of edge predicates. Only
+// usable on tiny inputs; the reference for differential tests.
+func FullDisjunctionNaive(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	if g.NodeCount() == 0 {
+		return nil, fmt.Errorf("fd: empty query graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("fd: query graph is not connected")
+	}
+	s, err := Scheme(g, in)
+	if err != nil {
+		return nil, err
+	}
+	padded := relation.New("D(G)", s)
+	for _, sub := range g.ConnectedSubsets() {
+		j := g.Induced(sub)
+		// Cross product of the subset's relations.
+		var acc *relation.Relation
+		for _, name := range j.Nodes() {
+			n, _ := j.Node(name)
+			r, err := in.Aliased(n.Base, n.Name)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = r
+				continue
+			}
+			cs := acc.Scheme().Concat(r.Scheme())
+			next := relation.New("", cs)
+			for _, lt := range acc.Tuples() {
+				for _, rt := range r.Tuples() {
+					next.Add(lt.ConcatTo(cs, rt))
+				}
+			}
+			acc = next
+		}
+		// Selection by conjunction of all edge predicates.
+		var preds []expr.Expr
+		for _, e := range j.Edges() {
+			preds = append(preds, e.Pred)
+		}
+		pred := expr.And(preds...)
+		for _, t := range acc.Tuples() {
+			if expr.Truth(pred, t) == value.True {
+				padded.Add(t.PadTo(s))
+			}
+		}
+	}
+	out := relation.RemoveSubsumed(padded.Distinct())
+	out.Name = "D(G)"
+	return out, nil
+}
+
+// FullDisjunctionOuterJoin computes D(G) for a tree query graph as a
+// sequence of full outer joins along a BFS spanning order, followed by
+// a subsumption sweep. It returns an error for non-tree graphs; use
+// FullDisjunction there.
+func FullDisjunctionOuterJoin(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	if !g.IsTree() {
+		return nil, fmt.Errorf("fd: outer-join algorithm requires a tree query graph")
+	}
+	order, treeEdges, ok := g.SpanningTreeOrder()
+	if !ok {
+		return nil, fmt.Errorf("fd: query graph is not connected")
+	}
+	n0, _ := g.Node(order[0])
+	acc, err := in.Aliased(n0.Base, n0.Name)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(order); i++ {
+		n, _ := g.Node(order[i])
+		r, err := in.Aliased(n.Base, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		acc = algebra.JoinRelations(algebra.FullJoin, acc, r, treeEdges[i].Pred)
+	}
+	// Align to the canonical D(G) scheme (node insertion order).
+	s, err := Scheme(g, in)
+	if err != nil {
+		return nil, err
+	}
+	aligned := relation.New("D(G)", s)
+	for _, t := range acc.Tuples() {
+		aligned.Add(t.Project(s))
+	}
+	out := relation.RemoveSubsumed(aligned.Distinct())
+	out.Name = "D(G)"
+	return out, nil
+}
+
+// Compute computes D(G) with the best applicable algorithm: the
+// outer-join sequence for trees, subgraph enumeration otherwise.
+func Compute(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	if g.IsTree() {
+		return FullDisjunctionOuterJoin(g, in)
+	}
+	return FullDisjunction(g, in)
+}
+
+// Partition groups D(G)'s tuples by coverage, keyed by the sorted
+// coverage joined with "+" — the categories D(G, J) of Section 4.2.
+// Tuple order within a category follows relation order.
+func Partition(d *relation.Relation, g *graph.QueryGraph, in *relation.Instance) (map[string][]relation.Tuple, error) {
+	blocks, err := nodeBlocks(g, in, d.Scheme())
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]relation.Tuple{}
+	for _, t := range d.Tuples() {
+		var cov []string
+		for _, name := range g.Nodes() {
+			for _, p := range blocks[name] {
+				if !t.At(p).IsNull() {
+					cov = append(cov, name)
+					break
+				}
+			}
+		}
+		sort.Strings(cov)
+		k := strings.Join(cov, "+")
+		out[k] = append(out[k], t)
+	}
+	return out, nil
+}
+
+// CoverageKey renders a sorted node set as a Partition key.
+func CoverageKey(nodes []string) string {
+	s := append([]string(nil), nodes...)
+	sort.Strings(s)
+	return strings.Join(s, "+")
+}
+
+// CoverageAll computes the coverage of every tuple of a D(G) relation
+// in one pass, resolving the node attribute blocks once. Equivalent to
+// calling Coverage per tuple, but O(nodes) setup instead of per-tuple.
+func CoverageAll(d *relation.Relation, g *graph.QueryGraph, in *relation.Instance) ([][]string, error) {
+	blocks, err := nodeBlocks(g, in, d.Scheme())
+	if err != nil {
+		return nil, err
+	}
+	nodes := g.Nodes()
+	out := make([][]string, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		t := d.At(i)
+		var cov []string
+		for _, name := range nodes {
+			for _, p := range blocks[name] {
+				if !t.At(p).IsNull() {
+					cov = append(cov, name)
+					break
+				}
+			}
+		}
+		sort.Strings(cov)
+		out[i] = cov
+	}
+	return out, nil
+}

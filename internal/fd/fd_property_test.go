@@ -1,0 +1,203 @@
+package fd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// Property: every tuple of D(G) has a coverage set that induces a
+// connected subgraph of G (Definition 3.6 requires it).
+func TestCoverageIsConnectedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		g, in := randomTreeCase(rng, 2+rng.Intn(3), 1+rng.Intn(4))
+		d, err := Compute(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range d.Tuples() {
+			cov, err := Coverage(tp, g, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cov) == 0 {
+				t.Fatalf("empty coverage for %v", tp)
+			}
+			if !g.Induced(cov).Connected() {
+				t.Fatalf("coverage %v of %v is disconnected in\n%v", cov, tp, g)
+			}
+		}
+	}
+}
+
+// Property: D(G) restricted to full coverage equals F(G) — the inner
+// join of everything.
+func TestFullCoverageEqualsInnerJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		g, in := randomTreeCase(rng, 3, 1+rng.Intn(4))
+		d, err := Compute(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := FullAssociations(g, in, g.Nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := relation.New("full", d.Scheme())
+		allNodes := len(g.Nodes())
+		for _, tp := range d.Tuples() {
+			cov, _ := Coverage(tp, g, in)
+			if len(cov) == allNodes {
+				covered.Add(tp)
+			}
+		}
+		if !covered.EqualSet(full.Project(d.Scheme().Names()...)) {
+			t.Fatalf("trial %d: full-coverage slice differs from inner join", trial)
+		}
+	}
+}
+
+func TestEmptyRelations(t *testing.T) {
+	// Instances with empty relations: D(G) degrades gracefully to the
+	// non-empty sides.
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("A",
+		schema.Attribute{Name: "k", Type: value.KindInt}))
+	sch.MustAddRelation(schema.NewRelation("B",
+		schema.Attribute{Name: "k", Type: value.KindInt}))
+	in := relation.NewInstance(sch)
+	a := in.NewRelationFor("A")
+	a.AddRow("1")
+	a.AddRow("2")
+	in.MustAdd(a)
+	in.MustAdd(in.NewRelationFor("B")) // empty
+
+	g := graph.New()
+	g.MustAddNode("A", "A")
+	g.MustAddNode("B", "B")
+	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
+
+	for name, f := range map[string]func(*graph.QueryGraph, *relation.Instance) (*relation.Relation, error){
+		"subgraph": FullDisjunction,
+		"naive":    FullDisjunctionNaive,
+		"outer":    FullDisjunctionOuterJoin,
+	} {
+		d, err := f(g, in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Len() != 2 {
+			t.Errorf("%s: |D(G)| = %d, want 2 (A rows padded)", name, d.Len())
+		}
+		for _, tp := range d.Tuples() {
+			if !tp.Get("B.k").IsNull() {
+				t.Errorf("%s: B side should be null: %v", name, tp)
+			}
+		}
+	}
+
+	// Both empty: D(G) is empty.
+	in2 := relation.NewInstance(sch)
+	in2.MustAdd(in2.NewRelationFor("A"))
+	in2.MustAdd(in2.NewRelationFor("B"))
+	d, err := Compute(g, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("empty instance D(G) = %d rows", d.Len())
+	}
+}
+
+// Property: |D(G)| for a chain with zero matches is the sum of
+// relation sizes (all singleton associations), and with full matching
+// on a shared single key it is the product (per key).
+func TestCardinalityExtremes(t *testing.T) {
+	sch := schema.NewDatabase()
+	names := []string{"A", "B", "C"}
+	for _, n := range names {
+		sch.MustAddRelation(schema.NewRelation(n,
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindString}))
+	}
+	mk := func(match bool, rows int) *relation.Instance {
+		in := relation.NewInstance(sch)
+		for i, n := range names {
+			r := in.NewRelationFor(n)
+			for j := 0; j < rows; j++ {
+				k := int64(1)
+				if !match {
+					k = int64(i*100 + j)
+				}
+				r.AddValues(value.Int(k), value.String(fmt.Sprintf("%s%d", n, j)))
+			}
+			in.MustAdd(r)
+		}
+		return in
+	}
+	g := graph.New()
+	for _, n := range names {
+		g.MustAddNode(n, n)
+	}
+	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
+	g.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
+
+	noMatch, err := Compute(g, mk(false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMatch.Len() != 9 {
+		t.Errorf("no-match |D(G)| = %d, want 9", noMatch.Len())
+	}
+	allMatch, err := Compute(g, mk(true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allMatch.Len() != 27 {
+		t.Errorf("all-match |D(G)| = %d, want 27", allMatch.Len())
+	}
+}
+
+func TestCoverageAllMatchesPerTuple(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g, in := randomTreeCase(rng, 3, 4)
+	d, err := Compute(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := CoverageAll(d, g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != d.Len() {
+		t.Fatalf("lengths differ: %d vs %d", len(all), d.Len())
+	}
+	for i, tp := range d.Tuples() {
+		single, err := Coverage(tp, g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single) != len(all[i]) {
+			t.Fatalf("tuple %d coverage differs: %v vs %v", i, single, all[i])
+		}
+		for j := range single {
+			if single[j] != all[i][j] {
+				t.Fatalf("tuple %d coverage differs: %v vs %v", i, single, all[i])
+			}
+		}
+	}
+	// Error path: bad graph.
+	bad := graph.New()
+	bad.MustAddNode("Nope", "Nope")
+	if _, err := CoverageAll(d, bad, in); err == nil {
+		t.Error("unknown base should error")
+	}
+}

@@ -1,0 +1,67 @@
+package fd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clio/internal/graph"
+	"clio/internal/relation"
+)
+
+// FullDisjunctionParallel computes D(G) like FullDisjunction but joins
+// the induced connected subgraphs concurrently across CPUs. The
+// per-subgraph joins are independent; only the final minimum union is
+// sequential. Worthwhile for cyclic graphs (where the subgraph
+// algorithm is the only exact option) with many categories.
+func FullDisjunctionParallel(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	if g.NodeCount() == 0 {
+		return nil, fmt.Errorf("fd: empty query graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("fd: query graph is not connected")
+	}
+	s, err := Scheme(g, in)
+	if err != nil {
+		return nil, err
+	}
+	subsets := g.ConnectedSubsets()
+	results := make([]*relation.Relation, len(subsets))
+	errs := make([]error, len(subsets))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(subsets) {
+		workers = len(subsets)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = FullAssociations(g, in, subsets[i])
+			}
+		}()
+	}
+	for i := range subsets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	padded := relation.New("D(G)", s)
+	for _, f := range results {
+		for _, t := range f.Tuples() {
+			padded.Add(t.PadTo(s))
+		}
+	}
+	out := relation.RemoveSubsumed(padded.Distinct())
+	out.Name = "D(G)"
+	return out, nil
+}

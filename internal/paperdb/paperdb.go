@@ -1,0 +1,280 @@
+// Package paperdb reconstructs the paper's running example: the
+// Figure 1 source database (Children, Parents, PhoneDir, SBPS,
+// XmasBar), the Kids target relation of Figure 2, and the mappings of
+// Section 2 and Example 3.15.
+//
+// The paper references Figure 1's rows but the available text does not
+// print them, so the instance here is a reconstruction constrained by
+// every fact the prose states:
+//
+//   - Maya is child 002 (Section 2); focus children are 001, 002, 004
+//     and 009 (Example 4.8).
+//   - Children carry two foreign keys, mid and fid, referencing
+//     Parents.ID (Section 2).
+//   - Every child has a mother and every mother has a phone — so the
+//     D(G) categories C, CP and CPS are empty while CPPh, CPPhS, PPh
+//     and P are not (Examples 3.10 and 4.3).
+//   - Parent 205 has a phone but no children: it appears in D(G) with
+//     coverage PPh but not in the child-focussed illustration
+//     (Example 4.8, Figure 8).
+//   - The value 002 occurs in one attribute of SBPS and two
+//     attributes of XmasBar (Section 2, Figure 5), and nowhere in the
+//     Parents/PhoneDir ID space (parents use numeric IDs).
+//   - Maya's mother and father have different affiliations, so the
+//     Figure 3 scenarios are visually distinguishable (Acta vs IBM).
+//   - SBPS and XmasBar carry no declared constraints: they are the
+//     "cryptic" relations only reachable by data chase.
+package paperdb
+
+import (
+	"clio/internal/core"
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// Abbrev is the paper's node abbreviation map for coverage tags
+// (Figure 8: C, P, P2, Ph, S).
+func Abbrev() map[string]string {
+	return map[string]string{
+		"Children": "C",
+		"Parents":  "P",
+		"Parents2": "P2",
+		"PhoneDir": "Ph",
+		"SBPS":     "S",
+		"XmasBar":  "X",
+	}
+}
+
+// Schema builds the Figure 1 source schema with its declared
+// constraints.
+func Schema() *schema.Database {
+	d := schema.NewDatabase()
+	d.MustAddRelation(schema.NewRelation("Children",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "age", Type: value.KindInt},
+		schema.Attribute{Name: "mid", Type: value.KindInt},
+		schema.Attribute{Name: "fid", Type: value.KindInt},
+		schema.Attribute{Name: "docid", Type: value.KindString},
+	))
+	d.MustAddRelation(schema.NewRelation("Parents",
+		schema.Attribute{Name: "ID", Type: value.KindInt},
+		schema.Attribute{Name: "affiliation", Type: value.KindString},
+		schema.Attribute{Name: "address", Type: value.KindString},
+		schema.Attribute{Name: "salary", Type: value.KindInt},
+	))
+	d.MustAddRelation(schema.NewRelation("PhoneDir",
+		schema.Attribute{Name: "ID", Type: value.KindInt},
+		schema.Attribute{Name: "type", Type: value.KindString},
+		schema.Attribute{Name: "number", Type: value.KindString},
+	))
+	d.MustAddRelation(schema.NewRelation("SBPS",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "time", Type: value.KindString},
+		schema.Attribute{Name: "location", Type: value.KindString},
+	))
+	d.MustAddRelation(schema.NewRelation("XmasBar",
+		schema.Attribute{Name: "giverID", Type: value.KindString},
+		schema.Attribute{Name: "recipientID", Type: value.KindString},
+		schema.Attribute{Name: "gift", Type: value.KindString},
+	))
+	d.AddKey("Children", "ID")
+	d.AddKey("Parents", "ID")
+	d.AddKey("PhoneDir", "ID")
+	d.AddForeignKey("mid_fk", "Children", []string{"mid"}, "Parents", []string{"ID"})
+	d.AddForeignKey("fid_fk", "Children", []string{"fid"}, "Parents", []string{"ID"})
+	d.AddForeignKey("phone_fk", "PhoneDir", []string{"ID"}, "Parents", []string{"ID"})
+	d.AddNotNull("Children", "ID")
+	d.AddNotNull("Children", "name")
+	d.AddNotNull("Parents", "ID")
+	d.AddNotNull("PhoneDir", "ID")
+	d.AddNotNull("PhoneDir", "number")
+	d.AddNotNull("SBPS", "ID")
+	return d
+}
+
+// Kids builds the Figure 2 target relation scheme, extended with the
+// FamilyIncome (Example 3.2) and ArrivalTime (Example 6.2) attributes.
+func Kids() *schema.Relation {
+	return schema.NewRelation("Kids",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "name", Type: value.KindString},
+		schema.Attribute{Name: "address", Type: value.KindString},
+		schema.Attribute{Name: "affiliation", Type: value.KindString},
+		schema.Attribute{Name: "contactPh", Type: value.KindString},
+		schema.Attribute{Name: "BusSchedule", Type: value.KindString},
+		schema.Attribute{Name: "FamilyIncome", Type: value.KindInt},
+		schema.Attribute{Name: "ArrivalTime", Type: value.KindString},
+	)
+}
+
+// Instance builds the Figure 1 data (see the package comment for the
+// constraints the rows satisfy).
+func Instance() *relation.Instance {
+	in := relation.NewInstance(Schema())
+
+	c := in.NewRelationFor("Children")
+	// ID, name, age, mid, fid, docid
+	c.AddRow("001", "Ann", "9", "100", "101", "d1")
+	c.AddRow("002", "Maya", "6", "102", "103", "d2")
+	c.AddRow("004", "Bo", "5", "104", "-", "d1")
+	c.AddRow("009", "Zoe", "7", "106", "107", "-")
+	in.MustAdd(c)
+
+	p := in.NewRelationFor("Parents")
+	// ID, affiliation, address, salary
+	p.AddRow("100", "IBM", "12 Maple St", "65000")  // Ann's mother
+	p.AddRow("101", "UofT", "12 Maple St", "58000") // Ann's father
+	p.AddRow("102", "Acta", "9 Oak Ave", "72000")   // Maya's mother
+	p.AddRow("103", "IBM", "9 Oak Ave", "61000")    // Maya's father
+	p.AddRow("104", "AT&T", "3 Pine Rd", "54000")   // Bo's mother
+	p.AddRow("106", "Sun", "7 Elm St", "69000")     // Zoe's mother
+	p.AddRow("107", "HP", "7 Elm St", "47000")      // Zoe's father — no phone
+	p.AddRow("205", "Acta", "1 King St", "83000")   // childless parent with phone
+	in.MustAdd(p)
+
+	ph := in.NewRelationFor("PhoneDir")
+	// Every mother has a phone (no CP coverage); father 107 has none.
+	ph.AddRow("100", "home", "555-0100")
+	ph.AddRow("101", "work", "555-0101")
+	ph.AddRow("102", "home", "555-0102")
+	ph.AddRow("103", "cell", "555-0103")
+	ph.AddRow("104", "home", "555-0104")
+	ph.AddRow("106", "home", "555-0106")
+	ph.AddRow("205", "home", "555-0205")
+	in.MustAdd(ph)
+
+	s := in.NewRelationFor("SBPS")
+	// School Bus Pickup Schedule; 010 rides but is not a known child.
+	s.AddRow("001", "7:15", "Maple St")
+	s.AddRow("002", "7:30", "Oak Ave")
+	s.AddRow("004", "7:05", "Pine Rd")
+	s.AddRow("010", "7:45", "Elm St")
+	in.MustAdd(s)
+
+	x := in.NewRelationFor("XmasBar")
+	// 002 appears in both giverID and recipientID (Figure 5).
+	x.AddRow("001", "002", "teddy bear")
+	x.AddRow("002", "004", "toy train")
+	x.AddRow("009", "001", "book")
+	in.MustAdd(x)
+
+	return in
+}
+
+// Knowledge builds the declared join knowledge (FKs only): the walk
+// operator's search space before any mining. SBPS and XmasBar are
+// deliberately unreachable — the paper's user finds them by chase.
+func Knowledge() *discovery.Knowledge {
+	return discovery.BuildKnowledge(Instance(), false, 1)
+}
+
+// MinedKnowledge additionally mines inclusion dependencies at full
+// overlap, which makes SBPS and XmasBar walkable too.
+func MinedKnowledge() *discovery.Knowledge {
+	return discovery.BuildKnowledge(Instance(), true, 1)
+}
+
+// Section2Mapping builds the final mapping of the Section 2 scenario:
+// affiliation from the father (Figure 3, scenario 1), contact phone
+// from the mother (Figure 4, scenario 2), bus schedule from SBPS
+// (Figure 5, scenario 1), with the target constraint that every Kid
+// has an ID.
+func Section2Mapping() *core.Mapping {
+	m := core.NewMapping("section2", Kids())
+	g := m.Graph
+	g.MustAddNode("Children", "Children")
+	g.MustAddNode("Parents", "Parents")
+	g.MustAddNode("Parents2", "Parents")
+	g.MustAddNode("PhoneDir", "PhoneDir")
+	g.MustAddNode("SBPS", "SBPS")
+	g.MustAddEdge("Children", "Parents", expr.Equals("Children.fid", "Parents.ID"))
+	g.MustAddEdge("Children", "Parents2", expr.Equals("Children.mid", "Parents2.ID"))
+	g.MustAddEdge("Parents2", "PhoneDir", expr.Equals("Parents2.ID", "PhoneDir.ID"))
+	g.MustAddEdge("Children", "SBPS", expr.Equals("Children.ID", "SBPS.ID"))
+	m.Corrs = []core.Correspondence{
+		core.Identity("Children.ID", schema.Col("Kids", "ID")),
+		core.Identity("Children.name", schema.Col("Kids", "name")),
+		core.Identity("Parents.address", schema.Col("Kids", "address")),
+		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")),
+		core.Identity("PhoneDir.number", schema.Col("Kids", "contactPh")),
+		core.Identity("SBPS.time", schema.Col("Kids", "BusSchedule")),
+	}
+	m.TargetFilters = []expr.Expr{expr.MustParse("Kids.ID IS NOT NULL")}
+	return m
+}
+
+// Example315Mapping builds the mapping of Example 3.15: query graph G
+// of Figure 6 extended with SBPS, identity correspondences for ID,
+// name, affiliation (mother's) and BusSchedule, the concat
+// correspondence for contactPh, C_S = {Children.age < 7} and
+// C_T = {Kids.ID <> null}.
+func Example315Mapping() *core.Mapping {
+	m := core.NewMapping("example3.15", Kids())
+	g := m.Graph
+	g.MustAddNode("Children", "Children")
+	g.MustAddNode("Parents", "Parents")
+	g.MustAddNode("PhoneDir", "PhoneDir")
+	g.MustAddNode("SBPS", "SBPS")
+	g.MustAddEdge("Children", "Parents", expr.Equals("Children.mid", "Parents.ID"))
+	g.MustAddEdge("Parents", "PhoneDir", expr.Equals("Parents.ID", "PhoneDir.ID"))
+	g.MustAddEdge("Children", "SBPS", expr.Equals("Children.ID", "SBPS.ID"))
+	m.Corrs = []core.Correspondence{
+		core.Identity("Children.ID", schema.Col("Kids", "ID")),
+		core.Identity("Children.name", schema.Col("Kids", "name")),
+		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")),
+		core.FromExpr(expr.MustParse("concat(PhoneDir.type, PhoneDir.number)"), schema.Col("Kids", "contactPh")),
+		core.Identity("SBPS.time", schema.Col("Kids", "BusSchedule")),
+	}
+	m.SourceFilters = []expr.Expr{expr.MustParse("Children.age < 7")}
+	m.TargetFilters = []expr.Expr{expr.MustParse("Kids.ID <> null")}
+	return m
+}
+
+// Figure6G builds the Figure 6 query graph G: Children—Parents (mid),
+// Parents—PhoneDir (ID), as a standalone mapping graph for the D(G)
+// of Figure 8.
+func Figure6G() *core.Mapping {
+	m := core.NewMapping("figure6-G", Kids())
+	g := m.Graph
+	g.MustAddNode("Children", "Children")
+	g.MustAddNode("Parents", "Parents")
+	g.MustAddNode("PhoneDir", "PhoneDir")
+	g.MustAddEdge("Children", "Parents", expr.Equals("Children.mid", "Parents.ID"))
+	g.MustAddEdge("Parents", "PhoneDir", expr.Equals("Parents.ID", "PhoneDir.ID"))
+	m.Corrs = []core.Correspondence{
+		core.Identity("Children.ID", schema.Col("Kids", "ID")),
+		core.Identity("Children.name", schema.Col("Kids", "name")),
+		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")),
+		core.Identity("PhoneDir.number", schema.Col("Kids", "contactPh")),
+	}
+	return m
+}
+
+// FamilyIncomeMapping builds the Example 3.2 mapping: the sum of a
+// kid's parents' salaries populates Kids.FamilyIncome, using two
+// copies of Parents (mother via mid, father via fid), with the
+// Example 3.13 value constraint FamilyIncome < 100000.
+func FamilyIncomeMapping() *core.Mapping {
+	m := core.NewMapping("family-income", Kids())
+	g := m.Graph
+	g.MustAddNode("Children", "Children")
+	g.MustAddNode("Parents", "Parents")
+	g.MustAddNode("Parents2", "Parents")
+	g.MustAddEdge("Children", "Parents", expr.Equals("Children.fid", "Parents.ID"))
+	g.MustAddEdge("Children", "Parents2", expr.Equals("Children.mid", "Parents2.ID"))
+	m.Corrs = []core.Correspondence{
+		core.Identity("Children.ID", schema.Col("Kids", "ID")),
+		core.Identity("Children.name", schema.Col("Kids", "name")),
+		core.FromExpr(expr.MustParse("Parents.salary + Parents2.salary"),
+			schema.Col("Kids", "FamilyIncome")),
+	}
+	m.TargetFilters = []expr.Expr{
+		expr.MustParse("Kids.ID IS NOT NULL"),
+		expr.MustParse("Kids.FamilyIncome < 100000 OR Kids.FamilyIncome IS NULL"),
+	}
+	return m
+}

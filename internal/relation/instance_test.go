@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"testing"
+
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+func instSchema() *schema.Database {
+	d := schema.NewDatabase()
+	d.MustAddRelation(schema.NewRelation("Parents",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "affiliation", Type: value.KindString},
+	))
+	d.MustAddRelation(schema.NewRelation("Children",
+		schema.Attribute{Name: "ID", Type: value.KindString},
+		schema.Attribute{Name: "mid", Type: value.KindString},
+	))
+	return d
+}
+
+func TestInstanceBasics(t *testing.T) {
+	sch := instSchema()
+	in := NewInstance(sch)
+	p := in.NewRelationFor("Parents")
+	if p.Scheme().Name(0) != "Parents.ID" {
+		t.Errorf("qualified scheme wrong: %v", p.Scheme())
+	}
+	p.AddRow("100", "IBM")
+	p.AddRow("101", "UofT")
+	in.MustAdd(p)
+	if in.Relation("Parents").Len() != 2 {
+		t.Error("stored relation wrong")
+	}
+	if in.Relation("Nope") != nil {
+		t.Error("unknown relation should be nil")
+	}
+	if got := in.Names(); len(got) != 1 || got[0] != "Parents" {
+		t.Errorf("Names = %v", got)
+	}
+	if got := in.Relations(); len(got) != 1 || got[0].Name != "Parents" {
+		t.Errorf("Relations = %v", got)
+	}
+	if in.TotalTuples() != 2 {
+		t.Errorf("TotalTuples = %d", in.TotalTuples())
+	}
+}
+
+func TestInstanceAddErrors(t *testing.T) {
+	sch := instSchema()
+	in := NewInstance(sch)
+	in.MustAdd(in.NewRelationFor("Parents"))
+	if err := in.Add(in.NewRelationFor("Parents")); err == nil {
+		t.Error("duplicate add should fail")
+	}
+	if err := in.Add(New("Mystery", NewScheme("Mystery.x"))); err == nil {
+		t.Error("relation outside schema should fail")
+	}
+	// Without a schema, anything goes.
+	free := NewInstance(nil)
+	if err := free.Add(New("Mystery", NewScheme("Mystery.x"))); err != nil {
+		t.Errorf("schema-less add failed: %v", err)
+	}
+}
+
+func TestNewRelationForUnknownPanics(t *testing.T) {
+	in := NewInstance(instSchema())
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRelationFor unknown should panic")
+		}
+	}()
+	in.NewRelationFor("Nope")
+}
+
+func TestAliased(t *testing.T) {
+	sch := instSchema()
+	in := NewInstance(sch)
+	p := in.NewRelationFor("Parents")
+	p.AddRow("100", "IBM")
+	in.MustAdd(p)
+
+	p2, err := in.Aliased("Parents", "Parents2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Name != "Parents2" || p2.Scheme().Name(0) != "Parents2.ID" {
+		t.Errorf("alias wrong: %s %v", p2.Name, p2.Scheme())
+	}
+	if p2.At(0).Get("Parents2.affiliation").Str() != "IBM" {
+		t.Error("alias lost values")
+	}
+	// Identity alias returns the original.
+	same, err := in.Aliased("Parents", "Parents")
+	if err != nil || same != p {
+		t.Error("identity alias should return stored relation")
+	}
+	if _, err := in.Aliased("Nope", "X"); err == nil {
+		t.Error("aliasing unknown relation should fail")
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := NewScheme("R.a")
+	r := New("R", s)
+	for i := 0; i < 100; i++ {
+		r.AddValues(value.Int(int64(i)))
+	}
+	got := Sample(r, 10, 1)
+	if got.Len() != 10 {
+		t.Fatalf("sample len = %d", got.Len())
+	}
+	// Deterministic.
+	again := Sample(r, 10, 1)
+	if !got.EqualSet(again) {
+		t.Error("sampling not deterministic")
+	}
+	// Different seed, (very likely) different sample.
+	other := Sample(r, 10, 2)
+	if got.EqualSet(other) {
+		t.Error("different seeds should differ")
+	}
+	// Every sampled tuple is from the source.
+	for _, tp := range got.Tuples() {
+		if !r.Contains(tp) {
+			t.Errorf("hallucinated tuple %v", tp)
+		}
+	}
+	// Small relations pass through.
+	small := Sample(r, 200, 1)
+	if small.Len() != 100 {
+		t.Error("oversized sample should keep everything")
+	}
+	if Sample(r, 0, 1).Len() != 100 {
+		t.Error("n<=0 keeps everything")
+	}
+}
+
+func TestSampleInstance(t *testing.T) {
+	sch := instSchema()
+	in := NewInstance(sch)
+	p := in.NewRelationFor("Parents")
+	for i := 0; i < 50; i++ {
+		p.AddValues(value.Int(int64(i)), value.String("x"))
+	}
+	in.MustAdd(p)
+	c := in.NewRelationFor("Children")
+	c.AddRow("c1", "1")
+	in.MustAdd(c)
+	out := SampleInstance(in, 5, 9)
+	if out.Relation("Parents").Len() != 5 {
+		t.Errorf("sampled parents = %d", out.Relation("Parents").Len())
+	}
+	if out.Relation("Children").Len() != 1 {
+		t.Error("small relation should be intact")
+	}
+	if out.Schema != in.Schema {
+		t.Error("schema should be shared")
+	}
+}

@@ -1,0 +1,175 @@
+package relation
+
+// This file implements the paper's null-aware set operations:
+// outer union, subsumption removal, and minimum union
+// (Definitions 3.8–3.9). Minimum union is the combining operator of
+// the full disjunction D(G), so its performance matters; we provide a
+// quadratic reference implementation and a partitioned implementation
+// that groups tuples by their non-null mask and probes hash indexes,
+// exploiting that a tuple can only be strictly subsumed by a tuple
+// whose non-null attribute set is a superset of its own.
+
+// OuterUnion returns the outer union of r1 and r2: both padded with
+// nulls to the union scheme, all tuples retained (duplicates removed).
+func OuterUnion(name string, r1, r2 *Relation) *Relation {
+	s := r1.Scheme().Union(r2.Scheme())
+	out := New(name, s)
+	for _, t := range r1.Tuples() {
+		out.Add(t.PadTo(s))
+	}
+	for _, t := range r2.Tuples() {
+		out.Add(t.PadTo(s))
+	}
+	return out.Distinct()
+}
+
+// MinimumUnion returns the minimum union r1 ⊕ r2 (Definition 3.9): the
+// outer union with strictly subsumed tuples removed.
+func MinimumUnion(name string, r1, r2 *Relation) *Relation {
+	return RemoveSubsumed(OuterUnion(name, r1, r2))
+}
+
+// MinimumUnionAll folds MinimumUnion over any number of relations.
+// With zero inputs it returns an empty relation over an empty scheme.
+// Because subsumption removal is applied once at the end over the full
+// union scheme, the result is independent of argument order (the
+// paper's ⊕ is commutative and associative on sets of tuples).
+func MinimumUnionAll(name string, rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		return New(name, NewScheme())
+	}
+	s := rels[0].Scheme()
+	for _, r := range rels[1:] {
+		s = s.Union(r.Scheme())
+	}
+	out := New(name, s)
+	for _, r := range rels {
+		for _, t := range r.Tuples() {
+			out.Add(t.PadTo(s))
+		}
+	}
+	return RemoveSubsumed(out.Distinct())
+}
+
+// RemoveSubsumedNaive removes strictly subsumed tuples by comparing
+// all pairs. Exact but O(n²·arity); retained as the reference
+// implementation and as the baseline for benchmark E2.
+func RemoveSubsumedNaive(r *Relation) *Relation {
+	tuples := r.Tuples()
+	keep := make([]bool, len(tuples))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, t := range tuples {
+		for j, u := range tuples {
+			if i == j || !keep[i] {
+				continue
+			}
+			if u.StrictlySubsumes(t) {
+				keep[i] = false
+				break
+			}
+			// Equal duplicates: keep only the first occurrence.
+			if u.Equal(t) && j < i {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	out := New(r.Name, r.Scheme())
+	for i, t := range tuples {
+		if keep[i] {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// RemoveSubsumed removes strictly subsumed tuples (and duplicates)
+// using mask partitioning: tuples are grouped by their non-null mask;
+// a tuple t with mask m can only be strictly subsumed by a tuple in a
+// group whose mask is a superset of m (strict superset, or the same
+// mask with equal values — which is a duplicate, handled separately).
+// For each (superset group, m) pair we build a hash index keyed on m's
+// positions, so each candidate is found in O(1) expected time.
+func RemoveSubsumed(r *Relation) *Relation {
+	r = r.Distinct()
+	tuples := r.Tuples()
+	if len(tuples) <= 1 {
+		return r.Clone()
+	}
+
+	type group struct {
+		mask Mask
+		rows []int
+		// indexes maps a subset-mask key to a hash set of the group's
+		// tuples projected onto that subset's positions.
+		indexes map[string]map[string]struct{}
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i, t := range tuples {
+		m := t.NonNullMask()
+		k := m.Key()
+		g := groups[k]
+		if g == nil {
+			g = &group{mask: m, indexes: map[string]map[string]struct{}{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, i)
+	}
+
+	keep := make([]bool, len(tuples))
+	for i := range keep {
+		keep[i] = true
+	}
+
+	for _, gk := range order {
+		g := groups[gk]
+		positions := g.mask.Ones()
+		if len(positions) == 0 {
+			// All-null tuples are strictly subsumed by any other tuple;
+			// drop them whenever any non-empty group exists.
+			if len(order) > 1 {
+				for _, row := range g.rows {
+					keep[row] = false
+				}
+			}
+			continue
+		}
+		for _, hk := range order {
+			if hk == gk {
+				continue
+			}
+			h := groups[hk]
+			if !h.mask.SupersetOf(g.mask) {
+				continue
+			}
+			ix := h.indexes[gk]
+			if ix == nil {
+				ix = make(map[string]struct{}, len(h.rows))
+				for _, row := range h.rows {
+					ix[tuples[row].KeyOn(positions)] = struct{}{}
+				}
+				h.indexes[gk] = ix
+			}
+			for _, row := range g.rows {
+				if !keep[row] {
+					continue
+				}
+				if _, hit := ix[tuples[row].KeyOn(positions)]; hit {
+					keep[row] = false
+				}
+			}
+		}
+	}
+
+	out := New(r.Name, r.Scheme())
+	for i, t := range tuples {
+		if keep[i] {
+			out.Add(t)
+		}
+	}
+	return out
+}

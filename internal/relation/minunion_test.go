@@ -1,0 +1,243 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clio/internal/value"
+)
+
+func TestOuterUnion(t *testing.T) {
+	r1 := New("R1", NewScheme("a", "b"))
+	r1.AddRow("1", "x")
+	r2 := New("R2", NewScheme("b", "c"))
+	r2.AddRow("x", "9")
+	u := OuterUnion("U", r1, r2)
+	if u.Scheme().Arity() != 3 {
+		t.Fatalf("union scheme arity = %d", u.Scheme().Arity())
+	}
+	if u.Len() != 2 {
+		t.Fatalf("union len = %d", u.Len())
+	}
+	// r1's tuple padded with null c; r2's with null a.
+	want1 := mkTuple(u.Scheme(), "1", "x", "-")
+	want2 := mkTuple(u.Scheme(), "-", "x", "9")
+	if !u.Contains(want1) || !u.Contains(want2) {
+		t.Errorf("outer union contents wrong:\n%v", u)
+	}
+}
+
+func TestOuterUnionDeduplicates(t *testing.T) {
+	r1 := New("R1", NewScheme("a"))
+	r1.AddRow("1")
+	r2 := New("R2", NewScheme("a"))
+	r2.AddRow("1")
+	if got := OuterUnion("U", r1, r2).Len(); got != 1 {
+		t.Errorf("len = %d, want 1", got)
+	}
+}
+
+func TestMinimumUnionPaperExample(t *testing.T) {
+	// Example 3.10: R1 = Children ⋈ Parents, R2 = (C ⋈ P) ⋈ PhoneDir.
+	// If every R1 tuple extends to an R2 tuple, R1 ⊕ R2 = R2.
+	s1 := NewScheme("C.ID", "P.ID")
+	r1 := New("R1", s1)
+	r1.AddRow("001", "100")
+	r1.AddRow("002", "101")
+	s2 := NewScheme("C.ID", "P.ID", "Ph.number")
+	r2 := New("R2", s2)
+	r2.AddRow("001", "100", "555-1234")
+	r2.AddRow("002", "101", "555-9876")
+	got := MinimumUnion("M", r1, r2)
+	if !got.EqualSet(r2) {
+		t.Errorf("R1 ⊕ R2 != R2:\n%v", got)
+	}
+	// With a parent lacking a phone, the partial tuple survives.
+	r1.AddRow("003", "102")
+	got = MinimumUnion("M", r1, r2)
+	if got.Len() != 3 {
+		t.Errorf("len = %d, want 3:\n%v", got.Len(), got)
+	}
+	if !got.Contains(mkTuple(got.Scheme(), "003", "102", "-")) {
+		t.Errorf("partial tuple missing:\n%v", got)
+	}
+}
+
+func TestRemoveSubsumedDropsAllNull(t *testing.T) {
+	s := NewScheme("a", "b")
+	r := New("R", s)
+	r.Add(AllNull(s))
+	r.AddRow("1", "-")
+	got := RemoveSubsumed(r)
+	if got.Len() != 1 || got.At(0).IsAllNull() {
+		t.Errorf("all-null tuple should be removed:\n%v", got)
+	}
+	// A relation containing only the all-null tuple keeps it (nothing
+	// strictly subsumes it).
+	only := New("R", s)
+	only.Add(AllNull(s))
+	if got := RemoveSubsumed(only); got.Len() != 1 {
+		t.Errorf("lone all-null tuple should survive: %v", got)
+	}
+}
+
+func TestRemoveSubsumedChains(t *testing.T) {
+	s := NewScheme("a", "b", "c")
+	r := New("R", s)
+	r.AddRow("1", "x", "y") // subsumes everything below
+	r.AddRow("1", "x", "-")
+	r.AddRow("1", "-", "-")
+	r.AddRow("2", "-", "-") // incomparable, survives
+	got := RemoveSubsumed(r)
+	if got.Len() != 2 {
+		t.Fatalf("len = %d, want 2:\n%v", got.Len(), got)
+	}
+	if !got.Contains(mkTuple(s, "1", "x", "y")) || !got.Contains(mkTuple(s, "2", "-", "-")) {
+		t.Errorf("wrong survivors:\n%v", got)
+	}
+}
+
+func TestRemoveSubsumedEqualMasksSurvive(t *testing.T) {
+	// Same non-null mask, different values: no subsumption.
+	s := NewScheme("a", "b")
+	r := New("R", s)
+	r.AddRow("1", "-")
+	r.AddRow("2", "-")
+	if got := RemoveSubsumed(r); got.Len() != 2 {
+		t.Errorf("len = %d, want 2", got.Len())
+	}
+}
+
+func TestRemoveSubsumedMatchesNaive(t *testing.T) {
+	// Randomized differential test: the partitioned implementation
+	// must agree with the quadratic reference on random null-rich data.
+	rng := rand.New(rand.NewSource(42))
+	s := NewScheme("a", "b", "c", "d")
+	for trial := 0; trial < 200; trial++ {
+		r := New("R", s)
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			vals := make([]value.Value, 4)
+			for j := range vals {
+				switch rng.Intn(3) {
+				case 0:
+					vals[j] = value.Null
+				default:
+					vals[j] = value.Int(int64(rng.Intn(3)))
+				}
+			}
+			r.AddValues(vals...)
+		}
+		fast := RemoveSubsumed(r)
+		slow := RemoveSubsumedNaive(r.Distinct())
+		if !fast.EqualSet(slow) {
+			t.Fatalf("trial %d mismatch:\nfast:\n%v\nslow:\n%v\ninput:\n%v", trial, fast, slow, r)
+		}
+	}
+}
+
+func TestMinimumUnionAll(t *testing.T) {
+	if got := MinimumUnionAll("E"); got.Len() != 0 {
+		t.Error("empty MinimumUnionAll should be empty")
+	}
+	r1 := New("R1", NewScheme("a"))
+	r1.AddRow("1")
+	if got := MinimumUnionAll("M", r1); !got.EqualSet(r1) {
+		t.Error("single-arg MinimumUnionAll should be identity")
+	}
+	r2 := New("R2", NewScheme("a", "b"))
+	r2.AddRow("1", "x")
+	r3 := New("R3", NewScheme("b", "c"))
+	r3.AddRow("x", "7")
+	got := MinimumUnionAll("M", r1, r2, r3)
+	// r1's (1) is subsumed by r2's (1, x); r3's (x, 7) survives.
+	if got.Len() != 2 {
+		t.Fatalf("len = %d, want 2:\n%v", got.Len(), got)
+	}
+}
+
+// Property: minimum union result never contains a strictly subsumed
+// pair, and every input tuple is subsumed by some output tuple.
+func TestMinimumUnionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s1 := NewScheme("a", "b")
+	s2 := NewScheme("b", "c")
+	for trial := 0; trial < 100; trial++ {
+		r1 := New("R1", s1)
+		r2 := New("R2", s2)
+		for i := 0; i < rng.Intn(15); i++ {
+			r1.AddValues(randVal(rng), randVal(rng))
+		}
+		for i := 0; i < rng.Intn(15); i++ {
+			r2.AddValues(randVal(rng), randVal(rng))
+		}
+		m := MinimumUnion("M", r1, r2)
+		// Invariant 1: antichain under strict subsumption.
+		for i, t1 := range m.Tuples() {
+			for j, t2 := range m.Tuples() {
+				if i != j && t1.StrictlySubsumes(t2) {
+					t.Fatalf("output contains subsumed pair:\n%v\n%v", t1, t2)
+				}
+			}
+		}
+		// Invariant 2: completeness — every input tuple (padded) is
+		// subsumed by some output tuple, unless it is all-null.
+		for _, in := range append(append([]Tuple{}, r1.Tuples()...), r2.Tuples()...) {
+			p := in.PadTo(m.Scheme())
+			if p.IsAllNull() {
+				continue
+			}
+			found := false
+			for _, out := range m.Tuples() {
+				if out.Subsumes(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("input tuple lost: %v\noutput:\n%v", p, m)
+			}
+		}
+	}
+}
+
+func randVal(rng *rand.Rand) value.Value {
+	if rng.Intn(3) == 0 {
+		return value.Null
+	}
+	return value.Int(int64(rng.Intn(4)))
+}
+
+// Property via testing/quick: subsumption is a partial order on tuples
+// (reflexive, antisymmetric via Equal, transitive) over small domains.
+func TestSubsumptionPartialOrder(t *testing.T) {
+	s := NewScheme("a", "b", "c")
+	gen := func(xs [3]int8) Tuple {
+		vals := make([]value.Value, 3)
+		for i, x := range xs {
+			if x%3 == 0 {
+				vals[i] = value.Null
+			} else {
+				vals[i] = value.Int(int64(x % 2))
+			}
+		}
+		return NewTuple(s, vals...)
+	}
+	f := func(a, b, c [3]int8) bool {
+		ta, tb, tc := gen(a), gen(b), gen(c)
+		if !ta.Subsumes(ta) {
+			return false
+		}
+		if ta.Subsumes(tb) && tb.Subsumes(ta) && !ta.Equal(tb) {
+			return false
+		}
+		if ta.Subsumes(tb) && tb.Subsumes(tc) && !ta.Subsumes(tc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clio/internal/value"
+)
+
+// Relation is a named, finite set of tuples over a scheme. Tuples are
+// stored in insertion order; set semantics (duplicate elimination) are
+// applied by the operations that require them.
+type Relation struct {
+	Name   string
+	scheme *Scheme
+	tuples []Tuple
+}
+
+// New creates an empty relation over the scheme.
+func New(name string, s *Scheme) *Relation {
+	return &Relation{Name: name, scheme: s}
+}
+
+// FromTuples creates a relation from existing tuples, which must all
+// share the relation's scheme.
+func FromTuples(name string, s *Scheme, tuples []Tuple) *Relation {
+	r := New(name, s)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Scheme returns the relation's scheme.
+func (r *Relation) Scheme() *Scheme { return r.scheme }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the stored tuples in insertion order. The caller must
+// not mutate the returned slice.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// At returns the i-th tuple.
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// Add appends a tuple, which must be over the relation's scheme.
+func (r *Relation) Add(t Tuple) {
+	if t.scheme != r.scheme && !t.scheme.Equal(r.scheme) {
+		panic(fmt.Sprintf("relation: adding tuple with scheme %v to relation %s%v", t.scheme, r.Name, r.scheme))
+	}
+	r.tuples = append(r.tuples, t)
+}
+
+// AddValues appends a tuple built from positional values.
+func (r *Relation) AddValues(vals ...value.Value) {
+	r.Add(NewTuple(r.scheme, vals...))
+}
+
+// AddRow appends a tuple built by parsing display strings (see
+// value.Parse); convenient for fixtures.
+func (r *Relation) AddRow(cells ...string) {
+	vals := make([]value.Value, len(cells))
+	for i, c := range cells {
+		vals[i] = value.Parse(c)
+	}
+	r.AddValues(vals...)
+}
+
+// Contains reports whether the relation contains a tuple Equal to t.
+func (r *Relation) Contains(t Tuple) bool {
+	for _, u := range r.tuples {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Distinct returns a new relation with duplicate tuples removed,
+// keeping first occurrences.
+func (r *Relation) Distinct() *Relation {
+	out := New(r.Name, r.scheme)
+	seen := make(map[string]struct{}, len(r.tuples))
+	for _, t := range r.tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Add(t)
+	}
+	return out
+}
+
+// Filter returns a new relation with the tuples for which keep returns
+// true.
+func (r *Relation) Filter(keep func(Tuple) bool) *Relation {
+	out := New(r.Name, r.scheme)
+	for _, t := range r.tuples {
+		if keep(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Project returns a new relation projected onto the given attributes
+// (duplicates retained; compose with Distinct for set projection).
+func (r *Relation) Project(names ...string) *Relation {
+	s := r.scheme.Project(names...)
+	out := New(r.Name, s)
+	for _, t := range r.tuples {
+		out.Add(t.Project(s))
+	}
+	return out
+}
+
+// Rename returns a new relation over a scheme with renamed attributes;
+// rename maps old qualified names to new qualified names. Attributes
+// not in the map keep their names.
+func (r *Relation) Rename(name string, rename map[string]string) *Relation {
+	names := make([]string, r.scheme.Arity())
+	for i, n := range r.scheme.Names() {
+		if nn, ok := rename[n]; ok {
+			names[i] = nn
+		} else {
+			names[i] = n
+		}
+	}
+	s := NewScheme(names...)
+	out := New(name, s)
+	for _, t := range r.tuples {
+		out.Add(Tuple{scheme: s, vals: t.vals})
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy (tuples are immutable, so the tuple
+// slice is copied but tuples are shared).
+func (r *Relation) Clone() *Relation {
+	out := New(r.Name, r.scheme)
+	out.tuples = append([]Tuple(nil), r.tuples...)
+	return out
+}
+
+// Sorted returns a new relation with tuples sorted by their canonical
+// keys; useful for deterministic golden output.
+func (r *Relation) Sorted() *Relation {
+	out := r.Clone()
+	sort.SliceStable(out.tuples, func(i, j int) bool {
+		return out.tuples[i].Key() < out.tuples[j].Key()
+	})
+	return out
+}
+
+// EqualSet reports whether two relations contain the same set of
+// tuples (ignoring order and duplicates). Schemes must have the same
+// attribute set; value comparison is positional after aligning
+// attribute order.
+func (r *Relation) EqualSet(o *Relation) bool {
+	if !r.scheme.SameSet(o.scheme) {
+		return false
+	}
+	aligned := o
+	if !r.scheme.Equal(o.scheme) {
+		aligned = o.Project(r.scheme.Names()...)
+	}
+	a := map[string]struct{}{}
+	for _, t := range r.tuples {
+		a[t.Key()] = struct{}{}
+	}
+	b := map[string]struct{}{}
+	for _, t := range aligned.tuples {
+		b[t.Key()] = struct{}{}
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Index is a hash index on a subset of a relation's attributes,
+// mapping key encodings to tuple positions.
+type Index struct {
+	rel       *Relation
+	positions []int
+	buckets   map[string][]int
+}
+
+// BuildIndex builds a hash index on the named attributes. Tuples that
+// are null on any indexed attribute are excluded (SQL joins never
+// match on null).
+func (r *Relation) BuildIndex(attrs ...string) *Index {
+	pos := r.scheme.Positions(attrs...)
+	ix := &Index{rel: r, positions: pos, buckets: map[string][]int{}}
+	for i, t := range r.tuples {
+		if t.HasNullAt(pos) {
+			continue
+		}
+		k := t.KeyOn(pos)
+		ix.buckets[k] = append(ix.buckets[k], i)
+	}
+	return ix
+}
+
+// Probe returns the positions of tuples whose indexed attributes match
+// the given values. Probing with any null value returns nothing.
+func (ix *Index) Probe(vals ...value.Value) []int {
+	if len(vals) != len(ix.positions) {
+		panic("relation: index probe arity mismatch")
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		if v.IsNull() {
+			return nil
+		}
+		b.WriteString(v.Key())
+		b.WriteByte('\x01')
+	}
+	return ix.buckets[b.String()]
+}
+
+// ProbeTuple probes using the values found at the given positions of t.
+func (ix *Index) ProbeTuple(t Tuple, positions []int) []int {
+	if t.HasNullAt(positions) {
+		return nil
+	}
+	return ix.buckets[t.KeyOn(positions)]
+}
+
+// String renders the relation with a header row; see also
+// internal/render for aligned output.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%v: %d tuples\n", r.Name, r.scheme, r.Len())
+	for _, t := range r.tuples {
+		b.WriteString("  ")
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

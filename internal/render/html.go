@@ -1,0 +1,165 @@
+package render
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"clio/internal/core"
+	"clio/internal/fd"
+	"clio/internal/relation"
+	"clio/internal/schema"
+)
+
+// HTML session report: a self-contained page with the mapping
+// narrative, query graph, illustration (positive/negative rows
+// colour-coded), the target view, and the generated SQL — Clio's
+// synchronized viewers (Section 6.1) as a static artifact.
+
+// HTMLReport collects everything one report shows.
+type HTMLReport struct {
+	Title        string
+	Mapping      *core.Mapping
+	Illustration core.Illustration
+	TargetView   *relation.Relation
+	// Abbrev abbreviates coverage tags (optional).
+	Abbrev map[string]string
+}
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; font-size: .85rem; }
+th { background: #f2f2f2; text-align: left; }
+tr.pos td { background: #eefaee; }
+tr.neg td { background: #faeeee; }
+td.null { color: #999; }
+pre { background: #f7f7f7; padding: .8rem; overflow-x: auto; font-size: .85rem; }
+.tag { font-family: monospace; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+
+<h2>Mapping</h2>
+<pre>{{.Explanation}}</pre>
+
+<h2>Query graph</h2>
+<pre>{{.Graph}}</pre>
+
+<h2>Illustration ({{len .Examples}} examples; green = positive, red = negative)</h2>
+<table>
+<tr><th>coverage</th><th>±</th>{{range .AssocHeaders}}<th>{{.}}</th>{{end}}<th>⇒</th>{{range .TargetHeaders}}<th>{{.}}</th>{{end}}</tr>
+{{range .Examples}}<tr class="{{if .Positive}}pos{{else}}neg{{end}}">
+<td class="tag">{{.Tag}}</td><td>{{.Sign}}</td>
+{{range .Assoc}}<td{{if .Null}} class="null"{{end}}>{{.Text}}</td>{{end}}
+<td>⇒</td>
+{{range .Target}}<td{{if .Null}} class="null"{{end}}>{{.Text}}</td>{{end}}
+</tr>
+{{end}}</table>
+
+<h2>Target view ({{.TargetCount}} rows)</h2>
+<table>
+<tr>{{range .ViewHeaders}}<th>{{.}}</th>{{end}}</tr>
+{{range .ViewRows}}<tr>{{range .}}<td{{if .Null}} class="null"{{end}}>{{.Text}}</td>{{end}}</tr>
+{{end}}</table>
+
+<h2>SQL</h2>
+<pre>{{.SQL}}</pre>
+</body></html>
+`))
+
+type htmlCell struct {
+	Text string
+	Null bool
+}
+
+type htmlExample struct {
+	Tag      string
+	Sign     string
+	Positive bool
+	Assoc    []htmlCell
+	Target   []htmlCell
+}
+
+type reportData struct {
+	Title         string
+	Explanation   string
+	Graph         string
+	AssocHeaders  []string
+	TargetHeaders []string
+	Examples      []htmlExample
+	ViewHeaders   []string
+	ViewRows      [][]htmlCell
+	TargetCount   int
+	SQL           string
+}
+
+// WriteHTML renders the report.
+func WriteHTML(w io.Writer, r HTMLReport) error {
+	data := reportData{
+		Title:       r.Title,
+		Explanation: r.Mapping.Explain(),
+		Graph:       r.Mapping.Graph.String(),
+		SQL:         r.Mapping.CanonicalSQL(),
+	}
+	if root, ok := r.Mapping.RequiredRoot(); ok {
+		if view, err := r.Mapping.ViewSQL(root); err == nil {
+			data.SQL += "\n\n" + view
+		}
+	}
+	if len(r.Illustration.Examples) > 0 {
+		first := r.Illustration.Examples[0]
+		data.AssocHeaders = first.Assoc.Scheme().Names()
+		for _, n := range first.Target.Scheme().Names() {
+			data.TargetHeaders = append(data.TargetHeaders, unqualifyName(n))
+		}
+		for _, e := range r.Illustration.Examples {
+			he := htmlExample{
+				Tag:      fd.Tag(e.Coverage, r.Abbrev),
+				Positive: e.Positive,
+				Sign:     map[bool]string{true: "+", false: "−"}[e.Positive],
+			}
+			if e.Inherited {
+				he.Sign += "*"
+			}
+			he.Assoc = tupleCells(e.Assoc)
+			he.Target = tupleCells(e.Target)
+			data.Examples = append(data.Examples, he)
+		}
+	}
+	if r.TargetView != nil {
+		for _, n := range r.TargetView.Scheme().Names() {
+			data.ViewHeaders = append(data.ViewHeaders, unqualifyName(n))
+		}
+		data.TargetCount = r.TargetView.Len()
+		limit := r.TargetView.Len()
+		if limit > 200 {
+			limit = 200
+		}
+		for i := 0; i < limit; i++ {
+			data.ViewRows = append(data.ViewRows, tupleCells(r.TargetView.At(i)))
+		}
+	}
+	if err := reportTmpl.Execute(w, data); err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	return nil
+}
+
+func tupleCells(t relation.Tuple) []htmlCell {
+	out := make([]htmlCell, t.Scheme().Arity())
+	for i := range out {
+		v := t.At(i)
+		out[i] = htmlCell{Text: v.String(), Null: v.IsNull()}
+	}
+	return out
+}
+
+func unqualifyName(n string) string {
+	if ref, err := schema.ParseColumnRef(n); err == nil {
+		return ref.Attr
+	}
+	return n
+}

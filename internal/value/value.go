@@ -1,0 +1,360 @@
+// Package value implements the typed value model used throughout the
+// mapping engine: strings, integers, floats, booleans, and SQL-style
+// nulls, with three-valued comparison semantics and a stable hash/key
+// encoding usable for hash joins and indexes.
+//
+// The paper's definitions (strong predicates, subsumption, minimum
+// union) all hinge on careful null handling; this package centralizes
+// those rules so the rest of the system cannot get them subtly wrong.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the SQL null marker: it has no
+// associated datum and compares as unknown to everything, including
+// itself.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable typed datum. The zero Value is null.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null is the SQL null value.
+var Null = Value{}
+
+// String constructs a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int constructs an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float constructs a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool constructs a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the SQL null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string datum; it panics if v is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// IntVal returns the integer datum; it panics if v is not an int.
+func (v Value) IntVal() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: IntVal() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// FloatVal returns the float datum; it panics if v is not a float.
+func (v Value) FloatVal() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("value: FloatVal() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// BoolVal returns the boolean datum; it panics if v is not a bool.
+func (v Value) BoolVal() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: BoolVal() on %s value", v.kind))
+	}
+	return v.b
+}
+
+// AsFloat converts a numeric value to float64. ok is false for
+// non-numeric or null values.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// numeric reports whether v is an int or float.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether two values are identical — same kind, same
+// datum. Unlike SQL equality this is a real equivalence relation:
+// Null.Equal(Null) is true. Use Compare for SQL semantics.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		// Cross-kind numeric equality: Int(2) equals Float(2.0).
+		if v.numeric() && w.numeric() {
+			a, _ := v.AsFloat()
+			b, _ := w.AsFloat()
+			return a == b
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == w.s
+	case KindInt:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f || (math.IsNaN(v.f) && math.IsNaN(w.f))
+	case KindBool:
+		return v.b == w.b
+	}
+	return false
+}
+
+// Tri is a three-valued logic truth value.
+type Tri uint8
+
+// The three truth values of SQL logic.
+const (
+	False Tri = iota
+	True
+	Unknown
+)
+
+// String returns "true", "false" or "unknown".
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// TriOf lifts a Go bool into Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And returns the 3VL conjunction.
+func (t Tri) And(u Tri) Tri {
+	if t == False || u == False {
+		return False
+	}
+	if t == Unknown || u == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or returns the 3VL disjunction.
+func (t Tri) Or(u Tri) Tri {
+	if t == True || u == True {
+		return True
+	}
+	if t == Unknown || u == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not returns the 3VL negation.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Compare compares two values with SQL semantics: if either side is
+// null the result is Unknown; otherwise cmp is -1, 0 or +1 and the
+// returned Tri is True (meaning the comparison is defined). Comparing
+// incomparable kinds (e.g. string vs bool) yields Unknown.
+func Compare(v, w Value) (cmp int, defined Tri) {
+	if v.IsNull() || w.IsNull() {
+		return 0, Unknown
+	}
+	if v.numeric() && w.numeric() {
+		a, _ := v.AsFloat()
+		b, _ := w.AsFloat()
+		switch {
+		case a < b:
+			return -1, True
+		case a > b:
+			return 1, True
+		default:
+			return 0, True
+		}
+	}
+	if v.kind != w.kind {
+		return 0, Unknown
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, w.s), True
+	case KindBool:
+		x, y := 0, 0
+		if v.b {
+			x = 1
+		}
+		if w.b {
+			y = 1
+		}
+		switch {
+		case x < y:
+			return -1, True
+		case x > y:
+			return 1, True
+		default:
+			return 0, True
+		}
+	}
+	return 0, Unknown
+}
+
+// Eq is SQL equality: Unknown if either side is null, else True/False.
+func Eq(v, w Value) Tri {
+	cmp, def := Compare(v, w)
+	if def != True {
+		return Unknown
+	}
+	return TriOf(cmp == 0)
+}
+
+// Less is SQL less-than.
+func Less(v, w Value) Tri {
+	cmp, def := Compare(v, w)
+	if def != True {
+		return Unknown
+	}
+	return TriOf(cmp < 0)
+}
+
+// Key returns a stable encoding of v usable as a hash-map key. Distinct
+// values have distinct keys; Equal values (including cross-kind numeric
+// equality) share a key.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00n"
+	case KindString:
+		return "\x00s" + v.s
+	case KindInt:
+		return "\x00f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "\x00f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.b {
+			return "\x00bt"
+		}
+		return "\x00bf"
+	}
+	return "\x00?"
+}
+
+// String renders the value for display. Null renders as "-" to match
+// the paper's figures.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "-"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return "?"
+}
+
+// SQL renders the value as a SQL literal.
+func (v Value) SQL() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// Parse converts a display string into a Value, guessing the kind:
+// "-" and "" parse as null, then int, float, bool, and finally string.
+func Parse(s string) Value {
+	switch s {
+	case "", "-", "NULL", "null":
+		return Null
+	}
+	// Leading-zero digit strings ("002") stay strings: they are
+	// identifiers, and numeric parsing would destroy the zeros.
+	// "0" and "0.5" are still numbers.
+	leadingZero := len(s) > 1 && s[0] == '0' && s[1] != '.' ||
+		len(s) > 2 && s[0] == '-' && s[1] == '0' && s[2] != '.'
+	if !leadingZero {
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return Int(i)
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return Float(f)
+		}
+	}
+	if s == "true" || s == "false" {
+		return Bool(s == "true")
+	}
+	return String(s)
+}

@@ -1,0 +1,349 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindString: "string",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindBool:   "bool",
+		Kind(99):   "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	if (Value{}).Kind() != KindNull {
+		t.Error("zero Value is not null")
+	}
+	if String("x").Str() != "x" {
+		t.Error("String round-trip failed")
+	}
+	if Int(7).IntVal() != 7 {
+		t.Error("Int round-trip failed")
+	}
+	if Float(2.5).FloatVal() != 2.5 {
+		t.Error("Float round-trip failed")
+	}
+	if !Bool(true).BoolVal() {
+		t.Error("Bool round-trip failed")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Str on int", func() { Int(1).Str() })
+	mustPanic("IntVal on string", func() { String("a").IntVal() })
+	mustPanic("FloatVal on null", func() { Null.FloatVal() })
+	mustPanic("BoolVal on float", func() { Float(1).BoolVal() })
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("Int(3).AsFloat() = %v, %v", f, ok)
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Errorf("Float(1.5).AsFloat() = %v, %v", f, ok)
+	}
+	if _, ok := String("x").AsFloat(); ok {
+		t.Error("String.AsFloat() ok = true")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("Null.AsFloat() ok = true")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null, Null, true},
+		{Null, Int(0), false},
+		{Int(2), Float(2.0), true},
+		{Int(2), Float(2.5), false},
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{String("1"), Int(1), false},
+		{Float(math.NaN()), Float(math.NaN()), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestTriLogic(t *testing.T) {
+	tris := []Tri{False, True, Unknown}
+	// Kleene truth tables.
+	for _, a := range tris {
+		for _, b := range tris {
+			and := a.And(b)
+			or := a.Or(b)
+			switch {
+			case a == False || b == False:
+				if and != False {
+					t.Errorf("%v AND %v = %v, want false", a, b, and)
+				}
+			case a == Unknown || b == Unknown:
+				if and != Unknown {
+					t.Errorf("%v AND %v = %v, want unknown", a, b, and)
+				}
+			default:
+				if and != True {
+					t.Errorf("%v AND %v = %v, want true", a, b, and)
+				}
+			}
+			switch {
+			case a == True || b == True:
+				if or != True {
+					t.Errorf("%v OR %v = %v, want true", a, b, or)
+				}
+			case a == Unknown || b == Unknown:
+				if or != Unknown {
+					t.Errorf("%v OR %v = %v, want unknown", a, b, or)
+				}
+			default:
+				if or != False {
+					t.Errorf("%v OR %v = %v, want false", a, b, or)
+				}
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("Not truth table wrong")
+	}
+	if TriOf(true) != True || TriOf(false) != False {
+		t.Error("TriOf wrong")
+	}
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("Tri.String wrong")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if _, def := Compare(Null, Int(1)); def != Unknown {
+		t.Error("Compare with null lhs should be undefined")
+	}
+	if _, def := Compare(Int(1), Null); def != Unknown {
+		t.Error("Compare with null rhs should be undefined")
+	}
+	if cmp, def := Compare(Int(1), Float(2)); def != True || cmp != -1 {
+		t.Errorf("Compare(1, 2.0) = %d, %v", cmp, def)
+	}
+	if cmp, def := Compare(Float(3), Int(3)); def != True || cmp != 0 {
+		t.Errorf("Compare(3.0, 3) = %d, %v", cmp, def)
+	}
+	if cmp, def := Compare(String("a"), String("b")); def != True || cmp != -1 {
+		t.Errorf("Compare(a, b) = %d, %v", cmp, def)
+	}
+	if cmp, def := Compare(Bool(false), Bool(true)); def != True || cmp != -1 {
+		t.Errorf("Compare(false, true) = %d, %v", cmp, def)
+	}
+	if cmp, def := Compare(Bool(true), Bool(true)); def != True || cmp != 0 {
+		t.Errorf("Compare(true, true) = %d, %v", cmp, def)
+	}
+	if cmp, def := Compare(Bool(true), Bool(false)); def != True || cmp != 1 {
+		t.Errorf("Compare(true, false) = %d, %v", cmp, def)
+	}
+	if _, def := Compare(String("a"), Int(1)); def != Unknown {
+		t.Error("Compare across incomparable kinds should be undefined")
+	}
+	if _, def := Compare(Bool(true), String("true")); def != Unknown {
+		t.Error("Compare bool vs string should be undefined")
+	}
+}
+
+func TestEqLess(t *testing.T) {
+	if Eq(Null, Null) != Unknown {
+		t.Error("null = null should be unknown (SQL)")
+	}
+	if Eq(Int(1), Int(1)) != True {
+		t.Error("1 = 1 should be true")
+	}
+	if Eq(Int(1), Int(2)) != False {
+		t.Error("1 = 2 should be false")
+	}
+	if Less(Int(1), Int(2)) != True {
+		t.Error("1 < 2 should be true")
+	}
+	if Less(Int(2), Int(1)) != False {
+		t.Error("2 < 1 should be false")
+	}
+	if Less(Null, Int(1)) != Unknown {
+		t.Error("null < 1 should be unknown")
+	}
+	if Eq(String("a"), Int(1)) != Unknown {
+		t.Error("incomparable Eq should be unknown")
+	}
+}
+
+func TestKey(t *testing.T) {
+	// Equal values share keys.
+	if Int(2).Key() != Float(2).Key() {
+		t.Error("Int(2) and Float(2.0) should share a key")
+	}
+	// Distinct values get distinct keys, even across kinds.
+	vals := []Value{
+		Null, Int(0), Int(1), Float(0.5), String(""), String("0"),
+		String("-"), Bool(true), Bool(false), String("true"),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup && !prev.Equal(v) {
+			t.Errorf("key collision between %v (%v) and %v (%v)", prev, prev.Kind(), v, v.Kind())
+		}
+		seen[k] = v
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "-"},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{String("hi"), "hi"},
+		{Bool(true), "true"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	if Null.SQL() != "NULL" {
+		t.Error("Null.SQL() wrong")
+	}
+	if String("O'Brien").SQL() != "'O''Brien'" {
+		t.Errorf("quote escaping wrong: %s", String("O'Brien").SQL())
+	}
+	if Int(5).SQL() != "5" {
+		t.Error("Int.SQL() wrong")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null},
+		{"-", Null},
+		{"NULL", Null},
+		{"null", Null},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"hello", String("hello")},
+		{"12abc", String("12abc")},
+		{"002", String("002")},
+		{"0", Int(0)},
+		{"0.5", Float(0.5)},
+		{"-0.5", Float(-0.5)},
+		{"-02", String("-02")},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+// Property: Key agrees with Equal on random int/float/string values.
+func TestKeyEqualProperty(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		pairs := []struct{ v, w Value }{
+			{Int(a), Int(b)},
+			{Int(a), Float(float64(b))},
+			{String(s1), String(s2)},
+		}
+		for _, p := range pairs {
+			if (p.v.Key() == p.w.Key()) != p.v.Equal(p.w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Less on
+// non-null ints.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, d1 := Compare(Int(a), Int(b))
+		c2, d2 := Compare(Int(b), Int(a))
+		if d1 != True || d2 != True {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return (Less(Int(a), Int(b)) == True) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan's laws hold in Kleene 3VL.
+func TestDeMorganProperty(t *testing.T) {
+	tris := []Tri{False, True, Unknown}
+	for _, a := range tris {
+		for _, b := range tris {
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan AND failed for %v, %v", a, b)
+			}
+			if a.Or(b).Not() != a.Not().And(b.Not()) {
+				t.Errorf("De Morgan OR failed for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		v := Int(i)
+		return Parse(v.String()).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package workspace
+
+import (
+	"fmt"
+	"strings"
+
+	"clio/internal/core"
+	"clio/internal/fd"
+	"clio/internal/render"
+)
+
+// Compare renders the difference between two workspaces: the
+// structural mapping diff plus up to limit distinguishing examples per
+// side — the data-driven view of "how do these alternatives differ?"
+// that drives scenario selection (Figures 3–4).
+func (t *Tool) Compare(id1, id2, limit int) (string, error) {
+	w1, err := t.workspaceByID(id1)
+	if err != nil {
+		return "", err
+	}
+	w2, err := t.workspaceByID(id2)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparing [%d] %s vs [%d] %s\n", w1.ID, w1.Note, w2.ID, w2.Note)
+	b.WriteString("structural differences:\n")
+	b.WriteString(core.Diff(w1.Mapping, w2.Mapping).String())
+
+	d, err := core.DistinguishingExamples(w1.Mapping, w2.Mapping, t.Instance, limit)
+	if err != nil {
+		return "", err
+	}
+	abbrev := map[string]string{}
+	if len(d.OnlyA) > 0 {
+		fmt.Fprintf(&b, "target rows produced only by [%d]:\n", w1.ID)
+		b.WriteString(render.Illustration(core.Illustration{Mapping: w1.Mapping, Examples: d.OnlyA}, abbrev))
+	}
+	if len(d.OnlyB) > 0 {
+		fmt.Fprintf(&b, "target rows produced only by [%d]:\n", w2.ID)
+		b.WriteString(render.Illustration(core.Illustration{Mapping: w2.Mapping, Examples: d.OnlyB}, abbrev))
+	}
+	if len(d.OnlyA) == 0 && len(d.OnlyB) == 0 {
+		b.WriteString("the two mappings produce identical target contents on this source\n")
+	}
+	return b.String(), nil
+}
+
+func (t *Tool) workspaceByID(id int) (*Workspace, error) {
+	for _, w := range t.workspaces {
+		if w.ID == id {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workspace: no workspace %d", id)
+}
+
+// CoverageSummary reports, for the active workspace, how many data
+// associations fall in each coverage category and how many the
+// illustration shows — a quick orientation aid for large sources.
+func (t *Tool) CoverageSummary() (string, error) {
+	w := t.Active()
+	if w == nil {
+		return "", fmt.Errorf("workspace: no active workspace")
+	}
+	full, err := core.AllExamples(w.Mapping, t.Instance)
+	if err != nil {
+		return "", err
+	}
+	total := map[string]int{}
+	for _, e := range full.Examples {
+		total[fd.CoverageKey(e.Coverage)]++
+	}
+	shown := map[string]int{}
+	for _, e := range w.Illustration.Examples {
+		shown[fd.CoverageKey(e.Coverage)]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "coverage categories of %s (%d associations, %d shown):\n",
+		w.Mapping.Name, len(full.Examples), len(w.Illustration.Examples))
+	for _, cat := range full.Categories() {
+		fmt.Fprintf(&b, "  %-40s %4d associations, %d shown\n", cat, total[cat], shown[cat])
+	}
+	return b.String(), nil
+}
+
+// TargetStatus reports which target attributes are populated by the
+// accepted mappings and the active mapping — the progress view for
+// mapping an entire target schema (Section 6.2).
+func (t *Tool) TargetStatus() string {
+	coveredBy := map[string][]string{}
+	consider := func(m *core.Mapping) {
+		for _, attr := range m.MappedAttrs() {
+			coveredBy[attr] = append(coveredBy[attr], m.Name)
+		}
+	}
+	for _, m := range t.accepted {
+		consider(m)
+	}
+	if w := t.Active(); w != nil {
+		consider(w.Mapping)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %s:\n", t.Target.Name)
+	for _, a := range t.Target.Attrs {
+		if ms := coveredBy[a.Name]; len(ms) > 0 {
+			fmt.Fprintf(&b, "  %-20s mapped by %s\n", a.Name, strings.Join(dedupStrings(ms), ", "))
+		} else {
+			fmt.Fprintf(&b, "  %-20s UNMAPPED\n", a.Name)
+		}
+	}
+	return b.String()
+}
+
+func dedupStrings(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

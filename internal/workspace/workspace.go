@@ -1,0 +1,446 @@
+// Package workspace implements Clio's mapping framework (Section 6):
+// a set of workspaces each holding one alternative mapping with its
+// illustration, an active workspace, ranking of alternatives, mapping
+// confirmation with reuse of earlier decisions, and the WYSIWYG target
+// view that always reflects the active mapping (plus every previously
+// accepted mapping, since a target relation may be populated by many
+// mappings, Section 6.2).
+package workspace
+
+import (
+	"fmt"
+	"sort"
+
+	"clio/internal/core"
+	"clio/internal/discovery"
+	"clio/internal/expr"
+	"clio/internal/fd"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// Workspace holds one alternative mapping and its current
+// illustration.
+type Workspace struct {
+	ID           int
+	Mapping      *core.Mapping
+	Illustration core.Illustration
+	// Note describes how this alternative arose (walk path, chase
+	// edge, ...), used when ranking ties and for display.
+	Note string
+	// Rank is the position the generating operator assigned (0 is the
+	// most likely alternative).
+	Rank int
+	// dg caches the mapping's D(G); maintained incrementally across
+	// walk/chase steps (fd.ExtendLeaf) and reused by TargetView.
+	dg *relation.Relation
+}
+
+// Tool is one Clio session: the source instance, its join knowledge
+// and value index, the target relation, the workspaces, and the
+// accepted mappings.
+type Tool struct {
+	Instance  *relation.Instance
+	Knowledge *discovery.Knowledge
+	Index     *discovery.ValueIndex
+	Target    *schema.Relation
+
+	// MaxWalkLen bounds walk path enumeration (default 3).
+	MaxWalkLen int
+
+	workspaces []*Workspace
+	active     int // index into workspaces, -1 when none
+	accepted   []*core.Mapping
+	nextID     int
+	// history remembers previous workspace sets so operators can be
+	// undone (the paper's "old workspaces could be remembered to make
+	// backing out changes more efficient").
+	history []snapshot
+}
+
+// snapshot preserves one workspace-set state for Undo.
+type snapshot struct {
+	workspaces []*Workspace
+	active     int
+	accepted   []*core.Mapping
+}
+
+// New creates a tool for the instance and target. Join knowledge
+// combines declared foreign keys with mined inclusion dependencies
+// when mineINDs is set.
+func New(in *relation.Instance, target *schema.Relation, mineINDs bool) *Tool {
+	return &Tool{
+		Instance:   in,
+		Knowledge:  discovery.BuildKnowledge(in, mineINDs, 1),
+		Index:      discovery.BuildValueIndex(in),
+		Target:     target,
+		MaxWalkLen: 3,
+		active:     -1,
+		nextID:     1,
+	}
+}
+
+// Active returns the active workspace, or nil.
+func (t *Tool) Active() *Workspace {
+	if t.active < 0 || t.active >= len(t.workspaces) {
+		return nil
+	}
+	return t.workspaces[t.active]
+}
+
+// Workspaces returns the current workspaces in rank order.
+func (t *Tool) Workspaces() []*Workspace {
+	return append([]*Workspace(nil), t.workspaces...)
+}
+
+// Accepted returns the confirmed mappings.
+func (t *Tool) Accepted() []*core.Mapping {
+	return append([]*core.Mapping(nil), t.accepted...)
+}
+
+// newWorkspace wraps a mapping, computing its illustration: evolved
+// from the previous active illustration when one exists (continuity,
+// Section 5.3), otherwise a fresh sufficient illustration. The
+// previous workspace's cached D(G) seeds incremental maintenance.
+func (t *Tool) newWorkspace(m *core.Mapping, note string, rank int) (*Workspace, error) {
+	dg, err := t.dgFor(m)
+	if err != nil {
+		return nil, err
+	}
+	var il core.Illustration
+	if prev := t.Active(); prev != nil && len(prev.Illustration.Examples) > 0 {
+		ev, err := core.EvolveOnDG(prev.Illustration, m, t.Instance, dg)
+		if err == nil {
+			il = ev.Illustration
+		} else {
+			// Non-extending change (e.g. a fresh start): fall back.
+			full, err := core.ExamplesOn(m, t.Instance, dg)
+			if err != nil {
+				return nil, err
+			}
+			il = core.SelectSufficient(m, full)
+		}
+	} else {
+		full, err := core.ExamplesOn(m, t.Instance, dg)
+		if err != nil {
+			return nil, err
+		}
+		il = core.SelectSufficient(m, full)
+	}
+	w := &Workspace{ID: t.nextID, Mapping: m, Illustration: il, Note: note, Rank: rank, dg: dg}
+	t.nextID++
+	return w, nil
+}
+
+// dgFor computes a mapping's D(G), incrementally from the active
+// workspace's cache when the graph is a single-leaf extension.
+func (t *Tool) dgFor(m *core.Mapping) (*relation.Relation, error) {
+	if m.Graph.NodeCount() == 0 {
+		return relation.New("D(G)", relation.NewScheme()), nil
+	}
+	if prev := t.Active(); prev != nil && prev.dg != nil && prev.Mapping.Graph.NodeCount() > 0 {
+		return fd.ComputeIncremental(prev.dg, prev.Mapping.Graph, m.Graph, t.Instance)
+	}
+	return fd.Compute(m.Graph, t.Instance)
+}
+
+// pushHistory remembers the current state for Undo. History is capped
+// to the last 32 states.
+func (t *Tool) pushHistory() {
+	snap := snapshot{
+		workspaces: append([]*Workspace(nil), t.workspaces...),
+		active:     t.active,
+		accepted:   append([]*core.Mapping(nil), t.accepted...),
+	}
+	t.history = append(t.history, snap)
+	if len(t.history) > 32 {
+		t.history = t.history[len(t.history)-32:]
+	}
+}
+
+// Undo restores the workspace set as it was before the last mutating
+// operator (correspondence, walk, chase, filter, confirm). It fails
+// when there is nothing to undo.
+func (t *Tool) Undo() error {
+	if len(t.history) == 0 {
+		return fmt.Errorf("workspace: nothing to undo")
+	}
+	snap := t.history[len(t.history)-1]
+	t.history = t.history[:len(t.history)-1]
+	t.workspaces = snap.workspaces
+	t.active = snap.active
+	t.accepted = snap.accepted
+	return nil
+}
+
+// setAlternatives replaces the current workspaces with the given
+// alternatives (already ranked) and activates the first — the paper's
+// behaviour after a walk or chase: "new workspaces are created (one of
+// which is chosen as the new active workspace), and the old workspaces
+// are discarded" (but remembered in history for Undo).
+func (t *Tool) setAlternatives(ms []*core.Mapping, notes []string) error {
+	var ws []*Workspace
+	for i, m := range ms {
+		note := ""
+		if i < len(notes) {
+			note = notes[i]
+		}
+		w, err := t.newWorkspace(m, note, i)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	t.pushHistory()
+	t.workspaces = ws
+	if len(ws) > 0 {
+		t.active = 0
+	} else {
+		t.active = -1
+	}
+	return nil
+}
+
+// Start opens the first workspace around an empty mapping.
+func (t *Tool) Start(name string) error {
+	m := core.NewMapping(name, t.Target)
+	w := &Workspace{ID: t.nextID, Mapping: m, Note: "empty mapping"}
+	t.nextID++
+	t.workspaces = []*Workspace{w}
+	t.active = 0
+	return nil
+}
+
+// Use activates the workspace with the given ID.
+func (t *Tool) Use(id int) error {
+	for i, w := range t.workspaces {
+		if w.ID == id {
+			t.active = i
+			return nil
+		}
+	}
+	return fmt.Errorf("workspace: no workspace %d", id)
+}
+
+// Rotate activates the next workspace (cyclically).
+func (t *Tool) Rotate() {
+	if len(t.workspaces) > 1 {
+		t.active = (t.active + 1) % len(t.workspaces)
+	}
+}
+
+// Delete removes a workspace ("if the user wishes to eliminate an
+// alternative, she can delete the associated workspace").
+func (t *Tool) Delete(id int) error {
+	for i, w := range t.workspaces {
+		if w.ID != id {
+			continue
+		}
+		t.workspaces = append(t.workspaces[:i], t.workspaces[i+1:]...)
+		switch {
+		case len(t.workspaces) == 0:
+			t.active = -1
+		case t.active >= len(t.workspaces):
+			t.active = len(t.workspaces) - 1
+		case t.active > i:
+			t.active--
+		}
+		return nil
+	}
+	return fmt.Errorf("workspace: no workspace %d", id)
+}
+
+// Confirm accepts the active workspace's mapping as correct (so far):
+// the mapping joins the accepted set and all alternative workspaces
+// are deleted, leaving the confirmed one active.
+func (t *Tool) Confirm() error {
+	w := t.Active()
+	if w == nil {
+		return fmt.Errorf("workspace: nothing to confirm")
+	}
+	t.pushHistory()
+	t.accepted = append(t.accepted, w.Mapping.Clone())
+	t.workspaces = []*Workspace{w}
+	t.active = 0
+	return nil
+}
+
+// TargetView evaluates the WYSIWYG target: the union of every accepted
+// mapping's result and the active mapping's result (Sections 6.1–6.2).
+func (t *Tool) TargetView() (*relation.Relation, error) {
+	out := relation.New(t.Target.Name, relation.SchemeFor(t.Target))
+	add := func(m *core.Mapping) error {
+		if m.Graph.NodeCount() == 0 {
+			return nil
+		}
+		res, err := m.Evaluate(t.Instance)
+		if err != nil {
+			return err
+		}
+		for _, tp := range res.Tuples() {
+			out.Add(tp)
+		}
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, m := range t.accepted {
+		sig := m.String()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		if err := add(m); err != nil {
+			return nil, err
+		}
+	}
+	if w := t.Active(); w != nil && !seen[w.Mapping.String()] {
+		if w.dg != nil && w.Mapping.Graph.NodeCount() > 0 {
+			// Reuse the cached D(G).
+			for _, tp := range w.Mapping.EvaluateOn(w.dg).Tuples() {
+				out.Add(tp)
+			}
+		} else if err := add(w.Mapping); err != nil {
+			return nil, err
+		}
+	}
+	return out.Distinct(), nil
+}
+
+// AddCorrespondence applies the correspondence operator to the active
+// mapping. When the target attribute is already mapped, the operator
+// creates alternatives that reuse the active mapping's other
+// correspondences and filters (Example 6.2: a second way to compute
+// the same target field); otherwise the alternatives extend the
+// active mapping directly. New alternatives become the workspaces.
+func (t *Tool) AddCorrespondence(c core.Correspondence) error {
+	w := t.Active()
+	if w == nil {
+		return fmt.Errorf("workspace: no active workspace")
+	}
+	base := w.Mapping
+	note := "correspondence " + c.String()
+	if _, dup := base.CorrFor(c.Target.Attr); dup {
+		// Reuse: copy everything except the existing correspondence
+		// for this attribute, then accept the current mapping so the
+		// target keeps its first computation.
+		if err := t.Confirm(); err != nil {
+			return err
+		}
+		base = base.WithoutCorrespondence(c.Target.Attr)
+		base.Name = fmt.Sprintf("%s+%s", base.Name, c.Target.Attr)
+		note = "alternative computation of " + c.Target.Attr
+	}
+	alts, err := core.AddCorrespondence(base, t.Knowledge, c, t.MaxWalkLen)
+	if err != nil {
+		return err
+	}
+	notes := make([]string, len(alts))
+	for i := range alts {
+		notes[i] = fmt.Sprintf("%s (alternative %d)", note, i+1)
+	}
+	return t.setAlternatives(alts, notes)
+}
+
+// Walk applies the data walk operator to the active mapping and
+// replaces the workspaces with the ranked alternatives.
+func (t *Tool) Walk(startNode, endBase string) error {
+	w := t.Active()
+	if w == nil {
+		return fmt.Errorf("workspace: no active workspace")
+	}
+	opts, err := core.DataWalk(w.Mapping, t.Knowledge, startNode, endBase, t.MaxWalkLen)
+	if err != nil {
+		return err
+	}
+	if len(opts) == 0 {
+		return fmt.Errorf("workspace: no walk from %s to %s", startNode, endBase)
+	}
+	// Rank by (path length, least perturbation to the active mapping,
+	// description) — the Section 6.1 heuristics.
+	base := w.Mapping
+	sort.SliceStable(opts, func(i, j int) bool {
+		if len(opts[i].Path) != len(opts[j].Path) {
+			return len(opts[i].Path) < len(opts[j].Path)
+		}
+		pi := core.PerturbationScore(base, opts[i].Mapping)
+		pj := core.PerturbationScore(base, opts[j].Mapping)
+		if pi != pj {
+			return pi < pj
+		}
+		return opts[i].Describe() < opts[j].Describe()
+	})
+	ms := make([]*core.Mapping, len(opts))
+	notes := make([]string, len(opts))
+	for i, o := range opts {
+		ms[i] = o.Mapping
+		notes[i] = o.Describe()
+	}
+	return t.setAlternatives(ms, notes)
+}
+
+// Chase applies the data chase operator to the active mapping and
+// replaces the workspaces with the alternatives.
+func (t *Tool) Chase(fromCol string, v value.Value) error {
+	w := t.Active()
+	if w == nil {
+		return fmt.Errorf("workspace: no active workspace")
+	}
+	opts, err := core.DataChase(w.Mapping, t.Index, fromCol, v)
+	if err != nil {
+		return err
+	}
+	if len(opts) == 0 {
+		return fmt.Errorf("workspace: value %v occurs nowhere new", v)
+	}
+	ms := make([]*core.Mapping, len(opts))
+	notes := make([]string, len(opts))
+	for i, o := range opts {
+		ms[i] = o.Mapping
+		notes[i] = o.Describe()
+	}
+	return t.setAlternatives(ms, notes)
+}
+
+// AddSourceFilter adds a C_S predicate to the active mapping in place
+// (trimming does not change the graph; the illustration evolves).
+func (t *Tool) AddSourceFilter(p expr.Expr) error {
+	return t.replaceActive(func(m *core.Mapping) *core.Mapping { return m.WithSourceFilter(p) }, "source filter "+p.String())
+}
+
+// AddTargetFilter adds a C_T predicate to the active mapping in place.
+func (t *Tool) AddTargetFilter(p expr.Expr) error {
+	return t.replaceActive(func(m *core.Mapping) *core.Mapping { return m.WithTargetFilter(p) }, "target filter "+p.String())
+}
+
+func (t *Tool) replaceActive(f func(*core.Mapping) *core.Mapping, note string) error {
+	w := t.Active()
+	if w == nil {
+		return fmt.Errorf("workspace: no active workspace")
+	}
+	m := f(w.Mapping)
+	nw, err := t.newWorkspace(m, note, 0)
+	if err != nil {
+		return err
+	}
+	t.pushHistory()
+	t.workspaces[t.active] = nw
+	return nil
+}
+
+// RankWorkspaces re-sorts workspaces by (Rank, ID), keeping the active
+// pointer on the same workspace.
+func (t *Tool) RankWorkspaces() {
+	act := t.Active()
+	sort.SliceStable(t.workspaces, func(i, j int) bool {
+		if t.workspaces[i].Rank != t.workspaces[j].Rank {
+			return t.workspaces[i].Rank < t.workspaces[j].Rank
+		}
+		return t.workspaces[i].ID < t.workspaces[j].ID
+	})
+	for i, w := range t.workspaces {
+		if w == act {
+			t.active = i
+		}
+	}
+}
