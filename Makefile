@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet check bench demo
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 verification gate: vet, build, tests, race tests.
+check: vet build test race
+
+bench:
+	$(GO) run ./cmd/cliobench -quick
+
+demo:
+	$(GO) run ./cmd/cliodemo

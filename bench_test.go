@@ -6,6 +6,7 @@ package clio_test
 // `go test -bench`.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func BenchmarkFullDisjunctionSubgraph(b *testing.B) {
 		c := chainCase(n, 100)
 		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := fd.FullDisjunction(c.Graph, c.Instance); err != nil {
+				if _, err := fd.FullDisjunction(context.Background(), c.Graph, c.Instance); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -45,7 +46,7 @@ func BenchmarkFullDisjunctionOuterJoin(b *testing.B) {
 		c := chainCase(n, 100)
 		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := fd.FullDisjunctionOuterJoin(c.Graph, c.Instance); err != nil {
+				if _, err := fd.FullDisjunctionOuterJoin(context.Background(), c.Graph, c.Instance); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -105,17 +106,17 @@ func BenchmarkIllustrationSelect(b *testing.B) {
 	for _, rows := range []int{100, 400} {
 		c := chainCase(4, rows)
 		c.Mapping.TargetFilters = []expr.Expr{expr.MustParse("T.vR0 IS NOT NULL")}
-		dg, err := fd.Compute(c.Graph, c.Instance)
+		dg, err := fd.Compute(context.Background(), c.Graph, c.Instance)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				full, err := core.ExamplesOn(c.Mapping, c.Instance, dg)
+				full, err := core.ExamplesOn(context.Background(), c.Mapping, c.Instance, dg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				core.SelectSufficient(c.Mapping, full)
+				core.SelectSufficient(context.Background(), c.Mapping, full)
 			}
 		})
 	}
@@ -137,11 +138,11 @@ func BenchmarkDataWalkPaths(b *testing.B) {
 
 func BenchmarkDataWalkOperator(b *testing.B) {
 	in := paperdb.Instance()
-	k := discovery.BuildKnowledge(in, true, 1)
+	k := discovery.BuildKnowledge(context.Background(), in, true, 1)
 	m := paperdb.Figure6G()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DataWalk(m, k, "Children", "SBPS", 3); err != nil {
+		if _, err := core.DataWalk(context.Background(), m, k, "Children", "SBPS", 3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,7 +152,7 @@ func BenchmarkDataWalkOperator(b *testing.B) {
 
 func BenchmarkChaseIndexed(b *testing.B) {
 	in := datagen.WideInstance(4, 5, 2000, 1000, 3)
-	ix := discovery.BuildValueIndex(in)
+	ix := discovery.BuildValueIndex(context.Background(), in)
 	v := value.Int(7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -170,11 +171,11 @@ func BenchmarkChaseScan(b *testing.B) {
 
 func BenchmarkChaseOperator(b *testing.B) {
 	in := paperdb.Instance()
-	ix := discovery.BuildValueIndex(in)
+	ix := discovery.BuildValueIndex(context.Background(), in)
 	m := paperdb.Figure6G()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DataChase(m, ix, "Children.ID", value.String("002")); err != nil {
+		if _, err := core.DataChase(context.Background(), m, ix, "Children.ID", value.String("002")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -217,17 +218,17 @@ func BenchmarkEvolution(b *testing.B) {
 	old := full.Mapping.Clone()
 	old.Graph = full.Graph.Induced(full.Graph.Nodes()[:3])
 	old.Corrs = old.Corrs[:3]
-	oldDG, err := fd.Compute(old.Graph, full.Instance)
+	oldDG, err := fd.Compute(context.Background(), old.Graph, full.Instance)
 	if err != nil {
 		b.Fatal(err)
 	}
-	oldIll, err := core.SufficientIllustration(old, full.Instance)
+	oldIll, err := core.SufficientIllustration(context.Background(), old, full.Instance)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.EvolveFrom(oldIll, oldDG, full.Mapping, full.Instance); err != nil {
+		if _, err := core.EvolveFrom(context.Background(), oldIll, oldDG, full.Mapping, full.Instance); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -237,7 +238,7 @@ func BenchmarkEvolutionRecompute(b *testing.B) {
 	full := chainCase(4, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SufficientIllustration(full.Mapping, full.Instance); err != nil {
+		if _, err := core.SufficientIllustration(context.Background(), full.Mapping, full.Instance); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +251,7 @@ func BenchmarkDiscoveryINDs(b *testing.B) {
 		in := datagen.WideInstance(rels, 4, 500, 126, 5)
 		b.Run(fmt.Sprintf("rels%d", rels), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				discovery.DiscoverINDs(in, 0.95)
+				discovery.DiscoverINDs(context.Background(), in, 0.95)
 			}
 		})
 	}
@@ -260,7 +261,7 @@ func BenchmarkDiscoveryValueIndex(b *testing.B) {
 	in := datagen.WideInstance(4, 5, 2000, 1000, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		discovery.BuildValueIndex(in)
+		discovery.BuildValueIndex(context.Background(), in)
 	}
 }
 
@@ -282,7 +283,7 @@ func BenchmarkPaperSufficientIllustration(b *testing.B) {
 	m := paperdb.Example315Mapping()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SufficientIllustration(m, in); err != nil {
+		if _, err := core.SufficientIllustration(context.Background(), m, in); err != nil {
 			b.Fatal(err)
 		}
 	}

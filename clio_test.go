@@ -1,6 +1,7 @@
 package clio_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Mine the knowledge from raw CSVs: the FK structure is recovered.
-	inds := clio.DiscoverINDs(in, 1.0)
+	inds := clio.DiscoverINDs(context.Background(), in, 1.0)
 	if len(inds) == 0 {
 		t.Fatal("no INDs discovered from CSVs")
 	}
@@ -40,23 +41,23 @@ func TestFacadeEndToEnd(t *testing.T) {
 		clio.Attribute{Name: "name"},
 		clio.Attribute{Name: "affiliation"},
 	)
-	tool := clio.NewTool(in, target, true)
+	tool := clio.NewTool(context.Background(), in, target, true)
 	if err := tool.Start("kids"); err != nil {
 		t.Fatal(err)
 	}
-	if err := tool.AddCorrespondence(clio.Identity("Children.ID", clio.Col("Kids", "ID"))); err != nil {
+	if err := tool.AddCorrespondence(context.Background(), clio.Identity("Children.ID", clio.Col("Kids", "ID"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := tool.AddCorrespondence(clio.Identity("Children.name", clio.Col("Kids", "name"))); err != nil {
+	if err := tool.AddCorrespondence(context.Background(), clio.Identity("Children.name", clio.Col("Kids", "name"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := tool.AddCorrespondence(clio.Identity("Parents.affiliation", clio.Col("Kids", "affiliation"))); err != nil {
+	if err := tool.AddCorrespondence(context.Background(), clio.Identity("Parents.affiliation", clio.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
 	if len(tool.Workspaces()) < 2 {
 		t.Fatalf("expected scenario alternatives, got %d", len(tool.Workspaces()))
 	}
-	view, err := tool.TargetView()
+	view, err := tool.TargetView(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,15 +98,15 @@ func TestFacadeExpressionAndValues(t *testing.T) {
 func TestFacadeFullDisjunction(t *testing.T) {
 	in := paperdb.Instance()
 	m := paperdb.Figure6G()
-	d1, err := clio.ComputeDG(m.Graph, in)
+	d1, err := clio.ComputeDG(context.Background(), m.Graph, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := clio.FullDisjunction(m.Graph, in)
+	d2, err := clio.FullDisjunction(context.Background(), m.Graph, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d3, err := clio.FullDisjunctionOuterJoin(m.Graph, in)
+	d3, err := clio.FullDisjunctionOuterJoin(context.Background(), m.Graph, in)
 	if err != nil {
 		t.Fatal(err)
 	}

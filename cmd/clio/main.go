@@ -13,6 +13,9 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +26,7 @@ import (
 	"clio/internal/csvio"
 	"clio/internal/discovery"
 	"clio/internal/expr"
+	"clio/internal/obs"
 	"clio/internal/paperdb"
 	"clio/internal/relation"
 	"clio/internal/render"
@@ -32,11 +36,74 @@ import (
 	"clio/internal/workspace"
 )
 
+// traceFlag accepts --trace (text), --trace=text, or --trace=json.
+type traceFlag struct{ mode string }
+
+func (f *traceFlag) String() string { return f.mode }
+
+func (f *traceFlag) Set(v string) error {
+	switch v {
+	case "", "true", "text":
+		f.mode = "text"
+	case "json":
+		f.mode = "json"
+	default:
+		return fmt.Errorf("bad trace mode %q (want text or json)", v)
+	}
+	return nil
+}
+
+func (f *traceFlag) IsBoolFlag() bool { return true }
+
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	var trace traceFlag
+	flag.Var(&trace, "trace", "print a span tree per command (text or json)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to `file` on exit")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on `addr` (e.g. localhost:6060)")
+	flag.Parse()
+
+	if trace.mode != "" {
+		obs.SetEnabled(true)
+		switch trace.mode {
+		case "json":
+			obs.SetExporter(&obs.JSONExporter{W: os.Stdout})
+		default:
+			obs.SetExporter(&obs.TextExporter{W: os.Stdout})
+		}
+	}
+	if *metricsPath != "" {
+		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		obs.SetEnabled(true)
+		srv, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clio:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", srv.Addr)
+	}
+
+	err := run(os.Stdin, os.Stdout)
+	if *metricsPath != "" {
+		if werr := writeMetrics(*metricsPath); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "clio:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the default registry snapshot as indented JSON.
+func writeMetrics(path string) error {
+	data, err := json.MarshalIndent(obs.SnapshotDefault(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 type session struct {
@@ -80,6 +147,10 @@ func run(r io.Reader, w io.Writer) error {
 func (s *session) exec(line string) error {
 	cmd, rest, _ := strings.Cut(line, " ")
 	rest = strings.TrimSpace(rest)
+	// One root span per REPL command: with --trace, the exporter
+	// prints the command's whole span tree as soon as it ends.
+	ctx, span := obs.StartSpan(context.Background(), "cmd."+cmd)
+	defer span.End()
 	switch cmd {
 	case "help":
 		s.help()
@@ -107,19 +178,19 @@ func (s *session) exec(line string) error {
 	case "schema":
 		return s.schema()
 	case "start":
-		return s.start(rest)
+		return s.start(ctx, rest)
 	case "corr":
-		return s.corr(rest)
+		return s.corr(ctx, rest)
 	case "walk":
-		return s.walk(rest)
+		return s.walk(ctx, rest)
 	case "chase":
-		return s.chase(rest)
+		return s.chase(ctx, rest)
 	case "ws":
 		return s.listWorkspaces()
 	case "diff":
-		return s.diff(rest)
+		return s.diff(ctx, rest)
 	case "cov":
-		return s.coverage()
+		return s.coverage(ctx)
 	case "status":
 		if err := s.needTool(); err != nil {
 			return err
@@ -131,15 +202,15 @@ func (s *session) exec(line string) error {
 	case "save":
 		return s.save(rest)
 	case "report":
-		return s.report(rest)
+		return s.report(ctx, rest)
 	case "focus":
-		return s.focus(rest)
+		return s.focus(ctx, rest)
 	case "sample":
 		return s.sample(rest)
 	case "loadmap":
-		return s.loadMapping(rest)
+		return s.loadMapping(ctx, rest)
 	case "importsql":
-		return s.importSQL(rest)
+		return s.importSQL(ctx, rest)
 	case "suggest":
 		return s.suggest()
 	case "use":
@@ -147,7 +218,7 @@ func (s *session) exec(line string) error {
 	case "delete":
 		return s.del(rest)
 	case "filter":
-		return s.filter(rest)
+		return s.filter(ctx, rest)
 	case "ill":
 		return s.illustrate()
 	case "sql":
@@ -162,9 +233,15 @@ func (s *session) exec(line string) error {
 		}
 		return fmt.Errorf("no active workspace")
 	case "eval":
-		return s.eval()
+		return s.eval(ctx)
 	case "accept":
 		return s.accept()
+	case "oplog":
+		if err := s.needTool(); err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, s.tool.OpLogString())
+		return nil
 	case "undo":
 		if err := s.needTool(); err != nil {
 			return err
@@ -212,6 +289,7 @@ func (s *session) help() {
   explain                    narrate the active mapping in plain English
   eval                       show the WYSIWYG target view
   accept                     confirm the active mapping
+  oplog                      show the session's operation log
   undo                       back out the last operator
   quit                       exit
 `)
@@ -313,7 +391,7 @@ func (s *session) schema() error {
 	return nil
 }
 
-func (s *session) start(name string) error {
+func (s *session) start(ctx context.Context, name string) error {
 	if err := s.needInstance(); err != nil {
 		return err
 	}
@@ -323,7 +401,7 @@ func (s *session) start(name string) error {
 	if name == "" {
 		name = "mapping"
 	}
-	s.tool = workspace.New(s.in, s.target, s.mine)
+	s.tool = workspace.New(ctx, s.in, s.target, s.mine)
 	if err := s.tool.Start(name); err != nil {
 		return err
 	}
@@ -332,7 +410,7 @@ func (s *session) start(name string) error {
 	return nil
 }
 
-func (s *session) corr(rest string) error {
+func (s *session) corr(ctx context.Context, rest string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -340,13 +418,13 @@ func (s *session) corr(rest string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.tool.AddCorrespondence(c); err != nil {
+	if err := s.tool.AddCorrespondence(ctx, c); err != nil {
 		return err
 	}
 	return s.listWorkspaces()
 }
 
-func (s *session) walk(rest string) error {
+func (s *session) walk(ctx context.Context, rest string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -354,13 +432,13 @@ func (s *session) walk(rest string) error {
 	if len(parts) != 2 {
 		return fmt.Errorf("usage: walk <node> <relation>")
 	}
-	if err := s.tool.Walk(parts[0], parts[1]); err != nil {
+	if err := s.tool.Walk(ctx, parts[0], parts[1]); err != nil {
 		return err
 	}
 	return s.listWorkspaces()
 }
 
-func (s *session) chase(rest string) error {
+func (s *session) chase(ctx context.Context, rest string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -368,7 +446,7 @@ func (s *session) chase(rest string) error {
 	if len(parts) != 2 {
 		return fmt.Errorf("usage: chase <R.attr> <value>")
 	}
-	if err := s.tool.Chase(parts[0], value.Parse(parts[1])); err != nil {
+	if err := s.tool.Chase(ctx, parts[0], value.Parse(parts[1])); err != nil {
 		return err
 	}
 	return s.listWorkspaces()
@@ -390,7 +468,7 @@ func (s *session) listWorkspaces() error {
 	return nil
 }
 
-func (s *session) diff(rest string) error {
+func (s *session) diff(ctx context.Context, rest string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -403,7 +481,7 @@ func (s *session) diff(rest string) error {
 	if err1 != nil || err2 != nil {
 		return fmt.Errorf("usage: diff <id1> <id2>")
 	}
-	out, err := s.tool.Compare(id1, id2, 5)
+	out, err := s.tool.Compare(ctx, id1, id2, 5)
 	if err != nil {
 		return err
 	}
@@ -411,11 +489,11 @@ func (s *session) diff(rest string) error {
 	return nil
 }
 
-func (s *session) coverage() error {
+func (s *session) coverage(ctx context.Context) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
-	out, err := s.tool.CoverageSummary()
+	out, err := s.tool.CoverageSummary(ctx)
 	if err != nil {
 		return err
 	}
@@ -423,7 +501,7 @@ func (s *session) coverage() error {
 	return nil
 }
 
-func (s *session) report(path string) error {
+func (s *session) report(ctx context.Context, path string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -434,7 +512,7 @@ func (s *session) report(path string) error {
 	if path == "" {
 		return fmt.Errorf("usage: report <file.html>")
 	}
-	view, err := s.tool.TargetView()
+	view, err := s.tool.TargetView(ctx)
 	if err != nil {
 		return err
 	}
@@ -460,7 +538,7 @@ func (s *session) report(path string) error {
 	return nil
 }
 
-func (s *session) focus(rest string) error {
+func (s *session) focus(ctx context.Context, rest string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -494,7 +572,7 @@ func (s *session) focus(rest string) error {
 	if len(focusTuples) == 0 {
 		return fmt.Errorf("no %s tuple with %s = %v", node, attr, val)
 	}
-	il, err := core.Focus(w.Mapping, s.in, node, focusTuples)
+	il, err := core.Focus(ctx, w.Mapping, s.in, node, focusTuples)
 	if err != nil {
 		return err
 	}
@@ -552,7 +630,7 @@ func (s *session) save(path string) error {
 	return nil
 }
 
-func (s *session) loadMapping(path string) error {
+func (s *session) loadMapping(ctx context.Context, path string) error {
 	if err := s.needInstance(); err != nil {
 		return err
 	}
@@ -572,7 +650,7 @@ func (s *session) loadMapping(path string) error {
 	}
 	if s.tool == nil {
 		s.target = m.Target
-		s.tool = workspace.New(s.in, m.Target, s.mine)
+		s.tool = workspace.New(ctx, s.in, m.Target, s.mine)
 	}
 	if err := s.tool.Start(m.Name); err != nil {
 		return err
@@ -602,7 +680,7 @@ func (s *session) suggest() error {
 	return nil
 }
 
-func (s *session) importSQL(path string) error {
+func (s *session) importSQL(ctx context.Context, path string) error {
 	if err := s.needInstance(); err != nil {
 		return err
 	}
@@ -622,7 +700,7 @@ func (s *session) importSQL(path string) error {
 	}
 	if s.tool == nil {
 		s.target = m.Target
-		s.tool = workspace.New(s.in, m.Target, s.mine)
+		s.tool = workspace.New(ctx, s.in, m.Target, s.mine)
 	}
 	if err := s.tool.Start(m.Name); err != nil {
 		return err
@@ -654,7 +732,7 @@ func (s *session) del(rest string) error {
 	return s.tool.Delete(id)
 }
 
-func (s *session) filter(rest string) error {
+func (s *session) filter(ctx context.Context, rest string) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
@@ -665,9 +743,9 @@ func (s *session) filter(rest string) error {
 	}
 	switch kind {
 	case "source":
-		return s.tool.AddSourceFilter(p)
+		return s.tool.AddSourceFilter(ctx, p)
 	case "target":
-		return s.tool.AddTargetFilter(p)
+		return s.tool.AddTargetFilter(ctx, p)
 	default:
 		return fmt.Errorf("usage: filter source|target <pred>")
 	}
@@ -702,11 +780,11 @@ func (s *session) sql() error {
 	return nil
 }
 
-func (s *session) eval() error {
+func (s *session) eval(ctx context.Context) error {
 	if err := s.needTool(); err != nil {
 		return err
 	}
-	view, err := s.tool.TargetView()
+	view, err := s.tool.TargetView(ctx)
 	if err != nil {
 		return err
 	}

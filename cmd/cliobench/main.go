@@ -6,16 +6,20 @@
 //
 // Usage:
 //
-//	cliobench            # run everything
-//	cliobench -exp E1    # one experiment
-//	cliobench -quick     # smaller sweeps (CI-sized)
+//	cliobench              # run everything
+//	cliobench -exp E1      # one experiment
+//	cliobench -quick       # smaller sweeps (CI-sized)
+//	cliobench -json f.json # also write stats + metric snapshots as JSON
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"clio/internal/core"
@@ -23,18 +27,29 @@ import (
 	"clio/internal/discovery"
 	"clio/internal/expr"
 	"clio/internal/fd"
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/value"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps")
+var (
+	quick    = flag.Bool("quick", false, "smaller sweeps")
+	jsonPath = flag.String("json", "", "write per-experiment stats and engine metric snapshots to `file`")
+)
 
 // out is the harness output sink; tests redirect it.
 var out io.Writer = os.Stdout
 
+// ctx is the root context for all measured engine calls.
+var ctx = context.Background()
+
 func main() {
-	exp := flag.String("exp", "", "experiment to run (E1..E8); empty runs all")
+	exp := flag.String("exp", "", "experiment to run (E1..E9); empty runs all")
 	flag.Parse()
+	if *jsonPath != "" {
+		// Collect engine counters/histograms per experiment.
+		obs.SetEnabled(true)
+	}
 	all := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4,
 		"E5": e5, "E6": e6, "E7": e7, "E8": e8, "E9": e9,
@@ -46,27 +61,96 @@ func main() {
 			os.Exit(1)
 		}
 		f()
-		return
+	} else {
+		for _, k := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+			all[k]()
+		}
 	}
-	for _, k := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
-		all[k]()
+	if err := writeJSON(); err != nil {
+		fmt.Fprintln(os.Stderr, "cliobench:", err)
+		os.Exit(1)
 	}
 }
 
-// timeIt measures f's wall time, repeating until 100ms or 5 runs.
-func timeIt(f func()) time.Duration {
+// stats summarizes repeated timings of one measured phase.
+type stats struct {
+	Min    time.Duration `json:"min_ns"`
+	Median time.Duration `json:"median_ns"`
+	P95    time.Duration `json:"p95_ns"`
+	Runs   int           `json:"runs"`
+}
+
+// String renders the median with the min–p95 spread.
+func (s stats) String() string {
+	return fmt.Sprintf("%s [%s–%s]",
+		s.Median.Round(time.Microsecond), s.Min.Round(time.Microsecond), s.P95.Round(time.Microsecond))
+}
+
+// measure times f repeatedly (until ~100ms of total work, at least 3
+// and at most 9 runs) and reports min/median/p95 over the samples.
+func measure(f func()) stats {
+	var samples []time.Duration
 	var total time.Duration
-	runs := 0
-	for total < 100*time.Millisecond && runs < 5 {
+	for (total < 100*time.Millisecond && len(samples) < 9) || len(samples) < 3 {
 		start := time.Now()
 		f()
-		total += time.Since(start)
-		runs++
+		d := time.Since(start)
+		samples = append(samples, d)
+		total += d
 	}
-	return total / time.Duration(runs)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return stats{Min: samples[0], Median: q(0.5), P95: q(0.95), Runs: len(samples)}
+}
+
+// expDoc is one experiment's JSON document: the rendered table plus
+// the engine metrics the experiment's phases incremented.
+type expDoc struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Columns []string     `json:"columns"`
+	Rows    [][]string   `json:"rows"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+var (
+	docs   []expDoc
+	curDoc *expDoc
+)
+
+// finishDoc snapshots the metrics accumulated since the experiment's
+// header and closes its document.
+func finishDoc() {
+	if curDoc == nil {
+		return
+	}
+	curDoc.Metrics = obs.SnapshotDefault()
+	docs = append(docs, *curDoc)
+	curDoc = nil
+}
+
+func writeJSON() error {
+	finishDoc()
+	if *jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(docs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
 }
 
 func header(id, title string, cols ...string) {
+	finishDoc()
+	if *jsonPath != "" {
+		// Metrics in each document cover exactly one experiment.
+		obs.ResetDefault()
+		curDoc = &expDoc{ID: id, Title: title, Columns: cols}
+	}
 	fmt.Fprintf(out, "\n## %s — %s\n\n|", id, title)
 	for _, c := range cols {
 		fmt.Fprintf(out, " %s |", c)
@@ -78,15 +162,26 @@ func header(id, title string, cols ...string) {
 	fmt.Fprintln(out)
 }
 
+func cell(c any) string {
+	switch v := c.(type) {
+	case time.Duration:
+		return v.Round(time.Microsecond).String()
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
 func row(cells ...any) {
+	rendered := make([]string, len(cells))
+	for i, c := range cells {
+		rendered[i] = cell(c)
+	}
+	if curDoc != nil {
+		curDoc.Rows = append(curDoc.Rows, rendered)
+	}
 	fmt.Fprintf(out, "|")
-	for _, c := range cells {
-		switch v := c.(type) {
-		case time.Duration:
-			fmt.Fprintf(out, " %s |", v.Round(time.Microsecond))
-		default:
-			fmt.Fprintf(out, " %v |", c)
-		}
+	for _, c := range rendered {
+		fmt.Fprintf(out, " %s |", c)
 	}
 	fmt.Fprintln(out)
 }
@@ -106,9 +201,9 @@ func e1() {
 		c := datagen.Chain(datagen.ChainSpec{Relations: n, Rows: rows, KeySpace: rows / 2, MatchProb: 0.85, Seed: 42})
 		subs := len(c.Graph.ConnectedSubsets())
 		var dg *relation.Relation
-		tSub := timeIt(func() { dg, _ = fd.FullDisjunction(c.Graph, c.Instance) })
-		tOJ := timeIt(func() { _, _ = fd.FullDisjunctionOuterJoin(c.Graph, c.Instance) })
-		row(n, subs, dg.Len(), tSub, tOJ, ratio(tSub, tOJ))
+		tSub := measure(func() { dg, _ = fd.FullDisjunction(ctx, c.Graph, c.Instance) })
+		tOJ := measure(func() { _, _ = fd.FullDisjunctionOuterJoin(ctx, c.Graph, c.Instance) })
+		row(n, subs, dg.Len(), tSub, tOJ, ratio(tSub.Median, tOJ.Median))
 	}
 }
 
@@ -123,9 +218,9 @@ func e2() {
 	for _, n := range sizes {
 		r := nullRichRelation(n, 6, 3)
 		var out *relation.Relation
-		tNaive := timeIt(func() { out = relation.RemoveSubsumedNaive(r.Distinct()) })
-		tFast := timeIt(func() { out = relation.RemoveSubsumed(r) })
-		row(n, out.Len(), tNaive, tFast, ratio(tNaive, tFast))
+		tNaive := measure(func() { out = relation.RemoveSubsumedNaive(r.Distinct()) })
+		tFast := measure(func() { out = relation.RemoveSubsumed(r) })
+		row(n, out.Len(), tNaive, tFast, ratio(tNaive.Median, tFast.Median))
 	}
 }
 
@@ -166,17 +261,17 @@ func e3() {
 	for _, n := range sizes {
 		c := datagen.Chain(datagen.ChainSpec{Relations: 4, Rows: n, KeySpace: n / 2, MatchProb: 0.8, Seed: 7})
 		c.Mapping.TargetFilters = []expr.Expr{expr.MustParse("T.vR0 IS NOT NULL")}
-		dg, err := fd.Compute(c.Graph, c.Instance)
+		dg, err := fd.Compute(ctx, c.Graph, c.Instance)
 		if err != nil {
 			panic(err)
 		}
 		var il core.Illustration
-		t := timeIt(func() {
-			full, err := core.ExamplesOn(c.Mapping, c.Instance, dg)
+		t := measure(func() {
+			full, err := core.ExamplesOn(ctx, c.Mapping, c.Instance, dg)
 			if err != nil {
 				panic(err)
 			}
-			il = core.SelectSufficient(c.Mapping, full)
+			il = core.SelectSufficient(ctx, c.Mapping, full)
 		})
 		row(n, dg.Len(), len(il.Examples), t)
 	}
@@ -194,7 +289,7 @@ func e4() {
 	for _, c := range cfgs {
 		k := datagen.Knowledge(datagen.KnowledgeSpec{Relations: c.rels, EdgesPerNode: c.epn, Seed: 9})
 		var n int
-		t := timeIt(func() { n = len(k.Paths("R0", fmt.Sprintf("R%d", c.rels-1), c.maxLen)) })
+		t := measure(func() { n = len(k.Paths("R0", fmt.Sprintf("R%d", c.rels-1), c.maxLen)) })
 		row(c.rels, c.epn, c.maxLen, n, t)
 	}
 }
@@ -211,15 +306,15 @@ func e5() {
 		rows := n / (4 * 5)
 		in := datagen.WideInstance(4, 5, rows, rows/2+1, 3)
 		var ix *discovery.ValueIndex
-		tBuild := timeIt(func() { ix = discovery.BuildValueIndex(in) })
+		tBuild := measure(func() { ix = discovery.BuildValueIndex(ctx, in) })
 		v := value.Int(7)
-		tProbe := timeIt(func() {
+		tProbe := measure(func() {
 			for i := 0; i < 1000; i++ {
 				ix.Occurrences(v)
 			}
-		}) / 1000
-		tScan := timeIt(func() { discovery.OccurrencesScan(in, v) })
-		row(n, tBuild, tProbe, tScan, ratio(tScan, tProbe))
+		}).div(1000)
+		tScan := measure(func() { discovery.OccurrencesScan(in, v) })
+		row(n, tBuild, tProbe, tScan, ratio(tScan.Median, tProbe.Median))
 	}
 }
 
@@ -235,9 +330,9 @@ func e6() {
 		c := datagen.Chain(datagen.ChainSpec{Relations: 4, Rows: n, KeySpace: n / 2, MatchProb: 0.8, Seed: 11})
 		c.Mapping.SourceFilters = []expr.Expr{expr.MustParse("R0.k IS NOT NULL")}
 		var res *relation.Relation
-		tDG := timeIt(func() { res, _ = c.Mapping.Evaluate(c.Instance) })
-		tLJ := timeIt(func() { _, _ = c.Mapping.EvaluateViaLeftJoins("R0", c.Instance) })
-		row(n, res.Len(), tDG, tLJ, ratio(tDG, tLJ))
+		tDG := measure(func() { res, _ = c.Mapping.Evaluate(c.Instance) })
+		tLJ := measure(func() { _, _ = c.Mapping.EvaluateViaLeftJoins("R0", c.Instance) })
+		row(n, res.Len(), tDG, tLJ, ratio(tDG.Median, tLJ.Median))
 	}
 }
 
@@ -254,20 +349,20 @@ func e7() {
 		old := full.Mapping.Clone()
 		old.Graph = full.Graph.Induced(full.Graph.Nodes()[:3])
 		old.Corrs = old.Corrs[:3]
-		oldDG, err := fd.Compute(old.Graph, full.Instance)
+		oldDG, err := fd.Compute(ctx, old.Graph, full.Instance)
 		if err != nil {
 			panic(err)
 		}
-		oldIll, err := core.SufficientIllustration(old, full.Instance)
+		oldIll, err := core.SufficientIllustration(ctx, old, full.Instance)
 		if err != nil {
 			panic(err)
 		}
-		tExt := timeIt(func() { _, _ = fd.ExtendLeaf(oldDG, old.Graph, full.Graph, full.Instance) })
-		tCmp := timeIt(func() { _, _ = fd.Compute(full.Graph, full.Instance) })
+		tExt := measure(func() { _, _ = fd.ExtendLeaf(ctx, oldDG, old.Graph, full.Graph, full.Instance) })
+		tCmp := measure(func() { _, _ = fd.Compute(ctx, full.Graph, full.Instance) })
 		var ev core.Evolved
-		tEv := timeIt(func() { ev, _ = core.EvolveFrom(oldIll, oldDG, full.Mapping, full.Instance) })
-		tRe := timeIt(func() { _, _ = core.SufficientIllustration(full.Mapping, full.Instance) })
-		row(n, tExt, tCmp, ratio(tCmp, tExt), tEv, tRe, fmt.Sprintf("%.2f", ev.ContinuityRatio()))
+		tEv := measure(func() { ev, _ = core.EvolveFrom(ctx, oldIll, oldDG, full.Mapping, full.Instance) })
+		tRe := measure(func() { _, _ = core.SufficientIllustration(ctx, full.Mapping, full.Instance) })
+		row(n, tExt, tCmp, ratio(tCmp.Median, tExt.Median), tEv, tRe, fmt.Sprintf("%.2f", ev.ContinuityRatio()))
 	}
 }
 
@@ -283,7 +378,7 @@ func e8() {
 	for _, c := range cfgs {
 		in := datagen.WideInstance(c.rels, c.cols, c.rows, c.rows/4+1, 5)
 		var n int
-		t := timeIt(func() { n = len(discovery.DiscoverINDs(in, 0.95)) })
+		t := measure(func() { n = len(discovery.DiscoverINDs(ctx, in, 0.95)) })
 		row(c.rels, c.cols, c.rows, n, t)
 	}
 }
@@ -302,30 +397,39 @@ func e9() {
 	for _, c := range cfgs {
 		full := datagen.Chain(datagen.ChainSpec{Relations: c.rels, Rows: c.rows, KeySpace: c.rows / 2, MatchProb: 0.85, Seed: 21})
 		nodes := full.Graph.Nodes()
-		tInc := timeIt(func() {
+		tInc := measure(func() {
 			cur := full.Graph.Induced(nodes[:1])
-			dg, err := fd.Compute(cur, full.Instance)
+			dg, err := fd.Compute(ctx, cur, full.Instance)
 			if err != nil {
 				panic(err)
 			}
 			for i := 2; i <= c.rels; i++ {
 				next := full.Graph.Induced(nodes[:i])
-				dg, err = fd.ExtendLeaf(dg, cur, next, full.Instance)
+				dg, err = fd.ExtendLeaf(ctx, dg, cur, next, full.Instance)
 				if err != nil {
 					panic(err)
 				}
 				cur = next
 			}
 		})
-		tRe := timeIt(func() {
+		tRe := measure(func() {
 			for i := 1; i <= c.rels; i++ {
-				if _, err := fd.Compute(full.Graph.Induced(nodes[:i]), full.Instance); err != nil {
+				if _, err := fd.Compute(ctx, full.Graph.Induced(nodes[:i]), full.Instance); err != nil {
 					panic(err)
 				}
 			}
 		})
-		row(c.rels, c.rows, tInc, tRe, ratio(tRe, tInc))
+		row(c.rels, c.rows, tInc, tRe, ratio(tRe.Median, tInc.Median))
 	}
+}
+
+// div scales every quantile down by n (for per-iteration stats of a
+// batched measurement).
+func (s stats) div(n int) stats {
+	s.Min /= time.Duration(n)
+	s.Median /= time.Duration(n)
+	s.P95 /= time.Duration(n)
+	return s
 }
 
 func ratio(a, b time.Duration) string {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,9 @@ import (
 
 // out is the demo's output sink; tests redirect it.
 var out io.Writer = os.Stdout
+
+// ctx is the demo-wide root context for traced engine calls.
+var ctx = context.Background()
 
 func main() {
 	step := flag.Int("step", -1, "print a single step (0..8); -1 runs all")
@@ -80,19 +84,19 @@ func step0Source() error {
 
 func step1Correspondences() error {
 	in := paperdb.Instance()
-	tool := workspace.New(in, paperdb.Kids(), false)
+	tool := workspace.New(ctx, in, paperdb.Kids(), false)
 	if err := tool.Start("kids"); err != nil {
 		return err
 	}
-	if err := tool.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
+	if err := tool.AddCorrespondence(ctx, core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
 		return err
 	}
-	if err := tool.AddCorrespondence(core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
+	if err := tool.AddCorrespondence(ctx, core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "After v1: Children.ID -> Kids.ID and v2: Children.name -> Kids.name")
 	fmt.Fprintln(out, render.Table(in.Relation("Children"), render.Options{Unqualify: true, MaxRows: 4}))
-	view, err := tool.TargetView()
+	view, err := tool.TargetView(ctx)
 	if err != nil {
 		return err
 	}
@@ -109,7 +113,7 @@ func step2Affiliation() error {
 		core.Identity("Children.ID", schema.Col("Kids", "ID")),
 		core.Identity("Children.name", schema.Col("Kids", "name")),
 	}
-	alts, err := core.AddCorrespondence(m, k,
+	alts, err := core.AddCorrespondence(ctx, m, k,
 		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")), 2)
 	if err != nil {
 		return err
@@ -142,7 +146,7 @@ func step3Walk() error {
 		core.Identity("Children.name", schema.Col("Kids", "name")),
 		core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")),
 	}
-	opts, err := core.DataWalk(m, k, "Children", "PhoneDir", 3)
+	opts, err := core.DataWalk(ctx, m, k, "Children", "PhoneDir", 3)
 	if err != nil {
 		return err
 	}
@@ -167,9 +171,9 @@ func step3Walk() error {
 
 func step4Chase() error {
 	in := paperdb.Instance()
-	ix := discovery.BuildValueIndex(in)
+	ix := discovery.BuildValueIndex(ctx, in)
 	m := paperdb.Figure6G()
-	opts, err := core.DataChase(m, ix, "Children.ID", value.String("002"))
+	opts, err := core.DataChase(ctx, m, ix, "Children.ID", value.String("002"))
 	if err != nil {
 		return err
 	}
@@ -192,12 +196,12 @@ func step4Chase() error {
 func step5FullDisjunction() error {
 	in := paperdb.Instance()
 	m := paperdb.Figure6G()
-	d, err := m.DG(in)
+	d, err := m.DG(ctx, in)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "D(G) for G = Children—Parents—PhoneDir (Figure 6), tagged by coverage:")
-	il, err := core.ExamplesOn(m, in, d)
+	il, err := core.ExamplesOn(ctx, m, in, d)
 	if err != nil {
 		return err
 	}
@@ -208,7 +212,7 @@ func step5FullDisjunction() error {
 func step6Illustration() error {
 	in := paperdb.Instance()
 	m := paperdb.Example315Mapping()
-	il, err := core.SufficientIllustration(m, in)
+	il, err := core.SufficientIllustration(ctx, m, in)
 	if err != nil {
 		return err
 	}
@@ -221,7 +225,7 @@ func step6Illustration() error {
 	if err != nil {
 		return err
 	}
-	focusIl, err := core.Focus(m, in, "Children", cs.Tuples())
+	focusIl, err := core.Focus(ctx, m, in, "Children", cs.Tuples())
 	if err != nil {
 		return err
 	}

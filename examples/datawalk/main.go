@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,9 +19,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	in := paperdb.Instance()
 	k := paperdb.Knowledge() // declared foreign keys only
-	ix := clio.BuildValueIndex(in)
+	ix := clio.BuildValueIndex(ctx, in)
 
 	// The mapping so far: children with their fathers' affiliations.
 	m := clio.NewMapping("kids", paperdb.Kids())
@@ -34,7 +36,7 @@ func main() {
 	}
 
 	// --- Data walk: "associate children with phone numbers, somehow".
-	opts, err := clio.DataWalk(m, k, "Children", "PhoneDir", 3)
+	opts, err := clio.DataWalk(ctx, m, k, "Children", "PhoneDir", 3)
 	must(err)
 	fmt.Printf("DataWalk(Children -> PhoneDir): %d alternatives\n\n", len(opts))
 	for i, o := range opts {
@@ -59,7 +61,7 @@ func main() {
 	must(err)
 
 	// --- Data chase: "where else does Maya's ID appear?"
-	chase, err := clio.DataChase(chosen, ix, "Children.ID", clio.StringValue("002"))
+	chase, err := clio.DataChase(ctx, chosen, ix, "Children.ID", clio.StringValue("002"))
 	must(err)
 	fmt.Printf("DataChase(Children.ID = 002): %d alternatives\n", len(chase))
 	for i, c := range chase {
@@ -82,9 +84,9 @@ func main() {
 
 		// The illustration keeps the user oriented: it evolved from
 		// the mapping she already understood.
-		oldIll, err := clio.SufficientIllustration(chosen, in)
+		oldIll, err := clio.SufficientIllustration(ctx, chosen, in)
 		must(err)
-		ev, err := clio.Evolve(oldIll, final, in)
+		ev, err := clio.Evolve(ctx, oldIll, final, in)
 		must(err)
 		fmt.Printf("Illustration continuity after the chase: %.0f%% of old examples extended, %d fresh\n",
 			100*ev.ContinuityRatio(), ev.Fresh)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Stage the CSVs (in a real deployment these are the user's
 	// files).
 	dir, err := os.MkdirTemp("", "clio-discovery-")
@@ -32,7 +34,7 @@ func main() {
 	fmt.Printf("loaded %d relations, %d tuples, no constraints\n\n", len(in.Names()), in.TotalTuples())
 
 	// Mine inclusion dependencies and propose foreign keys.
-	inds := clio.DiscoverINDs(in, 1.0)
+	inds := clio.DiscoverINDs(ctx, in, 1.0)
 	fmt.Println("full inclusion dependencies found in the data:")
 	for _, ind := range inds {
 		fmt.Printf("  %s ⊆ %s\n", ind.From, ind.To)
@@ -50,18 +52,18 @@ func main() {
 		clio.Attribute{Name: "name"},
 		clio.Attribute{Name: "affiliation"},
 	)
-	tool := clio.NewTool(in, target, true)
+	tool := clio.NewTool(ctx, in, target, true)
 	must(tool.Start("kids"))
-	must(tool.AddCorrespondence(clio.Identity("Children.ID", clio.Col("Kids", "ID"))))
-	must(tool.AddCorrespondence(clio.Identity("Children.name", clio.Col("Kids", "name"))))
-	must(tool.AddCorrespondence(clio.Identity("Parents.affiliation", clio.Col("Kids", "affiliation"))))
+	must(tool.AddCorrespondence(ctx, clio.Identity("Children.ID", clio.Col("Kids", "ID"))))
+	must(tool.AddCorrespondence(ctx, clio.Identity("Children.name", clio.Col("Kids", "name"))))
+	must(tool.AddCorrespondence(ctx, clio.Identity("Parents.affiliation", clio.Col("Kids", "affiliation"))))
 
 	fmt.Printf("\nafter the affiliation correspondence, Clio proposes %d scenarios:\n", len(tool.Workspaces()))
 	for _, w := range tool.Workspaces() {
 		fmt.Printf("  [%d] %s\n", w.ID, w.Note)
 		fmt.Print(w.Mapping.Graph.String())
 	}
-	view, err := tool.TargetView()
+	view, err := tool.TargetView(ctx)
 	must(err)
 	fmt.Println("\ntarget view under the first scenario:")
 	fmt.Println(clio.FormatTable(view, clio.RenderOptions{Unqualify: true}))

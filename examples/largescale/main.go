@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A synthetic 4-relation chain with 10k rows per relation.
 	c := datagen.Chain(datagen.ChainSpec{
 		Relations: 4, Rows: 10000, KeySpace: 5000, MatchProb: 0.85, Seed: 2026,
@@ -32,12 +34,12 @@ func main() {
 	c.Mapping.TargetFilters = []clio.Expr{clio.MustParseExpr("T.vR0 IS NOT NULL")}
 
 	start := time.Now()
-	dg, err := clio.ComputeDG(c.Graph, c.Instance)
+	dg, err := clio.ComputeDG(ctx, c.Graph, c.Instance)
 	must(err)
 	fmt.Printf("D(G): %d data associations (computed in %v)\n", dg.Len(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	il, err := clio.SufficientIllustration(c.Mapping, c.Instance)
+	il, err := clio.SufficientIllustration(ctx, c.Mapping, c.Instance)
 	must(err)
 	fmt.Printf("sufficient illustration: %d examples (selected in %v) — the user reads %d rows, not %d\n\n",
 		len(il.Examples), time.Since(start).Round(time.Millisecond), len(il.Examples), dg.Len())

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small source: two relations linked by a foreign key.
 	sch := clio.NewDatabase()
 	sch.MustAddRelation(clio.NewRelationSchema("Employees",
@@ -49,12 +51,12 @@ func main() {
 
 	// Open a tool; correspondences drive everything else. The walk to
 	// Departments is inferred from the declared foreign key.
-	tool := clio.NewTool(in, target, false)
+	tool := clio.NewTool(ctx, in, target, false)
 	must(tool.Start("directory"))
-	must(tool.AddCorrespondence(clio.Identity("Employees.name", clio.Col("Directory", "who"))))
-	must(tool.AddCorrespondence(clio.Identity("Departments.title", clio.Col("Directory", "dept"))))
-	must(tool.AddCorrespondence(clio.Identity("Departments.floor", clio.Col("Directory", "floor"))))
-	must(tool.AddTargetFilter(clio.MustParseExpr("Directory.who IS NOT NULL")))
+	must(tool.AddCorrespondence(ctx, clio.Identity("Employees.name", clio.Col("Directory", "who"))))
+	must(tool.AddCorrespondence(ctx, clio.Identity("Departments.title", clio.Col("Directory", "dept"))))
+	must(tool.AddCorrespondence(ctx, clio.Identity("Departments.floor", clio.Col("Directory", "floor"))))
+	must(tool.AddTargetFilter(ctx, clio.MustParseExpr("Directory.who IS NOT NULL")))
 
 	// Inspect the illustration Clio chose: it demonstrates the
 	// employee-with-department case, the department-less employee, and
@@ -65,7 +67,7 @@ func main() {
 	}))
 
 	// The WYSIWYG target view.
-	view, err := tool.TargetView()
+	view, err := tool.TargetView(ctx)
 	must(err)
 	fmt.Println(clio.FormatTable(view, clio.RenderOptions{Unqualify: true}))
 

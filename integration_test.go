@@ -6,6 +6,7 @@ package clio_test
 // HTML report. Doubles as executable documentation.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestFullLibraryIntegration(t *testing.T) {
 	})
 
 	// 1. Discovery: the declared FKs are also recoverable from data.
-	inds := clio.DiscoverINDs(in, 1.0)
+	inds := clio.DiscoverINDs(context.Background(), in, 1.0)
 	fks := clio.ProposeForeignKeys(in, inds)
 	foundOC := false
 	for _, fk := range fks {
@@ -50,12 +51,12 @@ func TestFullLibraryIntegration(t *testing.T) {
 	}
 
 	// 3. Build the mapping through the tool.
-	tool := clio.NewTool(in, target, false)
+	tool := clio.NewTool(context.Background(), in, target, false)
 	must(t, tool.Start("report"))
-	must(t, tool.AddCorrespondence(clio.Identity("Orders.oid", clio.Col("Report", "oid"))))
-	must(t, tool.AddCorrespondence(clio.Identity("Customers.name", clio.Col("Report", "name"))))
-	must(t, tool.AddCorrespondence(clio.Identity("Shipments.carrier", clio.Col("Report", "carrier"))))
-	must(t, tool.AddTargetFilter(clio.MustParseExpr("Report.oid IS NOT NULL")))
+	must(t, tool.AddCorrespondence(context.Background(), clio.Identity("Orders.oid", clio.Col("Report", "oid"))))
+	must(t, tool.AddCorrespondence(context.Background(), clio.Identity("Customers.name", clio.Col("Report", "name"))))
+	must(t, tool.AddCorrespondence(context.Background(), clio.Identity("Shipments.carrier", clio.Col("Report", "carrier"))))
+	must(t, tool.AddTargetFilter(context.Background(), clio.MustParseExpr("Report.oid IS NOT NULL")))
 	m := tool.Active().Mapping
 	must(t, m.Validate(in))
 
@@ -64,7 +65,7 @@ func TestFullLibraryIntegration(t *testing.T) {
 	if len(tool.Active().Mapping.TargetFilters) != 0 {
 		t.Error("undo failed")
 	}
-	must(t, tool.AddTargetFilter(clio.MustParseExpr("Report.oid IS NOT NULL")))
+	must(t, tool.AddTargetFilter(context.Background(), clio.MustParseExpr("Report.oid IS NOT NULL")))
 	m = tool.Active().Mapping
 
 	// 5. The illustration is sufficient and explains itself.
@@ -103,19 +104,19 @@ func TestFullLibraryIntegration(t *testing.T) {
 	}
 
 	// 8. Evolution after a programmatic walk keeps continuity.
-	opts, err := clio.DataWalk(m, tool.Knowledge, "Orders", "OrderLines", 2)
+	opts, err := clio.DataWalk(context.Background(), m, tool.Knowledge, "Orders", "OrderLines", 2)
 	must(t, err)
 	if len(opts) == 0 {
 		t.Fatal("no walk to OrderLines")
 	}
-	ev, err := clio.Evolve(il, opts[0].Mapping, in)
+	ev, err := clio.Evolve(context.Background(), il, opts[0].Mapping, in)
 	must(t, err)
 	if ev.ContinuityRatio() != 1 {
 		t.Errorf("continuity = %v", ev.ContinuityRatio())
 	}
 
 	// 9. HTML report.
-	view, err := tool.TargetView()
+	view, err := tool.TargetView(context.Background())
 	must(t, err)
 	var html strings.Builder
 	must(t, clio.WriteHTMLReport(&html, clio.HTMLReport{

@@ -2,8 +2,20 @@ package algebra
 
 import (
 	"clio/internal/expr"
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/value"
+)
+
+// Join-kernel counters. Per-tuple work is accumulated locally and
+// published once per join so the hot loops never touch an atomic.
+var (
+	cJoinCalls   = obs.GetCounter("algebra.join.calls")
+	cJoinHash    = obs.GetCounter("algebra.join.hash")
+	cJoinNested  = obs.GetCounter("algebra.join.nested")
+	cJoinProbes  = obs.GetCounter("algebra.join.probes")
+	cJoinMatches = obs.GetCounter("algebra.join.matches")
+	cJoinOut     = obs.GetCounter("algebra.join.out_tuples")
 )
 
 // JoinRelations joins two materialized relations under the given kind
@@ -20,6 +32,9 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 
 	eqL, eqR, residual := SplitEquiConjuncts(on, l.Scheme(), r.Scheme())
 
+	cJoinCalls.Inc()
+	var probes, matches int64
+
 	emit := func(li, ri int) {
 		t := l.At(li).ConcatTo(s, r.At(ri))
 		if residual != nil && expr.Truth(residual, t) != value.True {
@@ -27,30 +42,38 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 		}
 		lMatched[li] = true
 		rMatched[ri] = true
+		matches++
 		out.Add(t)
 	}
 
 	if len(eqL) > 0 {
 		// Hash join: build on the smaller side by convention (right).
+		cJoinHash.Inc()
 		ix := r.BuildIndex(eqR...)
 		lpos := l.Scheme().Positions(eqL...)
 		for li := range l.Tuples() {
+			probes++
 			for _, ri := range ix.ProbeTuple(l.At(li), lpos) {
 				emit(li, ri)
 			}
 		}
 	} else {
+		cJoinNested.Inc()
 		for li := range l.Tuples() {
 			for ri := range r.Tuples() {
+				probes++
 				t := l.At(li).ConcatTo(s, r.At(ri))
 				if expr.Truth(on, t) == value.True {
 					lMatched[li] = true
 					rMatched[ri] = true
+					matches++
 					out.Add(t)
 				}
 			}
 		}
 	}
+	cJoinProbes.Add(probes)
+	cJoinMatches.Add(matches)
 
 	// Outer padding.
 	if kind == LeftJoin || kind == FullJoin {
@@ -69,6 +92,7 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 			}
 		}
 	}
+	cJoinOut.Add(int64(out.Len()))
 	return out
 }
 

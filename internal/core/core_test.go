@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -211,7 +212,7 @@ func TestEvaluateWithSourceFilter(t *testing.T) {
 func TestTransformAndFilters(t *testing.T) {
 	in := fixtureInstance()
 	m := fixtureMapping()
-	dg, err := m.DG(in)
+	dg, err := m.DG(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,13 +301,13 @@ func TestCorrespondenceOperators(t *testing.T) {
 
 func TestDataWalkErrorsAndRanking(t *testing.T) {
 	in := fixtureInstance()
-	k := discovery.BuildKnowledge(in, true, 1)
+	k := discovery.BuildKnowledge(context.Background(), in, true, 1)
 	m := NewMapping("w", targetRel())
 	m.Graph.MustAddNode("Orders", "Orders")
-	if _, err := DataWalk(m, k, "Nope", "Customers", 3); err == nil {
+	if _, err := DataWalk(context.Background(), m, k, "Nope", "Customers", 3); err == nil {
 		t.Error("unknown start should fail")
 	}
-	opts, err := DataWalk(m, k, "Orders", "Customers", 3)
+	opts, err := DataWalk(context.Background(), m, k, "Orders", "Customers", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,14 +328,14 @@ func TestDataWalkCopyNumbering(t *testing.T) {
 	// Walking to the same conflicted relation twice mints Parents2
 	// then Parents3-style names.
 	in := fixtureInstance()
-	k := discovery.BuildKnowledge(in, true, 1)
+	k := discovery.BuildKnowledge(context.Background(), in, true, 1)
 	m := NewMapping("w", targetRel())
 	m.Graph.MustAddNode("Orders", "Orders")
 	m.Graph.MustAddNode("Customers", "Customers")
 	// An edge with a different label than the knowledge edge, to force
 	// a conflict: Orders.oid = Customers.cid is not the FK.
 	m.Graph.MustAddEdge("Orders", "Customers", expr.Equals("Orders.oid", "Customers.cid"))
-	opts, err := DataWalk(m, k, "Orders", "Customers", 2)
+	opts, err := DataWalk(context.Background(), m, k, "Orders", "Customers", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,20 +355,20 @@ func TestDataWalkCopyNumbering(t *testing.T) {
 
 func TestAddCorrespondenceTooManyMissing(t *testing.T) {
 	in := fixtureInstance()
-	k := discovery.BuildKnowledge(in, true, 1)
+	k := discovery.BuildKnowledge(context.Background(), in, true, 1)
 	m := NewMapping("w", targetRel())
 	m.Graph.MustAddNode("Orders", "Orders")
 	c := FromExpr(expr.MustParse("concat(Customers.name, Shipments.day)"), schema.Col("Report", "customer"))
-	if _, err := AddCorrespondence(m, k, c, 3); err == nil {
+	if _, err := AddCorrespondence(context.Background(), m, k, c, 3); err == nil {
 		t.Error("two missing relations should fail")
 	}
 }
 
 func TestAddCorrespondenceEmptyGraph(t *testing.T) {
 	in := fixtureInstance()
-	k := discovery.BuildKnowledge(in, true, 1)
+	k := discovery.BuildKnowledge(context.Background(), in, true, 1)
 	m := NewMapping("w", targetRel())
-	alts, err := AddCorrespondence(m, k, Identity("Orders.oid", schema.Col("Report", "oid")), 3)
+	alts, err := AddCorrespondence(context.Background(), m, k, Identity("Orders.oid", schema.Col("Report", "oid")), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,29 +384,29 @@ func TestAddCorrespondenceUnreachable(t *testing.T) {
 	k := discovery.NewKnowledge() // empty: nothing reachable
 	m := NewMapping("w", targetRel())
 	m.Graph.MustAddNode("Orders", "Orders")
-	if _, err := AddCorrespondence(m, k, Identity("Customers.name", schema.Col("Report", "customer")), 3); err == nil {
+	if _, err := AddCorrespondence(context.Background(), m, k, Identity("Customers.name", schema.Col("Report", "customer")), 3); err == nil {
 		t.Error("unreachable relation should fail")
 	}
 }
 
 func TestDataChaseErrors(t *testing.T) {
 	in := fixtureInstance()
-	ix := discovery.BuildValueIndex(in)
+	ix := discovery.BuildValueIndex(context.Background(), in)
 	m := NewMapping("w", targetRel())
 	m.Graph.MustAddNode("Orders", "Orders")
-	if _, err := DataChase(m, ix, "notacolumn", value.Int(1)); err == nil {
+	if _, err := DataChase(context.Background(), m, ix, "notacolumn", value.Int(1)); err == nil {
 		t.Error("malformed column should fail")
 	}
-	if _, err := DataChase(m, ix, "Customers.cid", value.Int(1)); err == nil {
+	if _, err := DataChase(context.Background(), m, ix, "Customers.cid", value.Int(1)); err == nil {
 		t.Error("off-graph column should fail")
 	}
-	if _, err := DataChase(m, ix, "Orders.oid", value.Null); err == nil {
+	if _, err := DataChase(context.Background(), m, ix, "Orders.oid", value.Null); err == nil {
 		t.Error("null chase should fail")
 	}
 	// Chasing oid=1 finds Shipments.oid (Customers is found too via
 	// nothing — cid values differ from oid 1? cid 10,11,12; so only
 	// Shipments).
-	opts, err := DataChase(m, ix, "Orders.oid", value.Int(1))
+	opts, err := DataChase(context.Background(), m, ix, "Orders.oid", value.Int(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +421,7 @@ func TestDataChaseErrors(t *testing.T) {
 func TestPlanMatchesEvaluate(t *testing.T) {
 	in := fixtureInstance()
 	m := fixtureMapping().WithSourceFilter(expr.MustParse("Orders.total > 10"))
-	dg, err := m.DG(in)
+	dg, err := m.DG(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +467,7 @@ func TestViewSQLErrors(t *testing.T) {
 func TestEvolveLostAttribute(t *testing.T) {
 	in := fixtureInstance()
 	m := fixtureMapping()
-	il, err := SufficientIllustration(m, in)
+	il, err := SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +475,7 @@ func TestEvolveLostAttribute(t *testing.T) {
 	small := NewMapping("small", targetRel())
 	small.Graph.MustAddNode("Orders", "Orders")
 	small.Corrs = []Correspondence{Identity("Orders.oid", schema.Col("Report", "oid"))}
-	if _, err := Evolve(il, small, in); err == nil {
+	if _, err := Evolve(context.Background(), il, small, in); err == nil {
 		t.Error("graph shrink should fail evolution")
 	}
 }
@@ -484,12 +485,12 @@ func TestEvolveSameGraphFilterChange(t *testing.T) {
 	// and polarity is re-derived.
 	in := fixtureInstance()
 	m := fixtureMapping()
-	il, err := SufficientIllustration(m, in)
+	il, err := SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	m2 := m.WithSourceFilter(expr.MustParse("Orders.total > 100"))
-	ev, err := Evolve(il, m2, in)
+	ev, err := Evolve(context.Background(), il, m2, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +508,7 @@ func TestEvolveSameGraphFilterChange(t *testing.T) {
 func TestIllustrationAccessors(t *testing.T) {
 	in := fixtureInstance()
 	m := fixtureMapping()
-	il, err := AllExamples(m, in)
+	il, err := AllExamples(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +531,7 @@ func TestIllustrationAccessors(t *testing.T) {
 func TestFocusEmptyTuples(t *testing.T) {
 	in := fixtureInstance()
 	m := fixtureMapping()
-	il, err := Focus(m, in, "Orders", nil)
+	il, err := Focus(context.Background(), m, in, "Orders", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,13 +559,13 @@ func TestWalkEdgeOrientationReuse(t *testing.T) {
 	// in the opposite orientation must reuse the node, not mint a
 	// copy (regression: Customers.cid = Orders.cid vs reversed).
 	in := fixtureInstance()
-	k := discovery.BuildKnowledge(in, false, 1)
+	k := discovery.BuildKnowledge(context.Background(), in, false, 1)
 	m := NewMapping("w", targetRel())
 	m.Graph.MustAddNode("Orders", "Orders")
 	m.Graph.MustAddNode("Customers", "Customers")
 	// Edge written Customers-first.
 	m.Graph.MustAddEdge("Orders", "Customers", expr.Equals("Customers.cid", "Orders.cid"))
-	opts, err := DataWalk(m, k, "Customers", "Orders", 3)
+	opts, err := DataWalk(context.Background(), m, k, "Customers", "Orders", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -663,7 +664,7 @@ func TestFocusOnFixture(t *testing.T) {
 			focusTuples = append(focusTuples, tp)
 		}
 	}
-	il, err := Focus(m, in, "Orders", focusTuples)
+	il, err := Focus(context.Background(), m, in, "Orders", focusTuples)
 	if err != nil {
 		t.Fatal(err)
 	}

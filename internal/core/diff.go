@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"clio/internal/expr"
+	"clio/internal/obs"
 	"clio/internal/relation"
 )
 
@@ -141,11 +143,13 @@ type Distinguishing struct {
 // separate the two mappings (which must share a target relation).
 // These are the examples Clio highlights when asking the user to
 // choose between scenarios (Figures 3 and 4).
-func DistinguishingExamples(a, b *Mapping, in *relation.Instance, limit int) (Distinguishing, error) {
+func DistinguishingExamples(ctx context.Context, a, b *Mapping, in *relation.Instance, limit int) (Distinguishing, error) {
 	if a.Target.Name != b.Target.Name {
 		return Distinguishing{}, fmt.Errorf("core: mappings target different relations (%s vs %s)",
 			a.Target.Name, b.Target.Name)
 	}
+	ctx, span := obs.StartSpan(ctx, "core.distinguishing_examples")
+	defer span.End()
 	resA, err := a.Evaluate(in)
 	if err != nil {
 		return Distinguishing{}, err
@@ -154,11 +158,11 @@ func DistinguishingExamples(a, b *Mapping, in *relation.Instance, limit int) (Di
 	if err != nil {
 		return Distinguishing{}, err
 	}
-	exA, err := AllExamples(a, in)
+	exA, err := AllExamples(ctx, a, in)
 	if err != nil {
 		return Distinguishing{}, err
 	}
-	exB, err := AllExamples(b, in)
+	exB, err := AllExamples(ctx, b, in)
 	if err != nil {
 		return Distinguishing{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestDistinguishingExamples(t *testing.T) {
 	// orders.
 	a := fixtureMapping()
 	b := a.WithSourceFilter(expr.MustParse("Orders.total > 100"))
-	d, err := DistinguishingExamples(a, b, in, 0)
+	d, err := DistinguishingExamples(context.Background(), a, b, in, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,13 +74,13 @@ func TestDistinguishingExamples(t *testing.T) {
 		}
 	}
 	// Limit caps the witnesses.
-	d1, err := DistinguishingExamples(a, b, in, 1)
+	d1, err := DistinguishingExamples(context.Background(), a, b, in, 1)
 	if err != nil || len(d1.OnlyA) != 1 {
 		t.Errorf("limit not applied: %v, %v", d1.OnlyA, err)
 	}
 	// Different targets error.
 	other := NewMapping("x", schema.NewRelation("Other", schema.Attribute{Name: "y"}))
-	if _, err := DistinguishingExamples(a, other, in, 0); err == nil {
+	if _, err := DistinguishingExamples(context.Background(), a, other, in, 0); err == nil {
 		t.Error("different targets should fail")
 	}
 }

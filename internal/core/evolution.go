@@ -1,10 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"clio/internal/fd"
+	"clio/internal/obs"
 	"clio/internal/relation"
+)
+
+// Evolution instrumentation.
+var (
+	cEvolveRuns  = obs.GetCounter("core.evolve.runs")
+	cEvolveFresh = obs.GetCounter("core.evolve.fresh")
 )
 
 // This file implements continuous evolution of illustrations
@@ -44,25 +52,37 @@ func (e Evolved) ContinuityRatio() float64 {
 // Evolve computes the continuous evolution of oldIll under the new
 // mapping. The old mapping's query graph must be a subgraph of the new
 // one (node names and attributes are matched by qualified name).
-func Evolve(oldIll Illustration, newM *Mapping, in *relation.Instance) (Evolved, error) {
-	return EvolveFrom(oldIll, nil, newM, in)
+func Evolve(ctx context.Context, oldIll Illustration, newM *Mapping, in *relation.Instance) (Evolved, error) {
+	return EvolveFrom(ctx, oldIll, nil, newM, in)
 }
 
 // EvolveFrom is Evolve with an optional previously computed D(G) of
 // the old mapping: when the new graph extends the old one by a single
 // leaf (the walk/chase case), D(G′) is maintained incrementally with
 // one full outer join instead of recomputed (see fd.ExtendLeaf).
-func EvolveFrom(oldIll Illustration, oldDG *relation.Relation, newM *Mapping, in *relation.Instance) (Evolved, error) {
-	newDG, err := fd.ComputeIncremental(oldDG, oldIll.Mapping.Graph, newM.Graph, in)
+func EvolveFrom(ctx context.Context, oldIll Illustration, oldDG *relation.Relation, newM *Mapping, in *relation.Instance) (Evolved, error) {
+	ctx, span := obs.StartSpan(ctx, "core.evolve")
+	defer span.End()
+	newDG, err := fd.ComputeIncremental(ctx, oldDG, oldIll.Mapping.Graph, newM.Graph, in)
 	if err != nil {
 		return Evolved{}, err
 	}
-	return EvolveOnDG(oldIll, newM, in, newDG)
+	ev, err := EvolveOnDG(ctx, oldIll, newM, in, newDG)
+	if err != nil {
+		return Evolved{}, err
+	}
+	span.SetInt("old", int64(ev.Old))
+	span.SetInt("extended", int64(ev.Extended))
+	span.SetInt("fresh", int64(ev.Fresh))
+	return ev, nil
 }
 
 // EvolveOnDG evolves an illustration given an already materialized
 // D(G′) of the new mapping (workspaces cache these).
-func EvolveOnDG(oldIll Illustration, newM *Mapping, in *relation.Instance, newDG *relation.Relation) (Evolved, error) {
+func EvolveOnDG(ctx context.Context, oldIll Illustration, newM *Mapping, in *relation.Instance, newDG *relation.Relation) (Evolved, error) {
+	ctx, span := obs.StartSpan(ctx, "core.evolve_on_dg")
+	defer span.End()
+	cEvolveRuns.Inc()
 	oldScheme, err := fd.Scheme(oldIll.Mapping.Graph, in)
 	if err != nil {
 		return Evolved{}, err
@@ -76,7 +96,7 @@ func EvolveOnDG(oldIll Illustration, newM *Mapping, in *relation.Instance, newDG
 			return Evolved{}, fmt.Errorf("core: evolution target lost attribute %q (old graph not a subgraph)", n)
 		}
 	}
-	full, err := ExamplesOn(newM, in, newDG)
+	full, err := ExamplesOn(ctx, newM, in, newDG)
 	if err != nil {
 		return Evolved{}, err
 	}
@@ -157,5 +177,7 @@ func EvolveOnDG(oldIll Illustration, newM *Mapping, in *relation.Instance, newDG
 			}
 		}
 	}
+	cEvolveFresh.Add(int64(out.Fresh))
+	span.SetInt("examples", int64(len(out.Examples)))
 	return out, nil
 }

@@ -1,12 +1,22 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"clio/internal/fd"
+	"clio/internal/obs"
 	"clio/internal/relation"
+)
+
+// Illustration-machinery instrumentation.
+var (
+	cExamplesBuilt  = obs.GetCounter("core.examples.built")
+	cExamplesChosen = obs.GetCounter("core.examples.chosen")
+	hSufficientNS   = obs.GetHistogram("core.sufficient.ns")
 )
 
 // Example is a mapping example (Definition 4.1): a data association
@@ -39,17 +49,23 @@ type Illustration struct {
 
 // AllExamples builds the complete illustration: one example per data
 // association of the mapping's query graph.
-func AllExamples(m *Mapping, in *relation.Instance) (Illustration, error) {
-	dg, err := m.DG(in)
+func AllExamples(ctx context.Context, m *Mapping, in *relation.Instance) (Illustration, error) {
+	ctx, span := obs.StartSpan(ctx, "core.all_examples")
+	defer span.End()
+	dg, err := m.DG(ctx, in)
 	if err != nil {
 		return Illustration{}, err
 	}
-	return ExamplesOn(m, in, dg)
+	return ExamplesOn(ctx, m, in, dg)
 }
 
 // ExamplesOn builds the complete illustration over a precomputed D(G).
 // Coverage is resolved in one pass over the relation.
-func ExamplesOn(m *Mapping, in *relation.Instance, dg *relation.Relation) (Illustration, error) {
+func ExamplesOn(ctx context.Context, m *Mapping, in *relation.Instance, dg *relation.Relation) (Illustration, error) {
+	_, span := obs.StartSpan(ctx, "core.examples_on")
+	defer span.End()
+	span.SetInt("associations", int64(dg.Len()))
+	cExamplesBuilt.Add(int64(dg.Len()))
 	covs, err := fd.CoverageAll(dg, m.Graph, in)
 	if err != nil {
 		return Illustration{}, err
@@ -110,17 +126,26 @@ func requirementsOf(m *Mapping, all []Example) (reqs map[string]bool, covers [][
 // correspondence null/non-null behaviour per category. Selection is a
 // greedy set cover (each example covers several requirements), which
 // keeps the illustration close to minimal.
-func SufficientIllustration(m *Mapping, in *relation.Instance) (Illustration, error) {
-	full, err := AllExamples(m, in)
+func SufficientIllustration(ctx context.Context, m *Mapping, in *relation.Instance) (Illustration, error) {
+	ctx, span := obs.StartSpan(ctx, "core.sufficient_illustration")
+	defer span.End()
+	start := time.Now()
+	defer hSufficientNS.ObserveSince(start)
+	full, err := AllExamples(ctx, m, in)
 	if err != nil {
 		return Illustration{}, err
 	}
-	return SelectSufficient(m, full), nil
+	il := SelectSufficient(ctx, m, full)
+	span.SetInt("examples", int64(len(il.Examples)))
+	return il, nil
 }
 
 // SelectSufficient runs the greedy cover over a complete illustration.
-func SelectSufficient(m *Mapping, full Illustration) Illustration {
+func SelectSufficient(ctx context.Context, m *Mapping, full Illustration) Illustration {
+	_, span := obs.StartSpan(ctx, "core.select_sufficient")
+	defer span.End()
 	reqs, covers := requirementsOf(m, full.Examples)
+	span.SetInt("requirements", int64(len(reqs)))
 	uncovered := len(reqs)
 	covered := map[string]bool{}
 	chosen := make([]bool, len(full.Examples))
@@ -153,6 +178,8 @@ func SelectSufficient(m *Mapping, full Illustration) Illustration {
 			}
 		}
 	}
+	span.SetInt("chosen", int64(len(out.Examples)))
+	cExamplesChosen.Add(int64(len(out.Examples)))
 	return out
 }
 
@@ -161,7 +188,7 @@ func SelectSufficient(m *Mapping, full Illustration) Illustration {
 // (Definition 4.6). The complete example set is recomputed to know
 // which requirements exist.
 func (il Illustration) MissingRequirements(in *relation.Instance) ([]string, error) {
-	full, err := AllExamples(il.Mapping, in)
+	full, err := AllExamples(context.Background(), il.Mapping, in)
 	if err != nil {
 		return nil, err
 	}
@@ -234,11 +261,15 @@ func (il Illustration) Categories() []string {
 // the focus relation's scheme to one of the focus tuples. The focus
 // relation is named by its graph node name; focusTuples are tuples
 // over that node's qualified scheme.
-func Focus(m *Mapping, in *relation.Instance, focusNode string, focusTuples []relation.Tuple) (Illustration, error) {
+func Focus(ctx context.Context, m *Mapping, in *relation.Instance, focusNode string, focusTuples []relation.Tuple) (Illustration, error) {
 	if !m.Graph.HasNode(focusNode) {
 		return Illustration{}, fmt.Errorf("core: focus relation %q not in query graph", focusNode)
 	}
-	full, err := AllExamples(m, in)
+	ctx, span := obs.StartSpan(ctx, "core.focus")
+	defer span.End()
+	span.SetStr("node", focusNode)
+	span.SetInt("focus_tuples", int64(len(focusTuples)))
+	full, err := AllExamples(ctx, m, in)
 	if err != nil {
 		return Illustration{}, err
 	}
@@ -264,7 +295,7 @@ func Focus(m *Mapping, in *relation.Instance, focusNode string, focusTuples []re
 // every example induced by a data association whose projection onto
 // the focus scheme is one of the focus tuples.
 func (il Illustration) IsFocussedOn(in *relation.Instance, focusNode string, focusTuples []relation.Tuple) (bool, error) {
-	want, err := Focus(il.Mapping, in, focusNode, focusTuples)
+	want, err := Focus(context.Background(), il.Mapping, in, focusNode, focusTuples)
 	if err != nil {
 		return false, err
 	}

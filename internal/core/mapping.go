@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -146,8 +147,9 @@ func (m *Mapping) Validate(in *relation.Instance) error {
 }
 
 // DG computes the data associations D(G) of the mapping's query graph.
-func (m *Mapping) DG(in *relation.Instance) (*relation.Relation, error) {
-	return fd.Compute(m.Graph, in)
+// Tracing spans nest under the span carried by ctx.
+func (m *Mapping) DG(ctx context.Context, in *relation.Instance) (*relation.Relation, error) {
+	return fd.Compute(ctx, m.Graph, in)
 }
 
 // Transform applies the value correspondences to one data association,
@@ -190,7 +192,7 @@ func (m *Mapping) SatisfiesTargetFilters(t relation.Tuple) bool {
 // transformation, target filters, duplicate elimination. The result is
 // the subset of the target relation this mapping produces.
 func (m *Mapping) Evaluate(in *relation.Instance) (*relation.Relation, error) {
-	d, err := m.DG(in)
+	d, err := m.DG(context.Background(), in)
 	if err != nil {
 		return nil, err
 	}

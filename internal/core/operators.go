@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,8 +9,17 @@ import (
 	"clio/internal/discovery"
 	"clio/internal/expr"
 	"clio/internal/graph"
+	"clio/internal/obs"
 	"clio/internal/schema"
 	"clio/internal/value"
+)
+
+// Operator instrumentation: how many alternatives each walk/chase/
+// add-correspondence invocation produced.
+var (
+	cWalkOptions  = obs.GetCounter("core.walk.options")
+	cChaseOptions = obs.GetCounter("core.chase.options")
+	cCorrAlts     = obs.GetCounter("core.add_corr.alternatives")
 )
 
 // This file implements the mapping operators of Section 5. Every
@@ -114,12 +124,17 @@ func (w WalkOption) Describe() string {
 // per the paper's walks() conditions), and returns one new mapping per
 // viable extension. Options are ranked by path length, then by copies
 // introduced, then lexicographically.
-func DataWalk(m *Mapping, k *discovery.Knowledge, startNode, endBase string, maxLen int) ([]WalkOption, error) {
+func DataWalk(ctx context.Context, m *Mapping, k *discovery.Knowledge, startNode, endBase string, maxLen int) ([]WalkOption, error) {
 	start, ok := m.Graph.Node(startNode)
 	if !ok {
 		return nil, fmt.Errorf("core: walk start %q is not in the query graph", startNode)
 	}
+	_, span := obs.StartSpan(ctx, "core.data_walk")
+	defer span.End()
+	span.SetStr("start", startNode)
+	span.SetStr("end_base", endBase)
 	paths := k.Paths(start.Base, endBase, maxLen)
+	span.SetInt("paths", int64(len(paths)))
 	var out []WalkOption
 	seen := map[string]bool{}
 	for _, p := range paths {
@@ -143,6 +158,8 @@ func DataWalk(m *Mapping, k *discovery.Knowledge, startNode, endBase string, max
 		}
 		return out[i].Path.String() < out[j].Path.String()
 	})
+	span.SetInt("options", int64(len(out)))
+	cWalkOptions.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -274,19 +291,25 @@ func canonicalLabel(p expr.Expr) string {
 // when the source relations are already present, exactly one mapping
 // is returned. If an extension ends in a relation copy, the
 // correspondence is rewritten to read the copy.
-func AddCorrespondence(m *Mapping, k *discovery.Knowledge, c Correspondence, maxLen int) ([]*Mapping, error) {
+func AddCorrespondence(ctx context.Context, m *Mapping, k *discovery.Knowledge, c Correspondence, maxLen int) ([]*Mapping, error) {
+	ctx, span := obs.StartSpan(ctx, "core.add_correspondence")
+	defer span.End()
+	span.SetStr("target", c.Target.String())
 	var missing []string
 	for _, rel := range c.SourceRelations() {
 		if !m.Graph.HasNode(rel) {
 			missing = append(missing, rel)
 		}
 	}
+	span.SetInt("missing", int64(len(missing)))
 	switch len(missing) {
 	case 0:
 		out, err := m.WithCorrespondence(c)
 		if err != nil {
 			return nil, err
 		}
+		span.SetInt("alternatives", 1)
+		cCorrAlts.Inc()
 		return []*Mapping{out}, nil
 	case 1:
 		// Walk from every existing node to the missing base; gather
@@ -300,7 +323,7 @@ func AddCorrespondence(m *Mapping, k *discovery.Knowledge, c Correspondence, max
 		var alts []*Mapping
 		seen := map[string]bool{}
 		for _, start := range m.Graph.Nodes() {
-			opts, err := DataWalk(m, k, start, missing[0], maxLen)
+			opts, err := DataWalk(ctx, m, k, start, missing[0], maxLen)
 			if err != nil {
 				return nil, err
 			}
@@ -321,6 +344,8 @@ func AddCorrespondence(m *Mapping, k *discovery.Knowledge, c Correspondence, max
 		if len(alts) == 0 {
 			return nil, fmt.Errorf("core: no walk found to relation %q (is it in the join knowledge?)", missing[0])
 		}
+		span.SetInt("alternatives", int64(len(alts)))
+		cCorrAlts.Add(int64(len(alts)))
 		return alts, nil
 	default:
 		return nil, fmt.Errorf("core: correspondence reads %d unmapped relations %v; add them one at a time", len(missing), missing)
@@ -366,11 +391,14 @@ func (c ChaseOption) Describe() string {
 // column Q.A of some graph node Q, it finds every occurrence of v in
 // relations not referenced by the mapping, and for each occurrence
 // R.B returns the mapping extended with node R and edge Q.A = R.B.
-func DataChase(m *Mapping, ix *discovery.ValueIndex, fromCol string, v value.Value) ([]ChaseOption, error) {
+func DataChase(ctx context.Context, m *Mapping, ix *discovery.ValueIndex, fromCol string, v value.Value) ([]ChaseOption, error) {
 	ref, err := schema.ParseColumnRef(fromCol)
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "core.data_chase")
+	defer span.End()
+	span.SetStr("from", fromCol)
 	if _, ok := m.Graph.Node(ref.Relation); !ok {
 		return nil, fmt.Errorf("core: chase column %q is not on a query-graph node", fromCol)
 	}
@@ -401,5 +429,7 @@ func DataChase(m *Mapping, ix *discovery.ValueIndex, fromCol string, v value.Val
 	sort.SliceStable(out, func(i, j int) bool {
 		return out[i].To.String() < out[j].To.String()
 	})
+	span.SetInt("options", int64(len(out)))
+	cChaseOptions.Add(int64(len(out)))
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -66,7 +67,7 @@ func TestDataWalkValidityProperty(t *testing.T) {
 			m.Graph.MustAddEdge("R0", "R1", expr.Equals("R0."+from.Attr, "R1."+to.Attr))
 		}
 		end := fmt.Sprintf("R%d", rels-1)
-		opts, err := DataWalk(m, k, "R0", end, 3)
+		opts, err := DataWalk(context.Background(), m, k, "R0", end, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,11 +101,11 @@ func TestDataWalkValidityProperty(t *testing.T) {
 			}
 			// Evolution continuity from the old mapping holds.
 			if m.Graph.NodeCount() > 0 {
-				oldIll, err := SufficientIllustration(m, in)
+				oldIll, err := SufficientIllustration(context.Background(), m, in)
 				if err != nil {
 					t.Fatal(err)
 				}
-				ev, err := Evolve(oldIll, o.Mapping, in)
+				ev, err := Evolve(context.Background(), oldIll, o.Mapping, in)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -139,7 +140,7 @@ func TestSufficiencyProperty(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			m.TargetFilters = []expr.Expr{expr.MustParse("T.x IS NOT NULL")}
 		}
-		il, err := SufficientIllustration(m, in)
+		il, err := SufficientIllustration(context.Background(), m, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,11 +170,11 @@ func TestDataChaseValidityProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 40; trial++ {
 		in, _ := randomKnowledgeCase(rng, 4)
-		ix := discovery.BuildValueIndex(in)
+		ix := discovery.BuildValueIndex(context.Background(), in)
 		m := NewMapping("m", schema.NewRelation("T", schema.Attribute{Name: "x"}))
 		m.Graph.MustAddNode("R0", "R0")
 		v := value.Int(int64(rng.Intn(3)))
-		opts, err := DataChase(m, ix, "R0.a", v)
+		opts, err := DataChase(context.Background(), m, ix, "R0.a", v)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"testing"
 
 	"clio/internal/fd"
@@ -44,7 +45,7 @@ func TestChainShape(t *testing.T) {
 func TestChainZeroMatchProb(t *testing.T) {
 	// With no matches, D(G) is just the padded singletons.
 	c := Chain(ChainSpec{Relations: 3, Rows: 4, KeySpace: 4, MatchProb: 0, Seed: 2})
-	d, err := fd.Compute(c.Graph, c.Instance)
+	d, err := fd.Compute(context.Background(), c.Graph, c.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestStarShape(t *testing.T) {
 	if err := c.Mapping.Validate(c.Instance); err != nil {
 		t.Fatal(err)
 	}
-	d, err := fd.Compute(c.Graph, c.Instance)
+	d, err := fd.Compute(context.Background(), c.Graph, c.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestStarNullKeys(t *testing.T) {
 	if nulls == 0 {
 		t.Error("expected some null fact keys at MatchProb 0.3")
 	}
-	d, err := fd.Compute(c.Graph, c.Instance)
+	d, err := fd.Compute(context.Background(), c.Graph, c.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,11 +7,24 @@
 package discovery
 
 import (
+	"context"
 	"sort"
+	"time"
 
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/schema"
 	"clio/internal/value"
+)
+
+// Mining instrumentation: column-pair comparisons during IND
+// discovery, mined dependencies, and value-index build stats.
+var (
+	cINDPairs    = obs.GetCounter("discovery.ind.pairs")
+	cINDsMined   = obs.GetCounter("discovery.ind.mined")
+	cIndexValues = obs.GetCounter("discovery.value_index.values")
+	hINDMineNS   = obs.GetHistogram("discovery.ind.mine.ns")
+	hIndexNS     = obs.GetHistogram("discovery.value_index.build.ns")
 )
 
 // ColumnStats summarizes one column of a relation instance.
@@ -75,7 +88,11 @@ type IND struct {
 // different relations whose overlap is at least minOverlap
 // (0 < minOverlap ≤ 1). Columns with no non-null values are skipped.
 // Results are sorted by descending overlap, then lexicographically.
-func DiscoverINDs(in *relation.Instance, minOverlap float64) []IND {
+func DiscoverINDs(ctx context.Context, in *relation.Instance, minOverlap float64) []IND {
+	_, span := obs.StartSpan(ctx, "discovery.mine_inds")
+	defer span.End()
+	start := time.Now()
+	defer hINDMineNS.ObserveSince(start)
 	type colSet struct {
 		ref  schema.ColumnRef
 		rel  string
@@ -100,12 +117,15 @@ func DiscoverINDs(in *relation.Instance, minOverlap float64) []IND {
 			}
 		}
 	}
+	span.SetInt("columns", int64(len(cols)))
 	var out []IND
+	var pairs int64
 	for i, from := range cols {
 		for j, to := range cols {
 			if i == j || from.rel == to.rel {
 				continue
 			}
+			pairs++
 			hits := 0
 			for k := range from.vals {
 				if _, ok := to.vals[k]; ok {
@@ -127,6 +147,10 @@ func DiscoverINDs(in *relation.Instance, minOverlap float64) []IND {
 		}
 		return out[i].To.String() < out[j].To.String()
 	})
+	cINDPairs.Add(pairs)
+	cINDsMined.Add(int64(len(out)))
+	span.SetInt("pairs", pairs)
+	span.SetInt("inds", int64(len(out)))
 	return out
 }
 
@@ -169,7 +193,11 @@ type ValueIndex struct {
 }
 
 // BuildValueIndex indexes every non-null value of every column.
-func BuildValueIndex(in *relation.Instance) *ValueIndex {
+func BuildValueIndex(ctx context.Context, in *relation.Instance) *ValueIndex {
+	_, span := obs.StartSpan(ctx, "discovery.build_value_index")
+	defer span.End()
+	start := time.Now()
+	defer hIndexNS.ObserveSince(start)
 	ix := &ValueIndex{occ: map[string][]Occurrence{}}
 	for _, r := range in.Relations() {
 		for pos, qn := range r.Scheme().Names() {
@@ -194,6 +222,9 @@ func BuildValueIndex(in *relation.Instance) *ValueIndex {
 			return occ[i].Column.String() < occ[j].Column.String()
 		})
 	}
+	cIndexValues.Add(int64(len(ix.occ)))
+	span.SetInt("values", int64(len(ix.occ)))
+	span.SetInt("relations", int64(len(in.Relations())))
 	return ix
 }
 

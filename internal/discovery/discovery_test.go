@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"testing"
 
 	"clio/internal/relation"
@@ -90,7 +91,7 @@ func TestProfile(t *testing.T) {
 
 func TestDiscoverINDs(t *testing.T) {
 	in := miniPaperInstance()
-	inds := DiscoverINDs(in, 1.0)
+	inds := DiscoverINDs(context.Background(), in, 1.0)
 	has := func(from, to string) bool {
 		for _, ind := range inds {
 			if ind.From.String() == from && ind.To.String() == to && ind.Overlap == 1 {
@@ -115,7 +116,7 @@ func TestDiscoverINDs(t *testing.T) {
 		t.Error("Parents.ID ⊆ PhoneDir.ID should not hold")
 	}
 	// With a lower threshold the reverse appears as partial overlap.
-	partial := DiscoverINDs(in, 0.4)
+	partial := DiscoverINDs(context.Background(), in, 0.4)
 	found := false
 	for _, ind := range partial {
 		if ind.From.String() == "Parents.ID" && ind.To.String() == "PhoneDir.ID" {
@@ -138,7 +139,7 @@ func TestDiscoverINDs(t *testing.T) {
 
 func TestProposeForeignKeys(t *testing.T) {
 	in := miniPaperInstance()
-	fks := ProposeForeignKeys(in, DiscoverINDs(in, 1.0))
+	fks := ProposeForeignKeys(in, DiscoverINDs(context.Background(), in, 1.0))
 	want := map[string]bool{
 		"Children.mid->Parents.ID": false,
 		"Children.fid->Parents.ID": false,
@@ -163,7 +164,7 @@ func TestProposeForeignKeys(t *testing.T) {
 
 func TestValueIndex(t *testing.T) {
 	in := miniPaperInstance()
-	ix := BuildValueIndex(in)
+	ix := BuildValueIndex(context.Background(), in)
 	occ := ix.Occurrences(value.String("p00"))
 	// p00 appears in Children.mid (2×), Parents.ID (1×), PhoneDir.ID (1×).
 	if len(occ) != 3 {
@@ -186,7 +187,7 @@ func TestValueIndex(t *testing.T) {
 
 func TestOccurrencesScanAgreesWithIndex(t *testing.T) {
 	in := miniPaperInstance()
-	ix := BuildValueIndex(in)
+	ix := BuildValueIndex(context.Background(), in)
 	for _, v := range []value.Value{
 		value.String("p00"), value.String("p02"), value.String("c01"),
 		value.String("IBM"), value.String("zzz"), value.Null,
@@ -206,7 +207,7 @@ func TestOccurrencesScanAgreesWithIndex(t *testing.T) {
 
 func TestKnowledgeEdges(t *testing.T) {
 	in := miniPaperInstance()
-	k := BuildKnowledge(in, false, 1.0)
+	k := BuildKnowledge(context.Background(), in, false, 1.0)
 	// Declared FKs only: two edges Children↔Parents.
 	if len(k.Edges()) != 2 {
 		t.Fatalf("edges = %v", k.Edges())
@@ -223,7 +224,7 @@ func TestKnowledgeEdges(t *testing.T) {
 		t.Errorf("Neighbors = %v", got)
 	}
 	// With mining, PhoneDir joins appear.
-	km := BuildKnowledge(in, true, 1.0)
+	km := BuildKnowledge(context.Background(), in, true, 1.0)
 	if len(km.EdgesBetween("Parents", "PhoneDir")) == 0 {
 		t.Error("mined PhoneDir edge missing")
 	}
@@ -259,7 +260,7 @@ func TestUserEdges(t *testing.T) {
 
 func TestPaths(t *testing.T) {
 	in := miniPaperInstance()
-	k := BuildKnowledge(in, true, 1.0)
+	k := BuildKnowledge(context.Background(), in, true, 1.0)
 	// Children → PhoneDir: two 2-edge paths via Parents (mid and fid).
 	paths := k.Paths("Children", "PhoneDir", 3)
 	if len(paths) < 2 {

@@ -1,10 +1,12 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/schema"
 )
@@ -187,8 +189,12 @@ func (k *Knowledge) Paths(from, to string, maxEdges int) []Path {
 // declared foreign keys first, then (optionally) mined inclusion
 // dependencies with the given overlap threshold. Declared edges win
 // deduplication against mined ones.
-func BuildKnowledge(in *relation.Instance, mineINDs bool, minOverlap float64) *Knowledge {
+func BuildKnowledge(ctx context.Context, in *relation.Instance, mineINDs bool, minOverlap float64) *Knowledge {
+	ctx, span := obs.StartSpan(ctx, "discovery.build_knowledge")
+	defer span.End()
+	span.SetBool("mine_inds", mineINDs)
 	k := NewKnowledge()
+	declared := 0
 	if in.Schema != nil {
 		for _, fk := range in.Schema.ForeignKs {
 			// Unary FKs become single edges; composite FKs contribute
@@ -202,11 +208,14 @@ func BuildKnowledge(in *relation.Instance, mineINDs bool, minOverlap float64) *K
 				})
 			}
 		}
+		declared = len(k.edges)
 	}
 	if mineINDs {
-		for _, ind := range DiscoverINDs(in, minOverlap) {
+		for _, ind := range DiscoverINDs(ctx, in, minOverlap) {
 			k.Add(JoinEdge{From: ind.From, To: ind.To, Source: SourceIND})
 		}
 	}
+	span.SetInt("declared_edges", int64(declared))
+	span.SetInt("edges", int64(len(k.edges)))
 	return k
 }

@@ -19,15 +19,26 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"clio/internal/algebra"
 	"clio/internal/expr"
 	"clio/internal/graph"
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/value"
+)
+
+// Instrumentation (all no-ops unless obs.SetEnabled(true)).
+var (
+	cComputeCalls = obs.GetCounter("fd.compute.calls")
+	cSubsets      = obs.GetCounter("fd.subgraph.subsets")
+	cPadded       = obs.GetCounter("fd.tuples.padded")
+	hComputeNS    = obs.GetHistogram("fd.compute.ns")
 )
 
 // Scheme returns the D(G) scheme: the concatenation of every node's
@@ -109,7 +120,7 @@ func Tag(coverage []string, abbrev map[string]string) string {
 // g induced by the given node subset, which must induce a connected
 // subgraph. Joins follow a spanning order with hash joins on tree
 // edges; cycle edges are applied as residual selections.
-func FullAssociations(g *graph.QueryGraph, in *relation.Instance, subset []string) (*relation.Relation, error) {
+func FullAssociations(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subset []string) (*relation.Relation, error) {
 	j := g.Induced(subset)
 	order, treeEdges, ok := j.SpanningTreeOrder()
 	if !ok {
@@ -159,21 +170,25 @@ func edgeKey(e graph.Edge) string {
 // FullDisjunction computes D(G) by enumerating all induced connected
 // subgraphs, computing each F(J) with hash joins, padding, and taking
 // one minimum union (Definition 3.11). Exact for any connected graph.
-func FullDisjunction(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func FullDisjunction(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	if g.NodeCount() == 0 {
 		return nil, fmt.Errorf("fd: empty query graph")
 	}
 	if !g.Connected() {
 		return nil, fmt.Errorf("fd: query graph is not connected")
 	}
+	ctx, span := obs.StartSpan(ctx, "fd.full_disjunction")
+	defer span.End()
 	s, err := Scheme(g, in)
 	if err != nil {
 		return nil, err
 	}
 	subsets := g.ConnectedSubsets()
+	span.SetInt("subsets", int64(len(subsets)))
+	cSubsets.Add(int64(len(subsets)))
 	padded := relation.New("D(G)", s)
 	for _, sub := range subsets {
-		f, err := FullAssociations(g, in, sub)
+		f, err := FullAssociations(ctx, g, in, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -181,15 +196,20 @@ func FullDisjunction(g *graph.QueryGraph, in *relation.Instance) (*relation.Rela
 			padded.Add(t.PadTo(s))
 		}
 	}
+	cPadded.Add(int64(padded.Len()))
+	span.SetInt("padded", int64(padded.Len()))
 	out := relation.RemoveSubsumed(padded.Distinct())
 	out.Name = "D(G)"
+	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }
 
 // FullDisjunctionNaive computes D(G) per the letter of Definition 3.5:
 // cross products filtered by the conjunction of edge predicates. Only
 // usable on tiny inputs; the reference for differential tests.
-func FullDisjunctionNaive(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	_, span := obs.StartSpan(ctx, "fd.naive")
+	defer span.End()
 	if g.NodeCount() == 0 {
 		return nil, fmt.Errorf("fd: empty query graph")
 	}
@@ -245,10 +265,13 @@ func FullDisjunctionNaive(g *graph.QueryGraph, in *relation.Instance) (*relation
 // sequence of full outer joins along a BFS spanning order, followed by
 // a subsumption sweep. It returns an error for non-tree graphs; use
 // FullDisjunction there.
-func FullDisjunctionOuterJoin(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	if !g.IsTree() {
 		return nil, fmt.Errorf("fd: outer-join algorithm requires a tree query graph")
 	}
+	_, span := obs.StartSpan(ctx, "fd.outer_join")
+	defer span.End()
+	span.SetInt("joins", int64(g.NodeCount()-1))
 	order, treeEdges, ok := g.SpanningTreeOrder()
 	if !ok {
 		return nil, fmt.Errorf("fd: query graph is not connected")
@@ -277,16 +300,25 @@ func FullDisjunctionOuterJoin(g *graph.QueryGraph, in *relation.Instance) (*rela
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
+	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }
 
 // Compute computes D(G) with the best applicable algorithm: the
 // outer-join sequence for trees, subgraph enumeration otherwise.
-func Compute(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	ctx, span := obs.StartSpan(ctx, "fd.compute")
+	defer span.End()
+	span.SetInt("nodes", int64(g.NodeCount()))
+	cComputeCalls.Inc()
+	start := time.Now()
+	defer hComputeNS.ObserveSince(start)
 	if g.IsTree() {
-		return FullDisjunctionOuterJoin(g, in)
+		span.SetStr("algo", "outer_join")
+		return FullDisjunctionOuterJoin(ctx, g, in)
 	}
-	return FullDisjunction(g, in)
+	span.SetStr("algo", "subgraph")
+	return FullDisjunction(ctx, g, in)
 }
 
 // Partition groups D(G)'s tuples by coverage, keyed by the sorted

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func TestCoverageIsConnectedProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 25; trial++ {
 		g, in := randomTreeCase(rng, 2+rng.Intn(3), 1+rng.Intn(4))
-		d, err := Compute(g, in)
+		d, err := Compute(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,11 +44,11 @@ func TestFullCoverageEqualsInnerJoin(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 20; trial++ {
 		g, in := randomTreeCase(rng, 3, 1+rng.Intn(4))
-		d, err := Compute(g, in)
+		d, err := Compute(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := FullAssociations(g, in, g.Nodes())
+		full, err := FullAssociations(context.Background(), g, in, g.Nodes())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,12 +86,12 @@ func TestEmptyRelations(t *testing.T) {
 	g.MustAddNode("B", "B")
 	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
 
-	for name, f := range map[string]func(*graph.QueryGraph, *relation.Instance) (*relation.Relation, error){
+	for name, f := range map[string]func(context.Context, *graph.QueryGraph, *relation.Instance) (*relation.Relation, error){
 		"subgraph": FullDisjunction,
 		"naive":    FullDisjunctionNaive,
 		"outer":    FullDisjunctionOuterJoin,
 	} {
-		d, err := f(g, in)
+		d, err := f(context.Background(), g, in)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -108,7 +109,7 @@ func TestEmptyRelations(t *testing.T) {
 	in2 := relation.NewInstance(sch)
 	in2.MustAdd(in2.NewRelationFor("A"))
 	in2.MustAdd(in2.NewRelationFor("B"))
-	d, err := Compute(g, in2)
+	d, err := Compute(context.Background(), g, in2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,14 +151,14 @@ func TestCardinalityExtremes(t *testing.T) {
 	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
 	g.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
 
-	noMatch, err := Compute(g, mk(false, 3))
+	noMatch, err := Compute(context.Background(), g, mk(false, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if noMatch.Len() != 9 {
 		t.Errorf("no-match |D(G)| = %d, want 9", noMatch.Len())
 	}
-	allMatch, err := Compute(g, mk(true, 3))
+	allMatch, err := Compute(context.Background(), g, mk(true, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestCardinalityExtremes(t *testing.T) {
 func TestCoverageAllMatchesPerTuple(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	g, in := randomTreeCase(rng, 3, 4)
-	d, err := Compute(g, in)
+	d, err := Compute(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}

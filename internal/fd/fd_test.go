@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestFullAssociations(t *testing.T) {
 	in := testInstance()
 	g := paperGraph()
 	// {Children, Parents}: both children join their mothers.
-	f, err := FullAssociations(g, in, []string{"Children", "Parents"})
+	f, err := FullAssociations(context.Background(), g, in, []string{"Children", "Parents"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestFullAssociations(t *testing.T) {
 		t.Errorf("F(C,P) len = %d:\n%v", f.Len(), f)
 	}
 	// {Children, PhoneDir}: disconnected, error.
-	if _, err := FullAssociations(g, in, []string{"Children", "PhoneDir"}); err == nil {
+	if _, err := FullAssociations(context.Background(), g, in, []string{"Children", "PhoneDir"}); err == nil {
 		t.Error("disconnected subset should error")
 	}
 	// Full graph.
-	f3, err := FullAssociations(g, in, []string{"Children", "Parents", "PhoneDir"})
+	f3, err := FullAssociations(context.Background(), g, in, []string{"Children", "Parents", "PhoneDir"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFullAssociations(t *testing.T) {
 func TestFullDisjunctionPaperShape(t *testing.T) {
 	in := testInstance()
 	g := paperGraph()
-	d, err := FullDisjunction(g, in)
+	d, err := FullDisjunction(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,15 +150,15 @@ func keys(m map[string][]relation.Tuple) []string {
 func TestThreeAlgorithmsAgreeOnPaperData(t *testing.T) {
 	in := testInstance()
 	g := paperGraph()
-	a, err := FullDisjunction(g, in)
+	a, err := FullDisjunction(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := FullDisjunctionNaive(g, in)
+	b, err := FullDisjunctionNaive(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := FullDisjunctionOuterJoin(g, in)
+	c, err := FullDisjunctionOuterJoin(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestThreeAlgorithmsAgreeOnPaperData(t *testing.T) {
 func TestCoverageAndTag(t *testing.T) {
 	in := testInstance()
 	g := paperGraph()
-	d, err := FullDisjunction(g, in)
+	d, err := FullDisjunction(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestSingleNodeGraph(t *testing.T) {
 	in := testInstance()
 	g := graph.New()
 	g.MustAddNode("Parents", "Parents")
-	d, err := Compute(g, in)
+	d, err := Compute(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestRelationCopies(t *testing.T) {
 	g.MustAddEdge("Children", "Parents", expr.Equals("Children.fid", "Parents.ID"))
 	g.MustAddEdge("Children", "Parents2", expr.Equals("Children.mid", "Parents2.ID"))
 
-	d, err := Compute(g, in)
+	d, err := Compute(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestRelationCopies(t *testing.T) {
 		t.Errorf("unmatched copies wrong: %v", keys(part))
 	}
 	// Differential check vs naive.
-	nv, err := FullDisjunctionNaive(g, in)
+	nv, err := FullDisjunctionNaive(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,27 +276,27 @@ func TestRelationCopies(t *testing.T) {
 func TestErrors(t *testing.T) {
 	in := testInstance()
 	g := graph.New()
-	if _, err := FullDisjunction(g, in); err == nil {
+	if _, err := FullDisjunction(context.Background(), g, in); err == nil {
 		t.Error("empty graph should error")
 	}
-	if _, err := FullDisjunctionNaive(g, in); err == nil {
+	if _, err := FullDisjunctionNaive(context.Background(), g, in); err == nil {
 		t.Error("empty graph should error (naive)")
 	}
 	g.MustAddNode("Children", "Children")
 	g.MustAddNode("Parents", "Parents") // disconnected
-	if _, err := FullDisjunction(g, in); err == nil {
+	if _, err := FullDisjunction(context.Background(), g, in); err == nil {
 		t.Error("disconnected graph should error")
 	}
-	if _, err := FullDisjunctionOuterJoin(g, in); err == nil {
+	if _, err := FullDisjunctionOuterJoin(context.Background(), g, in); err == nil {
 		t.Error("non-tree should error in outer-join algorithm")
 	}
 	// Unknown base relation.
 	g2 := graph.New()
 	g2.MustAddNode("Nope", "Nope")
-	if _, err := FullDisjunction(g2, in); err == nil {
+	if _, err := FullDisjunction(context.Background(), g2, in); err == nil {
 		t.Error("unknown base should error")
 	}
-	if _, err := Compute(g2, in); err == nil {
+	if _, err := Compute(context.Background(), g2, in); err == nil {
 		t.Error("unknown base should error in Compute")
 	}
 }
@@ -336,11 +337,11 @@ func TestTreeAlgorithmsAgreeRandomized(t *testing.T) {
 		k := 2 + rng.Intn(3) // 2..4 relations
 		rows := 1 + rng.Intn(4)
 		g, in := randomTreeCase(rng, k, rows)
-		a, err := FullDisjunction(g, in)
+		a, err := FullDisjunction(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := FullDisjunctionOuterJoin(g, in)
+		b, err := FullDisjunctionOuterJoin(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -348,7 +349,7 @@ func TestTreeAlgorithmsAgreeRandomized(t *testing.T) {
 			t.Fatalf("trial %d: subgraph vs outer-join mismatch on\n%v\nsubgraph:\n%v\nouterjoin:\n%v",
 				trial, g, a.Sorted(), b.Sorted())
 		}
-		c, err := FullDisjunctionNaive(g, in)
+		c, err := FullDisjunctionNaive(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -364,7 +365,7 @@ func TestFullDisjunctionInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 20; trial++ {
 		g, in := randomTreeCase(rng, 3, 3)
-		d, err := Compute(g, in)
+		d, err := Compute(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +376,7 @@ func TestFullDisjunctionInvariants(t *testing.T) {
 				}
 			}
 		}
-		full, err := FullAssociations(g, in, g.Nodes())
+		full, err := FullAssociations(context.Background(), g, in, g.Nodes())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -411,11 +412,11 @@ func TestCyclicGraph(t *testing.T) {
 	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
 	g.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
 	g.MustAddEdge("C", "A", expr.Equals("C.k", "A.k"))
-	got, err := Compute(g, in)
+	got, err := Compute(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := FullDisjunctionNaive(g, in)
+	want, err := FullDisjunctionNaive(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}

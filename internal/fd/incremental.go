@@ -1,11 +1,20 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 
 	"clio/internal/algebra"
 	"clio/internal/graph"
+	"clio/internal/obs"
 	"clio/internal/relation"
+)
+
+// Incremental-vs-full decision counters: how often a walk/chase step
+// was maintained with one outer join versus recomputed from scratch.
+var (
+	cIncExtend = obs.GetCounter("fd.incremental.extend")
+	cIncFull   = obs.GetCounter("fd.incremental.full")
 )
 
 // Incremental maintenance of D(G) under leaf extension. Data walks
@@ -34,11 +43,15 @@ import (
 // ExtendLeaf computes D(G′) from a previously computed D(G), where
 // newGraph extends oldGraph by exactly one leaf node. It returns an
 // error if the graphs do not differ by a single leaf.
-func ExtendLeaf(dg *relation.Relation, oldGraph, newGraph *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func ExtendLeaf(ctx context.Context, dg *relation.Relation, oldGraph, newGraph *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	leaf, edge, err := leafDelta(oldGraph, newGraph)
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "fd.extend_leaf")
+	defer span.End()
+	span.SetStr("leaf", leaf)
+	span.SetInt("base", int64(dg.Len()))
 	n, _ := newGraph.Node(leaf)
 	r, err := in.Aliased(n.Base, n.Name)
 	if err != nil {
@@ -56,6 +69,7 @@ func ExtendLeaf(dg *relation.Relation, oldGraph, newGraph *graph.QueryGraph, in 
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
+	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }
 
@@ -104,11 +118,17 @@ func leafDelta(oldGraph, newGraph *graph.QueryGraph) (string, graph.Edge, error)
 // ComputeIncremental computes D(G′) reusing a previous D(G) when the
 // new graph is a single-leaf extension, falling back to Compute
 // otherwise. oldDG and oldGraph may be nil on first use.
-func ComputeIncremental(oldDG *relation.Relation, oldGraph, newGraph *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func ComputeIncremental(ctx context.Context, oldDG *relation.Relation, oldGraph, newGraph *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	ctx, span := obs.StartSpan(ctx, "fd.compute_incremental")
+	defer span.End()
 	if oldDG != nil && oldGraph != nil {
-		if d, err := ExtendLeaf(oldDG, oldGraph, newGraph, in); err == nil {
+		if d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in); err == nil {
+			span.SetStr("mode", "extend_leaf")
+			cIncExtend.Inc()
 			return d, nil
 		}
 	}
-	return Compute(newGraph, in)
+	span.SetStr("mode", "full")
+	cIncFull.Inc()
+	return Compute(ctx, newGraph, in)
 }

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -30,7 +31,7 @@ func TestExtendLeafMatchesRecompute(t *testing.T) {
 		cur := graph.New()
 		n0, _ := g.Node(order[0])
 		cur.MustAddNode(n0.Name, n0.Base)
-		dg, err := Compute(cur, in)
+		dg, err := Compute(context.Background(), cur, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,11 +42,11 @@ func TestExtendLeafMatchesRecompute(t *testing.T) {
 			e := edges[i]
 			next.MustAddEdge(e.A, e.B, e.Pred)
 
-			inc, err := ExtendLeaf(dg, cur, next, in)
+			inc, err := ExtendLeaf(context.Background(), dg, cur, next, in)
 			if err != nil {
 				t.Fatalf("trial %d step %d: %v", trial, i, err)
 			}
-			ref, err := Compute(next, in)
+			ref, err := Compute(context.Background(), next, in)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,7 +73,7 @@ func TestExtendLeafErrors(t *testing.T) {
 	}
 	gA := graph.New()
 	gA.MustAddNode("A", "A")
-	dgA, err := Compute(gA, in)
+	dgA, err := Compute(context.Background(), gA, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestExtendLeafErrors(t *testing.T) {
 	gABC.MustAddNode("C", "C")
 	gABC.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
 	gABC.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
-	if _, err := ExtendLeaf(dgA, gA, gABC, in); err == nil {
+	if _, err := ExtendLeaf(context.Background(), dgA, gA, gABC, in); err == nil {
 		t.Error("two-node extension should fail")
 	}
 
@@ -93,7 +94,7 @@ func TestExtendLeafErrors(t *testing.T) {
 	gAB1.MustAddNode("A", "A")
 	gAB1.MustAddNode("B", "B")
 	gAB1.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
-	dgAB, err := Compute(gAB1, in)
+	dgAB, err := Compute(context.Background(), gAB1, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestExtendLeafErrors(t *testing.T) {
 	gAB2C.MustAddNode("C", "C")
 	gAB2C.MustAddEdge("A", "B", expr.MustParse("A.k = B.k AND A.k = 1"))
 	gAB2C.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
-	if _, err := ExtendLeaf(dgAB, gAB1, gAB2C, in); err == nil {
+	if _, err := ExtendLeaf(context.Background(), dgAB, gAB1, gAB2C, in); err == nil {
 		t.Error("relabeled extension should fail")
 	}
 
@@ -115,7 +116,7 @@ func TestExtendLeafErrors(t *testing.T) {
 	gTri.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
 	gTri.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
 	gTri.MustAddEdge("A", "C", expr.Equals("A.k", "C.k"))
-	if _, err := ExtendLeaf(dgAB, gAB1, gTri, in); err == nil {
+	if _, err := ExtendLeaf(context.Background(), dgAB, gAB1, gTri, in); err == nil {
 		t.Error("cycle-creating extension should fail")
 	}
 }
@@ -124,11 +125,11 @@ func TestComputeIncrementalFallback(t *testing.T) {
 	rng := rand.New(rand.NewSource(66))
 	g, in := randomTreeCase(rng, 3, 3)
 	// nil previous state: plain compute.
-	d1, err := ComputeIncremental(nil, nil, g, in)
+	d1, err := ComputeIncremental(context.Background(), nil, nil, g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := Compute(g, in)
+	d2, err := Compute(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +139,11 @@ func TestComputeIncrementalFallback(t *testing.T) {
 	// Non-extension previous state: falls back silently.
 	other := graph.New()
 	other.MustAddNode("R0", "R0")
-	dgOther, err := Compute(other, in)
+	dgOther, err := Compute(context.Background(), other, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d3, err := ComputeIncremental(dgOther, other, g, in)
+	d3, err := ComputeIncremental(context.Background(), dgOther, other, g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,20 +160,20 @@ func BenchmarkExtendLeafVsRecompute(b *testing.B) {
 	if !old.Connected() {
 		b.Skip("unlucky induced subgraph")
 	}
-	dg, err := Compute(old, in)
+	dg, err := Compute(context.Background(), old, in)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ExtendLeaf(dg, old, g, in); err != nil {
+			if _, err := ExtendLeaf(context.Background(), dg, old, g, in); err != nil {
 				b.Skip("not a leaf extension under this seed")
 			}
 		}
 	})
 	b.Run("recompute", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Compute(g, in); err != nil {
+			if _, err := Compute(context.Background(), g, in); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -213,11 +214,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	for trial := 0; trial < 15; trial++ {
 		g, in := randomTreeCase(rng, 2+rng.Intn(3), 1+rng.Intn(5))
-		seq, err := FullDisjunction(g, in)
+		seq, err := FullDisjunction(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := FullDisjunctionParallel(g, in)
+		par, err := FullDisjunctionParallel(context.Background(), g, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,18 +227,18 @@ func TestParallelMatchesSequential(t *testing.T) {
 		}
 	}
 	// Errors mirror the sequential variant.
-	if _, err := FullDisjunctionParallel(graph.New(), relation.NewInstance(nil)); err == nil {
+	if _, err := FullDisjunctionParallel(context.Background(), graph.New(), relation.NewInstance(nil)); err == nil {
 		t.Error("empty graph should error")
 	}
 	g := graph.New()
 	g.MustAddNode("A", "A")
 	g.MustAddNode("B", "B")
-	if _, err := FullDisjunctionParallel(g, relation.NewInstance(nil)); err == nil {
+	if _, err := FullDisjunctionParallel(context.Background(), g, relation.NewInstance(nil)); err == nil {
 		t.Error("disconnected graph should error")
 	}
 	g2 := graph.New()
 	g2.MustAddNode("Nope", "Nope")
-	if _, err := FullDisjunctionParallel(g2, relation.NewInstance(nil)); err == nil {
+	if _, err := FullDisjunctionParallel(context.Background(), g2, relation.NewInstance(nil)); err == nil {
 		t.Error("unknown base should error")
 	}
 }
@@ -246,14 +247,14 @@ func BenchmarkFullDisjunctionParallel(b *testing.B) {
 	g, in := lowFanoutTreeCase(5, 150)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := FullDisjunction(g, in); err != nil {
+			if _, err := FullDisjunction(context.Background(), g, in); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := FullDisjunctionParallel(g, in); err != nil {
+			if _, err := FullDisjunctionParallel(context.Background(), g, in); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,12 +1,23 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clio/internal/graph"
+	"clio/internal/obs"
 	"clio/internal/relation"
+)
+
+// Parallel D(G) instrumentation: how many parallel computations ran,
+// and how evenly the subgraph work spread across workers (utilization
+// = subsets processed by the busiest worker vs a perfect split).
+var (
+	cParallelRuns = obs.GetCounter("fd.parallel.runs")
+	gParallelWork = obs.GetGauge("fd.parallel.workers")
 )
 
 // FullDisjunctionParallel computes D(G) like FullDisjunction but joins
@@ -14,13 +25,15 @@ import (
 // per-subgraph joins are independent; only the final minimum union is
 // sequential. Worthwhile for cyclic graphs (where the subgraph
 // algorithm is the only exact option) with many categories.
-func FullDisjunctionParallel(g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+func FullDisjunctionParallel(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	if g.NodeCount() == 0 {
 		return nil, fmt.Errorf("fd: empty query graph")
 	}
 	if !g.Connected() {
 		return nil, fmt.Errorf("fd: query graph is not connected")
 	}
+	ctx, span := obs.StartSpan(ctx, "fd.parallel")
+	defer span.End()
 	s, err := Scheme(g, in)
 	if err != nil {
 		return nil, err
@@ -33,22 +46,45 @@ func FullDisjunctionParallel(g *graph.QueryGraph, in *relation.Instance) (*relat
 	if workers > len(subsets) {
 		workers = len(subsets)
 	}
+	cParallelRuns.Inc()
+	gParallelWork.Set(int64(workers))
+	span.SetInt("workers", int64(workers))
+	span.SetInt("subsets", int64(len(subsets)))
+
+	// perWorker tracks utilization: subsets processed by each worker.
+	perWorker := make([]atomic.Int64, workers)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = FullAssociations(g, in, subsets[i])
+				results[i], errs[i] = FullAssociations(ctx, g, in, subsets[i])
+				perWorker[w].Add(1)
 			}
-		}()
+		}(w)
 	}
 	for i := range subsets {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+
+	if obs.Enabled() && workers > 0 {
+		// Busiest-worker share vs the perfect split, in percent; 100
+		// means perfectly balanced, higher means skew.
+		var busiest int64
+		for i := range perWorker {
+			if n := perWorker[i].Load(); n > busiest {
+				busiest = n
+			}
+		}
+		ideal := (int64(len(subsets)) + int64(workers) - 1) / int64(workers)
+		if ideal > 0 {
+			span.SetInt("skew_pct", busiest*100/ideal)
+		}
+	}
 
 	for _, err := range errs {
 		if err != nil {
@@ -61,7 +97,9 @@ func FullDisjunctionParallel(g *graph.QueryGraph, in *relation.Instance) (*relat
 			padded.Add(t.PadTo(s))
 		}
 	}
+	cPadded.Add(int64(padded.Len()))
 	out := relation.RemoveSubsumed(padded.Distinct())
 	out.Name = "D(G)"
+	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled proves the disabled instrumentation path is
+// effectively free: no allocations and a few nanoseconds per
+// span+attr+end sequence.
+func BenchmarkSpanDisabled(b *testing.B) {
+	SetEnabled(false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, s := StartSpan(ctx, "bench.span")
+		s.SetStr("algo", "outer_join")
+		s.SetInt("n", int64(i))
+		s.End()
+		_ = c
+	}
+}
+
+// BenchmarkMetricsDisabled measures the disabled counter + histogram
+// path used inside join kernels.
+func BenchmarkMetricsDisabled(b *testing.B) {
+	SetEnabled(false)
+	c := GetCounter("bench.counter")
+	h := GetHistogram("bench.hist")
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.ObserveSince(start)
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled-path cost for comparison.
+func BenchmarkSpanEnabled(b *testing.B) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench.span")
+		s.SetInt("n", int64(i))
+		s.End()
+	}
+}
+
+// BenchmarkCounterEnabled is the enabled atomic-add cost.
+func BenchmarkCounterEnabled(b *testing.B) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	c := GetCounter("bench.counter.enabled")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// TestSpanDisabledZeroAlloc asserts the ~0 allocs/op claim outright so
+// a regression fails tests, not just benchmarks.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	SetEnabled(false)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, s := StartSpan(ctx, "bench.span")
+		s.SetStr("algo", "x")
+		s.SetInt("n", 1)
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %.1f allocs/op, want 0", allocs)
+	}
+	c := GetCounter("bench.alloc.counter")
+	h := GetHistogram("bench.alloc.hist")
+	allocs = testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled metrics path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the one-time expvar publication of the default
+// registry (expvar panics on duplicate names).
+var publishOnce sync.Once
+
+// publishExpvar exposes the default registry's snapshot under the
+// expvar name "clio.metrics".
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("clio.metrics", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+}
+
+// DebugServer is a running debug/profiling endpoint; Close shuts it
+// down.
+type DebugServer struct {
+	// Addr is the actual listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts an HTTP server on addr exposing the metrics
+// registry over expvar (/debug/vars, including "clio.metrics") and the
+// runtime profiler (/debug/pprof/...). It is strictly opt-in: nothing
+// listens unless this is called. The server runs until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the debug server.
+func (d *DebugServer) Close() error {
+	return d.srv.Close()
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exporter receives the root of every completed span tree. Exporters
+// must be safe for concurrent use; the bundled exporters serialize
+// writes internally.
+type Exporter interface {
+	ExportRoot(root *SpanData)
+}
+
+// exporterBox wraps the interface so atomic.Value sees one concrete
+// type regardless of the stored implementation.
+type exporterBox struct{ e Exporter }
+
+var exporterVal atomic.Value // of exporterBox
+
+// SetExporter installs the process span exporter. nil restores the
+// default discard behaviour.
+func SetExporter(e Exporter) { exporterVal.Store(exporterBox{e: e}) }
+
+func currentExporter() Exporter {
+	b, _ := exporterVal.Load().(exporterBox)
+	return b.e
+}
+
+// TextExporter renders each completed trace as an indented tree, one
+// span per line: name, duration, then key=value attributes.
+type TextExporter struct {
+	W io.Writer
+
+	mu sync.Mutex
+}
+
+// NewTextExporter returns a TextExporter writing to w.
+func NewTextExporter(w io.Writer) *TextExporter { return &TextExporter{W: w} }
+
+// ExportRoot writes the span tree.
+func (t *TextExporter) ExportRoot(root *SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	writeSpanText(&b, root, 0)
+	io.WriteString(t.W, b.String())
+}
+
+func writeSpanText(b *strings.Builder, s *SpanData, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s %s", s.Name, s.Duration.Round(time.Microsecond))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(b, " %s=%v", a.Key, a.Value())
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		writeSpanText(b, c, depth+1)
+	}
+}
+
+// JSONExporter renders each completed trace as one JSON document per
+// line (newline-delimited JSON).
+type JSONExporter struct {
+	W io.Writer
+
+	mu sync.Mutex
+}
+
+// NewJSONExporter returns a JSONExporter writing to w.
+func NewJSONExporter(w io.Writer) *JSONExporter { return &JSONExporter{W: w} }
+
+// spanJSON is the wire form of a SpanData.
+type spanJSON struct {
+	Name     string         `json:"name"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []spanJSON     `json:"children,omitempty"`
+}
+
+func toSpanJSON(s *SpanData) spanJSON {
+	out := spanJSON{Name: s.Name, DurUS: s.Duration.Microseconds()}
+	if len(s.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, toSpanJSON(c))
+	}
+	return out
+}
+
+// ExportRoot writes the span tree as a single JSON line.
+func (j *JSONExporter) ExportRoot(root *SpanData) {
+	data, err := json.Marshal(toSpanJSON(root))
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.W.Write(data)
+	io.WriteString(j.W, "\n")
+}
+
+// CollectExporter retains completed roots in memory; tests and
+// programmatic consumers drain them with Roots().
+type CollectExporter struct {
+	mu    sync.Mutex
+	roots []*SpanData
+}
+
+// ExportRoot appends the root to the collection.
+func (c *CollectExporter) ExportRoot(root *SpanData) {
+	c.mu.Lock()
+	c.roots = append(c.roots, root)
+	c.mu.Unlock()
+}
+
+// Roots returns the collected roots in completion order.
+func (c *CollectExporter) Roots() []*SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*SpanData(nil), c.roots...)
+}
+
+// Reset discards the collected roots.
+func (c *CollectExporter) Reset() {
+	c.mu.Lock()
+	c.roots = nil
+	c.mu.Unlock()
+}
+
+// SpanNames flattens a span tree into "parent/child" paths in
+// depth-first order — a convenient shape for asserting trace structure
+// in tests.
+func SpanNames(root *SpanData) []string {
+	var out []string
+	var rec func(s *SpanData, prefix string)
+	rec = func(s *SpanData, prefix string) {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		out = append(out, path)
+		for _, c := range s.Children {
+			rec(c, path)
+		}
+	}
+	rec(root, "")
+	return out
+}
+
+// AttrMap flattens a span's attributes into a map (later keys win).
+func AttrMap(s *SpanData) map[string]any {
+	out := map[string]any{}
+	for _, a := range s.Attrs {
+		out[a.Key] = a.Value()
+	}
+	return out
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

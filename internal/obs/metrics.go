@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter with atomic updates.
+// Updates are dropped while instrumentation is disabled, keeping the
+// hot path free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n when instrumentation is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins instrument (e.g. worker count, cache
+// size) with atomic updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the gauge value when instrumentation is enabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta when instrumentation is enabled.
+func (g *Gauge) Add(delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets; bucket
+// i holds observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i). 64 buckets cover the whole int64 range.
+const histBuckets = 65
+
+// Histogram records a distribution of non-negative int64 observations
+// (by convention nanoseconds for latencies) in power-of-two buckets
+// with exact count, sum, min and max. All updates are atomic. Obtain
+// histograms from a Registry (or NewHistogram), which initializes the
+// min tracker.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 until the first observation
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram creates a standalone histogram (registry histograms are
+// created the same way).
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one observation when instrumentation is enabled.
+// Negative observations clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if !enabled.Load() {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time summary of a histogram. Times
+// are nanoseconds when the histogram records durations. Quantiles are
+// bucket-resolution estimates (power-of-two buckets), clamped to the
+// exact observed min/max.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50 = quantile(counts[:], s.Count, 0.50, s.Min, s.Max)
+	s.P95 = quantile(counts[:], s.Count, 0.95, s.Min, s.Max)
+	s.P99 = quantile(counts[:], s.Count, 0.99, s.Min, s.Max)
+	return s
+}
+
+// quantile estimates the q-quantile from power-of-two bucket counts,
+// returning the upper bound of the bucket where the cumulative count
+// crosses q, clamped to [min, max].
+func quantile(counts []int64, total int64, q float64, min, max int64) int64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			var upper int64
+			if i == 0 {
+				upper = 0
+			} else if i >= 63 {
+				upper = math.MaxInt64
+			} else {
+				upper = (int64(1) << uint(i)) - 1
+			}
+			if upper < min {
+				upper = min
+			}
+			if upper > max {
+				upper = max
+			}
+			return upper
+		}
+	}
+	return max
+}
+
+// Registry is a named collection of instruments. Instruments are
+// created on first use and live for the registry's lifetime; lookup
+// is read-locked and instruments are cached by callers, so steady
+// state updates never touch the registry lock.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry used by the engine.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	r.histograms[name] = h
+	return h
+}
+
+// GetCounter returns a counter from the default registry.
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetHistogram returns a histogram from the default registry.
+func GetHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
+
+// Snapshot is a point-in-time view of a registry, ready for JSON
+// encoding or programmatic scraping. Zero-valued instruments are
+// omitted so phase snapshots only carry what the phase touched.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := Snapshot{}
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			if out.Counters == nil {
+				out.Counters = map[string]int64{}
+			}
+			out.Counters[name] = v
+		}
+	}
+	for name, g := range r.gauges {
+		if v := g.Value(); v != 0 {
+			if out.Gauges == nil {
+				out.Gauges = map[string]int64{}
+			}
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range r.histograms {
+		if s := h.Snapshot(); s.Count != 0 {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistogramSnapshot{}
+			}
+			out.Histograms[name] = s
+		}
+	}
+	return out
+}
+
+// Reset zeroes every instrument in place (instrument pointers held by
+// callers stay valid). Used between benchmark phases.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.min.Store(math.MaxInt64)
+		h.max.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// SnapshotDefault captures the default registry.
+func SnapshotDefault() Snapshot { return defaultRegistry.Snapshot() }
+
+// ResetDefault zeroes the default registry.
+func ResetDefault() { defaultRegistry.Reset() }

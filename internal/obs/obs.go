@@ -1,0 +1,179 @@
+// Package obs is the engine-wide observability core: hierarchical
+// tracing spans, a metrics registry of counters, gauges and latency
+// histograms, and opt-in profiling endpoints. It is zero-dependency
+// (standard library only), concurrency-safe, and free when disabled:
+// every entry point is guarded by an atomic Enabled() check and the
+// disabled path performs no allocation (see BenchmarkSpanDisabled).
+//
+// Spans propagate through context.Context:
+//
+//	ctx, span := obs.StartSpan(ctx, "fd.compute")
+//	span.SetStr("algo", "outer_join")
+//	defer span.End()
+//
+// A nil *Span is a valid no-op receiver, so callers never need to
+// check whether tracing is on. When a root span (one with no parent in
+// its context) ends, the finished span tree is handed to the process
+// exporter (SetExporter); the default exporter discards it.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the master switch. All instrumentation no-ops while it
+// is false.
+var enabled atomic.Bool
+
+// Enabled reports whether instrumentation is active.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips the master instrumentation switch.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// AttrKind discriminates the typed attribute payload.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	KindStr AttrKind = iota
+	KindInt
+	KindBool
+)
+
+// Attr is one typed span attribute. Typed setters (SetInt, SetStr,
+// SetBool) avoid interface boxing so the disabled path allocates
+// nothing.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Int  int64
+	Bool bool
+}
+
+// Value returns the attribute payload as an interface value (used by
+// exporters; allocates, so only called when tracing is on).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.Int
+	case KindBool:
+		return a.Bool
+	default:
+		return a.Str
+	}
+}
+
+// SpanData is the immutable record of a finished (or in-flight) span.
+// Exporters receive the root SpanData of each completed trace.
+type SpanData struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Children []*SpanData
+}
+
+// Span is a live tracing span. The zero value is not usable; obtain
+// spans from StartSpan. A nil *Span is a no-op.
+type Span struct {
+	data   *SpanData
+	parent *Span
+	mu     sync.Mutex
+	ended  bool
+}
+
+type ctxKey struct{}
+
+// spanFrom extracts the active span from ctx, or nil.
+func spanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// CurrentSpan returns the span carried by ctx, or nil. Useful for
+// attaching attributes to an enclosing span without starting a new
+// one.
+func CurrentSpan(ctx context.Context) *Span { return spanFrom(ctx) }
+
+// StartSpan starts a span named name as a child of the span carried by
+// ctx (a root span when ctx carries none) and returns a derived
+// context carrying the new span. When instrumentation is disabled it
+// returns ctx unchanged and a nil span, without allocating.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	parent := spanFrom(ctx)
+	s := &Span{
+		data:   &SpanData{Name: name, Start: time.Now()},
+		parent: parent,
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.data.Children = append(parent.data.Children, s.data)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// SetInt attaches an integer attribute. No-op on a nil span.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: KindInt, Int: v})
+	s.mu.Unlock()
+}
+
+// SetStr attaches a string attribute. No-op on a nil span.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: KindStr, Str: v})
+	s.mu.Unlock()
+}
+
+// SetBool attaches a boolean attribute. No-op on a nil span.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: KindBool, Bool: v})
+	s.mu.Unlock()
+}
+
+// End finishes the span, recording its duration. Ending a root span
+// hands the completed tree to the process exporter. End is idempotent
+// and a no-op on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.Duration = time.Since(s.data.Start)
+	root := s.parent == nil
+	data := s.data
+	s.mu.Unlock()
+	if root {
+		if e := currentExporter(); e != nil {
+			e.ExportRoot(data)
+		}
+	}
+}

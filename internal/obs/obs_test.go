@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs f with instrumentation on, restoring the previous
+// state (and clearing the exporter) afterwards.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	defer func() {
+		SetEnabled(prev)
+		SetExporter(nil)
+	}()
+	f()
+}
+
+func TestSpanDisabledIsNil(t *testing.T) {
+	SetEnabled(false)
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "x")
+	if s != nil {
+		t.Fatal("disabled StartSpan returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("disabled StartSpan derived a new context")
+	}
+	// All methods are nil-safe.
+	s.SetInt("a", 1)
+	s.SetStr("b", "v")
+	s.SetBool("c", true)
+	s.End()
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	withEnabled(t, func() {
+		var col CollectExporter
+		SetExporter(&col)
+
+		ctx, root := StartSpan(context.Background(), "root")
+		root.SetStr("who", "test")
+		ctx2, child := StartSpan(ctx, "child")
+		child.SetInt("n", 42)
+		_, grand := StartSpan(ctx2, "grand")
+		grand.SetBool("leaf", true)
+		grand.End()
+		child.End()
+		// Sibling of child, still under root.
+		_, sib := StartSpan(ctx, "sibling")
+		sib.End()
+		root.End()
+
+		roots := col.Roots()
+		if len(roots) != 1 {
+			t.Fatalf("got %d roots, want 1", len(roots))
+		}
+		got := SpanNames(roots[0])
+		want := []string{"root", "root/child", "root/child/grand", "root/sibling"}
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("span tree = %v, want %v", got, want)
+		}
+		attrs := AttrMap(roots[0].Children[0])
+		if attrs["n"] != int64(42) {
+			t.Errorf("child attrs = %v", attrs)
+		}
+		if AttrMap(roots[0])["who"] != "test" {
+			t.Errorf("root attrs = %v", AttrMap(roots[0]))
+		}
+		if AttrMap(roots[0].Children[0].Children[0])["leaf"] != true {
+			t.Errorf("grand attrs wrong")
+		}
+	})
+}
+
+func TestSpanEndIdempotentAndConcurrentChildren(t *testing.T) {
+	withEnabled(t, func() {
+		var col CollectExporter
+		SetExporter(&col)
+		ctx, root := StartSpan(context.Background(), "root")
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, s := StartSpan(ctx, "worker")
+				s.SetInt("i", 1)
+				s.End()
+				s.End() // idempotent
+			}()
+		}
+		wg.Wait()
+		root.End()
+		root.End()
+		roots := col.Roots()
+		if len(roots) != 1 {
+			t.Fatalf("got %d roots, want 1", len(roots))
+		}
+		if n := len(roots[0].Children); n != 16 {
+			t.Errorf("got %d children, want 16", n)
+		}
+	})
+}
+
+func TestTextExporterGolden(t *testing.T) {
+	root := &SpanData{
+		Name:     "fd.compute",
+		Duration: 1500 * time.Microsecond,
+		Attrs: []Attr{
+			{Key: "algo", Kind: KindStr, Str: "outer_join"},
+			{Key: "nodes", Kind: KindInt, Int: 4},
+		},
+		Children: []*SpanData{
+			{
+				Name:     "algebra.join",
+				Duration: 900 * time.Microsecond,
+				Attrs:    []Attr{{Key: "hash", Kind: KindBool, Bool: true}},
+			},
+			{Name: "fd.subsume", Duration: 100 * time.Microsecond},
+		},
+	}
+	var b strings.Builder
+	NewTextExporter(&b).ExportRoot(root)
+	want := "fd.compute 1.5ms algo=outer_join nodes=4\n" +
+		"  algebra.join 900µs hash=true\n" +
+		"  fd.subsume 100µs\n"
+	if b.String() != want {
+		t.Errorf("text export:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestJSONExporterGolden(t *testing.T) {
+	root := &SpanData{
+		Name:     "cmd.walk",
+		Duration: 2 * time.Millisecond,
+		Attrs:    []Attr{{Key: "options", Kind: KindInt, Int: 3}},
+		Children: []*SpanData{{Name: "fd.compute", Duration: time.Millisecond}},
+	}
+	var b strings.Builder
+	NewJSONExporter(&b).ExportRoot(root)
+	want := `{"name":"cmd.walk","dur_us":2000,"attrs":{"options":3},"children":[{"name":"fd.compute","dur_us":1000}]}` + "\n"
+	if b.String() != want {
+		t.Errorf("json export:\n%q\nwant:\n%q", b.String(), want)
+	}
+	// And it round-trips as JSON.
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+}
+
+func TestCountersGaugesConcurrent(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("test.hits")
+		g := r.Gauge("test.depth")
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 1000; j++ {
+					c.Inc()
+					g.Add(1)
+					g.Add(-1)
+				}
+			}()
+		}
+		wg.Wait()
+		if c.Value() != 8000 {
+			t.Errorf("counter = %d, want 8000", c.Value())
+		}
+		if g.Value() != 0 {
+			t.Errorf("gauge = %d, want 0", g.Value())
+		}
+		// Same name returns the same instrument.
+		if r.Counter("test.hits") != c {
+			t.Error("counter identity lost")
+		}
+	})
+}
+
+func TestHistogramConcurrentAndSnapshot(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		h := r.Histogram("test.lat")
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 1; i <= 1000; i++ {
+					h.Observe(int64(i))
+				}
+			}(w)
+		}
+		wg.Wait()
+		s := h.Snapshot()
+		if s.Count != 8000 {
+			t.Errorf("count = %d, want 8000", s.Count)
+		}
+		if s.Min != 1 || s.Max != 1000 {
+			t.Errorf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+		}
+		wantSum := int64(8 * 1000 * 1001 / 2)
+		if s.Sum != wantSum {
+			t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+		}
+		if s.P50 < 256 || s.P50 > 1000 {
+			t.Errorf("p50 = %d out of plausible bucket range", s.P50)
+		}
+		if s.P95 < s.P50 || s.P95 > s.Max || s.P99 < s.P95 {
+			t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d max=%d", s.P50, s.P95, s.P99, s.Max)
+		}
+	})
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewHistogram()
+		s := h.Snapshot()
+		if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+			t.Errorf("empty snapshot = %+v", s)
+		}
+		h.Observe(-5)
+		s = h.Snapshot()
+		if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+			t.Errorf("negative clamps to zero, got %+v", s)
+		}
+	})
+}
+
+func TestRegistrySnapshotAndReset(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("a").Add(3)
+		r.Counter("zero") // registered but untouched: omitted
+		r.Gauge("g").Set(7)
+		r.Histogram("h").Observe(int64(time.Millisecond))
+		s := r.Snapshot()
+		if s.Counters["a"] != 3 || s.Gauges["g"] != 7 {
+			t.Errorf("snapshot = %+v", s)
+		}
+		if _, ok := s.Counters["zero"]; ok {
+			t.Error("zero counter not omitted")
+		}
+		if s.Histograms["h"].Count != 1 {
+			t.Errorf("histogram snapshot = %+v", s.Histograms["h"])
+		}
+		// Snapshot is JSON-encodable.
+		if _, err := json.Marshal(s); err != nil {
+			t.Fatalf("snapshot marshal: %v", err)
+		}
+		r.Reset()
+		s = r.Snapshot()
+		if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+			t.Errorf("reset snapshot not empty: %+v", s)
+		}
+		// Instruments stay live after reset.
+		r.Counter("a").Add(1)
+		if r.Snapshot().Counters["a"] != 1 {
+			t.Error("counter dead after reset")
+		}
+		// Reset histogram min re-initializes.
+		r.Histogram("h").Observe(5)
+		if got := r.Snapshot().Histograms["h"].Min; got != 5 {
+			t.Errorf("post-reset min = %d, want 5", got)
+		}
+	})
+}
+
+func TestDisabledInstrumentsDropUpdates(t *testing.T) {
+	SetEnabled(false)
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(5)
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("disabled updates recorded: %+v", s)
+	}
+}
+
+func TestQuantileClamp(t *testing.T) {
+	var counts [histBuckets]int64
+	counts[10] = 1 // one value in [512,1023]
+	if got := quantile(counts[:], 1, 0.95, 700, 700); got != 700 {
+		t.Errorf("quantile clamp = %d, want 700", got)
+	}
+	if got := quantile(nil, 0, 0.5, 0, math.MaxInt64); got != math.MaxInt64 {
+		t.Errorf("empty quantile fell through wrong: %d", got)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	withEnabled(t, func() {
+		GetCounter("debug.test.counter").Add(11)
+		d, err := ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ServeDebug: %v", err)
+		}
+		defer d.Close()
+		resp, err := http.Get("http://" + d.Addr + "/debug/vars")
+		if err != nil {
+			t.Fatalf("GET /debug/vars: %v", err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("decode vars: %v", err)
+		}
+		raw, ok := doc["clio.metrics"]
+		if !ok {
+			t.Fatalf("clio.metrics missing from expvar: %v", sortedKeys(doc))
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("unmarshal snapshot: %v", err)
+		}
+		if snap.Counters["debug.test.counter"] < 11 {
+			t.Errorf("counter missing from expvar snapshot: %+v", snap)
+		}
+		// pprof index answers.
+		resp2, err := http.Get("http://" + d.Addr + "/debug/pprof/")
+		if err != nil {
+			t.Fatalf("GET pprof: %v", err)
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusOK {
+			t.Errorf("pprof status = %d", resp2.StatusCode)
+		}
+	})
+}

@@ -27,6 +27,8 @@
 package paperdb
 
 import (
+	"context"
+
 	"clio/internal/core"
 	"clio/internal/discovery"
 	"clio/internal/expr"
@@ -169,13 +171,13 @@ func Instance() *relation.Instance {
 // operator's search space before any mining. SBPS and XmasBar are
 // deliberately unreachable — the paper's user finds them by chase.
 func Knowledge() *discovery.Knowledge {
-	return discovery.BuildKnowledge(Instance(), false, 1)
+	return discovery.BuildKnowledge(context.Background(), Instance(), false, 1)
 }
 
 // MinedKnowledge additionally mines inclusion dependencies at full
 // overlap, which makes SBPS and XmasBar walkable too.
 func MinedKnowledge() *discovery.Knowledge {
-	return discovery.BuildKnowledge(Instance(), true, 1)
+	return discovery.BuildKnowledge(context.Background(), Instance(), true, 1)
 }
 
 // Section2Mapping builds the final mapping of the Section 2 scenario:

@@ -1,6 +1,7 @@
 package paperdb
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -107,7 +108,7 @@ func TestProseFacts(t *testing.T) {
 	}
 	// The value 002 occurs in exactly one SBPS attribute and two
 	// XmasBar attributes (Figure 5).
-	ix := discovery.BuildValueIndex(in)
+	ix := discovery.BuildValueIndex(context.Background(), in)
 	perRel := map[string]int{}
 	for _, occ := range ix.Occurrences(value.String("002")) {
 		perRel[occ.Column.Relation]++
@@ -141,7 +142,7 @@ func TestFigure8FullDisjunction(t *testing.T) {
 	if err := m.Validate(in); err != nil {
 		t.Fatal(err)
 	}
-	d, err := m.DG(in)
+	d, err := m.DG(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +183,11 @@ func TestFigure8FullDisjunction(t *testing.T) {
 func TestExample310MinimumUnion(t *testing.T) {
 	in := Instance()
 	g := Figure6G().Graph
-	r1, err := fd.FullAssociations(g, in, []string{"Children", "Parents"})
+	r1, err := fd.FullAssociations(context.Background(), g, in, []string{"Children", "Parents"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := fd.FullAssociations(g, in, []string{"Children", "Parents", "PhoneDir"})
+	r2, err := fd.FullAssociations(context.Background(), g, in, []string{"Children", "Parents", "PhoneDir"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestExample312CategoryDecomposition(t *testing.T) {
 	}
 	var parts []*relation.Relation
 	for _, sub := range g.ConnectedSubsets() {
-		f, err := fd.FullAssociations(g, in, sub)
+		f, err := fd.FullAssociations(context.Background(), g, in, sub)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +220,7 @@ func TestExample312CategoryDecomposition(t *testing.T) {
 		parts = append(parts, padded)
 	}
 	manual := relation.MinimumUnionAll("D(G)", parts...)
-	d, err := fd.Compute(g, in)
+	d, err := fd.Compute(context.Background(), g, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestFigure3Scenarios(t *testing.T) {
 		core.Identity("Children.ID", mustCol("Kids.ID")),
 		core.Identity("Children.name", mustCol("Kids.name")),
 	}
-	alts, err := core.AddCorrespondence(m, k, core.Identity("Parents.affiliation", mustCol("Kids.affiliation")), 2)
+	alts, err := core.AddCorrespondence(context.Background(), m, k, core.Identity("Parents.affiliation", mustCol("Kids.affiliation")), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestFigure4DataWalk(t *testing.T) {
 		core.Identity("Parents.affiliation", mustCol("Kids.affiliation")),
 	}
 
-	opts, err := core.DataWalk(m, k, "Children", "PhoneDir", 3)
+	opts, err := core.DataWalk(context.Background(), m, k, "Children", "PhoneDir", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,9 +352,9 @@ func TestFigure4DataWalk(t *testing.T) {
 
 func TestFigure5DataChase(t *testing.T) {
 	in := Instance()
-	ix := discovery.BuildValueIndex(in)
+	ix := discovery.BuildValueIndex(context.Background(), in)
 	m := Figure6G()
-	opts, err := core.DataChase(m, ix, "Children.ID", value.String("002"))
+	opts, err := core.DataChase(context.Background(), m, ix, "Children.ID", value.String("002"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +409,7 @@ func TestExample43Categories(t *testing.T) {
 	if err := m.Validate(in); err != nil {
 		t.Fatal(err)
 	}
-	full, err := core.AllExamples(m, in)
+	full, err := core.AllExamples(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +434,7 @@ func TestExample43Categories(t *testing.T) {
 func TestFigure9SufficientIllustration(t *testing.T) {
 	in := Instance()
 	m := Example315Mapping()
-	il, err := core.SufficientIllustration(m, in)
+	il, err := core.SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +452,7 @@ func TestFigure9SufficientIllustration(t *testing.T) {
 		t.Fatalf("expected both polarities: %v", il)
 	}
 	// The greedy selection is much smaller than the full example set.
-	full, _ := core.AllExamples(m, in)
+	full, _ := core.AllExamples(context.Background(), m, in)
 	if len(il.Examples) >= len(full.Examples) {
 		t.Errorf("sufficient illustration should be smaller than all examples (%d vs %d)",
 			len(il.Examples), len(full.Examples))
@@ -461,7 +462,7 @@ func TestFigure9SufficientIllustration(t *testing.T) {
 func TestExample43RemovalClaims(t *testing.T) {
 	in := Instance()
 	m := Example315Mapping()
-	full, err := core.AllExamples(m, in)
+	full, err := core.AllExamples(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,7 +507,7 @@ func TestExample48Focus(t *testing.T) {
 	for _, tp := range cs.Tuples() {
 		focus = append(focus, tp)
 	}
-	il, err := core.Focus(m, in, "Children", focus)
+	il, err := core.Focus(context.Background(), m, in, "Children", focus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,16 +533,16 @@ func TestExample48Focus(t *testing.T) {
 		t.Error("partial illustration should not be focussed")
 	}
 	// Focusing on a relation outside the graph errors.
-	if _, err := core.Focus(m, in, "XmasBar", focus); err == nil {
+	if _, err := core.Focus(context.Background(), m, in, "XmasBar", focus); err == nil {
 		t.Error("focus on non-graph relation should error")
 	}
 	// Merging the sufficient illustration with the focus keeps both
 	// properties.
-	suff, err := core.SufficientIllustration(m, in)
+	suff, err := core.SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	focusIl, _ := core.Focus(m, in, "Children", focus)
+	focusIl, _ := core.Focus(context.Background(), m, in, "Children", focus)
 	merged := focusIl.Merge(suff)
 	if ok, _ := merged.IsSufficient(in); !ok {
 		t.Error("merged illustration should stay sufficient")
@@ -680,16 +681,16 @@ func TestContinuousEvolutionAcrossWalk(t *testing.T) {
 		core.Identity("Children.ID", mustCol("Kids.ID")),
 		core.Identity("Parents.affiliation", mustCol("Kids.affiliation")),
 	}
-	oldIll, err := core.SufficientIllustration(m, in)
+	oldIll, err := core.SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts, err := core.DataWalk(m, k, "Children", "PhoneDir", 3)
+	opts, err := core.DataWalk(context.Background(), m, k, "Children", "PhoneDir", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, o := range opts {
-		ev, err := core.Evolve(oldIll, o.Mapping, in)
+		ev, err := core.Evolve(context.Background(), oldIll, o.Mapping, in)
 		if err != nil {
 			t.Fatal(err)
 		}

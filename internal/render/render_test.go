@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestTableMaxRowsAndMarker(t *testing.T) {
 func TestIllustration(t *testing.T) {
 	in := paperdb.Instance()
 	m := paperdb.Example315Mapping()
-	il, err := core.SufficientIllustration(m, in)
+	il, err := core.SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestDot(t *testing.T) {
 func TestWriteHTML(t *testing.T) {
 	in := paperdb.Instance()
 	m := paperdb.Example315Mapping()
-	il, err := core.SufficientIllustration(m, in)
+	il, err := core.SufficientIllustration(context.Background(), m, in)
 	if err != nil {
 		t.Fatal(err)
 	}

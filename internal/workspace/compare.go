@@ -1,11 +1,13 @@
 package workspace
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"clio/internal/core"
 	"clio/internal/fd"
+	"clio/internal/obs"
 	"clio/internal/render"
 )
 
@@ -13,7 +15,9 @@ import (
 // structural mapping diff plus up to limit distinguishing examples per
 // side — the data-driven view of "how do these alternatives differ?"
 // that drives scenario selection (Figures 3–4).
-func (t *Tool) Compare(id1, id2, limit int) (string, error) {
+func (t *Tool) Compare(ctx context.Context, id1, id2, limit int) (string, error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.compare")
+	defer span.End()
 	w1, err := t.workspaceByID(id1)
 	if err != nil {
 		return "", err
@@ -27,7 +31,7 @@ func (t *Tool) Compare(id1, id2, limit int) (string, error) {
 	b.WriteString("structural differences:\n")
 	b.WriteString(core.Diff(w1.Mapping, w2.Mapping).String())
 
-	d, err := core.DistinguishingExamples(w1.Mapping, w2.Mapping, t.Instance, limit)
+	d, err := core.DistinguishingExamples(ctx, w1.Mapping, w2.Mapping, t.Instance, limit)
 	if err != nil {
 		return "", err
 	}
@@ -58,12 +62,14 @@ func (t *Tool) workspaceByID(id int) (*Workspace, error) {
 // CoverageSummary reports, for the active workspace, how many data
 // associations fall in each coverage category and how many the
 // illustration shows — a quick orientation aid for large sources.
-func (t *Tool) CoverageSummary() (string, error) {
+func (t *Tool) CoverageSummary(ctx context.Context) (string, error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.coverage_summary")
+	defer span.End()
 	w := t.Active()
 	if w == nil {
 		return "", fmt.Errorf("workspace: no active workspace")
 	}
-	full, err := core.AllExamples(w.Mapping, t.Instance)
+	full, err := core.AllExamples(ctx, w.Mapping, t.Instance)
 	if err != nil {
 		return "", err
 	}

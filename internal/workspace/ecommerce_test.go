@@ -1,6 +1,7 @@
 package workspace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestECommerceEndToEnd(t *testing.T) {
 		schema.Attribute{Name: "revenue"},
 		schema.Attribute{Name: "carrier"},
 	)
-	tl := New(in, target, false)
+	tl := New(context.Background(), in, target, false)
 	if err := tl.Start("sales"); err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestECommerceEndToEnd(t *testing.T) {
 		core.Identity("Shipments.carrier", schema.Col("SalesReport", "carrier")),
 	}
 	for _, c := range steps {
-		if err := tl.AddCorrespondence(c); err != nil {
+		if err := tl.AddCorrespondence(context.Background(), c); err != nil {
 			t.Fatalf("corr %v: %v", c, err)
 		}
 		// Single FK paths: exactly one scenario each time.
@@ -57,7 +58,7 @@ func TestECommerceEndToEnd(t *testing.T) {
 			t.Fatalf("corr %v produced %d scenarios: %v", c, got, notes)
 		}
 	}
-	if err := tl.AddTargetFilter(expr.MustParse("SalesReport.order IS NOT NULL")); err != nil {
+	if err := tl.AddTargetFilter(context.Background(), expr.MustParse("SalesReport.order IS NOT NULL")); err != nil {
 		t.Fatal(err)
 	}
 	m := tl.Active().Mapping
@@ -68,7 +69,7 @@ func TestECommerceEndToEnd(t *testing.T) {
 	if m.Graph.NodeCount() != 5 || !m.Graph.IsTree() {
 		t.Fatalf("graph:\n%v", m.Graph)
 	}
-	view, err := tl.TargetView()
+	view, err := tl.TargetView(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

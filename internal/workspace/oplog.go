@@ -1,0 +1,86 @@
+package workspace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"clio/internal/obs"
+)
+
+// Workspace-operation instrumentation.
+var (
+	cOps    = obs.GetCounter("workspace.ops")
+	cOpErrs = obs.GetCounter("workspace.op_errors")
+	hOpNS   = obs.GetHistogram("workspace.op.ns")
+)
+
+// OpRecord is one entry of a tool's operation log: which operator ran,
+// on what, how long it took, how many workspaces it left behind, and
+// whether it failed. The log is the session-level complement of the
+// tracing spans: it survives after a trace has been exported and is
+// queryable programmatically (Tool.OpLog) and from the CLI.
+type OpRecord struct {
+	// Seq numbers operations from 1 in execution order.
+	Seq int
+	// Op is the operator name (walk, chase, correspondence, ...).
+	Op string
+	// Detail describes the arguments, human-readably.
+	Detail string
+	// Duration is the operator's wall-clock time.
+	Duration time.Duration
+	// Workspaces is the workspace count after the operation.
+	Workspaces int
+	// Err is the error message when the operation failed, else "".
+	Err string
+}
+
+// String renders the record as one log line.
+func (r OpRecord) String() string {
+	status := "ok"
+	if r.Err != "" {
+		status = "error: " + r.Err
+	}
+	return fmt.Sprintf("#%d %-14s %-40s %8s  %d ws  %s",
+		r.Seq, r.Op, r.Detail, r.Duration.Round(time.Microsecond), r.Workspaces, status)
+}
+
+// opLogCap bounds the in-memory log; older records are dropped.
+const opLogCap = 256
+
+// logOp appends a record for an operation that started at start.
+func (t *Tool) logOp(op, detail string, start time.Time, err error) {
+	cOps.Inc()
+	hOpNS.ObserveSince(start)
+	rec := OpRecord{
+		Seq:        t.opSeq + 1,
+		Op:         op,
+		Detail:     detail,
+		Duration:   time.Since(start),
+		Workspaces: len(t.workspaces),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		cOpErrs.Inc()
+	}
+	t.opSeq++
+	t.opLog = append(t.opLog, rec)
+	if len(t.opLog) > opLogCap {
+		t.opLog = t.opLog[len(t.opLog)-opLogCap:]
+	}
+}
+
+// OpLog returns a copy of the operation log, oldest first.
+func (t *Tool) OpLog() []OpRecord {
+	return append([]OpRecord(nil), t.opLog...)
+}
+
+// OpLogString renders the whole log, one line per operation.
+func (t *Tool) OpLogString() string {
+	var b strings.Builder
+	for _, r := range t.opLog {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package workspace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clio/internal/core"
+	"clio/internal/schema"
+)
+
+func TestOpLogRecordsOperations(t *testing.T) {
+	ctx, tl := t.Context(), newTool(t)
+	if err := tl.Start("kids"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.AddCorrespondence(ctx, core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Walk(ctx, "Children", "Parents"); err != nil {
+		t.Fatal(err)
+	}
+
+	log := tl.OpLog()
+	if len(log) != 3 {
+		t.Fatalf("got %d op records, want 3:\n%s", len(log), tl.OpLogString())
+	}
+	wantOps := []string{"start", "correspondence", "walk"}
+	for i, r := range log {
+		if r.Op != wantOps[i] {
+			t.Errorf("record %d op = %q, want %q", i, r.Op, wantOps[i])
+		}
+		if r.Seq != i+1 {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Err != "" {
+			t.Errorf("record %d unexpected error %q", i, r.Err)
+		}
+	}
+	if got := log[2].Detail; got != "Children -> Parents" {
+		t.Errorf("walk detail = %q", got)
+	}
+	if log[2].Workspaces != len(tl.Workspaces()) {
+		t.Errorf("walk record workspaces = %d, want %d", log[2].Workspaces, len(tl.Workspaces()))
+	}
+}
+
+func TestOpLogRecordsErrors(t *testing.T) {
+	ctx, tl := t.Context(), newTool(t)
+	if err := tl.Start("kids"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Walk(ctx, "NoSuchRelation", "Parents"); err == nil {
+		t.Fatal("Walk from unknown relation should fail")
+	}
+	log := tl.OpLog()
+	last := log[len(log)-1]
+	if last.Op != "walk" || last.Err == "" {
+		t.Errorf("failed walk not logged with error: %+v", last)
+	}
+	if !strings.Contains(tl.OpLogString(), "error:") {
+		t.Errorf("OpLogString misses the error:\n%s", tl.OpLogString())
+	}
+}
+
+func TestOpLogBounded(t *testing.T) {
+	tl := newTool(t)
+	for i := 0; i < opLogCap+10; i++ {
+		tl.logOp("noop", "synthetic", time.Now(), nil)
+	}
+	log := tl.OpLog()
+	if len(log) != opLogCap {
+		t.Fatalf("log length = %d, want cap %d", len(log), opLogCap)
+	}
+	// Oldest entries were dropped; sequence numbers keep counting.
+	if log[0].Seq != 11 || log[len(log)-1].Seq != opLogCap+10 {
+		t.Errorf("log spans seq %d..%d, want %d..%d",
+			log[0].Seq, log[len(log)-1].Seq, 11, opLogCap+10)
+	}
+}

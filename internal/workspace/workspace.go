@@ -8,13 +8,16 @@
 package workspace
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"clio/internal/core"
 	"clio/internal/discovery"
 	"clio/internal/expr"
 	"clio/internal/fd"
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/schema"
 	"clio/internal/value"
@@ -57,6 +60,9 @@ type Tool struct {
 	// undone (the paper's "old workspaces could be remembered to make
 	// backing out changes more efficient").
 	history []snapshot
+	// opLog records the operators applied this session (see oplog.go).
+	opLog []OpRecord
+	opSeq int
 }
 
 // snapshot preserves one workspace-set state for Undo.
@@ -69,11 +75,13 @@ type snapshot struct {
 // New creates a tool for the instance and target. Join knowledge
 // combines declared foreign keys with mined inclusion dependencies
 // when mineINDs is set.
-func New(in *relation.Instance, target *schema.Relation, mineINDs bool) *Tool {
+func New(ctx context.Context, in *relation.Instance, target *schema.Relation, mineINDs bool) *Tool {
+	ctx, span := obs.StartSpan(ctx, "workspace.new")
+	defer span.End()
 	return &Tool{
 		Instance:   in,
-		Knowledge:  discovery.BuildKnowledge(in, mineINDs, 1),
-		Index:      discovery.BuildValueIndex(in),
+		Knowledge:  discovery.BuildKnowledge(ctx, in, mineINDs, 1),
+		Index:      discovery.BuildValueIndex(ctx, in),
 		Target:     target,
 		MaxWalkLen: 3,
 		active:     -1,
@@ -103,30 +111,33 @@ func (t *Tool) Accepted() []*core.Mapping {
 // from the previous active illustration when one exists (continuity,
 // Section 5.3), otherwise a fresh sufficient illustration. The
 // previous workspace's cached D(G) seeds incremental maintenance.
-func (t *Tool) newWorkspace(m *core.Mapping, note string, rank int) (*Workspace, error) {
-	dg, err := t.dgFor(m)
+func (t *Tool) newWorkspace(ctx context.Context, m *core.Mapping, note string, rank int) (*Workspace, error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.new_workspace")
+	defer span.End()
+	span.SetStr("mapping", m.Name)
+	dg, err := t.dgFor(ctx, m)
 	if err != nil {
 		return nil, err
 	}
 	var il core.Illustration
 	if prev := t.Active(); prev != nil && len(prev.Illustration.Examples) > 0 {
-		ev, err := core.EvolveOnDG(prev.Illustration, m, t.Instance, dg)
+		ev, err := core.EvolveOnDG(ctx, prev.Illustration, m, t.Instance, dg)
 		if err == nil {
 			il = ev.Illustration
 		} else {
 			// Non-extending change (e.g. a fresh start): fall back.
-			full, err := core.ExamplesOn(m, t.Instance, dg)
+			full, err := core.ExamplesOn(ctx, m, t.Instance, dg)
 			if err != nil {
 				return nil, err
 			}
-			il = core.SelectSufficient(m, full)
+			il = core.SelectSufficient(ctx, m, full)
 		}
 	} else {
-		full, err := core.ExamplesOn(m, t.Instance, dg)
+		full, err := core.ExamplesOn(ctx, m, t.Instance, dg)
 		if err != nil {
 			return nil, err
 		}
-		il = core.SelectSufficient(m, full)
+		il = core.SelectSufficient(ctx, m, full)
 	}
 	w := &Workspace{ID: t.nextID, Mapping: m, Illustration: il, Note: note, Rank: rank, dg: dg}
 	t.nextID++
@@ -135,14 +146,14 @@ func (t *Tool) newWorkspace(m *core.Mapping, note string, rank int) (*Workspace,
 
 // dgFor computes a mapping's D(G), incrementally from the active
 // workspace's cache when the graph is a single-leaf extension.
-func (t *Tool) dgFor(m *core.Mapping) (*relation.Relation, error) {
+func (t *Tool) dgFor(ctx context.Context, m *core.Mapping) (*relation.Relation, error) {
 	if m.Graph.NodeCount() == 0 {
 		return relation.New("D(G)", relation.NewScheme()), nil
 	}
 	if prev := t.Active(); prev != nil && prev.dg != nil && prev.Mapping.Graph.NodeCount() > 0 {
-		return fd.ComputeIncremental(prev.dg, prev.Mapping.Graph, m.Graph, t.Instance)
+		return fd.ComputeIncremental(ctx, prev.dg, prev.Mapping.Graph, m.Graph, t.Instance)
 	}
-	return fd.Compute(m.Graph, t.Instance)
+	return fd.Compute(ctx, m.Graph, t.Instance)
 }
 
 // pushHistory remembers the current state for Undo. History is capped
@@ -162,7 +173,8 @@ func (t *Tool) pushHistory() {
 // Undo restores the workspace set as it was before the last mutating
 // operator (correspondence, walk, chase, filter, confirm). It fails
 // when there is nothing to undo.
-func (t *Tool) Undo() error {
+func (t *Tool) Undo() (err error) {
+	defer func(start time.Time) { t.logOp("undo", "", start, err) }(time.Now())
 	if len(t.history) == 0 {
 		return fmt.Errorf("workspace: nothing to undo")
 	}
@@ -179,14 +191,14 @@ func (t *Tool) Undo() error {
 // behaviour after a walk or chase: "new workspaces are created (one of
 // which is chosen as the new active workspace), and the old workspaces
 // are discarded" (but remembered in history for Undo).
-func (t *Tool) setAlternatives(ms []*core.Mapping, notes []string) error {
+func (t *Tool) setAlternatives(ctx context.Context, ms []*core.Mapping, notes []string) error {
 	var ws []*Workspace
 	for i, m := range ms {
 		note := ""
 		if i < len(notes) {
 			note = notes[i]
 		}
-		w, err := t.newWorkspace(m, note, i)
+		w, err := t.newWorkspace(ctx, m, note, i)
 		if err != nil {
 			return err
 		}
@@ -204,6 +216,7 @@ func (t *Tool) setAlternatives(ms []*core.Mapping, notes []string) error {
 
 // Start opens the first workspace around an empty mapping.
 func (t *Tool) Start(name string) error {
+	defer func(start time.Time) { t.logOp("start", name, start, nil) }(time.Now())
 	m := core.NewMapping(name, t.Target)
 	w := &Workspace{ID: t.nextID, Mapping: m, Note: "empty mapping"}
 	t.nextID++
@@ -254,7 +267,8 @@ func (t *Tool) Delete(id int) error {
 // Confirm accepts the active workspace's mapping as correct (so far):
 // the mapping joins the accepted set and all alternative workspaces
 // are deleted, leaving the confirmed one active.
-func (t *Tool) Confirm() error {
+func (t *Tool) Confirm() (err error) {
+	defer func(start time.Time) { t.logOp("confirm", "", start, err) }(time.Now())
 	w := t.Active()
 	if w == nil {
 		return fmt.Errorf("workspace: nothing to confirm")
@@ -268,17 +282,19 @@ func (t *Tool) Confirm() error {
 
 // TargetView evaluates the WYSIWYG target: the union of every accepted
 // mapping's result and the active mapping's result (Sections 6.1–6.2).
-func (t *Tool) TargetView() (*relation.Relation, error) {
+func (t *Tool) TargetView(ctx context.Context) (*relation.Relation, error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.target_view")
+	defer span.End()
 	out := relation.New(t.Target.Name, relation.SchemeFor(t.Target))
 	add := func(m *core.Mapping) error {
 		if m.Graph.NodeCount() == 0 {
 			return nil
 		}
-		res, err := m.Evaluate(t.Instance)
+		dg, err := m.DG(ctx, t.Instance)
 		if err != nil {
 			return err
 		}
-		for _, tp := range res.Tuples() {
+		for _, tp := range m.EvaluateOn(dg).Tuples() {
 			out.Add(tp)
 		}
 		return nil
@@ -304,7 +320,9 @@ func (t *Tool) TargetView() (*relation.Relation, error) {
 			return nil, err
 		}
 	}
-	return out.Distinct(), nil
+	res := out.Distinct()
+	span.SetInt("tuples", int64(res.Len()))
+	return res, nil
 }
 
 // AddCorrespondence applies the correspondence operator to the active
@@ -313,7 +331,10 @@ func (t *Tool) TargetView() (*relation.Relation, error) {
 // correspondences and filters (Example 6.2: a second way to compute
 // the same target field); otherwise the alternatives extend the
 // active mapping directly. New alternatives become the workspaces.
-func (t *Tool) AddCorrespondence(c core.Correspondence) error {
+func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (err error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.add_correspondence")
+	defer span.End()
+	defer func(start time.Time) { t.logOp("correspondence", c.String(), start, err) }(time.Now())
 	w := t.Active()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
@@ -331,7 +352,7 @@ func (t *Tool) AddCorrespondence(c core.Correspondence) error {
 		base.Name = fmt.Sprintf("%s+%s", base.Name, c.Target.Attr)
 		note = "alternative computation of " + c.Target.Attr
 	}
-	alts, err := core.AddCorrespondence(base, t.Knowledge, c, t.MaxWalkLen)
+	alts, err := core.AddCorrespondence(ctx, base, t.Knowledge, c, t.MaxWalkLen)
 	if err != nil {
 		return err
 	}
@@ -339,17 +360,21 @@ func (t *Tool) AddCorrespondence(c core.Correspondence) error {
 	for i := range alts {
 		notes[i] = fmt.Sprintf("%s (alternative %d)", note, i+1)
 	}
-	return t.setAlternatives(alts, notes)
+	span.SetInt("alternatives", int64(len(alts)))
+	return t.setAlternatives(ctx, alts, notes)
 }
 
 // Walk applies the data walk operator to the active mapping and
 // replaces the workspaces with the ranked alternatives.
-func (t *Tool) Walk(startNode, endBase string) error {
+func (t *Tool) Walk(ctx context.Context, startNode, endBase string) (err error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.walk")
+	defer span.End()
+	defer func(start time.Time) { t.logOp("walk", startNode+" -> "+endBase, start, err) }(time.Now())
 	w := t.Active()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
-	opts, err := core.DataWalk(w.Mapping, t.Knowledge, startNode, endBase, t.MaxWalkLen)
+	opts, err := core.DataWalk(ctx, w.Mapping, t.Knowledge, startNode, endBase, t.MaxWalkLen)
 	if err != nil {
 		return err
 	}
@@ -376,17 +401,21 @@ func (t *Tool) Walk(startNode, endBase string) error {
 		ms[i] = o.Mapping
 		notes[i] = o.Describe()
 	}
-	return t.setAlternatives(ms, notes)
+	span.SetInt("alternatives", int64(len(ms)))
+	return t.setAlternatives(ctx, ms, notes)
 }
 
 // Chase applies the data chase operator to the active mapping and
 // replaces the workspaces with the alternatives.
-func (t *Tool) Chase(fromCol string, v value.Value) error {
+func (t *Tool) Chase(ctx context.Context, fromCol string, v value.Value) (err error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.chase")
+	defer span.End()
+	defer func(start time.Time) { t.logOp("chase", fmt.Sprintf("%s = %v", fromCol, v), start, err) }(time.Now())
 	w := t.Active()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
-	opts, err := core.DataChase(w.Mapping, t.Index, fromCol, v)
+	opts, err := core.DataChase(ctx, w.Mapping, t.Index, fromCol, v)
 	if err != nil {
 		return err
 	}
@@ -399,27 +428,31 @@ func (t *Tool) Chase(fromCol string, v value.Value) error {
 		ms[i] = o.Mapping
 		notes[i] = o.Describe()
 	}
-	return t.setAlternatives(ms, notes)
+	span.SetInt("alternatives", int64(len(ms)))
+	return t.setAlternatives(ctx, ms, notes)
 }
 
 // AddSourceFilter adds a C_S predicate to the active mapping in place
 // (trimming does not change the graph; the illustration evolves).
-func (t *Tool) AddSourceFilter(p expr.Expr) error {
-	return t.replaceActive(func(m *core.Mapping) *core.Mapping { return m.WithSourceFilter(p) }, "source filter "+p.String())
+func (t *Tool) AddSourceFilter(ctx context.Context, p expr.Expr) error {
+	return t.replaceActive(ctx, func(m *core.Mapping) *core.Mapping { return m.WithSourceFilter(p) }, "source filter "+p.String())
 }
 
 // AddTargetFilter adds a C_T predicate to the active mapping in place.
-func (t *Tool) AddTargetFilter(p expr.Expr) error {
-	return t.replaceActive(func(m *core.Mapping) *core.Mapping { return m.WithTargetFilter(p) }, "target filter "+p.String())
+func (t *Tool) AddTargetFilter(ctx context.Context, p expr.Expr) error {
+	return t.replaceActive(ctx, func(m *core.Mapping) *core.Mapping { return m.WithTargetFilter(p) }, "target filter "+p.String())
 }
 
-func (t *Tool) replaceActive(f func(*core.Mapping) *core.Mapping, note string) error {
+func (t *Tool) replaceActive(ctx context.Context, f func(*core.Mapping) *core.Mapping, note string) (err error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.replace_active")
+	defer span.End()
+	defer func(start time.Time) { t.logOp("filter", note, start, err) }(time.Now())
 	w := t.Active()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
 	m := f(w.Mapping)
-	nw, err := t.newWorkspace(m, note, 0)
+	nw, err := t.newWorkspace(ctx, m, note, 0)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package workspace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 
 func newTool(t *testing.T) *Tool {
 	t.Helper()
-	return New(paperdb.Instance(), paperdb.Kids(), false)
+	return New(context.Background(), paperdb.Instance(), paperdb.Kids(), false)
 }
 
 func TestStartAndActive(t *testing.T) {
@@ -41,16 +42,16 @@ func TestSection2Walkthrough(t *testing.T) {
 	}
 
 	// Step 1: v1, v2 — ID and name from Children.
-	if err := tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AddCorrespondence(core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
 		t.Fatal(err)
 	}
 	if len(tl.Workspaces()) != 1 {
 		t.Fatalf("after v1,v2: %d workspaces", len(tl.Workspaces()))
 	}
-	view, err := tl.TargetView()
+	view, err := tl.TargetView(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSection2Walkthrough(t *testing.T) {
 	}
 
 	// Step 2: v3 — affiliation; two scenarios (mid, fid).
-	if err := tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
 	if len(tl.Workspaces()) != 2 {
@@ -88,7 +89,7 @@ func TestSection2Walkthrough(t *testing.T) {
 
 	// Step 3: data walk to PhoneDir; two scenarios (father's phone,
 	// mother's phone via Parents2).
-	if err := tl.Walk("Children", "PhoneDir"); err != nil {
+	if err := tl.Walk(context.Background(), "Children", "PhoneDir"); err != nil {
 		t.Fatal(err)
 	}
 	if len(tl.Workspaces()) != 2 {
@@ -116,7 +117,7 @@ func TestSection2Walkthrough(t *testing.T) {
 		t.Error("walk alternatives should inherit examples")
 	}
 	// v4: contact phone from the mother's PhoneDir copy.
-	if err := tl.AddCorrespondence(core.Identity("PhoneDir.number", schema.Col("Kids", "contactPh"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("PhoneDir.number", schema.Col("Kids", "contactPh"))); err != nil {
 		t.Fatal(err)
 	}
 	if err := tl.Confirm(); err != nil {
@@ -124,7 +125,7 @@ func TestSection2Walkthrough(t *testing.T) {
 	}
 
 	// Step 4: chase 002 to find SBPS.
-	if err := tl.Chase("Children.ID", value.String("002")); err != nil {
+	if err := tl.Chase(context.Background(), "Children.ID", value.String("002")); err != nil {
 		t.Fatal(err)
 	}
 	if len(tl.Workspaces()) != 3 {
@@ -137,10 +138,10 @@ func TestSection2Walkthrough(t *testing.T) {
 			}
 		}
 	}
-	if err := tl.AddCorrespondence(core.Identity("SBPS.time", schema.Col("Kids", "BusSchedule"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("SBPS.time", schema.Col("Kids", "BusSchedule"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AddTargetFilter(expr.MustParse("Kids.ID IS NOT NULL")); err != nil {
+	if err := tl.AddTargetFilter(context.Background(), expr.MustParse("Kids.ID IS NOT NULL")); err != nil {
 		t.Fatal(err)
 	}
 	if err := tl.Confirm(); err != nil {
@@ -184,8 +185,8 @@ func TestSection2Walkthrough(t *testing.T) {
 func TestUseDeleteRotate(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	if err := tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
 	ws := tl.Workspaces()
@@ -230,7 +231,7 @@ func TestExample61TwoMappingsWithFilters(t *testing.T) {
 	// phone otherwise — two accepted mappings with complementary
 	// filters; the target view is their union.
 	in := paperdb.Instance()
-	tl := New(in, paperdb.Kids(), false)
+	tl := New(context.Background(), in, paperdb.Kids(), false)
 
 	mother := core.NewMapping("viaMother", paperdb.Kids())
 	mother.Graph.MustAddNode("Children", "Children")
@@ -252,7 +253,7 @@ func TestExample61TwoMappingsWithFilters(t *testing.T) {
 
 	// Accept both by driving workspaces.
 	tl.workspaces = nil
-	w1, err := tl.newWorkspace(mother, "mother", 0)
+	w1, err := tl.newWorkspace(context.Background(), mother, "mother", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestExample61TwoMappingsWithFilters(t *testing.T) {
 	if err := tl.Confirm(); err != nil {
 		t.Fatal(err)
 	}
-	w2, err := tl.newWorkspace(father, "father", 0)
+	w2, err := tl.newWorkspace(context.Background(), father, "father", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestExample61TwoMappingsWithFilters(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	view, err := tl.TargetView()
+	view, err := tl.TargetView(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,9 +284,9 @@ func TestExample61TwoMappingsWithFilters(t *testing.T) {
 	// Now orphan Bo's mid to exercise the father branch on a modified
 	// instance: rebuild with Bo motherless but fathered.
 	in2 := modifiedInstance(t)
-	tl2 := New(in2, paperdb.Kids(), false)
+	tl2 := New(context.Background(), in2, paperdb.Kids(), false)
 	tl2.accepted = []*core.Mapping{mother, father}
-	view2, err := tl2.TargetView()
+	view2, err := tl2.TargetView(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,14 +348,14 @@ func TestExample62SecondCorrespondenceReuse(t *testing.T) {
 	// the other correspondences.
 	tl := newTool(t)
 	_ = tl.Start("kids")
-	if err := tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AddCorrespondence(core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Children.name", schema.Col("Kids", "name"))); err != nil {
 		t.Fatal(err)
 	}
 	// First computation of affiliation: mother's (pick the mid one).
-	if err := tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range tl.Workspaces() {
@@ -366,7 +367,7 @@ func TestExample62SecondCorrespondenceReuse(t *testing.T) {
 	// Second correspondence for the same attribute: salary-based
 	// (nonsense semantically, but structurally a second computation).
 	c := core.FromExpr(expr.MustParse("upper(Parents.affiliation)"), schema.Col("Kids", "affiliation"))
-	if err := tl.AddCorrespondence(c); err != nil {
+	if err := tl.AddCorrespondence(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	// The first mapping is accepted; the new alternatives reuse ID and
@@ -390,8 +391,8 @@ func TestExample62SecondCorrespondenceReuse(t *testing.T) {
 func TestRankWorkspaces(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	_ = tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")))
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")))
 	ws := tl.Workspaces()
 	if len(ws) < 2 {
 		t.Skip("need 2 workspaces")
@@ -411,18 +412,18 @@ func TestRankWorkspaces(t *testing.T) {
 func TestFilterOperators(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	if err := tl.AddSourceFilter(expr.MustParse("Children.age < 7")); err != nil {
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	if err := tl.AddSourceFilter(context.Background(), expr.MustParse("Children.age < 7")); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AddTargetFilter(expr.MustParse("Kids.ID IS NOT NULL")); err != nil {
+	if err := tl.AddTargetFilter(context.Background(), expr.MustParse("Kids.ID IS NOT NULL")); err != nil {
 		t.Fatal(err)
 	}
 	m := tl.Active().Mapping
 	if len(m.SourceFilters) != 1 || len(m.TargetFilters) != 1 {
 		t.Error("filters not applied")
 	}
-	view, err := tl.TargetView()
+	view, err := tl.TargetView(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,19 +432,19 @@ func TestFilterOperators(t *testing.T) {
 	}
 	// Errors without an active workspace.
 	tl2 := newTool(t)
-	if err := tl2.AddSourceFilter(expr.MustParse("TRUE")); err == nil {
+	if err := tl2.AddSourceFilter(context.Background(), expr.MustParse("TRUE")); err == nil {
 		t.Error("no active workspace should fail")
 	}
-	if err := tl2.AddTargetFilter(expr.MustParse("TRUE")); err == nil {
+	if err := tl2.AddTargetFilter(context.Background(), expr.MustParse("TRUE")); err == nil {
 		t.Error("no active workspace should fail")
 	}
-	if err := tl2.Walk("A", "B"); err == nil {
+	if err := tl2.Walk(context.Background(), "A", "B"); err == nil {
 		t.Error("walk with no active workspace should fail")
 	}
-	if err := tl2.Chase("A.x", value.Int(1)); err == nil {
+	if err := tl2.Chase(context.Background(), "A.x", value.Int(1)); err == nil {
 		t.Error("chase with no active workspace should fail")
 	}
-	if err := tl2.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID"))); err == nil {
+	if err := tl2.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID"))); err == nil {
 		t.Error("correspondence with no active workspace should fail")
 	}
 }
@@ -451,11 +452,11 @@ func TestFilterOperators(t *testing.T) {
 func TestWalkAndChaseFailures(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	if err := tl.Walk("Children", "Nowhere"); err == nil {
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	if err := tl.Walk(context.Background(), "Children", "Nowhere"); err == nil {
 		t.Error("walk to unknown relation should fail")
 	}
-	if err := tl.Chase("Children.ID", value.String("no-such-value")); err == nil {
+	if err := tl.Chase(context.Background(), "Children.ID", value.String("no-such-value")); err == nil {
 		t.Error("chase of absent value should fail")
 	}
 }
@@ -463,15 +464,15 @@ func TestWalkAndChaseFailures(t *testing.T) {
 func TestCompare(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	if err := tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
 	ws := tl.Workspaces()
 	if len(ws) != 2 {
 		t.Fatalf("need 2 workspaces, got %d", len(ws))
 	}
-	out, err := tl.Compare(ws[0].ID, ws[1].ID, 3)
+	out, err := tl.Compare(context.Background(), ws[0].ID, ws[1].ID, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,17 +482,17 @@ func TestCompare(t *testing.T) {
 		}
 	}
 	// Comparing a workspace with itself: identical.
-	same, err := tl.Compare(ws[0].ID, ws[0].ID, 3)
+	same, err := tl.Compare(context.Background(), ws[0].ID, ws[0].ID, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(same, "identical") {
 		t.Errorf("self-compare should be identical:\n%s", same)
 	}
-	if _, err := tl.Compare(999, ws[0].ID, 3); err == nil {
+	if _, err := tl.Compare(context.Background(), 999, ws[0].ID, 3); err == nil {
 		t.Error("unknown workspace should fail")
 	}
-	if _, err := tl.Compare(ws[0].ID, 999, 3); err == nil {
+	if _, err := tl.Compare(context.Background(), ws[0].ID, 999, 3); err == nil {
 		t.Error("unknown workspace should fail")
 	}
 }
@@ -499,11 +500,11 @@ func TestCompare(t *testing.T) {
 func TestCoverageSummary(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	if err := tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
-	out, err := tl.CoverageSummary()
+	out, err := tl.CoverageSummary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,7 +512,7 @@ func TestCoverageSummary(t *testing.T) {
 		t.Errorf("summary wrong:\n%s", out)
 	}
 	empty := newTool(t)
-	if _, err := empty.CoverageSummary(); err == nil {
+	if _, err := empty.CoverageSummary(context.Background()); err == nil {
 		t.Error("no active workspace should fail")
 	}
 }
@@ -519,7 +520,7 @@ func TestCoverageSummary(t *testing.T) {
 func TestTargetStatus(t *testing.T) {
 	tl := newTool(t)
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
 	s := tl.TargetStatus()
 	if !strings.Contains(s, "ID") || !strings.Contains(s, "mapped by m") {
 		t.Errorf("status wrong:\n%s", s)
@@ -535,8 +536,8 @@ func TestUndo(t *testing.T) {
 		t.Error("fresh tool has nothing to undo")
 	}
 	_ = tl.Start("m")
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
-	if err := tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	if err := tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation"))); err != nil {
 		t.Fatal(err)
 	}
 	if len(tl.Workspaces()) != 2 {
@@ -557,7 +558,7 @@ func TestUndo(t *testing.T) {
 		t.Error("undo went too far")
 	}
 	// Undo a filter application.
-	_ = tl.AddSourceFilter(expr.MustParse("Children.age < 7"))
+	_ = tl.AddSourceFilter(context.Background(), expr.MustParse("Children.age < 7"))
 	if len(tl.Active().Mapping.SourceFilters) != 1 {
 		t.Fatal("filter not applied")
 	}
@@ -594,7 +595,7 @@ func TestWorkspaceDGCacheConsistency(t *testing.T) {
 		if w.dg == nil {
 			t.Fatalf("%s: no cached D(G)", stage)
 		}
-		ref, err := fd.Compute(w.Mapping.Graph, tl.Instance)
+		ref, err := fd.Compute(context.Background(), w.Mapping.Graph, tl.Instance)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -602,12 +603,12 @@ func TestWorkspaceDGCacheConsistency(t *testing.T) {
 			t.Fatalf("%s: cached D(G) diverged (%d vs %d rows)", stage, w.dg.Len(), ref.Len())
 		}
 	}
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
 	check("after first correspondence")
-	_ = tl.AddCorrespondence(core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")))
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Parents.affiliation", schema.Col("Kids", "affiliation")))
 	check("after affiliation walk")
 	_ = tl.Confirm()
-	_ = tl.Walk("Children", "PhoneDir")
+	_ = tl.Walk(context.Background(), "Children", "PhoneDir")
 	check("after phone walk")
 	for _, w := range tl.Workspaces() {
 		if w.Mapping.Graph.HasNode("Parents2") {
@@ -615,9 +616,9 @@ func TestWorkspaceDGCacheConsistency(t *testing.T) {
 		}
 	}
 	check("after selecting mother scenario")
-	_ = tl.Chase("Children.ID", value.String("002"))
+	_ = tl.Chase(context.Background(), "Children.ID", value.String("002"))
 	check("after chase")
-	_ = tl.AddSourceFilter(expr.MustParse("Children.age < 9"))
+	_ = tl.AddSourceFilter(context.Background(), expr.MustParse("Children.age < 9"))
 	check("after filter")
 }
 
@@ -630,13 +631,13 @@ func TestRotateSingleAndMaxWalkLen(t *testing.T) {
 		t.Error("rotate with one workspace should be a no-op")
 	}
 	// A walk length bound of 1 cannot reach PhoneDir (two hops away).
-	_ = tl.AddCorrespondence(core.Identity("Children.ID", schema.Col("Kids", "ID")))
+	_ = tl.AddCorrespondence(context.Background(), core.Identity("Children.ID", schema.Col("Kids", "ID")))
 	tl.MaxWalkLen = 1
-	if err := tl.Walk("Children", "PhoneDir"); err == nil {
+	if err := tl.Walk(context.Background(), "Children", "PhoneDir"); err == nil {
 		t.Error("bounded walk should find no path")
 	}
 	tl.MaxWalkLen = 3
-	if err := tl.Walk("Children", "PhoneDir"); err != nil {
+	if err := tl.Walk(context.Background(), "Children", "PhoneDir"); err != nil {
 		t.Errorf("walk at bound 3 should work: %v", err)
 	}
 }
