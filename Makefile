@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench demo
+.PHONY: build test race vet check bench demo serve-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the tier-1 verification gate: vet, build, tests, race tests.
-check: vet build test race
+# serve-smoke boots clio serve, drives a create/corr/walk/illustrate
+# round-trip over HTTP, and verifies graceful shutdown.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# check is the tier-1 verification gate: vet, build, tests, race
+# tests, and the serve smoke test.
+check: vet build test race serve-smoke
 
 bench:
 	$(GO) run ./cmd/cliobench -quick

@@ -85,7 +85,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", srv.Addr)
 	}
 
-	err := run(os.Stdin, os.Stdout)
+	var err error
+	if flag.Arg(0) == "serve" {
+		err = serveMain(flag.Args()[1:])
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
 	if *metricsPath != "" {
 		if werr := writeMetrics(*metricsPath); werr != nil && err == nil {
 			err = werr

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clio/internal/serve"
+)
+
+// serveMain runs the long-lived HTTP/JSON mapping service ("clio
+// serve"). It listens until SIGINT/SIGTERM, then shuts down
+// gracefully, draining in-flight requests.
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("clio serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address (\":0\" picks a free port)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	maxInFlight := fs.Int("max-inflight", 32, "bound on concurrently admitted requests (429 beyond)")
+	cacheCap := fs.Int("cache", 64, "D(G) memo cache capacity in entries (0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	mine := fs.Bool("mine", false, "mine inclusion dependencies when sessions start")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Addr:           *addr,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInFlight,
+		CacheCapacity:  *cacheCap,
+		MineINDs:       *mine,
+	}
+	if *cacheCap == 0 {
+		cfg.CacheCapacity = -1 // Config zero means "default"; -1 disables
+	}
+	srv := serve.New(cfg)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "clio serve listening on http://%s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "clio serve: shutting down")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return srv.Shutdown(drainCtx)
+}

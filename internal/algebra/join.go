@@ -10,12 +10,14 @@ import (
 // Join-kernel counters. Per-tuple work is accumulated locally and
 // published once per join so the hot loops never touch an atomic.
 var (
-	cJoinCalls   = obs.GetCounter("algebra.join.calls")
-	cJoinHash    = obs.GetCounter("algebra.join.hash")
-	cJoinNested  = obs.GetCounter("algebra.join.nested")
-	cJoinProbes  = obs.GetCounter("algebra.join.probes")
-	cJoinMatches = obs.GetCounter("algebra.join.matches")
-	cJoinOut     = obs.GetCounter("algebra.join.out_tuples")
+	cJoinCalls      = obs.GetCounter("algebra.join.calls")
+	cJoinHash       = obs.GetCounter("algebra.join.hash")
+	cJoinNested     = obs.GetCounter("algebra.join.nested")
+	cJoinProbes     = obs.GetCounter("algebra.join.probes")
+	cJoinMatches    = obs.GetCounter("algebra.join.matches")
+	cJoinOut        = obs.GetCounter("algebra.join.out_tuples")
+	cJoinBuildLeft  = obs.GetCounter("algebra.join.build_left")
+	cJoinBuildRight = obs.GetCounter("algebra.join.build_right")
 )
 
 // JoinRelations joins two materialized relations under the given kind
@@ -47,14 +49,30 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 	}
 
 	if len(eqL) > 0 {
-		// Hash join: build on the smaller side by convention (right).
+		// Hash join: build the index on the smaller relation and probe
+		// with the larger one. Either way emit(li, ri) keeps the output
+		// tuple layout (left++right) and the matched bookkeeping
+		// identical, so only the output order depends on the build side.
 		cJoinHash.Inc()
-		ix := r.BuildIndex(eqR...)
-		lpos := l.Scheme().Positions(eqL...)
-		for li := range l.Tuples() {
-			probes++
-			for _, ri := range ix.ProbeTuple(l.At(li), lpos) {
-				emit(li, ri)
+		if l.Len() <= r.Len() {
+			cJoinBuildLeft.Inc()
+			ix := l.BuildIndex(eqL...)
+			rpos := r.Scheme().Positions(eqR...)
+			for ri := range r.Tuples() {
+				probes++
+				for _, li := range ix.ProbeTuple(r.At(ri), rpos) {
+					emit(li, ri)
+				}
+			}
+		} else {
+			cJoinBuildRight.Inc()
+			ix := r.BuildIndex(eqR...)
+			lpos := l.Scheme().Positions(eqL...)
+			for li := range l.Tuples() {
+				probes++
+				for _, ri := range ix.ProbeTuple(l.At(li), lpos) {
+					emit(li, ri)
+				}
 			}
 		}
 	} else {

@@ -1,0 +1,140 @@
+package algebra
+
+import (
+	"testing"
+
+	"clio/internal/expr"
+	"clio/internal/obs"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// nullKeyInstance builds two relations with NULLs in the join columns
+// on both sides, including a multi-column key that is only partially
+// null.
+func nullKeyInstance() (*relation.Instance, *relation.Relation, *relation.Relation) {
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("L",
+		schema.Attribute{Name: "k1", Type: value.KindString},
+		schema.Attribute{Name: "k2", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindString},
+	))
+	sch.MustAddRelation(schema.NewRelation("R",
+		schema.Attribute{Name: "k1", Type: value.KindString},
+		schema.Attribute{Name: "k2", Type: value.KindInt},
+		schema.Attribute{Name: "y", Type: value.KindString},
+	))
+	in := relation.NewInstance(sch)
+	l := in.NewRelationFor("L")
+	l.AddRow("a", "1", "l1")
+	l.AddRow("-", "1", "l2") // null k1
+	l.AddRow("b", "-", "l3") // null k2
+	l.AddRow("-", "-", "l4") // all-null key
+	l.AddRow("c", "3", "l5")
+	in.MustAdd(l)
+	r := in.NewRelationFor("R")
+	r.AddRow("a", "1", "r1")
+	r.AddRow("-", "1", "r2") // null k1: must match nothing, not L's null
+	r.AddRow("-", "-", "r3")
+	r.AddRow("c", "3", "r4")
+	r.AddRow("d", "4", "r5")
+	in.MustAdd(r)
+	return in, l, r
+}
+
+// TestNullJoinKeysHashPath is the regression test for the hash path:
+// NULL join keys never match, including NULL = NULL, exactly as in the
+// nested-loop path where the predicate evaluates to Unknown.
+func TestNullJoinKeysHashPath(t *testing.T) {
+	_, l, r := nullKeyInstance()
+	pred := expr.MustParse("L.k1 = R.k1 AND L.k2 = R.k2")
+	for _, kind := range []JoinKind{InnerJoin, LeftJoin, RightJoin, FullJoin} {
+		out := JoinRelations(kind, l, r, pred)
+		for _, tp := range out.Tuples() {
+			lNull := tp.Get("L.k1").IsNull() || tp.Get("L.k2").IsNull()
+			rNull := tp.Get("R.k1").IsNull() || tp.Get("R.k2").IsNull()
+			matched := !tp.Get("L.x").IsNull() && !tp.Get("R.y").IsNull()
+			if matched && (lNull || rNull) {
+				t.Errorf("%v: null join key matched on hash path: %v", kind, tp)
+			}
+		}
+	}
+	// Inner join matches exactly the two fully non-null key pairs.
+	out := JoinRelations(InnerJoin, l, r, pred)
+	if out.Len() != 2 {
+		t.Fatalf("inner join len = %d, want 2:\n%v", out.Len(), out)
+	}
+}
+
+// TestNullJoinKeysBothPathsAgree asserts the hash path and the
+// nested-loop path produce identical results on relations containing
+// NULLs in the join columns, for every join kind.
+func TestNullJoinKeysBothPathsAgree(t *testing.T) {
+	_, l, r := nullKeyInstance()
+	// Col = Col conjuncts drive the hash path; the +0 rewrite defeats
+	// SplitEquiConjuncts so the same predicate runs as a nested loop.
+	hashPred := expr.MustParse("L.k1 = R.k1 AND L.k2 = R.k2")
+	nlPred := expr.MustParse("L.k1 = R.k1 AND L.k2 + 0 = R.k2")
+	for _, kind := range []JoinKind{InnerJoin, LeftJoin, RightJoin, FullJoin} {
+		hash := JoinRelations(kind, l, r, hashPred)
+		nl := JoinRelations(kind, l, r, nlPred)
+		if !hash.EqualSet(nl) {
+			t.Fatalf("%v: hash and nested-loop paths disagree on NULL keys\nhash:\n%v\nnested loop:\n%v",
+				kind, hash, nl)
+		}
+	}
+}
+
+// TestHashJoinBuildsOnSmallerSide covers the build-side selection: a
+// tiny left relation joined against a large right relation must build
+// the index on the left, and the result must be identical to the
+// nested-loop reference regardless of the build side.
+func TestHashJoinBuildsOnSmallerSide(t *testing.T) {
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("S",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindInt}))
+	sch.MustAddRelation(schema.NewRelation("B",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "y", Type: value.KindInt}))
+	in := relation.NewInstance(sch)
+	s := in.NewRelationFor("S")
+	s.AddValues(value.Int(1), value.Int(10))
+	s.AddValues(value.Int(3), value.Int(30))
+	s.AddValues(value.Null, value.Int(99))
+	in.MustAdd(s)
+	b := in.NewRelationFor("B")
+	for i := 0; i < 200; i++ {
+		b.AddValues(value.Int(int64(i%10)), value.Int(int64(i)))
+	}
+	in.MustAdd(b)
+
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(wasEnabled)
+
+	pred := expr.Equals("S.k", "B.k")
+	for _, kind := range []JoinKind{InnerJoin, LeftJoin, RightJoin, FullJoin} {
+		// Left much smaller: index must be built on the left.
+		before := cJoinBuildLeft.Value()
+		hash := JoinRelations(kind, s, b, pred)
+		if cJoinBuildLeft.Value() != before+1 {
+			t.Fatalf("%v: small left side did not build the index on the left", kind)
+		}
+		nl := JoinRelations(kind, s, b, expr.MustParse("S.k + 0 = B.k"))
+		if !hash.EqualSet(nl) {
+			t.Fatalf("%v: build-on-left join differs from nested loop\nhash:\n%v\nnl:\n%v", kind, hash, nl)
+		}
+		// Mirrored: small side on the right must build on the right.
+		before = cJoinBuildRight.Value()
+		hash = JoinRelations(kind, b, s, expr.Equals("B.k", "S.k"))
+		if cJoinBuildRight.Value() != before+1 {
+			t.Fatalf("%v: small right side did not build the index on the right", kind)
+		}
+		nl = JoinRelations(kind, b, s, expr.MustParse("B.k + 0 = S.k"))
+		if !hash.EqualSet(nl) {
+			t.Fatalf("%v: build-on-right join differs from nested loop", kind)
+		}
+	}
+}

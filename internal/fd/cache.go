@@ -1,0 +1,194 @@
+package fd
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"clio/internal/graph"
+	"clio/internal/obs"
+	"clio/internal/relation"
+)
+
+// D(G) memo cache instrumentation.
+var (
+	cCacheHits      = obs.GetCounter("fd.cache.hits")
+	cCacheMisses    = obs.GetCounter("fd.cache.misses")
+	cCacheEvictions = obs.GetCounter("fd.cache.evictions")
+	gCacheEntries   = obs.GetGauge("fd.cache.entries")
+)
+
+// dgCache memoizes Compute results under content-addressed keys with
+// LRU eviction. A key hashes the query graph shape and the content
+// fingerprint of every base relation the graph reads, so any mutation
+// of a source relation (which changes its fingerprint) naturally
+// misses; explicit invalidation exists to release memory promptly.
+//
+// The cache is disabled (capacity zero) by default so batch and test
+// workloads see no behavior change; long-lived services opt in with
+// SetCacheCapacity.
+type dgCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	d   *relation.Relation
+}
+
+var theCache = &dgCache{entries: map[string]*list.Element{}, lru: list.New()}
+
+// SetCacheCapacity sets the maximum number of memoized D(G) results
+// (0 disables caching and clears the cache). It returns the previous
+// capacity.
+func SetCacheCapacity(n int) int {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	prev := theCache.cap
+	theCache.cap = n
+	for theCache.lru.Len() > n {
+		theCache.evictOldestLocked()
+	}
+	gCacheEntries.Set(int64(theCache.lru.Len()))
+	return prev
+}
+
+// CacheCapacity returns the current capacity.
+func CacheCapacity() int {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	return theCache.cap
+}
+
+// InvalidateCache drops every memoized D(G). Serving layers call it
+// when a source instance mutates, to release stale entries promptly
+// (correctness does not depend on it: mutated relations change their
+// fingerprints and therefore their keys).
+func InvalidateCache() {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	theCache.entries = map[string]*list.Element{}
+	theCache.lru.Init()
+	gCacheEntries.Set(0)
+}
+
+// CacheLen returns the number of memoized results.
+func CacheLen() int {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	return theCache.lru.Len()
+}
+
+func (c *dgCache) evictOldestLocked() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	c.lru.Remove(back)
+	delete(c.entries, back.Value.(*cacheEntry).key)
+	cCacheEvictions.Inc()
+}
+
+// cacheKey derives the content-addressed key for computing D(G) of g
+// over in: the canonical graph description plus each node's base
+// relation name and content fingerprint. ok is false when caching is
+// off or the graph reads a relation the instance does not have (the
+// computation will fail anyway).
+func cacheKey(g *graph.QueryGraph, in *relation.Instance) (string, bool) {
+	if CacheCapacity() <= 0 {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(canonGraph(g))
+	b.WriteByte('|')
+	bases := map[string]bool{}
+	for _, name := range g.Nodes() {
+		n, _ := g.Node(name)
+		bases[n.Base] = true
+	}
+	sorted := make([]string, 0, len(bases))
+	for base := range bases {
+		sorted = append(sorted, base)
+	}
+	sort.Strings(sorted)
+	for _, base := range sorted {
+		r := in.Relation(base)
+		if r == nil {
+			return "", false
+		}
+		b.WriteString(base)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(r.Fingerprint(), 16))
+		b.WriteByte(';')
+	}
+	return b.String(), true
+}
+
+// canonGraph renders a query graph deterministically: sorted
+// name=base node pairs and sorted normalized edges with labels.
+func canonGraph(g *graph.QueryGraph) string {
+	nodes := g.Nodes()
+	sort.Strings(nodes)
+	var b strings.Builder
+	for _, name := range nodes {
+		n, _ := g.Node(name)
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(n.Base)
+		b.WriteByte(',')
+	}
+	edges := make([]string, 0, len(g.Edges()))
+	for _, e := range g.Edges() {
+		a, z := e.A, e.B
+		if a > z {
+			a, z = z, a
+		}
+		edges = append(edges, a+"--"+z+"["+e.Label()+"]")
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// cacheLookup returns the memoized D(G) for key, if present, as a
+// defensive clone (callers may rename or re-sort their copy).
+func cacheLookup(key string) (*relation.Relation, bool) {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	el, ok := theCache.entries[key]
+	if !ok {
+		cCacheMisses.Inc()
+		return nil, false
+	}
+	theCache.lru.MoveToFront(el)
+	cCacheHits.Inc()
+	return el.Value.(*cacheEntry).d.Clone(), true
+}
+
+// cacheStore memoizes d under key, evicting the least recently used
+// entry beyond capacity.
+func cacheStore(key string, d *relation.Relation) {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	if theCache.cap <= 0 {
+		return
+	}
+	if el, ok := theCache.entries[key]; ok {
+		el.Value.(*cacheEntry).d = d.Clone()
+		theCache.lru.MoveToFront(el)
+		return
+	}
+	theCache.entries[key] = theCache.lru.PushFront(&cacheEntry{key: key, d: d.Clone()})
+	for theCache.lru.Len() > theCache.cap {
+		theCache.evictOldestLocked()
+	}
+	gCacheEntries.Set(int64(theCache.lru.Len()))
+}

@@ -1,0 +1,184 @@
+package fd
+
+import (
+	"context"
+	"testing"
+
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/obs"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// cacheCase builds a two-relation tree case whose instance can be
+// mutated between Compute calls.
+func cacheCase(t *testing.T) (*graph.QueryGraph, *relation.Instance) {
+	t.Helper()
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("A",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindString}))
+	sch.MustAddRelation(schema.NewRelation("B",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "y", Type: value.KindString}))
+	in := relation.NewInstance(sch)
+	a := in.NewRelationFor("A")
+	a.AddRow("1", "a1")
+	a.AddRow("2", "a2")
+	in.MustAdd(a)
+	b := in.NewRelationFor("B")
+	b.AddRow("1", "b1")
+	b.AddRow("3", "b3")
+	in.MustAdd(b)
+	g := graph.New()
+	g.MustAddNode("A", "A")
+	g.MustAddNode("B", "B")
+	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
+	return g, in
+}
+
+func withCache(t *testing.T, capacity int) {
+	t.Helper()
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	prev := SetCacheCapacity(capacity)
+	InvalidateCache()
+	t.Cleanup(func() {
+		SetCacheCapacity(prev)
+		InvalidateCache()
+		obs.SetEnabled(wasEnabled)
+	})
+}
+
+// A repeated Compute on an unchanged (graph, instance) pair must be
+// served from the cache: fd.compute.calls does not increase, and the
+// result is identical. Mutating the instance invalidates the entry.
+func TestComputeCacheHitAndInvalidation(t *testing.T) {
+	withCache(t, 8)
+	g, in := cacheCase(t)
+	calls := cComputeCalls.Value()
+	hits := cCacheHits.Value()
+
+	d1, err := Compute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cComputeCalls.Value(); got != calls+1 {
+		t.Fatalf("first Compute: calls = %d, want %d", got, calls+1)
+	}
+
+	d2, err := Compute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cComputeCalls.Value(); got != calls+1 {
+		t.Errorf("second Compute recomputed: calls = %d, want %d", got, calls+1)
+	}
+	if got := cCacheHits.Value(); got != hits+1 {
+		t.Errorf("cache hits = %d, want %d", got, hits+1)
+	}
+	if !d1.EqualSet(d2) {
+		t.Errorf("cached result differs:\n%v\nvs\n%v", d1, d2)
+	}
+
+	// Mutating a source relation changes its fingerprint: recompute.
+	in.Relation("B").AddRow("2", "b2")
+	d3, err := Compute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cComputeCalls.Value(); got != calls+2 {
+		t.Errorf("post-mutation Compute did not recompute: calls = %d, want %d", got, calls+2)
+	}
+	if d3.EqualSet(d1) {
+		t.Errorf("post-mutation D(G) unchanged; mutation not observed")
+	}
+}
+
+// Cached results are returned as clones: callers mutating their copy
+// must not poison later hits.
+func TestComputeCacheReturnsClones(t *testing.T) {
+	withCache(t, 8)
+	g, in := cacheCase(t)
+	d1, err := Compute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Add(relation.AllNull(d1.Scheme())) // caller-side mutation
+	d2, err := Compute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d1.Len()-1 {
+		t.Errorf("cache entry shares storage with caller copy: len %d vs %d", d2.Len(), d1.Len())
+	}
+}
+
+// The cache evicts least-recently-used entries beyond capacity and
+// can be invalidated explicitly.
+func TestCacheLRUEvictionAndInvalidate(t *testing.T) {
+	withCache(t, 2)
+	g, in := cacheCase(t)
+	evicted := cCacheEvictions.Value()
+
+	if _, err := Compute(context.Background(), g, in); err != nil {
+		t.Fatal(err)
+	}
+	// Two more distinct keys via instance mutations.
+	in.Relation("A").AddRow("7", "a7")
+	if _, err := Compute(context.Background(), g, in); err != nil {
+		t.Fatal(err)
+	}
+	in.Relation("A").AddRow("8", "a8")
+	if _, err := Compute(context.Background(), g, in); err != nil {
+		t.Fatal(err)
+	}
+	if n := CacheLen(); n != 2 {
+		t.Errorf("cache len = %d, want capacity 2", n)
+	}
+	if got := cCacheEvictions.Value(); got != evicted+1 {
+		t.Errorf("evictions = %d, want %d", got, evicted+1)
+	}
+	InvalidateCache()
+	if n := CacheLen(); n != 0 {
+		t.Errorf("cache len after invalidate = %d, want 0", n)
+	}
+}
+
+// With capacity zero (the default) Compute never consults the cache.
+func TestCacheDisabledByDefault(t *testing.T) {
+	withCache(t, 0)
+	g, in := cacheCase(t)
+	calls := cComputeCalls.Value()
+	for i := 0; i < 3; i++ {
+		if _, err := Compute(context.Background(), g, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cComputeCalls.Value(); got != calls+3 {
+		t.Errorf("calls = %d, want %d (cache must be off)", got, calls+3)
+	}
+	if n := CacheLen(); n != 0 {
+		t.Errorf("cache len = %d, want 0", n)
+	}
+}
+
+// Content addressing: two distinct instance objects with identical
+// content share cache entries.
+func TestCacheContentAddressed(t *testing.T) {
+	withCache(t, 8)
+	g1, in1 := cacheCase(t)
+	_, in2 := cacheCase(t)
+	calls := cComputeCalls.Value()
+	if _, err := Compute(context.Background(), g1, in1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(context.Background(), g1, in2); err != nil {
+		t.Fatal(err)
+	}
+	if got := cComputeCalls.Value(); got != calls+1 {
+		t.Errorf("identical content recomputed: calls = %d, want %d", got, calls+1)
+	}
+}

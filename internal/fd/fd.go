@@ -170,6 +170,7 @@ func edgeKey(e graph.Edge) string {
 // FullDisjunction computes D(G) by enumerating all induced connected
 // subgraphs, computing each F(J) with hash joins, padding, and taking
 // one minimum union (Definition 3.11). Exact for any connected graph.
+// It honors context cancellation between subgraphs.
 func FullDisjunction(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	if g.NodeCount() == 0 {
 		return nil, fmt.Errorf("fd: empty query graph")
@@ -177,17 +178,27 @@ func FullDisjunction(ctx context.Context, g *graph.QueryGraph, in *relation.Inst
 	if !g.Connected() {
 		return nil, fmt.Errorf("fd: query graph is not connected")
 	}
+	return fullDisjunctionSubsets(ctx, g, in, g.ConnectedSubsets())
+}
+
+// fullDisjunctionSubsets is the sequential subgraph algorithm over a
+// precomputed subset enumeration (shared with Compute, which
+// enumerates once to choose between the sequential and parallel
+// variants).
+func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subsets [][]string) (*relation.Relation, error) {
 	ctx, span := obs.StartSpan(ctx, "fd.full_disjunction")
 	defer span.End()
 	s, err := Scheme(g, in)
 	if err != nil {
 		return nil, err
 	}
-	subsets := g.ConnectedSubsets()
 	span.SetInt("subsets", int64(len(subsets)))
 	cSubsets.Add(int64(len(subsets)))
 	padded := relation.New("D(G)", s)
 	for _, sub := range subsets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f, err := FullAssociations(ctx, g, in, sub)
 		if err != nil {
 			return nil, err
@@ -222,6 +233,9 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 	}
 	padded := relation.New("D(G)", s)
 	for _, sub := range g.ConnectedSubsets() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		j := g.Induced(sub)
 		// Cross product of the subset's relations.
 		var acc *relation.Relation
@@ -282,6 +296,9 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 		return nil, err
 	}
 	for i := 1; i < len(order); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n, _ := g.Node(order[i])
 		r, err := in.Aliased(n.Base, n.Name)
 		if err != nil {
@@ -304,9 +321,43 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 	return out, nil
 }
 
+// ParallelSubsetThreshold is the connected-subset count above which
+// Compute routes a cyclic query graph to FullDisjunctionParallel
+// rather than the sequential subgraph algorithm. Below it the
+// goroutine fan-out costs more than the per-subgraph joins save.
+const ParallelSubsetThreshold = 8
+
 // Compute computes D(G) with the best applicable algorithm: the
-// outer-join sequence for trees, subgraph enumeration otherwise.
+// outer-join sequence for trees, subgraph enumeration otherwise —
+// parallel across CPUs when the cyclic graph has enough connected
+// subsets to amortize the fan-out. Results are memoized in the D(G)
+// cache when one is configured (see SetCacheCapacity); a cache hit
+// does not count as an fd.compute.calls computation.
 func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	key, cacheable := cacheKey(g, in)
+	if cacheable {
+		if d, ok := cacheLookup(key); ok {
+			return d, nil
+		}
+	}
+	d, err := computeUncached(ctx, g, in)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		cacheStore(key, d)
+	}
+	return d, nil
+}
+
+// computeUncached is Compute without the memo cache.
+func computeUncached(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	// Refuse to start work on a dead context: small graphs (a single
+	// node, say) would otherwise finish without ever reaching one of
+	// the per-subset cancellation checks.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ctx, span := obs.StartSpan(ctx, "fd.compute")
 	defer span.End()
 	span.SetInt("nodes", int64(g.NodeCount()))
@@ -317,8 +368,13 @@ func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*
 		span.SetStr("algo", "outer_join")
 		return FullDisjunctionOuterJoin(ctx, g, in)
 	}
+	subsets := g.ConnectedSubsets()
+	if len(subsets) >= ParallelSubsetThreshold {
+		span.SetStr("algo", "subgraph_parallel")
+		return fullDisjunctionParallelSubsets(ctx, g, in, subsets)
+	}
 	span.SetStr("algo", "subgraph")
-	return FullDisjunction(ctx, g, in)
+	return fullDisjunctionSubsets(ctx, g, in, subsets)
 }
 
 // Partition groups D(G)'s tuples by coverage, keyed by the sorted

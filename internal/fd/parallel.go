@@ -24,7 +24,9 @@ var (
 // the induced connected subgraphs concurrently across CPUs. The
 // per-subgraph joins are independent; only the final minimum union is
 // sequential. Worthwhile for cyclic graphs (where the subgraph
-// algorithm is the only exact option) with many categories.
+// algorithm is the only exact option) with many categories; Compute
+// routes to it automatically above ParallelSubsetThreshold subsets.
+// Cancellation is honored between subgraphs and returns ctx.Err().
 func FullDisjunctionParallel(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	if g.NodeCount() == 0 {
 		return nil, fmt.Errorf("fd: empty query graph")
@@ -32,13 +34,18 @@ func FullDisjunctionParallel(ctx context.Context, g *graph.QueryGraph, in *relat
 	if !g.Connected() {
 		return nil, fmt.Errorf("fd: query graph is not connected")
 	}
+	return fullDisjunctionParallelSubsets(ctx, g, in, g.ConnectedSubsets())
+}
+
+// fullDisjunctionParallelSubsets is the parallel subgraph algorithm
+// over a precomputed subset enumeration.
+func fullDisjunctionParallelSubsets(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subsets [][]string) (*relation.Relation, error) {
 	ctx, span := obs.StartSpan(ctx, "fd.parallel")
 	defer span.End()
 	s, err := Scheme(g, in)
 	if err != nil {
 		return nil, err
 	}
-	subsets := g.ConnectedSubsets()
 	results := make([]*relation.Relation, len(subsets))
 	errs := make([]error, len(subsets))
 
@@ -60,6 +67,12 @@ func FullDisjunctionParallel(ctx context.Context, g *graph.QueryGraph, in *relat
 		go func(w int) {
 			defer wg.Done()
 			for i := range next {
+				// Keep draining after cancellation so the feeder never
+				// blocks, but skip the per-subgraph work.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				results[i], errs[i] = FullAssociations(ctx, g, in, subsets[i])
 				perWorker[w].Add(1)
 			}

@@ -1,0 +1,208 @@
+package fd
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/obs"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// randomCyclicCase builds a random connected cyclic query graph over k
+// relations with random data: a random tree plus 1..2 extra edges.
+func randomCyclicCase(rng *rand.Rand, k, rows int) (*graph.QueryGraph, *relation.Instance) {
+	g, in := randomTreeCase(rng, k, rows)
+	// Add extra edges until the graph is cyclic; for k ≥ 3 a tree
+	// always has a missing pair, so this terminates.
+	names := g.Nodes()
+	extra := 1 + rng.Intn(2)
+	for added := 0; added < extra; {
+		a := names[rng.Intn(len(names))]
+		b := names[rng.Intn(len(names))]
+		if a == b {
+			continue
+		}
+		if _, dup := g.EdgeBetween(a, b); dup {
+			if g.IsTree() {
+				continue // keep looking for a cycle-closing edge
+			}
+			break // already cyclic; saturated pair ends the loop
+		}
+		g.MustAddEdge(a, b, expr.Equals(a+".k", b+".k"))
+		added++
+	}
+	return g, in
+}
+
+// Differential property: the parallel subgraph algorithm computes the
+// same D(G) set as the sequential one (and the naive reference) on
+// randomized cyclic graphs and instances. Run under -race this also
+// exercises the worker pool for data races.
+func TestParallelEqualsSequentialRandomizedCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 30; trial++ {
+		k := 3 + rng.Intn(2) // 3..4 relations
+		rows := 1 + rng.Intn(4)
+		g, in := randomCyclicCase(rng, k, rows)
+		if g.IsTree() {
+			t.Fatalf("trial %d: generator produced a tree", trial)
+		}
+		seq, err := FullDisjunction(context.Background(), g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := FullDisjunctionParallel(context.Background(), g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.EqualSet(par) {
+			t.Fatalf("trial %d: parallel vs sequential mismatch on\n%v\nseq:\n%v\npar:\n%v",
+				trial, g, seq.Sorted(), par.Sorted())
+		}
+		naive, err := FullDisjunctionNaive(context.Background(), g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.EqualSet(naive) {
+			t.Fatalf("trial %d: sequential vs naive mismatch", trial)
+		}
+	}
+}
+
+// Compute must route cyclic graphs with many connected subsets to the
+// parallel variant and record the choice in the algo span attribute.
+func TestComputeRoutesCyclicToParallel(t *testing.T) {
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	col := &obs.CollectExporter{}
+	obs.SetExporter(col)
+	defer func() {
+		obs.SetExporter(nil)
+		obs.SetEnabled(wasEnabled)
+	}()
+
+	algoOf := func(g *graph.QueryGraph, in *relation.Instance) string {
+		col.Reset()
+		if _, err := Compute(context.Background(), g, in); err != nil {
+			t.Fatal(err)
+		}
+		for _, root := range col.Roots() {
+			if root.Name == "fd.compute" {
+				if a, ok := obs.AttrMap(root)["algo"]; ok {
+					return a.(string)
+				}
+			}
+		}
+		t.Fatal("no fd.compute span with algo attribute exported")
+		return ""
+	}
+
+	// A 4-cycle has 13 connected subsets ≥ ParallelSubsetThreshold.
+	rng := rand.New(rand.NewSource(7))
+	g, in := randomTreeCase(rng, 4, 2)
+	names := g.Nodes()
+	// Close a cycle through all four nodes if the tree edge is absent.
+	for i := range names {
+		a, b := names[i], names[(i+1)%len(names)]
+		if _, ok := g.EdgeBetween(a, b); !ok {
+			g.MustAddEdge(a, b, expr.Equals(a+".k", b+".k"))
+		}
+	}
+	if g.IsTree() {
+		t.Fatal("test graph is unexpectedly a tree")
+	}
+	if n := len(g.ConnectedSubsets()); n < ParallelSubsetThreshold {
+		t.Fatalf("test graph has only %d subsets, below threshold %d", n, ParallelSubsetThreshold)
+	}
+	if algo := algoOf(g, in); algo != "subgraph_parallel" {
+		t.Errorf("large cyclic graph routed to %q, want subgraph_parallel", algo)
+	}
+
+	// A triangle has 7 connected subsets, below the threshold of 8:
+	// stays sequential.
+	tri, triIn := smallTriangle()
+	if n := len(tri.ConnectedSubsets()); n >= ParallelSubsetThreshold {
+		t.Fatalf("triangle has %d subsets, expected below threshold", n)
+	}
+	if algo := algoOf(tri, triIn); algo != "subgraph" {
+		t.Errorf("small cyclic graph routed to %q, want subgraph", algo)
+	}
+
+	// Trees keep the outer-join fast path.
+	tg, tin := randomTreeCase(rng, 3, 2)
+	if algo := algoOf(tg, tin); algo != "outer_join" {
+		t.Errorf("tree routed to %q, want outer_join", algo)
+	}
+}
+
+// smallTriangle builds a 3-node cyclic graph over tiny relations.
+func smallTriangle() (*graph.QueryGraph, *relation.Instance) {
+	sch := schema.NewDatabase()
+	for _, n := range []string{"A", "B", "C"} {
+		sch.MustAddRelation(schema.NewRelation(n,
+			schema.Attribute{Name: "k", Type: value.KindInt}))
+	}
+	in := relation.NewInstance(sch)
+	for i, n := range []string{"A", "B", "C"} {
+		r := in.NewRelationFor(n)
+		r.AddValues(value.Int(int64(i % 2)))
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	g.MustAddNode("A", "A")
+	g.MustAddNode("B", "B")
+	g.MustAddNode("C", "C")
+	g.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
+	g.MustAddEdge("B", "C", expr.Equals("B.k", "C.k"))
+	g.MustAddEdge("A", "C", expr.Equals("A.k", "C.k"))
+	return g, in
+}
+
+// All D(G) algorithms must notice a cancelled context and return its
+// error instead of burning CPU to completion.
+func TestCancellationStopsAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g, in := randomCyclicCase(rng, 4, 3)
+	tg, tin := randomTreeCase(rng, 4, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"FullDisjunction", func() error { _, err := FullDisjunction(ctx, g, in); return err }},
+		{"FullDisjunctionParallel", func() error { _, err := FullDisjunctionParallel(ctx, g, in); return err }},
+		{"FullDisjunctionNaive", func() error { _, err := FullDisjunctionNaive(ctx, g, in); return err }},
+		{"FullDisjunctionOuterJoin", func() error { _, err := FullDisjunctionOuterJoin(ctx, tg, tin); return err }},
+		{"Compute", func() error { _, err := Compute(ctx, g, in); return err }},
+	}
+	for _, c := range cases {
+		if err := c.run(); err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", c.name, err)
+		}
+	}
+}
+
+// Cancelling mid-flight must abort the parallel run; exercised with a
+// deadline that expires while subgraphs are still being joined.
+func TestParallelCancellationMidFlight(t *testing.T) {
+	// Large-ish cyclic case so the run does not finish instantly.
+	rng := rand.New(rand.NewSource(77))
+	g, in := randomCyclicCase(rng, 5, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := FullDisjunctionParallel(ctx, g, in)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && err != context.Canceled {
+		t.Errorf("err = %v, want nil or context.Canceled", err)
+	}
+}

@@ -109,6 +109,17 @@ func (in *Instance) TotalTuples() int {
 	return n
 }
 
+// Version returns the sum of all relation mutation counters. Any
+// mutation of any relation in the instance changes it, so callers can
+// cheaply detect "the instance changed since I last looked".
+func (in *Instance) Version() uint64 {
+	var v uint64
+	for _, r := range in.rels {
+		v += r.Version()
+	}
+	return v
+}
+
 // Sample returns a deterministic pseudo-random sample of at most n
 // tuples from r (reservoir sampling with a fixed linear-congruential
 // stream). Sampling keeps illustrations responsive on large sources —

@@ -15,6 +15,9 @@ type Relation struct {
 	Name   string
 	scheme *Scheme
 	tuples []Tuple
+	// version counts mutations (every Add bumps it), so caches keyed
+	// on relation state can detect staleness without rehashing content.
+	version uint64
 }
 
 // New creates an empty relation over the scheme.
@@ -51,6 +54,39 @@ func (r *Relation) Add(t Tuple) {
 		panic(fmt.Sprintf("relation: adding tuple with scheme %v to relation %s%v", t.scheme, r.Name, r.scheme))
 	}
 	r.tuples = append(r.tuples, t)
+	r.version++
+}
+
+// Version returns the relation's mutation counter: it starts at zero
+// and increases on every Add, so equal versions of the same relation
+// object imply identical content.
+func (r *Relation) Version() uint64 { return r.version }
+
+// Fingerprint returns a 64-bit FNV-1a content hash over the scheme
+// and every tuple, in order. Relations with identical schemes and
+// tuple sequences share a fingerprint, whatever their name or object
+// identity — the basis for content-addressed D(G) caching.
+func (r *Relation) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	for _, n := range r.scheme.Names() {
+		mix(n)
+	}
+	for _, t := range r.tuples {
+		mix(t.Key())
+	}
+	return h
 }
 
 // AddValues appends a tuple built from positional values.
@@ -142,6 +178,7 @@ func (r *Relation) Rename(name string, rename map[string]string) *Relation {
 func (r *Relation) Clone() *Relation {
 	out := New(r.Name, r.scheme)
 	out.tuples = append([]Tuple(nil), r.tuples...)
+	out.version = r.version
 	return out
 }
 

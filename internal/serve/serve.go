@@ -1,0 +1,307 @@
+// Package serve exposes the mapping tool as a long-lived HTTP/JSON
+// service: clients create sessions (one Clio tool each, Section 2's
+// interactive loop), then drive correspondences, walks, chases,
+// filters, illustrations, and the WYSIWYG target view over them.
+// Sessions are independent and may be used concurrently; operations
+// within one session serialize on a per-session lock. The server
+// applies a bounded-concurrency admission gate (429 when saturated),
+// per-request timeouts whose cancellation reaches fd.Compute, and
+// graceful shutdown that drains in-flight requests.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"clio/internal/fd"
+	"clio/internal/obs"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/workspace"
+)
+
+// Service instrumentation.
+var (
+	cRequests  = obs.GetCounter("serve.requests")
+	cErrors    = obs.GetCounter("serve.request_errors")
+	cThrottled = obs.GetCounter("serve.throttled")
+	gInFlight  = obs.GetGauge("serve.in_flight")
+	gSessions  = obs.GetGauge("serve.sessions")
+	hRequestNS = obs.GetHistogram("serve.request.ns")
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the listen address (host:port; ":0" picks a free port).
+	Addr string
+	// RequestTimeout bounds each request; its cancellation propagates
+	// through the operator into fd.Compute. Default 30s.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently admitted requests; beyond it the
+	// server answers 429 immediately. Default 32.
+	MaxInFlight int
+	// CacheCapacity sizes the D(G) memo cache (entries). Zero keeps
+	// the package default; negative disables caching.
+	CacheCapacity int
+	// MineINDs enables inclusion-dependency mining when sessions build
+	// their join knowledge.
+	MineINDs bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 32
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 64
+	}
+	return c
+}
+
+// Session is one tool instance owned by the server. Its lock
+// serializes operations within the session; distinct sessions run
+// concurrently.
+type Session struct {
+	ID string
+
+	mu     sync.Mutex
+	in     *relation.Instance
+	target *schema.Relation
+	tool   *workspace.Tool
+}
+
+// Server is the HTTP front end.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	gate    chan struct{}
+	httpSrv *http.Server
+	ln      net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+	serveErr chan error
+}
+
+// New builds a server (not yet listening). It sizes the D(G) cache
+// according to cfg.CacheCapacity.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cap := cfg.CacheCapacity
+	if cap < 0 {
+		cap = 0
+	}
+	fd.SetCacheCapacity(cap)
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		gate:     make(chan struct{}, cfg.MaxInFlight),
+		sessions: map[string]*Session{},
+		serveErr: make(chan error, 1),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler (exported for tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on cfg.Addr and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+		close(s.serveErr)
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting connections and drains in-flight requests
+// until ctx expires, then waits for the serve loop to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	if serr := <-s.serveErr; serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+}
+
+// opError classifies a mapping-operator failure: context errors pass
+// through (they become 504/499), anything else is a semantic failure
+// of the requested operation — the server is fine, the operator could
+// not apply — reported as 422.
+func opError(err error) error {
+	if err == nil ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		return err
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return err
+	}
+	return &httpError{http.StatusUnprocessableEntity, err.Error()}
+}
+
+// handlerFunc is a JSON endpoint: it returns the response body (or an
+// error, possibly an *httpError with a status).
+type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
+
+// handle wraps a handler with the service plumbing: admission gate,
+// in-flight gauge, per-request timeout, a span per endpoint, JSON
+// encoding, and error mapping.
+func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		default:
+			cThrottled.Inc()
+			writeJSON(w, http.StatusTooManyRequests,
+				map[string]string{"error": "server saturated, retry later"})
+			return
+		}
+		gInFlight.Add(1)
+		defer gInFlight.Add(-1)
+		cRequests.Inc()
+		start := time.Now()
+		defer hRequestNS.ObserveSince(start)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		ctx, span := obs.StartSpan(ctx, "serve."+name)
+		defer span.End()
+		span.SetStr("method", r.Method)
+		span.SetStr("path", r.URL.Path)
+
+		resp, err := h(ctx, r.WithContext(ctx))
+		if err != nil {
+			cErrors.Inc()
+			status := http.StatusInternalServerError
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				status = he.status
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
+				status = 499 // client went away
+			}
+			span.SetInt("status", int64(status))
+			span.SetStr("error", err.Error())
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+			return
+		}
+		span.SetInt("status", http.StatusOK)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func decodeJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// newSession registers a fresh session.
+func (s *Server) newSession() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sess := &Session{ID: "s" + strconv.Itoa(s.nextID)}
+	s.sessions[sess.ID] = sess
+	gSessions.Set(int64(len(s.sessions)))
+	return sess
+}
+
+// session resolves a session ID from the request path.
+func (s *Server) session(r *http.Request) (*Session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, notFound("no session %q", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) dropSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	gSessions.Set(int64(len(s.sessions)))
+	return true
+}
+
+func (s *Server) sessionIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -18,6 +18,8 @@ import (
 func (t *Tool) Compare(ctx context.Context, id1, id2, limit int) (string, error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.compare")
 	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	w1, err := t.workspaceByID(id1)
 	if err != nil {
 		return "", err
@@ -50,6 +52,7 @@ func (t *Tool) Compare(ctx context.Context, id1, id2, limit int) (string, error)
 	return b.String(), nil
 }
 
+// workspaceByID requires t.mu held.
 func (t *Tool) workspaceByID(id int) (*Workspace, error) {
 	for _, w := range t.workspaces {
 		if w.ID == id {
@@ -65,7 +68,9 @@ func (t *Tool) workspaceByID(id int) (*Workspace, error) {
 func (t *Tool) CoverageSummary(ctx context.Context) (string, error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.coverage_summary")
 	defer span.End()
-	w := t.Active()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.activeLocked()
 	if w == nil {
 		return "", fmt.Errorf("workspace: no active workspace")
 	}
@@ -94,6 +99,8 @@ func (t *Tool) CoverageSummary(ctx context.Context) (string, error) {
 // accepted mappings and the active mapping — the progress view for
 // mapping an entire target schema (Section 6.2).
 func (t *Tool) TargetStatus() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	coveredBy := map[string][]string{}
 	consider := func(m *core.Mapping) {
 		for _, attr := range m.MappedAttrs() {
@@ -103,7 +110,7 @@ func (t *Tool) TargetStatus() string {
 	for _, m := range t.accepted {
 		consider(m)
 	}
-	if w := t.Active(); w != nil {
+	if w := t.activeLocked(); w != nil {
 		consider(w.Mapping)
 	}
 	var b strings.Builder

@@ -49,6 +49,8 @@ func (r OpRecord) String() string {
 const opLogCap = 256
 
 // logOp appends a record for an operation that started at start.
+// Requires t.mu held: every public operator registers its Lock/Unlock
+// defer before the logOp defer, so logOp runs while still locked.
 func (t *Tool) logOp(op, detail string, start time.Time, err error) {
 	cOps.Inc()
 	hOpNS.ObserveSince(start)
@@ -72,11 +74,15 @@ func (t *Tool) logOp(op, detail string, start time.Time, err error) {
 
 // OpLog returns a copy of the operation log, oldest first.
 func (t *Tool) OpLog() []OpRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return append([]OpRecord(nil), t.opLog...)
 }
 
 // OpLogString renders the whole log, one line per operation.
 func (t *Tool) OpLogString() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	for _, r := range t.opLog {
 		b.WriteString(r.String())

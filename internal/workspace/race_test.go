@@ -1,0 +1,69 @@
+package workspace
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"clio/internal/core"
+	"clio/internal/schema"
+)
+
+// A single Tool must be safe under concurrent use: the serve layer
+// shares one Tool per session across HTTP handlers, and even within a
+// session readers (TargetView, OpLog, status) can overlap mutators.
+// Run under -race this exercises the Tool mutex.
+func TestToolConcurrentAccess(t *testing.T) {
+	tl := newTool(t)
+	if err := tl.Start("kids"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.AddCorrespondence(context.Background(),
+		core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 6 {
+				case 0:
+					// Mutator: correspondence (idempotent target attr).
+					_ = tl.AddCorrespondence(ctx,
+						core.Identity("Children.name", schema.Col("Kids", "name")))
+				case 1:
+					_, _ = tl.TargetView(ctx)
+				case 2:
+					_ = tl.Walk(ctx, "Children", "Schools")
+				case 3:
+					_ = tl.Undo()
+				case 4:
+					_ = tl.OpLogString()
+					_ = tl.TargetStatus()
+					_, _ = tl.CoverageSummary(ctx)
+				case 5:
+					tl.Rotate()
+					_ = tl.Workspaces()
+					_ = tl.Accepted()
+					tl.RankWorkspaces()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The tool must still be coherent: an active workspace exists and
+	// the target view evaluates.
+	if tl.Active() == nil {
+		t.Fatal("no active workspace after concurrent use")
+	}
+	if _, err := tl.TargetView(context.Background()); err != nil {
+		t.Fatalf("TargetView after concurrent use: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"clio/internal/core"
@@ -52,6 +53,11 @@ type Tool struct {
 	// MaxWalkLen bounds walk path enumeration (default 3).
 	MaxWalkLen int
 
+	// mu guards every field below. Public methods lock it, so one
+	// Tool can be shared by concurrent callers (e.g. the serve layer);
+	// unexported *Locked variants exist for internal cross-calls.
+	// Returned workspaces and mappings are read-only snapshots.
+	mu         sync.Mutex
 	workspaces []*Workspace
 	active     int // index into workspaces, -1 when none
 	accepted   []*core.Mapping
@@ -91,6 +97,13 @@ func New(ctx context.Context, in *relation.Instance, target *schema.Relation, mi
 
 // Active returns the active workspace, or nil.
 func (t *Tool) Active() *Workspace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.activeLocked()
+}
+
+// activeLocked is Active for callers already holding t.mu.
+func (t *Tool) activeLocked() *Workspace {
 	if t.active < 0 || t.active >= len(t.workspaces) {
 		return nil
 	}
@@ -99,11 +112,15 @@ func (t *Tool) Active() *Workspace {
 
 // Workspaces returns the current workspaces in rank order.
 func (t *Tool) Workspaces() []*Workspace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return append([]*Workspace(nil), t.workspaces...)
 }
 
 // Accepted returns the confirmed mappings.
 func (t *Tool) Accepted() []*core.Mapping {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return append([]*core.Mapping(nil), t.accepted...)
 }
 
@@ -120,7 +137,7 @@ func (t *Tool) newWorkspace(ctx context.Context, m *core.Mapping, note string, r
 		return nil, err
 	}
 	var il core.Illustration
-	if prev := t.Active(); prev != nil && len(prev.Illustration.Examples) > 0 {
+	if prev := t.activeLocked(); prev != nil && len(prev.Illustration.Examples) > 0 {
 		ev, err := core.EvolveOnDG(ctx, prev.Illustration, m, t.Instance, dg)
 		if err == nil {
 			il = ev.Illustration
@@ -150,7 +167,7 @@ func (t *Tool) dgFor(ctx context.Context, m *core.Mapping) (*relation.Relation, 
 	if m.Graph.NodeCount() == 0 {
 		return relation.New("D(G)", relation.NewScheme()), nil
 	}
-	if prev := t.Active(); prev != nil && prev.dg != nil && prev.Mapping.Graph.NodeCount() > 0 {
+	if prev := t.activeLocked(); prev != nil && prev.dg != nil && prev.Mapping.Graph.NodeCount() > 0 {
 		return fd.ComputeIncremental(ctx, prev.dg, prev.Mapping.Graph, m.Graph, t.Instance)
 	}
 	return fd.Compute(ctx, m.Graph, t.Instance)
@@ -174,6 +191,8 @@ func (t *Tool) pushHistory() {
 // operator (correspondence, walk, chase, filter, confirm). It fails
 // when there is nothing to undo.
 func (t *Tool) Undo() (err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	defer func(start time.Time) { t.logOp("undo", "", start, err) }(time.Now())
 	if len(t.history) == 0 {
 		return fmt.Errorf("workspace: nothing to undo")
@@ -187,7 +206,8 @@ func (t *Tool) Undo() (err error) {
 }
 
 // setAlternatives replaces the current workspaces with the given
-// alternatives (already ranked) and activates the first — the paper's
+// alternatives (already ranked) and activates the first, with t.mu
+// held by the caller — the paper's
 // behaviour after a walk or chase: "new workspaces are created (one of
 // which is chosen as the new active workspace), and the old workspaces
 // are discarded" (but remembered in history for Undo).
@@ -216,6 +236,8 @@ func (t *Tool) setAlternatives(ctx context.Context, ms []*core.Mapping, notes []
 
 // Start opens the first workspace around an empty mapping.
 func (t *Tool) Start(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	defer func(start time.Time) { t.logOp("start", name, start, nil) }(time.Now())
 	m := core.NewMapping(name, t.Target)
 	w := &Workspace{ID: t.nextID, Mapping: m, Note: "empty mapping"}
@@ -227,6 +249,8 @@ func (t *Tool) Start(name string) error {
 
 // Use activates the workspace with the given ID.
 func (t *Tool) Use(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i, w := range t.workspaces {
 		if w.ID == id {
 			t.active = i
@@ -238,6 +262,8 @@ func (t *Tool) Use(id int) error {
 
 // Rotate activates the next workspace (cyclically).
 func (t *Tool) Rotate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.workspaces) > 1 {
 		t.active = (t.active + 1) % len(t.workspaces)
 	}
@@ -246,6 +272,8 @@ func (t *Tool) Rotate() {
 // Delete removes a workspace ("if the user wishes to eliminate an
 // alternative, she can delete the associated workspace").
 func (t *Tool) Delete(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i, w := range t.workspaces {
 		if w.ID != id {
 			continue
@@ -268,8 +296,15 @@ func (t *Tool) Delete(id int) error {
 // the mapping joins the accepted set and all alternative workspaces
 // are deleted, leaving the confirmed one active.
 func (t *Tool) Confirm() (err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.confirmLocked()
+}
+
+// confirmLocked is Confirm for callers already holding t.mu.
+func (t *Tool) confirmLocked() (err error) {
 	defer func(start time.Time) { t.logOp("confirm", "", start, err) }(time.Now())
-	w := t.Active()
+	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: nothing to confirm")
 	}
@@ -285,6 +320,8 @@ func (t *Tool) Confirm() (err error) {
 func (t *Tool) TargetView(ctx context.Context) (*relation.Relation, error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.target_view")
 	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := relation.New(t.Target.Name, relation.SchemeFor(t.Target))
 	add := func(m *core.Mapping) error {
 		if m.Graph.NodeCount() == 0 {
@@ -310,7 +347,7 @@ func (t *Tool) TargetView(ctx context.Context) (*relation.Relation, error) {
 			return nil, err
 		}
 	}
-	if w := t.Active(); w != nil && !seen[w.Mapping.String()] {
+	if w := t.activeLocked(); w != nil && !seen[w.Mapping.String()] {
 		if w.dg != nil && w.Mapping.Graph.NodeCount() > 0 {
 			// Reuse the cached D(G).
 			for _, tp := range w.Mapping.EvaluateOn(w.dg).Tuples() {
@@ -334,8 +371,10 @@ func (t *Tool) TargetView(ctx context.Context) (*relation.Relation, error) {
 func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (err error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.add_correspondence")
 	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	defer func(start time.Time) { t.logOp("correspondence", c.String(), start, err) }(time.Now())
-	w := t.Active()
+	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
@@ -345,7 +384,7 @@ func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (er
 		// Reuse: copy everything except the existing correspondence
 		// for this attribute, then accept the current mapping so the
 		// target keeps its first computation.
-		if err := t.Confirm(); err != nil {
+		if err := t.confirmLocked(); err != nil {
 			return err
 		}
 		base = base.WithoutCorrespondence(c.Target.Attr)
@@ -369,8 +408,10 @@ func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (er
 func (t *Tool) Walk(ctx context.Context, startNode, endBase string) (err error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.walk")
 	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	defer func(start time.Time) { t.logOp("walk", startNode+" -> "+endBase, start, err) }(time.Now())
-	w := t.Active()
+	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
@@ -410,8 +451,10 @@ func (t *Tool) Walk(ctx context.Context, startNode, endBase string) (err error) 
 func (t *Tool) Chase(ctx context.Context, fromCol string, v value.Value) (err error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.chase")
 	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	defer func(start time.Time) { t.logOp("chase", fmt.Sprintf("%s = %v", fromCol, v), start, err) }(time.Now())
-	w := t.Active()
+	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
@@ -446,8 +489,10 @@ func (t *Tool) AddTargetFilter(ctx context.Context, p expr.Expr) error {
 func (t *Tool) replaceActive(ctx context.Context, f func(*core.Mapping) *core.Mapping, note string) (err error) {
 	ctx, span := obs.StartSpan(ctx, "workspace.replace_active")
 	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	defer func(start time.Time) { t.logOp("filter", note, start, err) }(time.Now())
-	w := t.Active()
+	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
 	}
@@ -464,7 +509,9 @@ func (t *Tool) replaceActive(ctx context.Context, f func(*core.Mapping) *core.Ma
 // RankWorkspaces re-sorts workspaces by (Rank, ID), keeping the active
 // pointer on the same workspace.
 func (t *Tool) RankWorkspaces() {
-	act := t.Active()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	act := t.activeLocked()
 	sort.SliceStable(t.workspaces, func(i, j int) bool {
 		if t.workspaces[i].Rank != t.workspaces[j].Rank {
 			return t.workspaces[i].Rank < t.workspaces[j].Rank

@@ -1,0 +1,72 @@
+#!/bin/sh
+# serve_smoke.sh — start clio serve, drive a create/corr/walk/
+# illustrate round-trip with curl, and verify a clean graceful
+# shutdown. Part of the tier-1 gate (make serve-smoke).
+set -eu
+
+BIN=${1:-./clio.smoke}
+ADDR=127.0.0.1:7641
+BASE="http://$ADDR"
+LOG=$(mktemp)
+trap 'kill "$PID" 2>/dev/null; rm -f "$LOG" "$BIN"' EXIT
+
+go build -o "$BIN" ./cmd/clio
+
+"$BIN" serve -addr "$ADDR" -cache 32 >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the server to come up (max ~5s).
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve-smoke: server did not come up" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# Create a session on the paper database.
+OUT=$(curl -sf -X POST "$BASE/api/sessions" \
+    -d '{"source":"paper","name":"kids"}') || fail "session create failed"
+case "$OUT" in *'"id"'*) ;; *) fail "no session id in: $OUT" ;; esac
+SID=$(printf '%s' "$OUT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+
+# Correspondence, then a data walk to PhoneDir.
+curl -sf -X POST "$BASE/api/sessions/$SID/corr" \
+    -d '{"spec":"Children.ID -> Kids.ID"}' >/dev/null || fail "corr failed"
+OUT=$(curl -sf -X POST "$BASE/api/sessions/$SID/walk" \
+    -d '{"from":"Children","to":"PhoneDir"}') || fail "walk failed"
+case "$OUT" in *'"workspaces"'*) ;; *) fail "no workspaces in walk response: $OUT" ;; esac
+
+# The illustration must mention the walked-to relation.
+OUT=$(curl -sf "$BASE/api/sessions/$SID/illustration") || fail "illustration failed"
+case "$OUT" in *PhoneDir*) ;; *) fail "illustration missing PhoneDir: $OUT" ;; esac
+
+# Repeated example recomputation exercises the D(G) cache.
+curl -sf "$BASE/api/sessions/$SID/examples" >/dev/null || fail "examples failed"
+curl -sf "$BASE/api/sessions/$SID/examples" >/dev/null || fail "examples (cached) failed"
+OUT=$(curl -sf "$BASE/api/stats") || fail "stats failed"
+case "$OUT" in *'"cache_entries"'*) ;; *) fail "no cache stats: $OUT" ;; esac
+
+# Graceful shutdown: SIGTERM must drain and exit zero.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        fail "server did not shut down after SIGTERM"
+    fi
+    sleep 0.1
+done
+wait "$PID" || fail "server exited non-zero"
+trap 'rm -f "$LOG" "$BIN"' EXIT
+
+echo "serve-smoke: ok"
