@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench demo serve-smoke
+.PHONY: build test race vet check bench demo serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,20 @@ vet:
 	$(GO) vet ./...
 
 # serve-smoke boots clio serve, drives a create/corr/walk/illustrate
-# round-trip over HTTP, and verifies graceful shutdown.
+# round-trip over HTTP, kills the server with SIGKILL mid-session,
+# verifies the journal replays it on restart, and checks graceful
+# shutdown.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# chaos runs the deterministic fault-injection suite under the race
+# detector with a pinned seed, so any failure replays exactly.
+chaos:
+	CLIO_CHAOS_SEED=1 $(GO) test -race -run 'Chaos|Journal|Budget|Mode|Prob' ./internal/fault ./internal/fd ./internal/workspace ./internal/serve
+
 # check is the tier-1 verification gate: vet, build, tests, race
-# tests, and the serve smoke test.
-check: vet build test race serve-smoke
+# tests, the chaos suite, and the serve smoke test.
+check: vet build test race chaos serve-smoke
 
 bench:
 	$(GO) run ./cmd/cliobench -quick

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"clio/internal/fd"
 	"clio/internal/serve"
 )
 
@@ -23,16 +24,27 @@ func serveMain(args []string) error {
 	cacheCap := fs.Int("cache", 64, "D(G) memo cache capacity in entries (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	mine := fs.Bool("mine", false, "mine inclusion dependencies when sessions start")
+	journalDir := fs.String("journal-dir", "", "crash-safe sessions: journal every session here and replay on boot (empty disables)")
+	journalFsync := fs.Int("journal-fsync", 1, "fsync the journal after every Nth append")
+	journalCompact := fs.Int("journal-compact", 64, "compact a session journal after every Nth op (negative disables)")
+	maxRows := fs.Int64("max-rows", 0, "per-request row budget; exceeding answers 413 (0 = unlimited)")
+	maxBytes := fs.Int64("max-bytes", 0, "per-request approximate byte budget; exceeding answers 413 (0 = unlimited)")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := serve.Config{
-		Addr:           *addr,
-		RequestTimeout: *timeout,
-		MaxInFlight:    *maxInFlight,
-		CacheCapacity:  *cacheCap,
-		MineINDs:       *mine,
+		Addr:                *addr,
+		RequestTimeout:      *timeout,
+		MaxInFlight:         *maxInFlight,
+		CacheCapacity:       *cacheCap,
+		MineINDs:            *mine,
+		JournalDir:          *journalDir,
+		JournalFsyncEvery:   *journalFsync,
+		JournalCompactEvery: *journalCompact,
+		Budget:              fd.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes},
+		RetryAfter:          *retryAfter,
 	}
 	if *cacheCap == 0 {
 		cfg.CacheCapacity = -1 // Config zero means "default"; -1 disables

@@ -1,6 +1,9 @@
 package algebra
 
 import (
+	"context"
+
+	"clio/internal/budget"
 	"clio/internal/expr"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -21,11 +24,31 @@ var (
 )
 
 // JoinRelations joins two materialized relations under the given kind
-// and predicate. When the predicate contains equality conjuncts
-// between one left column and one right column, those conjuncts drive
-// a hash join and only the residual predicate is evaluated per pair;
-// otherwise the join degrades to a nested loop.
+// and predicate, without a resource budget. See JoinRelationsCtx.
 func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relation.Relation {
+	out, err := joinRelations(kind, l, r, on, nil)
+	if err != nil {
+		// Unreachable: only budget charges fail, and the tracker is nil.
+		panic(err)
+	}
+	return out
+}
+
+// JoinRelationsCtx is JoinRelations under the context's resource
+// budget: every output tuple (matches and outer padding alike) is
+// charged against the tracker, so a join that would materialize more
+// than the budget allows stops early with a budget.Error instead of
+// exhausting memory.
+func JoinRelationsCtx(ctx context.Context, kind JoinKind, l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	return joinRelations(kind, l, r, on, budget.FromContext(ctx))
+}
+
+// joinRelations executes the join. When the predicate contains
+// equality conjuncts between one left column and one right column,
+// those conjuncts drive a hash join and only the residual predicate
+// is evaluated per pair; otherwise the join degrades to a nested
+// loop.
+func joinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr, tr *budget.Tracker) (*relation.Relation, error) {
 	s := l.Scheme().Concat(r.Scheme())
 	out := relation.New("", s)
 
@@ -37,6 +60,7 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 	cJoinCalls.Inc()
 	var probes, matches int64
 
+	var budgetErr error
 	emit := func(li, ri int) {
 		t := l.At(li).ConcatTo(s, r.At(ri))
 		if residual != nil && expr.Truth(residual, t) != value.True {
@@ -45,6 +69,10 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 		lMatched[li] = true
 		rMatched[ri] = true
 		matches++
+		if err := tr.Charge(1, t.ApproxBytes()); err != nil {
+			budgetErr = err
+			return
+		}
 		out.Add(t)
 	}
 
@@ -58,7 +86,7 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 			cJoinBuildLeft.Inc()
 			ix := l.BuildIndex(eqL...)
 			rpos := r.Scheme().Positions(eqR...)
-			for ri := range r.Tuples() {
+			for ri := 0; ri < r.Len() && budgetErr == nil; ri++ {
 				probes++
 				for _, li := range ix.ProbeTuple(r.At(ri), rpos) {
 					emit(li, ri)
@@ -68,7 +96,7 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 			cJoinBuildRight.Inc()
 			ix := r.BuildIndex(eqR...)
 			lpos := l.Scheme().Positions(eqL...)
-			for li := range l.Tuples() {
+			for li := 0; li < l.Len() && budgetErr == nil; li++ {
 				probes++
 				for _, ri := range ix.ProbeTuple(l.At(li), lpos) {
 					emit(li, ri)
@@ -77,7 +105,7 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 		}
 	} else {
 		cJoinNested.Inc()
-		for li := range l.Tuples() {
+		for li := 0; li < l.Len() && budgetErr == nil; li++ {
 			for ri := range r.Tuples() {
 				probes++
 				t := l.At(li).ConcatTo(s, r.At(ri))
@@ -85,6 +113,10 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 					lMatched[li] = true
 					rMatched[ri] = true
 					matches++
+					if err := tr.Charge(1, t.ApproxBytes()); err != nil {
+						budgetErr = err
+						break
+					}
 					out.Add(t)
 				}
 			}
@@ -92,13 +124,20 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 	}
 	cJoinProbes.Add(probes)
 	cJoinMatches.Add(matches)
+	if budgetErr != nil {
+		return nil, budgetErr
+	}
 
 	// Outer padding.
 	if kind == LeftJoin || kind == FullJoin {
 		rNull := relation.AllNull(r.Scheme())
 		for li, m := range lMatched {
 			if !m {
-				out.Add(l.At(li).ConcatTo(s, rNull))
+				t := l.At(li).ConcatTo(s, rNull)
+				if err := tr.Charge(1, t.ApproxBytes()); err != nil {
+					return nil, err
+				}
+				out.Add(t)
 			}
 		}
 	}
@@ -106,12 +145,16 @@ func JoinRelations(kind JoinKind, l, r *relation.Relation, on expr.Expr) *relati
 		lNull := relation.AllNull(l.Scheme())
 		for ri, m := range rMatched {
 			if !m {
-				out.Add(lNull.ConcatTo(s, r.At(ri)))
+				t := lNull.ConcatTo(s, r.At(ri))
+				if err := tr.Charge(1, t.ApproxBytes()); err != nil {
+					return nil, err
+				}
+				out.Add(t)
 			}
 		}
 	}
 	cJoinOut.Add(int64(out.Len()))
-	return out
+	return out, nil
 }
 
 // SplitEquiConjuncts decomposes predicate p (viewed as a conjunction)

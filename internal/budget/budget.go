@@ -1,0 +1,139 @@
+// Package budget enforces per-computation resource limits on the
+// mapping engine. D(G) is a full-disjunction instance whose size can
+// blow up combinatorially with the query graph, so a long-lived
+// service must be able to say "this computation may materialize at
+// most N rows / M bytes" and get a typed error back instead of an
+// OOM kill.
+//
+// A Budget travels in a context.Context as a shared *Tracker; every
+// operator that materializes tuples (joins, cross products, padding)
+// charges the tracker as it allocates. The tracker is cumulative over
+// all intermediates of one computation — the quantity that actually
+// bounds resident memory — and safe for concurrent workers.
+//
+// The package exists separately from fd so that algebra (which fd
+// imports) can charge budgets without an import cycle; fd re-exports
+// the user-facing names (fd.Budget, fd.ErrBudgetExceeded).
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Budget caps one computation. Zero fields are unlimited.
+type Budget struct {
+	// MaxRows bounds the total number of tuples materialized during
+	// the computation, intermediates included.
+	MaxRows int64
+	// MaxBytes bounds the approximate bytes of those tuples.
+	MaxBytes int64
+}
+
+// Unlimited reports whether the budget imposes no limit.
+func (b Budget) Unlimited() bool { return b.MaxRows <= 0 && b.MaxBytes <= 0 }
+
+// ErrExceeded is the sentinel matched by errors.Is for any budget
+// violation.
+var ErrExceeded = errors.New("budget exceeded")
+
+// Error reports which limit a computation exceeded. It matches
+// ErrExceeded under errors.Is.
+type Error struct {
+	// Limit names the exceeded dimension: "rows" or "bytes".
+	Limit string
+	// Max is the configured cap, Got the amount reached.
+	Max, Got int64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("budget exceeded: %s limit %d reached %d", e.Limit, e.Max, e.Got)
+}
+
+// Is matches the ErrExceeded sentinel.
+func (e *Error) Is(target error) bool { return target == ErrExceeded }
+
+// Tracker accumulates charges against a budget. A nil tracker accepts
+// every charge, so call sites charge unconditionally.
+type Tracker struct {
+	b     Budget
+	rows  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewTracker creates a tracker for the budget. An unlimited budget
+// yields a nil tracker (every charge is free).
+func NewTracker(b Budget) *Tracker {
+	if b.Unlimited() {
+		return nil
+	}
+	return &Tracker{b: b}
+}
+
+// Charge reserves rows/bytes for newly materialized tuples and
+// returns a *Error if either limit would be exceeded. A failed charge
+// is rolled back — callers drop the tuple on error, so the counters
+// track resources actually retained, which keeps Rows()/Bytes()
+// within the caps even under concurrent workers racing past the
+// limit. Safe for concurrent use.
+func (t *Tracker) Charge(rows, bytes int64) error {
+	if t == nil {
+		return nil
+	}
+	r := t.rows.Add(rows)
+	by := t.bytes.Add(bytes)
+	if t.b.MaxRows > 0 && r > t.b.MaxRows {
+		t.rows.Add(-rows)
+		t.bytes.Add(-bytes)
+		return &Error{Limit: "rows", Max: t.b.MaxRows, Got: r}
+	}
+	if t.b.MaxBytes > 0 && by > t.b.MaxBytes {
+		t.rows.Add(-rows)
+		t.bytes.Add(-bytes)
+		return &Error{Limit: "bytes", Max: t.b.MaxBytes, Got: by}
+	}
+	return nil
+}
+
+// Rows returns the total rows charged so far.
+func (t *Tracker) Rows() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.rows.Load()
+}
+
+// Bytes returns the total approximate bytes charged so far.
+func (t *Tracker) Bytes() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytes.Load()
+}
+
+// Limits returns the tracked budget (zero for a nil tracker).
+func (t *Tracker) Limits() Budget {
+	if t == nil {
+		return Budget{}
+	}
+	return t.b
+}
+
+type ctxKey struct{}
+
+// With attaches a tracker to the context. Operators below retrieve it
+// with FromContext and charge their materializations against it.
+func With(ctx context.Context, t *Tracker) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's tracker, or nil (unlimited).
+func FromContext(ctx context.Context) *Tracker {
+	t, _ := ctx.Value(ctxKey{}).(*Tracker)
+	return t
+}

@@ -1,0 +1,93 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilTrackerIsUnlimited(t *testing.T) {
+	var tr *Tracker
+	if err := tr.Charge(1<<40, 1<<50); err != nil {
+		t.Fatalf("nil tracker charged: %v", err)
+	}
+	if NewTracker(Budget{}) != nil {
+		t.Error("unlimited budget should yield a nil tracker")
+	}
+}
+
+func TestRowLimit(t *testing.T) {
+	tr := NewTracker(Budget{MaxRows: 10})
+	for i := 0; i < 10; i++ {
+		if err := tr.Charge(1, 0); err != nil {
+			t.Fatalf("charge %d within budget failed: %v", i, err)
+		}
+	}
+	err := tr.Charge(1, 0)
+	if err == nil {
+		t.Fatal("11th row did not exceed MaxRows=10")
+	}
+	var be *Error
+	if !errors.As(err, &be) || be.Limit != "rows" || be.Max != 10 {
+		t.Fatalf("wrong error detail: %#v", err)
+	}
+	if !errors.Is(err, ErrExceeded) {
+		t.Error("budget error does not match ErrExceeded")
+	}
+}
+
+func TestByteLimit(t *testing.T) {
+	tr := NewTracker(Budget{MaxBytes: 100})
+	if err := tr.Charge(1, 60); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Charge(1, 60)
+	var be *Error
+	if !errors.As(err, &be) || be.Limit != "bytes" {
+		t.Fatalf("want bytes violation, got %v", err)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context has a tracker")
+	}
+	tr := NewTracker(Budget{MaxRows: 5})
+	ctx = With(ctx, tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("tracker did not round-trip through context")
+	}
+}
+
+// Concurrent charges must be race-free and the limit must trip within
+// one charge of the cap regardless of interleaving.
+func TestConcurrentCharges(t *testing.T) {
+	const workers, per = 8, 1000
+	tr := NewTracker(Budget{MaxRows: workers * per / 2})
+	var wg sync.WaitGroup
+	var tripped sync.Once
+	errc := make(chan error, 1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := tr.Charge(1, 8); err != nil {
+					tripped.Do(func() { errc <- err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrExceeded) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	default:
+		t.Fatal("no worker hit the shared budget")
+	}
+}

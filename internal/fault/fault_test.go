@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledPointsAreNoOps(t *testing.T) {
+	Disable()
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disabled Inject returned %v", err)
+	}
+}
+
+func TestErrorModeSchedule(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	Set("p", Spec{Mode: ModeError, After: 2, Times: 2})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Inject("p") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (schedule %v)", i, got[i], want[i], got)
+		}
+	}
+	if Fired("p") != 2 {
+		t.Errorf("Fired = %d, want 2", Fired("p"))
+	}
+	if err := func() error { Set("q", Spec{Mode: ModeError}); return Inject("q") }(); !errors.Is(err, ErrInjected) {
+		t.Errorf("default error is not ErrInjected: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	boom := errors.New("boom")
+	Set("p", Spec{Mode: ModeError, Err: boom})
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	Set("p", Spec{Mode: ModePanic, Times: 1})
+	func() {
+		defer func() {
+			rec := recover()
+			p, ok := rec.(*Panic)
+			if !ok || p.Point != "p" {
+				t.Errorf("recovered %v, want *Panic{p}", rec)
+			}
+		}()
+		_ = Inject("p")
+		t.Error("Inject did not panic")
+	}()
+	// Times: 1 exhausted: second hit is a no-op.
+	if err := Inject("p"); err != nil {
+		t.Errorf("exhausted point returned %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	Set("p", Spec{Mode: ModeDelay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("delay returned %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("delay did not sleep")
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	run := func() []bool {
+		Enable(42)
+		defer Disable()
+		Set("p", Spec{Mode: ModeError, Prob: 0.5})
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Inject("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package fd
+
+import (
+	"context"
+	"fmt"
+
+	"clio/internal/budget"
+)
+
+// Budget caps the resources one D(G) computation may consume; it is
+// threaded through a context with WithBudget and checked by all four
+// full-disjunction algorithms and the underlying join operators. The
+// limits are cumulative over every tuple the computation
+// materializes (intermediates included), which is the quantity that
+// actually bounds resident memory: D(G) is a full-disjunction
+// instance whose size can blow up combinatorially (Definition 3.14),
+// so a bounded service degrades gracefully with ErrBudgetExceeded
+// instead of an OOM kill.
+type Budget = budget.Budget
+
+// BudgetError carries which limit ("rows" or "bytes") a computation
+// exceeded; it matches ErrBudgetExceeded under errors.Is.
+type BudgetError = budget.Error
+
+// ErrBudgetExceeded is the sentinel for any budget violation.
+var ErrBudgetExceeded = budget.ErrExceeded
+
+// WithBudget returns a context that enforces b on every D(G)
+// computation (and join) run under it. A zero budget is unlimited
+// and returns ctx unchanged. Each call creates a fresh tracker:
+// attach one budget per logical computation (e.g. per request).
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return budget.With(ctx, budget.NewTracker(b))
+}
+
+// BudgetUsed reports the rows and bytes charged against the
+// context's budget so far (zero without a budget).
+func BudgetUsed(ctx context.Context) (rows, bytes int64) {
+	tr := budget.FromContext(ctx)
+	return tr.Rows(), tr.Bytes()
+}
+
+// PanicError reports a panic recovered inside an fd computation — a
+// parallel worker that died is converted into this failure instead
+// of a hang or a process crash. Serving layers map it to an internal
+// error (HTTP 500), not a semantic operator failure.
+type PanicError struct {
+	// Where locates the recovered panic (e.g. "parallel worker").
+	Where string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fd: panic recovered in %s: %v", e.Where, e.Value)
+}

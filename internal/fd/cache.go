@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -159,8 +160,14 @@ func canonGraph(g *graph.QueryGraph) string {
 }
 
 // cacheLookup returns the memoized D(G) for key, if present, as a
-// defensive clone (callers may rename or re-sort their copy).
+// defensive clone (callers may rename or re-sort their copy). An
+// injected fault at "fd.cache.lookup" degrades the hit to a miss —
+// the cache is an optimization, never a correctness dependency.
 func cacheLookup(key string) (*relation.Relation, bool) {
+	if err := fault.Inject("fd.cache.lookup"); err != nil {
+		cCacheMisses.Inc()
+		return nil, false
+	}
 	theCache.mu.Lock()
 	defer theCache.mu.Unlock()
 	el, ok := theCache.entries[key]
@@ -174,8 +181,12 @@ func cacheLookup(key string) (*relation.Relation, bool) {
 }
 
 // cacheStore memoizes d under key, evicting the least recently used
-// entry beyond capacity.
+// entry beyond capacity. An injected fault at "fd.cache.store" skips
+// the store (the result is still returned to the caller).
 func cacheStore(key string, d *relation.Relation) {
+	if err := fault.Inject("fd.cache.store"); err != nil {
+		return
+	}
 	theCache.mu.Lock()
 	defer theCache.mu.Unlock()
 	if theCache.cap <= 0 {

@@ -1,0 +1,91 @@
+package fd
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// singleNodeCase builds a one-node graph over its own instance; D(G)
+// is then the base relation itself, so every row is visible in the
+// result and staleness is directly observable.
+func singleNodeCase(t *testing.T) (*graph.QueryGraph, *relation.Instance, *relation.Relation) {
+	t.Helper()
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("R",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindString}))
+	in := relation.NewInstance(sch)
+	r := in.NewRelationFor("R")
+	r.AddRow("0", "seed")
+	in.MustAdd(r)
+	g := graph.New()
+	g.MustAddNode("R", "R")
+	return g, in, r
+}
+
+// The D(G) cache must never serve a stale result while relations
+// mutate concurrently with in-flight computations. Each goroutine owns
+// its instance (mutation and compute interleave within an owner, the
+// serving layer's session-lock discipline) but all share the global
+// cache, whose keys collide across goroutines exactly while their
+// relation contents coincide. After every mutation, the very next
+// Compute must reflect it — a stale hit from any goroutine's earlier
+// store is a correctness bug. Run under -race.
+func TestCacheNoStaleHitUnderConcurrentMutation(t *testing.T) {
+	withCache(t, 64)
+
+	const goroutines = 8
+	const roundsPerG = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			g, in, r := singleNodeCase(t)
+			for round := 0; round < roundsPerG; round++ {
+				// Mutate: a row unique to this goroutine and round, so
+				// contents (and cache keys) diverge across goroutines.
+				r.AddRow(strconv.Itoa(round+1), fmt.Sprintf("g%d-r%d", gi, round))
+				want := r.Len()
+				d, err := Compute(context.Background(), g, in)
+				if err != nil {
+					errc <- fmt.Errorf("g%d round %d: %v", gi, round, err)
+					return
+				}
+				if d.Len() != want {
+					errc <- fmt.Errorf("g%d round %d: stale D(G): %d tuples, want %d",
+						gi, round, d.Len(), want)
+					return
+				}
+				if !d.Contains(r.At(r.Len() - 1)) {
+					errc <- fmt.Errorf("g%d round %d: D(G) missing the just-added row", gi, round)
+					return
+				}
+				// Re-read (likely a cache hit): must still be current.
+				d2, err := Compute(context.Background(), g, in)
+				if err != nil {
+					errc <- fmt.Errorf("g%d round %d reread: %v", gi, round, err)
+					return
+				}
+				if !d.EqualSet(d2) {
+					errc <- fmt.Errorf("g%d round %d: cached reread differs from compute", gi, round)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

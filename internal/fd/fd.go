@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"clio/internal/algebra"
+	"clio/internal/budget"
 	"clio/internal/expr"
+	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -140,7 +142,10 @@ func FullAssociations(ctx context.Context, g *graph.QueryGraph, in *relation.Ins
 		}
 		e := treeEdges[i]
 		used[edgeKey(e)] = true
-		acc = algebra.JoinRelations(algebra.InnerJoin, acc, r, e.Pred)
+		acc, err = algebra.JoinRelationsCtx(ctx, algebra.InnerJoin, acc, r, e.Pred)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Residual (cycle) edges.
 	var residual []expr.Expr
@@ -194,6 +199,7 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 	}
 	span.SetInt("subsets", int64(len(subsets)))
 	cSubsets.Add(int64(len(subsets)))
+	tr := budget.FromContext(ctx)
 	padded := relation.New("D(G)", s)
 	for _, sub := range subsets {
 		if err := ctx.Err(); err != nil {
@@ -204,7 +210,11 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 			return nil, err
 		}
 		for _, t := range f.Tuples() {
-			padded.Add(t.PadTo(s))
+			p := t.PadTo(s)
+			if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+				return nil, err
+			}
+			padded.Add(p)
 		}
 	}
 	cPadded.Add(int64(padded.Len()))
@@ -231,13 +241,16 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 	if err != nil {
 		return nil, err
 	}
+	tr := budget.FromContext(ctx)
 	padded := relation.New("D(G)", s)
 	for _, sub := range g.ConnectedSubsets() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		j := g.Induced(sub)
-		// Cross product of the subset's relations.
+		// Cross product of the subset's relations. The budget is
+		// charged per cross-product tuple — this is the algorithm
+		// where unbounded materialization hurts first.
 		var acc *relation.Relation
 		for _, name := range j.Nodes() {
 			n, _ := j.Node(name)
@@ -253,7 +266,11 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 			next := relation.New("", cs)
 			for _, lt := range acc.Tuples() {
 				for _, rt := range r.Tuples() {
-					next.Add(lt.ConcatTo(cs, rt))
+					t := lt.ConcatTo(cs, rt)
+					if err := tr.Charge(1, t.ApproxBytes()); err != nil {
+						return nil, err
+					}
+					next.Add(t)
 				}
 			}
 			acc = next
@@ -266,7 +283,11 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 		pred := expr.And(preds...)
 		for _, t := range acc.Tuples() {
 			if expr.Truth(pred, t) == value.True {
-				padded.Add(t.PadTo(s))
+				p := t.PadTo(s)
+				if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+					return nil, err
+				}
+				padded.Add(p)
 			}
 		}
 	}
@@ -304,16 +325,24 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 		if err != nil {
 			return nil, err
 		}
-		acc = algebra.JoinRelations(algebra.FullJoin, acc, r, treeEdges[i].Pred)
+		acc, err = algebra.JoinRelationsCtx(ctx, algebra.FullJoin, acc, r, treeEdges[i].Pred)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Align to the canonical D(G) scheme (node insertion order).
 	s, err := Scheme(g, in)
 	if err != nil {
 		return nil, err
 	}
+	tr := budget.FromContext(ctx)
 	aligned := relation.New("D(G)", s)
 	for _, t := range acc.Tuples() {
-		aligned.Add(t.Project(s))
+		p := t.Project(s)
+		if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+			return nil, err
+		}
+		aligned.Add(p)
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
@@ -334,9 +363,23 @@ const ParallelSubsetThreshold = 8
 // cache when one is configured (see SetCacheCapacity); a cache hit
 // does not count as an fd.compute.calls computation.
 func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
+	// Refuse before touching anything: computeUncached would do this
+	// check too, but a cache hit must also honor cancellation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := fault.Inject("fd.compute"); err != nil {
+		return nil, err
+	}
 	key, cacheable := cacheKey(g, in)
 	if cacheable {
 		if d, ok := cacheLookup(key); ok {
+			// A hit still materializes a clone of the memoized D(G), so
+			// it is charged: the API answers identically (413, not OOM)
+			// whether or not the result happens to be cached.
+			if err := budget.FromContext(ctx).Charge(int64(d.Len()), approxRelationBytes(d)); err != nil {
+				return nil, err
+			}
 			return d, nil
 		}
 	}
@@ -348,6 +391,15 @@ func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*
 		cacheStore(key, d)
 	}
 	return d, nil
+}
+
+// approxRelationBytes sums the tuple footprint estimates of r.
+func approxRelationBytes(r *relation.Relation) int64 {
+	var n int64
+	for _, t := range r.Tuples() {
+		n += t.ApproxBytes()
+	}
+	return n
 }
 
 // computeUncached is Compute without the memo cache.

@@ -2,9 +2,11 @@ package fd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"clio/internal/algebra"
+	"clio/internal/budget"
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -57,15 +59,23 @@ func ExtendLeaf(ctx context.Context, dg *relation.Relation, oldGraph, newGraph *
 	if err != nil {
 		return nil, err
 	}
-	joined := algebra.JoinRelations(algebra.FullJoin, dg, r, edge.Pred)
+	joined, err := algebra.JoinRelationsCtx(ctx, algebra.FullJoin, dg, r, edge.Pred)
+	if err != nil {
+		return nil, err
+	}
 	// Align to the canonical D(G') scheme.
 	s, err := Scheme(newGraph, in)
 	if err != nil {
 		return nil, err
 	}
+	tr := budget.FromContext(ctx)
 	aligned := relation.New("D(G)", s)
 	for _, t := range joined.Tuples() {
-		aligned.Add(t.Project(s))
+		p := t.Project(s)
+		if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+			return nil, err
+		}
+		aligned.Add(p)
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
@@ -122,10 +132,16 @@ func ComputeIncremental(ctx context.Context, oldDG *relation.Relation, oldGraph,
 	ctx, span := obs.StartSpan(ctx, "fd.compute_incremental")
 	defer span.End()
 	if oldDG != nil && oldGraph != nil {
-		if d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in); err == nil {
+		d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in)
+		switch {
+		case err == nil:
 			span.SetStr("mode", "extend_leaf")
 			cIncExtend.Inc()
 			return d, nil
+		case errors.Is(err, budget.ErrExceeded) || ctx.Err() != nil:
+			// Out of budget or cancelled: a full recomputation can only
+			// consume more — fail now instead of falling back.
+			return nil, err
 		}
 	}
 	span.SetStr("mode", "full")

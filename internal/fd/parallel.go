@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"clio/internal/budget"
+	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -18,6 +20,7 @@ import (
 var (
 	cParallelRuns = obs.GetCounter("fd.parallel.runs")
 	gParallelWork = obs.GetGauge("fd.parallel.workers")
+	cWorkerPanics = obs.GetCounter("fd.parallel.worker_panics")
 )
 
 // FullDisjunctionParallel computes D(G) like FullDisjunction but joins
@@ -73,7 +76,7 @@ func fullDisjunctionParallelSubsets(ctx context.Context, g *graph.QueryGraph, in
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = FullAssociations(ctx, g, in, subsets[i])
+				runSubset(ctx, g, in, subsets, results, errs, i)
 				perWorker[w].Add(1)
 			}
 		}(w)
@@ -83,6 +86,8 @@ func fullDisjunctionParallelSubsets(ctx context.Context, g *graph.QueryGraph, in
 	}
 	close(next)
 	wg.Wait()
+
+	tr := budget.FromContext(ctx)
 
 	if obs.Enabled() && workers > 0 {
 		// Busiest-worker share vs the perfect split, in percent; 100
@@ -107,7 +112,11 @@ func fullDisjunctionParallelSubsets(ctx context.Context, g *graph.QueryGraph, in
 	padded := relation.New("D(G)", s)
 	for _, f := range results {
 		for _, t := range f.Tuples() {
-			padded.Add(t.PadTo(s))
+			p := t.PadTo(s)
+			if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+				return nil, err
+			}
+			padded.Add(p)
 		}
 	}
 	cPadded.Add(int64(padded.Len()))
@@ -115,4 +124,23 @@ func fullDisjunctionParallelSubsets(ctx context.Context, g *graph.QueryGraph, in
 	out.Name = "D(G)"
 	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
+}
+
+// runSubset computes one subgraph's full associations inside a
+// parallel worker, containing panics: a worker that panics (a bug, or
+// an injected fault) fails that one computation with a *PanicError
+// instead of killing the process or — worse — hanging the WaitGroup.
+func runSubset(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subsets [][]string, results []*relation.Relation, errs []error, i int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			cWorkerPanics.Inc()
+			results[i] = nil
+			errs[i] = &PanicError{Where: "parallel worker", Value: rec}
+		}
+	}()
+	if err := fault.Inject("fd.worker"); err != nil {
+		errs[i] = err
+		return
+	}
+	results[i], errs[i] = FullAssociations(ctx, g, in, subsets[i])
 }

@@ -198,6 +198,20 @@ func (t Tuple) KeyOn(positions []int) string {
 	return b.String()
 }
 
+// ApproxBytes estimates the resident memory of the tuple: the value
+// slice plus string payloads. Resource budgets charge this per
+// materialized tuple, so it errs on the cheap side (shared schemes
+// and interned strings are not double-counted).
+func (t Tuple) ApproxBytes() int64 {
+	n := int64(len(t.vals)) * 48 // sizeof(value.Value) incl. padding
+	for _, v := range t.vals {
+		if v.Kind() == value.KindString {
+			n += int64(len(v.Str()))
+		}
+	}
+	return n
+}
+
 // HasNullAt reports whether any of the given positions is null.
 func (t Tuple) HasNullAt(positions []int) bool {
 	for _, p := range positions {

@@ -7,17 +7,17 @@ import (
 	"strings"
 
 	"clio/internal/core"
-	"clio/internal/csvio"
 	"clio/internal/expr"
 	"clio/internal/fd"
 	"clio/internal/paperdb"
 	"clio/internal/render"
 	"clio/internal/schema"
-	"clio/internal/value"
 	"clio/internal/workspace"
 )
 
-// routes wires every endpoint onto the mux.
+// routes wires every endpoint onto the mux. State-changing session
+// endpoints go through opHandler, which dispatches via applyOp and
+// journals the operation — the same dispatcher boot-time replay uses.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -26,19 +26,35 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /api/sessions", s.handle("session_create", s.handleCreateSession))
 	s.mux.Handle("GET /api/sessions", s.handle("session_list", s.handleListSessions))
 	s.mux.Handle("DELETE /api/sessions/{id}", s.handle("session_delete", s.handleDeleteSession))
-	s.mux.Handle("POST /api/sessions/{id}/corr", s.handle("corr", s.handleCorr))
-	s.mux.Handle("POST /api/sessions/{id}/walk", s.handle("walk", s.handleWalk))
-	s.mux.Handle("POST /api/sessions/{id}/chase", s.handle("chase", s.handleChase))
-	s.mux.Handle("POST /api/sessions/{id}/filter", s.handle("filter", s.handleFilter))
-	s.mux.Handle("POST /api/sessions/{id}/use", s.handle("use", s.handleUse))
-	s.mux.Handle("POST /api/sessions/{id}/accept", s.handle("accept", s.handleAccept))
-	s.mux.Handle("POST /api/sessions/{id}/undo", s.handle("undo", s.handleUndo))
-	s.mux.Handle("POST /api/sessions/{id}/rows", s.handle("rows", s.handleAddRow))
+	for _, op := range []string{"corr", "walk", "chase", "filter", "use", "accept", "undo", "rows"} {
+		s.mux.Handle("POST /api/sessions/{id}/"+op, s.handle(op, s.opHandler(op)))
+	}
 	s.mux.Handle("GET /api/sessions/{id}/workspaces", s.handle("workspaces", s.handleWorkspaces))
 	s.mux.Handle("GET /api/sessions/{id}/illustration", s.handle("illustration", s.handleIllustration))
 	s.mux.Handle("GET /api/sessions/{id}/examples", s.handle("examples", s.handleExamples))
 	s.mux.Handle("GET /api/sessions/{id}/view", s.handle("view", s.handleView))
 	s.mux.Handle("GET /api/sessions/{id}/status", s.handle("status", s.handleStatus))
+}
+
+// opHandler serves one state-changing session operation: read the
+// args, apply them under the session lock, and journal the op verbatim
+// on success (failed ops are never journaled — replay re-executes only
+// acknowledged work).
+func (s *Server) opHandler(op string) handlerFunc {
+	return func(ctx context.Context, r *http.Request) (any, error) {
+		args, err := readArgs(r)
+		if err != nil {
+			return nil, err
+		}
+		return s.withSession(r, func(sess *Session) (any, error) {
+			out, err := s.applyOp(ctx, sess, op, args)
+			if err != nil {
+				return nil, err
+			}
+			sess.journal.Append(workspace.JournalRecord{Kind: "op", Op: op, Args: args})
+			return out, nil
+		})
+	}
 }
 
 // parseTargetSpec parses "Name(attr, attr, ...)".
@@ -61,62 +77,23 @@ func parseTargetSpec(spec string) (*schema.Relation, error) {
 }
 
 func (s *Server) handleCreateSession(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		Source string `json:"source"`  // "paper" (default) or a CSV directory
-		Target string `json:"target"`  // "paper" (default with paper source) or "Name(a, b, ...)"
-		Name   string `json:"name"`    // mapping name, default "mapping"
-		Mine   bool   `json:"mine"`    // enable IND mining for this session
-	}
-	if r.ContentLength != 0 {
-		if err := decodeJSON(r, &req); err != nil {
-			return nil, err
-		}
+	args, err := readArgs(r)
+	if err != nil {
+		return nil, err
 	}
 	sess := s.newSession()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-
-	switch src := req.Source; {
-	case src == "" || src == "paper":
-		sess.in = paperdb.Instance()
-	default:
-		in, err := csvio.LoadDir(src)
-		if err != nil {
-			s.dropSession(sess.ID)
-			return nil, badRequest("load %q: %v", src, err)
-		}
-		sess.in = in
-	}
-	switch tgt := req.Target; {
-	case tgt == "" || tgt == "paper":
-		if req.Source != "" && req.Source != "paper" {
-			s.dropSession(sess.ID)
-			return nil, badRequest("a target spec is required with a CSV source")
-		}
-		sess.target = paperdb.Kids()
-	default:
-		t, err := parseTargetSpec(tgt)
-		if err != nil {
-			s.dropSession(sess.ID)
-			return nil, err
-		}
-		sess.target = t
-	}
-	name := req.Name
-	if name == "" {
-		name = "mapping"
-	}
-	sess.tool = workspace.New(ctx, sess.in, sess.target, s.cfg.MineINDs || req.Mine)
-	if err := sess.tool.Start(name); err != nil {
+	out, err := s.initSession(ctx, sess, args)
+	if err != nil {
 		s.dropSession(sess.ID)
 		return nil, err
 	}
-	return map[string]any{
-		"id":        sess.ID,
-		"relations": sess.in.Names(),
-		"target":    sess.target.String(),
-		"knowledge": len(sess.tool.Knowledge.Edges()),
-	}, nil
+	if s.cfg.JournalDir != "" {
+		sess.journal = workspace.OpenJournal(s.cfg.JournalDir, sess.ID, s.cfg.journalOptions())
+		sess.journal.Append(workspace.JournalRecord{Kind: "create", Args: args})
+	}
+	return out, nil
 }
 
 func (s *Server) handleListSessions(ctx context.Context, r *http.Request) (any, error) {
@@ -125,9 +102,16 @@ func (s *Server) handleListSessions(ctx context.Context, r *http.Request) (any, 
 
 func (s *Server) handleDeleteSession(ctx context.Context, r *http.Request) (any, error) {
 	id := r.PathValue("id")
-	if !s.dropSession(id) {
-		return nil, notFound("no session %q", id)
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
 	}
+	s.dropSession(id)
+	// Delete the journal too: there is nothing left to replay.
+	sess.mu.Lock()
+	sess.journal.Remove()
+	sess.journal = nil
+	sess.mu.Unlock()
 	return map[string]string{"deleted": id}, nil
 }
 
@@ -177,159 +161,12 @@ func workspacesBody(tool *workspace.Tool) map[string]any {
 	return body
 }
 
-func (s *Server) handleCorr(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		Spec string `json:"spec"` // "Children.ID -> Kids.ID"
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
-	return s.withSession(r, func(sess *Session) (any, error) {
-		c, err := core.ParseCorrespondence(req.Spec)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-		if err := sess.tool.AddCorrespondence(ctx, c); err != nil {
-			return nil, opError(err)
-		}
-		return workspacesBody(sess.tool), nil
-	})
-}
-
-func (s *Server) handleWalk(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		From string `json:"from"` // graph node
-		To   string `json:"to"`   // base relation
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
-	if req.From == "" || req.To == "" {
-		return nil, badRequest("walk needs from and to")
-	}
-	return s.withSession(r, func(sess *Session) (any, error) {
-		if err := sess.tool.Walk(ctx, req.From, req.To); err != nil {
-			return nil, opError(err)
-		}
-		return workspacesBody(sess.tool), nil
-	})
-}
-
-func (s *Server) handleChase(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		Column string `json:"column"` // "Children.fid"
-		Value  string `json:"value"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
-	if req.Column == "" {
-		return nil, badRequest("chase needs column and value")
-	}
-	return s.withSession(r, func(sess *Session) (any, error) {
-		if err := sess.tool.Chase(ctx, req.Column, value.Parse(req.Value)); err != nil {
-			return nil, opError(err)
-		}
-		return workspacesBody(sess.tool), nil
-	})
-}
-
-func (s *Server) handleFilter(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		Kind string `json:"kind"` // "source" or "target"
-		Pred string `json:"pred"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
-	return s.withSession(r, func(sess *Session) (any, error) {
-		p, err := parsePred(req.Pred)
-		if err != nil {
-			return nil, err
-		}
-		switch req.Kind {
-		case "source":
-			err = sess.tool.AddSourceFilter(ctx, p)
-		case "target":
-			err = sess.tool.AddTargetFilter(ctx, p)
-		default:
-			return nil, badRequest("filter kind must be source or target")
-		}
-		if err != nil {
-			return nil, opError(err)
-		}
-		return workspacesBody(sess.tool), nil
-	})
-}
-
 func parsePred(pred string) (expr.Expr, error) {
 	p, err := expr.Parse(strings.TrimSpace(pred))
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
 	return p, nil
-}
-
-func (s *Server) handleUse(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		Workspace int `json:"workspace"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
-	return s.withSession(r, func(sess *Session) (any, error) {
-		if err := sess.tool.Use(req.Workspace); err != nil {
-			return nil, notFound("%v", err)
-		}
-		return workspacesBody(sess.tool), nil
-	})
-}
-
-func (s *Server) handleAccept(ctx context.Context, r *http.Request) (any, error) {
-	return s.withSession(r, func(sess *Session) (any, error) {
-		if err := sess.tool.Confirm(); err != nil {
-			return nil, opError(err)
-		}
-		return map[string]any{"accepted": len(sess.tool.Accepted())}, nil
-	})
-}
-
-func (s *Server) handleUndo(ctx context.Context, r *http.Request) (any, error) {
-	return s.withSession(r, func(sess *Session) (any, error) {
-		if err := sess.tool.Undo(); err != nil {
-			return nil, badRequest("%v", err)
-		}
-		return workspacesBody(sess.tool), nil
-	})
-}
-
-// handleAddRow appends a tuple to a source relation. The mutation
-// bumps the relation's version, so subsequent D(G) computations see a
-// different content fingerprint and bypass stale cache entries.
-func (s *Server) handleAddRow(ctx context.Context, r *http.Request) (any, error) {
-	var req struct {
-		Relation string   `json:"relation"`
-		Values   []string `json:"values"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
-	return s.withSession(r, func(sess *Session) (any, error) {
-		rel := sess.in.Relation(req.Relation)
-		if rel == nil {
-			return nil, notFound("no relation %q", req.Relation)
-		}
-		if len(req.Values) != rel.Scheme().Arity() {
-			return nil, badRequest("relation %s has arity %d, got %d values",
-				req.Relation, rel.Scheme().Arity(), len(req.Values))
-		}
-		rel.AddRow(req.Values...)
-		return map[string]any{
-			"relation": req.Relation,
-			"tuples":   rel.Len(),
-			"version":  rel.Version(),
-		}, nil
-	})
 }
 
 func (s *Server) handleWorkspaces(ctx context.Context, r *http.Request) (any, error) {
@@ -366,7 +203,7 @@ func (s *Server) handleExamples(ctx context.Context, r *http.Request) (any, erro
 		}
 		dg, err := w.Mapping.DG(ctx, sess.in)
 		if err != nil {
-			return nil, err
+			return nil, opError(err)
 		}
 		il, err := core.ExamplesOn(ctx, w.Mapping, sess.in, dg)
 		if err != nil {
@@ -385,7 +222,7 @@ func (s *Server) handleView(ctx context.Context, r *http.Request) (any, error) {
 	return s.withSession(r, func(sess *Session) (any, error) {
 		view, err := sess.tool.TargetView(ctx)
 		if err != nil {
-			return nil, err
+			return nil, opError(err)
 		}
 		rows := make([][]string, 0, view.Len())
 		for _, t := range view.Tuples() {

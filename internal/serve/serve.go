@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -33,6 +35,7 @@ var (
 	cRequests  = obs.GetCounter("serve.requests")
 	cErrors    = obs.GetCounter("serve.request_errors")
 	cThrottled = obs.GetCounter("serve.throttled")
+	cPanics    = obs.GetCounter("clio.panics")
 	gInFlight  = obs.GetGauge("serve.in_flight")
 	gSessions  = obs.GetGauge("serve.sessions")
 	hRequestNS = obs.GetHistogram("serve.request.ns")
@@ -54,6 +57,23 @@ type Config struct {
 	// MineINDs enables inclusion-dependency mining when sessions build
 	// their join knowledge.
 	MineINDs bool
+	// JournalDir enables crash-safe sessions: every session's
+	// state-changing operations are journaled under this directory
+	// and replayed on the next boot. Empty disables journaling.
+	JournalDir string
+	// JournalFsyncEvery fsyncs the journal after every Nth append
+	// (default 1 = every append).
+	JournalFsyncEvery int
+	// JournalCompactEvery compacts a session journal after every Nth
+	// op record (default 64; negative disables).
+	JournalCompactEvery int
+	// Budget caps the rows/bytes any single request may materialize
+	// (D(G) computations included). Exceeding it returns 413. Zero
+	// fields are unlimited.
+	Budget fd.Budget
+	// RetryAfter is the back-off hint sent with 429 responses
+	// (rounded up to whole seconds). Default 1s.
+	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -66,7 +86,23 @@ func (c Config) withDefaults() Config {
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 64
 	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
 	return c
+}
+
+// journalOptions translates the config into per-session journal
+// options. The foldable set lists exactly the ops whose single undo
+// snapshot lets (op, undo) pairs cancel during compaction; "corr" is
+// excluded because a correspondence on an already-mapped attribute
+// auto-confirms first and snapshots twice.
+func (c Config) journalOptions() workspace.JournalOptions {
+	return workspace.JournalOptions{
+		FsyncEvery:   c.JournalFsyncEvery,
+		CompactEvery: c.JournalCompactEvery,
+		Foldable:     []string{"walk", "chase", "filter", "accept"},
+	}
 }
 
 // Session is one tool instance owned by the server. Its lock
@@ -75,10 +111,11 @@ func (c Config) withDefaults() Config {
 type Session struct {
 	ID string
 
-	mu     sync.Mutex
-	in     *relation.Instance
-	target *schema.Relation
-	tool   *workspace.Tool
+	mu      sync.Mutex
+	in      *relation.Instance
+	target  *schema.Relation
+	tool    *workspace.Tool
+	journal *workspace.Journal
 }
 
 // Server is the HTTP front end.
@@ -112,6 +149,9 @@ func New(cfg Config) *Server {
 		serveErr: make(chan error, 1),
 	}
 	s.routes()
+	if cfg.JournalDir != "" {
+		s.replayJournals()
+	}
 	return s
 }
 
@@ -154,7 +194,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if serr := <-s.serveErr; serr != nil && err == nil {
 		err = serr
 	}
+	s.closeJournals()
 	return err
+}
+
+// closeJournals fsyncs and closes every session journal, leaving the
+// files on disk for the next boot's replay.
+func (s *Server) closeJournals() {
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		sess.journal.Close()
+		sess.mu.Unlock()
+	}
 }
 
 // httpError carries a status code out of a handler.
@@ -173,14 +230,20 @@ func notFound(format string, args ...any) error {
 	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
 }
 
-// opError classifies a mapping-operator failure: context errors pass
-// through (they become 504/499), anything else is a semantic failure
-// of the requested operation — the server is fine, the operator could
-// not apply — reported as 422.
+// opError classifies a mapping-operator failure: context errors,
+// budget violations, and recovered worker panics pass through (they
+// become 504/499, 413, and 500 respectively); anything else is a
+// semantic failure of the requested operation — the server is fine,
+// the operator could not apply — reported as 422.
 func opError(err error) error {
 	if err == nil ||
 		errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, context.Canceled) {
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, fd.ErrBudgetExceeded) {
+		return err
+	}
+	var pe *fd.PanicError
+	if errors.As(err, &pe) {
 		return err
 	}
 	var he *httpError
@@ -194,9 +257,12 @@ func opError(err error) error {
 // error, possibly an *httpError with a status).
 type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
 
-// handle wraps a handler with the service plumbing: admission gate,
-// in-flight gauge, per-request timeout, a span per endpoint, JSON
-// encoding, and error mapping.
+// handle wraps a handler with the service plumbing: admission gate
+// (429 + Retry-After when saturated), in-flight gauge, per-request
+// timeout, per-request resource budget, a span per endpoint, JSON
+// encoding, error mapping, and panic containment (a handler panic
+// answers 500 and is captured to stderr and the session op log; the
+// server keeps serving).
 func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -204,6 +270,8 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 			defer func() { <-s.gate }()
 		default:
 			cThrottled.Inc()
+			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeJSON(w, http.StatusTooManyRequests,
 				map[string]string{"error": "server saturated, retry later"})
 			return
@@ -216,17 +284,48 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		if !s.cfg.Budget.Unlimited() {
+			ctx = fd.WithBudget(ctx, s.cfg.Budget)
+		}
 		ctx, span := obs.StartSpan(ctx, "serve."+name)
 		defer span.End()
 		span.SetStr("method", r.Method)
 		span.SetStr("path", r.URL.Path)
 
+		// Innermost defer: it recovers first during unwinding, after
+		// the handler's own defers (session unlocks) have already run.
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			cPanics.Inc()
+			cErrors.Inc()
+			detail := fmt.Sprintf("%s: %v", name, rec)
+			fmt.Fprintf(os.Stderr, "panic recovered in serve.%s: %v\n%s", name, rec, debug.Stack())
+			s.logSessionPanic(r.PathValue("id"), detail)
+			span.SetStr("panic", fmt.Sprint(rec))
+			span.SetInt("status", http.StatusInternalServerError)
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"error": "internal error: " + detail})
+		}()
+
 		resp, err := h(ctx, r.WithContext(ctx))
 		if err != nil {
 			cErrors.Inc()
 			status := http.StatusInternalServerError
+			body := map[string]any{"error": err.Error()}
 			var he *httpError
+			var be *fd.BudgetError
 			switch {
+			case errors.As(err, &be):
+				// Resource budget exceeded: the request asked for more
+				// than the server will materialize. Name the limit so
+				// clients can tell rows from bytes.
+				status = http.StatusRequestEntityTooLarge
+				body["limit"] = be.Limit
+				body["max"] = be.Max
+				body["got"] = be.Got
 			case errors.As(err, &he):
 				status = he.status
 			case errors.Is(err, context.DeadlineExceeded):
@@ -236,11 +335,31 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 			}
 			span.SetInt("status", int64(status))
 			span.SetStr("error", err.Error())
-			writeJSON(w, status, map[string]string{"error": err.Error()})
+			writeJSON(w, status, body)
 			return
 		}
 		span.SetInt("status", http.StatusOK)
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// logSessionPanic records a recovered panic in the session's op log,
+// best effort: the session (or its tool) may not exist.
+func (s *Server) logSessionPanic(id, detail string) {
+	if id == "" {
+		return
+	}
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	tool := sess.tool
+	sess.mu.Unlock()
+	if tool != nil {
+		tool.LogPanic(detail)
 	}
 }
 
@@ -250,15 +369,6 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(body)
-}
-
-func decodeJSON(r *http.Request, into any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return badRequest("bad request body: %v", err)
-	}
-	return nil
 }
 
 // newSession registers a fresh session.

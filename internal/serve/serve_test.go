@@ -250,6 +250,55 @@ func TestExamplesHitDGCacheUntilMutation(t *testing.T) {
 	}
 }
 
+// Mutating a session's source relation while D(G) computations are in
+// flight must never leave a stale cache entry serving: once the dust
+// settles, the example set equals a forced recomputation with the
+// cache cleared. Run under -race.
+func TestExamplesNeverStaleUnderConcurrentMutation(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheCapacity: 32, MaxInFlight: 32})
+	id := newPaperSession(t, ts)
+	mustCall(t, ts, "POST", "/api/sessions/"+id+"/corr",
+		map[string]any{"spec": "Children.ID -> Kids.ID"})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 2)
+	wg.Add(2)
+	go func() { // writer: keeps mutating the base relation
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			id3 := fmt.Sprintf("9%02d", i)
+			if status, out := call(t, ts, "POST", "/api/sessions/"+id+"/rows",
+				map[string]any{"relation": "Children",
+					"values": []string{id3, "kid" + id3, "7", "100", "101", "d1"}}); status != http.StatusOK {
+				errc <- fmt.Errorf("rows: status %d body %v", status, out)
+				return
+			}
+		}
+	}()
+	go func() { // reader: recomputes D(G)-backed examples throughout
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if status, out := call(t, ts, "GET", "/api/sessions/"+id+"/examples", nil); status >= 500 {
+				errc <- fmt.Errorf("examples: status %d body %v", status, out)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	final := mustCall(t, ts, "GET", "/api/sessions/"+id+"/examples", nil)
+	fd.InvalidateCache() // force the ground-truth recomputation
+	truth := mustCall(t, ts, "GET", "/api/sessions/"+id+"/examples", nil)
+	if final["associations"] != truth["associations"] || final["text"] != truth["text"] {
+		t.Errorf("stale cached examples: cached %v assoc, recomputed %v",
+			final["associations"], truth["associations"])
+	}
+}
+
 // When the admission gate is full the server answers 429 immediately
 // instead of queueing, and recovers once slots free up.
 func TestAdmissionGateBackpressure(t *testing.T) {

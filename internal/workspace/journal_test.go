@@ -1,0 +1,237 @@
+package workspace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"clio/internal/fault"
+	"clio/internal/obs"
+)
+
+func opRec(op, args string) JournalRecord {
+	r := JournalRecord{Kind: "op", Op: op}
+	if args != "" {
+		r.Args = json.RawMessage(args)
+	}
+	return r
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := OpenJournal(dir, "s1", JournalOptions{})
+	want := []JournalRecord{
+		{Kind: "create", Args: json.RawMessage(`{"name":"m"}`)},
+		opRec("corr", `{"spec":"Children.ID -> Kids.ID"}`),
+		opRec("walk", `{"from":"Children","to":"PhoneDir"}`),
+	}
+	for _, r := range want {
+		j.Append(r)
+	}
+	j.Close()
+
+	recs, corrupt, err := ReadJournal(JournalPath(dir, "s1"))
+	if err != nil || corrupt != 0 {
+		t.Fatalf("ReadJournal: corrupt=%d err=%v", corrupt, err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i].Kind != want[i].Kind || recs[i].Op != want[i].Op || string(recs[i].Args) != string(want[i].Args) {
+			t.Errorf("record %d: got %+v want %+v", i, recs[i], want[i])
+		}
+	}
+
+	ids, err := JournalFiles(dir)
+	if err != nil || len(ids) != 1 || ids[0] != "s1" {
+		t.Fatalf("JournalFiles = %v, %v", ids, err)
+	}
+}
+
+// A torn tail (crash mid-append) and mid-file corruption are skipped
+// with a count; every intact record survives.
+func TestJournalCorruptionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j := OpenJournal(dir, "s1", JournalOptions{})
+	for i := 0; i < 4; i++ {
+		j.Append(opRec("walk", `{"n":`+string(rune('0'+i))+`}`))
+	}
+	j.Close()
+	path := JournalPath(dir, "s1")
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second line (CRC mismatch) and truncate
+	// the final line mid-record (torn append).
+	lines := 0
+	for i, b := range data {
+		if b == '\n' {
+			lines++
+			if lines == 1 {
+				data[i+10] ^= 0xff
+			}
+		}
+	}
+	data = data[:len(data)-7]
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, corrupt, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 2 {
+		t.Errorf("corrupt = %d, want 2 (one CRC mismatch, one torn tail)", corrupt)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("surviving records = %d, want 2", len(recs))
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, corrupt, err := ReadJournal(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || corrupt != 0 || len(recs) != 0 {
+		t.Fatalf("missing file: recs=%v corrupt=%d err=%v", recs, corrupt, err)
+	}
+}
+
+// Compaction folds (foldable-op, undo) pairs out of the on-disk log,
+// including cascades, while leaving non-foldable ops alone.
+func TestJournalCompactionFoldsUndo(t *testing.T) {
+	dir := t.TempDir()
+	opts := JournalOptions{CompactEvery: 6, Foldable: []string{"walk", "chase", "filter", "accept"}}
+	j := OpenJournal(dir, "s1", opts)
+	j.Append(JournalRecord{Kind: "create"})
+	j.Append(opRec("corr", `{"spec":"a"}`))
+	j.Append(opRec("walk", `{"w":1}`))
+	j.Append(opRec("chase", `{"c":1}`))
+	j.Append(opRec("undo", ""))
+	j.Append(opRec("undo", "")) // cascade: cancels the walk too
+	j.Append(opRec("undo", "")) // sixth op triggers compaction; not foldable against corr
+	j.Close()
+
+	recs, corrupt, err := ReadJournal(JournalPath(dir, "s1"))
+	if err != nil || corrupt != 0 {
+		t.Fatalf("ReadJournal: corrupt=%d err=%v", corrupt, err)
+	}
+	wantOps := []string{"", "corr", "undo"} // create, corr, trailing undo
+	if len(recs) != len(wantOps) {
+		t.Fatalf("compacted to %d records, want %d: %+v", len(recs), len(wantOps), recs)
+	}
+	for i, op := range wantOps {
+		if recs[i].Op != op {
+			t.Errorf("record %d: op %q, want %q", i, recs[i].Op, op)
+		}
+	}
+}
+
+// Transient write failures are retried; persistent ones degrade the
+// journal to memory-only (gauge up, later appends no-ops) instead of
+// failing the session.
+func TestJournalRetryAndDegrade(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	gauge := obs.GetGauge("clio.journal.degraded")
+	opts := JournalOptions{retryAttempts: 3, retryBase: time.Microsecond}
+
+	fault.Enable(7)
+	defer fault.Disable()
+
+	// Two failures, then success: the append must survive via retries.
+	dir := t.TempDir()
+	fault.Set("journal.append", fault.Spec{Mode: fault.ModeError, Times: 2})
+	j := OpenJournal(dir, "s1", opts)
+	j.Append(opRec("walk", `{"w":1}`))
+	if j.Degraded() {
+		t.Fatal("journal degraded despite retries succeeding")
+	}
+	j.Close()
+	if recs, _, _ := ReadJournal(JournalPath(dir, "s1")); len(recs) != 1 {
+		t.Fatalf("retried append not on disk: %d records", len(recs))
+	}
+
+	// Persistent failure: degrade, raise the gauge, keep serving.
+	fault.Set("journal.append", fault.Spec{Mode: fault.ModeError})
+	before := gauge.Value()
+	j2 := OpenJournal(dir, "s2", opts)
+	j2.Append(opRec("walk", `{"w":1}`))
+	if !j2.Degraded() {
+		t.Fatal("journal not degraded after persistent write failure")
+	}
+	if gauge.Value() != before+1 {
+		t.Errorf("clio.journal.degraded = %d, want %d", gauge.Value(), before+1)
+	}
+	j2.Append(opRec("walk", `{"w":2}`)) // must be a silent no-op
+	j2.Remove()
+	if gauge.Value() != before {
+		t.Errorf("gauge not released on Remove: %d, want %d", gauge.Value(), before)
+	}
+}
+
+// Resuming after a crash rewrites the file from the surviving
+// records, so a torn tail disappears and appends continue cleanly.
+func TestJournalResumeRewritesCleanTail(t *testing.T) {
+	dir := t.TempDir()
+	j := OpenJournal(dir, "s1", JournalOptions{})
+	j.Append(JournalRecord{Kind: "create"})
+	j.Append(opRec("walk", `{"w":1}`))
+	j.Close()
+	path := JournalPath(dir, "s1")
+
+	data, _ := os.ReadFile(path)
+	data = append(data, []byte(`{"crc":1,"rec":{"kind":"op","op`)...) // torn append
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, corrupt, err := ReadJournal(path)
+	if err != nil || corrupt != 1 || len(recs) != 2 {
+		t.Fatalf("pre-resume read: recs=%d corrupt=%d err=%v", len(recs), corrupt, err)
+	}
+
+	j2 := ResumeJournal(dir, "s1", recs, JournalOptions{})
+	j2.Append(opRec("chase", `{"c":1}`))
+	j2.Close()
+
+	recs2, corrupt2, err := ReadJournal(path)
+	if err != nil || corrupt2 != 0 {
+		t.Fatalf("post-resume read: corrupt=%d err=%v", corrupt2, err)
+	}
+	ops := make([]string, len(recs2))
+	for i, r := range recs2 {
+		ops[i] = r.Op
+	}
+	if len(recs2) != 3 || recs2[0].Kind != "create" || ops[1] != "walk" || ops[2] != "chase" {
+		t.Fatalf("post-resume records wrong: %v", ops)
+	}
+}
+
+func TestJournalFsyncPolicy(t *testing.T) {
+	dir := t.TempDir()
+	j := OpenJournal(dir, "s1", JournalOptions{FsyncEvery: 3})
+	for i := 0; i < 7; i++ {
+		j.Append(opRec("walk", `{"w":1}`))
+	}
+	j.Close() // final sync covers the unsynced tail
+	if recs, corrupt, err := ReadJournal(JournalPath(dir, "s1")); err != nil || corrupt != 0 || len(recs) != 7 {
+		t.Fatalf("recs=%d corrupt=%d err=%v", len(recs), corrupt, err)
+	}
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	j.Append(opRec("walk", "{}"))
+	j.Close()
+	j.Remove()
+	if !j.Degraded() {
+		t.Error("nil journal should report degraded (nothing is durable)")
+	}
+	if j.Path() != "" {
+		t.Error("nil journal has a path")
+	}
+}

@@ -45,6 +45,18 @@ func (r OpRecord) String() string {
 		r.Seq, r.Op, r.Detail, r.Duration.Round(time.Microsecond), r.Workspaces, status)
 }
 
+// Canonical renders the record without its duration: the stable part
+// of an op-log line. Two sessions that executed the same operations —
+// e.g. a live session and its post-crash replay — have byte-identical
+// canonical logs even though wall-clock timings differ.
+func (r OpRecord) Canonical() string {
+	status := "ok"
+	if r.Err != "" {
+		status = "error: " + r.Err
+	}
+	return fmt.Sprintf("#%d %s %s [%d ws] %s", r.Seq, r.Op, r.Detail, r.Workspaces, status)
+}
+
 // opLogCap bounds the in-memory log; older records are dropped.
 const opLogCap = 256
 
@@ -77,6 +89,29 @@ func (t *Tool) OpLog() []OpRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]OpRecord(nil), t.opLog...)
+}
+
+// OpLogCanonical renders the whole log in canonical (duration-free)
+// form, one line per operation — the representation compared by
+// crash-replay golden tests.
+func (t *Tool) OpLogCanonical() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	for _, r := range t.opLog {
+		b.WriteString(r.Canonical())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LogPanic records a recovered panic in the op log, so a session's
+// history shows where a request blew up even after the stack trace
+// has scrolled out of the server's stderr.
+func (t *Tool) LogPanic(detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.logOp("panic", detail, time.Now(), fmt.Errorf("panic recovered"))
 }
 
 // OpLogString renders the whole log, one line per operation.

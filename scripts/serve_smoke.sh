@@ -1,37 +1,43 @@
 #!/bin/sh
-# serve_smoke.sh — start clio serve, drive a create/corr/walk/
-# illustrate round-trip with curl, and verify a clean graceful
-# shutdown. Part of the tier-1 gate (make serve-smoke).
+# serve_smoke.sh — start clio serve with a session journal, drive a
+# create/corr/walk/illustrate round-trip with curl, kill -9 the server
+# mid-session, verify the restarted server replays the session from
+# the journal, and finally verify a clean graceful shutdown. Part of
+# the tier-1 gate (make serve-smoke).
 set -eu
 
 BIN=${1:-./clio.smoke}
 ADDR=127.0.0.1:7641
 BASE="http://$ADDR"
 LOG=$(mktemp)
-trap 'kill "$PID" 2>/dev/null; rm -f "$LOG" "$BIN"' EXIT
+JDIR=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null; rm -rf "$LOG" "$BIN" "$JDIR"' EXIT
 
 go build -o "$BIN" ./cmd/clio
 
-"$BIN" serve -addr "$ADDR" -cache 32 >"$LOG" 2>&1 &
-PID=$!
-
-# Wait for the server to come up (max ~5s).
-i=0
-until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "serve-smoke: server did not come up" >&2
-        cat "$LOG" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+start_server() {
+    "$BIN" serve -addr "$ADDR" -cache 32 -journal-dir "$JDIR" >"$LOG" 2>&1 &
+    PID=$!
+    # Wait for the server to come up (max ~5s).
+    i=0
+    until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "serve-smoke: server did not come up" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
 fail() {
     echo "serve-smoke: $1" >&2
     cat "$LOG" >&2
     exit 1
 }
+
+start_server
 
 # Create a session on the paper database.
 OUT=$(curl -sf -X POST "$BASE/api/sessions" \
@@ -49,6 +55,24 @@ case "$OUT" in *'"workspaces"'*) ;; *) fail "no workspaces in walk response: $OU
 # The illustration must mention the walked-to relation.
 OUT=$(curl -sf "$BASE/api/sessions/$SID/illustration") || fail "illustration failed"
 case "$OUT" in *PhoneDir*) ;; *) fail "illustration missing PhoneDir: $OUT" ;; esac
+PRE_CRASH=$(curl -sf "$BASE/api/sessions/$SID/view") || fail "pre-crash view failed"
+
+# Crash-safety: kill -9 the server mid-session; the journal must
+# restore the session on the next boot with a byte-identical view.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+start_server
+
+OUT=$(curl -sf "$BASE/api/sessions") || fail "session list after crash failed"
+case "$OUT" in *"\"$SID\""*) ;; *) fail "session $SID not replayed after kill -9: $OUT" ;; esac
+OUT=$(curl -sf "$BASE/api/sessions/$SID/illustration") || fail "replayed illustration failed"
+case "$OUT" in *PhoneDir*) ;; *) fail "replayed illustration missing PhoneDir: $OUT" ;; esac
+POST_CRASH=$(curl -sf "$BASE/api/sessions/$SID/view") || fail "post-crash view failed"
+[ "$PRE_CRASH" = "$POST_CRASH" ] || fail "replayed target view differs from pre-crash view"
+
+# The replayed session is live: more ops apply cleanly.
+curl -sf -X POST "$BASE/api/sessions/$SID/chase" \
+    -d '{"column":"Children.ID","value":"002"}' >/dev/null || fail "post-replay chase failed"
 
 # Repeated example recomputation exercises the D(G) cache.
 curl -sf "$BASE/api/sessions/$SID/examples" >/dev/null || fail "examples failed"
@@ -67,6 +91,6 @@ while kill -0 "$PID" 2>/dev/null; do
     sleep 0.1
 done
 wait "$PID" || fail "server exited non-zero"
-trap 'rm -f "$LOG" "$BIN"' EXIT
+trap 'rm -rf "$LOG" "$BIN" "$JDIR"' EXIT
 
 echo "serve-smoke: ok"
