@@ -13,10 +13,11 @@ import (
 	"clio/internal/serve"
 )
 
-// serveMain runs the long-lived HTTP/JSON mapping service ("clio
-// serve"). It listens until SIGINT/SIGTERM, then shuts down
-// gracefully, draining in-flight requests.
-func serveMain(args []string) error {
+// parseServeConfig parses the "clio serve" flag set into a server
+// config and drain budget, validating flag combinations. Split from
+// serveMain so tests can exercise flag handling without binding a
+// socket.
+func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	fs := flag.NewFlagSet("clio serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address (\":0\" picks a free port)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
@@ -27,11 +28,34 @@ func serveMain(args []string) error {
 	journalDir := fs.String("journal-dir", "", "crash-safe sessions: journal every session here and replay on boot (empty disables)")
 	journalFsync := fs.Int("journal-fsync", 1, "fsync the journal after every Nth append")
 	journalCompact := fs.Int("journal-compact", 64, "compact a session journal after every Nth op (negative disables)")
+	snapshotEvery := fs.Int("snapshot-every", 0, "journal a full session-state snapshot every Nth op, bounding replay cost (0 disables; needs -journal-dir)")
+	idleTTL := fs.Duration("idle-ttl", 0, "tombstone sessions idle longer than this into the archive (0 disables; needs -journal-dir)")
+	archiveDir := fs.String("archive-dir", "", "directory for tombstoned session journals (default <journal-dir>/archive)")
 	maxRows := fs.Int64("max-rows", 0, "per-request row budget; exceeding answers 413 (0 = unlimited)")
 	maxBytes := fs.Int64("max-bytes", 0, "per-request approximate byte budget; exceeding answers 413 (0 = unlimited)")
+	sessionMaxRows := fs.Int64("session-max-rows", 0, "per-session request row budget, layered under -max-rows (0 = unlimited)")
+	sessionMaxBytes := fs.Int64("session-max-bytes", 0, "per-session request byte budget, layered under -max-bytes (0 = unlimited)")
+	sessionRPS := fs.Float64("session-rps", 0, "per-session token-bucket rate limit in requests/second (0 disables)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return serve.Config{}, 0, err
+	}
+
+	if *journalDir == "" {
+		switch {
+		case *idleTTL > 0:
+			return serve.Config{}, 0, fmt.Errorf("clio serve: -idle-ttl requires -journal-dir (idle expiry archives the session journal)")
+		case *snapshotEvery > 0:
+			return serve.Config{}, 0, fmt.Errorf("clio serve: -snapshot-every requires -journal-dir (snapshots are journal records)")
+		case *archiveDir != "":
+			return serve.Config{}, 0, fmt.Errorf("clio serve: -archive-dir requires -journal-dir")
+		}
+	}
+	if *idleTTL < 0 {
+		return serve.Config{}, 0, fmt.Errorf("clio serve: -idle-ttl must be >= 0")
+	}
+	if *sessionRPS < 0 {
+		return serve.Config{}, 0, fmt.Errorf("clio serve: -session-rps must be >= 0")
 	}
 
 	cfg := serve.Config{
@@ -43,11 +67,27 @@ func serveMain(args []string) error {
 		JournalDir:          *journalDir,
 		JournalFsyncEvery:   *journalFsync,
 		JournalCompactEvery: *journalCompact,
+		SnapshotEvery:       *snapshotEvery,
+		IdleTTL:             *idleTTL,
+		ArchiveDir:          *archiveDir,
 		Budget:              fd.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes},
+		SessionBudget:       fd.Budget{MaxRows: *sessionMaxRows, MaxBytes: *sessionMaxBytes},
+		SessionRPS:          *sessionRPS,
 		RetryAfter:          *retryAfter,
 	}
 	if *cacheCap == 0 {
 		cfg.CacheCapacity = -1 // Config zero means "default"; -1 disables
+	}
+	return cfg, *drain, nil
+}
+
+// serveMain runs the long-lived HTTP/JSON mapping service ("clio
+// serve"). It listens until SIGINT/SIGTERM, then shuts down
+// gracefully, draining in-flight requests.
+func serveMain(args []string) error {
+	cfg, drain, err := parseServeConfig(args)
+	if err != nil {
+		return err
 	}
 	srv := serve.New(cfg)
 	if err := srv.Start(); err != nil {
@@ -61,7 +101,7 @@ func serveMain(args []string) error {
 	stop()
 	fmt.Fprintln(os.Stderr, "clio serve: shutting down")
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	return srv.Shutdown(drainCtx)
 }

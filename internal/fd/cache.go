@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"clio/internal/expr"
 	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
@@ -93,6 +94,9 @@ func (c *dgCache) evictOldestLocked() {
 	c.lru.Remove(back)
 	delete(c.entries, back.Value.(*cacheEntry).key)
 	cCacheEvictions.Inc()
+	// Every mutation path keeps the gauge in lock-step with the LRU,
+	// so fd.cache.entries can never drift from CacheLen().
+	gCacheEntries.Set(int64(c.lru.Len()))
 }
 
 // cacheKey derives the content-addressed key for computing D(G) of g
@@ -122,26 +126,40 @@ func cacheKey(g *graph.QueryGraph, in *relation.Instance) (string, bool) {
 		if r == nil {
 			return "", false
 		}
-		b.WriteString(base)
-		b.WriteByte('=')
-		b.WriteString(strconv.FormatUint(r.Fingerprint(), 16))
-		b.WriteByte(';')
+		writeField(&b, 'r', base)
+		writeField(&b, 'f', strconv.FormatUint(r.Fingerprint(), 16))
 	}
 	return b.String(), true
 }
 
+// writeField frames one key component as tag + decimal payload length
+// + ':' + payload. Length prefixes make the key encoding unambiguous:
+// no payload content (node names, predicate text) can forge the
+// boundary between components, so distinct graphs cannot collide by
+// delimiter injection.
+func writeField(b *strings.Builder, tag byte, payload string) {
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(len(payload)))
+	b.WriteByte(':')
+	b.WriteString(payload)
+}
+
 // canonGraph renders a query graph deterministically: sorted
-// name=base node pairs and sorted normalized edges with labels.
+// length-framed name/base node pairs and sorted normalized edges.
+// Edge endpoints are unordered (a join edge is symmetric), so the
+// endpoint pair is sorted — and the predicate is rendered through
+// canonExpr, which normalizes the direction-sensitive parts of the
+// label (operand order of symmetric comparisons, conjunct order) to
+// match. Without that, equal graphs built in different orders miss
+// the cache.
 func canonGraph(g *graph.QueryGraph) string {
 	nodes := g.Nodes()
 	sort.Strings(nodes)
 	var b strings.Builder
 	for _, name := range nodes {
 		n, _ := g.Node(name)
-		b.WriteString(name)
-		b.WriteByte('=')
-		b.WriteString(n.Base)
-		b.WriteByte(',')
+		writeField(&b, 'n', name)
+		writeField(&b, 'b', n.Base)
 	}
 	edges := make([]string, 0, len(g.Edges()))
 	for _, e := range g.Edges() {
@@ -149,12 +167,76 @@ func canonGraph(g *graph.QueryGraph) string {
 		if a > z {
 			a, z = z, a
 		}
-		edges = append(edges, a+"--"+z+"["+e.Label()+"]")
+		var eb strings.Builder
+		writeField(&eb, 'a', a)
+		writeField(&eb, 'z', z)
+		writeField(&eb, 'p', canonExpr(e.Pred))
+		edges = append(edges, eb.String())
 	}
 	sort.Strings(edges)
 	for _, e := range edges {
-		b.WriteString(e)
-		b.WriteByte(',')
+		writeField(&b, 'e', e)
+	}
+	return b.String()
+}
+
+// canonExpr renders an edge predicate in canonical form: operands of
+// symmetric operators (=, <>, AND, OR, +, *) sort lexicographically,
+// AND/OR chains flatten before sorting, and mirrored comparisons
+// normalize (a > b becomes b < a). Subexpressions are length-framed,
+// so a column literally named "x = y" cannot collide with an actual
+// equality. Semantically equal predicates that merely differ in
+// construction order therefore share one key.
+func canonExpr(e expr.Expr) string {
+	switch x := e.(type) {
+	case expr.Bin:
+		switch x.Op {
+		case expr.OpAnd, expr.OpOr:
+			var parts []string
+			flattenCanon(x.Op, x, &parts)
+			sort.Strings(parts)
+			return canonNode(binTag(x.Op), parts)
+		case expr.OpEq, expr.OpNe, expr.OpAdd, expr.OpMul:
+			l, r := canonExpr(x.L), canonExpr(x.R)
+			if l > r {
+				l, r = r, l
+			}
+			return canonNode(binTag(x.Op), []string{l, r})
+		case expr.OpGt:
+			return canonExpr(expr.Bin{Op: expr.OpLt, L: x.R, R: x.L})
+		case expr.OpGe:
+			return canonExpr(expr.Bin{Op: expr.OpLe, L: x.R, R: x.L})
+		default:
+			return canonNode(binTag(x.Op), []string{canonExpr(x.L), canonExpr(x.R)})
+		}
+	case expr.Not:
+		return canonNode("not", []string{canonExpr(x.E)})
+	default:
+		// Leaves and uninterpreted operators: the surface syntax is
+		// already deterministic; framing keeps it unambiguous.
+		return canonNode("leaf", []string{e.String()})
+	}
+}
+
+// flattenCanon collects the canonical renderings of a same-operator
+// chain's operands (AND/OR associate, so nesting shape is irrelevant).
+func flattenCanon(op expr.BinOp, e expr.Expr, out *[]string) {
+	if b, ok := e.(expr.Bin); ok && b.Op == op {
+		flattenCanon(op, b.L, out)
+		flattenCanon(op, b.R, out)
+		return
+	}
+	*out = append(*out, canonExpr(e))
+}
+
+// binTag names a binary operator stably for key encoding.
+func binTag(op expr.BinOp) string { return "b" + strconv.Itoa(int(op)) }
+
+func canonNode(tag string, parts []string) string {
+	var b strings.Builder
+	writeField(&b, 'o', tag)
+	for _, p := range parts {
+		writeField(&b, 'x', p)
 	}
 	return b.String()
 }

@@ -88,4 +88,10 @@ func TestCacheNoStaleHitUnderConcurrentMutation(t *testing.T) {
 	for err := range errc {
 		t.Error(err)
 	}
+	// The entries gauge must agree with the cache after arbitrary
+	// interleavings of stores and evictions (S3: every mutation path
+	// updates the gauge under the cache lock).
+	if got, want := gCacheEntries.Value(), int64(CacheLen()); got != want {
+		t.Errorf("fd.cache.entries gauge drifted: gauge %d, CacheLen %d", got, want)
+	}
 }

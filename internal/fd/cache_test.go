@@ -2,6 +2,7 @@ package fd
 
 import (
 	"context"
+	"strconv"
 	"testing"
 
 	"clio/internal/expr"
@@ -181,4 +182,127 @@ func TestCacheContentAddressed(t *testing.T) {
 	if got := cComputeCalls.Value(); got != calls+1 {
 		t.Errorf("identical content recomputed: calls = %d, want %d", got, calls+1)
 	}
+}
+
+// Length framing: predicate text cannot forge edge boundaries in the
+// cache key. Before framing, edges rendered as "A--B[label]" joined by
+// commas, so a graph with edges A–B[x] and C–D[y] collided with a
+// graph whose single A–B edge mentions a column literally named
+// "x],C--D[y" — and the two computations shared one cache entry.
+func TestCanonGraphCollisionRegression(t *testing.T) {
+	mk := func() *graph.QueryGraph {
+		g := graph.New()
+		for _, n := range []string{"A", "B", "C", "D"} {
+			g.MustAddNode(n, n)
+		}
+		return g
+	}
+	g1 := mk()
+	g1.MustAddEdge("A", "B", expr.Col{Name: "x"})
+	g1.MustAddEdge("C", "D", expr.Col{Name: "y"})
+	g2 := mk()
+	g2.MustAddEdge("A", "B", expr.Col{Name: "x],C--D[y"})
+	if canonGraph(g1) == canonGraph(g2) {
+		t.Fatalf("distinct graphs share a canonical key:\n%s", canonGraph(g1))
+	}
+}
+
+// Endpoint sorting must extend to the predicate: an edge added as
+// (A, B, A.k = B.k) and the same join added as (B, A, B.k = A.k) are
+// one graph, and AND-chains are unordered conjunct sets. Before
+// canonExpr, the endpoints were sorted but the label was not, so
+// mirrored builds of equal graphs missed the cache.
+func TestCanonGraphNormalizesEdgeDirection(t *testing.T) {
+	eq := func(l, r string) expr.Expr {
+		return expr.Bin{Op: expr.OpEq, L: expr.Col{Name: l}, R: expr.Col{Name: r}}
+	}
+	two := func() *graph.QueryGraph {
+		g := graph.New()
+		g.MustAddNode("A", "A")
+		g.MustAddNode("B", "B")
+		return g
+	}
+	g1 := two()
+	g1.MustAddEdge("A", "B", eq("A.k", "B.k"))
+	g2 := two()
+	g2.MustAddEdge("B", "A", eq("B.k", "A.k"))
+	if canonGraph(g1) != canonGraph(g2) {
+		t.Errorf("mirrored equality edges canonicalize differently:\n%s\nvs\n%s",
+			canonGraph(g1), canonGraph(g2))
+	}
+
+	// Conjunct order and comparison mirroring normalize too.
+	p := eq("A.k", "B.k")
+	q := expr.Bin{Op: expr.OpLt, L: expr.Col{Name: "A.v"}, R: expr.Col{Name: "B.v"}}
+	qm := expr.Bin{Op: expr.OpGt, L: expr.Col{Name: "B.v"}, R: expr.Col{Name: "A.v"}}
+	and := func(l, r expr.Expr) expr.Expr { return expr.Bin{Op: expr.OpAnd, L: l, R: r} }
+	if canonExpr(and(p, q)) != canonExpr(and(qm, p)) {
+		t.Errorf("reordered mirrored conjunction canonicalizes differently:\n%s\nvs\n%s",
+			canonExpr(and(p, q)), canonExpr(and(qm, p)))
+	}
+	// Asymmetric comparisons stay directional: a < b is not b < a.
+	if canonExpr(q) == canonExpr(expr.Bin{Op: expr.OpLt, L: expr.Col{Name: "B.v"}, R: expr.Col{Name: "A.v"}}) {
+		t.Error("swapping operands of < must change the canonical form")
+	}
+}
+
+// The direction fix observed end to end: a session that rebuilds the
+// same join with swapped operand order hits the entry the first build
+// stored — one compute call, not two.
+func TestCacheHitOnMirroredGraphBuild(t *testing.T) {
+	withCache(t, 8)
+	g1, in := cacheCase(t)
+	g2 := graph.New()
+	g2.MustAddNode("A", "A")
+	g2.MustAddNode("B", "B")
+	g2.MustAddEdge("B", "A", expr.Bin{Op: expr.OpEq, L: expr.Col{Name: "B.k"}, R: expr.Col{Name: "A.k"}})
+	calls := cComputeCalls.Value()
+	d1, err := Compute(context.Background(), g1, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Compute(context.Background(), g2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cComputeCalls.Value(); got != calls+1 {
+		t.Errorf("mirrored graph recomputed: calls = %d, want %d", got, calls+1)
+	}
+	if !d1.EqualSet(d2) {
+		t.Error("mirrored graph served a different D(G)")
+	}
+}
+
+// The fd.cache.entries gauge must track CacheLen through every
+// mutation path: store, store-with-eviction, capacity shrink, and
+// invalidation.
+func TestCacheEntriesGaugeTracksLen(t *testing.T) {
+	withCache(t, 2)
+	check := func(when string) {
+		t.Helper()
+		if got, want := gCacheEntries.Value(), int64(CacheLen()); got != want {
+			t.Fatalf("%s: gauge %d, CacheLen %d", when, got, want)
+		}
+	}
+	g, in := cacheCase(t)
+	if _, err := Compute(context.Background(), g, in); err != nil {
+		t.Fatal(err)
+	}
+	check("after first store")
+	// Mutate the instance so each Compute stores under a fresh key,
+	// driving the eviction path once the capacity is exceeded.
+	for i := 0; i < 4; i++ {
+		in.Relation("A").AddRow(strconv.Itoa(100+i), "pad")
+		if _, err := Compute(context.Background(), g, in); err != nil {
+			t.Fatal(err)
+		}
+		check("after store with eviction")
+	}
+	if CacheLen() != 2 {
+		t.Fatalf("CacheLen = %d, want capacity 2", CacheLen())
+	}
+	SetCacheCapacity(1)
+	check("after capacity shrink")
+	InvalidateCache()
+	check("after invalidate")
 }

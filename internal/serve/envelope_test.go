@@ -54,6 +54,8 @@ func TestAllEndpointsErrorEnvelopes(t *testing.T) {
 		{"session_create_malformed", "POST", "/api/sessions", malformed, http.StatusBadRequest},
 		{"session_list", "GET", "/api/sessions", "", http.StatusOK},
 		{"session_delete_missing", "DELETE", "/api/sessions/nope", "", http.StatusNotFound},
+		{"session_archived", "GET", "/api/sessions/archived", "", http.StatusOK},
+		{"resurrect_disabled", "POST", "/api/sessions/nope/resurrect", "", http.StatusBadRequest},
 		{"corr_malformed", "POST", "/api/sessions/" + id + "/corr", malformed, http.StatusBadRequest},
 		{"walk_malformed", "POST", "/api/sessions/" + id + "/walk", malformed, http.StatusBadRequest},
 		{"chase_malformed", "POST", "/api/sessions/" + id + "/chase", malformed, http.StatusBadRequest},

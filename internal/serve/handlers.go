@@ -25,7 +25,9 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /api/stats", s.handle("stats", s.handleStats))
 	s.mux.Handle("POST /api/sessions", s.handle("session_create", s.handleCreateSession))
 	s.mux.Handle("GET /api/sessions", s.handle("session_list", s.handleListSessions))
+	s.mux.Handle("GET /api/sessions/archived", s.handle("session_archived", s.handleArchivedSessions))
 	s.mux.Handle("DELETE /api/sessions/{id}", s.handle("session_delete", s.handleDeleteSession))
+	s.mux.Handle("POST /api/sessions/{id}/resurrect", s.handle("session_resurrect", s.handleResurrect))
 	for _, op := range []string{"corr", "walk", "chase", "filter", "use", "accept", "undo", "rows"} {
 		s.mux.Handle("POST /api/sessions/{id}/"+op, s.handle(op, s.opHandler(op)))
 	}
@@ -52,6 +54,7 @@ func (s *Server) opHandler(op string) handlerFunc {
 				return nil, err
 			}
 			sess.journal.Append(workspace.JournalRecord{Kind: "op", Op: op, Args: args})
+			s.maybeSnapshot(sess)
 			return out, nil
 		})
 	}
@@ -117,16 +120,22 @@ func (s *Server) handleDeleteSession(ctx context.Context, r *http.Request) (any,
 
 func (s *Server) handleStats(ctx context.Context, r *http.Request) (any, error) {
 	return map[string]any{
-		"sessions":       len(s.sessionIDs()),
-		"cache_entries":  fd.CacheLen(),
-		"cache_capacity": fd.CacheCapacity(),
-		"in_flight":      gInFlight.Value(),
-		"requests":       cRequests.Value(),
-		"throttled":      cThrottled.Value(),
+		"sessions":          len(s.sessionIDs()),
+		"sessions_archived": len(s.archivedIDs()),
+		"cache_entries":     fd.CacheLen(),
+		"cache_capacity":    fd.CacheCapacity(),
+		"in_flight":         gInFlight.Value(),
+		"requests":          cRequests.Value(),
+		"throttled":         cThrottled.Value(),
+		"session_throttled": cSessionThrottled.Value(),
+		"expired":           cExpired.Value(),
+		"resurrected":       cResurrected.Value(),
 	}, nil
 }
 
 // withSession resolves the session and runs f under the session lock.
+// A tombstoned session (idle-expired between lookup and lock) answers
+// 404 like any other missing session.
 func (s *Server) withSession(r *http.Request, f func(sess *Session) (any, error)) (any, error) {
 	sess, err := s.session(r)
 	if err != nil {
@@ -134,9 +143,13 @@ func (s *Server) withSession(r *http.Request, f func(sess *Session) (any, error)
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.gone {
+		return nil, notFound("no session %q", sess.ID)
+	}
 	if sess.tool == nil {
 		return nil, badRequest("session %s has no tool", sess.ID)
 	}
+	sess.touch()
 	return f(sess)
 }
 

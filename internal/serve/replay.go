@@ -8,8 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
+	"time"
 
 	"clio/internal/core"
 	"clio/internal/csvio"
@@ -81,6 +80,7 @@ func (s *Server) initSession(ctx context.Context, sess *Session, args json.RawMe
 	if err := unmarshalArgs(args, &req); err != nil {
 		return nil, err
 	}
+	sess.rowOps = nil
 	switch src := req.Source; {
 	case src == "" || src == "paper":
 		sess.in = paperdb.Instance()
@@ -243,6 +243,10 @@ func (s *Server) applyOp(ctx context.Context, sess *Session, op string, args jso
 				req.Relation, rel.Scheme().Arity(), len(req.Values))
 		}
 		rel.AddRow(req.Values...)
+		// Remember the insert verbatim: journal snapshots replay row
+		// ops before installing tool state, so a restored session's
+		// instance matches the live one exactly.
+		sess.rowOps = append(sess.rowOps, args)
 		return map[string]any{
 			"relation": req.Relation,
 			"tuples":   rel.Len(),
@@ -287,21 +291,36 @@ func (s *Server) replaySession(id string) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	ctx := context.Background()
-	if _, err := s.initSession(ctx, sess, recs[0].Args); err != nil {
+	createArgs := recs[0].Args
+	if _, err := s.initSession(ctx, sess, createArgs); err != nil {
 		s.dropSession(id)
 		cReplayFailures.Inc()
 		fmt.Fprintf(os.Stderr, "warn: journal %s: create replay failed: %v\n", id, err)
 		return
 	}
 	for _, rec := range recs[1:] {
-		if rec.Kind != "op" {
-			continue
+		switch rec.Kind {
+		case "snapshot":
+			// A snapshot supersedes everything before it: rebuild the
+			// session from scratch (fresh instance, knowledge, index),
+			// then install the snapshotted state. Failure falls back
+			// to whatever state the records so far produced.
+			if _, err := s.initSession(ctx, sess, createArgs); err != nil {
+				fmt.Fprintf(os.Stderr, "warn: journal %s: snapshot re-init failed: %v\n", id, err)
+				continue
+			}
+			if err := s.restoreFromSnapshot(ctx, sess, rec.Args); err != nil {
+				fmt.Fprintf(os.Stderr, "warn: journal %s: snapshot restore failed: %v\n", id, err)
+				continue
+			}
+			cReplayOps.Inc()
+		case "op":
+			if _, err := s.applyOp(ctx, sess, rec.Op, rec.Args); err != nil {
+				fmt.Fprintf(os.Stderr, "warn: journal %s: replay of %q failed: %v\n", id, rec.Op, err)
+				continue
+			}
+			cReplayOps.Inc()
 		}
-		if _, err := s.applyOp(ctx, sess, rec.Op, rec.Args); err != nil {
-			fmt.Fprintf(os.Stderr, "warn: journal %s: replay of %q failed: %v\n", id, rec.Op, err)
-			continue
-		}
-		cReplayOps.Inc()
 	}
 	// Reattach the journal over the surviving records: the file is
 	// rewritten clean (dropping any torn tail) and future ops append.
@@ -314,9 +333,12 @@ func (s *Server) replaySession(id string) {
 func (s *Server) restoreSession(id string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess := &Session{ID: id}
+	sess := &Session{ID: id, lastUsed: time.Now()}
+	if s.cfg.SessionRPS > 0 {
+		sess.bucket = newTokenBucket(s.cfg.SessionRPS)
+	}
 	s.sessions[id] = sess
-	if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > s.nextID {
+	if n, ok := sessionNum(id); ok && n > s.nextID {
 		s.nextID = n
 	}
 	gSessions.Set(int64(len(s.sessions)))

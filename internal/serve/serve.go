@@ -14,9 +14,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -32,13 +34,17 @@ import (
 
 // Service instrumentation.
 var (
-	cRequests  = obs.GetCounter("serve.requests")
-	cErrors    = obs.GetCounter("serve.request_errors")
-	cThrottled = obs.GetCounter("serve.throttled")
-	cPanics    = obs.GetCounter("clio.panics")
-	gInFlight  = obs.GetGauge("serve.in_flight")
-	gSessions  = obs.GetGauge("serve.sessions")
-	hRequestNS = obs.GetHistogram("serve.request.ns")
+	cRequests         = obs.GetCounter("serve.requests")
+	cErrors           = obs.GetCounter("serve.request_errors")
+	cThrottled        = obs.GetCounter("serve.throttled")
+	cSessionThrottled = obs.GetCounter("serve.session_throttled")
+	cPanics           = obs.GetCounter("clio.panics")
+	cExpired          = obs.GetCounter("serve.sessions_expired")
+	cResurrected      = obs.GetCounter("serve.sessions_resurrected")
+	gInFlight         = obs.GetGauge("serve.in_flight")
+	gSessions         = obs.GetGauge("serve.sessions")
+	gArchived         = obs.GetGauge("serve.sessions_archived")
+	hRequestNS        = obs.GetHistogram("serve.request.ns")
 )
 
 // Config tunes a Server.
@@ -67,10 +73,36 @@ type Config struct {
 	// JournalCompactEvery compacts a session journal after every Nth
 	// op record (default 64; negative disables).
 	JournalCompactEvery int
+	// SnapshotEvery writes a full session-state snapshot into the
+	// journal after every Nth op and discards the ops it supersedes,
+	// bounding replay cost by ops-since-last-snapshot. Zero disables.
+	// Requires JournalDir.
+	SnapshotEvery int
+	// IdleTTL tombstones sessions idle longer than this: a final
+	// snapshot is taken, the journal moves to the archive directory,
+	// and the in-memory tool is released. An archived session is
+	// absent from the live list but resurrectable via
+	// POST /api/sessions/{id}/resurrect. Zero disables; requires
+	// JournalDir.
+	IdleTTL time.Duration
+	// ReapEvery is the idle-reaper tick (default IdleTTL/4).
+	ReapEvery time.Duration
+	// ArchiveDir stores tombstoned session journals (default
+	// JournalDir/archive).
+	ArchiveDir string
 	// Budget caps the rows/bytes any single request may materialize
 	// (D(G) computations included). Exceeding it returns 413. Zero
 	// fields are unlimited.
 	Budget fd.Budget
+	// SessionBudget caps the rows/bytes a single session-scoped
+	// request may materialize, layered under (field-wise min with) the
+	// server-wide Budget. Zero fields are unlimited.
+	SessionBudget fd.Budget
+	// SessionRPS rate-limits each session with its own token bucket
+	// (burst = ceil(SessionRPS), min 1): a saturating tenant gets 429
+	// with Retry-After while other sessions keep serving under the
+	// shared admission gate. Zero disables.
+	SessionRPS float64
 	// RetryAfter is the back-off hint sent with 429 responses
 	// (rounded up to whole seconds). Default 1s.
 	RetryAfter time.Duration
@@ -86,8 +118,19 @@ func (c Config) withDefaults() Config {
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 64
 	}
+	if c.JournalCompactEvery == 0 {
+		// The serve-level default stays 64 (negative disables); the
+		// journal itself treats zero as disabled.
+		c.JournalCompactEvery = 64
+	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.ReapEvery <= 0 {
+		c.ReapEvery = c.IdleTTL / 4
+	}
+	if c.ArchiveDir == "" && c.JournalDir != "" {
+		c.ArchiveDir = filepath.Join(c.JournalDir, "archive")
 	}
 	return c
 }
@@ -99,9 +142,10 @@ func (c Config) withDefaults() Config {
 // auto-confirms first and snapshots twice.
 func (c Config) journalOptions() workspace.JournalOptions {
 	return workspace.JournalOptions{
-		FsyncEvery:   c.JournalFsyncEvery,
-		CompactEvery: c.JournalCompactEvery,
-		Foldable:     []string{"walk", "chase", "filter", "accept"},
+		FsyncEvery:    c.JournalFsyncEvery,
+		CompactEvery:  c.JournalCompactEvery,
+		SnapshotEvery: c.SnapshotEvery,
+		Foldable:      []string{"walk", "chase", "filter", "accept"},
 	}
 }
 
@@ -116,6 +160,58 @@ type Session struct {
 	target  *schema.Relation
 	tool    *workspace.Tool
 	journal *workspace.Journal
+	// rowOps keeps every successful "rows" op's args verbatim since
+	// session creation; journal snapshots embed them so a restored
+	// tool sees the same instance mutations in the same order.
+	rowOps []json.RawMessage
+	// lastUsed drives idle expiry; gone marks a tombstoned session
+	// (its journal archived, its tool released).
+	lastUsed time.Time
+	gone     bool
+
+	// bucket is the per-session token-bucket rate limiter (nil when
+	// SessionRPS is unset).
+	bucket *tokenBucket
+}
+
+// touch refreshes the idle clock. Callers hold sess.mu.
+func (sess *Session) touch() { sess.lastUsed = time.Now() }
+
+// tokenBucket is a minimal token-bucket rate limiter.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rps float64) *tokenBucket {
+	burst := math.Ceil(rps)
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rps, burst: burst, tokens: burst}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until the next token accrues.
+func (b *tokenBucket) take(now time.Time) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return wait, false
 }
 
 // Server is the HTTP front end.
@@ -130,6 +226,10 @@ type Server struct {
 	sessions map[string]*Session
 	nextID   int
 	serveErr chan error
+
+	reapStop chan struct{}
+	reapWG   sync.WaitGroup
+	shutOnce sync.Once
 }
 
 // New builds a server (not yet listening). It sizes the D(G) cache
@@ -151,6 +251,10 @@ func New(cfg Config) *Server {
 	s.routes()
 	if cfg.JournalDir != "" {
 		s.replayJournals()
+		s.noteArchivedIDs()
+	}
+	if cfg.JournalDir != "" && cfg.IdleTTL > 0 {
+		s.startReaper()
 	}
 	return s
 }
@@ -184,17 +288,23 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown stops accepting connections and drains in-flight requests
-// until ctx expires, then waits for the serve loop to exit.
+// Shutdown stops the idle reaper, stops accepting connections, drains
+// in-flight requests until ctx expires, waits for the serve loop to
+// exit, and closes every session journal. It works whether or not
+// Start was ever called (tests drive the handler directly), and is
+// idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.httpSrv == nil {
-		return nil
-	}
-	err := s.httpSrv.Shutdown(ctx)
-	if serr := <-s.serveErr; serr != nil && err == nil {
-		err = serr
-	}
-	s.closeJournals()
+	var err error
+	s.shutOnce.Do(func() {
+		s.stopReaper()
+		if s.httpSrv != nil {
+			err = s.httpSrv.Shutdown(ctx)
+			if serr := <-s.serveErr; serr != nil && err == nil {
+				err = serr
+			}
+		}
+		s.closeJournals()
+	})
 	return err
 }
 
@@ -282,10 +392,32 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 		start := time.Now()
 		defer hRequestNS.ObserveSince(start)
 
+		// Per-session token bucket, layered under the server-wide
+		// gate: one tenant hammering its session gets 429 while other
+		// sessions' buckets stay full.
+		sessID := r.PathValue("id")
+		if sess := s.peekSession(sessID); sess != nil && sess.bucket != nil {
+			if wait, ok := sess.bucket.take(time.Now()); !ok {
+				cSessionThrottled.Inc()
+				secs := int((wait + time.Second - 1) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeJSON(w, http.StatusTooManyRequests,
+					map[string]string{"error": "session rate limit exceeded, retry later"})
+				return
+			}
+		}
+
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		if !s.cfg.Budget.Unlimited() {
-			ctx = fd.WithBudget(ctx, s.cfg.Budget)
+		budget := s.cfg.Budget
+		if sessID != "" {
+			budget = minBudget(budget, s.cfg.SessionBudget)
+		}
+		if !budget.Unlimited() {
+			ctx = fd.WithBudget(ctx, budget)
 		}
 		ctx, span := obs.StartSpan(ctx, "serve."+name)
 		defer span.End()
@@ -371,15 +503,51 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
+// minBudget combines two budgets field-wise: the tighter non-zero
+// limit wins (zero means unlimited).
+func minBudget(a, b fd.Budget) fd.Budget {
+	return fd.Budget{
+		MaxRows:  minLimit(a.MaxRows, b.MaxRows),
+		MaxBytes: minLimit(a.MaxBytes, b.MaxBytes),
+	}
+}
+
+func minLimit(a, b int64) int64 {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	}
+	return b
+}
+
 // newSession registers a fresh session.
 func (s *Server) newSession() *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	sess := &Session{ID: "s" + strconv.Itoa(s.nextID)}
+	sess := &Session{ID: "s" + strconv.Itoa(s.nextID), lastUsed: time.Now()}
+	if s.cfg.SessionRPS > 0 {
+		sess.bucket = newTokenBucket(s.cfg.SessionRPS)
+	}
 	s.sessions[sess.ID] = sess
 	gSessions.Set(int64(len(s.sessions)))
 	return sess
+}
+
+// peekSession returns the live session for id, or nil — never an
+// error; middleware uses it before the handler resolves the session
+// properly.
+func (s *Server) peekSession(id string) *Session {
+	if id == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
 }
 
 // session resolves a session ID from the request path.

@@ -41,17 +41,21 @@ import (
 
 // Journal instrumentation.
 var (
-	cJournalAppends  = obs.GetCounter("clio.journal.appends")
-	cJournalRetries  = obs.GetCounter("clio.journal.retries")
-	cJournalCorrupt  = obs.GetCounter("clio.journal.corrupt_records")
-	cJournalCompacts = obs.GetCounter("clio.journal.compactions")
-	gJournalDegraded = obs.GetGauge("clio.journal.degraded")
+	cJournalAppends   = obs.GetCounter("clio.journal.appends")
+	cJournalRetries   = obs.GetCounter("clio.journal.retries")
+	cJournalCorrupt   = obs.GetCounter("clio.journal.corrupt_records")
+	cJournalCompacts  = obs.GetCounter("clio.journal.compactions")
+	cJournalSnapshots = obs.GetCounter("clio.journal.snapshots")
+	cJournalArchived  = obs.GetCounter("clio.journal.archived")
+	gJournalDegraded  = obs.GetGauge("clio.journal.degraded")
 )
 
 // JournalRecord is one durable entry: a session's creation parameters
-// (kind "create") or one successful state-changing operation (kind
-// "op"). Args preserves the operation's arguments verbatim, so replay
-// re-executes exactly what the client sent.
+// (kind "create"), one successful state-changing operation (kind
+// "op"), or a full state snapshot (kind "snapshot") that supersedes
+// every op before it. Args preserves the operation's arguments
+// verbatim, so replay re-executes exactly what the client sent; for a
+// snapshot it carries the owner's serialized canonical state.
 type JournalRecord struct {
 	Kind string          `json:"kind"`
 	Op   string          `json:"op,omitempty"`
@@ -70,9 +74,18 @@ type JournalOptions struct {
 	// the default; larger trades durability of the last N-1 ops for
 	// throughput).
 	FsyncEvery int
-	// CompactEvery triggers compaction after every Nth op record
-	// (default 64; 0 disables).
+	// CompactEvery triggers undo-folding compaction after every Nth
+	// op record. Zero (and any negative value) disables compaction;
+	// owners that want the historical default must ask for 64
+	// explicitly.
 	CompactEvery int
+	// SnapshotEvery arms snapshot-based compaction: once SnapshotDue
+	// reports true (every Nth op record since the last snapshot), the
+	// owner is expected to call Snapshot with its serialized state,
+	// which rewrites the journal to [create, snapshot] so replay cost
+	// is bounded by ops-since-last-snapshot instead of total history.
+	// Zero or negative disables.
+	SnapshotEvery int
 	// Foldable names the ops whose single history snapshot an
 	// immediately following "undo" restores; compaction cancels such
 	// adjacent pairs. Ops that may snapshot more than once (e.g. a
@@ -88,9 +101,6 @@ type JournalOptions struct {
 func (o JournalOptions) withDefaults() JournalOptions {
 	if o.FsyncEvery <= 0 {
 		o.FsyncEvery = 1
-	}
-	if o.CompactEvery == 0 {
-		o.CompactEvery = 64
 	}
 	if o.retryAttempts <= 0 {
 		o.retryAttempts = 4
@@ -112,13 +122,14 @@ type Journal struct {
 	opts     JournalOptions
 	foldable map[string]bool
 
-	f        *os.File
-	size     int64 // bytes of complete, acknowledged lines
-	unsynced int   // appends since the last fsync
-	ops      int   // op records since the last compaction
-	seq      int64 // total appends, drives deterministic jitter
-	degraded bool
-	recs     []JournalRecord // full surviving record list (compaction input)
+	f         *os.File
+	size      int64 // bytes of complete, acknowledged lines
+	unsynced  int   // appends since the last fsync
+	ops       int   // op records since the last compaction
+	sinceSnap int   // op records since the last snapshot record
+	seq       int64 // total appends, drives deterministic jitter
+	degraded  bool
+	recs      []JournalRecord // full surviving record list (compaction input)
 }
 
 // JournalPath returns the journal file for a session ID in dir.
@@ -169,8 +180,12 @@ func ResumeJournal(dir, id string, recs []JournalRecord, opts JournalOptions) *J
 	defer j.mu.Unlock()
 	j.recs = append([]JournalRecord(nil), recs...)
 	for _, r := range recs {
-		if r.Kind == "op" {
+		switch r.Kind {
+		case "op":
 			j.ops++
+			j.sinceSnap++
+		case "snapshot":
+			j.sinceSnap = 0
 		}
 	}
 	if err := j.rewriteLocked(); err != nil {
@@ -205,6 +220,7 @@ func (j *Journal) Append(rec JournalRecord) {
 	j.recs = append(j.recs, rec)
 	if rec.Kind == "op" {
 		j.ops++
+		j.sinceSnap++
 	}
 	if j.degraded {
 		return
@@ -275,6 +291,88 @@ func (j *Journal) Remove() {
 		j.degraded = false
 		gJournalDegraded.Add(-1)
 	}
+}
+
+// Records returns the number of surviving journal records (the replay
+// length after a crash at this instant). Zero for a nil journal.
+func (j *Journal) Records() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// SnapshotDue reports whether enough op records accumulated since the
+// last snapshot that the owner should call Snapshot. Always false when
+// snapshots are disabled, on a nil journal, or in degraded mode (there
+// is no file left to bound).
+func (j *Journal) SnapshotDue() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.opts.SnapshotEvery > 0 && !j.degraded && j.sinceSnap >= j.opts.SnapshotEvery
+}
+
+// Snapshot rewrites the journal to its creation record followed by a
+// single snapshot record carrying state (the owner's serialized
+// canonical session state), discarding every op record the snapshot
+// supersedes. Failure (including an injected fault at
+// "journal.snapshot") leaves the journal untouched and still valid —
+// replay just stays proportional to total history; it reports whether
+// the snapshot took effect.
+func (j *Journal) Snapshot(state json.RawMessage) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded || len(j.recs) == 0 || j.recs[0].Kind != "create" {
+		return false
+	}
+	if err := fault.Inject("journal.snapshot"); err != nil {
+		return false
+	}
+	old, oldOps, oldSince := j.recs, j.ops, j.sinceSnap
+	j.recs = []JournalRecord{old[0], {Kind: "snapshot", Args: state}}
+	j.ops, j.sinceSnap = 0, 0
+	if err := j.rewriteLocked(); err != nil {
+		j.recs, j.ops, j.sinceSnap = old, oldOps, oldSince
+		return false
+	}
+	cJournalSnapshots.Inc()
+	return true
+}
+
+// ArchiveJournal tombstones a session's journal: the file moves from
+// the live journal directory to the archive directory, out of the
+// boot-time replay scan but resurrectable on demand. An injected fault
+// at "journal.archive" fails the move, leaving the live journal
+// intact.
+func ArchiveJournal(dir, archiveDir, id string) error {
+	if err := fault.Inject("journal.archive"); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(archiveDir, 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(JournalPath(dir, id), JournalPath(archiveDir, id)); err != nil {
+		return err
+	}
+	cJournalArchived.Inc()
+	return nil
+}
+
+// UnarchiveJournal moves an archived session journal back into the
+// live journal directory so it can be replayed.
+func UnarchiveJournal(archiveDir, dir, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.Rename(JournalPath(archiveDir, id), JournalPath(dir, id))
 }
 
 // ReadJournal decodes a journal file. Lines that fail JSON decoding

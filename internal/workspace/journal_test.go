@@ -235,3 +235,149 @@ func TestNilJournalIsInert(t *testing.T) {
 		t.Error("nil journal has a path")
 	}
 }
+
+// Regression: CompactEvery 0 must actually disable compaction (the
+// option documents "0 disables" but withDefaults used to rewrite 0 to
+// 64, so a long session silently compacted anyway). With compaction
+// off, every record of a long foldable (op, undo) run must survive.
+func TestJournalCompactEveryZeroDisablesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := OpenJournal(dir, "s1", JournalOptions{CompactEvery: 0, Foldable: []string{"walk"}})
+	j.Append(JournalRecord{Kind: "create"})
+	const pairs = 40 // 80 op records, beyond the old implicit 64 trigger
+	for i := 0; i < pairs; i++ {
+		j.Append(opRec("walk", `{"n":1}`))
+		j.Append(opRec("undo", ""))
+	}
+	j.Close()
+
+	recs, corrupt, err := ReadJournal(JournalPath(dir, "s1"))
+	if err != nil || corrupt != 0 {
+		t.Fatalf("ReadJournal: corrupt=%d err=%v", corrupt, err)
+	}
+	if want := 1 + 2*pairs; len(recs) != want {
+		t.Fatalf("CompactEvery 0 still compacted: %d records survive, want %d", len(recs), want)
+	}
+}
+
+// A snapshot rewrites the journal to [create, snapshot], so replay
+// cost is bounded by ops since the last snapshot: with interval k the
+// file never holds more than k+1 records once the owner snapshots on
+// SnapshotDue.
+func TestJournalSnapshotBoundsRecords(t *testing.T) {
+	dir := t.TempDir()
+	const k = 4
+	j := OpenJournal(dir, "s1", JournalOptions{SnapshotEvery: k, CompactEvery: -1})
+	j.Append(JournalRecord{Kind: "create", Args: json.RawMessage(`{"name":"m"}`)})
+	for i := 0; i < 4*k; i++ {
+		j.Append(opRec("walk", `{"n":1}`))
+		if j.SnapshotDue() {
+			if !j.Snapshot(json.RawMessage(`{"state":"s"}`)) {
+				t.Fatal("Snapshot failed with no fault armed")
+			}
+		}
+		if n := j.Records(); n > k+1 {
+			t.Fatalf("journal holds %d records after op %d, want <= %d", n, i+1, k+1)
+		}
+	}
+	j.Close()
+
+	recs, corrupt, err := ReadJournal(JournalPath(dir, "s1"))
+	if err != nil || corrupt != 0 {
+		t.Fatalf("ReadJournal: corrupt=%d err=%v", corrupt, err)
+	}
+	if len(recs) > k+1 {
+		t.Fatalf("on-disk journal has %d records, want <= %d", len(recs), k+1)
+	}
+	if recs[0].Kind != "create" || recs[1].Kind != "snapshot" {
+		t.Fatalf("journal shape after snapshots: %q, %q; want create, snapshot", recs[0].Kind, recs[1].Kind)
+	}
+	if string(recs[1].Args) != `{"state":"s"}` {
+		t.Fatalf("snapshot args %s, want {\"state\":\"s\"}", recs[1].Args)
+	}
+
+	// Resuming over a snapshot keeps counting ops since that snapshot.
+	j2 := ResumeJournal(dir, "s1", recs, JournalOptions{SnapshotEvery: k, CompactEvery: -1})
+	defer j2.Close()
+	if j2.SnapshotDue() {
+		t.Error("fresh resume over a snapshot must not be immediately due")
+	}
+	for i := 0; i < k; i++ {
+		j2.Append(opRec("walk", `{"n":2}`))
+	}
+	if !j2.SnapshotDue() {
+		t.Error("after k more ops a snapshot must be due again")
+	}
+}
+
+// An injected fault at the snapshot write point must skip the
+// snapshot, not corrupt or truncate the journal: every op record is
+// still there and the journal keeps accepting appends.
+func TestJournalSnapshotFaultKeepsRecords(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("journal.snapshot", fault.Spec{Mode: fault.ModeError})
+
+	dir := t.TempDir()
+	const k = 3
+	j := OpenJournal(dir, "s1", JournalOptions{SnapshotEvery: k, CompactEvery: -1})
+	j.Append(JournalRecord{Kind: "create"})
+	for i := 0; i < 3*k; i++ {
+		j.Append(opRec("walk", `{"n":1}`))
+		if j.SnapshotDue() {
+			if j.Snapshot(json.RawMessage(`{}`)) {
+				t.Fatal("Snapshot succeeded despite injected fault")
+			}
+		}
+	}
+	j.Close()
+	recs, corrupt, err := ReadJournal(JournalPath(dir, "s1"))
+	if err != nil || corrupt != 0 {
+		t.Fatalf("ReadJournal: corrupt=%d err=%v", corrupt, err)
+	}
+	if want := 1 + 3*k; len(recs) != want {
+		t.Fatalf("failed snapshots altered the journal: %d records, want %d", len(recs), want)
+	}
+}
+
+// Archiving moves a journal out of the live directory (and the boot
+// replay scan) into the archive; unarchiving moves it back intact. An
+// injected fault at "journal.archive" fails the move and leaves the
+// live file untouched.
+func TestJournalArchiveMoveAndFault(t *testing.T) {
+	dir := t.TempDir()
+	archive := filepath.Join(dir, "archive")
+	j := OpenJournal(dir, "s1", JournalOptions{})
+	j.Append(JournalRecord{Kind: "create"})
+	j.Append(opRec("walk", `{"n":1}`))
+	j.Close()
+
+	fault.Enable(1)
+	fault.Set("journal.archive", fault.Spec{Mode: fault.ModeError, Times: 1})
+	if err := ArchiveJournal(dir, archive, "s1"); err == nil {
+		t.Fatal("ArchiveJournal succeeded despite injected fault")
+	}
+	fault.Disable()
+	if _, err := os.Stat(JournalPath(dir, "s1")); err != nil {
+		t.Fatalf("failed archive move lost the live journal: %v", err)
+	}
+
+	if err := ArchiveJournal(dir, archive, "s1"); err != nil {
+		t.Fatalf("ArchiveJournal: %v", err)
+	}
+	if ids, _ := JournalFiles(dir); len(ids) != 0 {
+		t.Fatalf("live dir still lists %v after archive", ids)
+	}
+	ids, err := JournalFiles(archive)
+	if err != nil || len(ids) != 1 || ids[0] != "s1" {
+		t.Fatalf("archive lists %v, %v; want [s1]", ids, err)
+	}
+
+	if err := UnarchiveJournal(archive, dir, "s1"); err != nil {
+		t.Fatalf("UnarchiveJournal: %v", err)
+	}
+	recs, corrupt, err := ReadJournal(JournalPath(dir, "s1"))
+	if err != nil || corrupt != 0 || len(recs) != 2 {
+		t.Fatalf("unarchived journal: records=%d corrupt=%d err=%v", len(recs), corrupt, err)
+	}
+}

@@ -1,0 +1,153 @@
+package workspace
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"clio/internal/core"
+	"clio/internal/paperdb"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// SnapshotState/RestoreState must round-trip a session exactly: a tool
+// rebuilt from the serialized state renders the same canonical op log,
+// the same workspace set, and the same target view — and stays fully
+// live (undo history, further operators).
+func TestToolStateRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	tl := newTool(t)
+	if err := tl.Start("kids"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.AddCorrespondence(ctx, core.Identity("Children.ID", schema.Col("Kids", "ID"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Walk(ctx, "Children", "PhoneDir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Confirm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Chase(ctx, "Children.ID", value.String("002")); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := tl.SnapshotState()
+	if err != nil {
+		t.Fatalf("SnapshotState: %v", err)
+	}
+	// The state must survive JSON (it is embedded in journal records).
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var st2 ToolState
+	if err := json.Unmarshal(data, &st2); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+
+	tl2 := newTool(t)
+	if err := tl2.RestoreState(st2); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+
+	if got, want := tl2.OpLogCanonical(), tl.OpLogCanonical(); got != want {
+		t.Errorf("restored op log differs:\n--- want\n%s--- got\n%s", want, got)
+	}
+	if got, want := tl2.OpLogString(), tl.OpLogString(); got != want {
+		t.Errorf("restored op log (with durations) differs:\n--- want\n%s--- got\n%s", want, got)
+	}
+	ws, ws2 := tl.Workspaces(), tl2.Workspaces()
+	if len(ws2) != len(ws) {
+		t.Fatalf("restored %d workspaces, want %d", len(ws2), len(ws))
+	}
+	for i := range ws {
+		if ws2[i].ID != ws[i].ID || ws2[i].Note != ws[i].Note || ws2[i].Rank != ws[i].Rank {
+			t.Errorf("workspace %d metadata differs: got {%d %q %d} want {%d %q %d}",
+				i, ws2[i].ID, ws2[i].Note, ws2[i].Rank, ws[i].ID, ws[i].Note, ws[i].Rank)
+		}
+		if ws2[i].Mapping.String() != ws[i].Mapping.String() {
+			t.Errorf("workspace %d mapping differs:\n--- want\n%s\n--- got\n%s",
+				i, ws[i].Mapping, ws2[i].Mapping)
+		}
+		if len(ws2[i].Illustration.Examples) != len(ws[i].Illustration.Examples) {
+			t.Errorf("workspace %d: %d restored examples, want %d",
+				i, len(ws2[i].Illustration.Examples), len(ws[i].Illustration.Examples))
+		}
+		if ws2[i].Illustration.Mapping != ws2[i].Mapping {
+			t.Errorf("workspace %d: restored illustration not rewired to its mapping", i)
+		}
+	}
+	if len(tl2.Accepted()) != len(tl.Accepted()) {
+		t.Fatalf("restored %d accepted mappings, want %d", len(tl2.Accepted()), len(tl.Accepted()))
+	}
+
+	view, err := tl.TargetView(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view2, err := tl2.TargetView(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.String() != view2.String() {
+		t.Errorf("restored target view differs:\n--- want\n%s\n--- got\n%s", view, view2)
+	}
+
+	// The restored tool is live: undo pops the chase, and the ID
+	// allocator continues without collisions.
+	if err := tl2.Undo(); err != nil {
+		t.Fatalf("Undo on restored tool: %v", err)
+	}
+	if err := tl.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	uv, _ := tl.TargetView(ctx)
+	uv2, err := tl2.TargetView(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uv.String() != uv2.String() {
+		t.Errorf("post-undo views diverge:\n--- want\n%s\n--- got\n%s", uv, uv2)
+	}
+	if err := tl2.Walk(ctx, "Children", "Parents"); err != nil {
+		t.Fatalf("Walk on restored tool: %v", err)
+	}
+}
+
+// Tagged value serialization must restore values exactly, including
+// the cases value.Parse would mangle (leading-zero strings, typed
+// ints vs strings).
+func TestValueStateExactRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null,
+		value.String("007"), // value.Parse would keep string, but tag makes it explicit
+		value.String("-"),   // value.Parse would turn this into Null
+		value.Int(7),
+		value.Float(2.5),
+		value.Bool(true),
+		value.String(""),
+	}
+	for _, v := range vals {
+		vs := valueState(v)
+		data, err := json.Marshal(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ValueState
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.value()
+		if err != nil {
+			t.Fatalf("restore %v: %v", v, err)
+		}
+		if got.Kind() != v.Kind() || got.Key() != v.Key() {
+			t.Errorf("value %v round-tripped to %v", v, got)
+		}
+	}
+}
+
+var _ = paperdb.Instance // keep the import used if helpers move

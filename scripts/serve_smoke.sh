@@ -16,7 +16,8 @@ trap 'kill "$PID" 2>/dev/null; rm -rf "$LOG" "$BIN" "$JDIR"' EXIT
 go build -o "$BIN" ./cmd/clio
 
 start_server() {
-    "$BIN" serve -addr "$ADDR" -cache 32 -journal-dir "$JDIR" >"$LOG" 2>&1 &
+    # Extra args (lifecycle flags) pass through to clio serve.
+    "$BIN" serve -addr "$ADDR" -cache 32 -journal-dir "$JDIR" "$@" >"$LOG" 2>&1 &
     PID=$!
     # Wait for the server to come up (max ~5s).
     i=0
@@ -79,6 +80,49 @@ curl -sf "$BASE/api/sessions/$SID/examples" >/dev/null || fail "examples failed"
 curl -sf "$BASE/api/sessions/$SID/examples" >/dev/null || fail "examples (cached) failed"
 OUT=$(curl -sf "$BASE/api/stats") || fail "stats failed"
 case "$OUT" in *'"cache_entries"'*) ;; *) fail "no cache stats: $OUT" ;; esac
+
+# Session lifecycle: restart with snapshot compaction and a short idle
+# TTL. Snapshots must bound the journal, idle expiry must tombstone the
+# session into the archive, and resurrect must bring it back with a
+# byte-identical view.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+start_server -snapshot-every 2 -idle-ttl 1s
+
+# Four more ops: with snapshot interval 2, the journal at rest holds at
+# most 3 records (create + snapshot + at most one trailing op).
+for KID in 901 902 903 904; do
+    curl -sf -X POST "$BASE/api/sessions/$SID/rows" \
+        -d "{\"relation\":\"Children\",\"values\":[\"$KID\",\"Kid$KID\",\"9\",\"800\",\"801\",\"d9\"]}" \
+        >/dev/null || fail "row insert $KID failed"
+done
+LINES=$(wc -l <"$JDIR/$SID.journal")
+[ "$LINES" -le 3 ] || fail "journal holds $LINES records after snapshots, want <= 3"
+PRE_EXPIRE=$(curl -sf "$BASE/api/sessions/$SID/view") || fail "pre-expire view failed"
+
+# Leave the session idle past the TTL; the reaper must tombstone it.
+i=0
+while true; do
+    OUT=$(curl -sf "$BASE/api/sessions") || fail "session list during expiry failed"
+    case "$OUT" in
+        *"\"$SID\""*) ;;
+        *) break ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        fail "session $SID not expired after idle TTL: $OUT"
+    fi
+    sleep 0.1
+done
+[ -f "$JDIR/archive/$SID.journal" ] || fail "expired session journal not in archive"
+OUT=$(curl -sf "$BASE/api/sessions/archived") || fail "archived list failed"
+case "$OUT" in *"\"$SID\""*) ;; *) fail "session $SID missing from archive list: $OUT" ;; esac
+
+# Resurrect: archived journal replays back to a live, identical session.
+OUT=$(curl -sf -X POST "$BASE/api/sessions/$SID/resurrect") || fail "resurrect failed"
+case "$OUT" in *'"resurrected"'*) ;; *) fail "no resurrected flag in: $OUT" ;; esac
+POST_RESURRECT=$(curl -sf "$BASE/api/sessions/$SID/view") || fail "post-resurrect view failed"
+[ "$PRE_EXPIRE" = "$POST_RESURRECT" ] || fail "resurrected target view differs from pre-expire view"
 
 # Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$PID"
