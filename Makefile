@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench demo serve-smoke chaos
+.PHONY: build test race vet check bench bench-core bench-smoke demo serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -24,14 +24,26 @@ serve-smoke:
 # chaos runs the deterministic fault-injection suite under the race
 # detector with a pinned seed, so any failure replays exactly.
 chaos:
-	CLIO_CHAOS_SEED=1 $(GO) test -race -run 'Chaos|Journal|Budget|Mode|Prob' ./internal/fault ./internal/fd ./internal/workspace ./internal/serve
+	CLIO_CHAOS_SEED=1 $(GO) test -race -run 'Chaos|Journal|Budget|Mode|Prob' ./internal/fault ./internal/fd ./internal/workspace ./internal/serve ./internal/csvio ./internal/discovery
 
 # check is the tier-1 verification gate: vet, build, tests, race
-# tests, the chaos suite, and the serve smoke test.
-check: vet build test race chaos serve-smoke
+# tests, the chaos suite, the serve smoke test, and a one-iteration
+# pass over the execution-core benchmark workloads.
+check: vet build test race chaos serve-smoke bench-smoke
 
 bench:
 	$(GO) run ./cmd/cliobench -quick
+
+# bench-core measures the streaming execution core (E10: D(G), join,
+# minimum-union and distinct micro-workloads) and writes the numbers
+# quoted in the PR to BENCH_core.json.
+bench-core:
+	$(GO) run ./cmd/cliobench -exp E10 -json BENCH_core.json
+
+# bench-smoke runs each E10 workload exactly once — a fast liveness
+# check that the benchmark harness itself still works.
+bench-smoke:
+	$(GO) run ./cmd/cliobench -exp E10 -quick -once
 
 demo:
 	$(GO) run ./cmd/cliodemo

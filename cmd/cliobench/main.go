@@ -19,21 +19,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
+	"clio/internal/algebra"
 	"clio/internal/core"
 	"clio/internal/datagen"
 	"clio/internal/discovery"
 	"clio/internal/expr"
 	"clio/internal/fd"
 	"clio/internal/obs"
+	"clio/internal/paperdb"
 	"clio/internal/relation"
 	"clio/internal/value"
 )
 
 var (
 	quick    = flag.Bool("quick", false, "smaller sweeps")
+	once     = flag.Bool("once", false, "run each measured phase exactly once (smoke mode)")
 	jsonPath = flag.String("json", "", "write per-experiment stats and engine metric snapshots to `file`")
 )
 
@@ -53,6 +57,7 @@ func main() {
 	all := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4,
 		"E5": e5, "E6": e6, "E7": e7, "E8": e8, "E9": e9,
+		"E10": e10,
 	}
 	if *exp != "" {
 		f, ok := all[*exp]
@@ -62,7 +67,7 @@ func main() {
 		}
 		f()
 	} else {
-		for _, k := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+		for _, k := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 			all[k]()
 		}
 	}
@@ -88,7 +93,14 @@ func (s stats) String() string {
 
 // measure times f repeatedly (until ~100ms of total work, at least 3
 // and at most 9 runs) and reports min/median/p95 over the samples.
+// In -once mode (CI smoke) each phase runs exactly one iteration.
 func measure(f func()) stats {
+	if *once {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		return stats{Min: d, Median: d, P95: d, Runs: 1}
+	}
 	var samples []time.Duration
 	var total time.Duration
 	for (total < 100*time.Millisecond && len(samples) < 9) || len(samples) < 3 {
@@ -421,6 +433,77 @@ func e9() {
 		})
 		row(c.rels, c.rows, tInc, tRe, ratio(tRe.Median, tInc.Median))
 	}
+}
+
+// E10: execution-core micro-benchmarks — the hot kernels under every
+// endpoint: the Figure-8 D(G) (paper instance and a scaled chain),
+// hash join, minimum union, and duplicate elimination. `make bench`
+// runs exactly this experiment and writes BENCH_core.json, so core
+// refactors can quote before/after numbers from one command.
+func e10() {
+	joinRows := 5000
+	muRows := 2000
+	chainRows := 400
+	if *quick {
+		joinRows, muRows, chainRows = 500, 300, 100
+	}
+	header("E10", "execution core: D(G), hash join, minimum union, distinct kernels",
+		"workload", "in rows", "out rows", "time", "allocs/op")
+
+	// Figure-8 D(G): the paper's canonical full disjunction (Children,
+	// Parents, PhoneDir over the Figure 1 instance).
+	fig := paperdb.Figure6G()
+	fin := paperdb.Instance()
+	var dg *relation.Relation
+	t, allocs := measureAllocs(func() { dg, _ = fd.Compute(ctx, fig.Graph, fin) })
+	row("figure8 D(G)", fin.TotalTuples(), dg.Len(), t, allocs)
+
+	// Scaled D(G): chain of 4 relations.
+	c := datagen.Chain(datagen.ChainSpec{Relations: 4, Rows: chainRows, KeySpace: chainRows / 2, MatchProb: 0.85, Seed: 42})
+	t, allocs = measureAllocs(func() { dg, _ = fd.Compute(ctx, c.Graph, c.Instance) })
+	row("chain-4 D(G)", chainRows*4, dg.Len(), t, allocs)
+
+	// Hash join: equi-join of two synthetic relations.
+	l, r := joinPair(joinRows)
+	pred := expr.MustParse("L.k = R.k")
+	var j *relation.Relation
+	t, allocs = measureAllocs(func() { j = algebra.JoinRelations(algebra.InnerJoin, l, r, pred) })
+	row("hash join", joinRows*2, j.Len(), t, allocs)
+
+	// Minimum union: subsumption removal over a null-rich relation.
+	nr := nullRichRelation(muRows, 6, 3)
+	var mu *relation.Relation
+	t, allocs = measureAllocs(func() { mu = relation.RemoveSubsumed(nr) })
+	row("minunion sweep", muRows, mu.Len(), t, allocs)
+
+	// Distinct: duplicate elimination over the same null-rich data.
+	var d *relation.Relation
+	t, allocs = measureAllocs(func() { d = nr.Distinct() })
+	row("distinct", muRows, d.Len(), t, allocs)
+}
+
+// joinPair builds two relations L(k, v) and R(k, w) whose keys overlap
+// about half the time.
+func joinPair(rows int) (*relation.Relation, *relation.Relation) {
+	l := relation.New("L", relation.NewScheme("L.k", "L.v"))
+	r := relation.New("R", relation.NewScheme("R.k", "R.w"))
+	for i := 0; i < rows; i++ {
+		l.AddValues(value.Int(int64(i)), value.String(fmt.Sprintf("lv%d", i)))
+		r.AddValues(value.Int(int64(i/2*2)), value.String(fmt.Sprintf("rw%d", i)))
+	}
+	return l, r
+}
+
+// measureAllocs times f like measure and additionally reports the heap
+// allocations of one representative run.
+func measureAllocs(f func()) (stats, int64) {
+	s := measure(f)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return s, int64(after.Mallocs - before.Mallocs)
 }
 
 // div scales every quantile down by n (for per-iteration stats of a

@@ -1,24 +1,31 @@
-// Package algebra implements a materializing relational-algebra
-// evaluator over relation.Instance: scans (with aliasing), selection,
+// Package algebra implements a streaming relational-algebra evaluator
+// over relation.Instance: scans (with aliasing), selection,
 // generalized projection, inner and outer joins (with a hash fast path
 // for equi-join conjuncts), cross product, union, distinct, and the
-// paper's minimum union. Plans also render themselves as SQL, which is
-// how mapping queries are shown to users.
+// paper's minimum union. Every operator compiles to a batched
+// Iterator (see Node.Open); Eval is a thin wrapper that drains the
+// pipeline into a relation. Plans also render themselves as SQL, which
+// is how mapping queries are shown to users.
 package algebra
 
 import (
-	"fmt"
+	"context"
 	"strings"
 
 	"clio/internal/expr"
 	"clio/internal/relation"
 	"clio/internal/schema"
-	"clio/internal/value"
 )
 
 // Node is a relational-algebra plan node.
 type Node interface {
-	// Eval materializes the node's result against the instance.
+	// Open compiles the node to a batched tuple stream against the
+	// instance. Budget accounting and cancellation are drawn from ctx
+	// and surface as errors from the iterator's Next.
+	Open(ctx context.Context, in *relation.Instance) (Iterator, error)
+	// Eval materializes the node's result against the instance,
+	// without a budget or cancellation (it drains Open under the
+	// background context).
 	Eval(in *relation.Instance) (*relation.Relation, error)
 	// SQL renders the node as a SQL table expression.
 	SQL() string
@@ -67,13 +74,7 @@ type Select struct {
 
 // Eval filters the child's tuples under 3VL.
 func (s Select) Eval(in *relation.Instance) (*relation.Relation, error) {
-	c, err := s.Child.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	return c.Filter(func(t relation.Tuple) bool {
-		return expr.Truth(s.Pred, t) == value.True
-	}), nil
+	return Collect(context.Background(), s, in)
 }
 
 // SQL renders a filtered subquery.
@@ -97,24 +98,7 @@ type Project struct {
 
 // Eval computes the projection.
 func (p Project) Eval(in *relation.Instance) (*relation.Relation, error) {
-	c, err := p.Child.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, len(p.Cols))
-	for i, col := range p.Cols {
-		names[i] = col.Name
-	}
-	s := relation.NewScheme(names...)
-	out := relation.New(p.Name, s)
-	for _, t := range c.Tuples() {
-		vals := make([]value.Value, len(p.Cols))
-		for i, col := range p.Cols {
-			vals[i] = col.Expr.Eval(t)
-		}
-		out.AddValues(vals...)
-	}
-	return out, nil
+	return Collect(context.Background(), p, in)
 }
 
 // SQL renders SELECT exprs FROM child.
@@ -169,17 +153,27 @@ type Join struct {
 	On   expr.Expr
 }
 
+// Open streams the join: both children are materialized (a join is a
+// pipeline breaker), then matched pairs and outer padding are emitted
+// in batches.
+func (j Join) Open(ctx context.Context, in *relation.Instance) (Iterator, error) {
+	ctx, span := openOp(ctx, "op.join")
+	l, err := materializeChild(ctx, j.L, in)
+	if err != nil {
+		span.End()
+		return nil, err
+	}
+	r, err := materializeChild(ctx, j.R, in)
+	if err != nil {
+		span.End()
+		return nil, err
+	}
+	return newJoinIter(ctx, span, j.Kind, l, r, j.On), nil
+}
+
 // Eval executes the join.
 func (j Join) Eval(in *relation.Instance) (*relation.Relation, error) {
-	l, err := j.L.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	r, err := j.R.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	return JoinRelations(j.Kind, l, r, j.On), nil
+	return Collect(context.Background(), j, in)
 }
 
 // SQL renders the join tree.
@@ -192,22 +186,7 @@ type Cross struct{ L, R Node }
 
 // Eval computes the cross product.
 func (c Cross) Eval(in *relation.Instance) (*relation.Relation, error) {
-	l, err := c.L.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	r, err := c.R.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	s := l.Scheme().Concat(r.Scheme())
-	out := relation.New("", s)
-	for _, lt := range l.Tuples() {
-		for _, rt := range r.Tuples() {
-			out.Add(lt.ConcatTo(s, rt))
-		}
-	}
-	return out, nil
+	return Collect(context.Background(), c, in)
 }
 
 // SQL renders CROSS JOIN.
@@ -218,11 +197,7 @@ type Distinct struct{ Child Node }
 
 // Eval deduplicates.
 func (d Distinct) Eval(in *relation.Instance) (*relation.Relation, error) {
-	c, err := d.Child.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	return c.Distinct(), nil
+	return Collect(context.Background(), d, in)
 }
 
 // SQL renders SELECT DISTINCT *.
@@ -235,26 +210,7 @@ type Union struct{ L, R Node }
 
 // Eval unions the children; schemes must have the same attribute set.
 func (u Union) Eval(in *relation.Instance) (*relation.Relation, error) {
-	l, err := u.L.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	r, err := u.R.Eval(in)
-	if err != nil {
-		return nil, err
-	}
-	if !l.Scheme().SameSet(r.Scheme()) {
-		return nil, fmt.Errorf("algebra: UNION of incompatible schemes %v and %v", l.Scheme(), r.Scheme())
-	}
-	out := l.Clone()
-	aligned := r
-	if !l.Scheme().Equal(r.Scheme()) {
-		aligned = r.Project(l.Scheme().Names()...)
-	}
-	for _, t := range aligned.Tuples() {
-		out.Add(t)
-	}
-	return out.Distinct(), nil
+	return Collect(context.Background(), u, in)
 }
 
 // SQL renders UNION.
@@ -269,15 +225,7 @@ type MinUnion struct {
 
 // Eval computes the minimum union.
 func (m MinUnion) Eval(in *relation.Instance) (*relation.Relation, error) {
-	rels := make([]*relation.Relation, len(m.Children))
-	for i, c := range m.Children {
-		r, err := c.Eval(in)
-		if err != nil {
-			return nil, err
-		}
-		rels[i] = r
-	}
-	return relation.MinimumUnionAll(m.Name, rels...), nil
+	return Collect(context.Background(), m, in)
 }
 
 // SQL renders the children joined by the ⊕ pseudo-operator (minimum

@@ -1,0 +1,100 @@
+package csvio
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"clio/internal/fault"
+	"clio/internal/paperdb"
+)
+
+// An injected read fault must surface as a wrapped, typed error from
+// ReadRelation, and the next read (point exhausted) must succeed.
+func TestChaosReadFaultPropagates(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("csvio.read", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	src := "ID,name\n001,Ann\n"
+	if _, _, err := ReadRelation("Children", strings.NewReader(src)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected read fault not propagated: %v", err)
+	}
+	rel, _, err := ReadRelation("Children", strings.NewReader(src))
+	if err != nil || rel.Len() != 1 {
+		t.Fatalf("read after exhausted fault failed: %v", err)
+	}
+}
+
+// A read fault hitting the middle of a directory load must abort
+// LoadDir with the injected error, and a clean retry must load the
+// whole instance.
+func TestChaosLoadDirModeErrorMidway(t *testing.T) {
+	dir := t.TempDir()
+	in := paperdb.Instance()
+	if err := SaveDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("csvio.read", fault.Spec{Mode: fault.ModeError, After: 2, Times: 1})
+
+	if _, err := LoadDir(dir); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("mid-load fault not propagated: %v", err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("reload after exhausted fault failed: %v", err)
+	}
+	if got.TotalTuples() != in.TotalTuples() {
+		t.Fatalf("reload tuples = %d, want %d", got.TotalTuples(), in.TotalTuples())
+	}
+}
+
+// An injected write fault must fail SaveDir loudly; the retry must
+// produce a directory that round-trips the instance.
+func TestChaosWriteFaultFailsSave(t *testing.T) {
+	dir := t.TempDir()
+	in := paperdb.Instance()
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("csvio.write", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	if err := SaveDir(dir, in); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected write fault not propagated: %v", err)
+	}
+	if err := SaveDir(dir, in); err != nil {
+		t.Fatalf("save after exhausted fault failed: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(in.Names()) {
+		t.Fatalf("files after retry = %d, want %d", len(entries), len(in.Names()))
+	}
+	got, err := LoadDir(dir)
+	if err != nil || got.TotalTuples() != in.TotalTuples() {
+		t.Fatalf("round-trip after retry: err=%v tuples=%d", err, got.TotalTuples())
+	}
+}
+
+// Delay mode must fire without changing results — a slow disk is not
+// a failed disk.
+func TestChaosReadDelayModeTransparent(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("csvio.read", fault.Spec{Mode: fault.ModeDelay, Delay: time.Millisecond, Times: 1})
+
+	rel, _, err := ReadRelation("X", strings.NewReader("a,b\n1,2\n"))
+	if err != nil || rel.Len() != 1 {
+		t.Fatalf("delayed read failed: %v", err)
+	}
+	if fault.Fired("csvio.read") != 1 {
+		t.Fatalf("delay point fired %d times, want 1", fault.Fired("csvio.read"))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"clio/internal/fault"
 	"clio/internal/relation"
 	"clio/internal/schema"
 	"clio/internal/value"
@@ -22,6 +23,9 @@ import (
 // name. The header row supplies unqualified attribute names; the
 // relation's scheme qualifies them with the relation name.
 func ReadRelation(name string, r io.Reader) (*relation.Relation, *schema.Relation, error) {
+	if err := fault.Inject("csvio.read"); err != nil {
+		return nil, nil, fmt.Errorf("csvio: reading %s: %w", name, err)
+	}
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
 	header, err := cr.Read()
@@ -115,6 +119,9 @@ func LoadDir(dir string) (*relation.Instance, error) {
 
 // WriteRelation writes a relation as CSV with unqualified headers.
 func WriteRelation(w io.Writer, r *relation.Relation) error {
+	if err := fault.Inject("csvio.write"); err != nil {
+		return fmt.Errorf("csvio: writing %s: %w", r.Name, err)
+	}
 	cw := csv.NewWriter(w)
 	header := make([]string, r.Scheme().Arity())
 	for i, n := range r.Scheme().Names() {

@@ -1,0 +1,79 @@
+package discovery
+
+import (
+	"context"
+	"testing"
+
+	"clio/internal/fault"
+	"clio/internal/value"
+)
+
+// An injected mining fault must degrade BuildKnowledge to declared
+// constraints only — never fail the caller — and mining must resume
+// once the point is exhausted.
+func TestChaosMiningDegradesToDeclared(t *testing.T) {
+	in := miniPaperInstance()
+	declared := BuildKnowledge(context.Background(), in, false, 1.0)
+	mined := BuildKnowledge(context.Background(), in, true, 1.0)
+	if len(mined.Edges()) <= len(declared.Edges()) {
+		t.Fatalf("precondition: mining should add edges (declared %d, mined %d)",
+			len(declared.Edges()), len(mined.Edges()))
+	}
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("discovery.mine_inds", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	degraded := BuildKnowledge(context.Background(), in, true, 1.0)
+	if len(degraded.Edges()) != len(declared.Edges()) {
+		t.Fatalf("degraded knowledge has %d edges, want declared-only %d",
+			len(degraded.Edges()), len(declared.Edges()))
+	}
+	if fault.Fired("discovery.mine_inds") != 1 {
+		t.Fatalf("mine point fired %d times, want 1", fault.Fired("discovery.mine_inds"))
+	}
+	retry := BuildKnowledge(context.Background(), in, true, 1.0)
+	if len(retry.Edges()) != len(mined.Edges()) {
+		t.Fatalf("mining did not resume: %d edges, want %d",
+			len(retry.Edges()), len(mined.Edges()))
+	}
+}
+
+// A value-index build fault must degrade to scan-on-demand lookups
+// that answer identically to the healthy index.
+func TestChaosValueIndexModeErrorFallsBackToScan(t *testing.T) {
+	in := miniPaperInstance()
+	healthy := BuildValueIndex(context.Background(), in)
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("discovery.value_index", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	degraded := BuildValueIndex(context.Background(), in)
+	if fault.Fired("discovery.value_index") != 1 {
+		t.Fatalf("index point fired %d times, want 1", fault.Fired("discovery.value_index"))
+	}
+	probes := []value.Value{
+		value.String("p00"),      // appears in three relations
+		value.String("555-0101"), // PhoneDir only
+		value.String("absent"),   // nowhere
+		value.Null,               // no occurrences by definition
+	}
+	for _, v := range probes {
+		want := healthy.Occurrences(v)
+		got := degraded.Occurrences(v)
+		if len(got) != len(want) {
+			t.Fatalf("value %v: degraded hits %v, healthy %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("value %v: degraded hit %v, healthy %v", v, got[i], want[i])
+			}
+		}
+	}
+	// Exhausted point: the next build indexes normally again.
+	rebuilt := BuildValueIndex(context.Background(), in)
+	if rebuilt.scanFallback != nil {
+		t.Fatal("rebuild after exhausted fault still degraded")
+	}
+}

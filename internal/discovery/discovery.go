@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"clio/internal/fault"
 	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/schema"
@@ -20,11 +21,13 @@ import (
 // Mining instrumentation: column-pair comparisons during IND
 // discovery, mined dependencies, and value-index build stats.
 var (
-	cINDPairs    = obs.GetCounter("discovery.ind.pairs")
-	cINDsMined   = obs.GetCounter("discovery.ind.mined")
-	cIndexValues = obs.GetCounter("discovery.value_index.values")
-	hINDMineNS   = obs.GetHistogram("discovery.ind.mine.ns")
-	hIndexNS     = obs.GetHistogram("discovery.value_index.build.ns")
+	cINDPairs      = obs.GetCounter("discovery.ind.pairs")
+	cINDsMined     = obs.GetCounter("discovery.ind.mined")
+	cIndexValues   = obs.GetCounter("discovery.value_index.values")
+	cMineDegraded  = obs.GetCounter("discovery.ind.degraded")
+	cIndexDegraded = obs.GetCounter("discovery.value_index.degraded")
+	hINDMineNS     = obs.GetHistogram("discovery.ind.mine.ns")
+	hIndexNS       = obs.GetHistogram("discovery.value_index.build.ns")
 )
 
 // ColumnStats summarizes one column of a relation instance.
@@ -91,6 +94,15 @@ type IND struct {
 func DiscoverINDs(ctx context.Context, in *relation.Instance, minOverlap float64) []IND {
 	_, span := obs.StartSpan(ctx, "discovery.mine_inds")
 	defer span.End()
+	// Mining is best-effort enrichment on top of declared constraints,
+	// so an injected mining fault degrades to "nothing mined" — loudly,
+	// via the span attribute and counter — rather than failing callers
+	// that can proceed on declared knowledge alone.
+	if err := fault.Inject("discovery.mine_inds"); err != nil {
+		cMineDegraded.Inc()
+		span.SetBool("degraded", true)
+		return nil
+	}
 	start := time.Now()
 	defer hINDMineNS.ObserveSince(start)
 	type colSet struct {
@@ -190,12 +202,24 @@ type Occurrence struct {
 // value occur?" in O(1) per value.
 type ValueIndex struct {
 	occ map[string][]Occurrence
+	// scanFallback is set when the index build was degraded by an
+	// injected fault: lookups fall back to a full instance scan, so
+	// answers stay correct at reduced speed.
+	scanFallback *relation.Instance
 }
 
 // BuildValueIndex indexes every non-null value of every column.
 func BuildValueIndex(ctx context.Context, in *relation.Instance) *ValueIndex {
 	_, span := obs.StartSpan(ctx, "discovery.build_value_index")
 	defer span.End()
+	// An injected build fault degrades the index to scan-on-demand:
+	// Occurrences answers identically via OccurrencesScan, trading
+	// speed for availability instead of returning wrong (empty) hits.
+	if err := fault.Inject("discovery.value_index"); err != nil {
+		cIndexDegraded.Inc()
+		span.SetBool("degraded", true)
+		return &ValueIndex{scanFallback: in}
+	}
 	start := time.Now()
 	defer hIndexNS.ObserveSince(start)
 	ix := &ValueIndex{occ: map[string][]Occurrence{}}
@@ -233,6 +257,9 @@ func BuildValueIndex(ctx context.Context, in *relation.Instance) *ValueIndex {
 func (ix *ValueIndex) Occurrences(v value.Value) []Occurrence {
 	if v.IsNull() {
 		return nil
+	}
+	if ix.scanFallback != nil {
+		return OccurrencesScan(ix.scanFallback, v)
 	}
 	return ix.occ[v.Key()]
 }

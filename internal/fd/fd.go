@@ -32,7 +32,6 @@ import (
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
-	"clio/internal/value"
 )
 
 // Instrumentation (all no-ops unless obs.SetEnabled(true)).
@@ -118,34 +117,24 @@ func Tag(coverage []string, abbrev map[string]string) string {
 	return strings.Join(parts, "")
 }
 
-// FullAssociations computes F(J) (Definition 3.5) for the subgraph of
-// g induced by the given node subset, which must induce a connected
-// subgraph. Joins follow a spanning order with hash joins on tree
-// edges; cycle edges are applied as residual selections.
-func FullAssociations(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subset []string) (*relation.Relation, error) {
+// associationPlan compiles the F(J) plan (Definition 3.5) for the
+// subgraph of g induced by subset, which must induce a connected
+// subgraph: inner hash joins along a spanning order, with the cycle
+// edges applied as a residual selection.
+func associationPlan(g *graph.QueryGraph, subset []string) (algebra.Node, error) {
 	j := g.Induced(subset)
 	order, treeEdges, ok := j.SpanningTreeOrder()
 	if !ok {
 		return nil, fmt.Errorf("fd: subset %v does not induce a connected subgraph", subset)
 	}
 	n0, _ := j.Node(order[0])
-	acc, err := in.Aliased(n0.Base, n0.Name)
-	if err != nil {
-		return nil, err
-	}
+	var node algebra.Node = algebra.NewScan(n0.Base, n0.Name)
 	used := map[string]bool{}
 	for i := 1; i < len(order); i++ {
 		n, _ := j.Node(order[i])
-		r, err := in.Aliased(n.Base, n.Name)
-		if err != nil {
-			return nil, err
-		}
 		e := treeEdges[i]
 		used[edgeKey(e)] = true
-		acc, err = algebra.JoinRelationsCtx(ctx, algebra.InnerJoin, acc, r, e.Pred)
-		if err != nil {
-			return nil, err
-		}
+		node = algebra.Join{Kind: algebra.InnerJoin, L: node, R: algebra.NewScan(n.Base, n.Name), On: e.Pred}
 	}
 	// Residual (cycle) edges.
 	var residual []expr.Expr
@@ -155,12 +144,37 @@ func FullAssociations(ctx context.Context, g *graph.QueryGraph, in *relation.Ins
 		}
 	}
 	if len(residual) > 0 {
-		pred := expr.And(residual...)
-		acc = acc.Filter(func(t relation.Tuple) bool {
-			return expr.Truth(pred, t) == value.True
-		})
+		node = algebra.Select{Child: node, Pred: expr.And(residual...)}
 	}
-	acc.Name = "F(" + strings.Join(subset, ",") + ")"
+	return node, nil
+}
+
+// FullAssociations computes F(J) (Definition 3.5) for the subgraph of
+// g induced by the given node subset, which must induce a connected
+// subgraph. The compiled plan (see associationPlan) is drained under
+// the context's budget and cancellation.
+func FullAssociations(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subset []string) (*relation.Relation, error) {
+	plan, err := associationPlan(g, subset)
+	if err != nil {
+		return nil, err
+	}
+	name := "F(" + strings.Join(subset, ",") + ")"
+	if sc, ok := plan.(algebra.Scan); ok {
+		// Single-node subgraph: share the stored tuples instead of
+		// draining a copy (the clone is a slice header, not a deep copy).
+		r, err := sc.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		acc := r.Clone()
+		acc.Name = name
+		return acc, nil
+	}
+	acc, err := algebra.Collect(ctx, plan, in)
+	if err != nil {
+		return nil, err
+	}
+	acc.Name = name
 	return acc, nil
 }
 
@@ -205,16 +219,18 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		f, err := FullAssociations(ctx, g, in, sub)
+		// Stream each F(J) straight into the padded accumulator: the
+		// subgraph's final join output is never materialized on its own.
+		plan, err := associationPlan(g, sub)
 		if err != nil {
 			return nil, err
 		}
-		for _, t := range f.Tuples() {
-			p := t.PadTo(s)
-			if err := tr.Charge(1, p.ApproxBytes()); err != nil {
-				return nil, err
-			}
-			padded.Add(p)
+		it, err := plan.Open(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if err := padInto(it, padded, s, tr); err != nil {
+			return nil, err
 		}
 	}
 	cPadded.Add(int64(padded.Len()))
@@ -225,11 +241,34 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 	return out, nil
 }
 
+// padInto drains an iterator, padding every tuple to the D(G) scheme
+// s, charging the tracker per padded tuple, and appending to dst. The
+// iterator is closed in all cases.
+func padInto(it algebra.Iterator, dst *relation.Relation, s *relation.Scheme, tr *budget.Tracker) error {
+	defer it.Close()
+	for {
+		batch, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return nil
+		}
+		for _, t := range batch {
+			p := t.PadTo(s)
+			if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+				return err
+			}
+			dst.Add(p)
+		}
+	}
+}
+
 // FullDisjunctionNaive computes D(G) per the letter of Definition 3.5:
 // cross products filtered by the conjunction of edge predicates. Only
 // usable on tiny inputs; the reference for differential tests.
 func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
-	_, span := obs.StartSpan(ctx, "fd.naive")
+	ctx, span := obs.StartSpan(ctx, "fd.naive")
 	defer span.End()
 	if g.NodeCount() == 0 {
 		return nil, fmt.Errorf("fd: empty query graph")
@@ -248,47 +287,32 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 			return nil, err
 		}
 		j := g.Induced(sub)
-		// Cross product of the subset's relations. The budget is
-		// charged per cross-product tuple — this is the algorithm
-		// where unbounded materialization hurts first.
-		var acc *relation.Relation
+		// Cross product of the subset's relations, filtered by the
+		// conjunction of all edge predicates — the letter of the
+		// definition. The cross iterators charge the budget per
+		// cross-product tuple as it streams, so this is the algorithm
+		// where unbounded materialization is refused first.
+		var acc algebra.Node
 		for _, name := range j.Nodes() {
 			n, _ := j.Node(name)
-			r, err := in.Aliased(n.Base, n.Name)
-			if err != nil {
-				return nil, err
-			}
+			sc := algebra.NewScan(n.Base, n.Name)
 			if acc == nil {
-				acc = r
-				continue
+				acc = sc
+			} else {
+				acc = algebra.Cross{L: acc, R: sc}
 			}
-			cs := acc.Scheme().Concat(r.Scheme())
-			next := relation.New("", cs)
-			for _, lt := range acc.Tuples() {
-				for _, rt := range r.Tuples() {
-					t := lt.ConcatTo(cs, rt)
-					if err := tr.Charge(1, t.ApproxBytes()); err != nil {
-						return nil, err
-					}
-					next.Add(t)
-				}
-			}
-			acc = next
 		}
-		// Selection by conjunction of all edge predicates.
 		var preds []expr.Expr
 		for _, e := range j.Edges() {
 			preds = append(preds, e.Pred)
 		}
-		pred := expr.And(preds...)
-		for _, t := range acc.Tuples() {
-			if expr.Truth(pred, t) == value.True {
-				p := t.PadTo(s)
-				if err := tr.Charge(1, p.ApproxBytes()); err != nil {
-					return nil, err
-				}
-				padded.Add(p)
-			}
+		plan := algebra.Select{Child: acc, Pred: expr.And(preds...)}
+		it, err := plan.Open(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if err := padInto(it, padded, s, tr); err != nil {
+			return nil, err
 		}
 	}
 	out := relation.RemoveSubsumed(padded.Distinct())
@@ -304,7 +328,7 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 	if !g.IsTree() {
 		return nil, fmt.Errorf("fd: outer-join algorithm requires a tree query graph")
 	}
-	_, span := obs.StartSpan(ctx, "fd.outer_join")
+	ctx, span := obs.StartSpan(ctx, "fd.outer_join")
 	defer span.End()
 	span.SetInt("joins", int64(g.NodeCount()-1))
 	order, treeEdges, ok := g.SpanningTreeOrder()
@@ -312,37 +336,45 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 		return nil, fmt.Errorf("fd: query graph is not connected")
 	}
 	n0, _ := g.Node(order[0])
-	acc, err := in.Aliased(n0.Base, n0.Name)
+	var plan algebra.Node = algebra.NewScan(n0.Base, n0.Name)
+	for i := 1; i < len(order); i++ {
+		n, _ := g.Node(order[i])
+		plan = algebra.Join{Kind: algebra.FullJoin, L: plan, R: algebra.NewScan(n.Base, n.Name), On: treeEdges[i].Pred}
+	}
+	// Align to the canonical D(G) scheme (node insertion order). The
+	// final join streams into the alignment, so its output is never
+	// materialized in join order.
+	s, err := Scheme(g, in)
 	if err != nil {
 		return nil, err
 	}
-	for i := 1; i < len(order); i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		n, _ := g.Node(order[i])
-		r, err := in.Aliased(n.Base, n.Name)
-		if err != nil {
-			return nil, err
-		}
-		acc, err = algebra.JoinRelationsCtx(ctx, algebra.FullJoin, acc, r, treeEdges[i].Pred)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Align to the canonical D(G) scheme (node insertion order).
-	s, err := Scheme(g, in)
+	it, err := plan.Open(ctx, in)
 	if err != nil {
 		return nil, err
 	}
 	tr := budget.FromContext(ctx)
 	aligned := relation.New("D(G)", s)
-	for _, t := range acc.Tuples() {
-		p := t.Project(s)
-		if err := tr.Charge(1, p.ApproxBytes()); err != nil {
-			return nil, err
+	err = func() error {
+		defer it.Close()
+		for {
+			batch, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if batch == nil {
+				return nil
+			}
+			for _, t := range batch {
+				p := t.Project(s)
+				if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+					return err
+				}
+				aligned.Add(p)
+			}
 		}
-		aligned.Add(p)
+	}()
+	if err != nil {
+		return nil, err
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
@@ -416,17 +448,27 @@ func computeUncached(ctx context.Context, g *graph.QueryGraph, in *relation.Inst
 	cComputeCalls.Inc()
 	start := time.Now()
 	defer hComputeNS.ObserveSince(start)
-	if g.IsTree() {
-		span.SetStr("algo", "outer_join")
+	isTree := g.IsTree()
+	var subsets [][]string
+	if !isTree {
+		subsets = g.ConnectedSubsets()
+	}
+	estimate, err := estimateRows(g, in, isTree)
+	if err != nil {
+		return nil, err
+	}
+	algo := pickAlgo(isTree, len(subsets), estimate, rowHeadroom(ctx))
+	span.SetStr("algo", algo)
+	switch algo {
+	case "abort":
+		return nil, overBudget(ctx, estimate)
+	case "outer_join":
 		return FullDisjunctionOuterJoin(ctx, g, in)
-	}
-	subsets := g.ConnectedSubsets()
-	if len(subsets) >= ParallelSubsetThreshold {
-		span.SetStr("algo", "subgraph_parallel")
+	case "subgraph_parallel":
 		return fullDisjunctionParallelSubsets(ctx, g, in, subsets)
+	default:
+		return fullDisjunctionSubsets(ctx, g, in, subsets)
 	}
-	span.SetStr("algo", "subgraph")
-	return fullDisjunctionSubsets(ctx, g, in, subsets)
 }
 
 // Partition groups D(G)'s tuples by coverage, keyed by the sorted

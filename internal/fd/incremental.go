@@ -50,7 +50,7 @@ func ExtendLeaf(ctx context.Context, dg *relation.Relation, oldGraph, newGraph *
 	if err != nil {
 		return nil, err
 	}
-	_, span := obs.StartSpan(ctx, "fd.extend_leaf")
+	ctx, span := obs.StartSpan(ctx, "fd.extend_leaf")
 	defer span.End()
 	span.SetStr("leaf", leaf)
 	span.SetInt("base", int64(dg.Len()))
@@ -59,23 +59,36 @@ func ExtendLeaf(ctx context.Context, dg *relation.Relation, oldGraph, newGraph *
 	if err != nil {
 		return nil, err
 	}
-	joined, err := algebra.JoinRelationsCtx(ctx, algebra.FullJoin, dg, r, edge.Pred)
-	if err != nil {
-		return nil, err
-	}
-	// Align to the canonical D(G') scheme.
+	// Align to the canonical D(G') scheme, streaming the full join's
+	// batches straight into the aligned relation.
 	s, err := Scheme(newGraph, in)
 	if err != nil {
 		return nil, err
 	}
+	it := algebra.OpenJoin(ctx, algebra.FullJoin, dg, r, edge.Pred)
 	tr := budget.FromContext(ctx)
 	aligned := relation.New("D(G)", s)
-	for _, t := range joined.Tuples() {
-		p := t.Project(s)
-		if err := tr.Charge(1, p.ApproxBytes()); err != nil {
-			return nil, err
+	err = func() error {
+		defer it.Close()
+		for {
+			batch, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if batch == nil {
+				return nil
+			}
+			for _, t := range batch {
+				p := t.Project(s)
+				if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+					return err
+				}
+				aligned.Add(p)
+			}
 		}
-		aligned.Add(p)
+	}()
+	if err != nil {
+		return nil, err
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
@@ -132,16 +145,25 @@ func ComputeIncremental(ctx context.Context, oldDG *relation.Relation, oldGraph,
 	ctx, span := obs.StartSpan(ctx, "fd.compute_incremental")
 	defer span.End()
 	if oldDG != nil && oldGraph != nil {
-		d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in)
-		switch {
-		case err == nil:
-			span.SetStr("mode", "extend_leaf")
-			cIncExtend.Inc()
-			return d, nil
-		case errors.Is(err, budget.ErrExceeded) || ctx.Err() != nil:
-			// Out of budget or cancelled: a full recomputation can only
-			// consume more — fail now instead of falling back.
-			return nil, err
+		// Budget-aware routing: the leaf extension must charge at least
+		// one row per old D(G) tuple (every old row survives the full
+		// join), so skip straight to a full computation when that lower
+		// bound already exceeds the remaining headroom. "abort" also
+		// routes through Compute: a D(G) cache hit charges only the
+		// final result, and Compute's own abort check settles a miss.
+		recomputeEst, estErr := estimateRows(newGraph, in, newGraph.IsTree())
+		if estErr == nil && pickIncremental(int64(oldDG.Len()), recomputeEst, rowHeadroom(ctx)) == "extend" {
+			d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in)
+			switch {
+			case err == nil:
+				span.SetStr("mode", "extend_leaf")
+				cIncExtend.Inc()
+				return d, nil
+			case errors.Is(err, budget.ErrExceeded) || ctx.Err() != nil:
+				// Out of budget or cancelled: a full recomputation can only
+				// consume more — fail now instead of falling back.
+				return nil, err
+			}
 		}
 	}
 	span.SetStr("mode", "full")

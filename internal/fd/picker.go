@@ -1,0 +1,130 @@
+package fd
+
+// Budget-aware algorithm routing. Compute picks between the D(G)
+// algorithms using the remaining budget headroom as a cost bound: a
+// computation whose certain lower bound on charged rows already
+// exceeds the headroom is refused up front ("abort") with the same
+// typed error a doomed run would eventually hit, and a tight budget
+// demotes the parallel subgraph algorithm to the sequential one
+// (parallel workers charge concurrently, so a near-exhausted budget
+// buys less useful work per charged row).
+//
+// The estimates are true lower bounds, never heuristics: abort must
+// only fire when the computation is guaranteed to exceed the budget,
+// so an unlimited or generous budget routes exactly as before.
+
+import (
+	"context"
+
+	"clio/internal/budget"
+	"clio/internal/graph"
+	"clio/internal/relation"
+)
+
+// rowHeadroom returns the remaining row headroom of the context's
+// budget, or -1 when rows are unlimited.
+func rowHeadroom(ctx context.Context) int64 {
+	tr := budget.FromContext(ctx)
+	if tr == nil {
+		return -1
+	}
+	b := tr.Limits()
+	if b.MaxRows <= 0 {
+		return -1
+	}
+	rem := b.MaxRows - tr.Rows()
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// estimateRows returns a certain lower bound on the rows any D(G)
+// algorithm must charge for g over in.
+//
+// Tree graphs: the outer-join chain's output contains every row of
+// every base relation (matched or null-padded), and the final
+// alignment charges each output row, so at least max |R_n| rows are
+// charged. Cyclic graphs: the subgraph algorithms pad every full
+// association of every connected subset; the singleton subsets alone
+// charge |R_n| padded rows per node, so at least sum |R_n| rows are
+// charged.
+func estimateRows(g *graph.QueryGraph, in *relation.Instance, isTree bool) (int64, error) {
+	var max, sum int64
+	for _, name := range g.Nodes() {
+		n, _ := g.Node(name)
+		r, err := in.Aliased(n.Base, n.Base)
+		if err != nil {
+			return 0, err
+		}
+		size := int64(r.Len())
+		sum += size
+		if size > max {
+			max = size
+		}
+	}
+	if isTree {
+		return max, nil
+	}
+	return sum, nil
+}
+
+// pickAlgo chooses the D(G) algorithm for Compute. estimate is a true
+// lower bound on the rows the computation must charge; headroom is the
+// remaining row budget (negative = unlimited).
+//
+//   - "abort": the lower bound already exceeds the headroom, so the
+//     computation is guaranteed to fail its budget — refuse before
+//     doing any join work.
+//   - "outer_join": tree query graphs.
+//   - "subgraph": cyclic graphs with few connected subsets, or with a
+//     budget too tight to amortize parallel fan-out.
+//   - "subgraph_parallel": cyclic graphs with many subsets and enough
+//     headroom.
+func pickAlgo(isTree bool, nSubsets int, estimate, headroom int64) string {
+	if headroom >= 0 && estimate > headroom {
+		return "abort"
+	}
+	if isTree {
+		return "outer_join"
+	}
+	if nSubsets < ParallelSubsetThreshold {
+		return "subgraph"
+	}
+	if headroom >= 0 && estimate*2 > headroom {
+		return "subgraph"
+	}
+	return "subgraph_parallel"
+}
+
+// pickIncremental chooses the maintenance strategy for
+// ComputeIncremental. extendEst is a lower bound on the rows
+// ExtendLeaf must charge (every old D(G) row survives the full join),
+// recomputeEst a lower bound for a full recomputation, and headroom
+// the remaining row budget (negative = unlimited).
+//
+//   - "extend": the one-join leaf extension fits the headroom.
+//   - "full": the extension is guaranteed to bust the budget but a
+//     recomputation might not — the old D(G) can exceed the base
+//     relations after a blowup.
+//   - "abort": both bounds exceed the headroom; no recomputation can
+//     succeed. (ComputeIncremental still routes this through Compute,
+//     because a D(G) cache hit charges only the final result and may
+//     answer under budget; Compute's own abort check settles a miss.)
+func pickIncremental(extendEst, recomputeEst, headroom int64) string {
+	if headroom < 0 || extendEst <= headroom {
+		return "extend"
+	}
+	if recomputeEst > headroom {
+		return "abort"
+	}
+	return "full"
+}
+
+// overBudget builds the typed error for an aborted computation: the
+// same *budget.Error a doomed run would return once estimate rows had
+// been charged.
+func overBudget(ctx context.Context, estimate int64) error {
+	tr := budget.FromContext(ctx)
+	return &budget.Error{Limit: "rows", Max: tr.Limits().MaxRows, Got: tr.Rows() + estimate}
+}

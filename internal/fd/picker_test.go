@@ -1,0 +1,138 @@
+package fd
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// One assertion per pickAlgo routing branch: the picker is the only
+// place Compute decides between abort, the outer-join chain, and the
+// sequential/parallel subgraph algorithms.
+func TestPickAlgoBranches(t *testing.T) {
+	many := ParallelSubsetThreshold // at or above: parallel-eligible
+	few := ParallelSubsetThreshold - 1
+
+	cases := []struct {
+		name     string
+		isTree   bool
+		nSubsets int
+		estimate int64
+		headroom int64
+		want     string
+	}{
+		{"abort when lower bound exceeds headroom", true, 0, 11, 10, "abort"},
+		{"abort applies to cyclic graphs too", false, many, 11, 10, "abort"},
+		{"tree routes to outer join", true, 0, 10, 10, "outer_join"},
+		{"tree with unlimited budget", true, 0, 1 << 40, -1, "outer_join"},
+		{"cyclic with few subsets stays sequential", false, few, 5, 100, "subgraph"},
+		{"tight budget demotes parallel to sequential", false, many, 60, 100, "subgraph"},
+		{"many subsets with headroom go parallel", false, many, 50, 100, "subgraph_parallel"},
+		{"many subsets with unlimited budget go parallel", false, many, 1 << 40, -1, "subgraph_parallel"},
+		{"zero estimate never aborts", false, few, 0, 0, "subgraph"},
+	}
+	for _, c := range cases {
+		if got := pickAlgo(c.isTree, c.nSubsets, c.estimate, c.headroom); got != c.want {
+			t.Errorf("%s: pickAlgo(%v, %d, %d, %d) = %q, want %q",
+				c.name, c.isTree, c.nSubsets, c.estimate, c.headroom, got, c.want)
+		}
+	}
+}
+
+// One assertion per pickIncremental branch: leaf extension when it
+// fits, full recomputation when only the extension is doomed, abort
+// when both bounds bust the budget.
+func TestPickIncrementalBranches(t *testing.T) {
+	cases := []struct {
+		name                 string
+		extendEst, recompute int64
+		headroom             int64
+		want                 string
+	}{
+		{"unlimited budget extends", 1 << 40, 1 << 40, -1, "extend"},
+		{"extension within headroom extends", 10, 50, 10, "extend"},
+		{"doomed extension falls back to full", 20, 10, 10, "full"},
+		{"both doomed abort", 20, 11, 10, "abort"},
+	}
+	for _, c := range cases {
+		if got := pickIncremental(c.extendEst, c.recompute, c.headroom); got != c.want {
+			t.Errorf("%s: pickIncremental(%d, %d, %d) = %q, want %q",
+				c.name, c.extendEst, c.recompute, c.headroom, got, c.want)
+		}
+	}
+}
+
+// rowHeadroom must report -1 for missing or unlimited budgets and the
+// remaining rows otherwise.
+func TestRowHeadroom(t *testing.T) {
+	if got := rowHeadroom(context.Background()); got != -1 {
+		t.Errorf("no tracker: headroom = %d, want -1", got)
+	}
+	if got := rowHeadroom(WithBudget(context.Background(), Budget{MaxBytes: 64})); got != -1 {
+		t.Errorf("rows unlimited: headroom = %d, want -1", got)
+	}
+	ctx := WithBudget(context.Background(), Budget{MaxRows: 10})
+	if got := rowHeadroom(ctx); got != 10 {
+		t.Errorf("fresh budget: headroom = %d, want 10", got)
+	}
+}
+
+// estimateRows must be a certain lower bound: max base size for trees
+// (outer-join alignment charges at least the largest relation) and the
+// sum of base sizes for cyclic graphs (singleton subsets alone pad one
+// row per base tuple).
+func TestEstimateRowsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tg, tin := randomTreeCase(rng, 4, 6)
+	est, err := estimateRows(tg, tin, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max, sum int64
+	for _, name := range tg.Nodes() {
+		n, _ := tg.Node(name)
+		r, err := tin.Aliased(n.Base, n.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += int64(r.Len())
+		if int64(r.Len()) > max {
+			max = int64(r.Len())
+		}
+	}
+	if est != max {
+		t.Errorf("tree estimate = %d, want max base size %d", est, max)
+	}
+	if cyc, _ := estimateRows(tg, tin, false); cyc != sum {
+		t.Errorf("cyclic estimate = %d, want sum of base sizes %d", cyc, sum)
+	}
+}
+
+// A budget below the picker's lower bound must abort Compute up front
+// with the same typed error a doomed run would return — Limit "rows"
+// — and without charging any join work.
+func TestBudgetPickerAbortsDoomedCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g, in := randomTreeCase(rng, 3, 6)
+	est, err := estimateRows(g, in, g.IsTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 2 {
+		t.Skip("degenerate random case: tiny base relations")
+	}
+	InvalidateCache()
+	ctx := WithBudget(context.Background(), Budget{MaxRows: est - 1})
+	_, err = Compute(ctx, g, in)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("doomed compute not refused: %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != "rows" {
+		t.Fatalf("abort error does not name the rows limit: %#v", err)
+	}
+	if rows, _ := BudgetUsed(ctx); rows != 0 {
+		t.Errorf("picker abort still charged %d rows", rows)
+	}
+}

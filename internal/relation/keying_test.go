@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"testing"
+
+	"clio/internal/value"
+)
+
+// Regression: the pre-framing tuple encoding ("\x00"+tag+payload per
+// value, "\x01" after each) was not self-delimiting — a string payload
+// containing the separator and tag bytes could shift bytes across the
+// value boundary. The tuples ("a\x01\x00sb", "c") and
+// ("a", "b\x01\x00sc") both encoded to
+// "\x00sa\x01\x00sb\x01\x00sc\x01" and collided in every map keyed by
+// Tuple.Key. The length-framed encoding and the length-mixing Hash64
+// must keep them apart.
+func TestKeyCollisionRegression(t *testing.T) {
+	s := NewScheme("R.a", "R.b")
+	t1 := NewTuple(s, value.String("a\x01\x00sb"), value.String("c"))
+	t2 := NewTuple(s, value.String("a"), value.String("b\x01\x00sc"))
+
+	oldEncode := func(tu Tuple) string {
+		return "\x00s" + tu.At(0).Str() + "\x01" + "\x00s" + tu.At(1).Str() + "\x01"
+	}
+	if oldEncode(t1) != oldEncode(t2) {
+		t.Fatal("regression fixture drifted: the historical encodings no longer collide")
+	}
+	if t1.Key() == t2.Key() {
+		t.Errorf("Key still collides: %q", t1.Key())
+	}
+	if t1.Hash64() == t2.Hash64() {
+		t.Errorf("Hash64 collides on the regression pair: %#x", t1.Hash64())
+	}
+	pos := []int{0, 1}
+	if t1.KeyOn(pos) == t2.KeyOn(pos) {
+		t.Errorf("KeyOn still collides: %q", t1.KeyOn(pos))
+	}
+	if t1.HashOn(pos) == t2.HashOn(pos) {
+		t.Errorf("HashOn collides on the regression pair: %#x", t1.HashOn(pos))
+	}
+}
+
+// The framed encoding must also keep adjacent values apart when only
+// the split point differs — ("ab", "c") vs ("a", "bc") — and keep
+// kinds apart when payloads render identically — Int(1) vs String
+// encodings of the same digits are distinct, while Int(2) and
+// Float(2) compare equal and must share key and hash.
+func TestKeyFramingAndKindTags(t *testing.T) {
+	s := NewScheme("R.a", "R.b")
+	if NewTuple(s, value.String("ab"), value.String("c")).Key() ==
+		NewTuple(s, value.String("a"), value.String("bc")).Key() {
+		t.Error("split-point shift collides under Key")
+	}
+	if NewTuple(s, value.String("ab"), value.String("c")).Hash64() ==
+		NewTuple(s, value.String("a"), value.String("bc")).Hash64() {
+		t.Error("split-point shift collides under Hash64")
+	}
+	one := NewScheme("R.a")
+	if NewTuple(one, value.Int(1)).Key() == NewTuple(one, value.String("1")).Key() {
+		t.Error("Int and String with equal rendering share a key")
+	}
+	i2 := NewTuple(one, value.Int(2))
+	f2 := NewTuple(one, value.Float(2))
+	if i2.Key() != f2.Key() || i2.Hash64() != f2.Hash64() {
+		t.Error("numerically equal Int and Float must share key and hash")
+	}
+}

@@ -102,9 +102,10 @@ func RemoveSubsumed(r *Relation) *Relation {
 	type group struct {
 		mask Mask
 		rows []int
-		// indexes maps a subset-mask key to a hash set of the group's
-		// tuples projected onto that subset's positions.
-		indexes map[string]map[string]struct{}
+		// indexes maps a subset-mask key to a hash index of the group's
+		// tuples projected onto that subset's positions: 64-bit value
+		// hash → candidate rows, confirmed with EqualOn on probe.
+		indexes map[string]map[uint64][]int32
 	}
 	groups := map[string]*group{}
 	var order []string
@@ -113,7 +114,7 @@ func RemoveSubsumed(r *Relation) *Relation {
 		k := m.Key()
 		g := groups[k]
 		if g == nil {
-			g = &group{mask: m, indexes: map[string]map[string]struct{}{}}
+			g = &group{mask: m, indexes: map[string]map[uint64][]int32{}}
 			groups[k] = g
 			order = append(order, k)
 		}
@@ -148,9 +149,10 @@ func RemoveSubsumed(r *Relation) *Relation {
 			}
 			ix := h.indexes[gk]
 			if ix == nil {
-				ix = make(map[string]struct{}, len(h.rows))
+				ix = make(map[uint64][]int32, len(h.rows))
 				for _, row := range h.rows {
-					ix[tuples[row].KeyOn(positions)] = struct{}{}
+					hh := tuples[row].HashOn(positions)
+					ix[hh] = append(ix[hh], int32(row))
 				}
 				h.indexes[gk] = ix
 			}
@@ -158,8 +160,12 @@ func RemoveSubsumed(r *Relation) *Relation {
 				if !keep[row] {
 					continue
 				}
-				if _, hit := ix[tuples[row].KeyOn(positions)]; hit {
-					keep[row] = false
+				t := tuples[row]
+				for _, cand := range ix[t.HashOn(positions)] {
+					if tuples[cand].EqualOn(t, positions, positions) {
+						keep[row] = false
+						break
+					}
 				}
 			}
 		}

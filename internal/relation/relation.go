@@ -62,29 +62,19 @@ func (r *Relation) Add(t Tuple) {
 // object imply identical content.
 func (r *Relation) Version() uint64 { return r.version }
 
-// Fingerprint returns a 64-bit FNV-1a content hash over the scheme
-// and every tuple, in order. Relations with identical schemes and
-// tuple sequences share a fingerprint, whatever their name or object
-// identity — the basis for content-addressed D(G) caching.
+// Fingerprint returns a 64-bit content hash over the scheme and every
+// tuple, in order. Relations with identical schemes and tuple
+// sequences share a fingerprint, whatever their name or object
+// identity — the basis for content-addressed D(G) caching. It chains
+// the canonical value hashes (value.MixHash64) directly, so no key
+// strings are materialized.
 func (r *Relation) Fingerprint() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
-		}
-		h ^= 0xff // field separator
-		h *= prime64
-	}
+	h := value.HashSeed()
 	for _, n := range r.scheme.Names() {
-		mix(n)
+		h = value.MixBytes(h, n)
 	}
 	for _, t := range r.tuples {
-		mix(t.Key())
+		h = value.MixUint64(h, t.Hash64())
 	}
 	return h
 }
@@ -115,16 +105,37 @@ func (r *Relation) Contains(t Tuple) bool {
 }
 
 // Distinct returns a new relation with duplicate tuples removed,
-// keeping first occurrences.
+// keeping first occurrences. Dedup is hash-keyed: tuples bucket on
+// Hash64 and candidates are confirmed with Equal, so no per-tuple key
+// strings are allocated. The rare true hash collision spills into an
+// overflow bucket list.
 func (r *Relation) Distinct() *Relation {
 	out := New(r.Name, r.scheme)
-	seen := make(map[string]struct{}, len(r.tuples))
-	for _, t := range r.tuples {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
-			continue
+	seen := make(map[uint64]int32, len(r.tuples))
+	var over map[uint64][]int32
+	for i, t := range r.tuples {
+		h := t.Hash64()
+		if j, ok := seen[h]; ok {
+			if r.tuples[j].Equal(t) {
+				continue
+			}
+			dup := false
+			for _, k := range over[h] {
+				if r.tuples[k].Equal(t) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if over == nil {
+				over = map[uint64][]int32{}
+			}
+			over[h] = append(over[h], int32(i))
+		} else {
+			seen[h] = int32(i)
 		}
-		seen[k] = struct{}{}
 		out.Add(t)
 	}
 	return out
@@ -223,28 +234,90 @@ func (r *Relation) EqualSet(o *Relation) bool {
 	return true
 }
 
-// Index is a hash index on a subset of a relation's attributes,
-// mapping key encodings to tuple positions.
+// Index is a hash index on a subset of a relation's attributes. Rows
+// bucket on the 64-bit hash of their indexed values; the row ids of
+// each bucket live in one shared arena (no per-bucket slice
+// allocations), and probes confirm candidate equality value-wise, so
+// a hash collision can never produce a false match.
 type Index struct {
 	rel       *Relation
 	positions []int
-	buckets   map[string][]int
+	spans     map[uint64]span
+	arena     []int
+}
+
+// span addresses one hash bucket inside the index arena.
+type span struct {
+	off, n int32
 }
 
 // BuildIndex builds a hash index on the named attributes. Tuples that
 // are null on any indexed attribute are excluded (SQL joins never
-// match on null).
+// match on null). The build is two-pass — count, then fill — so the
+// only allocations are the hash array, the bucket map, and the arena.
 func (r *Relation) BuildIndex(attrs ...string) *Index {
 	pos := r.scheme.Positions(attrs...)
-	ix := &Index{rel: r, positions: pos, buckets: map[string][]int{}}
+	ix := &Index{rel: r, positions: pos}
+	hashes := make([]uint64, len(r.tuples))
+	skip := make([]bool, len(r.tuples))
+	total := 0
+	counts := make(map[uint64]int32, len(r.tuples))
 	for i, t := range r.tuples {
 		if t.HasNullAt(pos) {
+			skip[i] = true
 			continue
 		}
-		k := t.KeyOn(pos)
-		ix.buckets[k] = append(ix.buckets[k], i)
+		h := t.HashOn(pos)
+		hashes[i] = h
+		counts[h]++
+		total++
+	}
+	ix.arena = make([]int, total)
+	ix.spans = make(map[uint64]span, len(counts))
+	var off int32
+	for h, c := range counts {
+		ix.spans[h] = span{off: off}
+		off += c
+	}
+	for i := range r.tuples {
+		if skip[i] {
+			continue
+		}
+		sp := ix.spans[hashes[i]]
+		ix.arena[sp.off+sp.n] = i
+		sp.n++
+		ix.spans[hashes[i]] = sp
 	}
 	return ix
+}
+
+// bucket returns the arena row ids sharing hash h.
+func (ix *Index) bucket(h uint64) []int {
+	sp, ok := ix.spans[h]
+	if !ok {
+		return nil
+	}
+	return ix.arena[sp.off : sp.off+sp.n]
+}
+
+// confirm filters a candidate bucket down to the rows that really
+// match, per the keep predicate. In the common case every candidate
+// matches and the arena subslice is returned as-is (no allocation);
+// only a true hash collision forces a filtered copy.
+func confirm(cand []int, keep func(row int) bool) []int {
+	for i, row := range cand {
+		if !keep(row) {
+			out := make([]int, i, len(cand)-1)
+			copy(out, cand[:i])
+			for _, r := range cand[i+1:] {
+				if keep(r) {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+	}
+	return cand
 }
 
 // Probe returns the positions of tuples whose indexed attributes match
@@ -253,15 +326,22 @@ func (ix *Index) Probe(vals ...value.Value) []int {
 	if len(vals) != len(ix.positions) {
 		panic("relation: index probe arity mismatch")
 	}
-	var b strings.Builder
+	h := value.HashSeed()
 	for _, v := range vals {
 		if v.IsNull() {
 			return nil
 		}
-		b.WriteString(v.Key())
-		b.WriteByte('\x01')
+		h = v.MixHash64(h)
 	}
-	return ix.buckets[b.String()]
+	return confirm(ix.bucket(h), func(row int) bool {
+		t := ix.rel.tuples[row]
+		for i, p := range ix.positions {
+			if !t.vals[p].Equal(vals[i]) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // ProbeTuple probes using the values found at the given positions of t.
@@ -269,7 +349,10 @@ func (ix *Index) ProbeTuple(t Tuple, positions []int) []int {
 	if t.HasNullAt(positions) {
 		return nil
 	}
-	return ix.buckets[t.KeyOn(positions)]
+	h := t.HashOn(positions)
+	return confirm(ix.bucket(h), func(row int) bool {
+		return ix.rel.tuples[row].EqualOn(t, ix.positions, positions)
+	})
 }
 
 // String renders the relation with a header row; see also

@@ -55,6 +55,9 @@ func (s *Scheme) Has(name string) bool { _, ok := s.index[name]; return ok }
 // Equal reports whether two schemes have the same attributes in the
 // same order.
 func (s *Scheme) Equal(o *Scheme) bool {
+	if s == o {
+		return true
+	}
 	if s.Arity() != o.Arity() {
 		return false
 	}

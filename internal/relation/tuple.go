@@ -175,27 +175,120 @@ func (t Tuple) ConcatTo(s *Scheme, o Tuple) Tuple {
 	return Tuple{scheme: s, vals: vals}
 }
 
+// TupleArena carves tuple value storage out of shared slabs, so a
+// join emitting thousands of output tuples performs one allocation
+// per slab instead of one per tuple. Tuples built from an arena are
+// ordinary Tuples and may outlive it; they keep their slab alive.
+type TupleArena struct {
+	s       *Scheme
+	slab    []value.Value
+	next    int // tuples in the next slab (grows geometrically)
+	scratch []value.Value
+}
+
+// NewTupleArena returns an arena producing tuples over s.
+func NewTupleArena(s *Scheme) *TupleArena { return &TupleArena{s: s, next: 8} }
+
+const arenaMaxSlabTuples = 256
+
+// Concat builds t ++ o over the arena's scheme from slab storage.
+// Slabs grow geometrically, so a tiny join pays for a handful of
+// tuples while a large one amortizes to one allocation per 256.
+func (a *TupleArena) Concat(t, o Tuple) Tuple {
+	w := a.s.Arity()
+	if len(a.slab) < w {
+		a.slab = make([]value.Value, a.next*w)
+		if a.next < arenaMaxSlabTuples {
+			a.next *= 2
+		}
+	}
+	vals := a.slab[:0:w]
+	a.slab = a.slab[w:]
+	vals = append(vals, t.vals...)
+	vals = append(vals, o.vals...)
+	if len(vals) != w {
+		panic("relation: arena Concat arity mismatch")
+	}
+	return Tuple{scheme: a.s, vals: vals}
+}
+
+// ConcatScratch builds t ++ o in a buffer reused across calls — for
+// testing a join predicate against a candidate pair without paying
+// for storage. The returned tuple is INVALID after the next
+// ConcatScratch call; call Concat to keep an accepted pair.
+func (a *TupleArena) ConcatScratch(t, o Tuple) Tuple {
+	w := a.s.Arity()
+	if cap(a.scratch) < w {
+		a.scratch = make([]value.Value, 0, w)
+	}
+	vals := a.scratch[:0]
+	vals = append(vals, t.vals...)
+	vals = append(vals, o.vals...)
+	if len(vals) != w {
+		panic("relation: arena ConcatScratch arity mismatch")
+	}
+	return Tuple{scheme: a.s, vals: vals}
+}
+
 // Key returns a canonical encoding of the whole tuple, usable for
 // duplicate elimination. Tuples with equal schemes and Equal values
-// share a key.
+// share a key. Value encodings are self-delimiting (value.Key), so
+// same-arity tuples cannot collide by moving bytes across value
+// boundaries. Hot paths use Hash64 instead; Key remains for sorted
+// golden output and debugging.
 func (t Tuple) Key() string {
 	var b strings.Builder
 	for _, v := range t.vals {
 		b.WriteString(v.Key())
-		b.WriteByte('\x01')
 	}
 	return b.String()
 }
 
 // KeyOn returns a canonical encoding of the values at the given
-// positions, usable for hash joins and indexes.
+// positions. Hot paths use HashOn instead.
 func (t Tuple) KeyOn(positions []int) string {
 	var b strings.Builder
 	for _, p := range positions {
 		b.WriteString(t.vals[p].Key())
-		b.WriteByte('\x01')
 	}
 	return b.String()
+}
+
+// Hash64 returns the canonical 64-bit hash of the whole tuple: the
+// chained value hashes. Tuples with Equal values share a hash; it
+// allocates nothing. Callers confirm candidate equality with Equal.
+func (t Tuple) Hash64() uint64 {
+	h := value.HashSeed()
+	for _, v := range t.vals {
+		h = v.MixHash64(h)
+	}
+	return h
+}
+
+// HashOn returns the canonical 64-bit hash of the values at the given
+// positions — the hash-join and index key. It allocates nothing.
+func (t Tuple) HashOn(positions []int) uint64 {
+	h := value.HashSeed()
+	for _, p := range positions {
+		h = t.vals[p].MixHash64(h)
+	}
+	return h
+}
+
+// EqualOn reports whether t at positions pos equals o at positions
+// opos, value by value (null equal to null). It is the equality
+// confirmation behind every hash-keyed bucket: two tuples with the
+// same HashOn are only treated as matching when EqualOn agrees.
+func (t Tuple) EqualOn(o Tuple, pos, opos []int) bool {
+	if len(pos) != len(opos) {
+		return false
+	}
+	for i, p := range pos {
+		if !t.vals[p].Equal(o.vals[opos[i]]) {
+			return false
+		}
+	}
+	return true
 }
 
 // ApproxBytes estimates the resident memory of the tuple: the value

@@ -283,25 +283,99 @@ func Less(v, w Value) Tri {
 
 // Key returns a stable encoding of v usable as a hash-map key. Distinct
 // values have distinct keys; Equal values (including cross-kind numeric
-// equality) share a key.
+// equality) share a key. Every encoding is self-delimiting — string
+// payloads are length-framed and the other kinds are fixed-width or
+// terminated — so concatenating keys (as Tuple.Key does) cannot
+// produce collisions by delimiter injection, whatever bytes the
+// payloads contain.
 func (v Value) Key() string {
 	switch v.kind {
 	case KindNull:
-		return "\x00n"
+		return "n;"
 	case KindString:
-		return "\x00s" + v.s
+		return "s" + strconv.Itoa(len(v.s)) + ":" + v.s
 	case KindInt:
-		return "\x00f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64) + ";"
 	case KindFloat:
-		return "\x00f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		f := v.f
+		if f == 0 {
+			f = 0 // -0.0 equals +0.0: share one key
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64) + ";"
 	case KindBool:
 		if v.b {
-			return "\x00bt"
+			return "bt"
 		}
-		return "\x00bf"
+		return "bf"
 	}
-	return "\x00?"
+	return "?;"
 }
+
+// FNV-1a parameters for the canonical 64-bit value hash.
+const (
+	hashOffset64 uint64 = 14695981039346656037
+	hashPrime64  uint64 = 1099511628211
+)
+
+// HashSeed returns the initial state for chaining MixHash64 over a
+// sequence of values (the FNV-1a offset basis).
+func HashSeed() uint64 { return hashOffset64 }
+
+// MixBytes folds a byte string into an FNV-1a hash state, prefixed by
+// its length so that adjacent strings in a chained hash cannot collide
+// by moving bytes across the boundary.
+func MixBytes(h uint64, s string) uint64 {
+	h = MixUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * hashPrime64
+	}
+	return h
+}
+
+// MixUint64 folds a fixed-width 64-bit word into an FNV-1a hash state.
+func MixUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * hashPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// MixHash64 folds v's canonical encoding into an FNV-1a hash state: a
+// kind tag byte followed by a length-framed (strings) or fixed-width
+// (numerics, bools) payload. The framing mirrors Key(): hashing a
+// sequence of values is unambiguous, and Equal values — including
+// cross-kind numeric equality, negative zero, and NaN (which Equal
+// treats as equal to itself) — mix identically. It allocates nothing.
+func (v Value) MixHash64(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		return (h ^ 'n') * hashPrime64
+	case KindString:
+		return MixBytes((h^'s')*hashPrime64, v.s)
+	case KindInt, KindFloat:
+		f, _ := v.AsFloat()
+		if f == 0 {
+			f = 0 // normalize -0.0 to +0.0 (they compare Equal)
+		}
+		bits := math.Float64bits(f)
+		if math.IsNaN(f) {
+			bits = 0x7ff8000000000000 // canonical quiet NaN
+		}
+		return MixUint64((h^'f')*hashPrime64, bits)
+	case KindBool:
+		if v.b {
+			return (h ^ 't') * hashPrime64
+		}
+		return (h ^ 'u') * hashPrime64
+	}
+	return (h ^ '?') * hashPrime64
+}
+
+// Hash64 returns the canonical 64-bit hash of v. Equal values share a
+// hash; distinct values collide only with hash probability, so
+// hash-keyed indexes confirm candidate equality with Equal.
+func (v Value) Hash64() uint64 { return v.MixHash64(hashOffset64) }
 
 // String renders the value for display. Null renders as "-" to match
 // the paper's figures.
