@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-core bench-smoke demo serve-smoke chaos
+.PHONY: build test race vet staticcheck check bench bench-core bench-smoke demo serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honest-to-goodness staticcheck when the binary is
+# on PATH and is a no-op otherwise, so `make check` works on machines
+# without it installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 # serve-smoke boots clio serve, drives a create/corr/walk/illustrate
 # round-trip over HTTP, kills the server with SIGKILL mid-session,
 # verifies the journal replays it on restart, and checks graceful
@@ -26,10 +36,11 @@ serve-smoke:
 chaos:
 	CLIO_CHAOS_SEED=1 $(GO) test -race -run 'Chaos|Journal|Budget|Mode|Prob' ./internal/fault ./internal/fd ./internal/workspace ./internal/serve ./internal/csvio ./internal/discovery
 
-# check is the tier-1 verification gate: vet, build, tests, race
-# tests, the chaos suite, the serve smoke test, and a one-iteration
-# pass over the execution-core benchmark workloads.
-check: vet build test race chaos serve-smoke bench-smoke
+# check is the tier-1 verification gate: vet, staticcheck (when
+# installed), build, tests, race tests, the chaos suite, the serve
+# smoke test, and a one-iteration pass over the execution-core
+# benchmark workloads.
+check: vet staticcheck build test race chaos serve-smoke bench-smoke
 
 bench:
 	$(GO) run ./cmd/cliobench -quick

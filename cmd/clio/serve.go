@@ -37,6 +37,9 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	sessionMaxBytes := fs.Int64("session-max-bytes", 0, "per-session request byte budget, layered under -max-bytes (0 = unlimited)")
 	sessionRPS := fs.Float64("session-rps", 0, "per-session token-bucket rate limit in requests/second (0 disables)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+	accessLog := fs.Bool("access-log", false, "emit a structured JSON access-log line per request to stderr")
+	slowMS := fs.Int("slow-ms", 0, "log requests slower than this many milliseconds at warning level (0 disables)")
+	traceBuffer := fs.Int("trace-buffer", 0, "retained span trees per list (recent and slowest) for /debug/traces (0 = default 32, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return serve.Config{}, 0, err
 	}
@@ -57,6 +60,9 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	if *sessionRPS < 0 {
 		return serve.Config{}, 0, fmt.Errorf("clio serve: -session-rps must be >= 0")
 	}
+	if *slowMS < 0 {
+		return serve.Config{}, 0, fmt.Errorf("clio serve: -slow-ms must be >= 0")
+	}
 
 	cfg := serve.Config{
 		Addr:                *addr,
@@ -74,6 +80,11 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 		SessionBudget:       fd.Budget{MaxRows: *sessionMaxRows, MaxBytes: *sessionMaxBytes},
 		SessionRPS:          *sessionRPS,
 		RetryAfter:          *retryAfter,
+		SlowThreshold:       time.Duration(*slowMS) * time.Millisecond,
+		TraceBufferSize:     *traceBuffer,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
 	}
 	if *cacheCap == 0 {
 		cfg.CacheCapacity = -1 // Config zero means "default"; -1 disables

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -33,6 +34,34 @@ func TestParseServeConfig(t *testing.T) {
 	}
 	if drain != 3*time.Second {
 		t.Errorf("drain = %v, want 3s", drain)
+	}
+}
+
+func TestParseServeConfigObservabilityFlags(t *testing.T) {
+	cfg, _, err := parseServeConfig([]string{
+		"-access-log",
+		"-slow-ms", "250",
+		"-trace-buffer", "64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AccessLog != os.Stderr {
+		t.Error("-access-log did not wire stderr into the config")
+	}
+	if cfg.SlowThreshold != 250*time.Millisecond {
+		t.Errorf("SlowThreshold = %v, want 250ms", cfg.SlowThreshold)
+	}
+	if cfg.TraceBufferSize != 64 {
+		t.Errorf("TraceBufferSize = %d, want 64", cfg.TraceBufferSize)
+	}
+	// Defaults: no access log, no slow threshold, default retention.
+	cfg, _, err = parseServeConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AccessLog != nil || cfg.SlowThreshold != 0 || cfg.TraceBufferSize != 0 {
+		t.Errorf("observability on by default: %+v", cfg)
 	}
 }
 

@@ -51,8 +51,10 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (E1..E9); empty runs all")
 	flag.Parse()
 	if *jsonPath != "" {
-		// Collect engine counters/histograms per experiment.
+		// Collect engine counters/histograms per experiment, and retain
+		// span trees so each stats record can name its slowest run.
 		obs.SetEnabled(true)
+		obs.SetExporter(obs.NewTraceBuffer(16, obs.CurrentExporter()))
 	}
 	all := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4,
@@ -79,10 +81,13 @@ func main() {
 
 // stats summarizes repeated timings of one measured phase.
 type stats struct {
-	Min    time.Duration `json:"min_ns"`
-	Median time.Duration `json:"median_ns"`
-	P95    time.Duration `json:"p95_ns"`
-	Runs   int           `json:"runs"`
+	Min          time.Duration `json:"min_ns"`
+	Median       time.Duration `json:"median_ns"`
+	P50          time.Duration `json:"p50_ns"`
+	P95          time.Duration `json:"p95_ns"`
+	P99          time.Duration `json:"p99_ns"`
+	Runs         int           `json:"runs"`
+	SlowestTrace string        `json:"slowest_trace,omitempty"`
 }
 
 // String renders the median with the min–p95 spread.
@@ -91,41 +96,82 @@ func (s stats) String() string {
 		s.Median.Round(time.Microsecond), s.Min.Round(time.Microsecond), s.P95.Round(time.Microsecond))
 }
 
+// timedRun times one run of f. With instrumentation on (-json), the
+// run executes under its own root span stamped with a fresh trace ID,
+// so each sample's span tree lands in the retained-trace buffer and
+// stats can name the slowest run's trace.
+func timedRun(f func()) (time.Duration, string) {
+	if !obs.Enabled() {
+		start := time.Now()
+		f()
+		return time.Since(start), ""
+	}
+	id := obs.NewTraceID()
+	saved := ctx
+	rctx, span := obs.StartSpan(obs.WithTraceID(saved, id), "bench.run")
+	span.SetStr("trace_id", id)
+	ctx = rctx // experiments close over the package ctx
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	ctx = saved
+	span.End()
+	return d, id
+}
+
 // measure times f repeatedly (until ~100ms of total work, at least 3
-// and at most 9 runs) and reports min/median/p95 over the samples.
+// and at most 9 runs) and reports min/p50/p95/p99 over the samples.
 // In -once mode (CI smoke) each phase runs exactly one iteration.
 func measure(f func()) stats {
 	if *once {
-		start := time.Now()
-		f()
-		d := time.Since(start)
-		return stats{Min: d, Median: d, P95: d, Runs: 1}
+		d, id := timedRun(f)
+		return stats{Min: d, Median: d, P50: d, P95: d, P99: d, Runs: 1, SlowestTrace: id}
 	}
-	var samples []time.Duration
+	type sample struct {
+		d     time.Duration
+		trace string
+	}
+	var samples []sample
 	var total time.Duration
 	for (total < 100*time.Millisecond && len(samples) < 9) || len(samples) < 3 {
-		start := time.Now()
-		f()
-		d := time.Since(start)
-		samples = append(samples, d)
+		d, id := timedRun(f)
+		samples = append(samples, sample{d, id})
 		total += d
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
 	q := func(p float64) time.Duration {
 		i := int(p * float64(len(samples)-1))
-		return samples[i]
+		return samples[i].d
 	}
-	return stats{Min: samples[0], Median: q(0.5), P95: q(0.95), Runs: len(samples)}
+	return stats{
+		Min:          samples[0].d,
+		Median:       q(0.5),
+		P50:          q(0.5),
+		P95:          q(0.95),
+		P99:          q(0.99),
+		Runs:         len(samples),
+		SlowestTrace: samples[len(samples)-1].trace,
+	}
 }
 
-// expDoc is one experiment's JSON document: the rendered table plus
-// the engine metrics the experiment's phases incremented.
+// expDoc is one experiment's JSON document: the rendered table, the
+// raw timing quantiles behind every measured cell, and the engine
+// metrics the experiment's phases incremented.
 type expDoc struct {
 	ID      string       `json:"id"`
 	Title   string       `json:"title"`
 	Columns []string     `json:"columns"`
 	Rows    [][]string   `json:"rows"`
+	Stats   []statEntry  `json:"stats,omitempty"`
 	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// statEntry is one measured cell's full quantile record, keyed by its
+// table position so consumers can join it back to the rendered row.
+type statEntry struct {
+	Row string `json:"row"` // first cell of the table row
+	Col string `json:"col"` // column header
+	stats
 }
 
 var (
@@ -190,6 +236,15 @@ func row(cells ...any) {
 	}
 	if curDoc != nil {
 		curDoc.Rows = append(curDoc.Rows, rendered)
+		for i, c := range cells {
+			if s, ok := c.(stats); ok {
+				col := ""
+				if i < len(curDoc.Columns) {
+					col = curDoc.Columns[i]
+				}
+				curDoc.Stats = append(curDoc.Stats, statEntry{Row: rendered[0], Col: col, stats: s})
+			}
+		}
 	}
 	fmt.Fprintf(out, "|")
 	for _, c := range rendered {
@@ -511,7 +566,9 @@ func measureAllocs(f func()) (stats, int64) {
 func (s stats) div(n int) stats {
 	s.Min /= time.Duration(n)
 	s.Median /= time.Duration(n)
+	s.P50 /= time.Duration(n)
 	s.P95 /= time.Duration(n)
+	s.P99 /= time.Duration(n)
 	return s
 }
 

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
+
+	"clio/internal/obs"
 )
 
 // TestExperimentsQuick runs every experiment in quick mode and checks
@@ -27,6 +31,48 @@ func TestExperimentsQuick(t *testing.T) {
 		if strings.Count(s, "\n|") < 3 {
 			t.Errorf("%s: table too small:\n%s", id, s)
 		}
+	}
+}
+
+// TestMeasureQuantilesAndSlowestTrace: with instrumentation on (the
+// -json path), every measurement reports the full quantile set and the
+// trace ID of its slowest run, and that trace is retained.
+func TestMeasureQuantilesAndSlowestTrace(t *testing.T) {
+	obs.SetEnabled(true)
+	buf := obs.NewTraceBuffer(16, nil)
+	obs.SetExporter(buf)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.SetExporter(nil)
+	})
+	s := measure(func() { time.Sleep(time.Millisecond) })
+	if s.P50 != s.Median || s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+	if s.SlowestTrace == "" {
+		t.Fatalf("no slowest trace recorded: %+v", s)
+	}
+	tr := buf.Get(s.SlowestTrace)
+	if tr == nil {
+		t.Fatalf("slowest trace %s not retained", s.SlowestTrace)
+	}
+	if tr.Root.Name != "bench.run" {
+		t.Errorf("retained root span = %s, want bench.run", tr.Root.Name)
+	}
+	// JSON surface: the quantile fields and trace must serialize.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50_ns"`, `"p95_ns"`, `"p99_ns"`, `"slowest_trace"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("stats JSON missing %s: %s", want, data)
+		}
+	}
+	// Untraced measurements (no -json) carry no trace ID.
+	obs.SetEnabled(false)
+	if s := measure(func() {}); s.SlowestTrace != "" {
+		t.Errorf("untraced measure recorded a trace: %+v", s)
 	}
 }
 

@@ -158,6 +158,7 @@ type Join struct {
 // in batches.
 func (j Join) Open(ctx context.Context, in *relation.Instance) (Iterator, error) {
 	ctx, span := openOp(ctx, "op.join")
+	span.SetStr("kind", j.Kind.String())
 	l, err := materializeChild(ctx, j.L, in)
 	if err != nil {
 		span.End()

@@ -96,6 +96,7 @@ type joinIter struct {
 // drawn from ctx.
 func OpenJoin(ctx context.Context, kind JoinKind, l, r *relation.Relation, on expr.Expr) Iterator {
 	ctx, span := openOp(ctx, "op.join")
+	span.SetStr("kind", kind.String())
 	return newJoinIter(ctx, span, kind, l, r, on)
 }
 

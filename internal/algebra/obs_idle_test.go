@@ -1,0 +1,51 @@
+package algebra_test
+
+import (
+	"testing"
+
+	"clio/internal/algebra"
+	"clio/internal/expr"
+	"clio/internal/obs"
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// Instrumented-but-idle tracing — obs enabled and a trace ring buffer
+// installed, but no span in the caller's context and no reader — must
+// add zero allocations per run to the hot loops pinned by
+// alloc_bench_test.go. This is the invariant that lets `clio serve`
+// keep the buffer always on: background evaluation never pays for it.
+func TestIdleTracingAddsNoAllocs(t *testing.T) {
+	const n = 2048
+	dist := stringRelation("R", n, 2)
+	l := stringRelation("L", n, 1)
+	r := relation.New("R", relation.NewScheme("R.k", "R.v"))
+	for i := 0; i < n; i++ {
+		r.AddValues(value.String("nope"), value.String("x"))
+	}
+	on := expr.MustParse("L.k = R.k")
+
+	distinct := func() { dist.Distinct() }
+	join := func() { algebra.JoinRelations(algebra.InnerJoin, l, r, on) }
+
+	obs.SetEnabled(false)
+	obs.SetExporter(nil)
+	baseDistinct := testing.AllocsPerRun(10, distinct)
+	baseJoin := testing.AllocsPerRun(10, join)
+
+	obs.SetEnabled(true)
+	obs.SetExporter(obs.NewTraceBuffer(32, nil))
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.SetExporter(nil)
+	})
+	idleDistinct := testing.AllocsPerRun(10, distinct)
+	idleJoin := testing.AllocsPerRun(10, join)
+
+	if delta := idleDistinct - baseDistinct; delta >= 1 {
+		t.Errorf("idle tracing adds %.1f allocs/op to Distinct (%.0f -> %.0f)", delta, baseDistinct, idleDistinct)
+	}
+	if delta := idleJoin - baseJoin; delta >= 1 {
+		t.Errorf("idle tracing adds %.1f allocs/op to hash-join probe (%.0f -> %.0f)", delta, baseJoin, idleJoin)
+	}
+}

@@ -262,6 +262,16 @@ func cacheLookup(key string) (*relation.Relation, bool) {
 	return el.Value.(*cacheEntry).d.Clone(), true
 }
 
+// cachePeek reports whether key is memoized, without touching LRU
+// order, the hit/miss counters, or fault injection — a read-only probe
+// for EXPLAIN's cache-status report.
+func cachePeek(key string) bool {
+	theCache.mu.Lock()
+	defer theCache.mu.Unlock()
+	_, ok := theCache.entries[key]
+	return ok
+}
+
 // cacheStore memoizes d under key, evicting the least recently used
 // entry beyond capacity. An injected fault at "fd.cache.store" skips
 // the store (the result is still returned to the caller).

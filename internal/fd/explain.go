@@ -1,0 +1,79 @@
+package fd
+
+import (
+	"context"
+	"time"
+
+	"clio/internal/graph"
+	"clio/internal/obs"
+	"clio/internal/relation"
+)
+
+// ExplainResult describes one traced D(G) computation: what the picker
+// chose and why-shaped facts (tree-ness, node and subset counts), the
+// memo-cache disposition the equivalent Compute call would have seen,
+// and the executed operator tree with per-operator rows/batches/timing
+// span attributes.
+type ExplainResult struct {
+	Algo     string        `json:"algo"`
+	Cache    string        `json:"cache"` // "hit", "miss", or "disabled"
+	IsTree   bool          `json:"is_tree"`
+	Nodes    int           `json:"nodes"`
+	Subsets  int           `json:"subsets,omitempty"`
+	Tuples   int           `json:"tuples"`
+	Duration time.Duration `json:"-"`
+	Root     *obs.SpanData `json:"-"`
+}
+
+// ExplainCompute computes D(G) like Compute but always executes (never
+// answers from the memo cache) so the returned span tree reflects a
+// real run, and reports what the cache would have said alongside the
+// picker's routing decision. The fresh result is stored back into the
+// cache, so an explain call warms rather than bypasses it. Root is nil
+// when instrumentation is disabled (there are no spans to retain).
+func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*ExplainResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &ExplainResult{Cache: "disabled", IsTree: g.IsTree(), Nodes: g.NodeCount()}
+	key, cacheable := cacheKey(g, in)
+	if cacheable {
+		if cachePeek(key) {
+			res.Cache = "hit"
+		} else {
+			res.Cache = "miss"
+		}
+	}
+	var subsets [][]string
+	if !res.IsTree {
+		subsets = g.ConnectedSubsets()
+		res.Subsets = len(subsets)
+	}
+	estimate, err := estimateRows(g, in, res.IsTree)
+	if err != nil {
+		return nil, err
+	}
+	res.Algo = pickAlgo(res.IsTree, len(subsets), estimate, rowHeadroom(ctx))
+	if res.Algo == "abort" {
+		return nil, overBudget(ctx, estimate)
+	}
+	// Wrap the run in an explain span so the computation's own root
+	// (fd.compute) is reachable as a child even when this context
+	// already carries a serving-layer span.
+	ctx, span := obs.StartSpan(ctx, "fd.explain")
+	start := time.Now()
+	d, err := computeUncached(ctx, g, in)
+	span.End()
+	res.Duration = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res.Tuples = d.Len()
+	if data := span.Data(); data != nil && len(data.Children) > 0 {
+		res.Root = data.Children[0]
+	}
+	if cacheable {
+		cacheStore(key, d)
+	}
+	return res, nil
+}

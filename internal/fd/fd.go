@@ -412,8 +412,10 @@ func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*
 			if err := budget.FromContext(ctx).Charge(int64(d.Len()), approxRelationBytes(d)); err != nil {
 				return nil, err
 			}
+			obs.Note(ctx, "dg_cache", "hit")
 			return d, nil
 		}
+		obs.Note(ctx, "dg_cache", "miss")
 	}
 	d, err := computeUncached(ctx, g, in)
 	if err != nil {

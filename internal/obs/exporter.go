@@ -33,6 +33,12 @@ func currentExporter() Exporter {
 	return b.e
 }
 
+// CurrentExporter returns the installed process span exporter, or nil.
+// Callers that layer exporters (e.g. a retention buffer wrapping a
+// streaming exporter) use this to chain onto whatever is already
+// installed.
+func CurrentExporter() Exporter { return currentExporter() }
+
 // TextExporter renders each completed trace as an indented tree, one
 // span per line: name, duration, then key=value attributes.
 type TextExporter struct {
@@ -78,16 +84,18 @@ type JSONExporter struct {
 // NewJSONExporter returns a JSONExporter writing to w.
 func NewJSONExporter(w io.Writer) *JSONExporter { return &JSONExporter{W: w} }
 
-// spanJSON is the wire form of a SpanData.
-type spanJSON struct {
+// SpanJSON is the wire form of a SpanData, shared by the JSON exporter
+// and the HTTP trace/explain endpoints.
+type SpanJSON struct {
 	Name     string         `json:"name"`
 	DurUS    int64          `json:"dur_us"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
-	Children []spanJSON     `json:"children,omitempty"`
+	Children []SpanJSON     `json:"children,omitempty"`
 }
 
-func toSpanJSON(s *SpanData) spanJSON {
-	out := spanJSON{Name: s.Name, DurUS: s.Duration.Microseconds()}
+// ToSpanJSON converts a finished span tree to its wire form.
+func ToSpanJSON(s *SpanData) SpanJSON {
+	out := SpanJSON{Name: s.Name, DurUS: s.Duration.Microseconds()}
 	if len(s.Attrs) > 0 {
 		out.Attrs = make(map[string]any, len(s.Attrs))
 		for _, a := range s.Attrs {
@@ -95,14 +103,14 @@ func toSpanJSON(s *SpanData) spanJSON {
 		}
 	}
 	for _, c := range s.Children {
-		out.Children = append(out.Children, toSpanJSON(c))
+		out.Children = append(out.Children, ToSpanJSON(c))
 	}
 	return out
 }
 
 // ExportRoot writes the span tree as a single JSON line.
 func (j *JSONExporter) ExportRoot(root *SpanData) {
-	data, err := json.Marshal(toSpanJSON(root))
+	data, err := json.Marshal(ToSpanJSON(root))
 	if err != nil {
 		return
 	}

@@ -154,6 +154,17 @@ func (s *Span) SetBool(key string, v bool) {
 	s.mu.Unlock()
 }
 
+// Data returns the span's underlying record. The tree is still mutable
+// until the span (and, for children, its ancestors) have ended; callers
+// that hold the returned pointer must only read it after End. No-op
+// (nil) on a nil span.
+func (s *Span) Data() *SpanData {
+	if s == nil {
+		return nil
+	}
+	return s.data
+}
+
 // End finishes the span, recording its duration. Ending a root span
 // hands the completed tree to the process exporter. End is idempotent
 // and a no-op on a nil span.

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text-exposition rendering (format version 0.0.4) of a
+// registry snapshot. Counters render as counters with the conventional
+// _total suffix, gauges as gauges, and histograms as summaries: one
+// series per p50/p95/p99 quantile plus _sum and _count. Metric names
+// are sanitized (dots become underscores) and prefixed clio_ so the
+// whole engine scrapes under one namespace. Output is sorted by metric
+// name, so scrapes are byte-deterministic for a given snapshot.
+
+// PromName sanitizes an instrument name into a Prometheus metric name:
+// every character outside [a-zA-Z0-9_] becomes '_', and the clio_
+// prefix is added unless already present.
+func PromName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if !strings.HasPrefix(s, "clio_") {
+		s = "clio_" + s
+	}
+	return s
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. The writer's errors are ignored (http.ResponseWriter swallows
+// them anyway); rendering itself cannot fail.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	for _, name := range sortedKeys(s.Counters) {
+		m := PromName(name)
+		if !strings.HasSuffix(m, "_total") {
+			m += "_total"
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		m := PromName(name)
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s summary\n", m)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", m, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %d\n", m, h.P95)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", m, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.requests":    "clio_serve_requests",
+		"fd.cache.hits":     "clio_fd_cache_hits",
+		"clio.panics":       "clio_panics",
+		"clio_already_fine": "clio_already_fine",
+		"weird-name/x":      "clio_weird_name_x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusFormat asserts the rendered exposition parses as
+// Prometheus text format 0.0.4: every non-comment line is
+// "name[{labels}] value", every series is preceded by a # TYPE line,
+// and counters carry the _total suffix.
+func TestWritePrometheusFormat(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(7)
+	r.Gauge("serve.in_flight").Set(3)
+	h := r.Histogram("serve.request.ns")
+	h.Observe(100)
+	h.Observe(200)
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	out := b.String()
+
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", out)
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("sample line %q: want 'name value'", line)
+		}
+		name := f[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "\"}") {
+				t.Fatalf("malformed labels in %q", line)
+			}
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("series %q has no preceding # TYPE line", line)
+			}
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE clio_serve_requests_total counter",
+		"clio_serve_requests_total 7",
+		"# TYPE clio_serve_in_flight gauge",
+		"clio_serve_in_flight 3",
+		"# TYPE clio_serve_request_ns summary",
+		"clio_serve_request_ns{quantile=\"0.5\"}",
+		"clio_serve_request_ns_sum 300",
+		"clio_serve_request_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceBuffer is an always-on, bounded retention store for completed
+// span trees: it keeps the N most recent traces (a ring that overwrites
+// oldest-first) and, separately, the N slowest traces seen so far, so a
+// latency spike stays inspectable even after the ring has churned past
+// it. Installed as the process exporter it makes traces queryable after
+// the fact — no "restart with --trace and reproduce" required. Memory
+// is bounded by 2N retained trees; everything else is evicted.
+//
+// A TraceBuffer can wrap another exporter (next): every root is
+// retained and forwarded, so streaming exporters (--trace) keep
+// working when a server installs its buffer.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	cap     int
+	recent  []*Trace // ring; pos is the next overwrite index once full
+	pos     int
+	slowest []*Trace // sorted by Duration descending
+	byID    map[string]*Trace
+	refs    map[string]int // list memberships per ID; 0 drops the index entry
+	next    Exporter
+}
+
+// Trace is one retained span tree with its identity and summary.
+type Trace struct {
+	ID       string
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Spans    int
+	Root     *SpanData
+}
+
+// NewTraceBuffer returns a buffer retaining up to cap recent and cap
+// slowest traces (minimum 1), forwarding every root to next when next
+// is non-nil.
+func NewTraceBuffer(cap int, next Exporter) *TraceBuffer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &TraceBuffer{
+		cap:  cap,
+		byID: map[string]*Trace{},
+		refs: map[string]int{},
+		next: next,
+	}
+}
+
+// Next returns the wrapped downstream exporter, or nil.
+func (b *TraceBuffer) Next() Exporter { return b.next }
+
+// ExportRoot retains the completed tree and forwards it downstream.
+// The trace ID is the root's "trace_id" attribute when present (the
+// serving layer stamps it), otherwise a fresh synthetic ID.
+func (b *TraceBuffer) ExportRoot(root *SpanData) {
+	id := ""
+	for _, a := range root.Attrs {
+		if a.Key == "trace_id" && a.Kind == KindStr {
+			id = a.Str
+		}
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	tr := &Trace{
+		ID:       id,
+		Name:     root.Name,
+		Start:    root.Start,
+		Duration: root.Duration,
+		Spans:    countSpans(root),
+		Root:     root,
+	}
+	b.mu.Lock()
+	b.insertRecentLocked(tr)
+	b.insertSlowestLocked(tr)
+	b.mu.Unlock()
+	if b.next != nil {
+		b.next.ExportRoot(root)
+	}
+}
+
+func countSpans(s *SpanData) int {
+	n := 1
+	for _, c := range s.Children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+func (b *TraceBuffer) retainLocked(tr *Trace) {
+	b.refs[tr.ID]++
+	b.byID[tr.ID] = tr
+}
+
+func (b *TraceBuffer) releaseLocked(tr *Trace) {
+	b.refs[tr.ID]--
+	if b.refs[tr.ID] <= 0 {
+		delete(b.refs, tr.ID)
+		delete(b.byID, tr.ID)
+	}
+}
+
+func (b *TraceBuffer) insertRecentLocked(tr *Trace) {
+	if len(b.recent) < b.cap {
+		b.recent = append(b.recent, tr)
+	} else {
+		b.releaseLocked(b.recent[b.pos])
+		b.recent[b.pos] = tr
+		b.pos = (b.pos + 1) % b.cap
+	}
+	b.retainLocked(tr)
+}
+
+func (b *TraceBuffer) insertSlowestLocked(tr *Trace) {
+	if len(b.slowest) >= b.cap {
+		last := b.slowest[len(b.slowest)-1]
+		if tr.Duration <= last.Duration {
+			return
+		}
+		b.slowest = b.slowest[:len(b.slowest)-1]
+		b.releaseLocked(last)
+	}
+	i := sort.Search(len(b.slowest), func(i int) bool {
+		return b.slowest[i].Duration < tr.Duration
+	})
+	b.slowest = append(b.slowest, nil)
+	copy(b.slowest[i+1:], b.slowest[i:])
+	b.slowest[i] = tr
+	b.retainLocked(tr)
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (b *TraceBuffer) Get(id string) *Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.byID[id]
+}
+
+// Recent returns the retained recent traces, newest first.
+func (b *TraceBuffer) Recent() []*Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Trace, 0, len(b.recent))
+	// The ring is oldest at pos (once full); walk backwards from the
+	// most recently written slot.
+	for i := 0; i < len(b.recent); i++ {
+		idx := (b.pos - 1 - i + len(b.recent)*2) % len(b.recent)
+		if len(b.recent) < b.cap {
+			// Not yet wrapped: slots fill in order, newest last.
+			idx = len(b.recent) - 1 - i
+		}
+		out = append(out, b.recent[idx])
+	}
+	return out
+}
+
+// Slowest returns the retained slowest traces, slowest first.
+func (b *TraceBuffer) Slowest() []*Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*Trace(nil), b.slowest...)
+}
+
+// Cap returns the per-list retention bound.
+func (b *TraceBuffer) Cap() int { return b.cap }
+
+// Len returns the number of distinct retained traces.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.byID)
+}

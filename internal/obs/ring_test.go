@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, dur time.Duration) *SpanData {
+	return &SpanData{
+		Name:     "req",
+		Duration: dur,
+		Attrs:    []Attr{{Key: "trace_id", Kind: KindStr, Str: id}},
+		Children: []*SpanData{{Name: "child"}},
+	}
+}
+
+func TestTraceBufferRecentEvictsOldest(t *testing.T) {
+	b := NewTraceBuffer(3, nil)
+	for i := 0; i < 5; i++ {
+		b.ExportRoot(mkTrace(fmt.Sprintf("id%d", i), time.Duration(i)))
+	}
+	rec := b.Recent()
+	if len(rec) != 3 {
+		t.Fatalf("got %d recent traces, want 3", len(rec))
+	}
+	for i, want := range []string{"id4", "id3", "id2"} {
+		if rec[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, rec[i].ID, want)
+		}
+	}
+	if b.Get("id0") != nil || b.Get("id1") != nil {
+		t.Error("evicted traces still resolvable by ID")
+	}
+}
+
+func TestTraceBufferSlowestRetainedPastRingChurn(t *testing.T) {
+	b := NewTraceBuffer(2, nil)
+	b.ExportRoot(mkTrace("spike", time.Second))
+	// Churn the recent ring well past the spike.
+	for i := 0; i < 10; i++ {
+		b.ExportRoot(mkTrace(fmt.Sprintf("fast%d", i), time.Millisecond))
+	}
+	tr := b.Get("spike")
+	if tr == nil {
+		t.Fatal("slow trace evicted despite slowest retention")
+	}
+	if tr.Spans != 2 {
+		t.Errorf("spike trace has %d spans, want 2", tr.Spans)
+	}
+	slow := b.Slowest()
+	if len(slow) != 2 || slow[0].ID != "spike" {
+		t.Fatalf("slowest = %v, want spike first", slow)
+	}
+	// A faster-than-threshold trace must not displace retained slow ones.
+	b.ExportRoot(mkTrace("alsofast", time.Microsecond))
+	if b.Get("spike") == nil {
+		t.Error("fast trace displaced the retained spike")
+	}
+}
+
+func TestTraceBufferSynthesizesMissingID(t *testing.T) {
+	b := NewTraceBuffer(2, nil)
+	b.ExportRoot(&SpanData{Name: "anon", Duration: time.Millisecond})
+	rec := b.Recent()
+	if len(rec) != 1 || rec[0].ID == "" {
+		t.Fatalf("trace without trace_id attr got no synthetic ID: %+v", rec)
+	}
+	if b.Get(rec[0].ID) == nil {
+		t.Error("synthetic ID not resolvable")
+	}
+}
+
+func TestTraceBufferForwardsDownstream(t *testing.T) {
+	col := &CollectExporter{}
+	b := NewTraceBuffer(1, col)
+	if b.Next() != col {
+		t.Fatal("Next() lost the wrapped exporter")
+	}
+	b.ExportRoot(mkTrace("x", time.Millisecond))
+	if len(col.Roots()) != 1 {
+		t.Fatalf("downstream exporter saw %d roots, want 1", len(col.Roots()))
+	}
+}
+
+func TestTraceIDNilSafety(t *testing.T) {
+	if got := TraceID(nil); got != "" {
+		t.Errorf("TraceID(nil) = %q, want empty", got)
+	}
+	ctx := WithTraceID(nil, "abc")
+	if got := TraceID(ctx); got != "abc" {
+		t.Errorf("TraceID after WithTraceID(nil, abc) = %q", got)
+	}
+	Note(nil, "k", "v") // must not panic
+	ctx2, n := WithNotes(nil)
+	Note(ctx2, "dg_cache", "hit")
+	if n.Get("dg_cache") != "hit" {
+		t.Error("note not readable back")
+	}
+	var nilNotes *Notes
+	if nilNotes.Get("k") != "" {
+		t.Error("nil Notes Get not safe")
+	}
+	a, b := NewTraceID(), NewTraceID()
+	if a == b || len(a) != 16 {
+		t.Errorf("trace IDs not unique 16-hex: %q %q", a, b)
+	}
+}

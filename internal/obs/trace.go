@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Request-scoped trace identity. A trace ID names one logical unit of
+// work (an HTTP request, a replayed journal op, a benchmark run) so its
+// access-log line, response header, op-log records, and retained span
+// tree can all be correlated after the fact. The ID travels through
+// context.Context alongside the span, but independently of it: code
+// that never starts a span (the workspace op log) can still stamp its
+// records, and the helpers tolerate nil contexts so replay paths built
+// on context.Background() — or on nothing at all — never panic.
+
+type traceIDKey struct{}
+
+// traceSeq backs the fallback ID source if crypto/rand ever fails.
+var traceSeq atomic.Int64
+
+// NewTraceID returns a fresh 16-hex-digit random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "t" + strconv.FormatInt(traceSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID. A nil ctx is
+// treated as context.Background().
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "". Safe on nil
+// contexts.
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// Notes is a request-scoped key/value scratchpad: deep engine layers
+// annotate the request (cache hit/miss, algorithm chosen) and the
+// serving layer reads the notes back when writing the access log.
+// Unlike span attributes, notes are readable by the request's own
+// handler after the work is done. Safe for concurrent use.
+type Notes struct {
+	mu sync.Mutex
+	kv map[string]string
+}
+
+type notesKey struct{}
+
+// WithNotes returns a context carrying a fresh Notes scratchpad. A nil
+// ctx is treated as context.Background().
+func WithNotes(ctx context.Context) (context.Context, *Notes) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := &Notes{}
+	return context.WithValue(ctx, notesKey{}, n), n
+}
+
+// Note records key=value on the context's scratchpad; a no-op (never a
+// panic) when ctx is nil or carries no Notes.
+func Note(ctx context.Context, key, value string) {
+	if ctx == nil {
+		return
+	}
+	n, _ := ctx.Value(notesKey{}).(*Notes)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	if n.kv == nil {
+		n.kv = map[string]string{}
+	}
+	n.kv[key] = value
+	n.mu.Unlock()
+}
+
+// Get returns the note for key, or "".
+func (n *Notes) Get(key string) string {
+	if n == nil {
+		return ""
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.kv[key]
+}

@@ -19,9 +19,23 @@ import (
 // endpoints go through opHandler, which dispatches via applyOp and
 // journals the operation — the same dispatcher boot-time replay uses.
 func (s *Server) routes() {
+	// healthz answers 503 while draining so a load balancer stops
+	// routing before in-flight requests finish and connections close.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// Operational endpoints bypass the admission gate: a saturated or
+	// misbehaving server is exactly when scrapes and trace inspection
+	// must still answer.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraceIndex)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+	s.mux.Handle("GET /api/sessions/{id}/explain", s.handle("explain", s.handleExplain))
 	s.mux.Handle("GET /api/stats", s.handle("stats", s.handleStats))
 	s.mux.Handle("POST /api/sessions", s.handle("session_create", s.handleCreateSession))
 	s.mux.Handle("GET /api/sessions", s.handle("session_list", s.handleListSessions))

@@ -290,7 +290,10 @@ func (s *Server) replaySession(id string) {
 	sess := s.restoreSession(id)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	ctx := context.Background()
+	// Replayed ops run under a synthetic trace ID so their op-log
+	// records are distinguishable from live-request ops (which carry
+	// the originating request's ID) and never collide with one.
+	ctx := obs.WithTraceID(context.Background(), "replay-"+obs.NewTraceID())
 	createArgs := recs[0].Args
 	if _, err := s.initSession(ctx, sess, createArgs); err != nil {
 		s.dropSession(id)

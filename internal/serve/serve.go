@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -23,6 +25,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clio/internal/fd"
@@ -39,6 +42,7 @@ var (
 	cThrottled        = obs.GetCounter("serve.throttled")
 	cSessionThrottled = obs.GetCounter("serve.session_throttled")
 	cPanics           = obs.GetCounter("clio.panics")
+	cBudgetRejected   = obs.GetCounter("serve.budget_rejections")
 	cExpired          = obs.GetCounter("serve.sessions_expired")
 	cResurrected      = obs.GetCounter("serve.sessions_resurrected")
 	gInFlight         = obs.GetGauge("serve.in_flight")
@@ -106,6 +110,19 @@ type Config struct {
 	// RetryAfter is the back-off hint sent with 429 responses
 	// (rounded up to whole seconds). Default 1s.
 	RetryAfter time.Duration
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed request (trace ID, endpoint, session, status,
+	// duration, budget charge, D(G) cache disposition).
+	AccessLog io.Writer
+	// SlowThreshold logs requests at least this slow at warning level
+	// — to AccessLog when set, else to stderr. Zero disables slow-op
+	// logging.
+	SlowThreshold time.Duration
+	// TraceBufferSize bounds the always-on trace retention ring: the N
+	// most recent and N slowest completed span trees stay queryable
+	// via GET /debug/traces. Zero means the default (32); negative
+	// disables retention.
+	TraceBufferSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +244,15 @@ type Server struct {
 	nextID   int
 	serveErr chan error
 
+	// Observability plane: retained trace trees, structured access
+	// log, slow-request logger (stderr fallback), drain flag for
+	// healthz, and the statusz uptime anchor.
+	traces   *obs.TraceBuffer
+	access   *slog.Logger
+	slow     *slog.Logger
+	draining atomic.Bool
+	started  time.Time
+
 	reapStop chan struct{}
 	reapWG   sync.WaitGroup
 	shutOnce sync.Once
@@ -247,6 +273,37 @@ func New(cfg Config) *Server {
 		gate:     make(chan struct{}, cfg.MaxInFlight),
 		sessions: map[string]*Session{},
 		serveErr: make(chan error, 1),
+		started:  time.Now(),
+	}
+	// The observability plane is always on for a server: metrics and
+	// span retention are how an operator sees inside it. Background
+	// (non-request) evaluation stays span-free, so this costs the hot
+	// loops nothing (see algebra's idle-tracing alloc test).
+	obs.SetEnabled(true)
+	if cfg.TraceBufferSize >= 0 {
+		size := cfg.TraceBufferSize
+		if size == 0 {
+			size = 32
+		}
+		// Chain onto whatever exporter is already installed (e.g. the
+		// CLI's --trace stream), but never onto a previous server's
+		// buffer: de-chain it so repeated New calls don't stack.
+		prev := obs.CurrentExporter()
+		if tb, ok := prev.(*obs.TraceBuffer); ok {
+			prev = tb.Next()
+		}
+		s.traces = obs.NewTraceBuffer(size, prev)
+		obs.SetExporter(s.traces)
+	}
+	if cfg.AccessLog != nil {
+		s.access = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
+	}
+	if cfg.SlowThreshold > 0 {
+		if cfg.AccessLog != nil {
+			s.slow = s.access
+		} else {
+			s.slow = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		}
 	}
 	s.routes()
 	if cfg.JournalDir != "" {
@@ -296,6 +353,10 @@ func (s *Server) Addr() string {
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.shutOnce.Do(func() {
+		// Flip healthz to 503 first: a load balancer polling /healthz
+		// must stop routing to a draining server before connections
+		// start being refused.
+		s.draining.Store(true)
 		s.stopReaper()
 		if s.httpSrv != nil {
 			err = s.httpSrv.Shutdown(ctx)
@@ -369,12 +430,27 @@ type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
 
 // handle wraps a handler with the service plumbing: admission gate
 // (429 + Retry-After when saturated), in-flight gauge, per-request
-// timeout, per-request resource budget, a span per endpoint, JSON
-// encoding, error mapping, and panic containment (a handler panic
-// answers 500 and is captured to stderr and the session op log; the
-// server keeps serving).
+// trace ID (generated up front, returned as X-Clio-Trace on every
+// response including rejections, and propagated through ctx into the
+// operators), per-request timeout, per-request resource budget, a span
+// per endpoint, JSON encoding, error mapping, structured access
+// logging, and panic containment (a handler panic answers 500 and is
+// captured to stderr and the session op log; the server keeps
+// serving).
 func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		trace := obs.NewTraceID()
+		w.Header().Set("X-Clio-Trace", trace)
+		start := time.Now()
+		status := http.StatusOK
+		var notes *obs.Notes
+		var reqCtx context.Context
+		// Registered first so it runs last during unwinding: by then
+		// the panic defer below has settled the final status.
+		defer func() {
+			s.logAccess(name, r, trace, status, time.Since(start), reqCtx, notes)
+		}()
+
 		select {
 		case s.gate <- struct{}{}:
 			defer func() { <-s.gate }()
@@ -382,14 +458,14 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 			cThrottled.Inc()
 			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, http.StatusTooManyRequests,
+			status = http.StatusTooManyRequests
+			writeJSON(w, status,
 				map[string]string{"error": "server saturated, retry later"})
 			return
 		}
 		gInFlight.Add(1)
 		defer gInFlight.Add(-1)
 		cRequests.Inc()
-		start := time.Now()
 		defer hRequestNS.ObserveSince(start)
 
 		// Per-session token bucket, layered under the server-wide
@@ -404,7 +480,8 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 					secs = 1
 				}
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
-				writeJSON(w, http.StatusTooManyRequests,
+				status = http.StatusTooManyRequests
+				writeJSON(w, status,
 					map[string]string{"error": "session rate limit exceeded, retry later"})
 				return
 			}
@@ -412,6 +489,8 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = obs.WithTraceID(ctx, trace)
+		ctx, notes = obs.WithNotes(ctx)
 		budget := s.cfg.Budget
 		if sessID != "" {
 			budget = minBudget(budget, s.cfg.SessionBudget)
@@ -419,8 +498,10 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 		if !budget.Unlimited() {
 			ctx = fd.WithBudget(ctx, budget)
 		}
+		reqCtx = ctx
 		ctx, span := obs.StartSpan(ctx, "serve."+name)
 		defer span.End()
+		span.SetStr("trace_id", trace)
 		span.SetStr("method", r.Method)
 		span.SetStr("path", r.URL.Path)
 
@@ -438,14 +519,15 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 			s.logSessionPanic(r.PathValue("id"), detail)
 			span.SetStr("panic", fmt.Sprint(rec))
 			span.SetInt("status", http.StatusInternalServerError)
-			writeJSON(w, http.StatusInternalServerError,
+			status = http.StatusInternalServerError
+			writeJSON(w, status,
 				map[string]string{"error": "internal error: " + detail})
 		}()
 
 		resp, err := h(ctx, r.WithContext(ctx))
 		if err != nil {
 			cErrors.Inc()
-			status := http.StatusInternalServerError
+			status = http.StatusInternalServerError
 			body := map[string]any{"error": err.Error()}
 			var he *httpError
 			var be *fd.BudgetError
@@ -455,6 +537,7 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 				// than the server will materialize. Name the limit so
 				// clients can tell rows from bytes.
 				status = http.StatusRequestEntityTooLarge
+				cBudgetRejected.Inc()
 				body["limit"] = be.Limit
 				body["max"] = be.Max
 				body["got"] = be.Got
@@ -472,6 +555,45 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 		}
 		span.SetInt("status", http.StatusOK)
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// logAccess emits the structured access-log line for one finished
+// request, and the slow-request warning when the duration crosses the
+// configured threshold. reqCtx carries the request's budget tracker
+// (nil before admission), notes the engine's scratchpad annotations.
+func (s *Server) logAccess(endpoint string, r *http.Request, trace string, status int, dur time.Duration, reqCtx context.Context, notes *obs.Notes) {
+	slow := s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold
+	if s.access == nil && !(slow && s.slow != nil) {
+		return
+	}
+	args := []any{
+		"trace", trace,
+		"endpoint", endpoint,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"dur_ms", float64(dur.Microseconds()) / 1e3,
+	}
+	if id := r.PathValue("id"); id != "" {
+		args = append(args, "session", id)
+	}
+	if reqCtx != nil {
+		if rows, bytes := fd.BudgetUsed(reqCtx); rows > 0 || bytes > 0 {
+			args = append(args, "budget_rows", rows, "budget_bytes", bytes)
+		}
+	}
+	if v := notes.Get("dg_cache"); v != "" {
+		args = append(args, "dg_cache", v)
+	}
+	switch {
+	case slow && s.slow != nil:
+		s.slow.Warn("slow request", args...)
+		if s.access != nil && s.slow != s.access {
+			s.access.Info("request", args...)
+		}
+	case s.access != nil:
+		s.access.Info("request", args...)
 	}
 }
 

@@ -1,6 +1,7 @@
 package workspace
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -33,6 +34,9 @@ type OpRecord struct {
 	Workspaces int
 	// Err is the error message when the operation failed, else "".
 	Err string
+	// Trace is the trace ID of the request that ran the operation,
+	// or "" for operations outside any request (CLI, internal).
+	Trace string
 }
 
 // String renders the record as one log line.
@@ -41,14 +45,19 @@ func (r OpRecord) String() string {
 	if r.Err != "" {
 		status = "error: " + r.Err
 	}
-	return fmt.Sprintf("#%d %-14s %-40s %8s  %d ws  %s",
+	line := fmt.Sprintf("#%d %-14s %-40s %8s  %d ws  %s",
 		r.Seq, r.Op, r.Detail, r.Duration.Round(time.Microsecond), r.Workspaces, status)
+	if r.Trace != "" {
+		line += "  trace=" + r.Trace
+	}
+	return line
 }
 
-// Canonical renders the record without its duration: the stable part
-// of an op-log line. Two sessions that executed the same operations —
-// e.g. a live session and its post-crash replay — have byte-identical
-// canonical logs even though wall-clock timings differ.
+// Canonical renders the record without its duration or trace ID: the
+// stable part of an op-log line. Two sessions that executed the same
+// operations — e.g. a live session and its post-crash replay — have
+// byte-identical canonical logs even though wall-clock timings and
+// request identities differ.
 func (r OpRecord) Canonical() string {
 	status := "ok"
 	if r.Err != "" {
@@ -60,10 +69,12 @@ func (r OpRecord) Canonical() string {
 // opLogCap bounds the in-memory log; older records are dropped.
 const opLogCap = 256
 
-// logOp appends a record for an operation that started at start.
-// Requires t.mu held: every public operator registers its Lock/Unlock
-// defer before the logOp defer, so logOp runs while still locked.
-func (t *Tool) logOp(op, detail string, start time.Time, err error) {
+// logOp appends a record for an operation that started at start,
+// stamped with ctx's trace ID (ctx may be nil: operators invoked
+// outside any request log an empty trace). Requires t.mu held: every
+// public operator registers its Lock/Unlock defer before the logOp
+// defer, so logOp runs while still locked.
+func (t *Tool) logOp(ctx context.Context, op, detail string, start time.Time, err error) {
 	cOps.Inc()
 	hOpNS.ObserveSince(start)
 	rec := OpRecord{
@@ -72,6 +83,7 @@ func (t *Tool) logOp(op, detail string, start time.Time, err error) {
 		Detail:     detail,
 		Duration:   time.Since(start),
 		Workspaces: len(t.workspaces),
+		Trace:      obs.TraceID(ctx),
 	}
 	if err != nil {
 		rec.Err = err.Error()
@@ -111,7 +123,7 @@ func (t *Tool) OpLogCanonical() string {
 func (t *Tool) LogPanic(detail string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.logOp("panic", detail, time.Now(), fmt.Errorf("panic recovered"))
+	t.logOp(nil, "panic", detail, time.Now(), fmt.Errorf("panic recovered"))
 }
 
 // OpLogString renders the whole log, one line per operation.

@@ -66,7 +66,7 @@ func TestOpLogRecordsErrors(t *testing.T) {
 func TestOpLogBounded(t *testing.T) {
 	tl := newTool(t)
 	for i := 0; i < opLogCap+10; i++ {
-		tl.logOp("noop", "synthetic", time.Now(), nil)
+		tl.logOp(nil, "noop", "synthetic", time.Now(), nil)
 	}
 	log := tl.OpLog()
 	if len(log) != opLogCap {

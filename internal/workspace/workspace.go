@@ -193,7 +193,7 @@ func (t *Tool) pushHistory() {
 func (t *Tool) Undo() (err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer func(start time.Time) { t.logOp("undo", "", start, err) }(time.Now())
+	defer func(start time.Time) { t.logOp(nil, "undo", "", start, err) }(time.Now())
 	if len(t.history) == 0 {
 		return fmt.Errorf("workspace: nothing to undo")
 	}
@@ -238,7 +238,7 @@ func (t *Tool) setAlternatives(ctx context.Context, ms []*core.Mapping, notes []
 func (t *Tool) Start(name string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer func(start time.Time) { t.logOp("start", name, start, nil) }(time.Now())
+	defer func(start time.Time) { t.logOp(nil, "start", name, start, nil) }(time.Now())
 	m := core.NewMapping(name, t.Target)
 	w := &Workspace{ID: t.nextID, Mapping: m, Note: "empty mapping"}
 	t.nextID++
@@ -303,7 +303,7 @@ func (t *Tool) Confirm() (err error) {
 
 // confirmLocked is Confirm for callers already holding t.mu.
 func (t *Tool) confirmLocked() (err error) {
-	defer func(start time.Time) { t.logOp("confirm", "", start, err) }(time.Now())
+	defer func(start time.Time) { t.logOp(nil, "confirm", "", start, err) }(time.Now())
 	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: nothing to confirm")
@@ -373,7 +373,7 @@ func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (er
 	defer span.End()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer func(start time.Time) { t.logOp("correspondence", c.String(), start, err) }(time.Now())
+	defer func(start time.Time) { t.logOp(ctx, "correspondence", c.String(), start, err) }(time.Now())
 	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
@@ -410,7 +410,7 @@ func (t *Tool) Walk(ctx context.Context, startNode, endBase string) (err error) 
 	defer span.End()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer func(start time.Time) { t.logOp("walk", startNode+" -> "+endBase, start, err) }(time.Now())
+	defer func(start time.Time) { t.logOp(ctx, "walk", startNode+" -> "+endBase, start, err) }(time.Now())
 	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
@@ -453,7 +453,7 @@ func (t *Tool) Chase(ctx context.Context, fromCol string, v value.Value) (err er
 	defer span.End()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer func(start time.Time) { t.logOp("chase", fmt.Sprintf("%s = %v", fromCol, v), start, err) }(time.Now())
+	defer func(start time.Time) { t.logOp(ctx, "chase", fmt.Sprintf("%s = %v", fromCol, v), start, err) }(time.Now())
 	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")
@@ -491,7 +491,7 @@ func (t *Tool) replaceActive(ctx context.Context, f func(*core.Mapping) *core.Ma
 	defer span.End()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer func(start time.Time) { t.logOp("filter", note, start, err) }(time.Now())
+	defer func(start time.Time) { t.logOp(ctx, "filter", note, start, err) }(time.Now())
 	w := t.activeLocked()
 	if w == nil {
 		return fmt.Errorf("workspace: no active workspace")

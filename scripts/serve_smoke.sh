@@ -81,6 +81,36 @@ curl -sf "$BASE/api/sessions/$SID/examples" >/dev/null || fail "examples (cached
 OUT=$(curl -sf "$BASE/api/stats") || fail "stats failed"
 case "$OUT" in *'"cache_entries"'*) ;; *) fail "no cache stats: $OUT" ;; esac
 
+# Observability plane. /metrics must speak Prometheus text exposition
+# and carry the serve request counter incremented by the traffic above.
+OUT=$(curl -sf "$BASE/metrics") || fail "metrics scrape failed"
+case "$OUT" in
+    *'# TYPE clio_serve_requests_total counter'*) ;;
+    *) fail "metrics missing serve request counter: $OUT" ;;
+esac
+case "$OUT" in
+    *'clio_serve_request_ns{quantile="0.99"}'*) ;;
+    *) fail "metrics missing latency quantiles: $OUT" ;;
+esac
+
+# /statusz reports the server live (not draining) with cache stats.
+OUT=$(curl -sf "$BASE/statusz") || fail "statusz failed"
+case "$OUT" in *'"draining": false'*) ;; *) fail "statusz not live: $OUT" ;; esac
+case "$OUT" in *'"hit_ratio"'*) ;; *) fail "statusz missing cache block: $OUT" ;; esac
+
+# explain on the mapped session names the picked algorithm and plan.
+OUT=$(curl -sf "$BASE/api/sessions/$SID/explain") || fail "explain failed"
+case "$OUT" in *'"algo"'*) ;; *) fail "explain missing algo: $OUT" ;; esac
+case "$OUT" in *'"plan"'*) ;; *) fail "explain missing plan tree: $OUT" ;; esac
+
+# Every response carries a trace ID, and that ID resolves in the
+# retained-trace buffer.
+TRACE=$(curl -sfD - -o /dev/null "$BASE/api/sessions/$SID/view" |
+    tr -d '\r' | sed -n 's/^X-Clio-Trace: //p')
+[ -n "$TRACE" ] || fail "view response carries no X-Clio-Trace header"
+OUT=$(curl -sf "$BASE/debug/traces/$TRACE") || fail "trace lookup for $TRACE failed"
+case "$OUT" in *"\"$TRACE\""*) ;; *) fail "retained trace does not echo its id: $OUT" ;; esac
+
 # Session lifecycle: restart with snapshot compaction and a short idle
 # TTL. Snapshots must bound the journal, idle expiry must tombstone the
 # session into the archive, and resurrect must bring it back with a
