@@ -518,6 +518,48 @@ func e10() {
 	t, allocs = measureAllocs(func() { dg, _ = fd.Compute(ctx, c.Graph, c.Instance) })
 	row("chain-4 D(G)", chainRows*4, dg.Len(), t, allocs)
 
+	// Edit loop: one net-zero row edit (insert + delete on R0) against
+	// the same chain-4 instance, with the view refreshed after every
+	// mutation. Delta maintenance pays O(delta) per refresh; the
+	// recompute loop rebuilds D(G) from scratch each time. The speedup
+	// row is the headline number for continuous maintenance.
+	mat, err := fd.NewMaterialized(ctx, c.Graph, c.Instance)
+	if err != nil {
+		panic(err)
+	}
+	r0 := c.Instance.Relation("R0")
+	editRow := []value.Value{value.Int(7), value.Int(999_999)}
+	tDelta, allocsDelta := measureAllocs(func() {
+		r0.AddValues(editRow...)
+		tp := r0.At(r0.Len() - 1)
+		var mode string
+		var err error
+		if _, mat, mode, err = fd.MaintainRows(ctx, mat, c.Graph, c.Instance, "R0", tp, false); err != nil {
+			panic(err)
+		} else if mode != "delta" {
+			panic("edit-loop bench: insert maintained via " + mode)
+		}
+		tp = r0.RemoveAt(r0.Len() - 1)
+		if _, mat, mode, err = fd.MaintainRows(ctx, mat, c.Graph, c.Instance, "R0", tp, true); err != nil {
+			panic(err)
+		} else if mode != "delta" {
+			panic("edit-loop bench: delete maintained via " + mode)
+		}
+	})
+	row("chain-4 edit delta", chainRows*4, dg.Len(), tDelta, allocsDelta)
+	tRecomp, allocsRecomp := measureAllocs(func() {
+		r0.AddValues(editRow...)
+		if _, err := fd.FullDisjunction(ctx, c.Graph, c.Instance); err != nil {
+			panic(err)
+		}
+		r0.RemoveAt(r0.Len() - 1)
+		if _, err := fd.FullDisjunction(ctx, c.Graph, c.Instance); err != nil {
+			panic(err)
+		}
+	})
+	row("chain-4 edit recompute", chainRows*4, dg.Len(), tRecomp, allocsRecomp)
+	row("chain-4 edit speedup", "-", "-", ratio(tRecomp.Median, tDelta.Median), "-")
+
 	// Hash join: equi-join of two synthetic relations.
 	l, r := joinPair(joinRows)
 	pred := expr.MustParse("L.k = R.k")

@@ -16,10 +16,11 @@ import (
 
 // D(G) memo cache instrumentation.
 var (
-	cCacheHits      = obs.GetCounter("fd.cache.hits")
-	cCacheMisses    = obs.GetCounter("fd.cache.misses")
-	cCacheEvictions = obs.GetCounter("fd.cache.evictions")
-	gCacheEntries   = obs.GetGauge("fd.cache.entries")
+	cCacheHits        = obs.GetCounter("fd.cache.hits")
+	cCacheMisses      = obs.GetCounter("fd.cache.misses")
+	cCacheEvictions   = obs.GetCounter("fd.cache.evictions")
+	cCacheStaleStores = obs.GetCounter("fd.cache.stale_stores")
+	gCacheEntries     = obs.GetGauge("fd.cache.entries")
 )
 
 // dgCache memoizes Compute results under content-addressed keys with
@@ -270,6 +271,36 @@ func cachePeek(key string) bool {
 	defer theCache.mu.Unlock()
 	_, ok := theCache.entries[key]
 	return ok
+}
+
+// cacheStoreChecked re-derives the content key from the graph and the
+// instance as they are NOW and memoizes d only when it still matches
+// the key the computation started from. A base relation that mutated
+// mid-computation changes its fingerprint, so the re-derived key
+// differs and the store is skipped — without this check the result for
+// the old content would be memoized under a key describing the new
+// content, poisoning every later lookup until the next mutation. It
+// reports whether the store happened.
+func cacheStoreChecked(key string, g *graph.QueryGraph, in *relation.Instance, d *relation.Relation) bool {
+	now, ok := cacheKey(g, in)
+	if !ok || now != key {
+		cCacheStaleStores.Inc()
+		return false
+	}
+	cacheStore(key, d)
+	return true
+}
+
+// cacheStoreCurrent memoizes d under the key derived from the current
+// graph and relation contents — the store path for delta-maintained
+// and leaf-extended results, whose key was never computed up front.
+// The key describes exactly the state the result was derived from, so
+// re-fingerprinting here is what keeps incremental results honest in
+// the cache.
+func cacheStoreCurrent(g *graph.QueryGraph, in *relation.Instance, d *relation.Relation) {
+	if key, ok := cacheKey(g, in); ok {
+		cacheStore(key, d)
+	}
 }
 
 // cacheStore memoizes d under key, evicting the least recently used

@@ -1,0 +1,186 @@
+package fd
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clio/internal/expr"
+	"clio/internal/fault"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// extendFixture builds a deterministic single-leaf extension: graph
+// {A} growing to {A—B}, with B's rows fanned out so the full join
+// charges strictly more rows than the picker's lower bound (needed to
+// provoke a mid-extension budget abort).
+func extendFixture(t *testing.T) (gA, gAB *graph.QueryGraph, in *relation.Instance) {
+	t.Helper()
+	sch := schema.NewDatabase()
+	for _, n := range []string{"A", "B"} {
+		sch.MustAddRelation(schema.NewRelation(n, schema.Attribute{Name: "k", Type: value.KindInt}))
+	}
+	in = relation.NewInstance(sch)
+	a := in.NewRelationFor("A")
+	for _, k := range []string{"1", "2", "3", "4"} {
+		a.AddRow(k)
+	}
+	in.MustAdd(a)
+	b := in.NewRelationFor("B")
+	for _, k := range []string{"1", "1", "2", "2", "3", "5"} {
+		b.AddRow(k)
+	}
+	in.MustAdd(b)
+	gA = graph.New()
+	gA.MustAddNode("A", "A")
+	gAB = gA.Clone()
+	gAB.MustAddNode("B", "B")
+	gAB.MustAddEdge("A", "B", expr.Equals("A.k", "B.k"))
+	return gA, gAB, in
+}
+
+// A fault injected mid-extension (worker death, transient I/O) must
+// leave no trace: ExtendLeaf publishes nothing on error, the memo
+// cache holds no entry for the new state, and ComputeIncremental falls
+// back to a full recomputation that matches a cold Compute exactly.
+func TestChaosExtendLeafFaultFallsBackToFullMode(t *testing.T) {
+	prev := SetCacheCapacity(8)
+	defer func() { SetCacheCapacity(prev); InvalidateCache() }()
+	InvalidateCache()
+	gA, gAB, in := extendFixture(t)
+	dgA, err := Compute(context.Background(), gA, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("fd.extend_leaf", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	// Direct ExtendLeaf failure: no partial result may reach the cache.
+	key, ok := cacheKey(gAB, in)
+	if !ok {
+		t.Fatal("fixture should be cacheable")
+	}
+	if _, err := ExtendLeaf(context.Background(), dgA, gA, gAB, in); err == nil {
+		t.Fatal("armed extension should fail")
+	}
+	if fault.Fired("fd.extend_leaf") != 1 {
+		t.Fatalf("fault fired %d times, want 1", fault.Fired("fd.extend_leaf"))
+	}
+	if cachePeek(key) {
+		t.Fatal("failed extension left an entry in the memo cache")
+	}
+
+	// The point is exhausted; re-arm and go through the router: it must
+	// absorb the fault and answer via a full recomputation.
+	fault.Set("fd.extend_leaf", fault.Spec{Mode: fault.ModeError, Times: 1})
+	got, err := ComputeIncremental(context.Background(), dgA, gA, gAB, in)
+	if err != nil {
+		t.Fatalf("router did not absorb the extension fault: %v", err)
+	}
+	InvalidateCache()
+	want, err := Compute(context.Background(), gAB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatal("post-fault fallback differs from cold recomputation")
+	}
+	if got.String() != want.String() {
+		t.Fatal("post-fault fallback renders differently from cold recomputation")
+	}
+}
+
+// A budget exhausted mid-extension must abort the whole computation —
+// a full recomputation can only charge more — and must leave the memo
+// cache without any entry for the new state, so the next computation
+// under a fresh budget is a clean cold recompute.
+func TestChaosExtendLeafBudgetAbortLeavesNoCacheEntry(t *testing.T) {
+	prev := SetCacheCapacity(8)
+	defer func() { SetCacheCapacity(prev); InvalidateCache() }()
+	InvalidateCache()
+	gA, gAB, in := extendFixture(t)
+	dgA, err := Compute(context.Background(), gA, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The picker's lower bound is max(|D(G)|, |B|) = 6, but the full
+	// join emits 7 aligned rows, so a budget of exactly 6 admits the
+	// extension and then dies mid-drain.
+	ctx := WithBudget(context.Background(), Budget{MaxRows: 6})
+	if _, err := ComputeIncremental(ctx, dgA, gA, gAB, in); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("mid-extension exhaustion returned %v, want budget error", err)
+	}
+	key, _ := cacheKey(gAB, in)
+	if cachePeek(key) {
+		t.Fatal("aborted extension left an entry in the memo cache")
+	}
+	got, err := ComputeIncremental(context.Background(), dgA, gA, gAB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FullDisjunctionNaive(context.Background(), gAB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatal("recovery after budget abort differs from naive reference")
+	}
+}
+
+// A fault injected at the delta-application entry must degrade
+// MaintainRows to a from-scratch rebuild (mode "recompute"), never an
+// error or a half-applied materialization.
+func TestChaosDeltaFaultFallsBackToRebuildMode(t *testing.T) {
+	_, gAB, in := extendFixture(t)
+	ctx := context.Background()
+	mat, err := NewMaterialized(ctx, gAB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("fd.delta.apply", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	r := in.Relation("A")
+	r.AddValues(value.Int(5))
+	tp := r.At(r.Len() - 1)
+	d, mat2, mode, err := MaintainRows(ctx, mat, gAB, in, "A", tp, false)
+	if err != nil {
+		t.Fatalf("maintenance did not absorb the delta fault: %v", err)
+	}
+	if fault.Fired("fd.delta.apply") != 1 {
+		t.Fatalf("fault fired %d times, want 1", fault.Fired("fd.delta.apply"))
+	}
+	if mode != "recompute" {
+		t.Fatalf("faulted delta maintained via %q, want recompute", mode)
+	}
+	want, err := FullDisjunction(ctx, gAB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.EqualSet(want) {
+		t.Fatal("rebuild after delta fault differs from full recomputation")
+	}
+	// And the rebuilt materialization keeps working once the fault is gone.
+	tp2 := r.RemoveAt(0)
+	d2, _, mode2, err := MaintainRows(ctx, mat2, gAB, in, "A", tp2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode2 != "delta" {
+		t.Fatalf("post-fault edit maintained via %q, want delta", mode2)
+	}
+	want2, err := FullDisjunction(ctx, gAB, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.EqualSet(want2) {
+		t.Fatal("post-fault delta differs from full recomputation")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -14,9 +15,14 @@ import (
 // memo-cache disposition the equivalent Compute call would have seen,
 // and the executed operator tree with per-operator rows/batches/timing
 // span attributes.
+//
+// Cache is "hit"/"miss" per the pre-run peek, "disabled" when no cache
+// is configured, or "stale" when a base relation mutated while the
+// explain ran: the peek's answer no longer describes the rendered
+// result, so reporting it would lie, and the result is not memoized.
 type ExplainResult struct {
 	Algo     string        `json:"algo"`
-	Cache    string        `json:"cache"` // "hit", "miss", or "disabled"
+	Cache    string        `json:"cache"` // "hit", "miss", "stale", or "disabled"
 	IsTree   bool          `json:"is_tree"`
 	Nodes    int           `json:"nodes"`
 	Subsets  int           `json:"subsets,omitempty"`
@@ -57,6 +63,12 @@ func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Insta
 	if res.Algo == "abort" {
 		return nil, overBudget(ctx, estimate)
 	}
+	// Chaos hook: a delay injected here widens the window between the
+	// cache peek above and the computation below, which is how the
+	// stale-disposition regression test provokes a mid-explain mutation.
+	if err := fault.Inject("fd.explain.compute"); err != nil {
+		return nil, err
+	}
 	// Wrap the run in an explain span so the computation's own root
 	// (fd.compute) is reachable as a child even when this context
 	// already carries a serving-layer span.
@@ -72,8 +84,12 @@ func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Insta
 	if data := span.Data(); data != nil && len(data.Children) > 0 {
 		res.Root = data.Children[0]
 	}
-	if cacheable {
-		cacheStore(key, d)
+	if cacheable && !cacheStoreChecked(key, g, in, d) {
+		// A relation mutated between the peek and here: the peeked
+		// disposition describes content that no longer exists. Say so
+		// instead of reporting a hit/miss for the wrong content (and
+		// leave the cache alone — cacheStoreChecked already refused).
+		res.Cache = "stale"
 	}
 	return res, nil
 }

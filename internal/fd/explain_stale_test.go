@@ -1,0 +1,126 @@
+package fd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"clio/internal/fault"
+	"clio/internal/obs"
+)
+
+// cacheStoreChecked must refuse to memoize a result when the content
+// it was computed from no longer exists: a base relation that mutates
+// between key derivation and store changes its fingerprint, so storing
+// under the old key would poison every later lookup for the NEW
+// content. The skip is counted (fd.cache.stale_stores).
+func TestCacheStoreCheckedRefusesAfterMutation(t *testing.T) {
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(wasEnabled) })
+	prev := SetCacheCapacity(8)
+	defer func() { SetCacheCapacity(prev); InvalidateCache() }()
+	InvalidateCache()
+
+	g, in, r := singleNodeCase(t)
+	d, err := computeUncached(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := cacheKey(g, in)
+	if !ok {
+		t.Fatal("case should be cacheable")
+	}
+
+	// Unmutated: the checked store succeeds.
+	if !cacheStoreChecked(key, g, in, d) {
+		t.Fatal("checked store refused an unmutated relation")
+	}
+	InvalidateCache()
+
+	// Mutate between key derivation and store: must refuse and count.
+	stale := obs.GetCounter("fd.cache.stale_stores")
+	before := stale.Value()
+	r.AddRow("99", "mutant")
+	if cacheStoreChecked(key, g, in, d) {
+		t.Fatal("checked store memoized a result for mutated content")
+	}
+	if CacheLen() != 0 {
+		t.Fatalf("refused store still left %d cache entries", CacheLen())
+	}
+	if got := stale.Value(); got != before+1 {
+		t.Errorf("fd.cache.stale_stores %d -> %d, want +1", before, got)
+	}
+
+	// The new content's key must also be empty: the stale result was
+	// dropped, not re-homed.
+	newKey, _ := cacheKey(g, in)
+	if cachePeek(newKey) {
+		t.Fatal("stale result was stored under the new content's key")
+	}
+}
+
+// Explain's cache disposition comes from a peek taken before the run.
+// If a base relation mutates while the explain executes, that peek
+// describes content that no longer exists — the report must say
+// "stale", never "hit"/"miss" for the wrong content, and the result
+// must not be memoized. The mutation window is opened deterministically
+// by a delay fault between the peek and the computation; the mutator
+// synchronizes through the shared parent span (its post-mutation
+// attribute write releases the span lock ExplainCompute's own StartSpan
+// acquires), so the test is exact under -race.
+func TestChaosExplainReportsStaleOnMidRunMutation(t *testing.T) {
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(wasEnabled) })
+	prev := SetCacheCapacity(8)
+	defer func() { SetCacheCapacity(prev); InvalidateCache() }()
+	InvalidateCache()
+
+	g, in, r := singleNodeCase(t)
+
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("fd.explain.compute", fault.Spec{Mode: fault.ModeDelay, Delay: 300 * time.Millisecond})
+
+	ctx, root := obs.StartSpan(context.Background(), "test.explain")
+	defer root.End()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Wait for the explain to pass its cache peek (the fault fires
+		// strictly after the peek), then mutate inside the delay window.
+		for fault.Fired("fd.explain.compute") == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		r.AddRow("99", "mid-run")
+		// Release barrier: ExplainCompute's StartSpan on the same parent
+		// span orders the mutation before the computation's reads.
+		root.SetInt("mutated", 1)
+	}()
+
+	res, err := ExplainCompute(ctx, g, in)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "stale" {
+		t.Fatalf("mid-run mutation reported cache=%q, want stale", res.Cache)
+	}
+	if CacheLen() != 0 {
+		t.Fatalf("stale explain memoized %d entries", CacheLen())
+	}
+
+	// An undisturbed explain immediately after reports normally and
+	// re-warms the cache.
+	res2, err := ExplainCompute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cache != "miss" {
+		t.Fatalf("follow-up explain reported cache=%q, want miss", res2.Cache)
+	}
+	if CacheLen() != 1 {
+		t.Fatalf("follow-up explain left %d cache entries, want 1", CacheLen())
+	}
+}

@@ -122,19 +122,33 @@ func Tag(coverage []string, abbrev map[string]string) string {
 // subgraph: inner hash joins along a spanning order, with the cycle
 // edges applied as a residual selection.
 func associationPlan(g *graph.QueryGraph, subset []string) (algebra.Node, error) {
+	return associationPlanWith(g, subset, nil)
+}
+
+// associationPlanWith is associationPlan with per-node source
+// overrides: a node whose name appears in bind reads from the bound
+// algebra node instead of a base-relation scan. The delta planner uses
+// this to substitute singleton-delta and pre-mutation-prefix relations
+// into individual occurrences of an edited base.
+func associationPlanWith(g *graph.QueryGraph, subset []string, bind map[string]algebra.Node) (algebra.Node, error) {
 	j := g.Induced(subset)
 	order, treeEdges, ok := j.SpanningTreeOrder()
 	if !ok {
 		return nil, fmt.Errorf("fd: subset %v does not induce a connected subgraph", subset)
 	}
-	n0, _ := j.Node(order[0])
-	var node algebra.Node = algebra.NewScan(n0.Base, n0.Name)
+	source := func(name string) algebra.Node {
+		if b, ok := bind[name]; ok {
+			return b
+		}
+		n, _ := j.Node(name)
+		return algebra.NewScan(n.Base, n.Name)
+	}
+	node := source(order[0])
 	used := map[string]bool{}
 	for i := 1; i < len(order); i++ {
-		n, _ := j.Node(order[i])
 		e := treeEdges[i]
 		used[edgeKey(e)] = true
-		node = algebra.Join{Kind: algebra.InnerJoin, L: node, R: algebra.NewScan(n.Base, n.Name), On: e.Pred}
+		node = algebra.Join{Kind: algebra.InnerJoin, L: node, R: source(order[i]), On: e.Pred}
 	}
 	// Residual (cycle) edges.
 	var residual []expr.Expr
@@ -422,7 +436,10 @@ func Compute(ctx context.Context, g *graph.QueryGraph, in *relation.Instance) (*
 		return nil, err
 	}
 	if cacheable {
-		cacheStore(key, d)
+		// Checked store: if a base relation mutated while we computed,
+		// the result describes the old content and must not be memoized
+		// under the new content's key.
+		cacheStoreChecked(key, g, in, d)
 	}
 	return d, nil
 }
@@ -461,16 +478,25 @@ func computeUncached(ctx context.Context, g *graph.QueryGraph, in *relation.Inst
 	}
 	algo := pickAlgo(isTree, len(subsets), estimate, rowHeadroom(ctx))
 	span.SetStr("algo", algo)
+	var d *relation.Relation
 	switch algo {
 	case "abort":
 		return nil, overBudget(ctx, estimate)
 	case "outer_join":
-		return FullDisjunctionOuterJoin(ctx, g, in)
+		d, err = FullDisjunctionOuterJoin(ctx, g, in)
 	case "subgraph_parallel":
-		return fullDisjunctionParallelSubsets(ctx, g, in, subsets)
+		d, err = fullDisjunctionParallelSubsets(ctx, g, in, subsets)
 	default:
-		return fullDisjunctionSubsets(ctx, g, in, subsets)
+		d, err = fullDisjunctionSubsets(ctx, g, in, subsets)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Canonical render order: every algorithm sorts identically, so a
+	// memoized result, a leaf extension, and a delta-maintained
+	// SubsumeSet front all render the same bytes for the same content.
+	d.SortByKey()
+	return d, nil
 }
 
 // Partition groups D(G)'s tuples by coverage, keyed by the sorted

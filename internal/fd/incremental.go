@@ -7,6 +7,7 @@ import (
 
 	"clio/internal/algebra"
 	"clio/internal/budget"
+	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
 	"clio/internal/relation"
@@ -48,6 +49,13 @@ var (
 func ExtendLeaf(ctx context.Context, dg *relation.Relation, oldGraph, newGraph *graph.QueryGraph, in *relation.Instance) (*relation.Relation, error) {
 	leaf, edge, err := leafDelta(oldGraph, newGraph)
 	if err != nil {
+		return nil, err
+	}
+	// Chaos hook: an injected fault here models a mid-extension failure
+	// (worker death, transient I/O). ExtendLeaf builds its result in
+	// private accumulators and publishes nothing on any error path, so
+	// callers observing this error hold no partially-extended state.
+	if err := fault.Inject("fd.extend_leaf"); err != nil {
 		return nil, err
 	}
 	ctx, span := obs.StartSpan(ctx, "fd.extend_leaf")
@@ -92,6 +100,7 @@ func ExtendLeaf(ctx context.Context, dg *relation.Relation, oldGraph, newGraph *
 	}
 	out := relation.RemoveSubsumed(aligned.Distinct())
 	out.Name = "D(G)"
+	out.SortByKey()
 	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }
@@ -145,24 +154,39 @@ func ComputeIncremental(ctx context.Context, oldDG *relation.Relation, oldGraph,
 	ctx, span := obs.StartSpan(ctx, "fd.compute_incremental")
 	defer span.End()
 	if oldDG != nil && oldGraph != nil {
-		// Budget-aware routing: the leaf extension must charge at least
-		// one row per old D(G) tuple (every old row survives the full
-		// join), so skip straight to a full computation when that lower
-		// bound already exceeds the remaining headroom. "abort" also
-		// routes through Compute: a D(G) cache hit charges only the
-		// final result, and Compute's own abort check settles a miss.
-		recomputeEst, estErr := estimateRows(newGraph, in, newGraph.IsTree())
-		if estErr == nil && pickIncremental(int64(oldDG.Len()), recomputeEst, rowHeadroom(ctx)) == "extend" {
-			d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in)
-			switch {
-			case err == nil:
-				span.SetStr("mode", "extend_leaf")
-				cIncExtend.Inc()
-				return d, nil
-			case errors.Is(err, budget.ErrExceeded) || ctx.Err() != nil:
-				// Out of budget or cancelled: a full recomputation can only
-				// consume more — fail now instead of falling back.
-				return nil, err
+		// Budget-aware routing: the full join's output contains every
+		// old D(G) row AND every row of the new leaf's base relation
+		// (matched or null-padded), and the alignment loop charges each
+		// one — so the extension bound is the max of the two, tighter
+		// than |D(G)| alone. Skip straight to a full computation when
+		// that bound already exceeds the remaining headroom. "abort"
+		// also routes through Compute: a D(G) cache hit charges only
+		// the final result, and Compute's own abort check settles a
+		// miss. leafDelta runs first so a non-extension never pays for
+		// an estimate or a doomed ExtendLeaf call.
+		if leaf, _, lerr := leafDelta(oldGraph, newGraph); lerr == nil {
+			extendEst := int64(oldDG.Len())
+			if n, ok := newGraph.Node(leaf); ok {
+				if r, rerr := in.Aliased(n.Base, n.Base); rerr == nil && int64(r.Len()) > extendEst {
+					extendEst = int64(r.Len())
+				}
+			}
+			recomputeEst, estErr := estimateRows(newGraph, in, newGraph.IsTree())
+			if estErr == nil && pickIncremental(extendEst, recomputeEst, rowHeadroom(ctx)) == "extend" {
+				d, err := ExtendLeaf(ctx, oldDG, oldGraph, newGraph, in)
+				switch {
+				case err == nil:
+					span.SetStr("mode", "extend_leaf")
+					cIncExtend.Inc()
+					// Memoize under the key of the state the result was
+					// derived from (re-fingerprinted now, not up front).
+					cacheStoreCurrent(newGraph, in, d)
+					return d, nil
+				case errors.Is(err, budget.ErrExceeded) || ctx.Err() != nil:
+					// Out of budget or cancelled: a full recomputation can only
+					// consume more — fail now instead of falling back.
+					return nil, err
+				}
 			}
 		}
 	}

@@ -111,6 +111,14 @@ func pickAlgo(isTree bool, nSubsets int, estimate, headroom int64) string {
 //     succeed. (ComputeIncremental still routes this through Compute,
 //     because a D(G) cache hit charges only the final result and may
 //     answer under budget; Compute's own abort check settles a miss.)
+//
+// Boundary convention (audited): budget.Tracker.Charge is
+// charge-inclusive — charging exactly up to the cap succeeds and only
+// a strict excess errors — so est == headroom is exactly affordable.
+// Every comparison here and in pickAlgo is therefore strict (`>` to
+// refuse, `<=` to accept): at est == headroom the extension is taken
+// and a recomputation is never spuriously aborted. The boundary tests
+// in picker_boundary_test.go pin all three branches at equality.
 func pickIncremental(extendEst, recomputeEst, headroom int64) string {
 	if headroom < 0 || extendEst <= headroom {
 		return "extend"
@@ -119,6 +127,30 @@ func pickIncremental(extendEst, recomputeEst, headroom int64) string {
 		return "abort"
 	}
 	return "full"
+}
+
+// pickDelta chooses the row-edit maintenance strategy for
+// MaintainRows. deltaEst is a lower bound on the rows a delta
+// application must charge (each singleton subset over the edited base
+// emits the delta tuple once), rebuildEst a lower bound for rebuilding
+// the materialized D(G) from scratch, and headroom the remaining row
+// budget (negative = unlimited). Same charge-inclusive boundary
+// convention as pickIncremental: est == headroom is affordable.
+//
+//   - "delta": the O(delta) application fits the headroom.
+//   - "rebuild": the delta path is guaranteed to bust the budget but a
+//     rebuild might not (the delta bound can exceed the rebuild bound
+//     only in pathological shapes, but the branch keeps the routing
+//     total).
+//   - "abort": both bounds exceed the headroom.
+func pickDelta(deltaEst, rebuildEst, headroom int64) string {
+	if headroom < 0 || deltaEst <= headroom {
+		return "delta"
+	}
+	if rebuildEst > headroom {
+		return "abort"
+	}
+	return "rebuild"
 }
 
 // overBudget builds the typed error for an aborted computation: the

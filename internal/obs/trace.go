@@ -91,6 +91,19 @@ func Note(ctx context.Context, key, value string) {
 	n.mu.Unlock()
 }
 
+// GetNote returns the note recorded for key on the context's
+// scratchpad, or "" when ctx is nil, carries no Notes, or the key was
+// never noted. The read-side counterpart of Note, for layers (the
+// watch endpoint) that consume an annotation mid-request rather than
+// at access-log time.
+func GetNote(ctx context.Context, key string) string {
+	if ctx == nil {
+		return ""
+	}
+	n, _ := ctx.Value(notesKey{}).(*Notes)
+	return n.Get(key)
+}
+
 // Get returns the note for key, or "".
 func (n *Notes) Get(key string) string {
 	if n == nil {

@@ -58,9 +58,49 @@ func (r *Relation) Add(t Tuple) {
 }
 
 // Version returns the relation's mutation counter: it starts at zero
-// and increases on every Add, so equal versions of the same relation
-// object imply identical content.
+// and increases on every mutation (Add, RemoveAt, InsertAt), so equal
+// versions of the same relation object imply identical content.
 func (r *Relation) Version() uint64 { return r.version }
+
+// RemoveAt removes and returns the i-th tuple, preserving the order of
+// the remaining tuples. Like every mutation it bumps the version.
+func (r *Relation) RemoveAt(i int) Tuple {
+	t := r.tuples[i]
+	r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+	r.version++
+	return t
+}
+
+// InsertAt inserts t at position i, shifting later tuples — the exact
+// inverse of RemoveAt at the same position, which is how callers roll
+// back a failed delete.
+func (r *Relation) InsertAt(i int, t Tuple) {
+	if t.scheme != r.scheme && !t.scheme.Equal(r.scheme) {
+		panic(fmt.Sprintf("relation: inserting tuple with scheme %v into relation %s%v", t.scheme, r.Name, r.scheme))
+	}
+	r.tuples = append(r.tuples, Tuple{})
+	copy(r.tuples[i+1:], r.tuples[i:])
+	r.tuples[i] = t
+	r.version++
+}
+
+// IndexOf returns the position of the first tuple Equal to t, or -1.
+func (r *Relation) IndexOf(t Tuple) int {
+	for i, u := range r.tuples {
+		if u.Equal(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Prefix returns a view of the first n tuples that shares storage with
+// r. It is a transient read-only snapshot: it stays valid while r only
+// appends (Add), but a RemoveAt/InsertAt on r shifts the shared backing
+// array under it.
+func (r *Relation) Prefix(n int) *Relation {
+	return &Relation{Name: r.Name, scheme: r.scheme, tuples: r.tuples[:n:n]}
+}
 
 // Fingerprint returns a 64-bit content hash over the scheme and every
 // tuple, in order. Relations with identical schemes and tuple
@@ -191,6 +231,25 @@ func (r *Relation) Clone() *Relation {
 	out.tuples = append([]Tuple(nil), r.tuples...)
 	out.version = r.version
 	return out
+}
+
+// SortByKey sorts the relation's tuples in place by canonical key.
+// Every D(G) producer (any algorithm, leaf extension, delta
+// maintenance) sorts its result this way, so live, replayed, and
+// delta-maintained sessions render byte-identical views.
+func (r *Relation) SortByKey() {
+	type kt struct {
+		k string
+		t Tuple
+	}
+	pairs := make([]kt, len(r.tuples))
+	for i, t := range r.tuples {
+		pairs[i] = kt{t.Key(), t}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i := range pairs {
+		r.tuples[i] = pairs[i].t
+	}
 }
 
 // Sorted returns a new relation with tuples sorted by their canonical

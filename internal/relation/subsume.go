@@ -1,0 +1,281 @@
+package relation
+
+import "sort"
+
+// SubsumeSet maintains the subsumption-maximal tuples of a multiset of
+// equal-scheme tuples under single-tuple inserts and deletes. It is the
+// incremental counterpart of RemoveSubsumed(r.Distinct()): after any
+// sequence of Insert/Delete calls, Rel() equals what a full
+// RemoveSubsumed over the surviving multiset would produce.
+//
+// The structure groups live tuples by null mask, exactly like the batch
+// algorithm: a tuple u can only be strictly subsumed by a tuple whose
+// mask is a strict superset of u's, matching u on u's non-null
+// positions. Each group keeps a hash index on its own positions plus
+// lazily built (then incrementally maintained) indexes on subset-mask
+// positions, so one insert or delete touches O(groups + matches)
+// tuples, not O(n).
+//
+// Duplicates are collapsed into per-tuple counts, which keeps maximal
+// membership well defined for multisets: a tuple stays present until
+// its count reaches zero.
+type SubsumeSet struct {
+	scheme *Scheme
+	groups map[string]*ssGroup
+	// liveNonNull counts live distinct tuples with at least one
+	// non-null attribute. The all-null tuple is maximal exactly when
+	// this is zero (the batch algorithm's "drop the all-null group
+	// whenever any other group exists" rule).
+	liveNonNull int
+}
+
+// ssGroup holds the live tuples sharing one null mask.
+type ssGroup struct {
+	mask      Mask
+	positions []int
+	// entries indexes live tuples by full-tuple hash (bucket+confirm,
+	// same discipline as Distinct).
+	entries map[uint64][]*ssEntry
+	// sub holds hash indexes of this group's tuples keyed on a
+	// subset mask's positions — the probe target when a narrower tuple
+	// asks "does anything here subsume me?". Built lazily per subset
+	// mask, then kept fresh by every add/remove. The group's own
+	// positions are one such index (its own mask key), used when a
+	// wider tuple demotes or re-checks the tuples it subsumes.
+	sub map[string]*ssSubIndex
+}
+
+// ssSubIndex is one lazily built projection index of a group.
+type ssSubIndex struct {
+	positions []int
+	buckets   map[uint64][]*ssEntry
+}
+
+// ssEntry is one distinct live tuple with its multiset count. The
+// canonical key is computed once at entry creation — formatting every
+// value is expensive enough to dominate rendering if recomputed.
+type ssEntry struct {
+	t       Tuple
+	key     string
+	count   int
+	maximal bool
+}
+
+// NewSubsumeSet creates an empty set over the scheme.
+func NewSubsumeSet(s *Scheme) *SubsumeSet {
+	return &SubsumeSet{scheme: s, groups: map[string]*ssGroup{}}
+}
+
+// Len returns the number of distinct live tuples (any count).
+func (s *SubsumeSet) Len() int {
+	n := 0
+	for _, g := range s.groups {
+		for _, es := range g.entries {
+			n += len(es)
+		}
+	}
+	return n
+}
+
+func (s *SubsumeSet) group(m Mask) *ssGroup {
+	k := m.Key()
+	g := s.groups[k]
+	if g == nil {
+		g = &ssGroup{
+			mask:      m,
+			positions: m.Ones(),
+			entries:   map[uint64][]*ssEntry{},
+			sub:       map[string]*ssSubIndex{},
+		}
+		g.sub[k] = &ssSubIndex{positions: g.positions, buckets: map[uint64][]*ssEntry{}}
+		s.groups[k] = g
+	}
+	return g
+}
+
+// find returns the live entry Equal to t, or nil.
+func (g *ssGroup) find(h uint64, t Tuple) *ssEntry {
+	for _, e := range g.entries[h] {
+		if e.t.Equal(t) {
+			return e
+		}
+	}
+	return nil
+}
+
+// add registers a new entry in the group's hash index and every
+// existing projection index.
+func (g *ssGroup) add(h uint64, e *ssEntry) {
+	g.entries[h] = append(g.entries[h], e)
+	for _, ix := range g.sub {
+		ph := e.t.HashOn(ix.positions)
+		ix.buckets[ph] = append(ix.buckets[ph], e)
+	}
+}
+
+// remove unregisters an entry from the hash index and every projection
+// index.
+func (g *ssGroup) remove(h uint64, e *ssEntry) {
+	g.entries[h] = removeEntry(g.entries[h], e)
+	if len(g.entries[h]) == 0 {
+		delete(g.entries, h)
+	}
+	for _, ix := range g.sub {
+		ph := e.t.HashOn(ix.positions)
+		ix.buckets[ph] = removeEntry(ix.buckets[ph], e)
+		if len(ix.buckets[ph]) == 0 {
+			delete(ix.buckets, ph)
+		}
+	}
+}
+
+func removeEntry(es []*ssEntry, e *ssEntry) []*ssEntry {
+	for i, x := range es {
+		if x == e {
+			es[i] = es[len(es)-1]
+			return es[:len(es)-1]
+		}
+	}
+	return es
+}
+
+// index returns the group's projection index on the given subset mask,
+// building it over the current live entries on first use.
+func (g *ssGroup) index(m Mask, positions []int) *ssSubIndex {
+	k := m.Key()
+	if ix, ok := g.sub[k]; ok {
+		return ix
+	}
+	ix := &ssSubIndex{positions: positions, buckets: map[uint64][]*ssEntry{}}
+	for _, es := range g.entries {
+		for _, e := range es {
+			ph := e.t.HashOn(positions)
+			ix.buckets[ph] = append(ix.buckets[ph], e)
+		}
+	}
+	g.sub[k] = ix
+	return ix
+}
+
+// subsumedBy reports whether any live tuple strictly subsumes t, whose
+// group is g. This predicate depends only on the live multiset, never
+// on current maximal flags, which is what makes delete-time promotion
+// order-independent.
+func (s *SubsumeSet) subsumedBy(g *ssGroup, t Tuple) bool {
+	if len(g.positions) == 0 {
+		return s.liveNonNull > 0
+	}
+	for _, h := range s.groups {
+		if h == g || !h.mask.SupersetOf(g.mask) || h.mask.Equal(g.mask) {
+			continue
+		}
+		ix := h.index(g.mask, g.positions)
+		for _, e := range ix.buckets[t.HashOn(g.positions)] {
+			if e.t.EqualOn(t, g.positions, g.positions) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// eachSubsumed visits every live entry strictly subsumed by t (group g),
+// i.e. entries in strict-subset-mask groups matching t on their own
+// positions.
+func (s *SubsumeSet) eachSubsumed(g *ssGroup, t Tuple, visit func(h *ssGroup, e *ssEntry)) {
+	for _, h := range s.groups {
+		if h == g || !g.mask.SupersetOf(h.mask) || g.mask.Equal(h.mask) {
+			continue
+		}
+		ix := h.sub[h.mask.Key()]
+		for _, e := range ix.buckets[t.HashOn(h.positions)] {
+			if e.t.EqualOn(t, h.positions, h.positions) {
+				visit(h, e)
+			}
+		}
+	}
+}
+
+// Insert adds one occurrence of t to the multiset.
+func (s *SubsumeSet) Insert(t Tuple) {
+	g := s.group(t.NonNullMask())
+	h := t.Hash64()
+	if e := g.find(h, t); e != nil {
+		e.count++
+		return
+	}
+	e := &ssEntry{t: t, key: t.Key(), count: 1}
+	g.add(h, e)
+	if len(g.positions) > 0 {
+		s.liveNonNull++
+	}
+	e.maximal = !s.subsumedBy(g, t)
+	if !e.maximal {
+		return
+	}
+	// A new maximal tuple demotes everything it strictly subsumes
+	// (including the all-null entry, whose empty mask every non-empty
+	// mask strictly contains).
+	s.eachSubsumed(g, t, func(_ *ssGroup, sub *ssEntry) {
+		sub.maximal = false
+	})
+}
+
+// Delete removes one occurrence of t from the multiset. It reports an
+// inconsistency (tuple not present) via the return value so callers can
+// fall back to a rebuild rather than silently diverge.
+func (s *SubsumeSet) Delete(t Tuple) bool {
+	g := s.groups[t.NonNullMask().Key()]
+	if g == nil {
+		return false
+	}
+	h := t.Hash64()
+	e := g.find(h, t)
+	if e == nil {
+		return false
+	}
+	e.count--
+	if e.count > 0 {
+		return true
+	}
+	g.remove(h, e)
+	if len(g.positions) > 0 {
+		s.liveNonNull--
+	}
+	if !e.maximal {
+		return true
+	}
+	// t was maximal: each tuple it strictly subsumed is promoted iff no
+	// other live tuple still subsumes it. The check probes the live
+	// multiset directly (not maximal flags), so visit order is
+	// irrelevant.
+	s.eachSubsumed(g, t, func(h *ssGroup, sub *ssEntry) {
+		if !sub.maximal && !s.subsumedBy(h, sub.t) {
+			sub.maximal = true
+		}
+	})
+	return true
+}
+
+// Rel materializes the current maximal tuples as a relation sorted by
+// canonical tuple key. The sort makes the result independent of
+// maintenance history: a delta-maintained set, a freshly rebuilt set,
+// and a replayed session all render byte-identical relations.
+func (s *SubsumeSet) Rel(name string) *Relation {
+	var tuples []*ssEntry
+	for _, g := range s.groups {
+		for _, es := range g.entries {
+			for _, e := range es {
+				if e.maximal {
+					tuples = append(tuples, e)
+				}
+			}
+		}
+	}
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].key < tuples[j].key })
+	out := New(name, s.scheme)
+	for _, e := range tuples {
+		out.Add(e.t)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clio/internal/value"
+)
+
+// randomNullableTuple builds a tuple over s with each attribute null
+// with probability pNull, values drawn from a tiny domain so tuples
+// collide, subsume, and duplicate often.
+func randomNullableTuple(rng *rand.Rand, s *Scheme, pNull float64) Tuple {
+	vals := make([]value.Value, s.Arity())
+	for i := range vals {
+		if rng.Float64() < pNull {
+			vals[i] = value.Null
+		} else {
+			vals[i] = value.Int(int64(rng.Intn(3)))
+		}
+	}
+	return NewTuple(s, vals...)
+}
+
+// Differential property: after any sequence of inserts and deletes the
+// SubsumeSet's maximal front equals RemoveSubsumed over the surviving
+// multiset (and the O(n²) naive reference). Deletes remove previously
+// inserted occurrences, so the multiset bookkeeping is exercised too.
+func TestSubsumeSetMatchesBatchRandomized(t *testing.T) {
+	s := NewScheme("a", "b", "c")
+	rng := rand.New(rand.NewSource(193))
+	for trial := 0; trial < 40; trial++ {
+		set := NewSubsumeSet(s)
+		var live []Tuple
+		steps := 10 + rng.Intn(30)
+		for step := 0; step < steps; step++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				tp := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if !set.Delete(tp) {
+					t.Fatalf("trial %d step %d: delete of live tuple %v refused", trial, step, tp)
+				}
+			} else {
+				tp := randomNullableTuple(rng, s, 0.4)
+				live = append(live, tp)
+				set.Insert(tp)
+			}
+			batch := FromTuples("live", s, live)
+			want := RemoveSubsumed(batch.Distinct())
+			wantNaive := RemoveSubsumedNaive(batch.Distinct())
+			got := set.Rel("live")
+			if !got.EqualSet(want) {
+				t.Fatalf("trial %d step %d: incremental front differs from batch\nlive: %v\ngot:\n%v\nwant:\n%v",
+					trial, step, live, got, want)
+			}
+			if !got.EqualSet(wantNaive) {
+				t.Fatalf("trial %d step %d: incremental front differs from naive reference", trial, step)
+			}
+		}
+	}
+}
+
+// Deleting a tuple that was never inserted (or already fully removed)
+// must be refused, not silently diverge.
+func TestSubsumeSetDeleteUntracked(t *testing.T) {
+	s := NewScheme("a")
+	set := NewSubsumeSet(s)
+	tp := NewTuple(s, value.Int(1))
+	if set.Delete(tp) {
+		t.Fatal("delete on empty set should report untracked")
+	}
+	set.Insert(tp)
+	set.Insert(tp)
+	if !set.Delete(tp) || !set.Delete(tp) {
+		t.Fatal("two inserts must admit two deletes")
+	}
+	if set.Delete(tp) {
+		t.Fatal("third delete should report untracked")
+	}
+	if got := set.Rel("x").Len(); got != 0 {
+		t.Fatalf("emptied set renders %d rows", got)
+	}
+}
+
+// The rendered relation must be canonical: identical content reached
+// through different insert/delete histories renders byte-identically.
+func TestSubsumeSetRenderIsHistoryIndependent(t *testing.T) {
+	s := NewScheme("a", "b")
+	rng := rand.New(rand.NewSource(7))
+	tuples := make([]Tuple, 8)
+	for i := range tuples {
+		tuples[i] = randomNullableTuple(rng, s, 0.3)
+	}
+	// History 1: straight inserts. History 2: inserts in reverse with
+	// noise tuples added and removed along the way.
+	a := NewSubsumeSet(s)
+	for _, tp := range tuples {
+		a.Insert(tp)
+	}
+	b := NewSubsumeSet(s)
+	noise := NewTuple(s, value.Int(9), value.Int(9))
+	for i := len(tuples) - 1; i >= 0; i-- {
+		b.Insert(noise)
+		b.Insert(tuples[i])
+		if !b.Delete(noise) {
+			t.Fatal("noise delete refused")
+		}
+	}
+	ra, rb := a.Rel("x"), b.Rel("x")
+	if fmt.Sprint(ra) != fmt.Sprint(rb) {
+		t.Fatalf("render depends on history:\n%v\nvs\n%v", ra, rb)
+	}
+}
+
+// The all-null tuple is maximal exactly while it is alone, and must be
+// re-promoted when the last non-null tuple is deleted.
+func TestSubsumeSetAllNullLifecycle(t *testing.T) {
+	s := NewScheme("a", "b")
+	set := NewSubsumeSet(s)
+	allNull := NewTuple(s, value.Null, value.Null)
+	set.Insert(allNull)
+	if got := set.Rel("x").Len(); got != 1 {
+		t.Fatalf("lone all-null tuple not maximal: %d rows", got)
+	}
+	other := NewTuple(s, value.Int(1), value.Null)
+	set.Insert(other)
+	if got := set.Rel("x"); got.Len() != 1 || got.At(0).Get("a").IsNull() {
+		t.Fatalf("all-null tuple not demoted by non-null insert:\n%v", got)
+	}
+	if !set.Delete(other) {
+		t.Fatal("delete refused")
+	}
+	if got := set.Rel("x").Len(); got != 1 {
+		t.Fatalf("all-null tuple not re-promoted after delete: %d rows", got)
+	}
+}

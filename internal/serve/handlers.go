@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"fmt"
 	"net/http"
 	"strings"
 
@@ -49,6 +48,7 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /api/sessions/{id}/illustration", s.handle("illustration", s.handleIllustration))
 	s.mux.Handle("GET /api/sessions/{id}/examples", s.handle("examples", s.handleExamples))
 	s.mux.Handle("GET /api/sessions/{id}/view", s.handle("view", s.handleView))
+	s.mux.Handle("GET /api/sessions/{id}/watch", s.handle("watch", s.handleWatch))
 	s.mux.Handle("GET /api/sessions/{id}/status", s.handle("status", s.handleStatus))
 }
 
@@ -69,6 +69,7 @@ func (s *Server) opHandler(op string) handlerFunc {
 			}
 			sess.journal.Append(workspace.JournalRecord{Kind: "op", Op: op, Args: args})
 			s.maybeSnapshot(sess)
+			s.publishWatch(ctx, sess, op)
 			return out, nil
 		})
 	}
@@ -251,14 +252,7 @@ func (s *Server) handleView(ctx context.Context, r *http.Request) (any, error) {
 		if err != nil {
 			return nil, opError(err)
 		}
-		rows := make([][]string, 0, view.Len())
-		for _, t := range view.Tuples() {
-			row := make([]string, 0, view.Scheme().Arity())
-			for i := 0; i < view.Scheme().Arity(); i++ {
-				row = append(row, fmt.Sprint(t.At(i)))
-			}
-			rows = append(rows, row)
-		}
+		rows := renderRows(view)
 		return map[string]any{
 			"target": view.Name,
 			"scheme": view.Scheme().Names(),

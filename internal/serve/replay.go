@@ -230,6 +230,7 @@ func (s *Server) applyOp(ctx context.Context, sess *Session, op string, args jso
 		var req struct {
 			Relation string   `json:"relation"`
 			Values   []string `json:"values"`
+			Delete   bool     `json:"delete"`
 		}
 		if err := unmarshalArgs(args, &req); err != nil {
 			return nil, err
@@ -242,16 +243,29 @@ func (s *Server) applyOp(ctx context.Context, sess *Session, op string, args jso
 			return nil, badRequest("relation %s has arity %d, got %d values",
 				req.Relation, rel.Scheme().Arity(), len(req.Values))
 		}
-		rel.AddRow(req.Values...)
-		// Remember the insert verbatim: journal snapshots replay row
+		vals := make([]value.Value, len(req.Values))
+		for i, c := range req.Values {
+			vals[i] = value.Parse(c)
+		}
+		// The tool applies the edit and delta-maintains the active
+		// workspace's D(G) and illustration; on maintenance failure it
+		// rolls the instance back, so a failed op is truly a no-op.
+		if err := sess.tool.ApplyRows(ctx, req.Relation, vals, req.Delete); err != nil {
+			return nil, opError(err)
+		}
+		// Remember the edit verbatim: journal snapshots replay row
 		// ops before installing tool state, so a restored session's
 		// instance matches the live one exactly.
 		sess.rowOps = append(sess.rowOps, args)
-		return map[string]any{
+		out := map[string]any{
 			"relation": req.Relation,
 			"tuples":   rel.Len(),
 			"version":  rel.Version(),
-		}, nil
+		}
+		if req.Delete {
+			out["deleted"] = true
+		}
+		return out, nil
 	}
 	return nil, badRequest("unknown operation %q", op)
 }

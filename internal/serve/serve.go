@@ -189,6 +189,12 @@ type Session struct {
 	// bucket is the per-session token-bucket rate limiter (nil when
 	// SessionRPS is unset).
 	bucket *tokenBucket
+
+	// watch is the per-session view-delta feed, created lazily on the
+	// first GET .../watch and fed by opHandler after every successful
+	// state-changing op. Guarded by sess.mu for creation; its own lock
+	// for event access (long-pollers must not hold sess.mu).
+	watch *sessionWatch
 }
 
 // touch refreshes the idle clock. Callers hold sess.mu.

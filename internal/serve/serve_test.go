@@ -237,16 +237,22 @@ func TestExamplesHitDGCacheUntilMutation(t *testing.T) {
 		t.Errorf("cached examples differ: %v vs %v", first["associations"], second["associations"])
 	}
 
-	// Mutate a base relation: the content fingerprint changes, so the
-	// next recomputation must miss the cache and see the new tuple.
+	// Mutate a base relation: the rows op delta-maintains the active
+	// workspace's D(G) and re-memoizes it under the new content
+	// fingerprint, so the next examples call may legally hit the cache
+	// — but never with stale content. The result must see the new
+	// tuple and match a forced cold recomputation byte-for-byte.
 	mustCall(t, ts, "POST", "/api/sessions/"+id+"/rows",
 		map[string]any{"relation": "Children", "values": []string{"012", "Nina", "8", "100", "101", "d3"}})
 	third := mustCall(t, ts, "GET", "/api/sessions/"+id+"/examples", nil)
-	if got := computeCalls.Value(); got == warm {
-		t.Error("examples after mutation were served stale from the cache")
-	}
 	if third["associations"] == first["associations"] {
 		t.Errorf("post-mutation association count unchanged (%v)", third["associations"])
+	}
+	fd.InvalidateCache()
+	truth := mustCall(t, ts, "GET", "/api/sessions/"+id+"/examples", nil)
+	if third["associations"] != truth["associations"] || third["text"] != truth["text"] {
+		t.Errorf("post-mutation examples differ from cold recomputation: %v assoc vs %v",
+			third["associations"], truth["associations"])
 	}
 }
 

@@ -37,8 +37,15 @@ type Workspace struct {
 	// most likely alternative).
 	Rank int
 	// dg caches the mapping's D(G); maintained incrementally across
-	// walk/chase steps (fd.ExtendLeaf) and reused by TargetView.
+	// walk/chase steps (fd.ExtendLeaf) and row edits (fd.MaintainRows),
+	// and reused by TargetView.
 	dg *relation.Relation
+	// dgm is the delta-maintainable form of dg (full subsumption state,
+	// not just the maximal front), built lazily on the first row edit
+	// and kept by successful maintenance. Never serialized: a restored
+	// session rebuilds it on its next edit, which renders identically
+	// because Materialized.Rel() is canonical.
+	dgm *fd.Materialized
 }
 
 // Tool is one Clio session: the source instance, its join knowledge
@@ -184,6 +191,27 @@ func (t *Tool) pushHistory() {
 	t.history = append(t.history, snap)
 	if len(t.history) > 32 {
 		t.history = t.history[len(t.history)-32:]
+	}
+}
+
+// beginTxLocked snapshots the mutable workspace-set state and returns
+// a restore func. Multi-step operators (AddCorrespondence's reuse path
+// confirms, then computes alternatives) call it up front and restore
+// wholesale when a later step fails, so an error can never leave a
+// half-applied state — e.g. a confirm that stuck without its
+// alternatives.
+func (t *Tool) beginTxLocked() func() {
+	ws := append([]*Workspace(nil), t.workspaces...)
+	active := t.active
+	accepted := append([]*core.Mapping(nil), t.accepted...)
+	hist := len(t.history)
+	return func() {
+		t.workspaces = ws
+		t.active = active
+		t.accepted = accepted
+		if len(t.history) > hist {
+			t.history = t.history[:hist]
+		}
 	}
 }
 
@@ -362,6 +390,102 @@ func (t *Tool) TargetView(ctx context.Context) (*relation.Relation, error) {
 	return res, nil
 }
 
+// ApplyRows inserts (del=false) or deletes (del=true) one row of a
+// source relation and maintains the active workspace's D(G),
+// illustration, and target view continuously: the paper's WYSIWYG
+// claim applied to data edits, in O(delta) via fd.MaintainRows rather
+// than O(instance). A delete removes the first row equal to the given
+// values and fails if none exists. Non-active workspaces drop their
+// cached D(G) (they recompute on next activation); the active one is
+// delta-maintained.
+//
+// On a maintenance failure (budget abort, cancellation) the instance
+// mutation is rolled back, so a failed edit leaves the session exactly
+// as it was — the journal-replay invariant depends on ops being
+// all-or-nothing.
+func (t *Tool) ApplyRows(ctx context.Context, relName string, vals []value.Value, del bool) (err error) {
+	ctx, span := obs.StartSpan(ctx, "workspace.rows")
+	defer span.End()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	verb := "insert"
+	if del {
+		verb = "delete"
+	}
+	defer func(start time.Time) { t.logOp(ctx, "rows", verb+" "+relName, start, err) }(time.Now())
+	rel := t.Instance.Relation(relName)
+	if rel == nil {
+		return fmt.Errorf("workspace: no relation %q", relName)
+	}
+	if len(vals) != rel.Scheme().Arity() {
+		return fmt.Errorf("workspace: relation %s has arity %d, got %d values",
+			relName, rel.Scheme().Arity(), len(vals))
+	}
+	tup := relation.NewTuple(rel.Scheme(), vals...)
+	removedAt := -1
+	if del {
+		removedAt = rel.IndexOf(tup)
+		if removedAt < 0 {
+			return fmt.Errorf("workspace: relation %s has no row %v", relName, tup)
+		}
+		rel.RemoveAt(removedAt)
+	} else {
+		rel.Add(tup)
+	}
+	if merr := t.maintainRowsLocked(ctx, relName, tup, del); merr != nil {
+		// Roll back the instance mutation: the op is journaled only on
+		// success, so the instance and the journal must agree.
+		if del {
+			rel.InsertAt(removedAt, tup)
+		} else {
+			rel.RemoveAt(rel.Len() - 1)
+		}
+		return merr
+	}
+	return nil
+}
+
+// maintainRowsLocked propagates one already-applied row edit into the
+// active workspace's materialized D(G) and illustration. Non-active
+// workspaces just drop their caches (losing a cache is safe; keeping a
+// stale one is not).
+func (t *Tool) maintainRowsLocked(ctx context.Context, base string, tup relation.Tuple, del bool) error {
+	act := t.activeLocked()
+	for _, w := range t.workspaces {
+		if w != act {
+			w.dg, w.dgm = nil, nil
+		}
+	}
+	if act == nil || act.Mapping.Graph.NodeCount() == 0 || !fd.GraphReadsBase(act.Mapping.Graph, base) {
+		// Nothing to maintain: no active mapping, or its graph never
+		// reads the edited relation, so its D(G) is untouched.
+		obs.Note(ctx, "dg_maint", "none")
+		return nil
+	}
+	dg, mat, _, err := fd.MaintainRows(ctx, act.dgm, act.Mapping.Graph, t.Instance, base, tup, del)
+	if err != nil {
+		// A delta may have half-applied; the materialization is dead
+		// either way. The caller rolls the instance back, so the old
+		// act.dg still describes the (restored) state and stays.
+		act.dgm = nil
+		return err
+	}
+	act.dg, act.dgm = dg, mat
+	// The illustration rides the new D(G): examples on unchanged
+	// associations are inherited, the rest re-selected (Section 5.3
+	// continuity). A failed evolution falls back to a fresh selection;
+	// if even that fails, the old illustration is kept — the view is
+	// already correct, the illustration merely lags one edit.
+	if len(act.Illustration.Examples) > 0 {
+		if ev, eerr := core.EvolveOnDG(ctx, act.Illustration, act.Mapping, t.Instance, dg); eerr == nil {
+			act.Illustration = ev.Illustration
+		} else if full, ferr := core.ExamplesOn(ctx, act.Mapping, t.Instance, dg); ferr == nil {
+			act.Illustration = core.SelectSufficient(ctx, act.Mapping, full)
+		}
+	}
+	return nil
+}
+
 // AddCorrespondence applies the correspondence operator to the active
 // mapping. When the target attribute is already mapped, the operator
 // creates alternatives that reuse the active mapping's other
@@ -380,6 +504,7 @@ func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (er
 	}
 	base := w.Mapping
 	note := "correspondence " + c.String()
+	restore := t.beginTxLocked()
 	if _, dup := base.CorrFor(c.Target.Attr); dup {
 		// Reuse: copy everything except the existing correspondence
 		// for this attribute, then accept the current mapping so the
@@ -393,6 +518,7 @@ func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (er
 	}
 	alts, err := core.AddCorrespondence(ctx, base, t.Knowledge, c, t.MaxWalkLen)
 	if err != nil {
+		restore()
 		return err
 	}
 	notes := make([]string, len(alts))
@@ -400,7 +526,11 @@ func (t *Tool) AddCorrespondence(ctx context.Context, c core.Correspondence) (er
 		notes[i] = fmt.Sprintf("%s (alternative %d)", note, i+1)
 	}
 	span.SetInt("alternatives", int64(len(alts)))
-	return t.setAlternatives(ctx, alts, notes)
+	if err := t.setAlternatives(ctx, alts, notes); err != nil {
+		restore()
+		return err
+	}
+	return nil
 }
 
 // Walk applies the data walk operator to the active mapping and

@@ -154,6 +154,25 @@ case "$OUT" in *'"resurrected"'*) ;; *) fail "no resurrected flag in: $OUT" ;; e
 POST_RESURRECT=$(curl -sf "$BASE/api/sessions/$SID/view") || fail "post-resurrect view failed"
 [ "$PRE_EXPIRE" = "$POST_RESURRECT" ] || fail "resurrected target view differs from pre-expire view"
 
+# Watch: a long-poll parked on the session must wake when a row edit
+# lands, with an event carrying the edit's own trace ID and the rows it
+# added to the view.
+curl -sf "$BASE/api/sessions/$SID/watch?wait_ms=0" >/dev/null || fail "watch prime failed"
+WATCH_OUT=$(mktemp)
+curl -sf "$BASE/api/sessions/$SID/watch?after=0&wait_ms=8000" >"$WATCH_OUT" &
+WATCH_PID=$!
+sleep 0.3
+ROWS_TRACE=$(curl -sfD - -o /dev/null -X POST "$BASE/api/sessions/$SID/rows" \
+    -d '{"relation":"Children","values":["905","Kid905","9","800","801","d9"]}' |
+    tr -d '\r' | sed -n 's/^X-Clio-Trace: //p')
+[ -n "$ROWS_TRACE" ] || fail "rows response carries no X-Clio-Trace header"
+wait "$WATCH_PID" || fail "watch long-poll failed"
+OUT=$(cat "$WATCH_OUT")
+rm -f "$WATCH_OUT"
+case "$OUT" in *'"events"'*) ;; *) fail "watch response has no events: $OUT" ;; esac
+case "$OUT" in *"\"$ROWS_TRACE\""*) ;; *) fail "watch event missing the edit's trace $ROWS_TRACE: $OUT" ;; esac
+case "$OUT" in *'"added"'*) ;; *) fail "watch event reports no added rows: $OUT" ;; esac
+
 # Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$PID"
 i=0
