@@ -34,7 +34,7 @@ serve-smoke:
 # chaos runs the deterministic fault-injection suite under the race
 # detector with a pinned seed, so any failure replays exactly.
 chaos:
-	CLIO_CHAOS_SEED=1 $(GO) test -race -run 'Chaos|Journal|Budget|Mode|Prob' ./internal/fault ./internal/fd ./internal/workspace ./internal/serve ./internal/csvio ./internal/discovery
+	CLIO_CHAOS_SEED=1 $(GO) test -race -run 'Chaos|Journal|Budget|Mode|Prob' ./internal/fault ./internal/fd ./internal/workspace ./internal/serve ./internal/csvio ./internal/discovery ./internal/spill ./internal/algebra ./internal/budget
 
 # check is the tier-1 verification gate: vet, staticcheck (when
 # installed), build, tests, race tests, the chaos suite, the serve

@@ -33,6 +33,8 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	archiveDir := fs.String("archive-dir", "", "directory for tombstoned session journals (default <journal-dir>/archive)")
 	maxRows := fs.Int64("max-rows", 0, "per-request row budget; exceeding answers 413 (0 = unlimited)")
 	maxBytes := fs.Int64("max-bytes", 0, "per-request approximate byte budget; exceeding answers 413 (0 = unlimited)")
+	spillDir := fs.String("spill-dir", "", "spill directory: operators over the -max-rows/-max-bytes in-memory caps write temp partitions here instead of answering 413 (empty disables)")
+	maxSpillBytes := fs.Int64("max-spill-bytes", 0, "bound on bytes concurrently resident in spill files; exceeding answers 413 (0 = unlimited; needs -spill-dir)")
 	sessionMaxRows := fs.Int64("session-max-rows", 0, "per-session request row budget, layered under -max-rows (0 = unlimited)")
 	sessionMaxBytes := fs.Int64("session-max-bytes", 0, "per-session request byte budget, layered under -max-bytes (0 = unlimited)")
 	sessionRPS := fs.Float64("session-rps", 0, "per-session token-bucket rate limit in requests/second (0 disables)")
@@ -63,6 +65,17 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	if *slowMS < 0 {
 		return serve.Config{}, 0, fmt.Errorf("clio serve: -slow-ms must be >= 0")
 	}
+	if *spillDir == "" && *maxSpillBytes != 0 {
+		return serve.Config{}, 0, fmt.Errorf("clio serve: -max-spill-bytes requires -spill-dir")
+	}
+	if *maxSpillBytes < 0 {
+		return serve.Config{}, 0, fmt.Errorf("clio serve: -max-spill-bytes must be >= 0")
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			return serve.Config{}, 0, fmt.Errorf("clio serve: -spill-dir: %w", err)
+		}
+	}
 
 	cfg := serve.Config{
 		Addr:                *addr,
@@ -76,7 +89,7 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 		SnapshotEvery:       *snapshotEvery,
 		IdleTTL:             *idleTTL,
 		ArchiveDir:          *archiveDir,
-		Budget:              fd.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes},
+		Budget:              fd.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes, SpillDir: *spillDir, MaxSpillBytes: *maxSpillBytes},
 		SessionBudget:       fd.Budget{MaxRows: *sessionMaxRows, MaxBytes: *sessionMaxBytes},
 		SessionRPS:          *sessionRPS,
 		RetryAfter:          *retryAfter,

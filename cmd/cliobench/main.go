@@ -567,6 +567,31 @@ func e10() {
 	t, allocs = measureAllocs(func() { j = algebra.JoinRelations(algebra.InnerJoin, l, r, pred) })
 	row("hash join", joinRows*2, j.Len(), t, allocs)
 
+	// Grace-hash spill join: the same equi-join forced through temp-file
+	// partitions by a resident cap far below the inputs (full size they
+	// spill; -quick fits and stays in memory), measuring the degradation
+	// cost of larger-than-memory joins against the in-memory row above.
+	spillDir, err := os.MkdirTemp("", "cliobench-spill-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(spillDir)
+	sctx := fd.WithBudget(ctx, fd.Budget{MaxBytes: 128 << 10, SpillDir: spillDir})
+	spillJoin := algebra.Join{Kind: algebra.InnerJoin, On: pred,
+		L: algebra.Select{Child: algebra.Materialized{Label: "L", Rel: l}, Pred: expr.MustParse("TRUE")},
+		R: algebra.Select{Child: algebra.Materialized{Label: "R", Rel: r}, Pred: expr.MustParse("TRUE")},
+	}
+	t, allocs = measureAllocs(func() {
+		it, err := spillJoin.Open(sctx, nil)
+		if err != nil {
+			panic(err)
+		}
+		if j, err = algebra.Drain(it); err != nil {
+			panic(err)
+		}
+	})
+	row("spill join (128KB cap)", joinRows*2, j.Len(), t, allocs)
+
 	// Minimum union: subsumption removal over a null-rich relation.
 	nr := nullRichRelation(muRows, 6, 3)
 	var mu *relation.Relation

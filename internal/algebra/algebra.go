@@ -12,6 +12,7 @@ import (
 	"context"
 	"strings"
 
+	"clio/internal/budget"
 	"clio/internal/expr"
 	"clio/internal/relation"
 	"clio/internal/schema"
@@ -155,8 +156,14 @@ type Join struct {
 
 // Open streams the join: both children are materialized (a join is a
 // pipeline breaker), then matched pairs and outer padding are emitted
-// in batches.
+// in batches. When the context budget has a spill directory, the
+// children sink through spill-aware sides instead — build state that
+// exceeds the in-memory cap Grace-hash partitions to temp files, and
+// the join runs partition by partition (see spilljoin.go).
 func (j Join) Open(ctx context.Context, in *relation.Instance) (Iterator, error) {
+	if budget.FromContext(ctx).SpillEnabled() {
+		return openSpillJoin(ctx, j, in)
+	}
 	ctx, span := openOp(ctx, "op.join")
 	span.SetStr("kind", j.Kind.String())
 	l, err := materializeChild(ctx, j.L, in)

@@ -464,7 +464,7 @@ func (it *unionIter) Next() ([]relation.Tuple, error) {
 // charged against the context budget.
 type crossIter struct {
 	ctx    context.Context
-	tr     *budget.Tracker
+	flow   *budget.Flow
 	s      *relation.Scheme
 	left   Iterator
 	lbatch []relation.Tuple
@@ -492,7 +492,7 @@ func (c Cross) Open(ctx context.Context, in *relation.Instance) (Iterator, error
 	}
 	return &crossIter{
 		ctx:  ctx,
-		tr:   budget.FromContext(ctx),
+		flow: budget.FromContext(ctx).NewFlow(),
 		s:    left.Scheme().Concat(r.Scheme()),
 		left: left,
 		r:    r,
@@ -503,6 +503,7 @@ func (c Cross) Open(ctx context.Context, in *relation.Instance) (Iterator, error
 func (it *crossIter) Scheme() *relation.Scheme { return it.s }
 func (it *crossIter) Name() string             { return "" }
 func (it *crossIter) Close() {
+	it.flow.Release()
 	it.left.Close()
 	it.op.close()
 }
@@ -537,7 +538,7 @@ func (it *crossIter) Next() ([]relation.Tuple, error) {
 	if len(it.buf) == 0 {
 		return nil, nil
 	}
-	if err := it.tr.Charge(int64(len(it.buf)), bytes); err != nil {
+	if err := it.flow.Charge(int64(len(it.buf)), bytes); err != nil {
 		return nil, err
 	}
 	it.op.observe(it.buf)

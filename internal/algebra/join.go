@@ -62,7 +62,7 @@ const (
 // checks happen once per output batch.
 type joinIter struct {
 	ctx      context.Context
-	tr       *budget.Tracker
+	flow     *budget.Flow
 	kind     JoinKind
 	s        *relation.Scheme
 	l, r     *relation.Relation
@@ -103,7 +103,7 @@ func OpenJoin(ctx context.Context, kind JoinKind, l, r *relation.Relation, on ex
 func newJoinIter(ctx context.Context, span *obs.Span, kind JoinKind, l, r *relation.Relation, on expr.Expr) *joinIter {
 	it := &joinIter{
 		ctx:      ctx,
-		tr:       budget.FromContext(ctx),
+		flow:     budget.FromContext(ctx).NewFlow(),
 		kind:     kind,
 		s:        l.Scheme().Concat(r.Scheme()),
 		l:        l,
@@ -148,6 +148,7 @@ func (it *joinIter) Close() {
 	if it.op.done {
 		return
 	}
+	it.flow.Release()
 	cJoinProbes.Add(it.probes)
 	cJoinMatches.Add(it.matches)
 	cJoinOut.Add(it.op.rows)
@@ -207,7 +208,7 @@ func (it *joinIter) Next() ([]relation.Tuple, error) {
 	if len(it.buf) == 0 {
 		return nil, nil
 	}
-	if err := it.tr.Charge(int64(len(it.buf)), bytes); err != nil {
+	if err := it.flow.Charge(int64(len(it.buf)), bytes); err != nil {
 		return nil, err
 	}
 	it.op.observe(it.buf)

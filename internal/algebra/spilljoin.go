@@ -1,0 +1,345 @@
+package algebra
+
+// Grace-hash spill join: when the context budget carries a spill
+// directory (budget.Budget.SpillDir), Join.Open routes here instead of
+// materializing both children unconditionally. Each side sinks through
+// a spillSide: tuples are retained in memory and charged against the
+// budget until a charge fails, at which point everything seen so far —
+// and everything still streaming — is hash-partitioned to temp files
+// on the side's equi-join columns and the memory charges refunded.
+// The join then runs partition by partition: equal keys hash to the
+// same partition on both sides (the canonical tuple hashes normalize
+// cross-kind numeric equality, and null keys hash identically on both
+// sides), so each per-partition joinIter — matches, residual
+// predicates, and outer padding included — is globally exact.
+//
+// Joins with no equi conjunct cannot be hash-partitioned; an
+// over-budget build side there stays a typed abort (the budget error
+// carries spill state "enabled" so operators can tell it apart from
+// spill-disabled refusals).
+
+import (
+	"context"
+
+	"clio/internal/budget"
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/spill"
+)
+
+// spillSide is one sunk join input: fully in memory (rel), in memory
+// partitioned to match a spilled counterpart (groups), or spilled to
+// temp-file partitions (parts).
+type spillSide struct {
+	name   string
+	scheme *relation.Scheme
+	cols   []int // equi-join hash positions within scheme
+	rel    *relation.Relation
+	groups []*relation.Relation
+	parts  *spill.PartitionSet
+	// rows/bytes are the retained in-memory charges (zero for base
+	// relations, which the instance pins regardless of this join).
+	rows, bytes int64
+}
+
+// close refunds the side's memory charges and removes its spill files.
+func (sd *spillSide) close(tr *budget.Tracker) {
+	if sd == nil {
+		return
+	}
+	tr.Refund(sd.rows, sd.bytes)
+	sd.rows, sd.bytes = 0, 0
+	sd.parts.Close()
+}
+
+// spilled reports whether the side overflowed to disk.
+func (sd *spillSide) spilled() bool { return sd.parts != nil }
+
+// partitionMem splits an in-memory side into n hash groups so it can
+// join a spilled counterpart partition by partition. The groups share
+// tuple storage with rel, so nothing new is charged.
+func (sd *spillSide) partitionMem(n int) {
+	if sd.rel == nil || sd.groups != nil {
+		return
+	}
+	groups := make([]*relation.Relation, n)
+	for i := range groups {
+		groups[i] = relation.New(sd.rel.Name, sd.scheme)
+	}
+	for _, t := range sd.rel.Tuples() {
+		groups[t.HashOn(sd.cols)%uint64(n)].Add(t)
+	}
+	sd.groups = groups
+}
+
+// load returns partition i as an in-memory relation: the pre-built
+// hash group for memory sides, or a charged read-back of the temp file
+// for spilled sides (the returned rows/bytes are the caller's to
+// refund once the partition is joined).
+func (sd *spillSide) load(tr *budget.Tracker, i int) (*relation.Relation, int64, int64, error) {
+	if !sd.spilled() {
+		return sd.groups[i], 0, 0, nil
+	}
+	rel := relation.New(sd.name, sd.scheme)
+	var rows, bytes int64
+	err := sd.parts.Read(i, sd.scheme, func(t relation.Tuple) error {
+		b := t.ApproxBytes()
+		if err := tr.Charge(1, b); err != nil {
+			return err
+		}
+		rows++
+		bytes += b
+		rel.Add(t)
+		return nil
+	})
+	if err != nil {
+		tr.Refund(rows, bytes)
+		return nil, 0, 0, err
+	}
+	return rel, rows, bytes, nil
+}
+
+// openSide prepares one child for sinking: base relations (scans and
+// already-materialized nodes) come back as a pinned relation — they
+// are instance state, not new materialization, so they are neither
+// charged nor spilled — and anything else as its open iterator.
+func openSide(ctx context.Context, n Node, in *relation.Instance) (Iterator, *relation.Relation, error) {
+	switch x := n.(type) {
+	case Scan:
+		r, err := x.Eval(in)
+		return nil, r, err
+	case Materialized:
+		return nil, x.Rel, nil
+	}
+	it, err := n.Open(ctx, in)
+	return it, nil, err
+}
+
+// sinkSide drains one join input into a spillSide, switching from
+// charged in-memory retention to Grace-hash temp-file partitions the
+// moment the budget refuses a charge. cols are the side's equi-join
+// positions; without them an over-budget side cannot spill and the
+// budget error propagates as a typed abort. The iterator (when any) is
+// closed in all cases.
+func sinkSide(tr *budget.Tracker, it Iterator, base *relation.Relation, cols []int) (*spillSide, error) {
+	if base != nil {
+		return &spillSide{name: base.Name, scheme: base.Scheme(), cols: cols, rel: base}, nil
+	}
+	defer it.Close()
+	side := &spillSide{
+		name:   it.Name(),
+		scheme: it.Scheme(),
+		cols:   cols,
+		rel:    relation.New(it.Name(), it.Scheme()),
+	}
+	for {
+		batch, err := it.Next()
+		if err != nil {
+			side.close(tr)
+			return nil, err
+		}
+		if batch == nil {
+			return side, nil
+		}
+		for _, t := range batch {
+			if side.spilled() {
+				if err := side.parts.Add(t); err != nil {
+					side.close(tr)
+					return nil, err
+				}
+				continue
+			}
+			b := t.ApproxBytes()
+			cerr := tr.Charge(1, b)
+			if cerr == nil {
+				side.rel.Add(t)
+				side.rows++
+				side.bytes += b
+				continue
+			}
+			if len(cols) == 0 {
+				side.close(tr)
+				return nil, cerr
+			}
+			// Overflow: move the retained prefix to disk, refund its
+			// memory, and keep streaming straight to the partitions.
+			side.parts = spill.NewPartitionSet(tr, spill.DefaultPartitions, cols)
+			for _, u := range side.rel.Tuples() {
+				if err := side.parts.Add(u); err != nil {
+					side.close(tr)
+					return nil, err
+				}
+			}
+			tr.Refund(side.rows, side.bytes)
+			side.rows, side.bytes = 0, 0
+			side.rel = nil
+			if err := side.parts.Add(t); err != nil {
+				side.close(tr)
+				return nil, err
+			}
+		}
+	}
+}
+
+// openSpillJoin is Join.Open under a spill-enabled budget.
+func openSpillJoin(ctx context.Context, j Join, in *relation.Instance) (Iterator, error) {
+	ctx, span := openOp(ctx, "op.join")
+	span.SetStr("kind", j.Kind.String())
+	tr := budget.FromContext(ctx)
+	li, lbase, err := openSide(ctx, j.L, in)
+	if err != nil {
+		span.End()
+		return nil, err
+	}
+	ri, rbase, err := openSide(ctx, j.R, in)
+	if err != nil {
+		if li != nil {
+			li.Close()
+		}
+		span.End()
+		return nil, err
+	}
+	ls, rs := sideScheme(li, lbase), sideScheme(ri, rbase)
+	eqL, eqR, _ := SplitEquiConjuncts(j.On, ls, rs)
+	var lcols, rcols []int
+	if len(eqL) > 0 {
+		lcols = ls.Positions(eqL...)
+		rcols = rs.Positions(eqR...)
+	}
+	left, err := sinkSide(tr, li, lbase, lcols)
+	if err != nil {
+		if ri != nil {
+			ri.Close()
+		}
+		span.End()
+		return nil, err
+	}
+	right, err := sinkSide(tr, ri, rbase, rcols)
+	if err != nil {
+		left.close(tr)
+		span.End()
+		return nil, err
+	}
+	if !left.spilled() && !right.spilled() {
+		// Everything fit: the standard streaming join, with the sides'
+		// retained charges released when it closes.
+		return &sideReleaseIter{
+			joinIter: newJoinIter(ctx, span, j.Kind, left.rel, right.rel, j.On),
+			tr:       tr,
+			sides:    [2]*spillSide{left, right},
+		}, nil
+	}
+	n := spill.DefaultPartitions
+	span.SetBool("spilled", true)
+	span.SetInt("partitions", int64(n))
+	left.partitionMem(n)
+	right.partitionMem(n)
+	return &graceJoinIter{
+		ctx:   ctx,
+		tr:    tr,
+		kind:  j.Kind,
+		on:    j.On,
+		s:     ls.Concat(rs),
+		left:  left,
+		right: right,
+		n:     n,
+		op:    opStats{span: span},
+	}, nil
+}
+
+func sideScheme(it Iterator, base *relation.Relation) *relation.Scheme {
+	if base != nil {
+		return base.Scheme()
+	}
+	return it.Scheme()
+}
+
+// sideReleaseIter is a joinIter over fully-sunk in-memory sides; it
+// refunds the sides' retained charges on Close (the join output is the
+// consumer's to account for).
+type sideReleaseIter struct {
+	*joinIter
+	tr    *budget.Tracker
+	sides [2]*spillSide
+}
+
+func (it *sideReleaseIter) Close() {
+	it.joinIter.Close()
+	it.sides[0].close(it.tr)
+	it.sides[1].close(it.tr)
+}
+
+// graceJoinIter joins two partitioned sides one partition at a time:
+// load partition p of each side (charged), run the standard joinIter
+// on the pair, refund and advance. Matched pairs and outer padding are
+// both per-partition exact because equal keys — and null keys — land
+// in the same partition on both sides.
+type graceJoinIter struct {
+	ctx         context.Context
+	tr          *budget.Tracker
+	kind        JoinKind
+	on          expr.Expr
+	s           *relation.Scheme
+	left, right *spillSide
+	n           int
+	p           int
+	inner       *joinIter
+	loadedRows  int64
+	loadedBytes int64
+	op          opStats
+}
+
+func (it *graceJoinIter) Scheme() *relation.Scheme { return it.s }
+func (it *graceJoinIter) Name() string             { return "" }
+
+func (it *graceJoinIter) Close() {
+	if it.op.done {
+		return
+	}
+	if it.inner != nil {
+		it.inner.Close()
+		it.inner = nil
+	}
+	it.tr.Refund(it.loadedRows, it.loadedBytes)
+	it.loadedRows, it.loadedBytes = 0, 0
+	it.left.close(it.tr)
+	it.right.close(it.tr)
+	it.op.close()
+}
+
+func (it *graceJoinIter) Next() ([]relation.Tuple, error) {
+	if err := it.ctx.Err(); err != nil {
+		return nil, err
+	}
+	for {
+		if it.inner == nil {
+			if it.p >= it.n {
+				return nil, nil
+			}
+			lp, lr, lb, err := it.left.load(it.tr, it.p)
+			if err != nil {
+				return nil, err
+			}
+			rp, rr, rb, err := it.right.load(it.tr, it.p)
+			if err != nil {
+				it.tr.Refund(lr, lb)
+				return nil, err
+			}
+			it.loadedRows, it.loadedBytes = lr+rr, lb+rb
+			it.inner = newJoinIter(it.ctx, nil, it.kind, lp, rp, it.on)
+		}
+		batch, err := it.inner.Next()
+		if err != nil {
+			return nil, err
+		}
+		if batch != nil {
+			it.op.observe(batch)
+			return batch, nil
+		}
+		it.inner.Close()
+		it.inner = nil
+		it.tr.Refund(it.loadedRows, it.loadedBytes)
+		it.loadedRows, it.loadedBytes = 0, 0
+		it.p++
+	}
+}

@@ -1,0 +1,213 @@
+package algebra
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"clio/internal/budget"
+	"clio/internal/expr"
+	"clio/internal/fault"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/spill"
+	"clio/internal/value"
+)
+
+// spillJoinInstance builds L and R with heavy key collisions, null
+// join keys on both sides, and cross-kind numeric keys (L.k parses as
+// int, some R.k as float), so the differential test covers exactly the
+// cases where partition routing could diverge from tuple equality.
+func spillJoinInstance(t *testing.T, rows int) (*relation.Instance, *relation.Relation, *relation.Relation) {
+	t.Helper()
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("L",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindInt},
+	))
+	sch.MustAddRelation(schema.NewRelation("R",
+		schema.Attribute{Name: "k", Type: value.KindFloat},
+		schema.Attribute{Name: "y", Type: value.KindInt},
+	))
+	in := relation.NewInstance(sch)
+	l := in.NewRelationFor("L")
+	for i := 0; i < rows; i++ {
+		k := fmt.Sprintf("%d", i%97)
+		if i%11 == 0 {
+			k = "-" // null join key
+		}
+		l.AddRow(k, fmt.Sprintf("%d", i))
+	}
+	in.MustAdd(l)
+	r := in.NewRelationFor("R")
+	for i := 0; i < rows; i++ {
+		k := fmt.Sprintf("%d.0", i%89) // float kind: must still meet int keys
+		if i%13 == 0 {
+			k = "-"
+		}
+		r.AddRow(k, fmt.Sprintf("%d", i))
+	}
+	in.MustAdd(r)
+	return in, l, r
+}
+
+// spillCtx returns a context whose budget forces the join's build
+// sides to disk, and the tracker for post-hoc assertions.
+func spillCtx(t *testing.T, maxBytes int64) (context.Context, *budget.Tracker) {
+	t.Helper()
+	tr := budget.NewTracker(budget.Budget{MaxBytes: maxBytes, SpillDir: t.TempDir()})
+	return budget.With(context.Background(), tr), tr
+}
+
+// requireSameRelation asserts byte-identical canonical order.
+func requireSameRelation(t *testing.T, label string, got, want *relation.Relation) {
+	t.Helper()
+	got.SortByKey()
+	want.SortByKey()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: got %d tuples, want %d", label, got.Len(), want.Len())
+	}
+	gt, wt := got.Tuples(), want.Tuples()
+	for i := range gt {
+		if gt[i].Key() != wt[i].Key() {
+			t.Fatalf("%s: tuple %d differs:\n got %v\nwant %v", label, i, gt[i], wt[i])
+		}
+	}
+}
+
+// The differential property at the heart of the spill design: a join
+// forced through Grace-hash partitions must be byte-identical (in
+// canonical order) to the unlimited in-memory join, for every join
+// kind, with null keys, cross-kind numeric keys, and a residual
+// predicate in play. Select(TRUE) wrappers make the inputs derived
+// (base relations are pinned instance state and never spill).
+func TestBudgetSpillJoinDifferentialAllKinds(t *testing.T) {
+	in, l, r := spillJoinInstance(t, 900)
+	preds := map[string]expr.Expr{
+		"equi":          expr.MustParse("L.k = R.k"),
+		"equi+residual": expr.MustParse("L.k = R.k AND L.x < R.y"),
+	}
+	for pname, pred := range preds {
+		for _, kind := range []JoinKind{InnerJoin, LeftJoin, RightJoin, FullJoin} {
+			label := fmt.Sprintf("%v/%s", kind, pname)
+			want := JoinRelations(kind, l, r, pred)
+			// Each side is ~86KB approximate; 48KB forces both to disk
+			// while leaving room for one loaded partition pair (the
+			// null-key partition is the heaviest) plus an output batch
+			// resident at a time.
+			ctx, tr := spillCtx(t, 49152)
+			j := Join{Kind: kind, On: pred,
+				L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+				R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+			}
+			it, err := j.Open(ctx, in)
+			if err != nil {
+				t.Fatalf("%s: open: %v", label, err)
+			}
+			got, err := Drain(it)
+			if err != nil {
+				t.Fatalf("%s: drain: %v", label, err)
+			}
+			if tr.SpillParts() == 0 || tr.SpillWritten() == 0 {
+				t.Fatalf("%s: join never spilled (parts=%d written=%d) — the test is vacuous", label, tr.SpillParts(), tr.SpillWritten())
+			}
+			requireSameRelation(t, label, got, want)
+			if tr.Rows() != 0 || tr.SpillBytes() != 0 {
+				t.Fatalf("%s: resident charges leaked: rows=%d spill=%d", label, tr.Rows(), tr.SpillBytes())
+			}
+		}
+	}
+}
+
+// A join with no equi conjunct cannot be hash-partitioned: an
+// over-budget build side must abort with the typed budget error whose
+// spill state says "enabled" (spill was configured but inapplicable).
+func TestBudgetSpillNonEquiJoinTypedAbort(t *testing.T) {
+	in, _, _ := spillJoinInstance(t, 400)
+	ctx, tr := spillCtx(t, 512)
+	j := Join{Kind: InnerJoin, On: expr.MustParse("L.x < R.y"),
+		L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+		R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+	}
+	it, err := j.Open(ctx, in)
+	if err == nil {
+		_, err = Drain(it)
+	}
+	var be *budget.Error
+	if !errors.As(err, &be) {
+		t.Fatalf("non-equi over-budget join returned %v, want *budget.Error", err)
+	}
+	if be.Spill != budget.SpillEnabled {
+		t.Fatalf("spill state = %q, want %q", be.Spill, budget.SpillEnabled)
+	}
+	if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+		t.Fatalf("abort leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+	}
+}
+
+// A write fault mid-spill must surface as the typed spill error from
+// the join, refund every resident charge, and leave no partition files
+// behind.
+func TestChaosSpillJoinWriteFaultTypedAbort(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("spill.write", fault.Spec{Mode: fault.ModeError, After: 5, Times: 1})
+
+	in, _, _ := spillJoinInstance(t, 400)
+	dir := t.TempDir()
+	tr := budget.NewTracker(budget.Budget{MaxBytes: 4096, SpillDir: dir})
+	ctx := budget.With(context.Background(), tr)
+	j := Join{Kind: FullJoin, On: expr.MustParse("L.k = R.k"),
+		L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+		R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+	}
+	it, err := j.Open(ctx, in)
+	if err == nil {
+		_, err = Drain(it)
+	}
+	if !errors.Is(err, spill.ErrSpill) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("faulted spill join returned %v, want spill.ErrSpill via fault.ErrInjected", err)
+	}
+	if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+		t.Fatalf("faulted join leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "clio-spill-*.part"))
+	if len(left) != 0 {
+		t.Fatalf("faulted join left partition files: %v", left)
+	}
+}
+
+// A read fault during partition replay must also degrade to the typed
+// error with everything refunded — the consumer closed the iterator,
+// so the sides' files are gone too.
+func TestChaosSpillJoinReadFaultTypedAbort(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+
+	in, _, _ := spillJoinInstance(t, 400)
+	dir := t.TempDir()
+	tr := budget.NewTracker(budget.Budget{MaxBytes: 4096, SpillDir: dir})
+	ctx := budget.With(context.Background(), tr)
+	j := Join{Kind: InnerJoin, On: expr.MustParse("L.k = R.k"),
+		L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+		R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+	}
+	it, err := j.Open(ctx, in)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	fault.Set("spill.read", fault.Spec{Mode: fault.ModeError, After: 10, Times: 1})
+	_, err = Drain(it)
+	if !errors.Is(err, spill.ErrSpill) {
+		t.Fatalf("read-faulted join returned %v, want spill.ErrSpill", err)
+	}
+	if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+		t.Fatalf("read fault leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "clio-spill-*.part"))
+	if len(left) != 0 {
+		t.Fatalf("read-faulted join left partition files: %v", left)
+	}
+}

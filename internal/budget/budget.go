@@ -30,10 +30,37 @@ type Budget struct {
 	MaxRows int64
 	// MaxBytes bounds the approximate bytes of those tuples.
 	MaxBytes int64
+	// SpillDir, when non-empty, turns MaxRows/MaxBytes from a hard
+	// refusal into an in-memory cap: operators that support spilling
+	// (hash-join build sides, D(G) distinct/subsumption state) write
+	// overflow partitions to temp files under this directory instead
+	// of aborting, and the trackers switch to resident accounting
+	// (Refund returns capacity as state moves to disk or is released).
+	SpillDir string
+	// MaxSpillBytes bounds the bytes concurrently resident in spill
+	// files (0 = unlimited disk). Exceeding it aborts with a typed
+	// error whose Spill state is "disk_cap_exceeded".
+	MaxSpillBytes int64
 }
 
-// Unlimited reports whether the budget imposes no limit.
+// Unlimited reports whether the budget imposes no limit. A spill
+// configuration without an in-memory cap is still unlimited: there is
+// nothing to spill around.
 func (b Budget) Unlimited() bool { return b.MaxRows <= 0 && b.MaxBytes <= 0 }
+
+// The spill states reported by Error.Spill on budget aborts, so
+// operators can tell "enable -spill-dir" apart from "raise
+// -max-spill-bytes".
+const (
+	// SpillDisabled: no spill directory is configured; the memory cap
+	// is a hard refusal.
+	SpillDisabled = "disabled"
+	// SpillEnabled: spilling is configured but this state is not
+	// spillable (or spilled state still exceeded the in-memory cap).
+	SpillEnabled = "enabled"
+	// SpillDiskCap: the MaxSpillBytes disk cap itself was exceeded.
+	SpillDiskCap = "disk_cap_exceeded"
+)
 
 // ErrExceeded is the sentinel matched by errors.Is for any budget
 // violation.
@@ -42,13 +69,21 @@ var ErrExceeded = errors.New("budget exceeded")
 // Error reports which limit a computation exceeded. It matches
 // ErrExceeded under errors.Is.
 type Error struct {
-	// Limit names the exceeded dimension: "rows" or "bytes".
+	// Limit names the exceeded dimension: "rows", "bytes", or "spill".
 	Limit string
 	// Max is the configured cap, Got the amount reached.
 	Max, Got int64
+	// Spill names the spill configuration at abort time — one of
+	// SpillDisabled, SpillEnabled, SpillDiskCap — so the error tells
+	// an operator which knob to turn. Empty on errors built before
+	// the spill tier existed (treated as SpillDisabled downstream).
+	Spill string
 }
 
 func (e *Error) Error() string {
+	if e.Spill != "" {
+		return fmt.Sprintf("budget exceeded: %s limit %d reached %d (spill %s)", e.Limit, e.Max, e.Got, e.Spill)
+	}
 	return fmt.Sprintf("budget exceeded: %s limit %d reached %d", e.Limit, e.Max, e.Got)
 }
 
@@ -57,10 +92,24 @@ func (e *Error) Is(target error) bool { return target == ErrExceeded }
 
 // Tracker accumulates charges against a budget. A nil tracker accepts
 // every charge, so call sites charge unconditionally.
+//
+// Without a spill directory the tracker is cumulative: every charge
+// sticks, so the caps bound the total materialization of the
+// computation. With SpillDir set, spilling operators Refund charges as
+// tuples move to disk or transient batches are released, so the caps
+// bound the state resident in memory at any moment instead.
 type Tracker struct {
 	b     Budget
 	rows  atomic.Int64
 	bytes atomic.Int64
+	// spill tracks bytes currently resident in spill files; parts
+	// counts partition files created and written the cumulative bytes
+	// ever spilled (for EXPLAIN and /statusz — resident spill returns
+	// to zero when partitions close, so reporting needs the monotone
+	// counters).
+	spill   atomic.Int64
+	parts   atomic.Int64
+	written atomic.Int64
 }
 
 // NewTracker creates a tracker for the budget. An unlimited budget
@@ -87,14 +136,103 @@ func (t *Tracker) Charge(rows, bytes int64) error {
 	if t.b.MaxRows > 0 && r > t.b.MaxRows {
 		t.rows.Add(-rows)
 		t.bytes.Add(-bytes)
-		return &Error{Limit: "rows", Max: t.b.MaxRows, Got: r}
+		return &Error{Limit: "rows", Max: t.b.MaxRows, Got: r, Spill: t.SpillState()}
 	}
 	if t.b.MaxBytes > 0 && by > t.b.MaxBytes {
 		t.rows.Add(-rows)
 		t.bytes.Add(-bytes)
-		return &Error{Limit: "bytes", Max: t.b.MaxBytes, Got: by}
+		return &Error{Limit: "bytes", Max: t.b.MaxBytes, Got: by, Spill: t.SpillState()}
 	}
 	return nil
+}
+
+// Refund returns previously charged rows/bytes to the budget. Only
+// spilling operators call it (resident accounting); the cumulative
+// no-spill paths never refund, so their behavior is unchanged.
+func (t *Tracker) Refund(rows, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.rows.Add(-rows)
+	t.bytes.Add(-bytes)
+}
+
+// SpillEnabled reports whether the budget allows spilling to disk.
+func (t *Tracker) SpillEnabled() bool { return t != nil && t.b.SpillDir != "" }
+
+// SpillDir returns the configured spill directory ("" when disabled).
+func (t *Tracker) SpillDir() string {
+	if t == nil {
+		return ""
+	}
+	return t.b.SpillDir
+}
+
+// SpillState names the tracker's spill configuration for Error.Spill.
+func (t *Tracker) SpillState() string {
+	if t.SpillEnabled() {
+		return SpillEnabled
+	}
+	return SpillDisabled
+}
+
+// ChargeSpill reserves bytes of spill-file capacity. It fails with a
+// typed *Error (Limit "spill", Spill state SpillDiskCap) when the
+// MaxSpillBytes cap would be exceeded; the failed charge is rolled
+// back, mirroring Charge.
+func (t *Tracker) ChargeSpill(bytes int64) error {
+	if t == nil {
+		return nil
+	}
+	got := t.spill.Add(bytes)
+	if t.b.MaxSpillBytes > 0 && got > t.b.MaxSpillBytes {
+		t.spill.Add(-bytes)
+		return &Error{Limit: "spill", Max: t.b.MaxSpillBytes, Got: got, Spill: SpillDiskCap}
+	}
+	t.written.Add(bytes)
+	return nil
+}
+
+// RefundSpill returns spill-file capacity as partition files are
+// removed.
+func (t *Tracker) RefundSpill(bytes int64) {
+	if t == nil {
+		return
+	}
+	t.spill.Add(-bytes)
+}
+
+// SpillBytes returns the bytes currently resident in spill files.
+func (t *Tracker) SpillBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spill.Load()
+}
+
+// AddSpillParts records n partition files created under this tracker.
+func (t *Tracker) AddSpillParts(n int64) {
+	if t == nil {
+		return
+	}
+	t.parts.Add(n)
+}
+
+// SpillParts returns the partition files created under this tracker.
+func (t *Tracker) SpillParts() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.parts.Load()
+}
+
+// SpillWritten returns the cumulative bytes ever written to spill
+// files under this tracker (never refunded, unlike SpillBytes).
+func (t *Tracker) SpillWritten() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.written.Load()
 }
 
 // Rows returns the total rows charged so far.
@@ -136,4 +274,52 @@ func With(ctx context.Context, t *Tracker) context.Context {
 func FromContext(ctx context.Context) *Tracker {
 	t, _ := ctx.Value(ctxKey{}).(*Tracker)
 	return t
+}
+
+// Flow meters one operator's output batches. Without spilling it
+// charges cumulatively, exactly like calling Tracker.Charge directly.
+// With spilling enabled the batches are transient — the consumer either
+// retains them under its own sink charges or spills them — so each
+// Charge first refunds the previous batch: at any moment one in-flight
+// batch per operator is resident, not the whole stream. Not safe for
+// concurrent use (one Flow per iterator).
+type Flow struct {
+	t          *Tracker
+	rows, byts int64
+}
+
+// NewFlow returns a batch meter for the tracker (nil tracker → nil
+// Flow, which accepts every charge).
+func (t *Tracker) NewFlow() *Flow {
+	if t == nil {
+		return nil
+	}
+	return &Flow{t: t}
+}
+
+// Charge meters one output batch; see Flow.
+func (f *Flow) Charge(rows, bytes int64) error {
+	if f == nil {
+		return nil
+	}
+	if !f.t.SpillEnabled() {
+		return f.t.Charge(rows, bytes)
+	}
+	f.t.Refund(f.rows, f.byts)
+	f.rows, f.byts = 0, 0
+	if err := f.t.Charge(rows, bytes); err != nil {
+		return err
+	}
+	f.rows, f.byts = rows, bytes
+	return nil
+}
+
+// Release refunds the in-flight batch (spill mode only; cumulative
+// charges stick). Iterators call it on Close.
+func (f *Flow) Release() {
+	if f == nil || !f.t.SpillEnabled() {
+		return
+	}
+	f.t.Refund(f.rows, f.byts)
+	f.rows, f.byts = 0, 0
 }

@@ -16,64 +16,33 @@ import (
 	"clio/internal/fault"
 	"clio/internal/relation"
 	"clio/internal/schema"
-	"clio/internal/value"
 )
 
 // ReadRelation parses one CSV stream into a relation with the given
 // name. The header row supplies unqualified attribute names; the
-// relation's scheme qualifies them with the relation name.
+// relation's scheme qualifies them with the relation name. It is a
+// materializing drain over OpenStream — pipeline consumers that don't
+// need the whole relation resident should use the Stream directly.
 func ReadRelation(name string, r io.Reader) (*relation.Relation, *schema.Relation, error) {
-	if err := fault.Inject("csvio.read"); err != nil {
-		return nil, nil, fmt.Errorf("csvio: reading %s: %w", name, err)
-	}
-	cr := csv.NewReader(r)
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
+	st, err := OpenStream(name, r)
 	if err != nil {
-		return nil, nil, fmt.Errorf("csvio: reading header of %s: %w", name, err)
+		return nil, nil, err
 	}
-	attrs := make([]schema.Attribute, len(header))
-	qualified := make([]string, len(header))
-	seen := map[string]bool{}
-	for i, h := range header {
-		h = strings.TrimSpace(h)
-		if h == "" {
-			return nil, nil, fmt.Errorf("csvio: empty column name in %s", name)
-		}
-		if seen[h] {
-			return nil, nil, fmt.Errorf("csvio: duplicate column %q in %s", h, name)
-		}
-		seen[h] = true
-		attrs[i] = schema.Attribute{Name: h}
-		qualified[i] = name + "." + h
-	}
-	rel := relation.New(name, relation.NewScheme(qualified...))
+	defer st.Close()
+	rel := relation.New(name, st.Scheme())
 	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
+		batch, err := st.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if batch == nil {
 			break
 		}
-		if err != nil {
-			return nil, nil, fmt.Errorf("csvio: reading %s: %w", name, err)
-		}
-		vals := make([]value.Value, len(header))
-		for i := range header {
-			if i < len(rec) {
-				vals[i] = value.Parse(strings.TrimSpace(rec[i]))
-			}
-		}
-		rel.AddValues(vals...)
-	}
-	// Infer column kinds from the first non-null value of each column.
-	for i := range attrs {
-		for _, t := range rel.Tuples() {
-			if v := t.At(i); !v.IsNull() {
-				attrs[i].Type = v.Kind()
-				break
-			}
+		for _, t := range batch {
+			rel.Add(t)
 		}
 	}
-	return rel, schema.NewRelation(name, attrs...), nil
+	return rel, st.SchemaRelation(), nil
 }
 
 // LoadDir reads every *.csv file in dir into an instance. The relation

@@ -1,0 +1,154 @@
+package csvio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"clio/internal/fault"
+	"clio/internal/value"
+)
+
+// OpenStream must deliver every row, in order, in batches no larger
+// than streamBatch, so a budgeted consumer can meter the ingest
+// instead of materializing the file up front.
+func TestStreamBatchesLargeFile(t *testing.T) {
+	const rows = 3*streamBatch + 7
+	var b strings.Builder
+	b.WriteString("k,v\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d,row%d\n", i, i)
+	}
+	st, err := OpenStream("T", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, batches := 0, 0
+	for {
+		batch, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		if len(batch) > streamBatch {
+			t.Fatalf("batch of %d tuples, cap is %d", len(batch), streamBatch)
+		}
+		for _, u := range batch {
+			if u.Get("T.k").IntVal() != int64(got) {
+				t.Fatalf("row %d out of order: %v", got, u)
+			}
+			got++
+		}
+		batches++
+	}
+	if got != rows {
+		t.Fatalf("streamed %d rows, want %d", got, rows)
+	}
+	if want := (rows + streamBatch - 1) / streamBatch; batches != want {
+		t.Fatalf("delivered %d batches, want %d", batches, want)
+	}
+	if st.Rows() != int64(rows) {
+		t.Fatalf("Rows() = %d, want %d", st.Rows(), rows)
+	}
+}
+
+// ReadRelation is now a drain over OpenStream: the materialized result
+// and inferred schema must be identical to what the streaming consumer
+// sees, including kind inference from the first non-null cell and
+// all-null columns staying untyped.
+func TestStreamReadRelationParity(t *testing.T) {
+	src := "a,b,c\n-,x,-\n3,y,-\n4.5,z,-\n"
+	rel, sr, err := ReadRelation("R", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("len = %d, want 3", rel.Len())
+	}
+	// Column a: first non-null is "3" — int wins even though a float
+	// follows; column c never sees a value.
+	attrs := sr.Attrs
+	if attrs[0].Type != value.KindInt {
+		t.Fatalf("a inferred as %v, want int", attrs[0].Type)
+	}
+	if attrs[1].Type != value.KindString {
+		t.Fatalf("b inferred as %v, want string", attrs[1].Type)
+	}
+	if attrs[2].Type != value.KindNull {
+		t.Fatalf("all-null c inferred as %v, want untyped", attrs[2].Type)
+	}
+
+	st, err := OpenStream("R", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	i := 0
+	for {
+		batch, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		for _, u := range batch {
+			if u.Key() != rel.Tuples()[i].Key() {
+				t.Fatalf("row %d: stream %v, ReadRelation %v", i, u, rel.Tuples()[i])
+			}
+			i++
+		}
+	}
+	if sr2 := st.SchemaRelation(); sr2.Attrs[0].Type != attrs[0].Type || sr2.Attrs[2].Type != attrs[2].Type {
+		t.Fatalf("stream schema %v differs from ReadRelation schema %v", sr2.Attrs, attrs)
+	}
+}
+
+// A fault injected mid-stream — after some batches have been delivered
+// — must surface as a typed error from Next, and a fresh stream (point
+// exhausted) must deliver the whole file.
+func TestChaosStreamFaultMidIngest(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("csvio.stream", fault.Spec{Mode: fault.ModeError, After: 2, Times: 1})
+
+	const rows = 5 * streamBatch
+	var b strings.Builder
+	b.WriteString("k\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	src := b.String()
+	st, err := OpenStream("T", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	var ferr error
+	for {
+		batch, err := st.Next()
+		if err != nil {
+			ferr = err
+			break
+		}
+		if batch == nil {
+			break
+		}
+		delivered += len(batch)
+	}
+	st.Close()
+	if !errors.Is(ferr, fault.ErrInjected) {
+		t.Fatalf("mid-stream fault surfaced as %v, want fault.ErrInjected", ferr)
+	}
+	if delivered != 2*streamBatch {
+		t.Fatalf("delivered %d rows before the fault, want %d (After: 2 batches)", delivered, 2*streamBatch)
+	}
+	rel, _, err := ReadRelation("T", strings.NewReader(src))
+	if err != nil || rel.Len() != rows {
+		t.Fatalf("clean re-read after exhausted fault: len=%v err=%v", rel.Len(), err)
+	}
+}

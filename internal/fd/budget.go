@@ -18,12 +18,22 @@ import (
 // instead of an OOM kill.
 type Budget = budget.Budget
 
-// BudgetError carries which limit ("rows" or "bytes") a computation
-// exceeded; it matches ErrBudgetExceeded under errors.Is.
+// BudgetError carries which limit ("rows", "bytes", or "spill") a
+// computation exceeded, plus the spill configuration at abort time; it
+// matches ErrBudgetExceeded under errors.Is.
 type BudgetError = budget.Error
 
 // ErrBudgetExceeded is the sentinel for any budget violation.
 var ErrBudgetExceeded = budget.ErrExceeded
+
+// The spill states a BudgetError reports (see budget.Spill*): whether
+// the abort happened with spilling disabled, enabled-but-unspillable,
+// or with the disk cap itself exceeded.
+const (
+	SpillDisabled = budget.SpillDisabled
+	SpillEnabled  = budget.SpillEnabled
+	SpillDiskCap  = budget.SpillDiskCap
+)
 
 // WithBudget returns a context that enforces b on every D(G)
 // computation (and join) run under it. A zero budget is unlimited

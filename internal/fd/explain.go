@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"clio/internal/budget"
 	"clio/internal/fault"
 	"clio/internal/graph"
 	"clio/internal/obs"
@@ -21,14 +22,21 @@ import (
 // explain ran: the peek's answer no longer describes the rendered
 // result, so reporting it would lie, and the result is not memoized.
 type ExplainResult struct {
-	Algo     string        `json:"algo"`
-	Cache    string        `json:"cache"` // "hit", "miss", "stale", or "disabled"
-	IsTree   bool          `json:"is_tree"`
-	Nodes    int           `json:"nodes"`
-	Subsets  int           `json:"subsets,omitempty"`
-	Tuples   int           `json:"tuples"`
-	Duration time.Duration `json:"-"`
-	Root     *obs.SpanData `json:"-"`
+	Algo    string `json:"algo"`
+	Cache   string `json:"cache"` // "hit", "miss", "stale", or "disabled"
+	IsTree  bool   `json:"is_tree"`
+	Nodes   int    `json:"nodes"`
+	Subsets int    `json:"subsets,omitempty"`
+	Tuples  int    `json:"tuples"`
+	// Spilled reports whether any operator of this run wrote spill
+	// partitions; SpillParts counts the partition files created and
+	// SpillBytes the bytes written to them (cumulative over the run —
+	// the files themselves are removed before the result returns).
+	Spilled    bool          `json:"spilled,omitempty"`
+	SpillParts int64         `json:"spill_parts,omitempty"`
+	SpillBytes int64         `json:"spill_bytes,omitempty"`
+	Duration   time.Duration `json:"-"`
+	Root       *obs.SpanData `json:"-"`
 }
 
 // ExplainCompute computes D(G) like Compute but always executes (never
@@ -59,7 +67,7 @@ func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Insta
 	if err != nil {
 		return nil, err
 	}
-	res.Algo = pickAlgo(res.IsTree, len(subsets), estimate, rowHeadroom(ctx))
+	res.Algo = pickAlgo(res.IsTree, len(subsets), estimate, rowHeadroom(ctx), budget.FromContext(ctx).SpillEnabled())
 	if res.Algo == "abort" {
 		return nil, overBudget(ctx, estimate)
 	}
@@ -73,6 +81,8 @@ func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Insta
 	// (fd.compute) is reachable as a child even when this context
 	// already carries a serving-layer span.
 	ctx, span := obs.StartSpan(ctx, "fd.explain")
+	tr := budget.FromContext(ctx)
+	parts0, written0 := tr.SpillParts(), tr.SpillWritten()
 	start := time.Now()
 	d, err := computeUncached(ctx, g, in)
 	span.End()
@@ -81,6 +91,9 @@ func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Insta
 		return nil, err
 	}
 	res.Tuples = d.Len()
+	res.SpillParts = tr.SpillParts() - parts0
+	res.SpillBytes = tr.SpillWritten() - written0
+	res.Spilled = res.SpillParts > 0
 	if data := span.Data(); data != nil && len(data.Children) > 0 {
 		res.Root = data.Children[0]
 	}

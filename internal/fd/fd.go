@@ -227,38 +227,43 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 	}
 	span.SetInt("subsets", int64(len(subsets)))
 	cSubsets.Add(int64(len(subsets)))
-	tr := budget.FromContext(ctx)
-	padded := relation.New("D(G)", s)
+	sink := newDGSink(budget.FromContext(ctx), s)
 	for _, sub := range subsets {
 		if err := ctx.Err(); err != nil {
+			sink.abort()
 			return nil, err
 		}
-		// Stream each F(J) straight into the padded accumulator: the
+		// Stream each F(J) straight into the accumulator: the
 		// subgraph's final join output is never materialized on its own.
 		plan, err := associationPlan(g, sub)
 		if err != nil {
+			sink.abort()
 			return nil, err
 		}
 		it, err := plan.Open(ctx, in)
 		if err != nil {
+			sink.abort()
 			return nil, err
 		}
-		if err := padInto(it, padded, s, tr); err != nil {
+		if err := padInto(it, sink, s); err != nil {
+			sink.abort()
 			return nil, err
 		}
 	}
-	cPadded.Add(int64(padded.Len()))
-	span.SetInt("padded", int64(padded.Len()))
-	out := relation.RemoveSubsumed(padded.Distinct())
-	out.Name = "D(G)"
+	cPadded.Add(sink.added())
+	span.SetInt("padded", sink.added())
+	out, err := sink.finalize()
+	if err != nil {
+		return nil, err
+	}
 	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }
 
 // padInto drains an iterator, padding every tuple to the D(G) scheme
-// s, charging the tracker per padded tuple, and appending to dst. The
+// s and feeding the accumulator (which charges what it retains). The
 // iterator is closed in all cases.
-func padInto(it algebra.Iterator, dst *relation.Relation, s *relation.Scheme, tr *budget.Tracker) error {
+func padInto(it algebra.Iterator, sink dgSink, s *relation.Scheme) error {
 	defer it.Close()
 	for {
 		batch, err := it.Next()
@@ -269,11 +274,9 @@ func padInto(it algebra.Iterator, dst *relation.Relation, s *relation.Scheme, tr
 			return nil
 		}
 		for _, t := range batch {
-			p := t.PadTo(s)
-			if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+			if err := sink.add(t.PadTo(s)); err != nil {
 				return err
 			}
-			dst.Add(p)
 		}
 	}
 }
@@ -294,10 +297,10 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 	if err != nil {
 		return nil, err
 	}
-	tr := budget.FromContext(ctx)
-	padded := relation.New("D(G)", s)
+	sink := newDGSink(budget.FromContext(ctx), s)
 	for _, sub := range g.ConnectedSubsets() {
 		if err := ctx.Err(); err != nil {
+			sink.abort()
 			return nil, err
 		}
 		j := g.Induced(sub)
@@ -323,15 +326,15 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 		plan := algebra.Select{Child: acc, Pred: expr.And(preds...)}
 		it, err := plan.Open(ctx, in)
 		if err != nil {
+			sink.abort()
 			return nil, err
 		}
-		if err := padInto(it, padded, s, tr); err != nil {
+		if err := padInto(it, sink, s); err != nil {
+			sink.abort()
 			return nil, err
 		}
 	}
-	out := relation.RemoveSubsumed(padded.Distinct())
-	out.Name = "D(G)"
-	return out, nil
+	return sink.finalize()
 }
 
 // FullDisjunctionOuterJoin computes D(G) for a tree query graph as a
@@ -366,8 +369,7 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 	if err != nil {
 		return nil, err
 	}
-	tr := budget.FromContext(ctx)
-	aligned := relation.New("D(G)", s)
+	sink := newDGSink(budget.FromContext(ctx), s)
 	err = func() error {
 		defer it.Close()
 		for {
@@ -379,19 +381,20 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 				return nil
 			}
 			for _, t := range batch {
-				p := t.Project(s)
-				if err := tr.Charge(1, p.ApproxBytes()); err != nil {
+				if err := sink.add(t.Project(s)); err != nil {
 					return err
 				}
-				aligned.Add(p)
 			}
 		}
 	}()
 	if err != nil {
+		sink.abort()
 		return nil, err
 	}
-	out := relation.RemoveSubsumed(aligned.Distinct())
-	out.Name = "D(G)"
+	out, err := sink.finalize()
+	if err != nil {
+		return nil, err
+	}
 	span.SetInt("tuples", int64(out.Len()))
 	return out, nil
 }
@@ -476,7 +479,7 @@ func computeUncached(ctx context.Context, g *graph.QueryGraph, in *relation.Inst
 	if err != nil {
 		return nil, err
 	}
-	algo := pickAlgo(isTree, len(subsets), estimate, rowHeadroom(ctx))
+	algo := pickAlgo(isTree, len(subsets), estimate, rowHeadroom(ctx), budget.FromContext(ctx).SpillEnabled())
 	span.SetStr("algo", algo)
 	var d *relation.Relation
 	switch algo {

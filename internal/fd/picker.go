@@ -71,17 +71,30 @@ func estimateRows(g *graph.QueryGraph, in *relation.Instance, isTree bool) (int6
 
 // pickAlgo chooses the D(G) algorithm for Compute. estimate is a true
 // lower bound on the rows the computation must charge; headroom is the
-// remaining row budget (negative = unlimited).
+// remaining row budget (negative = unlimited); spill reports whether
+// the budget has a spill directory.
 //
 //   - "abort": the lower bound already exceeds the headroom, so the
 //     computation is guaranteed to fail its budget — refuse before
-//     doing any join work.
+//     doing any join work. Never chosen under spill: with a spill
+//     directory the caps bound resident state, charges are refunded as
+//     state moves to disk, and the cumulative lower bound no longer
+//     proves failure.
 //   - "outer_join": tree query graphs.
 //   - "subgraph": cyclic graphs with few connected subsets, or with a
-//     budget too tight to amortize parallel fan-out.
+//     budget too tight to amortize parallel fan-out. Always the cyclic
+//     choice under spill: the parallel variant's workers charge
+//     concurrently against the resident cap and its accumulator
+//     cannot spill, so spilling runs route sequentially.
 //   - "subgraph_parallel": cyclic graphs with many subsets and enough
 //     headroom.
-func pickAlgo(isTree bool, nSubsets int, estimate, headroom int64) string {
+func pickAlgo(isTree bool, nSubsets int, estimate, headroom int64, spill bool) string {
+	if spill {
+		if isTree {
+			return "outer_join"
+		}
+		return "subgraph"
+	}
 	if headroom >= 0 && estimate > headroom {
 		return "abort"
 	}
@@ -158,5 +171,5 @@ func pickDelta(deltaEst, rebuildEst, headroom int64) string {
 // been charged.
 func overBudget(ctx context.Context, estimate int64) error {
 	tr := budget.FromContext(ctx)
-	return &budget.Error{Limit: "rows", Max: tr.Limits().MaxRows, Got: tr.Rows() + estimate}
+	return &budget.Error{Limit: "rows", Max: tr.Limits().MaxRows, Got: tr.Rows() + estimate, Spill: tr.SpillState()}
 }

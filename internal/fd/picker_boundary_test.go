@@ -66,18 +66,18 @@ func TestPickDeltaBoundaryAtHeadroom(t *testing.T) {
 
 func TestPickAlgoBoundaryAtHeadroom(t *testing.T) {
 	// estimate == headroom must not abort.
-	if got := pickAlgo(true, 0, 10, 10); got != "outer_join" {
+	if got := pickAlgo(true, 0, 10, 10, false); got != "outer_join" {
 		t.Errorf("tree at equality routed to %q, want outer_join", got)
 	}
-	if got := pickAlgo(true, 0, 11, 10); got != "abort" {
+	if got := pickAlgo(true, 0, 11, 10, false); got != "abort" {
 		t.Errorf("tree one past headroom routed to %q, want abort", got)
 	}
 	// Parallel demotion: estimate*2 > headroom demotes; equality keeps
 	// the parallel variant.
-	if got := pickAlgo(false, ParallelSubsetThreshold, 5, 10); got != "subgraph_parallel" {
+	if got := pickAlgo(false, ParallelSubsetThreshold, 5, 10, false); got != "subgraph_parallel" {
 		t.Errorf("cyclic at 2*est == headroom routed to %q, want subgraph_parallel", got)
 	}
-	if got := pickAlgo(false, ParallelSubsetThreshold, 6, 10); got != "subgraph" {
+	if got := pickAlgo(false, ParallelSubsetThreshold, 6, 10, false); got != "subgraph" {
 		t.Errorf("cyclic at 2*est > headroom routed to %q, want subgraph", got)
 	}
 }

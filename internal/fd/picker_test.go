@@ -20,22 +20,30 @@ func TestPickAlgoBranches(t *testing.T) {
 		nSubsets int
 		estimate int64
 		headroom int64
+		spill    bool
 		want     string
 	}{
-		{"abort when lower bound exceeds headroom", true, 0, 11, 10, "abort"},
-		{"abort applies to cyclic graphs too", false, many, 11, 10, "abort"},
-		{"tree routes to outer join", true, 0, 10, 10, "outer_join"},
-		{"tree with unlimited budget", true, 0, 1 << 40, -1, "outer_join"},
-		{"cyclic with few subsets stays sequential", false, few, 5, 100, "subgraph"},
-		{"tight budget demotes parallel to sequential", false, many, 60, 100, "subgraph"},
-		{"many subsets with headroom go parallel", false, many, 50, 100, "subgraph_parallel"},
-		{"many subsets with unlimited budget go parallel", false, many, 1 << 40, -1, "subgraph_parallel"},
-		{"zero estimate never aborts", false, few, 0, 0, "subgraph"},
+		{"abort when lower bound exceeds headroom", true, 0, 11, 10, false, "abort"},
+		{"abort applies to cyclic graphs too", false, many, 11, 10, false, "abort"},
+		{"tree routes to outer join", true, 0, 10, 10, false, "outer_join"},
+		{"tree with unlimited budget", true, 0, 1 << 40, -1, false, "outer_join"},
+		{"cyclic with few subsets stays sequential", false, few, 5, 100, false, "subgraph"},
+		{"tight budget demotes parallel to sequential", false, many, 60, 100, false, "subgraph"},
+		{"many subsets with headroom go parallel", false, many, 50, 100, false, "subgraph_parallel"},
+		{"many subsets with unlimited budget go parallel", false, many, 1 << 40, -1, false, "subgraph_parallel"},
+		{"zero estimate never aborts", false, few, 0, 0, false, "subgraph"},
+		// Spill mode: the cumulative lower bound no longer proves
+		// failure (charges refund as state moves to disk), so the
+		// up-front abort is off; parallel is off too (its workers and
+		// accumulator charge cumulatively).
+		{"spill never aborts a tree", true, 0, 11, 10, true, "outer_join"},
+		{"spill never aborts a cyclic graph", false, many, 11, 10, true, "subgraph"},
+		{"spill demotes parallel to sequential", false, many, 5, 1 << 40, true, "subgraph"},
 	}
 	for _, c := range cases {
-		if got := pickAlgo(c.isTree, c.nSubsets, c.estimate, c.headroom); got != c.want {
-			t.Errorf("%s: pickAlgo(%v, %d, %d, %d) = %q, want %q",
-				c.name, c.isTree, c.nSubsets, c.estimate, c.headroom, got, c.want)
+		if got := pickAlgo(c.isTree, c.nSubsets, c.estimate, c.headroom, c.spill); got != c.want {
+			t.Errorf("%s: pickAlgo(%v, %d, %d, %d, %v) = %q, want %q",
+				c.name, c.isTree, c.nSubsets, c.estimate, c.headroom, c.spill, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,205 @@
+package fd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"clio/internal/budget"
+	"clio/internal/expr"
+	"clio/internal/fault"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/spill"
+	"clio/internal/value"
+)
+
+// spillDGCase builds a k-relation workload whose intermediate streams
+// dwarf their distinct front: every (key, v) row is repeated `copies`
+// times, so joins multiply duplicates (copies^k per match) while
+// Distinct/RemoveSubsumed collapse the result back to a few hundred
+// tuples. chain=true wires R0-R1-…; chain=false adds a closing edge,
+// making the graph cyclic so the subgraph-enumeration path runs.
+func spillDGCase(k, keys, copies int, chain bool) (*graph.QueryGraph, *relation.Instance) {
+	sch := schema.NewDatabase()
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("R%d", i)
+		sch.MustAddRelation(schema.NewRelation(names[i],
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindInt},
+		))
+	}
+	in := relation.NewInstance(sch)
+	for i := 0; i < k; i++ {
+		r := in.NewRelationFor(names[i])
+		for key := 0; key < keys; key++ {
+			for v := 0; v < 2; v++ {
+				for c := 0; c < copies; c++ {
+					r.AddValues(value.Int(int64(key)), value.Int(int64(v)))
+				}
+			}
+		}
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	for i := 0; i < k; i++ {
+		g.MustAddNode(names[i], names[i])
+	}
+	for i := 1; i < k; i++ {
+		g.MustAddEdge(names[i-1], names[i], expr.Equals(names[i-1]+".k", names[i]+".k"))
+	}
+	if !chain {
+		g.MustAddEdge(names[0], names[k-1], expr.Equals(names[0]+".k", names[k-1]+".k"))
+	}
+	return g, in
+}
+
+// requireSameDG asserts byte-identical canonical order (Compute sorts
+// by canonical key, so equality must hold position by position).
+func requireSameDG(t *testing.T, got, want *relation.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("spilled D(G) has %d tuples, unlimited has %d", got.Len(), want.Len())
+	}
+	gt, wt := got.Tuples(), want.Tuples()
+	for i := range gt {
+		if gt[i].Key() != wt[i].Key() {
+			t.Fatalf("tuple %d differs:\nspilled   %v\nunlimited %v", i, gt[i], wt[i])
+		}
+	}
+}
+
+// spillDGDifferential runs the case unlimited (measuring cumulative
+// materialization) and then under a spill-enabled resident cap,
+// asserting the pressure was real (cumulative >= 4x the cap, spill
+// engaged) and the results byte-identical.
+func spillDGDifferential(t *testing.T, g *graph.QueryGraph, in *relation.Instance, cap int64) {
+	t.Helper()
+	refCtx := WithBudget(context.Background(), Budget{MaxBytes: 1 << 40})
+	want, err := Compute(refCtx, g, in)
+	if err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	_, cumulative := BudgetUsed(refCtx)
+	if cumulative < 4*cap {
+		t.Fatalf("workload too small: cumulative bytes %d < 4x cap %d — the spill path is not under pressure", cumulative, cap)
+	}
+
+	tr := budget.NewTracker(budget.Budget{MaxBytes: cap, SpillDir: t.TempDir()})
+	got, err := Compute(budget.With(context.Background(), tr), g, in)
+	if err != nil {
+		t.Fatalf("spilled run: %v", err)
+	}
+	if tr.SpillWritten() == 0 {
+		t.Fatal("run under pressure never spilled — the test is vacuous")
+	}
+	if tr.Rows() != 0 && int64(got.Len()) != tr.Rows() {
+		t.Fatalf("post-run resident rows %d, want 0 or the charged front %d", tr.Rows(), got.Len())
+	}
+	if tr.SpillBytes() != 0 {
+		t.Fatalf("spill bytes still resident after completion: %d", tr.SpillBytes())
+	}
+	requireSameDG(t, got, want)
+}
+
+// The acceptance workload: a chain-join D(G) whose intermediate state
+// is well over 4x MaxBytes must complete via spill (outer-join path,
+// grace-hash joins plus the spilling D(G) sink) byte-identical to the
+// unlimited in-memory run.
+func TestBudgetSpillChainDGByteIdentical(t *testing.T) {
+	g, in := spillDGCase(3, 8, 6, true)
+	spillDGDifferential(t, g, in, 131072)
+}
+
+// The same guarantee on a cyclic graph, where the picker must choose
+// sequential subgraph enumeration and the dgAccum spill sink dedups
+// partition by partition before global subsumption.
+func TestBudgetSpillCyclicDGByteIdentical(t *testing.T) {
+	g, in := spillDGCase(3, 8, 6, false)
+	spillDGDifferential(t, g, in, 131072)
+}
+
+// A spill-file fault mid-computation must degrade to a typed abort —
+// matching spill.ErrSpill — with no memo-cache entry, and the next
+// clean computation over the same graph must be exact.
+func TestChaosSpillComputeFaultLeavesCacheClean(t *testing.T) {
+	prev := SetCacheCapacity(8)
+	defer func() { SetCacheCapacity(prev); InvalidateCache() }()
+	InvalidateCache()
+	fault.Enable(1)
+	defer fault.Disable()
+
+	g, in := spillDGCase(3, 8, 6, true)
+	want, err := Compute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	InvalidateCache()
+
+	for _, point := range []string{"spill.write", "spill.read"} {
+		t.Run(point, func(t *testing.T) {
+			fault.Set(point, fault.Spec{Mode: fault.ModeError, After: 40, Times: 1})
+			dir := t.TempDir()
+			tr := budget.NewTracker(budget.Budget{MaxBytes: 131072, SpillDir: dir})
+			_, err := Compute(budget.With(context.Background(), tr), g, in)
+			if !errors.Is(err, spill.ErrSpill) || !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("faulted compute returned %v, want spill.ErrSpill via fault.ErrInjected", err)
+			}
+			key, ok := cacheKey(g, in)
+			if !ok {
+				t.Fatal("no cache key for the test graph")
+			}
+			if cachePeek(key) {
+				t.Fatal("aborted spill computation left a memo-cache entry")
+			}
+			if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+				t.Fatalf("abort leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+			}
+			if left, _ := filepath.Glob(filepath.Join(dir, "clio-spill-*.part")); len(left) != 0 {
+				t.Fatalf("abort left spill files: %v", left)
+			}
+			// The fault point is exhausted: the same budget must now
+			// succeed, and exactly.
+			got, err := Compute(budget.With(context.Background(), budget.NewTracker(budget.Budget{MaxBytes: 131072, SpillDir: dir})), g, in)
+			if err != nil {
+				t.Fatalf("recovery compute: %v", err)
+			}
+			requireSameDG(t, got, want)
+			InvalidateCache()
+		})
+	}
+}
+
+// Disk-full during spill — the MaxSpillBytes cap — must abort with the
+// typed budget error naming the spill limit and disk_cap_exceeded,
+// never a partial result, and must leave the memo cache clean.
+func TestBudgetSpillDiskFullTypedAbort(t *testing.T) {
+	prev := SetCacheCapacity(8)
+	defer func() { SetCacheCapacity(prev); InvalidateCache() }()
+	InvalidateCache()
+
+	g, in := spillDGCase(3, 8, 6, true)
+	dir := t.TempDir()
+	tr := budget.NewTracker(budget.Budget{MaxBytes: 131072, SpillDir: dir, MaxSpillBytes: 4096})
+	_, err := Compute(budget.With(context.Background(), tr), g, in)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("disk-full compute returned %v, want *BudgetError", err)
+	}
+	if be.Limit != "spill" || be.Spill != SpillDiskCap {
+		t.Fatalf("disk-full error = %+v, want limit spill, state %q", be, SpillDiskCap)
+	}
+	if key, ok := cacheKey(g, in); ok && cachePeek(key) {
+		t.Fatal("disk-full abort left a memo-cache entry")
+	}
+	if tr.SpillBytes() != 0 {
+		t.Fatalf("disk-full abort left %d spill bytes resident", tr.SpillBytes())
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "clio-spill-*.part")); len(left) != 0 {
+		t.Fatalf("disk-full abort left spill files: %v", left)
+	}
+}

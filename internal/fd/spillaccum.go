@@ -1,0 +1,201 @@
+package fd
+
+// The D(G) accumulator tier. Every D(G) algorithm funnels its padded
+// candidate tuples through a dgSink; which sink depends on the budget:
+//
+//   - memSink reproduces the original in-memory pipeline exactly —
+//     append everything (charged cumulatively), then one
+//     Distinct + RemoveSubsumed sweep. This is the only sink used when
+//     no spill directory is configured, so non-spill behavior — charge
+//     accounting included — is unchanged.
+//   - dgAccum is the spill-aware accumulator: it dedups eagerly (the
+//     distinct front is what must fit in memory, not the padded
+//     multiset) and, the moment a charge is refused, Grace-hash
+//     partitions its state to temp files by whole-tuple hash. Equal
+//     tuples share a canonical hash, so equal tuples share a partition
+//     and per-partition dedup at finalize time is globally exact. The
+//     deduped survivors feed a SubsumeSet, whose Rel() is already the
+//     canonically-sorted subsumption front — byte-identical to what
+//     memSink's sweep produces for the same multiset.
+//
+// Charge discipline of dgAccum: while accumulating, the retained
+// distinct front is charged (resident accounting); at finalize the
+// accumulator swaps its working charges for one charge of the final
+// front, so the caller ends in the same "result is charged" state as a
+// cache hit. A distinct front that exceeds the in-memory cap even
+// after spilling is a typed abort with spill state "enabled".
+
+import (
+	"clio/internal/budget"
+	"clio/internal/relation"
+	"clio/internal/spill"
+)
+
+// dgSink accumulates padded D(G) candidate tuples and reduces them to
+// the subsumption front. After finalize or abort the sink must not be
+// used again; abort is idempotent and safe after a failed add.
+type dgSink interface {
+	add(t relation.Tuple) error
+	added() int64
+	finalize() (*relation.Relation, error)
+	abort()
+}
+
+// newDGSink picks the accumulator for the tracker's spill mode.
+func newDGSink(tr *budget.Tracker, s *relation.Scheme) dgSink {
+	if tr.SpillEnabled() {
+		return &dgAccum{tr: tr, s: s, seen: map[string]struct{}{}, rel: relation.New("D(G)", s)}
+	}
+	return &memSink{tr: tr, dst: relation.New("D(G)", s)}
+}
+
+// memSink is the cumulative in-memory accumulator (the pre-spill
+// pipeline, verbatim).
+type memSink struct {
+	tr  *budget.Tracker
+	dst *relation.Relation
+	n   int64
+}
+
+func (m *memSink) add(t relation.Tuple) error {
+	if err := m.tr.Charge(1, t.ApproxBytes()); err != nil {
+		return err
+	}
+	m.dst.Add(t)
+	m.n++
+	return nil
+}
+
+func (m *memSink) added() int64 { return m.n }
+
+func (m *memSink) finalize() (*relation.Relation, error) {
+	out := relation.RemoveSubsumed(m.dst.Distinct())
+	out.Name = "D(G)"
+	return out, nil
+}
+
+func (m *memSink) abort() {}
+
+// dgAccum is the spillable accumulator; see the package comment above.
+type dgAccum struct {
+	tr   *budget.Tracker
+	s    *relation.Scheme
+	seen map[string]struct{}
+	rel  *relation.Relation
+	// rows/bytes are the retained in-memory charges.
+	rows, bytes int64
+	parts       *spill.PartitionSet
+	n           int64
+	closed      bool
+}
+
+func (a *dgAccum) add(t relation.Tuple) error {
+	a.n++
+	if a.parts != nil {
+		return a.parts.Add(t)
+	}
+	k := t.Key()
+	if _, ok := a.seen[k]; ok {
+		return nil
+	}
+	b := t.ApproxBytes()
+	if a.roomToRetain(b) {
+		if err := a.tr.Charge(1, b); err == nil {
+			a.seen[k] = struct{}{}
+			a.rel.Add(t)
+			a.rows++
+			a.bytes += b
+			return nil
+		}
+	}
+	// Overflow: move the distinct front to disk, refund its memory, and
+	// keep streaming straight to the partitions (duplicates included —
+	// they collapse again, exactly, at finalize).
+	a.parts = spill.NewPartitionSet(a.tr, spill.DefaultPartitions, nil)
+	for _, u := range a.rel.Tuples() {
+		if err := a.parts.Add(u); err != nil {
+			return err
+		}
+	}
+	a.tr.Refund(a.rows, a.bytes)
+	a.rows, a.bytes = 0, 0
+	a.rel, a.seen = nil, nil
+	return a.parts.Add(t)
+}
+
+// roomToRetain bounds the retained distinct front to a quarter of each
+// in-memory cap. The joins feeding the sink share the same tracker and
+// need headroom for partition loads and output batches — a join load
+// refused mid-replay is a typed abort, not a spill — so the sink must
+// move to disk before it starves them.
+func (a *dgAccum) roomToRetain(b int64) bool {
+	lim := a.tr.Limits()
+	if lim.MaxBytes > 0 && a.bytes+b > lim.MaxBytes/4 {
+		return false
+	}
+	if lim.MaxRows > 0 && a.rows+1 > lim.MaxRows/4 {
+		return false
+	}
+	return true
+}
+
+func (a *dgAccum) added() int64 { return a.n }
+
+func (a *dgAccum) finalize() (*relation.Relation, error) {
+	var out *relation.Relation
+	if a.parts == nil {
+		// Never spilled: rel is already distinct, and RemoveSubsumed
+		// sorts canonically downstream of the caller's SortByKey.
+		out = relation.RemoveSubsumed(a.rel)
+	} else {
+		// Replay the partitions into a subsumption front. Equal tuples
+		// share a partition, so the per-partition seen map is a global
+		// dedup; subsumption crosses partitions (different null masks
+		// hash apart), so the SubsumeSet is global and charged — this is
+		// where a distinct front larger than memory becomes a typed
+		// abort rather than an OOM.
+		set := relation.NewSubsumeSet(a.s)
+		for i := 0; i < a.parts.N(); i++ {
+			seen := map[string]struct{}{}
+			err := a.parts.Read(i, a.s, func(t relation.Tuple) error {
+				k := t.Key()
+				if _, ok := seen[k]; ok {
+					return nil
+				}
+				seen[k] = struct{}{}
+				b := t.ApproxBytes()
+				if err := a.tr.Charge(1, b); err != nil {
+					return err
+				}
+				a.rows++
+				a.bytes += b
+				set.Insert(t)
+				return nil
+			})
+			if err != nil {
+				a.abort()
+				return nil, err
+			}
+		}
+		out = set.Rel("D(G)")
+	}
+	out.Name = "D(G)"
+	// Swap the working charges (distinct front / SubsumeSet contents)
+	// for one charge of the final front the caller retains.
+	a.abort()
+	if err := a.tr.Charge(int64(out.Len()), approxRelationBytes(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// abort refunds the retained charges and removes any partition files.
+func (a *dgAccum) abort() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.tr.Refund(a.rows, a.bytes)
+	a.rows, a.bytes = 0, 0
+	a.parts.Close()
+}

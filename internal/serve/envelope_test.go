@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"clio/internal/fd"
 )
 
 // callRaw issues a request with a verbatim (possibly malformed) body
@@ -100,6 +102,62 @@ func TestAllEndpointsErrorEnvelopes(t *testing.T) {
 	out := mustCall(t, ts, "GET", "/api/sessions/"+id+"/workspaces", nil)
 	if _, ok := out["workspaces"]; !ok {
 		t.Error("session state damaged by malformed requests")
+	}
+}
+
+// Every 413 must name the spill configuration that applied: "disabled"
+// when no spill directory is set (the operator's remedy is -spill-dir),
+// "enabled" when spill ran but could not absorb the state, and
+// "disk_cap_exceeded" when -max-spill-bytes was the binding limit.
+func TestBudget413EnvelopeNamesSpillState(t *testing.T) {
+	cases := []struct {
+		name      string
+		budget    func(t *testing.T) fd.Budget
+		wantLimit string
+		wantSpill string
+	}{
+		{
+			name:      "spill disabled",
+			budget:    func(t *testing.T) fd.Budget { return fd.Budget{MaxRows: 2} },
+			wantLimit: "rows",
+			wantSpill: "disabled",
+		},
+		{
+			name: "spill enabled but state does not fit",
+			budget: func(t *testing.T) fd.Budget {
+				return fd.Budget{MaxBytes: 64, SpillDir: t.TempDir()}
+			},
+			wantLimit: "bytes",
+			wantSpill: "enabled",
+		},
+		{
+			name: "disk cap exceeded",
+			budget: func(t *testing.T) fd.Budget {
+				return fd.Budget{MaxBytes: 64, SpillDir: t.TempDir(), MaxSpillBytes: 1}
+			},
+			wantLimit: "spill",
+			wantSpill: "disk_cap_exceeded",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{Budget: c.budget(t)})
+			id := newPaperSession(t, ts)
+			status, body := call(t, ts, "POST", "/api/sessions/"+id+"/corr",
+				map[string]any{"spec": "Children.ID -> Kids.ID"})
+			if status != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status %d body %v, want 413", status, body)
+			}
+			if body["limit"] != c.wantLimit {
+				t.Errorf("limit = %v, want %q (body %v)", body["limit"], c.wantLimit, body)
+			}
+			if body["spill"] != c.wantSpill {
+				t.Errorf("spill = %v, want %q (body %v)", body["spill"], c.wantSpill, body)
+			}
+			if _, ok := body["error"]; !ok {
+				t.Errorf("413 body missing error envelope: %v", body)
+			}
+		})
 	}
 }
 

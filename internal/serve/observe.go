@@ -45,6 +45,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		"panics":               cPanics.Value(),
 		"budget_rejections":    cBudgetRejected.Value(),
 		"journal_degraded":     obs.GetGauge("clio.journal.degraded").Value(),
+		"spill": map[string]any{
+			"enabled":      s.cfg.Budget.SpillDir != "",
+			"dir":          s.cfg.Budget.SpillDir,
+			"max_bytes":    s.cfg.Budget.MaxSpillBytes,
+			"partitions":   obs.GetCounter("spill.partitions").Value(),
+			"bytes":        obs.GetCounter("spill.bytes").Value(),
+			"spill_aborts": obs.GetCounter("spill.spill_aborts").Value(),
+		},
 		"cache": map[string]any{
 			"entries":   fd.CacheLen(),
 			"capacity":  fd.CacheCapacity(),
@@ -141,6 +149,11 @@ func (s *Server) handleExplain(ctx context.Context, r *http.Request) (any, error
 			"subsets":     res.Subsets,
 			"tuples":      res.Tuples,
 			"duration_us": res.Duration.Microseconds(),
+		}
+		if res.Spilled {
+			body["spilled"] = true
+			body["spill_parts"] = res.SpillParts
+			body["spill_bytes"] = res.SpillBytes
 		}
 		if res.Root != nil {
 			body["plan"] = obs.ToSpanJSON(res.Root)

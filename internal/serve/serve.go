@@ -32,6 +32,7 @@ import (
 	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/schema"
+	"clio/internal/spill"
 	"clio/internal/workspace"
 )
 
@@ -312,6 +313,17 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.routes()
+	if dir := cfg.Budget.SpillDir; dir != "" {
+		// Reclaim spill partitions orphaned by a crash: live partition
+		// files are always removed by their PartitionSet, so anything
+		// matching the pattern at boot is garbage from a kill -9
+		// mid-spill.
+		if n, err := spill.SweepDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: spill sweep of %s failed: %v\n", dir, err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "serve: removed %d orphaned spill file(s) from %s\n", n, dir)
+		}
+	}
 	if cfg.JournalDir != "" {
 		s.replayJournals()
 		s.noteArchivedIDs()
@@ -541,12 +553,26 @@ func (s *Server) handle(name string, h handlerFunc) http.HandlerFunc {
 			case errors.As(err, &be):
 				// Resource budget exceeded: the request asked for more
 				// than the server will materialize. Name the limit so
-				// clients can tell rows from bytes.
+				// clients can tell rows from bytes, and the spill state
+				// so they can tell "enable -spill-dir" from "raise
+				// -max-spill-bytes".
 				status = http.StatusRequestEntityTooLarge
 				cBudgetRejected.Inc()
 				body["limit"] = be.Limit
 				body["max"] = be.Max
 				body["got"] = be.Got
+				spillState := be.Spill
+				if spillState == "" {
+					// Errors built before the spill tier (or outside the
+					// tracker) carry no state; report the request's
+					// configuration.
+					if budget.SpillDir != "" {
+						spillState = fd.SpillEnabled
+					} else {
+						spillState = fd.SpillDisabled
+					}
+				}
+				body["spill"] = spillState
 			case errors.As(err, &he):
 				status = he.status
 			case errors.Is(err, context.DeadlineExceeded):
@@ -632,11 +658,19 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // minBudget combines two budgets field-wise: the tighter non-zero
-// limit wins (zero means unlimited).
+// limit wins (zero means unlimited). The spill directory — a
+// capability, not a limit — carries over from whichever budget has one
+// (the server config in practice; session budgets only tighten caps).
 func minBudget(a, b fd.Budget) fd.Budget {
+	dir := a.SpillDir
+	if dir == "" {
+		dir = b.SpillDir
+	}
 	return fd.Budget{
-		MaxRows:  minLimit(a.MaxRows, b.MaxRows),
-		MaxBytes: minLimit(a.MaxBytes, b.MaxBytes),
+		MaxRows:       minLimit(a.MaxRows, b.MaxRows),
+		MaxBytes:      minLimit(a.MaxBytes, b.MaxBytes),
+		SpillDir:      dir,
+		MaxSpillBytes: minLimit(a.MaxSpillBytes, b.MaxSpillBytes),
 	}
 }
 

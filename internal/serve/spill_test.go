@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clio/internal/fd"
+)
+
+// A server booting with a spill directory must sweep partition files
+// orphaned by a previous crash — temp files named clio-spill-*.part —
+// and must leave everything else in the directory alone.
+func TestServeBootSweepsOrphanedSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	orphans := []string{"clio-spill-111.part", "clio-spill-222.part"}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "operator-notes.txt")
+	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	newTestServer(t, Config{Budget: fd.Budget{MaxBytes: 1 << 30, SpillDir: dir}})
+
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("orphaned spill file %s survived boot", name)
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Error("boot sweep removed an unrelated file from the spill directory")
+	}
+}
+
+// Without a spill directory New must not sweep anything — there is no
+// directory the server owns.
+func TestServeNoSpillDirNoSweep(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, "clio-spill-333.part")
+	if err := os.WriteFile(stray, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newTestServer(t, Config{})
+	if _, err := os.Stat(stray); err != nil {
+		t.Error("a server with no spill dir removed files it does not own")
+	}
+}

@@ -173,6 +173,110 @@ case "$OUT" in *'"events"'*) ;; *) fail "watch response has no events: $OUT" ;; 
 case "$OUT" in *"\"$ROWS_TRACE\""*) ;; *) fail "watch event missing the edit's trace $ROWS_TRACE: $OUT" ;; esac
 case "$OUT" in *'"added"'*) ;; *) fail "watch event reports no added rows: $OUT" ;; esac
 
+# Capacity & degradation: a second server on its own port exercises the
+# spill-vs-abort budget policy end to end — 413 without a spill dir,
+# 200 with byte-identical results when spill absorbs the same pressure,
+# and an orphan sweep after kill -9.
+ADDR2=127.0.0.1:7642
+BASE2="http://$ADDR2"
+LOG2=$(mktemp)
+SDIR=$(mktemp -d)
+PID2=""
+trap 'kill "$PID" "$PID2" 2>/dev/null; rm -rf "$LOG" "$LOG2" "$BIN" "$JDIR" "$SDIR"' EXIT
+
+start_server2() {
+    "$BIN" serve -addr "$ADDR2" -cache 32 "$@" >"$LOG2" 2>&1 &
+    PID2=$!
+    i=0
+    until curl -sf "$BASE2/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "serve-smoke: capacity server did not come up" >&2
+            cat "$LOG2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_server2() {
+    kill "$PID2" 2>/dev/null || true
+    wait "$PID2" 2>/dev/null || true
+    PID2=""
+}
+
+new_session2() {
+    OUT=$(curl -sf -X POST "$BASE2/api/sessions" \
+        -d '{"source":"paper","name":"capacity"}') || fail "capacity session create failed"
+    SID2=$(printf '%s' "$OUT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+    [ -n "$SID2" ] || fail "no capacity session id in: $OUT"
+}
+
+# A mapping plus enough inserted rows that the walk's first full D(G)
+# computation overflows the 128KB resident cap used in the spill leg
+# (rows land before the walk, so the compute — not incremental
+# maintenance — carries the pressure).
+drive_capacity() {
+    curl -sf -X POST "$BASE2/api/sessions/$SID2/corr" \
+        -d '{"spec":"Children.ID -> Kids.ID"}' >/dev/null || fail "capacity corr failed"
+    N=500
+    while [ "$N" -lt 560 ]; do
+        curl -sf -X POST "$BASE2/api/sessions/$SID2/rows" \
+            -d "{\"relation\":\"Children\",\"values\":[\"$N\",\"Kid$N\",\"9\",\"800\",\"801\",\"d9\"]}" \
+            >/dev/null || fail "capacity row insert $N failed"
+        N=$((N + 1))
+    done
+    curl -sf -X POST "$BASE2/api/sessions/$SID2/walk" \
+        -d '{"from":"Children","to":"PhoneDir"}' >/dev/null || fail "capacity walk failed"
+}
+
+# Without a spill directory, an over-budget computation answers 413 and
+# the envelope names the remedy: spill is "disabled".
+start_server2 -max-bytes 192
+new_session2
+BODY413=$(mktemp)
+CODE=$(curl -s -o "$BODY413" -w '%{http_code}' -X POST "$BASE2/api/sessions/$SID2/corr" \
+    -d '{"spec":"Children.ID -> Kids.ID"}')
+[ "$CODE" = "413" ] || { cat "$BODY413" >&2; fail "over-budget corr answered $CODE, want 413"; }
+grep -q '"spill": "disabled"' "$BODY413" || { cat "$BODY413" >&2; fail "413 envelope does not name spill state disabled"; }
+rm -f "$BODY413"
+stop_server2
+
+# Reference run: the same workload with no budget at all.
+start_server2
+new_session2
+drive_capacity
+REF=$(curl -sf "$BASE2/api/sessions/$SID2/examples") || fail "reference examples failed"
+stop_server2
+
+# Spill run: a resident cap the workload exceeds, plus a spill dir. The
+# same requests must answer 200 — not 413 — with byte-identical results.
+start_server2 -max-bytes 131072 -spill-dir "$SDIR"
+new_session2
+drive_capacity
+BODYSP=$(mktemp)
+CODE=$(curl -s -o "$BODYSP" -w '%{http_code}' "$BASE2/api/sessions/$SID2/examples")
+[ "$CODE" = "200" ] || { cat "$BODYSP" >&2; fail "spill-backed examples answered $CODE, want 200"; }
+GOT=$(cat "$BODYSP")
+rm -f "$BODYSP"
+[ "$REF" = "$GOT" ] || fail "spill-backed examples differ from the unlimited reference"
+OUT=$(curl -sf "$BASE2/metrics") || fail "capacity metrics scrape failed"
+printf '%s\n' "$OUT" | grep -q '^clio_spill_partitions_total [1-9]' ||
+    fail "spill leg never spilled: clio_spill_partitions_total not incremented"
+OUT=$(curl -sf "$BASE2/statusz") || fail "capacity statusz failed"
+case "$OUT" in *'"spill_aborts"'*) ;; *) fail "statusz missing spill block: $OUT" ;; esac
+
+# Orphan sweep: kill -9 the spilling server, plant a stale partition
+# file as a crash would leave it, and verify the restarted server
+# removes it on boot.
+kill -9 "$PID2"
+wait "$PID2" 2>/dev/null || true
+: >"$SDIR/clio-spill-77777.part"
+start_server2 -max-bytes 131072 -spill-dir "$SDIR"
+LEFT=$(ls "$SDIR"/clio-spill-*.part 2>/dev/null | wc -l)
+[ "$LEFT" -eq 0 ] || fail "orphaned spill files not swept on boot ($LEFT left)"
+stop_server2
+
 # Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$PID"
 i=0
@@ -184,6 +288,6 @@ while kill -0 "$PID" 2>/dev/null; do
     sleep 0.1
 done
 wait "$PID" || fail "server exited non-zero"
-trap 'rm -rf "$LOG" "$BIN" "$JDIR"' EXIT
+trap 'rm -rf "$LOG" "$LOG2" "$BIN" "$JDIR" "$SDIR"' EXIT
 
 echo "serve-smoke: ok"
