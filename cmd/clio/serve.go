@@ -35,6 +35,7 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	maxBytes := fs.Int64("max-bytes", 0, "per-request approximate byte budget; exceeding answers 413 (0 = unlimited)")
 	spillDir := fs.String("spill-dir", "", "spill directory: operators over the -max-rows/-max-bytes in-memory caps write temp partitions here instead of answering 413 (empty disables)")
 	maxSpillBytes := fs.Int64("max-spill-bytes", 0, "bound on bytes concurrently resident in spill files; exceeding answers 413 (0 = unlimited; needs -spill-dir)")
+	spillRecursion := fs.Int("spill-recursion-depth", 3, "how many times an oversized spill partition may be re-partitioned with a fresh hash salt before answering 413 (recursion_exhausted); 0 disables recursion")
 	sessionMaxRows := fs.Int64("session-max-rows", 0, "per-session request row budget, layered under -max-rows (0 = unlimited)")
 	sessionMaxBytes := fs.Int64("session-max-bytes", 0, "per-session request byte budget, layered under -max-bytes (0 = unlimited)")
 	sessionRPS := fs.Float64("session-rps", 0, "per-session token-bucket rate limit in requests/second (0 disables)")
@@ -71,6 +72,15 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 	if *maxSpillBytes < 0 {
 		return serve.Config{}, 0, fmt.Errorf("clio serve: -max-spill-bytes must be >= 0")
 	}
+	if *spillRecursion < 0 {
+		return serve.Config{}, 0, fmt.Errorf("clio serve: -spill-recursion-depth must be >= 0")
+	}
+	// The budget encodes "disabled" as negative and "default" as zero;
+	// the flag surface uses 0 for disabled and defaults to 3.
+	recursionDepth := *spillRecursion
+	if recursionDepth == 0 {
+		recursionDepth = -1
+	}
 	if *spillDir != "" {
 		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
 			return serve.Config{}, 0, fmt.Errorf("clio serve: -spill-dir: %w", err)
@@ -89,7 +99,7 @@ func parseServeConfig(args []string) (serve.Config, time.Duration, error) {
 		SnapshotEvery:       *snapshotEvery,
 		IdleTTL:             *idleTTL,
 		ArchiveDir:          *archiveDir,
-		Budget:              fd.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes, SpillDir: *spillDir, MaxSpillBytes: *maxSpillBytes},
+		Budget:              fd.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes, SpillDir: *spillDir, MaxSpillBytes: *maxSpillBytes, SpillRecursionDepth: recursionDepth},
 		SessionBudget:       fd.Budget{MaxRows: *sessionMaxRows, MaxBytes: *sessionMaxBytes},
 		SessionRPS:          *sessionRPS,
 		RetryAfter:          *retryAfter,

@@ -592,6 +592,34 @@ func e10() {
 	})
 	row("spill join (128KB cap)", joinRows*2, j.Len(), t, allocs)
 
+	// Skewed spill join: a Zipf-like key distribution (one hot key
+	// holding ~1.5% of each side, the rest spread thin) under a cap
+	// that single-level partitioning cannot satisfy — the hot key's
+	// partition stays oversized until recursive re-partitioning splits
+	// the tail away from it. Quotes the recursion + prefetch overhead
+	// against the uniform spill row above.
+	sl, sr2 := skewedJoinPair(joinRows)
+	skewDir, err := os.MkdirTemp("", "cliobench-skew-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(skewDir)
+	skctx := fd.WithBudget(ctx, fd.Budget{MaxBytes: 96 << 10, SpillDir: skewDir})
+	skewJoin := algebra.Join{Kind: algebra.InnerJoin, On: pred,
+		L: algebra.Select{Child: algebra.Materialized{Label: "L", Rel: sl}, Pred: expr.MustParse("TRUE")},
+		R: algebra.Select{Child: algebra.Materialized{Label: "R", Rel: sr2}, Pred: expr.MustParse("TRUE")},
+	}
+	t, allocs = measureAllocs(func() {
+		it, err := skewJoin.Open(skctx, nil)
+		if err != nil {
+			panic(err)
+		}
+		if j, err = algebra.Drain(it); err != nil {
+			panic(err)
+		}
+	})
+	row("skewed spill join (96KB cap)", joinRows*2, j.Len(), t, allocs)
+
 	// Minimum union: subsumption removal over a null-rich relation.
 	nr := nullRichRelation(muRows, 6, 3)
 	var mu *relation.Relation
@@ -602,6 +630,25 @@ func e10() {
 	var d *relation.Relation
 	t, allocs = measureAllocs(func() { d = nr.Distinct() })
 	row("distinct", muRows, d.Len(), t, allocs)
+}
+
+// skewedJoinPair builds L(k, v) and R(k, w) with one hot key (every
+// 64th row) and a long thin tail, so grace-hash partitioning leaves
+// one partition far above its fair share.
+func skewedJoinPair(rows int) (*relation.Relation, *relation.Relation) {
+	l := relation.New("L", relation.NewScheme("L.k", "L.v"))
+	r := relation.New("R", relation.NewScheme("R.k", "R.w"))
+	key := func(i int) int64 {
+		if i%64 == 0 {
+			return 0
+		}
+		return int64(i%1499 + 1)
+	}
+	for i := 0; i < rows; i++ {
+		l.AddValues(value.Int(key(i)), value.String(fmt.Sprintf("lv%d", i)))
+		r.AddValues(value.Int(key(i)), value.String(fmt.Sprintf("rw%d", i)))
+	}
+	return l, r
 }
 
 // joinPair builds two relations L(k, v) and R(k, w) whose keys overlap

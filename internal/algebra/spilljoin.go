@@ -13,6 +13,16 @@ package algebra
 // sides), so each per-partition joinIter — matches, residual
 // predicates, and outer padding included — is globally exact.
 //
+// Partition pairs are processed off a task queue with one pair of
+// extensions (see graceJoinIter): an oversized pair — skewed keys
+// whose partition exceeds the resident cap — is recursively
+// re-partitioned with a fresh per-depth hash salt up to the budget's
+// recursion limit (then a typed abort naming "recursion_exhausted"),
+// and the next pair is prefetched on a worker goroutine while the
+// current pair joins. The recorded per-partition statistics feed an
+// up-front feasibility check (pairReplayBound) so a provably-doomed
+// replay aborts before paying any partition I/O.
+//
 // Joins with no equi conjunct cannot be hash-partitioned; an
 // over-budget build side there stays a typed abort (the budget error
 // carries spill state "enabled" so operators can tell it apart from
@@ -20,12 +30,19 @@ package algebra
 
 import (
 	"context"
+	"errors"
 
 	"clio/internal/budget"
 	"clio/internal/expr"
+	"clio/internal/fault"
+	"clio/internal/obs"
 	"clio/internal/relation"
 	"clio/internal/spill"
 )
+
+// cPrefetchHits counts partition pairs consumed from the prefetch
+// worker instead of loaded serially (clio_spill_prefetch_hits_total).
+var cPrefetchHits = obs.GetCounter("spill.prefetch_hits")
 
 // spillSide is one sunk join input: fully in memory (rel), in memory
 // partitioned to match a spilled counterpart (groups), or spilled to
@@ -67,7 +84,7 @@ func (sd *spillSide) partitionMem(n int) {
 		groups[i] = relation.New(sd.rel.Name, sd.scheme)
 	}
 	for _, t := range sd.rel.Tuples() {
-		groups[t.HashOn(sd.cols)%uint64(n)].Add(t)
+		groups[spill.Route(t, sd.cols, 0, n)].Add(t)
 	}
 	sd.groups = groups
 }
@@ -232,19 +249,81 @@ func openSpillJoin(ctx context.Context, j Join, in *relation.Instance) (Iterator
 	n := spill.DefaultPartitions
 	span.SetBool("spilled", true)
 	span.SetInt("partitions", int64(n))
+	if left.spilled() {
+		left.parts.RecordStats()
+	}
+	if right.spilled() {
+		right.parts.RecordStats()
+	}
+	if err := pairReplayBound(tr, left, right, n); err != nil {
+		left.close(tr)
+		right.close(tr)
+		span.End()
+		return nil, err
+	}
 	left.partitionMem(n)
 	right.partitionMem(n)
-	return &graceJoinIter{
-		ctx:   ctx,
-		tr:    tr,
-		kind:  j.Kind,
-		on:    j.On,
-		s:     ls.Concat(rs),
-		left:  left,
-		right: right,
-		n:     n,
-		op:    opStats{span: span},
-	}, nil
+	it := &graceJoinIter{
+		ctx:      ctx,
+		tr:       tr,
+		kind:     j.Kind,
+		on:       j.On,
+		s:        ls.Concat(rs),
+		left:     left,
+		right:    right,
+		maxDepth: tr.RecursionLimit(),
+		op:       opStats{span: span},
+	}
+	lim := tr.Limits()
+	it.slackRows, it.slackBytes = lim.MaxRows/8, lim.MaxBytes/8
+	it.queue = make([]pairTask, n)
+	for i := range it.queue {
+		it.queue[i] = pairTask{l: sideSrc(left, i), r: sideSrc(right, i)}
+	}
+	it.pctx, it.pcancel = context.WithCancel(context.Background())
+	it.pch = make(chan prefetched, 1)
+	return it, nil
+}
+
+// pairReplayBound is the picker's up-front spill verdict: from the
+// recorded partition statistics, the largest pair's disk footprint is
+// a certain lower bound on the rows/bytes its replay must charge (one
+// frame is one resident row, and frame bytes are always below the
+// decoded tuple's ApproxBytes). If even the recursion budget cannot
+// divide that pair under the caps, every replay is guaranteed to
+// abort — refuse before paying any partition I/O.
+func pairReplayBound(tr *budget.Tracker, left, right *spillSide, n int) error {
+	var maxRows, maxBytes int64
+	for i := 0; i < n; i++ {
+		var rows, bytes int64
+		for _, sd := range [2]*spillSide{left, right} {
+			if sd.spilled() {
+				rows += int64(sd.parts.Tuples(i))
+				bytes += sd.parts.PartBytes(i)
+			}
+		}
+		if rows > maxRows {
+			maxRows = rows
+		}
+		if bytes > maxBytes {
+			maxBytes = bytes
+		}
+	}
+	limit := tr.RecursionLimit()
+	state := budget.SpillRecursionExhausted
+	if limit == 0 {
+		// Recursion disabled: the refusal is the plain spill-enabled
+		// kind, same as discovering it at load time.
+		state = budget.SpillEnabled
+	}
+	lim := tr.Limits()
+	if d := budget.SpillDepthLowerBound(maxRows, lim.MaxRows, n); d > limit {
+		return &budget.Error{Limit: "rows", Max: lim.MaxRows, Got: tr.Rows() + maxRows, Spill: state}
+	}
+	if d := budget.SpillDepthLowerBound(maxBytes, lim.MaxBytes, n); d > limit {
+		return &budget.Error{Limit: "bytes", Max: lim.MaxBytes, Got: tr.Bytes() + maxBytes, Spill: state}
+	}
+	return nil
 }
 
 func sideScheme(it Iterator, base *relation.Relation) *relation.Scheme {
@@ -269,11 +348,123 @@ func (it *sideReleaseIter) Close() {
 	it.sides[1].close(it.tr)
 }
 
-// graceJoinIter joins two partitioned sides one partition at a time:
-// load partition p of each side (charged), run the standard joinIter
-// on the pair, refund and advance. Matched pairs and outer padding are
-// both per-partition exact because equal keys — and null keys — land
-// in the same partition on both sides.
+// pairSrc is one side of one partition-pair task: either partition idx
+// of a PartitionSet (a spilled side, or a recursive child set) or an
+// in-memory hash group (an unspilled side, possibly a recursive salted
+// sub-split sharing tuple storage with its parent).
+type pairSrc struct {
+	name   string
+	scheme *relation.Scheme
+	cols   []int
+	rel    *relation.Relation  // in-memory group; nil when on disk
+	ps     *spill.PartitionSet // disk source; nil for rel
+	idx    int
+}
+
+// sideSrc builds the depth-0 source for partition i of a sunk side.
+func sideSrc(sd *spillSide, i int) pairSrc {
+	src := pairSrc{name: sd.name, scheme: sd.scheme, cols: sd.cols, idx: i}
+	if sd.spilled() {
+		src.ps = sd.parts
+	} else {
+		src.rel = sd.groups[i]
+	}
+	return src
+}
+
+// load materializes the source as a charged in-memory relation.
+// In-memory groups cost nothing (they share their parent's storage);
+// disk partitions charge each decoded tuple through charge. On error
+// the partial charges are already refunded. A non-nil ctx is checked
+// per tuple so an abandoned prefetch stops promptly.
+func (src *pairSrc) load(tr *budget.Tracker, charge func(rows, bytes int64) error, ctx context.Context) (*relation.Relation, int64, int64, error) {
+	if src.ps == nil {
+		return src.rel, 0, 0, nil
+	}
+	rel := relation.New(src.name, src.scheme)
+	var rows, bytes int64
+	err := src.ps.Read(src.idx, src.scheme, func(t relation.Tuple) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		b := t.ApproxBytes()
+		if err := charge(1, b); err != nil {
+			return err
+		}
+		rows++
+		bytes += b
+		rel.Add(t)
+		return nil
+	})
+	if err != nil {
+		tr.Refund(rows, bytes)
+		return nil, 0, 0, err
+	}
+	return rel, rows, bytes, nil
+}
+
+// pairTask is one pending partition pair at some recursion depth.
+// owner tracks the child PartitionSets the task reads from so they can
+// be closed once every sibling has been joined (nil at depth 0, where
+// the sides themselves own the sets).
+type pairTask struct {
+	l, r  pairSrc
+	depth int
+	owner *childSets
+}
+
+// childSets refcounts the salted child sets produced by one recursion:
+// closed (files removed, disk refunded) when all fan-out siblings have
+// been processed, or at iterator Close.
+type childSets struct {
+	sets      []*spill.PartitionSet
+	remaining int
+	closed    bool
+}
+
+func (c *childSets) close() {
+	if c == nil || c.closed {
+		return
+	}
+	c.closed = true
+	for _, ps := range c.sets {
+		ps.Close()
+	}
+}
+
+// prefetched is one pair load completed by the prefetch worker.
+type prefetched struct {
+	task        pairTask
+	lrel, rrel  *relation.Relation
+	rows, bytes int64
+	err         error
+}
+
+// errPrefetchMiss marks a prefetch load the headroom charge refused —
+// an opportunistic miss, not a budget verdict: the foreground retries
+// the pair with a plain charge.
+var errPrefetchMiss = errors.New("spill: prefetch headroom refused")
+
+// graceJoinIter joins two partitioned sides pair by pair from a task
+// queue: load both halves of the pair (charged), run the standard
+// joinIter, refund, release, advance. Matched pairs and outer padding
+// are per-partition exact because equal keys — and null keys — land in
+// the same partition on both sides at every depth.
+//
+// Two extensions over plain pair-at-a-time:
+//
+//   - Recursion: a pair whose serial load is refused by the budget is
+//     re-partitioned — both halves, with a fresh per-depth salt — into
+//     fan-out child pairs appended to the queue, up to the budget's
+//     recursion limit; past the limit the refusal escalates to a typed
+//     abort naming spill state "recursion_exhausted".
+//   - Overlap: while a pair joins, one worker goroutine loads the next
+//     pair using headroom-bounded charges (never the foreground's
+//     slack), double-buffered through a 1-slot channel. A refused or
+//     faulted prefetch falls back to the serial path; recursion only
+//     ever runs on the foreground with no prefetch in flight.
 type graceJoinIter struct {
 	ctx         context.Context
 	tr          *budget.Tracker
@@ -281,11 +472,21 @@ type graceJoinIter struct {
 	on          expr.Expr
 	s           *relation.Scheme
 	left, right *spillSide
-	n           int
-	p           int
+	maxDepth    int
+	slackRows   int64
+	slackBytes  int64
+	queue       []pairTask
+	owners      []*childSets
+	cur         pairTask
+	curL, curR  *relation.Relation
 	inner       *joinIter
 	loadedRows  int64
 	loadedBytes int64
+	pctx        context.Context
+	pcancel     context.CancelFunc
+	pch         chan prefetched
+	inflight    bool
+	emitted     bool // current pair has produced output (recursion no longer exact)
 	op          opStats
 }
 
@@ -296,12 +497,23 @@ func (it *graceJoinIter) Close() {
 	if it.op.done {
 		return
 	}
+	if it.pcancel != nil {
+		it.pcancel()
+	}
+	if it.inflight {
+		p := <-it.pch
+		it.tr.Refund(p.rows, p.bytes)
+		it.inflight = false
+	}
 	if it.inner != nil {
 		it.inner.Close()
 		it.inner = nil
 	}
 	it.tr.Refund(it.loadedRows, it.loadedBytes)
 	it.loadedRows, it.loadedBytes = 0, 0
+	for _, o := range it.owners {
+		o.close()
+	}
 	it.left.close(it.tr)
 	it.right.close(it.tr)
 	it.op.close()
@@ -313,26 +525,30 @@ func (it *graceJoinIter) Next() ([]relation.Tuple, error) {
 	}
 	for {
 		if it.inner == nil {
-			if it.p >= it.n {
+			lrel, rrel, ok, err := it.nextPair()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
 				return nil, nil
 			}
-			lp, lr, lb, err := it.left.load(it.tr, it.p)
-			if err != nil {
-				return nil, err
-			}
-			rp, rr, rb, err := it.right.load(it.tr, it.p)
-			if err != nil {
-				it.tr.Refund(lr, lb)
-				return nil, err
-			}
-			it.loadedRows, it.loadedBytes = lr+rr, lb+rb
-			it.inner = newJoinIter(it.ctx, nil, it.kind, lp, rp, it.on)
+			it.curL, it.curR = lrel, rrel
+			it.inner = newJoinIter(it.ctx, nil, it.kind, lrel, rrel, it.on)
+			it.emitted = false
 		}
 		batch, err := it.inner.Next()
 		if err != nil {
-			return nil, err
+			rerr, handled := it.recoverInnerBudget(err)
+			if !handled {
+				return nil, err
+			}
+			if rerr != nil {
+				return nil, rerr
+			}
+			continue
 		}
 		if batch != nil {
+			it.emitted = true
 			it.op.observe(batch)
 			return batch, nil
 		}
@@ -340,6 +556,262 @@ func (it *graceJoinIter) Next() ([]relation.Tuple, error) {
 		it.inner = nil
 		it.tr.Refund(it.loadedRows, it.loadedBytes)
 		it.loadedRows, it.loadedBytes = 0, 0
-		it.p++
+		it.releaseTask(it.cur)
 	}
+}
+
+// recoverInnerBudget handles a budget refusal raised by the in-memory
+// join of the current pair before it emitted any output: the pair
+// loaded, but its join state and first output batch cannot coexist
+// with it under the cap — the same condition as a refused load, one
+// batch later. Since nothing was emitted, re-partitioning the pair is
+// still exact, so it recurses (or escalates past the depth limit)
+// exactly like nextPair. handled=false propagates the error unchanged:
+// non-budget failures, disk-cap aborts, recursion disabled, and pairs
+// that already emitted (recursing those would duplicate output).
+func (it *graceJoinIter) recoverInnerBudget(err error) (rerr error, handled bool) {
+	var be *budget.Error
+	if it.emitted || !errors.As(err, &be) || be.Limit == "spill" {
+		return nil, false
+	}
+	if it.inflight {
+		// The squeeze may be the prefetch's resident charges rather
+		// than this pair's own footprint: reclaim the prefetch and
+		// retry the pair with the full budget before concluding it
+		// needs re-partitioning.
+		it.inner.Close()
+		it.reclaimPrefetch()
+		it.inner = newJoinIter(it.ctx, nil, it.kind, it.curL, it.curR, it.on)
+		return nil, true
+	}
+	if it.cur.depth >= it.maxDepth {
+		if it.maxDepth == 0 {
+			return nil, false
+		}
+		return &budget.Error{
+			Limit: be.Limit, Max: be.Max, Got: be.Got,
+			Spill: budget.SpillRecursionExhausted,
+		}, true
+	}
+	it.inner.Close()
+	it.inner = nil
+	it.tr.Refund(it.loadedRows, it.loadedBytes)
+	it.loadedRows, it.loadedBytes = 0, 0
+	it.reclaimPrefetch()
+	if err := it.recurse(it.cur); err != nil {
+		return err, true
+	}
+	return nil, true
+}
+
+// reclaimPrefetch drains an in-flight prefetch and requeues its task
+// at the queue head for a serial retry, refunding anything it loaded.
+// Called before a recursion triggered outside nextPair so
+// re-partitioning never runs concurrently with a prefetch reader.
+func (it *graceJoinIter) reclaimPrefetch() {
+	if !it.inflight {
+		return
+	}
+	p := <-it.pch
+	it.inflight = false
+	it.tr.Refund(p.rows, p.bytes)
+	it.queue = append([]pairTask{p.task}, it.queue...)
+}
+
+// nextPair produces the next loaded partition pair: from the prefetch
+// worker when one is in flight, serially otherwise, recursing on
+// budget refusals until the pair fits or the depth limit is hit.
+func (it *graceJoinIter) nextPair() (*relation.Relation, *relation.Relation, bool, error) {
+	for {
+		var task pairTask
+		var lrel, rrel *relation.Relation
+		var rows, bytes int64
+		var err error
+		fromPrefetch := false
+		if it.inflight {
+			p := <-it.pch
+			it.inflight = false
+			task, lrel, rrel, rows, bytes, err = p.task, p.lrel, p.rrel, p.rows, p.bytes, p.err
+			fromPrefetch = err == nil
+			if cerr := it.ctx.Err(); cerr != nil {
+				it.tr.Refund(rows, bytes)
+				return nil, nil, false, cerr
+			}
+			if errors.Is(err, errPrefetchMiss) {
+				lrel, rrel, rows, bytes, err = it.loadPairSerial(task)
+			}
+		} else {
+			if len(it.queue) == 0 {
+				return nil, nil, false, nil
+			}
+			task = it.queue[0]
+			it.queue = it.queue[1:]
+			lrel, rrel, rows, bytes, err = it.loadPairSerial(task)
+		}
+		if err == nil {
+			it.cur = task
+			it.loadedRows, it.loadedBytes = rows, bytes
+			if fromPrefetch {
+				cPrefetchHits.Inc()
+				it.tr.NotePrefetchHit()
+			}
+			it.startPrefetch()
+			return lrel, rrel, true, nil
+		}
+		// Partial charges were refunded by load. Only an in-memory
+		// budget refusal is recursable: I/O faults, ctx cancellation,
+		// and the disk cap propagate as typed aborts unchanged.
+		var be *budget.Error
+		if !errors.As(err, &be) || be.Limit == "spill" {
+			return nil, nil, false, err
+		}
+		if task.depth >= it.maxDepth {
+			if it.maxDepth == 0 {
+				// Recursion disabled: the plain spill-enabled refusal
+				// (the operator's remedy is -spill-recursion-depth).
+				return nil, nil, false, err
+			}
+			return nil, nil, false, &budget.Error{
+				Limit: be.Limit, Max: be.Max, Got: be.Got,
+				Spill: budget.SpillRecursionExhausted,
+			}
+		}
+		if rerr := it.recurse(task); rerr != nil {
+			return nil, nil, false, rerr
+		}
+	}
+}
+
+func (it *graceJoinIter) loadPairSerial(task pairTask) (*relation.Relation, *relation.Relation, int64, int64, error) {
+	lrel, lr, lb, err := task.l.load(it.tr, it.tr.Charge, nil)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	rrel, rr, rb, err := task.r.load(it.tr, it.tr.Charge, nil)
+	if err != nil {
+		it.tr.Refund(lr, lb)
+		return nil, nil, 0, 0, err
+	}
+	return lrel, rrel, lr + rr, lb + rb, nil
+}
+
+// startPrefetch hands the queue head to the worker goroutine. The
+// worker charges through ChargeHeadroom so it can never consume the
+// slack the foreground join needs for its own output batches, and
+// always sends exactly one result (Close drains it).
+func (it *graceJoinIter) startPrefetch() {
+	if it.inflight || len(it.queue) == 0 {
+		return
+	}
+	task := it.queue[0]
+	it.queue = it.queue[1:]
+	it.inflight = true
+	go func() {
+		if err := fault.Inject("spill.prefetch"); err != nil {
+			it.pch <- prefetched{task: task, err: spill.Fail("prefetch", err)}
+			return
+		}
+		charge := func(rows, bytes int64) error {
+			if !it.tr.ChargeHeadroom(rows, bytes, it.slackRows, it.slackBytes) {
+				return errPrefetchMiss
+			}
+			return nil
+		}
+		lrel, lr, lb, err := task.l.load(it.tr, charge, it.pctx)
+		if err != nil {
+			it.pch <- prefetched{task: task, err: err}
+			return
+		}
+		rrel, rr, rb, err := task.r.load(it.tr, charge, it.pctx)
+		if err != nil {
+			it.tr.Refund(lr, lb)
+			it.pch <- prefetched{task: task, err: err}
+			return
+		}
+		it.pch <- prefetched{task: task, lrel: lrel, rrel: rrel, rows: lr + rr, bytes: lb + rb}
+	}()
+}
+
+// releaseTask retires a completed (or recursed) task, closing its
+// owning child sets once every sibling is done.
+func (it *graceJoinIter) releaseTask(task pairTask) {
+	if task.owner == nil {
+		return
+	}
+	task.owner.remaining--
+	if task.owner.remaining == 0 {
+		task.owner.close()
+	}
+}
+
+// recurse re-partitions both halves of an oversized pair with the next
+// depth's salt and queues the fan-out child pairs. The parent disk
+// partitions are dropped once split (their bytes refunded); in-memory
+// halves split into salted sub-groups sharing the parent's storage.
+// Runs only on the foreground with no prefetch in flight, so no reader
+// races the re-partitioning.
+func (it *graceJoinIter) recurse(task pairTask) error {
+	depth := task.depth + 1
+	salt := spill.DepthSalt(depth)
+	fan := spill.DefaultPartitions
+	owner := &childSets{remaining: fan}
+	split := func(src pairSrc) (*spill.PartitionSet, []*relation.Relation, error) {
+		if src.ps == nil {
+			return nil, splitRelSalted(src.rel, src.scheme, src.cols, fan, salt), nil
+		}
+		child, err := src.ps.Repartition(src.idx, src.scheme, fan, salt)
+		if err != nil {
+			return nil, nil, err
+		}
+		src.ps.DropPart(src.idx)
+		owner.sets = append(owner.sets, child)
+		it.tr.NoteRecursion(depth)
+		return child, nil, nil
+	}
+	lps, lsub, err := split(task.l)
+	if err != nil {
+		owner.close()
+		return err
+	}
+	rps, rsub, err := split(task.r)
+	if err != nil {
+		owner.close()
+		return err
+	}
+	it.owners = append(it.owners, owner)
+	for i := 0; i < fan; i++ {
+		ct := pairTask{depth: depth, owner: owner}
+		ct.l = childSrc(task.l, lps, lsub, i)
+		ct.r = childSrc(task.r, rps, rsub, i)
+		it.queue = append(it.queue, ct)
+	}
+	it.releaseTask(task)
+	return nil
+}
+
+// childSrc derives the child source for fan-out slot i of a recursed
+// parent source.
+func childSrc(parent pairSrc, ps *spill.PartitionSet, sub []*relation.Relation, i int) pairSrc {
+	src := pairSrc{name: parent.name, scheme: parent.scheme, cols: parent.cols, idx: i}
+	if ps != nil {
+		src.ps = ps
+	} else {
+		src.rel = sub[i]
+	}
+	return src
+}
+
+// splitRelSalted splits an in-memory relation into n salted hash
+// groups on cols, with byte-identical routing to a spilled counterpart
+// (spill.Route). The groups share tuple storage with rel, so nothing
+// new is charged.
+func splitRelSalted(rel *relation.Relation, s *relation.Scheme, cols []int, n int, salt uint64) []*relation.Relation {
+	out := make([]*relation.Relation, n)
+	for i := range out {
+		out[i] = relation.New(rel.Name, s)
+	}
+	for _, t := range rel.Tuples() {
+		out[spill.Route(t, cols, salt, n)].Add(t)
+	}
+	return out
 }

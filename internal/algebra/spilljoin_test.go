@@ -211,3 +211,207 @@ func TestChaosSpillJoinReadFaultTypedAbort(t *testing.T) {
 		t.Fatalf("read-faulted join left partition files: %v", left)
 	}
 }
+
+// skewJoinInstance builds L and R with a Zipf-like key distribution:
+// one hot key carrying ~1/64 of each side's mass plus a long tail of
+// ~1500 distinct keys. At ~9x the resident cap with fan-out 16 the
+// average partition pair exceeds the cap, so first-level partitions
+// do not fit and recursive re-partitioning is structural, while the
+// hot key's own mass (which no salt can split) stays small enough
+// that its pair plus one output batch of its cross product fits.
+func skewJoinInstance(t *testing.T, rows int) (*relation.Instance, *relation.Relation, *relation.Relation) {
+	t.Helper()
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("L",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindInt},
+	))
+	sch.MustAddRelation(schema.NewRelation("R",
+		schema.Attribute{Name: "k", Type: value.KindFloat},
+		schema.Attribute{Name: "y", Type: value.KindInt},
+	))
+	in := relation.NewInstance(sch)
+	l := in.NewRelationFor("L")
+	for i := 0; i < rows; i++ {
+		k := fmt.Sprintf("%d", i%1499+1)
+		if i%64 == 0 {
+			k = "0" // the hot key
+		}
+		l.AddRow(k, fmt.Sprintf("%d", i))
+	}
+	in.MustAdd(l)
+	r := in.NewRelationFor("R")
+	for i := 0; i < rows; i++ {
+		k := fmt.Sprintf("%d.0", i%1499+1)
+		if i%64 == 0 {
+			k = "0.0"
+		}
+		r.AddRow(k, fmt.Sprintf("%d", i))
+	}
+	in.MustAdd(r)
+	return in, l, r
+}
+
+// The spill-v2 differential property: a Zipf-skewed join at ~8x the
+// resident cap — which recursion-less spill cannot complete — must,
+// with recursive re-partitioning and prefetch in play, be
+// byte-identical to the unlimited in-memory join, refund every
+// charge, and actually exercise the new machinery (recursions > 0).
+func TestBudgetSpillJoinSkewRecursionDifferential(t *testing.T) {
+	in, l, r := skewJoinInstance(t, 6144)
+	pred := expr.MustParse("L.k = R.k")
+	for _, kind := range []JoinKind{InnerJoin, FullJoin} {
+		label := fmt.Sprintf("%v/skew", kind)
+		want := JoinRelations(kind, l, r, pred)
+		// Each side is ~580KB approximate: ~9x the 64KB cap.
+		ctx, tr := spillCtx(t, 65536)
+		j := Join{Kind: kind, On: pred,
+			L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+			R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+		}
+		it, err := j.Open(ctx, in)
+		if err != nil {
+			t.Fatalf("%s: open: %v", label, err)
+		}
+		got, err := Drain(it)
+		if err != nil {
+			t.Fatalf("%s: drain: %v", label, err)
+		}
+		if tr.SpillParts() == 0 {
+			t.Fatalf("%s: join never spilled — the test is vacuous", label)
+		}
+		if tr.SpillRecursions() == 0 {
+			t.Fatalf("%s: no recursive re-partitioning at 8x the cap — the test is vacuous", label)
+		}
+		if tr.SpillDepth() < 1 {
+			t.Fatalf("%s: SpillDepth = %d, want >= 1", label, tr.SpillDepth())
+		}
+		if n, _, _ := tr.PartitionStats(); n == 0 {
+			t.Fatalf("%s: no partition statistics recorded", label)
+		}
+		if tr.PartitionSkew() < 1 {
+			t.Fatalf("%s: partition skew %f < 1 is impossible", label, tr.PartitionSkew())
+		}
+		requireSameRelation(t, label, got, want)
+		if tr.Rows() != 0 || tr.SpillBytes() != 0 {
+			t.Fatalf("%s: resident charges leaked: rows=%d spill=%d", label, tr.Rows(), tr.SpillBytes())
+		}
+	}
+}
+
+// The same skewed workload with recursion disabled must degrade to the
+// PR 8 behavior: a typed abort whose spill state is plain "enabled"
+// (the remedy is -spill-recursion-depth, and the envelope must not
+// claim recursion was exhausted when it never ran).
+func TestBudgetSpillJoinSkewRecursionOffAborts(t *testing.T) {
+	in, _, _ := skewJoinInstance(t, 6144)
+	tr := budget.NewTracker(budget.Budget{MaxBytes: 65536, SpillDir: t.TempDir(), SpillRecursionDepth: -1})
+	ctx := budget.With(context.Background(), tr)
+	j := Join{Kind: InnerJoin, On: expr.MustParse("L.k = R.k"),
+		L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+		R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+	}
+	it, err := j.Open(ctx, in)
+	if err == nil {
+		_, err = Drain(it)
+	}
+	var be *budget.Error
+	if !errors.As(err, &be) {
+		t.Fatalf("recursion-off skewed join returned %v, want *budget.Error", err)
+	}
+	if be.Spill != budget.SpillEnabled {
+		t.Fatalf("spill state = %q, want %q", be.Spill, budget.SpillEnabled)
+	}
+	if tr.SpillRecursions() != 0 {
+		t.Fatalf("recursion ran %d times with depth disabled", tr.SpillRecursions())
+	}
+	if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+		t.Fatalf("abort leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+	}
+}
+
+// A single key whose tuples alone exceed the cap cannot be split by
+// any number of re-partitionings: recursion must give up at the depth
+// limit with the typed "recursion_exhausted" state, everything
+// refunded, no files left.
+func TestBudgetSpillJoinHotKeyRecursionExhausted(t *testing.T) {
+	sch := schema.NewDatabase()
+	sch.MustAddRelation(schema.NewRelation("L",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "x", Type: value.KindInt},
+	))
+	sch.MustAddRelation(schema.NewRelation("R",
+		schema.Attribute{Name: "k", Type: value.KindInt},
+		schema.Attribute{Name: "y", Type: value.KindInt},
+	))
+	in := relation.NewInstance(sch)
+	l := in.NewRelationFor("L")
+	r := in.NewRelationFor("R")
+	for i := 0; i < 600; i++ {
+		l.AddRow("7", fmt.Sprintf("%d", i)) // every tuple shares one key
+		r.AddRow("7", fmt.Sprintf("%d", i))
+	}
+	in.MustAdd(l)
+	in.MustAdd(r)
+	dir := t.TempDir()
+	tr := budget.NewTracker(budget.Budget{MaxBytes: 4096, SpillDir: dir})
+	ctx := budget.With(context.Background(), tr)
+	j := Join{Kind: InnerJoin, On: expr.MustParse("L.k = R.k"),
+		L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+		R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+	}
+	it, err := j.Open(ctx, in)
+	if err == nil {
+		_, err = Drain(it)
+	}
+	var be *budget.Error
+	if !errors.As(err, &be) {
+		t.Fatalf("hot-key join returned %v, want *budget.Error", err)
+	}
+	if be.Spill != budget.SpillRecursionExhausted {
+		t.Fatalf("spill state = %q, want %q", be.Spill, budget.SpillRecursionExhausted)
+	}
+	if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+		t.Fatalf("abort leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "clio-spill-*.part"))
+	if len(left) != 0 {
+		t.Fatalf("exhausted recursion left partition files: %v", left)
+	}
+}
+
+// A fault at the prefetch point must surface from the join as a typed
+// spill error labeled "prefetch", with every charge refunded and no
+// partition files left — a dead prefetch worker never wedges or leaks.
+func TestChaosSpillJoinPrefetchFaultTypedAbort(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	fault.Set("spill.prefetch", fault.Spec{Mode: fault.ModeError, Times: 1})
+
+	in, _, _ := spillJoinInstance(t, 900)
+	dir := t.TempDir()
+	tr := budget.NewTracker(budget.Budget{MaxBytes: 49152, SpillDir: dir})
+	ctx := budget.With(context.Background(), tr)
+	j := Join{Kind: InnerJoin, On: expr.MustParse("L.k = R.k"),
+		L: Select{Child: NewScan("L", ""), Pred: expr.MustParse("TRUE")},
+		R: Select{Child: NewScan("R", ""), Pred: expr.MustParse("TRUE")},
+	}
+	it, err := j.Open(ctx, in)
+	if err == nil {
+		_, err = Drain(it)
+	}
+	if !errors.Is(err, spill.ErrSpill) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("prefetch fault surfaced as %v, want spill.ErrSpill via fault.ErrInjected", err)
+	}
+	var ioe *spill.IOError
+	if !errors.As(err, &ioe) || ioe.Op != "prefetch" {
+		t.Fatalf("prefetch fault labeled %v, want IOError{Op: prefetch}", err)
+	}
+	if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+		t.Fatalf("prefetch fault leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "clio-spill-*.part"))
+	if len(left) != 0 {
+		t.Fatalf("prefetch fault left partition files: %v", left)
+	}
+}

@@ -41,7 +41,20 @@ type Budget struct {
 	// files (0 = unlimited disk). Exceeding it aborts with a typed
 	// error whose Spill state is "disk_cap_exceeded".
 	MaxSpillBytes int64
+	// SpillRecursionDepth bounds how many times an oversized spill
+	// partition may be re-partitioned with a fresh hash salt before
+	// the operator gives up with a typed abort naming
+	// SpillRecursionExhausted. Zero means DefaultSpillRecursionDepth;
+	// negative disables recursion (an oversized partition aborts
+	// immediately, the pre-recursion behavior).
+	SpillRecursionDepth int
 }
+
+// DefaultSpillRecursionDepth is the recursion bound applied when
+// Budget.SpillRecursionDepth is zero. Each level divides a partition by
+// the fan-out (16), so three levels absorb ~4096× skew over one
+// partition before giving up.
+const DefaultSpillRecursionDepth = 3
 
 // Unlimited reports whether the budget imposes no limit. A spill
 // configuration without an in-memory cap is still unlimited: there is
@@ -60,6 +73,11 @@ const (
 	SpillEnabled = "enabled"
 	// SpillDiskCap: the MaxSpillBytes disk cap itself was exceeded.
 	SpillDiskCap = "disk_cap_exceeded"
+	// SpillRecursionExhausted: an oversized spill partition was
+	// re-partitioned with fresh salts down to the recursion bound and
+	// still exceeded the in-memory cap (a hot key whose tuples alone
+	// cannot fit: salted re-hashing never separates equal keys).
+	SpillRecursionExhausted = "recursion_exhausted"
 )
 
 // ErrExceeded is the sentinel matched by errors.Is for any budget
@@ -110,6 +128,17 @@ type Tracker struct {
 	spill   atomic.Int64
 	parts   atomic.Int64
 	written atomic.Int64
+	// Spill-tier statistics recorded by the partitioning operators so
+	// the picker and EXPLAIN can reason about partition shape without
+	// re-reading the files: per-partition maxima/sums (skew), recursion
+	// events with the deepest level reached, and prefetch hits.
+	partCount     atomic.Int64
+	partMaxTuples atomic.Int64
+	partMaxBytes  atomic.Int64
+	partSumBytes  atomic.Int64
+	recursions    atomic.Int64
+	depthMax      atomic.Int64
+	prefetchHits  atomic.Int64
 }
 
 // NewTracker creates a tracker for the budget. An unlimited budget
@@ -144,6 +173,29 @@ func (t *Tracker) Charge(rows, bytes int64) error {
 		return &Error{Limit: "bytes", Max: t.b.MaxBytes, Got: by, Spill: t.SpillState()}
 	}
 	return nil
+}
+
+// ChargeHeadroom reserves rows/bytes like Charge but refuses — without
+// treating it as a budget violation — unless the post-charge usage
+// stays at least slackRows/slackBytes below the caps. Prefetch workers
+// use it: an opportunistic load must never consume the headroom the
+// foreground join needs for its own output batches, so a refused
+// headroom charge is a cache miss (the caller retries with a plain
+// Charge once it is the foreground), not an abort. The returned bool
+// reports whether the charge was taken.
+func (t *Tracker) ChargeHeadroom(rows, bytes, slackRows, slackBytes int64) bool {
+	if t == nil {
+		return true
+	}
+	r := t.rows.Add(rows)
+	by := t.bytes.Add(bytes)
+	if (t.b.MaxRows > 0 && r > t.b.MaxRows-slackRows) ||
+		(t.b.MaxBytes > 0 && by > t.b.MaxBytes-slackBytes) {
+		t.rows.Add(-rows)
+		t.bytes.Add(-bytes)
+		return false
+	}
+	return true
 }
 
 // Refund returns previously charged rows/bytes to the budget. Only
@@ -233,6 +285,137 @@ func (t *Tracker) SpillWritten() int64 {
 		return 0
 	}
 	return t.written.Load()
+}
+
+// RecursionLimit returns the effective spill recursion depth bound:
+// the configured SpillRecursionDepth, DefaultSpillRecursionDepth when
+// zero, and 0 (recursion disabled) when negative or for a nil tracker.
+func (t *Tracker) RecursionLimit() int {
+	if t == nil {
+		return 0
+	}
+	switch {
+	case t.b.SpillRecursionDepth < 0:
+		return 0
+	case t.b.SpillRecursionDepth == 0:
+		return DefaultSpillRecursionDepth
+	default:
+		return t.b.SpillRecursionDepth
+	}
+}
+
+// NotePartition records one spill partition's final tuple/byte counts
+// so the picker and EXPLAIN can estimate skew and recursion depth
+// without re-reading the files. Safe for concurrent use.
+func (t *Tracker) NotePartition(tuples, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.partCount.Add(1)
+	t.partSumBytes.Add(bytes)
+	atomicMax(&t.partMaxTuples, tuples)
+	atomicMax(&t.partMaxBytes, bytes)
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// PartitionStats returns the recorded partition count and the largest
+// partition's tuple/byte counts.
+func (t *Tracker) PartitionStats() (count, maxTuples, maxBytes int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.partCount.Load(), t.partMaxTuples.Load(), t.partMaxBytes.Load()
+}
+
+// PartitionSkew reports how unbalanced the recorded partitions are:
+// the largest partition's share of the total bytes, scaled by the
+// partition count (1.0 = perfectly uniform, n = everything in one of n
+// partitions). Zero when nothing was recorded.
+func (t *Tracker) PartitionSkew() float64 {
+	if t == nil {
+		return 0
+	}
+	n, _, max := t.PartitionStats()
+	sum := t.partSumBytes.Load()
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(n) / float64(sum)
+}
+
+// NoteRecursion records one re-partitioning event at the given depth
+// (1 = first recursion level).
+func (t *Tracker) NoteRecursion(depth int) {
+	if t == nil {
+		return
+	}
+	t.recursions.Add(1)
+	atomicMax(&t.depthMax, int64(depth))
+}
+
+// SpillRecursions returns how many partitions were re-partitioned.
+func (t *Tracker) SpillRecursions() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.recursions.Load()
+}
+
+// SpillDepth returns the deepest recursion level reached (0 = no
+// partition needed re-partitioning).
+func (t *Tracker) SpillDepth() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.depthMax.Load()
+}
+
+// NotePrefetchHit records one partition pair that was consumed from
+// the prefetch worker instead of being loaded serially.
+func (t *Tracker) NotePrefetchHit() {
+	if t == nil {
+		return
+	}
+	t.prefetchHits.Add(1)
+}
+
+// PrefetchHits returns the recorded prefetch hit count.
+func (t *Tracker) PrefetchHits() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.prefetchHits.Load()
+}
+
+// SpillDepthLowerBound returns a certain lower bound on the recursion
+// depth needed before a partition whose load charges at least `load`
+// units can fit under `cap`: one re-partition level divides a
+// partition across at most `fanout` children, so even a perfectly
+// uniform split leaves a child of at least load/fanout. The bound is
+// exact for rows (one frame = one resident row) and conservative for
+// bytes (frame bytes on disk are always below the resident
+// ApproxBytes of the decoded tuple), so "lower bound > depth limit"
+// proves every recursive replay must fail — the picker may abort
+// before paying the I/O. Returns 0 when cap is unlimited or load
+// already fits.
+func SpillDepthLowerBound(load, cap int64, fanout int) int {
+	if cap <= 0 || fanout < 2 {
+		return 0
+	}
+	d := 0
+	for load > cap && d <= 64 {
+		load = (load + int64(fanout) - 1) / int64(fanout)
+		d++
+	}
+	return d
 }
 
 // Rows returns the total rows charged so far.

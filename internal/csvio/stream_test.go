@@ -152,3 +152,109 @@ func TestChaosStreamFaultMidIngest(t *testing.T) {
 		t.Fatalf("clean re-read after exhausted fault: len=%v err=%v", rel.Len(), err)
 	}
 }
+
+// A column that is all-null through the entire first batch must stay
+// untyped in the mid-stream schema and pick up its kind only when a
+// later batch delivers the first non-null cell — inference is
+// incremental, not first-batch-only.
+func TestStreamAllNullColumnTypedByLaterBatch(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("k,late\n")
+	// First batch (streamBatch rows): `late` is entirely null.
+	for i := 0; i < streamBatch; i++ {
+		fmt.Fprintf(&b, "%d,-\n", i)
+	}
+	// Second batch: first non-null `late` value is a float.
+	for i := streamBatch; i < streamBatch+10; i++ {
+		fmt.Fprintf(&b, "%d,%d.5\n", i, i)
+	}
+	st, err := OpenStream("T", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	batch, err := st.Next()
+	if err != nil || len(batch) != streamBatch {
+		t.Fatalf("first batch: len=%d err=%v", len(batch), err)
+	}
+	if k := st.SchemaRelation().Attrs[1].Type; k != value.KindNull {
+		t.Fatalf("after all-null batch, late inferred as %v, want untyped", k)
+	}
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if k := st.SchemaRelation().Attrs[1].Type; k != value.KindFloat {
+		t.Fatalf("after typed batch, late inferred as %v, want float", k)
+	}
+	// Drain; the final schema must keep the later-batch kind.
+	for {
+		batch, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+	}
+	if k := st.SchemaRelation().Attrs[1].Type; k != value.KindFloat {
+		t.Fatalf("final schema lost the inferred kind: %v", k)
+	}
+}
+
+// When a column's values change kind across batch boundaries, the
+// first non-null kind wins — deterministically, regardless of where
+// the batch boundary falls — and the streamed schema must agree with
+// the materialized ReadRelation schema on the same bytes.
+func TestStreamKindConflictAcrossBatches(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("k,mixed\n")
+	// Batch 1: ints. Batch 2: floats, then strings.
+	for i := 0; i < streamBatch; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i, i)
+	}
+	for i := streamBatch; i < streamBatch+5; i++ {
+		fmt.Fprintf(&b, "%d,%d.25\n", i, i)
+	}
+	for i := streamBatch + 5; i < streamBatch+10; i++ {
+		fmt.Fprintf(&b, "%d,w%d\n", i, i)
+	}
+	src := b.String()
+
+	st, err := OpenStream("T", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var streamed int
+	for {
+		batch, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		streamed += len(batch)
+	}
+	if k := st.SchemaRelation().Attrs[1].Type; k != value.KindInt {
+		t.Fatalf("mixed column inferred as %v, want int (first non-null kind)", k)
+	}
+
+	rel, sr, err := ReadRelation("T", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != streamed {
+		t.Fatalf("materialized %d rows, streamed %d", rel.Len(), streamed)
+	}
+	if sr.Attrs[1].Type != value.KindInt {
+		t.Fatalf("ReadRelation inferred %v, want int — stream and drain diverged", sr.Attrs[1].Type)
+	}
+	// The cells themselves keep their parsed kinds: inference labels
+	// the column, it does not coerce values.
+	last := rel.Tuples()[rel.Len()-1].Get("T.mixed")
+	if last.Kind() != value.KindString {
+		t.Fatalf("last mixed cell parsed as %v, want string", last.Kind())
+	}
+}

@@ -30,9 +30,10 @@ var ErrBudgetExceeded = budget.ErrExceeded
 // the abort happened with spilling disabled, enabled-but-unspillable,
 // or with the disk cap itself exceeded.
 const (
-	SpillDisabled = budget.SpillDisabled
-	SpillEnabled  = budget.SpillEnabled
-	SpillDiskCap  = budget.SpillDiskCap
+	SpillDisabled           = budget.SpillDisabled
+	SpillEnabled            = budget.SpillEnabled
+	SpillDiskCap            = budget.SpillDiskCap
+	SpillRecursionExhausted = budget.SpillRecursionExhausted
 )
 
 // WithBudget returns a context that enforces b on every D(G)

@@ -32,11 +32,23 @@ type ExplainResult struct {
 	// partitions; SpillParts counts the partition files created and
 	// SpillBytes the bytes written to them (cumulative over the run —
 	// the files themselves are removed before the result returns).
-	Spilled    bool          `json:"spilled,omitempty"`
-	SpillParts int64         `json:"spill_parts,omitempty"`
-	SpillBytes int64         `json:"spill_bytes,omitempty"`
-	Duration   time.Duration `json:"-"`
-	Root       *obs.SpanData `json:"-"`
+	Spilled    bool  `json:"spilled,omitempty"`
+	SpillParts int64 `json:"spill_parts,omitempty"`
+	SpillBytes int64 `json:"spill_bytes,omitempty"`
+	// SpillDepth is the deepest recursive re-partitioning level the run
+	// reached (0 = no partition exceeded the resident cap);
+	// SpillRecursions counts re-partitioning events and PrefetchHits
+	// the partition pairs served by the join's prefetch worker.
+	// PartitionSkew is the largest partition's share of the spilled
+	// bytes scaled by the partition count (1 = uniform, n = one hot
+	// partition out of n) — the statistic the picker's up-front
+	// feasibility check consumes.
+	SpillDepth      int64         `json:"spill_depth,omitempty"`
+	SpillRecursions int64         `json:"spill_recursions,omitempty"`
+	PrefetchHits    int64         `json:"prefetch_hits,omitempty"`
+	PartitionSkew   float64       `json:"partition_skew,omitempty"`
+	Duration        time.Duration `json:"-"`
+	Root            *obs.SpanData `json:"-"`
 }
 
 // ExplainCompute computes D(G) like Compute but always executes (never
@@ -94,6 +106,10 @@ func ExplainCompute(ctx context.Context, g *graph.QueryGraph, in *relation.Insta
 	res.SpillParts = tr.SpillParts() - parts0
 	res.SpillBytes = tr.SpillWritten() - written0
 	res.Spilled = res.SpillParts > 0
+	res.SpillDepth = tr.SpillDepth()
+	res.SpillRecursions = tr.SpillRecursions()
+	res.PrefetchHits = tr.PrefetchHits()
+	res.PartitionSkew = tr.PartitionSkew()
 	if data := span.Data(); data != nil && len(data.Children) > 0 {
 		res.Root = data.Children[0]
 	}

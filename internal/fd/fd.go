@@ -227,7 +227,7 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 	}
 	span.SetInt("subsets", int64(len(subsets)))
 	cSubsets.Add(int64(len(subsets)))
-	sink := newDGSink(budget.FromContext(ctx), s)
+	sink := newDGSink(ctx, budget.FromContext(ctx), s)
 	for _, sub := range subsets {
 		if err := ctx.Err(); err != nil {
 			sink.abort()
@@ -297,7 +297,7 @@ func FullDisjunctionNaive(ctx context.Context, g *graph.QueryGraph, in *relation
 	if err != nil {
 		return nil, err
 	}
-	sink := newDGSink(budget.FromContext(ctx), s)
+	sink := newDGSink(ctx, budget.FromContext(ctx), s)
 	for _, sub := range g.ConnectedSubsets() {
 		if err := ctx.Err(); err != nil {
 			sink.abort()
@@ -369,7 +369,7 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 	if err != nil {
 		return nil, err
 	}
-	sink := newDGSink(budget.FromContext(ctx), s)
+	sink := newDGSink(ctx, budget.FromContext(ctx), s)
 	err = func() error {
 		defer it.Close()
 		for {

@@ -166,6 +166,31 @@ func pickDelta(deltaEst, rebuildEst, headroom int64) string {
 	return "rebuild"
 }
 
+// pickSpillReplay chooses the dgAccum finalize strategy from the
+// spill-partition statistics the sinks recorded into the tracker
+// (budget.Tracker.NotePartition), so the route is decided before any
+// replay I/O is paid:
+//
+//   - "parallel": every partition's disk footprint fits the resident
+//     caps, so the optimistic concurrent shard replay is expected to
+//     succeed (a refusal still falls back to serial — the statistics
+//     route, the budget decides).
+//   - "serial": the largest partition's disk footprint already exceeds
+//     a cap, so recursion is likely needed and only the serial path
+//     recurses; attempting the parallel phase first would be wasted
+//     I/O.
+//
+// Unlike the join side (algebra's pairReplayBound), no sound abort
+// verdict exists here: replay charges only the deduplicated
+// subsumption front, which can be arbitrarily smaller than the
+// partition's disk footprint — so this picker routes, never refuses.
+func pickSpillReplay(maxPartBytes, maxPartTuples, capBytes, capRows int64) string {
+	if (capBytes > 0 && maxPartBytes > capBytes) || (capRows > 0 && maxPartTuples > capRows) {
+		return "serial"
+	}
+	return "parallel"
+}
+
 // overBudget builds the typed error for an aborted computation: the
 // same *budget.Error a doomed run would return once estimate rows had
 // been charged.

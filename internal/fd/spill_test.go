@@ -203,3 +203,167 @@ func TestBudgetSpillDiskFullTypedAbort(t *testing.T) {
 		t.Fatalf("disk-full abort left spill files: %v", left)
 	}
 }
+
+// The spill-v2 acceptance workload on the D(G) side: a chain-4 graph
+// whose cumulative materialization is >= 8x the resident cap must
+// complete byte-identical to the unlimited run, with partition
+// statistics recorded for the picker.
+func TestBudgetSpillChain4DGByteIdentical(t *testing.T) {
+	g, in := spillDGCase(4, 8, 3, true)
+	const cap = 131072
+	refCtx := WithBudget(context.Background(), Budget{MaxBytes: 1 << 40})
+	want, err := Compute(refCtx, g, in)
+	if err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	_, cumulative := BudgetUsed(refCtx)
+	if cumulative < 8*cap {
+		t.Fatalf("workload too small: cumulative bytes %d < 8x cap %d", cumulative, cap)
+	}
+	tr := budget.NewTracker(budget.Budget{MaxBytes: cap, SpillDir: t.TempDir()})
+	got, err := Compute(budget.With(context.Background(), tr), g, in)
+	if err != nil {
+		t.Fatalf("spilled run: %v", err)
+	}
+	if tr.SpillWritten() == 0 {
+		t.Fatal("run under pressure never spilled — the test is vacuous")
+	}
+	if n, _, _ := tr.PartitionStats(); n == 0 {
+		t.Fatal("no partition statistics recorded for the picker")
+	}
+	if tr.SpillBytes() != 0 {
+		t.Fatalf("spill bytes still resident after completion: %d", tr.SpillBytes())
+	}
+	requireSameDG(t, got, want)
+}
+
+// subsumptionStream builds the satellite-2 acceptance stream: for each
+// of n keys, six one-column partial tuples followed (in stream order)
+// by one complete tuple that subsumes all six. The distinct multiset
+// is ~7x the final front.
+func subsumptionStream(n int) (*relation.Scheme, []relation.Tuple, int) {
+	s := relation.NewScheme("G.k", "G.c1", "G.c2", "G.c3", "G.c4", "G.c5", "G.c6")
+	var out []relation.Tuple
+	for key := 0; key < n; key++ {
+		k := value.Int(int64(key))
+		full := make([]value.Value, 7)
+		full[0] = k
+		for c := 0; c < 6; c++ {
+			vals := []value.Value{k, value.Null, value.Null, value.Null, value.Null, value.Null, value.Null}
+			vals[c+1] = value.Int(int64(key*10 + c))
+			full[c+1] = vals[c+1]
+			out = append(out, relation.NewTuple(s, vals...))
+		}
+		out = append(out, relation.NewTuple(s, full...))
+	}
+	return s, out, n
+}
+
+// Satellite 2: a stream whose distinct multiset is ~4x the budget but
+// whose subsumption front fits must finalize — which requires the
+// accumulator to refund tuples the SubsumeSet evicts when a
+// later-arriving subsuming tuple displaces them. Against the pre-fix
+// code (evicted entries stay charged) this aborts on the bytes limit.
+func TestBudgetSpillSubsumedFrontRefundsEvictions(t *testing.T) {
+	s, stream, keys := subsumptionStream(60)
+	var total, front int64
+	for _, u := range stream {
+		total += u.ApproxBytes()
+	}
+	for i := 6; i < len(stream); i += 7 {
+		front += stream[i].ApproxBytes()
+	}
+	const cap = 32768
+	if total < 4*cap {
+		t.Fatalf("distinct multiset %d bytes < 4x cap %d — the test is vacuous", total, cap)
+	}
+	if front >= cap {
+		t.Fatalf("front %d does not fit the cap %d — the workload is unsatisfiable", front, cap)
+	}
+
+	// Reference: the unlimited in-memory sink.
+	refTr := budget.NewTracker(budget.Budget{MaxBytes: 1 << 40})
+	ref := newDGSink(context.Background(), refTr, s)
+	for _, u := range stream {
+		if err := ref.add(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := budget.NewTracker(budget.Budget{MaxBytes: cap, SpillDir: t.TempDir()})
+	sink := newDGSink(context.Background(), tr, s)
+	for _, u := range stream {
+		if err := sink.add(u); err != nil {
+			t.Fatalf("add under pressure: %v", err)
+		}
+	}
+	got, err := sink.finalize()
+	if err != nil {
+		t.Fatalf("finalize under pressure: %v (the front fits — an abort means evicted tuples stayed charged)", err)
+	}
+	if tr.SpillWritten() == 0 {
+		t.Fatal("sink never spilled — the test is vacuous")
+	}
+	if got.Len() != keys {
+		t.Fatalf("front has %d tuples, want %d (one complete tuple per key)", got.Len(), keys)
+	}
+	// The sinks return unsorted fronts (Compute sorts downstream).
+	got.SortByKey()
+	want.SortByKey()
+	requireSameDG(t, got, want)
+	if tr.Rows() != int64(keys) {
+		t.Fatalf("post-finalize resident rows %d, want the front's %d", tr.Rows(), keys)
+	}
+	if tr.SpillBytes() != 0 {
+		t.Fatalf("spill bytes resident after finalize: %d", tr.SpillBytes())
+	}
+}
+
+// With recursion disabled, a D(G) replay the budget refuses keeps the
+// plain "enabled" spill state; with the default depth available the
+// sink either completes or names recursion_exhausted — never a bare
+// enabled refusal after recursion actually ran. This pins the serial
+// path's escalation labels.
+func TestBudgetSpillDGRecursionOffKeepsEnabledState(t *testing.T) {
+	s, stream, _ := subsumptionStream(60)
+	// A cap the front itself overflows: finalize must abort whatever
+	// the recursion depth, but the state depends on whether recursion
+	// was available.
+	for _, tc := range []struct {
+		name      string
+		depth     int
+		wantState string
+	}{
+		{"recursion off", -1, budget.SpillEnabled},
+		{"recursion default", 0, budget.SpillRecursionExhausted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := budget.NewTracker(budget.Budget{MaxBytes: 4096, SpillDir: t.TempDir(), SpillRecursionDepth: tc.depth})
+			sink := newDGSink(context.Background(), tr, s)
+			var err error
+			for _, u := range stream {
+				if err = sink.add(u); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				_, err = sink.finalize()
+			}
+			var be *budget.Error
+			if !errors.As(err, &be) {
+				t.Fatalf("over-front sink returned %v, want *budget.Error", err)
+			}
+			if be.Spill != tc.wantState {
+				t.Fatalf("spill state = %q, want %q", be.Spill, tc.wantState)
+			}
+			sink.abort()
+			if tr.Rows() != 0 || tr.Bytes() != 0 || tr.SpillBytes() != 0 {
+				t.Fatalf("abort leaked charges: rows=%d bytes=%d spill=%d", tr.Rows(), tr.Bytes(), tr.SpillBytes())
+			}
+		})
+	}
+}

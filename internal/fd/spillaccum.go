@@ -19,13 +19,29 @@ package fd
 //     memSink's sweep produces for the same multiset.
 //
 // Charge discipline of dgAccum: while accumulating, the retained
-// distinct front is charged (resident accounting); at finalize the
-// accumulator swaps its working charges for one charge of the final
-// front, so the caller ends in the same "result is charged" state as a
-// cache hit. A distinct front that exceeds the in-memory cap even
-// after spilling is a typed abort with spill state "enabled".
+// distinct front is charged (resident accounting); replay charges only
+// tuples the SubsumeSet actually keeps — an arrival it subsumes away
+// is never charged and entries it evicts are refunded immediately
+// (InsertPruning reports them), so residency tracks the maximal front,
+// not the distinct multiset. At finalize the accumulator swaps its
+// working charges for one charge of the final front, so the caller
+// ends in the same "result is charged" state as a cache hit.
+//
+// Finalize replays the partitions in parallel when the recorded
+// partition statistics say they fit (pickSpillReplay): per-worker
+// shard sets merged into the global front at the end, all-or-nothing —
+// any budget refusal discards the shards and falls back to the serial
+// path. The serial path recursively re-partitions a partition that
+// still exceeds the cap with a fresh per-depth salt, up to the
+// budget's recursion limit; past it the abort is typed with spill
+// state "recursion_exhausted".
 
 import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
 	"clio/internal/budget"
 	"clio/internal/relation"
 	"clio/internal/spill"
@@ -41,10 +57,11 @@ type dgSink interface {
 	abort()
 }
 
-// newDGSink picks the accumulator for the tracker's spill mode.
-func newDGSink(tr *budget.Tracker, s *relation.Scheme) dgSink {
+// newDGSink picks the accumulator for the tracker's spill mode. ctx
+// bounds the (possibly parallel) finalize replay.
+func newDGSink(ctx context.Context, tr *budget.Tracker, s *relation.Scheme) dgSink {
 	if tr.SpillEnabled() {
-		return &dgAccum{tr: tr, s: s, seen: map[string]struct{}{}, rel: relation.New("D(G)", s)}
+		return &dgAccum{ctx: ctx, tr: tr, s: s, seen: map[string]struct{}{}, rel: relation.New("D(G)", s)}
 	}
 	return &memSink{tr: tr, dst: relation.New("D(G)", s)}
 }
@@ -78,6 +95,7 @@ func (m *memSink) abort() {}
 
 // dgAccum is the spillable accumulator; see the package comment above.
 type dgAccum struct {
+	ctx  context.Context
 	tr   *budget.Tracker
 	s    *relation.Scheme
 	seen map[string]struct{}
@@ -85,8 +103,11 @@ type dgAccum struct {
 	// rows/bytes are the retained in-memory charges.
 	rows, bytes int64
 	parts       *spill.PartitionSet
-	n           int64
-	closed      bool
+	// children holds recursive re-partition sets created during the
+	// serial replay; closed with the parent on abort.
+	children []*spill.PartitionSet
+	n        int64
+	closed   bool
 }
 
 func (a *dgAccum) add(t relation.Tuple) error {
@@ -148,34 +169,12 @@ func (a *dgAccum) finalize() (*relation.Relation, error) {
 		// sorts canonically downstream of the caller's SortByKey.
 		out = relation.RemoveSubsumed(a.rel)
 	} else {
-		// Replay the partitions into a subsumption front. Equal tuples
-		// share a partition, so the per-partition seen map is a global
-		// dedup; subsumption crosses partitions (different null masks
-		// hash apart), so the SubsumeSet is global and charged — this is
-		// where a distinct front larger than memory becomes a typed
-		// abort rather than an OOM.
+		a.parts.RecordStats()
 		set := relation.NewSubsumeSet(a.s)
-		for i := 0; i < a.parts.N(); i++ {
-			seen := map[string]struct{}{}
-			err := a.parts.Read(i, a.s, func(t relation.Tuple) error {
-				k := t.Key()
-				if _, ok := seen[k]; ok {
-					return nil
-				}
-				seen[k] = struct{}{}
-				b := t.ApproxBytes()
-				if err := a.tr.Charge(1, b); err != nil {
-					return err
-				}
-				a.rows++
-				a.bytes += b
-				set.Insert(t)
-				return nil
-			})
-			if err != nil {
-				a.abort()
-				return nil, err
-			}
+		err := a.replay(set)
+		if err != nil {
+			a.abort()
+			return nil, err
 		}
 		out = set.Rel("D(G)")
 	}
@@ -189,7 +188,220 @@ func (a *dgAccum) finalize() (*relation.Relation, error) {
 	return out, nil
 }
 
-// abort refunds the retained charges and removes any partition files.
+// replay reduces the spilled partitions into set, routed by the picker:
+// the optimistic parallel shard phase when the recorded partition
+// statistics say the partitions fit the cap, the recursion-capable
+// serial path otherwise — and as the fallback whenever the parallel
+// phase hits a budget refusal (its concurrent charges are optimistic;
+// a refusal discards the shards, never the computation).
+func (a *dgAccum) replay(set *relation.SubsumeSet) error {
+	_, maxTuples, maxBytes := a.tr.PartitionStats()
+	lim := a.tr.Limits()
+	w := finalizeWorkers(a.parts.N())
+	if w > 1 && pickSpillReplay(maxBytes, maxTuples, lim.MaxBytes, lim.MaxRows) == "parallel" {
+		err := a.replayParallel(set, w)
+		if err == nil {
+			return nil
+		}
+		var be *budget.Error
+		if !errors.As(err, &be) || be.Limit == "spill" {
+			return err
+		}
+	}
+	return a.replaySerial(set)
+}
+
+// finalizeWorkers bounds the parallel replay fan-out.
+func finalizeWorkers(parts int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w > parts {
+		w = parts
+	}
+	return w
+}
+
+// dgShard is one parallel replay worker's private state.
+type dgShard struct {
+	set         *relation.SubsumeSet
+	rows, bytes int64
+	err         error
+}
+
+// replayParallel replays the partitions across w workers, each
+// reducing its share into a private shard set (charged), then merges
+// the shards into global. All-or-nothing: any worker error refunds
+// every shard and returns — on a budget refusal the caller retries
+// serially from a clean slate (global is untouched until every worker
+// succeeded). Equal tuples live in exactly one partition, so shards
+// never hold cross-shard duplicates and the merge only resolves
+// subsumption between shards.
+func (a *dgAccum) replayParallel(global *relation.SubsumeSet, w int) error {
+	ctx, cancel := context.WithCancel(a.ctx)
+	defer cancel()
+	shards := make([]dgShard, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			sh := &shards[wi]
+			sh.set = relation.NewSubsumeSet(a.s)
+			for p := wi; p < a.parts.N(); p += w {
+				if err := a.replayPartition(ctx, a.parts, p, sh.set, &sh.rows, &sh.bytes); err != nil {
+					sh.err = err
+					cancel() // stop the other workers promptly
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var budgetErr, otherErr error
+	for i := range shards {
+		switch err := shards[i].err; {
+		case err == nil:
+		case errors.Is(err, budget.ErrExceeded):
+			if budgetErr == nil {
+				budgetErr = err
+			}
+		case errors.Is(err, context.Canceled) && a.ctx.Err() == nil:
+			// Secondary: our own cancel after another worker failed.
+		default:
+			if otherErr == nil {
+				otherErr = err
+			}
+		}
+	}
+	if budgetErr != nil || otherErr != nil {
+		for i := range shards {
+			a.tr.Refund(shards[i].rows, shards[i].bytes)
+		}
+		if otherErr != nil {
+			return otherErr
+		}
+		return budgetErr
+	}
+	for i := range shards {
+		a.rows += shards[i].rows
+		a.bytes += shards[i].bytes
+	}
+	// Merge: every shard entry is already charged; an entry another
+	// shard's tuple subsumes — on arrival or by eviction — is refunded.
+	// The merge itself charges nothing, so it cannot fail.
+	for i := range shards {
+		for _, t := range shards[i].set.Rel("shard").Tuples() {
+			displaced, inserted := global.InsertPruning(t)
+			for _, d := range displaced {
+				a.tr.Refund(1, d.ApproxBytes())
+				a.rows--
+				a.bytes -= d.ApproxBytes()
+			}
+			if !inserted {
+				a.tr.Refund(1, t.ApproxBytes())
+				a.rows--
+				a.bytes -= t.ApproxBytes()
+			}
+		}
+	}
+	return nil
+}
+
+// replaySerial replays the partitions one at a time into set off a
+// task queue: a partition whose replay is refused by the budget is
+// re-partitioned with the next depth's salt and its children queued,
+// up to the budget's recursion limit; past it the refusal escalates to
+// a typed abort naming spill state "recursion_exhausted". Tuples a
+// partial replay already inserted stay charged — the child replay
+// re-encounters them as duplicates (equal tuples co-locate under every
+// salt) and never double-charges.
+func (a *dgAccum) replaySerial(set *relation.SubsumeSet) error {
+	limit := a.tr.RecursionLimit()
+	type task struct {
+		ps    *spill.PartitionSet
+		idx   int
+		depth int
+	}
+	queue := make([]task, 0, a.parts.N())
+	for i := 0; i < a.parts.N(); i++ {
+		queue = append(queue, task{a.parts, i, 0})
+	}
+	for len(queue) > 0 {
+		tk := queue[0]
+		queue = queue[1:]
+		err := a.replayPartition(a.ctx, tk.ps, tk.idx, set, &a.rows, &a.bytes)
+		if err == nil {
+			continue
+		}
+		var be *budget.Error
+		if !errors.As(err, &be) || be.Limit == "spill" {
+			return err
+		}
+		if tk.depth >= limit {
+			if limit == 0 {
+				// Recursion disabled: the plain spill-enabled refusal.
+				return err
+			}
+			return &budget.Error{Limit: be.Limit, Max: be.Max, Got: be.Got, Spill: budget.SpillRecursionExhausted}
+		}
+		child, rerr := tk.ps.Repartition(tk.idx, a.s, spill.DefaultPartitions, spill.DepthSalt(tk.depth+1))
+		if rerr != nil {
+			return rerr
+		}
+		tk.ps.DropPart(tk.idx)
+		a.children = append(a.children, child)
+		a.tr.NoteRecursion(tk.depth + 1)
+		for i := 0; i < child.N(); i++ {
+			queue = append(queue, task{child, i, tk.depth + 1})
+		}
+	}
+	return nil
+}
+
+// replayPartition replays one partition of ps into set, charging what the
+// set keeps. Equal tuples share a partition, so the per-partition seen
+// map dedups exactly; InsertPruning both drops subsumed arrivals
+// (never charged) and evicts entries the arrival subsumes (refunded on
+// the spot — satellite fix for evicted-but-still-charged residency).
+// A charge refusal removes the just-inserted tuple again so residency
+// equals charges; any front tuple its eviction orphaned is restored by
+// the recursive child replay that re-delivers the refused tuple.
+func (a *dgAccum) replayPartition(ctx context.Context, ps *spill.PartitionSet, idx int, set *relation.SubsumeSet, rows, bytes *int64) error {
+	seen := map[string]struct{}{}
+	return ps.Read(idx, a.s, func(t relation.Tuple) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			return nil
+		}
+		seen[k] = struct{}{}
+		displaced, inserted := set.InsertPruning(t)
+		for _, d := range displaced {
+			b := d.ApproxBytes()
+			a.tr.Refund(1, b)
+			*rows--
+			*bytes -= b
+		}
+		if !inserted {
+			return nil
+		}
+		b := t.ApproxBytes()
+		if err := a.tr.Charge(1, b); err != nil {
+			set.Delete(t)
+			return err
+		}
+		*rows++
+		*bytes += b
+		return nil
+	})
+}
+
+// abort refunds the retained charges and removes any partition files,
+// recursive children included.
 func (a *dgAccum) abort() {
 	if a.closed {
 		return
@@ -198,4 +410,8 @@ func (a *dgAccum) abort() {
 	a.tr.Refund(a.rows, a.bytes)
 	a.rows, a.bytes = 0, 0
 	a.parts.Close()
+	for _, c := range a.children {
+		c.Close()
+	}
+	a.children = nil
 }

@@ -221,6 +221,55 @@ func (s *SubsumeSet) Insert(t Tuple) {
 	})
 }
 
+// InsertPruning adds one occurrence of t in insert-only accumulation
+// mode: a strictly-subsumed arrival is dropped instead of stored, and
+// the entries t strictly subsumes are physically evicted and returned,
+// so the set's residency tracks its maximal front rather than the full
+// distinct multiset. inserted reports whether t now lives in the set
+// (false for duplicates, which only bump the existing count, and for
+// subsumed arrivals).
+//
+// Soundness of the pruning: subsumption is transitive, so anything a
+// dropped arrival would later have subsumed is also subsumed by
+// whichever live tuple dropped it, and anything an evicted entry
+// subsumed is subsumed by its evictor — the surviving entries are
+// exactly the maximal front at every step. The pruning erases the
+// history Delete-time promotion needs, so a set built with
+// InsertPruning must not be mixed with Delete-based maintenance
+// (delta maintenance keeps using Insert/Delete).
+func (s *SubsumeSet) InsertPruning(t Tuple) (displaced []Tuple, inserted bool) {
+	g := s.group(t.NonNullMask())
+	h := t.Hash64()
+	if e := g.find(h, t); e != nil {
+		e.count++
+		return nil, false
+	}
+	if s.subsumedBy(g, t) {
+		return nil, false
+	}
+	e := &ssEntry{t: t, key: t.Key(), count: 1, maximal: true}
+	g.add(h, e)
+	if len(g.positions) > 0 {
+		s.liveNonNull++
+	}
+	// Collect first, then remove: eachSubsumed iterates the very
+	// buckets removal mutates.
+	var victims []*ssEntry
+	var homes []*ssGroup
+	s.eachSubsumed(g, t, func(h *ssGroup, sub *ssEntry) {
+		victims = append(victims, sub)
+		homes = append(homes, h)
+	})
+	for i, v := range victims {
+		homes[i].remove(v.t.Hash64(), v)
+		if len(homes[i].positions) > 0 {
+			s.liveNonNull--
+		}
+		displaced = append(displaced, v.t)
+	}
+	return displaced, true
+}
+
 // Delete removes one occurrence of t from the multiset. It reports an
 // inconsistency (tuple not present) via the return value so callers can
 // fall back to a rebuild rather than silently diverge.

@@ -136,3 +136,64 @@ func TestSubsumeSetAllNullLifecycle(t *testing.T) {
 		t.Fatalf("all-null tuple not re-promoted after delete: %d rows", got)
 	}
 }
+
+// InsertPruning unit coverage for the three spill-replay paths: exact
+// duplicates bump the count without displacing, tuples subsumed on
+// arrival are rejected, and an arriving tuple evicts every live entry
+// it subsumes — returning each exactly once so the caller can refund
+// its budget charges.
+func TestSubsumeSetInsertPruningPaths(t *testing.T) {
+	s := NewScheme("a", "b", "c")
+	tup := func(vs ...value.Value) Tuple { return NewTuple(s, vs...) }
+	i := func(n int64) value.Value { return value.Int(n) }
+
+	set := NewSubsumeSet(s)
+
+	// Fresh maximal tuple: inserted, nothing displaced.
+	partial := tup(i(1), value.Null, value.Null)
+	if d, ok := set.InsertPruning(partial); !ok || len(d) != 0 {
+		t.Fatalf("fresh insert: displaced=%v inserted=%v", d, ok)
+	}
+
+	// Exact duplicate: not inserted, nothing displaced, Len unchanged.
+	if d, ok := set.InsertPruning(tup(i(1), value.Null, value.Null)); ok || len(d) != 0 {
+		t.Fatalf("duplicate insert: displaced=%v inserted=%v", d, ok)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("len after duplicate = %d, want 1", set.Len())
+	}
+
+	// A second incomparable partial, then a complete tuple subsuming
+	// both: both must come back displaced (once each) and leave the set.
+	other := tup(value.Null, i(2), value.Null)
+	if _, ok := set.InsertPruning(other); !ok {
+		t.Fatal("incomparable partial rejected")
+	}
+	complete := tup(i(1), i(2), i(3))
+	d, ok := set.InsertPruning(complete)
+	if !ok || len(d) != 2 {
+		t.Fatalf("subsuming insert: displaced=%d inserted=%v, want 2 displaced", len(d), ok)
+	}
+	seen := map[string]bool{}
+	for _, v := range d {
+		seen[v.Key()] = true
+	}
+	if !seen[partial.Key()] || !seen[other.Key()] {
+		t.Fatalf("displaced set %v missing a victim", d)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("len after eviction = %d, want 1", set.Len())
+	}
+
+	// Subsumed on arrival: rejected with no displacement, even though
+	// the arriving tuple is novel.
+	if d, ok := set.InsertPruning(tup(i(1), value.Null, i(3))); ok || len(d) != 0 {
+		t.Fatalf("subsumed arrival: displaced=%v inserted=%v", d, ok)
+	}
+
+	// The surviving front is exactly the complete tuple.
+	front := set.Rel("r")
+	if front.Len() != 1 || !front.Tuples()[0].Equal(complete) {
+		t.Fatalf("front = %v, want just %v", front.Tuples(), complete)
+	}
+}

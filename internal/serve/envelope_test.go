@@ -107,8 +107,11 @@ func TestAllEndpointsErrorEnvelopes(t *testing.T) {
 
 // Every 413 must name the spill configuration that applied: "disabled"
 // when no spill directory is set (the operator's remedy is -spill-dir),
-// "enabled" when spill ran but could not absorb the state, and
-// "disk_cap_exceeded" when -max-spill-bytes was the binding limit.
+// "enabled" when spill ran, could not absorb the state, and recursion
+// was off (the remedy is -spill-recursion-depth), "recursion_exhausted"
+// when recursive re-partitioning also could not make a partition fit
+// (the remedy is -max-bytes), and "disk_cap_exceeded" when
+// -max-spill-bytes was the binding limit.
 func TestBudget413EnvelopeNamesSpillState(t *testing.T) {
 	cases := []struct {
 		name      string
@@ -123,12 +126,22 @@ func TestBudget413EnvelopeNamesSpillState(t *testing.T) {
 			wantSpill: "disabled",
 		},
 		{
-			name: "spill enabled but state does not fit",
+			name: "spill enabled but state does not fit, recursion off",
 			budget: func(t *testing.T) fd.Budget {
-				return fd.Budget{MaxBytes: 64, SpillDir: t.TempDir()}
+				return fd.Budget{MaxBytes: 64, SpillDir: t.TempDir(), SpillRecursionDepth: -1}
 			},
 			wantLimit: "bytes",
 			wantSpill: "enabled",
+		},
+		{
+			name: "recursion exhausted",
+			budget: func(t *testing.T) fd.Budget {
+				// A 64-byte cap cannot hold even one tuple, so salted
+				// re-partitioning runs to the depth limit and gives up.
+				return fd.Budget{MaxBytes: 64, SpillDir: t.TempDir()}
+			},
+			wantLimit: "bytes",
+			wantSpill: "recursion_exhausted",
 		},
 		{
 			name: "disk cap exceeded",

@@ -49,9 +49,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"enabled":      s.cfg.Budget.SpillDir != "",
 			"dir":          s.cfg.Budget.SpillDir,
 			"max_bytes":    s.cfg.Budget.MaxSpillBytes,
-			"partitions":   obs.GetCounter("spill.partitions").Value(),
-			"bytes":        obs.GetCounter("spill.bytes").Value(),
-			"spill_aborts": obs.GetCounter("spill.spill_aborts").Value(),
+			"partitions":    obs.GetCounter("spill.partitions").Value(),
+			"bytes":         obs.GetCounter("spill.bytes").Value(),
+			"spill_aborts":  obs.GetCounter("spill.spill_aborts").Value(),
+			"recursions":    obs.GetCounter("spill.recursions").Value(),
+			"prefetch_hits": obs.GetCounter("spill.prefetch_hits").Value(),
 		},
 		"cache": map[string]any{
 			"entries":   fd.CacheLen(),
@@ -154,6 +156,10 @@ func (s *Server) handleExplain(ctx context.Context, r *http.Request) (any, error
 			body["spilled"] = true
 			body["spill_parts"] = res.SpillParts
 			body["spill_bytes"] = res.SpillBytes
+			body["spill_depth"] = res.SpillDepth
+			body["spill_recursions"] = res.SpillRecursions
+			body["prefetch_hits"] = res.PrefetchHits
+			body["partition_skew"] = res.PartitionSkew
 		}
 		if res.Root != nil {
 			body["plan"] = obs.ToSpanJSON(res.Root)

@@ -666,11 +666,18 @@ func minBudget(a, b fd.Budget) fd.Budget {
 	if dir == "" {
 		dir = b.SpillDir
 	}
+	// Recursion depth rides with whichever budget supplies the spill
+	// capability (session budgets only tighten row/byte caps).
+	depth := a.SpillRecursionDepth
+	if a.SpillDir == "" {
+		depth = b.SpillRecursionDepth
+	}
 	return fd.Budget{
-		MaxRows:       minLimit(a.MaxRows, b.MaxRows),
-		MaxBytes:      minLimit(a.MaxBytes, b.MaxBytes),
-		SpillDir:      dir,
-		MaxSpillBytes: minLimit(a.MaxSpillBytes, b.MaxSpillBytes),
+		MaxRows:             minLimit(a.MaxRows, b.MaxRows),
+		MaxBytes:            minLimit(a.MaxBytes, b.MaxBytes),
+		SpillDir:            dir,
+		MaxSpillBytes:       minLimit(a.MaxSpillBytes, b.MaxSpillBytes),
+		SpillRecursionDepth: depth,
 	}
 }
 

@@ -56,6 +56,7 @@ var (
 	cPartitions = obs.GetCounter("spill.partitions")
 	cBytes      = obs.GetCounter("spill.bytes")
 	cAborts     = obs.GetCounter("spill.spill_aborts")
+	cRecursions = obs.GetCounter("spill.recursions")
 )
 
 // ErrSpill is the sentinel matched by errors.Is for any spill I/O
@@ -65,7 +66,7 @@ var ErrSpill = errors.New("spill: I/O failure")
 // IOError is a typed spill-tier failure: which operation failed and
 // why. It matches ErrSpill under errors.Is.
 type IOError struct {
-	Op  string // "create", "write", "read", "decode"
+	Op  string // "create", "write", "flush", "read", "decode", "repartition", "prefetch"
 	Err error
 }
 
@@ -83,6 +84,12 @@ func abort(op string, err error) error {
 	return &IOError{Op: op, Err: err}
 }
 
+// Fail wraps an operation failure as a typed *IOError and counts it
+// with the spill aborts — for spill-tier stages that live outside this
+// package (e.g. the join's prefetch worker) but must surface the same
+// typed, ErrSpill-matching errors.
+func Fail(op string, err error) error { return abort(op, err) }
+
 // partition is one temp file of framed tuples.
 type partition struct {
 	f      *os.File
@@ -94,12 +101,15 @@ type partition struct {
 // PartitionSet hash-partitions a tuple stream across n temp files in
 // dir. Files are created lazily (an empty partition costs nothing),
 // charged against the tracker's spill cap as frames are written, and
-// removed — with the charges refunded — on Close. Not safe for
-// concurrent use.
+// removed — with the charges refunded — on Close. Writes (Add/AddTo)
+// are not safe for concurrent use; Read opens its own file handle per
+// call, so reads of distinct partitions may run concurrently with each
+// other and with writes to other partitions.
 type PartitionSet struct {
 	dir    string
 	tr     *budget.Tracker
-	cols   []int // hash positions; nil hashes the whole tuple
+	cols   []int  // hash positions; nil hashes the whole tuple
+	salt   uint64 // mixed into the routing hash; 0 for top-level sets
 	parts  []*partition
 	buf    []byte
 	closed bool
@@ -109,10 +119,60 @@ type PartitionSet struct {
 // directory, routed by the tuple values at cols (nil/empty = whole
 // tuple). No files exist until the first Add.
 func NewPartitionSet(tr *budget.Tracker, n int, cols []int) *PartitionSet {
+	return NewSaltedPartitionSet(tr, n, cols, 0)
+}
+
+// NewSaltedPartitionSet is NewPartitionSet with an explicit routing
+// salt. Recursive re-partitioning uses a fresh salt per depth so an
+// oversized partition — all of whose tuples collide under the parent's
+// modulo — re-splits across the children; equal tuples (and equal key
+// values) still co-locate at every depth because the salt is mixed
+// into the canonical hash, not the values.
+func NewSaltedPartitionSet(tr *budget.Tracker, n int, cols []int, salt uint64) *PartitionSet {
 	if n < 1 {
 		n = 1
 	}
-	return &PartitionSet{dir: tr.SpillDir(), tr: tr, cols: cols, parts: make([]*partition, n)}
+	return &PartitionSet{dir: tr.SpillDir(), tr: tr, cols: cols, salt: salt, parts: make([]*partition, n)}
+}
+
+// DepthSalt returns the routing salt for recursion depth d (0 for the
+// top level, a fixed odd multiplier per level below — any non-zero
+// value decorrelates the child modulo from the parent's).
+func DepthSalt(d int) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d) * 0x9e3779b97f4a7c15
+}
+
+// Route returns the partition index tuple t routes to among n
+// partitions hashed on cols (nil/empty = whole tuple) with the given
+// salt. Exported so in-memory sides of a join can split their groups
+// with byte-identical routing to a spilled counterpart.
+//
+// The xor-shift finalizer before the modulo is load-bearing: the
+// canonical hashes (and MixUint64) use only xor and multiplication,
+// which preserve congruences mod powers of two — with the power-of-2
+// fan-out, a salted child index would otherwise be a pure permutation
+// of the parent's and recursion could never split an oversized
+// partition. The shifts fold high bits into the low bits the modulo
+// reads, decorrelating the child split from the parent's.
+func Route(t relation.Tuple, cols []int, salt uint64, n int) int {
+	var h uint64
+	if len(cols) > 0 {
+		h = t.HashOn(cols)
+	} else {
+		h = t.Hash64()
+	}
+	if salt != 0 {
+		h = value.MixUint64(h, salt)
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(n))
 }
 
 // N returns the partition fan-out.
@@ -162,13 +222,7 @@ func (ps *PartitionSet) Created() int {
 // Index returns the partition tuple t routes to. Equal tuples (and,
 // with cols set, tuples with equal key values) share an index.
 func (ps *PartitionSet) Index(t relation.Tuple) int {
-	var h uint64
-	if len(ps.cols) > 0 {
-		h = t.HashOn(ps.cols)
-	} else {
-		h = t.Hash64()
-	}
-	return int(h % uint64(len(ps.parts)))
+	return Route(t, ps.cols, ps.salt, len(ps.parts))
 }
 
 // Add routes t to its partition and appends one frame.
@@ -213,18 +267,29 @@ func (ps *PartitionSet) AddTo(i int, t relation.Tuple) error {
 // Read replays partition i in write order, decoding each frame over
 // scheme s and passing it to visit. A visit error stops the read and
 // is returned as-is; I/O and corruption surface as *IOError.
+//
+// The read goes through its own read-only file handle: the retained
+// write handle (and its bufio.Writer) never moves, so interleaving
+// AddTo after a Read — full or abandoned partway — appends at the
+// correct offset. Recursive re-partitioning depends on exactly that
+// interleaving.
 func (ps *PartitionSet) Read(i int, s *relation.Scheme, visit func(relation.Tuple) error) error {
 	p := ps.parts[i]
 	if p == nil {
 		return nil
 	}
-	if err := p.w.Flush(); err != nil {
-		return abort("write", err)
+	if err := fault.Inject("spill.flush"); err != nil {
+		return abort("flush", err)
 	}
-	if _, err := p.f.Seek(0, io.SeekStart); err != nil {
+	if err := p.w.Flush(); err != nil {
+		return abort("flush", err)
+	}
+	f, err := os.Open(p.f.Name())
+	if err != nil {
 		return abort("read", err)
 	}
-	r := bufio.NewReader(p.f)
+	defer f.Close()
+	r := bufio.NewReader(f)
 	var head [8]byte
 	var payload []byte
 	for n := 0; n < p.tuples; n++ {
@@ -255,6 +320,61 @@ func (ps *PartitionSet) Read(i int, s *relation.Scheme, visit func(relation.Tupl
 		}
 	}
 	return nil
+}
+
+// Repartition re-splits partition i across a fresh salted child set
+// with fan-out n, leaving the parent partition intact. Equal tuples
+// co-locate in exactly one child (the salt is mixed into the canonical
+// hash), so per-child dedup/joins stay globally exact. The child is
+// the caller's to Close; on error it is already closed. Callers
+// typically DropPart(i) afterward to reclaim the parent's disk.
+func (ps *PartitionSet) Repartition(i int, s *relation.Scheme, n int, salt uint64) (*PartitionSet, error) {
+	if err := fault.Inject("spill.repartition"); err != nil {
+		return nil, abort("repartition", err)
+	}
+	child := NewSaltedPartitionSet(ps.tr, n, ps.cols, salt)
+	err := ps.Read(i, s, func(t relation.Tuple) error { return child.Add(t) })
+	if err != nil {
+		child.Close()
+		return nil, err
+	}
+	cRecursions.Inc()
+	return child, nil
+}
+
+// DropPart removes partition i's file and refunds its disk charge
+// without closing the set: once a partition has been re-partitioned
+// into a child set its parent copy is dead weight. Reading or writing
+// a dropped partition afterward treats it as empty.
+func (ps *PartitionSet) DropPart(i int) {
+	p := ps.parts[i]
+	if p == nil {
+		return
+	}
+	name := p.f.Name()
+	p.f.Close()
+	os.Remove(name)
+	ps.tr.RefundSpill(p.bytes)
+	ps.parts[i] = nil
+}
+
+// PartBytes returns the frame bytes written to partition i.
+func (ps *PartitionSet) PartBytes(i int) int64 {
+	if ps.parts[i] == nil {
+		return 0
+	}
+	return ps.parts[i].bytes
+}
+
+// RecordStats publishes each created partition's final tuple/byte
+// counts into the tracker's spill statistics (the picker's and
+// EXPLAIN's inputs). Call once per set, after sinking completes.
+func (ps *PartitionSet) RecordStats() {
+	for _, p := range ps.parts {
+		if p != nil {
+			ps.tr.NotePartition(int64(p.tuples), p.bytes)
+		}
+	}
 }
 
 // Close removes every partition file and refunds the spill charges.

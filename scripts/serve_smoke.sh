@@ -249,9 +249,10 @@ drive_capacity
 REF=$(curl -sf "$BASE2/api/sessions/$SID2/examples") || fail "reference examples failed"
 stop_server2
 
-# Spill run: a resident cap the workload exceeds, plus a spill dir. The
-# same requests must answer 200 — not 413 — with byte-identical results.
-start_server2 -max-bytes 131072 -spill-dir "$SDIR"
+# Spill run: a resident cap the workload exceeds, plus a spill dir and
+# an explicit recursion depth for oversized partitions. The same
+# requests must answer 200 — not 413 — with byte-identical results.
+start_server2 -max-bytes 131072 -spill-dir "$SDIR" -spill-recursion-depth 3
 new_session2
 drive_capacity
 BODYSP=$(mktemp)
@@ -265,6 +266,7 @@ printf '%s\n' "$OUT" | grep -q '^clio_spill_partitions_total [1-9]' ||
     fail "spill leg never spilled: clio_spill_partitions_total not incremented"
 OUT=$(curl -sf "$BASE2/statusz") || fail "capacity statusz failed"
 case "$OUT" in *'"spill_aborts"'*) ;; *) fail "statusz missing spill block: $OUT" ;; esac
+case "$OUT" in *'"recursions"'*) ;; *) fail "statusz missing spill recursion counter: $OUT" ;; esac
 
 # Orphan sweep: kill -9 the spilling server, plant a stale partition
 # file as a crash would leave it, and verify the restarted server
