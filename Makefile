@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck check bench bench-core bench-smoke demo serve-smoke chaos
+.PHONY: build test race vet staticcheck check bench bench-core bench-diff bench-smoke demo serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -51,10 +51,21 @@ bench:
 bench-core:
 	$(GO) run ./cmd/cliobench -exp E10 -json BENCH_core.json
 
+# bench-diff is the regression gate: a fresh full-size E10 run
+# compared cell-by-cell against the committed BENCH_core.json medians,
+# failing on any >25% regression. Run it before committing a core
+# change; refresh the baseline with bench-core when a change is
+# intentional.
+bench-diff:
+	$(GO) run ./cmd/cliobench -exp E10 -diff BENCH_core.json
+
 # bench-smoke runs each E10 workload exactly once — a fast liveness
-# check that the benchmark harness itself still works.
+# check that the benchmark harness itself still works — and diffs the
+# run against the committed baseline in structural mode (every
+# baseline cell must still exist; timings are not enforced at smoke
+# sizes).
 bench-smoke:
-	$(GO) run ./cmd/cliobench -exp E10 -quick -once
+	$(GO) run ./cmd/cliobench -exp E10 -quick -once -diff BENCH_core.json
 
 demo:
 	$(GO) run ./cmd/cliodemo

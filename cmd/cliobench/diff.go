@@ -1,0 +1,100 @@
+package main
+
+// Bench regression gate (`make bench-diff`): compare the run that just
+// finished against a committed baseline BENCH_core.json, cell by cell,
+// and fail on a >25% median regression in any timed cell. Cells join
+// on (experiment id, row label, column header); labels are stable
+// across sweep sizes, so the same join works in quick mode.
+//
+// In -quick/-once mode the sweep sizes differ from the committed
+// full-size baseline, so timings are not comparable: the gate degrades
+// to a structural check (every baseline cell must still exist in the
+// fresh run — catching dropped or renamed workloads) and the timing
+// columns print as informational only. `make check` runs that mode;
+// `make bench-diff` runs the full-size enforcing one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// diffThreshold is the enforced regression budget: a fresh median more
+// than 25% above the baseline median fails the gate.
+const diffThreshold = 0.25
+
+// runDiff compares the in-memory docs of the completed run against the
+// baseline file. enforce=false (quick mode) checks structure only.
+func runDiff(baselinePath string, enforce bool) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench-diff: %w", err)
+	}
+	var base []expDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench-diff: parse %s: %w", baselinePath, err)
+	}
+
+	// Index the fresh run's timed cells by (experiment, row, col).
+	type key struct{ id, row, col string }
+	fresh := map[key]stats{}
+	ran := map[string]bool{}
+	for _, d := range docs {
+		ran[d.ID] = true
+		for _, s := range d.Stats {
+			fresh[key{d.ID, s.Row, s.Col}] = s.stats
+		}
+	}
+
+	mode := "enforcing"
+	if !enforce {
+		mode = "structural (quick run vs full-size baseline; timings informational)"
+	}
+	fmt.Fprintf(out, "\n## bench-diff vs %s — %s\n\n", baselinePath, mode)
+	fmt.Fprintf(out, "| cell | baseline | fresh | delta |\n|---|---|---|---|\n")
+
+	var missing, regressed int
+	for _, bd := range base {
+		if !ran[bd.ID] {
+			// Baseline covers experiments this invocation didn't run
+			// (e.g. -exp E10 against a full sweep): skip, don't fail.
+			continue
+		}
+		for _, bs := range bd.Stats {
+			k := key{bd.ID, bs.Row, bs.Col}
+			fs, ok := fresh[k]
+			if !ok {
+				missing++
+				fmt.Fprintf(out, "| %s / %s | %s | MISSING | — |\n",
+					bs.Row, bs.Col, bs.Median.Round(time.Microsecond))
+				continue
+			}
+			delta := float64(fs.Median-bs.Median) / float64(bs.Median)
+			mark := ""
+			if enforce && delta > diffThreshold {
+				regressed++
+				mark = " **REGRESSION**"
+			}
+			fmt.Fprintf(out, "| %s / %s | %s | %s | %+.1f%%%s |\n",
+				bs.Row, bs.Col,
+				bs.Median.Round(time.Microsecond), fs.Median.Round(time.Microsecond),
+				delta*100, mark)
+			delete(fresh, k)
+		}
+	}
+	// Cells the baseline has never seen are fine (new workloads land in
+	// the next committed baseline) but worth surfacing.
+	for k := range fresh {
+		fmt.Fprintf(out, "| %s / %s | — | new cell | — |\n", k.row, k.col)
+	}
+
+	if missing > 0 {
+		return fmt.Errorf("bench-diff: %d baseline cell(s) missing from the fresh run (workload dropped or renamed)", missing)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("bench-diff: %d cell(s) regressed more than %.0f%% vs %s", regressed, diffThreshold*100, baselinePath)
+	}
+	fmt.Fprintf(out, "\nbench-diff: ok\n")
+	return nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeBaseline marshals docs-shaped baseline content to a temp file.
+func writeBaseline(t *testing.T, base []expDoc) string {
+	t.Helper()
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func diffDoc(median time.Duration) expDoc {
+	return expDoc{
+		ID: "E10",
+		Stats: []statEntry{
+			{Row: "hash join", Col: "time", stats: stats{Median: median}},
+		},
+	}
+}
+
+func TestRunDiffPassAndRegression(t *testing.T) {
+	var b bytes.Buffer
+	old := out
+	out = &b
+	defer func() { out = old }()
+	savedDocs := docs
+	defer func() { docs = savedDocs }()
+
+	// Fresh run at 1ms vs baseline 1ms: within threshold, passes.
+	docs = []expDoc{diffDoc(time.Millisecond)}
+	base := writeBaseline(t, []expDoc{diffDoc(time.Millisecond)})
+	if err := runDiff(base, true); err != nil {
+		t.Fatalf("identical medians failed the gate: %v", err)
+	}
+
+	// 24% slower: still inside the 25% budget.
+	docs = []expDoc{diffDoc(1240 * time.Microsecond)}
+	if err := runDiff(base, true); err != nil {
+		t.Fatalf("24%% regression failed the gate: %v", err)
+	}
+
+	// 30% slower: fails in enforcing mode, passes in structural mode.
+	docs = []expDoc{diffDoc(1300 * time.Microsecond)}
+	b.Reset()
+	err := runDiff(base, true)
+	if err == nil {
+		t.Fatal("30% regression passed the enforcing gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("regression error = %v", err)
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("regressed cell not marked in output:\n%s", b.String())
+	}
+	if err := runDiff(base, false); err != nil {
+		t.Fatalf("structural mode enforced timings: %v", err)
+	}
+}
+
+func TestRunDiffMissingCellFails(t *testing.T) {
+	var b bytes.Buffer
+	old := out
+	out = &b
+	defer func() { out = old }()
+	savedDocs := docs
+	defer func() { docs = savedDocs }()
+
+	// Baseline has a cell the fresh run lacks: fails even in
+	// structural mode (a workload was dropped or renamed).
+	base := writeBaseline(t, []expDoc{{
+		ID: "E10",
+		Stats: []statEntry{
+			{Row: "hash join", Col: "time", stats: stats{Median: time.Millisecond}},
+			{Row: "vanished workload", Col: "time", stats: stats{Median: time.Millisecond}},
+		},
+	}})
+	docs = []expDoc{diffDoc(time.Millisecond)}
+	if err := runDiff(base, false); err == nil {
+		t.Fatal("missing baseline cell passed the structural gate")
+	} else if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing-cell error = %v", err)
+	}
+
+	// Baseline experiments the invocation didn't run are skipped.
+	base = writeBaseline(t, []expDoc{
+		diffDoc(time.Millisecond),
+		{ID: "E3", Stats: []statEntry{{Row: "other", Col: "time", stats: stats{Median: time.Millisecond}}}},
+	})
+	if err := runDiff(base, true); err != nil {
+		t.Fatalf("unran baseline experiment failed the gate: %v", err)
+	}
+}

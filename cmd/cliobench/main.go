@@ -39,6 +39,7 @@ var (
 	quick    = flag.Bool("quick", false, "smaller sweeps")
 	once     = flag.Bool("once", false, "run each measured phase exactly once (smoke mode)")
 	jsonPath = flag.String("json", "", "write per-experiment stats and engine metric snapshots to `file`")
+	diffPath = flag.String("diff", "", "compare this run's medians against baseline `file` and fail on >25% regression (structural check only under -quick/-once)")
 )
 
 // out is the harness output sink; tests redirect it.
@@ -55,6 +56,11 @@ func main() {
 		// span trees so each stats record can name its slowest run.
 		obs.SetEnabled(true)
 		obs.SetExporter(obs.NewTraceBuffer(16, obs.CurrentExporter()))
+	}
+	if *diffPath != "" && *exp == "" {
+		// The committed baseline covers the core experiment; diffing a
+		// full sweep would compare mostly-unbaselined cells.
+		*exp = "E10"
 	}
 	all := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4,
@@ -76,6 +82,12 @@ func main() {
 	if err := writeJSON(); err != nil {
 		fmt.Fprintln(os.Stderr, "cliobench:", err)
 		os.Exit(1)
+	}
+	if *diffPath != "" {
+		if err := runDiff(*diffPath, !*quick && !*once); err != nil {
+			fmt.Fprintln(os.Stderr, "cliobench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -204,8 +216,9 @@ func writeJSON() error {
 
 func header(id, title string, cols ...string) {
 	finishDoc()
-	if *jsonPath != "" {
-		// Metrics in each document cover exactly one experiment.
+	if *jsonPath != "" || *diffPath != "" {
+		// Metrics in each document cover exactly one experiment (the
+		// diff gate also needs the per-cell stats collected into docs).
 		obs.ResetDefault()
 		curDoc = &expDoc{ID: id, Title: title, Columns: cols}
 	}

@@ -152,6 +152,11 @@ type Join struct {
 	Kind JoinKind
 	L, R Node
 	On   expr.Expr
+	// EstRows is the planner's estimated output cardinality (0 =
+	// unplanned). It does not affect execution; the operator span
+	// reports it next to the actual row count so EXPLAIN can show
+	// est vs. actual per operator.
+	EstRows int64
 }
 
 // Open streams the join: both children are materialized (a join is a
@@ -166,6 +171,9 @@ func (j Join) Open(ctx context.Context, in *relation.Instance) (Iterator, error)
 	}
 	ctx, span := openOp(ctx, "op.join")
 	span.SetStr("kind", j.Kind.String())
+	if j.EstRows > 0 {
+		span.SetInt("est_rows", j.EstRows)
+	}
 	l, err := materializeChild(ctx, j.L, in)
 	if err != nil {
 		span.End()

@@ -1,6 +1,7 @@
 package algebra_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -84,5 +85,65 @@ func TestHashJoinProbeAllocsDoNotScalePerTuple(t *testing.T) {
 	})
 	if allocs >= n/4 {
 		t.Errorf("no-match hash join allocated %.0f times for %d probes — scales per tuple", allocs, n)
+	}
+}
+
+// vecInstance wraps relations into an instance for the columnar
+// pipeline entry points.
+func vecInstance(rels ...*relation.Relation) *relation.Instance {
+	in := relation.NewInstance(nil)
+	for _, r := range rels {
+		in.MustAdd(r)
+	}
+	return in
+}
+
+// The vectorized distinct kernel over n heavily-duplicated rows must
+// allocate O(survivors), not O(n): per-tuple work is hash mixing over
+// column vectors plus open-addressed probes, none of which allocate.
+func TestVecDistinctAllocsDoNotScalePerTuple(t *testing.T) {
+	const n = 4096
+	r := stringRelation("R", n, 64) // 64 copies per key: 64 survivors
+	in := vecInstance(r)
+	n1 := algebra.Distinct{Child: algebra.NewScan("R", "")}
+	allocs := testing.AllocsPerRun(5, func() {
+		it, err := algebra.OpenVec(context.Background(), n1, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := algebra.DrainVec(it); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= n/4 {
+		t.Errorf("vectorized distinct allocated %.0f times for %d rows — scales per tuple", allocs, n)
+	}
+}
+
+// The partitioned columnar join's probe loop over n no-match probes
+// must not allocate per probe: partition routing and bucket probes run
+// on preallocated vectors, and an empty match set emits nothing.
+func TestVecJoinProbeAllocsDoNotScalePerTuple(t *testing.T) {
+	const n = 4096
+	l := stringRelation("L", n, 1)
+	r := relation.New("R", relation.NewScheme("R.k", "R.v"))
+	for i := 0; i < n; i++ {
+		r.AddValues(value.String(fmt.Sprintf("other-%d", i)), value.String("x"))
+	}
+	in := vecInstance(l, r)
+	join := algebra.Join{Kind: algebra.InnerJoin,
+		L: algebra.NewScan("L", ""), R: algebra.NewScan("R", ""),
+		On: expr.MustParse("L.k = R.k")}
+	allocs := testing.AllocsPerRun(5, func() {
+		it, err := algebra.OpenVec(context.Background(), join, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := algebra.DrainVec(it); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= n/4 {
+		t.Errorf("no-match columnar join allocated %.0f times for %d probes — scales per tuple", allocs, n)
 	}
 }

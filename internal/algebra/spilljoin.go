@@ -202,6 +202,9 @@ func sinkSide(tr *budget.Tracker, it Iterator, base *relation.Relation, cols []i
 func openSpillJoin(ctx context.Context, j Join, in *relation.Instance) (Iterator, error) {
 	ctx, span := openOp(ctx, "op.join")
 	span.SetStr("kind", j.Kind.String())
+	if j.EstRows > 0 {
+		span.SetInt("est_rows", j.EstRows)
+	}
 	tr := budget.FromContext(ctx)
 	li, lbase, err := openSide(ctx, j.L, in)
 	if err != nil {

@@ -1,0 +1,459 @@
+package algebra
+
+// This file implements the columnar (vectorized) execution core: plan
+// nodes compile to VecIterator pipelines that exchange column-major
+// relation.Batch values instead of []Tuple row batches. Scans serve the
+// relation's cached columnar view, Select filters with selection
+// vectors over a borrowed scratch row (no per-row allocation), Project
+// executes pure column permutations as zero-copy remaps, Distinct
+// dedups on vectorized canonical hashes, and the equi-join runs as a
+// morsel-driven partitioned hash join (vecjoin.go).
+//
+// The row-batched Iterator pipeline remains in place: it is the
+// reference implementation the differential property tests compare
+// against, and the spill tier keeps streaming row frames through it —
+// OpenVec falls back to a row→vec adapter for spill-routed joins and
+// any operator without a native columnar port, so the two cores always
+// agree batch-for-batch on content and order.
+
+import (
+	"context"
+
+	"clio/internal/budget"
+	"clio/internal/expr"
+	"clio/internal/relation"
+	"clio/internal/value"
+)
+
+// VecBatchSize is the target row count of a columnar batch. Larger than
+// the row-batch size because per-batch overheads (charges, cancellation
+// checks, virtual calls) are amortized over typed-vector loops.
+const VecBatchSize = 1024
+
+// VecIterator is a pull-based columnar stream over one operator's
+// output. NextBatch returns the next non-empty batch, or (nil, nil) at
+// end of stream; the returned batch (and any selection installed on
+// it) is valid only until the following NextBatch call, and is
+// read-only. Close releases the operator tree; it is idempotent.
+type VecIterator interface {
+	Scheme() *relation.Scheme
+	Name() string
+	NextBatch() (*relation.Batch, error)
+	Close()
+}
+
+// OpenVec compiles the node to a columnar pipeline. Operators without
+// a native columnar port (cross product, union, nested-loop and
+// spill-routed joins) run their row pipeline behind an adapter, so
+// OpenVec accepts every plan shape.
+func OpenVec(ctx context.Context, n Node, in *relation.Instance) (VecIterator, error) {
+	switch x := n.(type) {
+	case Scan:
+		r, err := in.Aliased(x.Base, x.aliasOrBase())
+		if err != nil {
+			return nil, err
+		}
+		return newVecRelIter(ctx, r, r.Name), nil
+	case Materialized:
+		return newVecRelIter(ctx, x.Rel, x.Rel.Name), nil
+	case Select:
+		child, err := OpenVec(ctx, x.Child, in)
+		if err != nil {
+			return nil, err
+		}
+		return newVecSelectIter(child, x.Pred), nil
+	case Project:
+		child, err := OpenVec(ctx, x.Child, in)
+		if err != nil {
+			return nil, err
+		}
+		return newVecProjectIter(child, x.Cols, x.Name), nil
+	case Distinct:
+		child, err := OpenVec(ctx, x.Child, in)
+		if err != nil {
+			return nil, err
+		}
+		return newVecDistinctIter(child), nil
+	case Join:
+		if !budget.FromContext(ctx).SpillEnabled() {
+			return openVecJoin(ctx, x, in)
+		}
+	}
+	// Fallback: run the row pipeline and re-batch columnar.
+	it, err := n.Open(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return &rowVecAdapter{it: it, buf: relation.NewBatch(it.Scheme())}, nil
+}
+
+// CollectVec opens the node's columnar pipeline and drains it into a
+// relation (tuple storage carved batch-wise from slabs).
+func CollectVec(ctx context.Context, n Node, in *relation.Instance) (*relation.Relation, error) {
+	it, err := OpenVec(ctx, n, in)
+	if err != nil {
+		return nil, err
+	}
+	return DrainVec(it)
+}
+
+// DrainVec materializes the remainder of a columnar iterator into a
+// relation and closes it.
+func DrainVec(it VecIterator) (*relation.Relation, error) {
+	defer it.Close()
+	out := relation.New(it.Name(), it.Scheme())
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out.AppendBatch(b)
+	}
+}
+
+// vecChildBatch materializes a join child as one columnar batch. Scans
+// and materialized nodes return the relation's cached column view
+// without copying (plus the relation itself, so a nested-loop fallback
+// can reuse it); anything else drains its columnar pipeline into an
+// accumulator batch — so a left-deep join chain passes column vectors
+// from join to join without ever converting through rows.
+func vecChildBatch(ctx context.Context, n Node, in *relation.Instance) (*relation.Batch, *relation.Relation, string, error) {
+	switch x := n.(type) {
+	case Scan:
+		r, err := in.Aliased(x.Base, x.aliasOrBase())
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return r.Columns(), r, r.Name, nil
+	case Materialized:
+		return x.Rel.Columns(), x.Rel, x.Rel.Name, nil
+	}
+	it, err := OpenVec(ctx, n, in)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	defer it.Close()
+	acc := relation.NewBatch(it.Scheme())
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if b == nil {
+			return acc, nil, it.Name(), nil
+		}
+		acc.AppendBatch(b)
+	}
+}
+
+// vecRelIter streams a materialized relation's cached columnar view in
+// windows.
+type vecRelIter struct {
+	ctx  context.Context
+	b    *relation.Batch
+	name string
+	pos  int
+	sel  []int32
+	op   opStats
+}
+
+func newVecRelIter(ctx context.Context, r *relation.Relation, name string) *vecRelIter {
+	ctx, span := openOp(ctx, "op.scan")
+	span.SetStr("rel", r.Name)
+	return &vecRelIter{ctx: ctx, b: r.Columns(), name: name, op: opStats{span: span}}
+}
+
+func (it *vecRelIter) Scheme() *relation.Scheme { return it.b.Scheme() }
+func (it *vecRelIter) Name() string             { return it.name }
+func (it *vecRelIter) Close()                   { it.op.close() }
+
+func (it *vecRelIter) NextBatch() (*relation.Batch, error) {
+	if err := it.ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := it.b.Rows()
+	if it.pos >= n {
+		return nil, nil
+	}
+	if it.pos == 0 && n <= VecBatchSize {
+		// Whole relation in one window: serve the cached view directly.
+		it.pos = n
+		it.op.rows += int64(n)
+		it.op.batches++
+		return it.b, nil
+	}
+	end := min(it.pos+VecBatchSize, n)
+	it.sel = it.sel[:0]
+	for i := it.pos; i < end; i++ {
+		it.sel = append(it.sel, int32(i))
+	}
+	it.pos = end
+	it.op.rows += int64(len(it.sel))
+	it.op.batches++
+	return it.b.View(it.sel), nil
+}
+
+// vecSelectIter filters child batches under 3VL by building a
+// selection vector; rows are evaluated through a borrowed scratch
+// tuple, so filtering allocates nothing per row.
+type vecSelectIter struct {
+	child   VecIterator
+	pred    expr.Expr
+	scratch []value.Value
+	sel     []int32
+	op      opStats
+}
+
+func newVecSelectIter(child VecIterator, pred expr.Expr) *vecSelectIter {
+	return &vecSelectIter{
+		child:   child,
+		pred:    pred,
+		scratch: make([]value.Value, child.Scheme().Arity()),
+	}
+}
+
+func (it *vecSelectIter) Scheme() *relation.Scheme { return it.child.Scheme() }
+func (it *vecSelectIter) Name() string             { return it.child.Name() }
+func (it *vecSelectIter) Close()                   { it.child.Close() }
+
+func (it *vecSelectIter) NextBatch() (*relation.Batch, error) {
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		it.sel = it.sel[:0]
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			t := b.TupleInto(it.scratch, i)
+			if expr.Truth(it.pred, t) == value.True {
+				it.sel = append(it.sel, int32(b.RowID(i)))
+			}
+		}
+		if len(it.sel) > 0 {
+			it.op.rows += int64(len(it.sel))
+			it.op.batches++
+			return b.View(it.sel), nil
+		}
+	}
+}
+
+// vecProjectIter maps child batches through the output expressions.
+// When every output column is a plain column reference the projection
+// is a zero-copy remap of the child's vectors; otherwise expressions
+// evaluate row-wise into a rebuilt batch.
+type vecProjectIter struct {
+	child   VecIterator
+	cols    []OutputCol
+	name    string
+	s       *relation.Scheme
+	perm    []int // non-nil: pure column permutation
+	scratch []value.Value
+	out     *relation.Batch
+	op      opStats
+}
+
+func newVecProjectIter(child VecIterator, cols []OutputCol, name string) *vecProjectIter {
+	names := make([]string, len(cols))
+	for i, col := range cols {
+		names[i] = col.Name
+	}
+	it := &vecProjectIter{
+		child: child,
+		cols:  cols,
+		name:  name,
+		s:     relation.NewScheme(names...),
+	}
+	perm := make([]int, len(cols))
+	pure := true
+	for i, col := range cols {
+		c, ok := col.Expr.(expr.Col)
+		if !ok {
+			pure = false
+			break
+		}
+		p := child.Scheme().Index(c.Name)
+		if p < 0 {
+			pure = false
+			break
+		}
+		perm[i] = p
+	}
+	if pure {
+		it.perm = perm
+	} else {
+		it.scratch = make([]value.Value, child.Scheme().Arity())
+		it.out = relation.NewBatch(it.s)
+	}
+	return it
+}
+
+func (it *vecProjectIter) Scheme() *relation.Scheme { return it.s }
+func (it *vecProjectIter) Name() string             { return it.name }
+func (it *vecProjectIter) Close()                   { it.child.Close() }
+
+func (it *vecProjectIter) NextBatch() (*relation.Batch, error) {
+	b, err := it.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	it.op.rows += int64(b.Len())
+	it.op.batches++
+	if it.perm != nil {
+		return b.Remapped(it.s, it.perm), nil
+	}
+	it.out.Reset()
+	n := b.Len()
+	vals := make([]value.Value, len(it.cols))
+	for i := 0; i < n; i++ {
+		t := b.TupleInto(it.scratch, i)
+		for c, col := range it.cols {
+			vals[c] = col.Expr.Eval(t)
+		}
+		it.out.AppendValues(vals...)
+	}
+	return it.out, nil
+}
+
+// vecDedup dedups rows across batches on vectorized canonical hashes,
+// retaining accepted rows in an accumulator batch for value-wise
+// confirmation (bucket+confirm, like relation.Distinct).
+type vecDedup struct {
+	acc  *relation.Batch
+	seen map[uint64]int32
+	over map[uint64][]int32
+	hbuf []uint64
+	sel  []int32
+}
+
+func newVecDedup(s *relation.Scheme) *vecDedup {
+	return &vecDedup{acc: relation.NewBatch(s), seen: map[uint64]int32{}}
+}
+
+// filter returns the physical row ids of b whose rows are new, in
+// order, and retains them. The returned slice is reused across calls.
+func (d *vecDedup) filter(b *relation.Batch) []int32 {
+	n := b.Len()
+	if cap(d.hbuf) < n {
+		d.hbuf = make([]uint64, n)
+	}
+	hs := d.hbuf[:n]
+	b.HashRows(hs, nil)
+	d.sel = d.sel[:0]
+	for i := 0; i < n; i++ {
+		h := hs[i]
+		if j, ok := d.seen[h]; ok {
+			if d.acc.EqualRows(int(j), b, i) {
+				continue
+			}
+			dup := false
+			for _, k := range d.over[h] {
+				if d.acc.EqualRows(int(k), b, i) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if d.over == nil {
+				d.over = map[uint64][]int32{}
+			}
+			d.over[h] = append(d.over[h], int32(d.acc.Rows()))
+		} else {
+			d.seen[h] = int32(d.acc.Rows())
+		}
+		d.acc.AppendRow(b, b.RowID(i))
+		d.sel = append(d.sel, int32(b.RowID(i)))
+	}
+	return d.sel
+}
+
+// vecDistinctIter streams the child with duplicates removed, keeping
+// first occurrences.
+type vecDistinctIter struct {
+	child VecIterator
+	d     *vecDedup
+	op    opStats
+}
+
+func newVecDistinctIter(child VecIterator) *vecDistinctIter {
+	return &vecDistinctIter{child: child, d: newVecDedup(child.Scheme())}
+}
+
+func (it *vecDistinctIter) Scheme() *relation.Scheme { return it.child.Scheme() }
+func (it *vecDistinctIter) Name() string             { return it.child.Name() }
+func (it *vecDistinctIter) Close()                   { it.child.Close() }
+
+func (it *vecDistinctIter) NextBatch() (*relation.Batch, error) {
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		sel := it.d.filter(b)
+		if len(sel) > 0 {
+			it.op.rows += int64(len(sel))
+			it.op.batches++
+			return b.View(sel), nil
+		}
+	}
+}
+
+// rowVecAdapter re-batches a row iterator's output columnar — the
+// compatibility shim that lets spill-routed joins and row-only
+// operators participate in a columnar pipeline.
+type rowVecAdapter struct {
+	it  Iterator
+	buf *relation.Batch
+}
+
+func (a *rowVecAdapter) Scheme() *relation.Scheme { return a.it.Scheme() }
+func (a *rowVecAdapter) Name() string             { return a.it.Name() }
+func (a *rowVecAdapter) Close()                   { a.it.Close() }
+
+func (a *rowVecAdapter) NextBatch() (*relation.Batch, error) {
+	batch, err := a.it.Next()
+	if err != nil || batch == nil {
+		return nil, err
+	}
+	a.buf.Reset()
+	for _, t := range batch {
+		a.buf.AppendTuple(t)
+	}
+	return a.buf, nil
+}
+
+// vecToRow materializes a columnar iterator's batches as row batches —
+// the reverse shim, used when a row-only consumer sits above a
+// columnar pipeline.
+type vecToRow struct {
+	it  VecIterator
+	buf []relation.Tuple
+}
+
+func (a *vecToRow) Scheme() *relation.Scheme { return a.it.Scheme() }
+func (a *vecToRow) Name() string             { return a.it.Name() }
+func (a *vecToRow) Close()                   { a.it.Close() }
+
+func (a *vecToRow) Next() ([]relation.Tuple, error) {
+	b, err := a.it.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	a.buf = a.buf[:0]
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		a.buf = append(a.buf, b.Tuple(i))
+	}
+	return a.buf, nil
+}

@@ -1,0 +1,171 @@
+package fd
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clio/internal/budget"
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// randGraphCase builds a random query graph over k relations with
+// NULL-rich random data. shape selects the topology: "chain" (path),
+// "tree" (random parent attachment), "cycle" (chain plus a closing
+// edge, making the graph cyclic so the subgraph algorithms run).
+// nullProb is the probability a key or payload cell is NULL — NULL
+// keys never match an equi edge, so they exercise the padding and
+// subsumption sweeps of every pipeline. keyDom is the key domain size:
+// small domains force dense matches, larger ones keep hot keys
+// splittable under grace-hash partitioning.
+func randGraphCase(rng *rand.Rand, shape string, k, rows, keyDom int, nullProb float64) (*graph.QueryGraph, *relation.Instance) {
+	sch := schema.NewDatabase()
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("R%d", i)
+		sch.MustAddRelation(schema.NewRelation(names[i],
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindInt},
+		))
+	}
+	in := relation.NewInstance(sch)
+	cellVal := func(dom int) value.Value {
+		if rng.Float64() < nullProb {
+			return value.Null
+		}
+		return value.Int(int64(rng.Intn(dom)))
+	}
+	for i := 0; i < k; i++ {
+		r := in.NewRelationFor(names[i])
+		for j := 0; j < rows; j++ {
+			r.AddValues(cellVal(keyDom), cellVal(50))
+		}
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	g.MustAddNode(names[0], names[0])
+	for i := 1; i < k; i++ {
+		g.MustAddNode(names[i], names[i])
+		parent := names[i-1]
+		if shape == "tree" {
+			parent = names[rng.Intn(i)]
+		}
+		g.MustAddEdge(parent, names[i], expr.Equals(parent+".k", names[i]+".k"))
+	}
+	if shape == "cycle" && k >= 3 {
+		g.MustAddEdge(names[0], names[k-1], expr.Equals(names[0]+".k", names[k-1]+".k"))
+	}
+	return g, in
+}
+
+// TestFullDisjunctionDifferentialNaive is the end-to-end differential
+// property test of the execution core: for randomized chains, trees,
+// and cycles over NULL-rich data, the production D(G) (columnar
+// pipelines, cost-based join ordering, subsumption kernels) must equal
+// the naive reference (nested-loop joins over every connected subset,
+// quadratic subsumption). `make race` runs this under the race
+// detector, which also exercises the parallel morsel paths.
+func TestFullDisjunctionDifferentialNaive(t *testing.T) {
+	prev := SetCacheCapacity(0)
+	defer SetCacheCapacity(prev)
+	rng := rand.New(rand.NewSource(7))
+	shapes := []string{"chain", "tree", "cycle"}
+	for trial := 0; trial < 30; trial++ {
+		shape := shapes[trial%len(shapes)]
+		k := 2 + rng.Intn(3) // 2..4 relations
+		if shape == "cycle" {
+			k = 3 + rng.Intn(2)
+		}
+		rows := 1 + rng.Intn(4)
+		g, in := randGraphCase(rng, shape, k, rows, 4, 0.25)
+		got, err := Compute(context.Background(), g, in)
+		if err != nil {
+			t.Fatalf("trial %d (%s, k=%d): compute: %v", trial, shape, k, err)
+		}
+		want, err := FullDisjunctionNaive(context.Background(), g, in)
+		if err != nil {
+			t.Fatalf("trial %d (%s, k=%d): naive: %v", trial, shape, k, err)
+		}
+		if !got.EqualSet(want) {
+			t.Fatalf("trial %d (%s, k=%d, rows=%d): production D(G) %d tuples, naive %d tuples\nproduction:\n%v\nnaive:\n%v",
+				trial, shape, k, rows, got.Len(), want.Len(), got, want)
+		}
+	}
+}
+
+// TestSpilledColumnarByteIdentityRandomized extends the fixed-workload
+// spill byte-identity tests (spill_test.go) to randomized NULL-rich
+// graphs: a spilled run must produce the unlimited (columnar) run's
+// bytes exactly, position by position, whatever the topology.
+func TestSpilledColumnarByteIdentityRandomized(t *testing.T) {
+	prev := SetCacheCapacity(0)
+	defer SetCacheCapacity(prev)
+	rng := rand.New(rand.NewSource(13))
+	shapes := []string{"chain", "tree", "cycle"}
+	var spilledTrials int
+	for trial := 0; trial < 9; trial++ {
+		shape := shapes[trial%len(shapes)]
+		k := 3
+		rows := 8 + rng.Intn(6)
+		g, in := randGraphCase(rng, shape, k, rows, 8, 0.2)
+		// Duplicate every row several times: joins multiply the copies
+		// (copies^k per match) while the distinct/subsumption front
+		// collapses back, so intermediates dwarf the cap but the final
+		// result stays resident — the same shape spillDGCase uses.
+		for _, name := range in.Names() {
+			r := in.Relation(name)
+			base := append([]relation.Tuple(nil), r.Tuples()...)
+			for c := 0; c < 5; c++ {
+				for _, tp := range base {
+					r.Add(tp)
+				}
+			}
+		}
+		refCtx := WithBudget(context.Background(), Budget{MaxBytes: 1 << 40})
+		want, err := Compute(refCtx, g, in)
+		if err != nil {
+			t.Fatalf("trial %d (%s): unlimited: %v", trial, shape, err)
+		}
+		_, cumulative := BudgetUsed(refCtx)
+		// Walk the cap up from far below the working set until the run
+		// completes: random workloads can concentrate duplicates into
+		// partitions that recursion cannot split (identical keys re-hash
+		// identically), and the abort-vs-degrade policy is allowed to
+		// refuse those, so the tightest caps legitimately abort. The
+		// first completing cap usually still sits below the peak
+		// resident state, so spill engages on the way (asserted below).
+		var got *relation.Relation
+		var tr *budget.Tracker
+		for cap := int64(32 << 10); ; cap *= 2 {
+			tr = budget.NewTracker(budget.Budget{MaxBytes: cap, SpillDir: t.TempDir()})
+			got, err = Compute(budget.With(context.Background(), tr), g, in)
+			if err == nil {
+				break
+			}
+			if cap > cumulative {
+				t.Fatalf("trial %d (%s): spilled run still aborts above cumulative bytes: %v", trial, shape, err)
+			}
+		}
+		if tr.SpillWritten() > 0 {
+			spilledTrials++
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d (%s): spilled %d tuples, unlimited %d", trial, shape, got.Len(), want.Len())
+		}
+		gt, wt := got.Tuples(), want.Tuples()
+		for i := range gt {
+			if gt[i].Key() != wt[i].Key() {
+				t.Fatalf("trial %d (%s) tuple %d differs:\nspilled   %v\nunlimited %v",
+					trial, shape, i, gt[i], wt[i])
+			}
+		}
+	}
+	if spilledTrials == 0 {
+		t.Fatal("no trial engaged the spill tier — the differential is vacuous")
+	}
+}

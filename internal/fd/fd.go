@@ -136,6 +136,36 @@ func associationPlanWith(g *graph.QueryGraph, subset []string, bind map[string]a
 	if !ok {
 		return nil, fmt.Errorf("fd: subset %v does not induce a connected subgraph", subset)
 	}
+	return assemblePlan(j, order, treeEdges, nil, bind), nil
+}
+
+// associationPlanCost compiles F(J) like associationPlan but lets the
+// cost-based planner (planner.go) choose the join order from the
+// instance's per-relation statistics, annotating each join with its
+// estimated output cardinality and recording the choice for EXPLAIN.
+// It falls back to the plain spanning-tree order when statistics
+// cannot be resolved (a missing base relation surfaces when the plan
+// runs, exactly as before).
+func associationPlanCost(ctx context.Context, g *graph.QueryGraph, subset []string, in *relation.Instance) (algebra.Node, error) {
+	j := g.Induced(subset)
+	po, ok := chooseJoinOrder(j, in, false)
+	if !ok {
+		return associationPlanWith(g, subset, nil)
+	}
+	cPlannerPlans.Inc()
+	if def, _, ok := j.SpanningTreeOrder(); ok && !sameOrder(po.order, def) {
+		cPlannerReordered.Inc()
+	}
+	recordPlan(ctx, subset, po)
+	return assemblePlan(j, po.order, po.edges, po.est, nil), nil
+}
+
+// assemblePlan builds the inner-join chain for a connected attachment
+// order over the induced subgraph j: attach[i] joins order[i] onto the
+// prefix (attach[0] is unused), est carries the planner's per-step
+// output estimates (nil = unplanned), and every edge not consumed as a
+// join becomes a residual selection (the cycle edges).
+func assemblePlan(j *graph.QueryGraph, order []string, attach []graph.Edge, est []int64, bind map[string]algebra.Node) algebra.Node {
 	source := func(name string) algebra.Node {
 		if b, ok := bind[name]; ok {
 			return b
@@ -146,9 +176,13 @@ func associationPlanWith(g *graph.QueryGraph, subset []string, bind map[string]a
 	node := source(order[0])
 	used := map[string]bool{}
 	for i := 1; i < len(order); i++ {
-		e := treeEdges[i]
+		e := attach[i]
 		used[edgeKey(e)] = true
-		node = algebra.Join{Kind: algebra.InnerJoin, L: node, R: source(order[i]), On: e.Pred}
+		var er int64
+		if est != nil {
+			er = est[i]
+		}
+		node = algebra.Join{Kind: algebra.InnerJoin, L: node, R: source(order[i]), On: e.Pred, EstRows: er}
 	}
 	// Residual (cycle) edges.
 	var residual []expr.Expr
@@ -160,7 +194,7 @@ func associationPlanWith(g *graph.QueryGraph, subset []string, bind map[string]a
 	if len(residual) > 0 {
 		node = algebra.Select{Child: node, Pred: expr.And(residual...)}
 	}
-	return node, nil
+	return node
 }
 
 // FullAssociations computes F(J) (Definition 3.5) for the subgraph of
@@ -168,7 +202,7 @@ func associationPlanWith(g *graph.QueryGraph, subset []string, bind map[string]a
 // subgraph. The compiled plan (see associationPlan) is drained under
 // the context's budget and cancellation.
 func FullAssociations(ctx context.Context, g *graph.QueryGraph, in *relation.Instance, subset []string) (*relation.Relation, error) {
-	plan, err := associationPlan(g, subset)
+	plan, err := associationPlanCost(ctx, g, subset, in)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +261,10 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 	}
 	span.SetInt("subsets", int64(len(subsets)))
 	cSubsets.Add(int64(len(subsets)))
+	// The columnar pipeline serves the in-memory tier; the spill tier
+	// keeps the row pipeline, whose Grace join and frame formats are
+	// byte-identity-critical.
+	vec := !budget.FromContext(ctx).SpillEnabled()
 	sink := newDGSink(ctx, budget.FromContext(ctx), s)
 	for _, sub := range subsets {
 		if err := ctx.Err(); err != nil {
@@ -235,19 +273,31 @@ func fullDisjunctionSubsets(ctx context.Context, g *graph.QueryGraph, in *relati
 		}
 		// Stream each F(J) straight into the accumulator: the
 		// subgraph's final join output is never materialized on its own.
-		plan, err := associationPlan(g, sub)
+		plan, err := associationPlanCost(ctx, g, sub, in)
 		if err != nil {
 			sink.abort()
 			return nil, err
 		}
-		it, err := plan.Open(ctx, in)
-		if err != nil {
-			sink.abort()
-			return nil, err
-		}
-		if err := padInto(it, sink, s); err != nil {
-			sink.abort()
-			return nil, err
+		if vec {
+			it, err := algebra.OpenVec(ctx, plan, in)
+			if err != nil {
+				sink.abort()
+				return nil, err
+			}
+			if err := padIntoVec(it, sink, s); err != nil {
+				sink.abort()
+				return nil, err
+			}
+		} else {
+			it, err := plan.Open(ctx, in)
+			if err != nil {
+				sink.abort()
+				return nil, err
+			}
+			if err := padInto(it, sink, s); err != nil {
+				sink.abort()
+				return nil, err
+			}
 		}
 	}
 	cPadded.Add(sink.added())
@@ -275,6 +325,44 @@ func padInto(it algebra.Iterator, sink dgSink, s *relation.Scheme) error {
 		}
 		for _, t := range batch {
 			if err := sink.add(t.PadTo(s)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// batchSink is the optional columnar fast path of a dgSink: aligned
+// batches retained wholesale instead of tuple by tuple.
+type batchSink interface {
+	addBatch(b *relation.Batch) error
+}
+
+// padIntoVec drains a columnar iterator, aligning every batch to the
+// D(G) scheme s with a zero-copy remap and feeding the accumulator —
+// the columnar counterpart of padInto. The iterator is closed in all
+// cases.
+func padIntoVec(it algebra.VecIterator, sink dgSink, s *relation.Scheme) error {
+	defer it.Close()
+	bs, _ := sink.(batchSink)
+	perm := relation.PadPerm(it.Scheme(), s)
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		aligned := b.Remapped(s, perm)
+		if bs != nil {
+			if err := bs.addBatch(aligned); err != nil {
+				return err
+			}
+			continue
+		}
+		n := aligned.Len()
+		for i := 0; i < n; i++ {
+			if err := sink.add(aligned.Tuple(i)); err != nil {
 				return err
 			}
 		}
@@ -348,15 +436,32 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 	ctx, span := obs.StartSpan(ctx, "fd.outer_join")
 	defer span.End()
 	span.SetInt("joins", int64(g.NodeCount()-1))
+	// The cost-based planner orders the chain (any connected spanning
+	// traversal is valid — the subsumption sweep is order-independent);
+	// the plain BFS spanning order is the fallback when statistics
+	// cannot be resolved.
 	order, treeEdges, ok := g.SpanningTreeOrder()
 	if !ok {
 		return nil, fmt.Errorf("fd: query graph is not connected")
+	}
+	var est []int64
+	if po, ok := chooseJoinOrder(g, in, true); ok {
+		cPlannerPlans.Inc()
+		if !sameOrder(po.order, order) {
+			cPlannerReordered.Inc()
+		}
+		recordPlan(ctx, nil, po)
+		order, treeEdges, est = po.order, po.edges, po.est
 	}
 	n0, _ := g.Node(order[0])
 	var plan algebra.Node = algebra.NewScan(n0.Base, n0.Name)
 	for i := 1; i < len(order); i++ {
 		n, _ := g.Node(order[i])
-		plan = algebra.Join{Kind: algebra.FullJoin, L: plan, R: algebra.NewScan(n.Base, n.Name), On: treeEdges[i].Pred}
+		var er int64
+		if est != nil {
+			er = est[i]
+		}
+		plan = algebra.Join{Kind: algebra.FullJoin, L: plan, R: algebra.NewScan(n.Base, n.Name), On: treeEdges[i].Pred, EstRows: er}
 	}
 	// Align to the canonical D(G) scheme (node insertion order). The
 	// final join streams into the alignment, so its output is never
@@ -365,31 +470,42 @@ func FullDisjunctionOuterJoin(ctx context.Context, g *graph.QueryGraph, in *rela
 	if err != nil {
 		return nil, err
 	}
-	it, err := plan.Open(ctx, in)
-	if err != nil {
-		return nil, err
-	}
 	sink := newDGSink(ctx, budget.FromContext(ctx), s)
-	err = func() error {
-		defer it.Close()
-		for {
-			batch, err := it.Next()
-			if err != nil {
-				return err
-			}
-			if batch == nil {
-				return nil
-			}
-			for _, t := range batch {
-				if err := sink.add(t.Project(s)); err != nil {
+	if !budget.FromContext(ctx).SpillEnabled() {
+		it, err := algebra.OpenVec(ctx, plan, in)
+		if err != nil {
+			return nil, err
+		}
+		if err := padIntoVec(it, sink, s); err != nil {
+			sink.abort()
+			return nil, err
+		}
+	} else {
+		it, err := plan.Open(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		err = func() error {
+			defer it.Close()
+			for {
+				batch, err := it.Next()
+				if err != nil {
 					return err
 				}
+				if batch == nil {
+					return nil
+				}
+				for _, t := range batch {
+					if err := sink.add(t.Project(s)); err != nil {
+						return err
+					}
+				}
 			}
+		}()
+		if err != nil {
+			sink.abort()
+			return nil, err
 		}
-	}()
-	if err != nil {
-		sink.abort()
-		return nil, err
 	}
 	out, err := sink.finalize()
 	if err != nil {

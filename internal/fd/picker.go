@@ -104,11 +104,28 @@ func pickAlgo(isTree bool, nSubsets int, estimate, headroom int64, spill bool) s
 	if nSubsets < ParallelSubsetThreshold {
 		return "subgraph"
 	}
-	if headroom >= 0 && estimate*2 > headroom {
+	if headroom >= 0 && parallelEstimate(estimate) > headroom {
+		// Demoted: re-derive the bound for the demoted (sequential)
+		// path instead of reusing the parallel-shaped one. The
+		// sequential estimate was already accepted by the abort check
+		// above (est == headroom is exactly affordable under
+		// charge-inclusive accounting), so the demotion lands on
+		// "subgraph"; the explicit re-check keeps that decision local
+		// rather than an artifact of check ordering.
+		if estimate > headroom {
+			return "abort"
+		}
 		return "subgraph"
 	}
 	return "subgraph_parallel"
 }
+
+// parallelEstimate derives the parallel subgraph algorithm's row bound
+// from the sequential one: its workers charge concurrently against the
+// shared tracker, so the bound that must fit in headroom is double the
+// sequential lower bound (two subset drains can be resident at once
+// before the accumulator collapses them).
+func parallelEstimate(sequential int64) int64 { return sequential * 2 }
 
 // pickIncremental chooses the maintenance strategy for
 // ComputeIncremental. extendEst is a lower bound on the rows

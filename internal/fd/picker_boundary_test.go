@@ -80,6 +80,18 @@ func TestPickAlgoBoundaryAtHeadroom(t *testing.T) {
 	if got := pickAlgo(false, ParallelSubsetThreshold, 6, 10, false); got != "subgraph" {
 		t.Errorf("cyclic at 2*est > headroom routed to %q, want subgraph", got)
 	}
+	// Demoted-path boundary: the parallel bound (2*est = 20) exceeds the
+	// headroom so the run demotes, and the re-derived sequential bound
+	// sits exactly at the headroom — exactly affordable, so the demotion
+	// must land on "subgraph", never "abort". This pins the fix for the
+	// demotion reusing the parallel-shaped bound.
+	if got := pickAlgo(false, ParallelSubsetThreshold, 10, 10, false); got != "subgraph" {
+		t.Errorf("demoted path at est == headroom routed to %q, want subgraph", got)
+	}
+	// One past the headroom on the demoted path does abort.
+	if got := pickAlgo(false, ParallelSubsetThreshold, 11, 10, false); got != "abort" {
+		t.Errorf("demoted path one past headroom routed to %q, want abort", got)
+	}
 }
 
 // End-to-end charge-inclusivity: learn the exact row charge of a

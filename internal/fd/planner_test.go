@@ -1,0 +1,270 @@
+package fd
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"clio/internal/expr"
+	"clio/internal/graph"
+	"clio/internal/obs"
+	"clio/internal/relation"
+	"clio/internal/schema"
+	"clio/internal/value"
+)
+
+// plannerCase builds a 3-relation chain Small — Mid — Big with sharply
+// skewed sizes and key selectivities, so the cost-based order is
+// unambiguous: start at Small and attach Mid before Big.
+func plannerCase() (*graph.QueryGraph, *relation.Instance) {
+	sch := schema.NewDatabase()
+	sizes := map[string]int{"Small": 3, "Mid": 40, "Big": 400}
+	for name := range sizes {
+		sch.MustAddRelation(schema.NewRelation(name,
+			schema.Attribute{Name: "k", Type: value.KindInt},
+			schema.Attribute{Name: "v", Type: value.KindInt},
+		))
+	}
+	in := relation.NewInstance(sch)
+	for name, n := range sizes {
+		r := in.NewRelationFor(name)
+		for i := 0; i < n; i++ {
+			r.AddValues(value.Int(int64(i%10)), value.Int(int64(i)))
+		}
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	// Insertion order deliberately puts Big first so the default
+	// spanning order (node insertion BFS) differs from the cost order.
+	g.MustAddNode("Big", "Big")
+	g.MustAddNode("Mid", "Mid")
+	g.MustAddNode("Small", "Small")
+	g.MustAddEdge("Big", "Mid", expr.Equals("Big.k", "Mid.k"))
+	g.MustAddEdge("Mid", "Small", expr.Equals("Mid.k", "Small.k"))
+	return g, in
+}
+
+func TestChooseJoinOrderStartsSmallAndStaysConnected(t *testing.T) {
+	g, in := plannerCase()
+	po, ok := chooseJoinOrder(g, in, false)
+	if !ok {
+		t.Fatal("planner failed on a fully resolvable graph")
+	}
+	if len(po.order) != 3 || len(po.est) != 3 || len(po.edges) != 3 {
+		t.Fatalf("order/est/edges lengths = %d/%d/%d, want 3", len(po.order), len(po.est), len(po.edges))
+	}
+	if po.order[0] != "Small" {
+		t.Errorf("start = %q, want Small (the smallest relation)", po.order[0])
+	}
+	// Connectivity: each node past the first attaches via its recorded
+	// edge to a node already in the prefix.
+	seen := map[string]bool{po.order[0]: true}
+	for i := 1; i < len(po.order); i++ {
+		e := po.edges[i]
+		other, ok := e.Other(po.order[i])
+		if !ok || !seen[other] {
+			t.Errorf("step %d: node %s does not attach to the prefix via %v", i, po.order[i], e)
+		}
+		seen[po.order[i]] = true
+	}
+	// Small ⋈ Mid is far cheaper than Small ⋈ ... ⋈ Big first, and the
+	// only edge out of Small reaches Mid anyway; the planner must not
+	// invent a cross product.
+	if po.order[1] != "Mid" {
+		t.Errorf("second node = %q, want Mid", po.order[1])
+	}
+	for i, e := range po.est {
+		if e < 1 {
+			t.Errorf("est[%d] = %d, want >= 1", i, e)
+		}
+	}
+}
+
+func TestChooseJoinOrderDeterministic(t *testing.T) {
+	g, in := plannerCase()
+	a, ok := chooseJoinOrder(g, in, true)
+	if !ok {
+		t.Fatal("planner failed")
+	}
+	b, ok := chooseJoinOrder(g, in, true)
+	if !ok {
+		t.Fatal("planner failed on second run")
+	}
+	if !sameOrder(a.order, b.order) {
+		t.Fatalf("orders differ across identical runs: %v vs %v", a.order, b.order)
+	}
+	for i := range a.est {
+		if a.est[i] != b.est[i] {
+			t.Fatalf("estimates differ at %d: %d vs %d", i, a.est[i], b.est[i])
+		}
+	}
+}
+
+// TestPlannerOrderAgreesWithDefault checks the planner-chosen order
+// computes exactly the same D(G) as the default spanning order (the
+// full disjunction is order-independent; only intermediates change).
+func TestPlannerOrderAgreesWithDefault(t *testing.T) {
+	g, in := plannerCase()
+	planned, err := FullDisjunctionOuterJoin(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := FullDisjunctionNaive(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planned.EqualSet(naive) {
+		t.Fatalf("planned-order D(G) (%d rows) differs from naive (%d rows)", planned.Len(), naive.Len())
+	}
+}
+
+// TestExplainPlannerBlock runs EXPLAIN and checks the planner block
+// round-trips: chosen join orders with per-step estimates, fresh
+// statistics, and est_rows attributes on the executed join spans next
+// to the actual row counts.
+func TestExplainPlannerBlock(t *testing.T) {
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(wasEnabled) })
+	g, in := plannerCase()
+	res, err := ExplainCompute(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planner == nil {
+		t.Fatal("explain carries no planner block")
+	}
+	if len(res.Planner.Orders) == 0 {
+		t.Fatal("planner block has no chosen orders")
+	}
+	ord := res.Planner.Orders[0]
+	if len(ord.Order) != 3 || len(ord.EstRows) != 3 {
+		t.Fatalf("planner order %v estimates %v, want 3 entries each", ord.Order, ord.EstRows)
+	}
+	for name, st := range res.Planner.Stats {
+		if !st.Fresh {
+			t.Errorf("stats for %s not fresh immediately after the run", name)
+		}
+		if st.Rows <= 0 {
+			t.Errorf("stats for %s report %d rows", name, st.Rows)
+		}
+	}
+	if len(res.Planner.Stats) != 3 {
+		t.Fatalf("stats block covers %d relations, want 3", len(res.Planner.Stats))
+	}
+	// The executed join spans report est vs. actual.
+	if res.Root == nil {
+		t.Fatal("explain carries no span tree")
+	}
+	var joins int
+	var walk func(s *obs.SpanData)
+	walk = func(s *obs.SpanData) {
+		if s.Name == "op.join" {
+			joins++
+			var est, rows bool
+			for _, a := range s.Attrs {
+				switch a.Key {
+				case "est_rows":
+					est = true
+				case "rows":
+					rows = true
+				}
+			}
+			if !est || !rows {
+				t.Errorf("op.join span missing est_rows/rows (est=%v rows=%v)", est, rows)
+			}
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(res.Root)
+	if joins == 0 {
+		t.Error("no op.join spans under the explain root")
+	}
+}
+
+// TestStatsFreshnessGoesStaleOnMutation pins the freshness contract:
+// a mutation after the stats were computed flips Fresh until the next
+// computation consults them again.
+func TestStatsFreshnessGoesStaleOnMutation(t *testing.T) {
+	g, in := plannerCase()
+	if _, err := FullDisjunctionOuterJoin(context.Background(), g, in); err != nil {
+		t.Fatal(err)
+	}
+	sb := statsBlock(g, in)
+	if !sb["Small"].Fresh {
+		t.Fatal("Small stats not fresh after computation")
+	}
+	in.Relation("Small").AddValues(value.Int(99), value.Int(99))
+	sb = statsBlock(g, in)
+	if sb["Small"].Fresh {
+		t.Error("Small stats still fresh after a mutation")
+	}
+	if sb["Small"].Rows != in.Relation("Small").Len() {
+		t.Errorf("stats block rows %d, want live %d", sb["Small"].Rows, in.Relation("Small").Len())
+	}
+}
+
+// TestPlannerIncrementalStatsAcrossGrowth checks the stats cache folds
+// appended rows in instead of rebuilding (row counts and distinct
+// estimates track growth), which is what keeps planning cheap inside
+// the session edit loop.
+func TestPlannerIncrementalStatsAcrossGrowth(t *testing.T) {
+	s := relation.NewScheme("R.k")
+	r := relation.New("R", s)
+	for i := 0; i < 10; i++ {
+		r.AddValues(value.Int(int64(i)))
+	}
+	st := r.Stats()
+	if st.Rows != 10 || st.Distinct[0] != 10 {
+		t.Fatalf("initial stats rows=%d distinct=%d", st.Rows, st.Distinct[0])
+	}
+	for i := 0; i < 5; i++ {
+		r.AddValues(value.Int(int64(i))) // duplicates: distinct unchanged
+	}
+	st = r.Stats()
+	if st.Rows != 15 || st.Distinct[0] != 10 {
+		t.Fatalf("grown stats rows=%d distinct=%d, want 15/10", st.Rows, st.Distinct[0])
+	}
+	if st.Version != r.Version() {
+		t.Fatalf("stats version %d, relation version %d", st.Version, r.Version())
+	}
+}
+
+// Cyclic coverage: the cost planner serves every connected subset of a
+// cyclic graph and the result matches the naive reference.
+func TestPlannerCyclicSubsetsAgree(t *testing.T) {
+	sch := schema.NewDatabase()
+	for i := 0; i < 3; i++ {
+		sch.MustAddRelation(schema.NewRelation(fmt.Sprintf("C%d", i),
+			schema.Attribute{Name: "k", Type: value.KindInt},
+		))
+	}
+	in := relation.NewInstance(sch)
+	for i := 0; i < 3; i++ {
+		r := in.NewRelationFor(fmt.Sprintf("C%d", i))
+		for j := 0; j < 4+i; j++ {
+			r.AddValues(value.Int(int64(j % 3)))
+		}
+		in.MustAdd(r)
+	}
+	g := graph.New()
+	for i := 0; i < 3; i++ {
+		g.MustAddNode(fmt.Sprintf("C%d", i), fmt.Sprintf("C%d", i))
+	}
+	g.MustAddEdge("C0", "C1", expr.Equals("C0.k", "C1.k"))
+	g.MustAddEdge("C1", "C2", expr.Equals("C1.k", "C2.k"))
+	g.MustAddEdge("C2", "C0", expr.Equals("C2.k", "C0.k"))
+	got, err := FullDisjunction(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FullDisjunctionNaive(context.Background(), g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("cyclic planned D(G) (%d rows) differs from naive (%d rows)", got.Len(), want.Len())
+	}
+}

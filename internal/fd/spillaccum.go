@@ -61,16 +61,56 @@ type dgSink interface {
 // bounds the (possibly parallel) finalize replay.
 func newDGSink(ctx context.Context, tr *budget.Tracker, s *relation.Scheme) dgSink {
 	if tr.SpillEnabled() {
-		return &dgAccum{ctx: ctx, tr: tr, s: s, seen: map[string]struct{}{}, rel: relation.New("D(G)", s)}
+		return &dgAccum{ctx: ctx, tr: tr, s: s, seen: newTupleSeen(64), rel: relation.New("D(G)", s)}
 	}
-	return &memSink{tr: tr, dst: relation.New("D(G)", s)}
+	return &memSink{tr: tr, acc: relation.NewBatch(s)}
 }
 
-// memSink is the cumulative in-memory accumulator (the pre-spill
-// pipeline, verbatim).
+// tupleSeen is a hash+confirm duplicate filter: tuples bucket on their
+// canonical Hash64 and candidates are confirmed value-wise, so the
+// filter materializes no per-tuple key strings — the columnar-keys
+// discipline of the execution core applied to the spill-front dedup.
+// The rare true hash collision spills into an overflow bucket list.
+type tupleSeen struct {
+	slots  map[uint64]int32
+	tuples []relation.Tuple
+	over   map[uint64][]int32
+}
+
+func newTupleSeen(hint int) *tupleSeen {
+	return &tupleSeen{slots: make(map[uint64]int32, hint)}
+}
+
+// insert records t and reports whether it was new.
+func (s *tupleSeen) insert(t relation.Tuple) bool {
+	h := t.Hash64()
+	if j, ok := s.slots[h]; ok {
+		if s.tuples[j].Equal(t) {
+			return false
+		}
+		for _, k := range s.over[h] {
+			if s.tuples[k].Equal(t) {
+				return false
+			}
+		}
+		if s.over == nil {
+			s.over = map[uint64][]int32{}
+		}
+		s.over[h] = append(s.over[h], int32(len(s.tuples)))
+	} else {
+		s.slots[h] = int32(len(s.tuples))
+	}
+	s.tuples = append(s.tuples, t)
+	return true
+}
+
+// memSink is the cumulative in-memory accumulator. The padded multiset
+// lives purely as column vectors until finalize; only the subsumption
+// front ever materializes as tuples. Charge accounting is identical to
+// the historical per-tuple pipeline.
 type memSink struct {
 	tr  *budget.Tracker
-	dst *relation.Relation
+	acc *relation.Batch
 	n   int64
 }
 
@@ -78,17 +118,45 @@ func (m *memSink) add(t relation.Tuple) error {
 	if err := m.tr.Charge(1, t.ApproxBytes()); err != nil {
 		return err
 	}
-	m.dst.Add(t)
+	m.acc.AppendTuple(t)
 	m.n++
 	return nil
+}
+
+// addBatch retains every visible row of b (which must already be
+// aligned to the sink scheme). Charges are taken row by row, exactly
+// like the tuple path — a refusal retains the rows charged before it
+// and rejects the rest, so budget behavior is unchanged — but retained
+// rows are gathered column-wise, never materialized as tuples.
+func (m *memSink) addBatch(b *relation.Batch) error {
+	n := b.Len()
+	charged := 0
+	var chargeErr error
+	for i := 0; i < n; i++ {
+		if chargeErr = m.tr.Charge(1, b.ApproxBytesRow(i)); chargeErr != nil {
+			break
+		}
+		charged++
+	}
+	if charged == n {
+		m.acc.AppendBatch(b)
+	} else if charged > 0 {
+		sel := make([]int32, charged)
+		for i := range sel {
+			sel[i] = int32(b.RowID(i))
+		}
+		m.acc.AppendBatch(b.View(sel))
+	}
+	m.n += int64(charged)
+	return chargeErr
 }
 
 func (m *memSink) added() int64 { return m.n }
 
 func (m *memSink) finalize() (*relation.Relation, error) {
-	out := relation.RemoveSubsumed(m.dst.Distinct())
-	out.Name = "D(G)"
-	return out, nil
+	// RemoveSubsumedBatch dedups internally, so no separate Distinct
+	// pass; the accumulated columns are reduced in place.
+	return relation.RemoveSubsumedBatch("D(G)", m.acc), nil
 }
 
 func (m *memSink) abort() {}
@@ -98,7 +166,7 @@ type dgAccum struct {
 	ctx  context.Context
 	tr   *budget.Tracker
 	s    *relation.Scheme
-	seen map[string]struct{}
+	seen *tupleSeen
 	rel  *relation.Relation
 	// rows/bytes are the retained in-memory charges.
 	rows, bytes int64
@@ -115,14 +183,12 @@ func (a *dgAccum) add(t relation.Tuple) error {
 	if a.parts != nil {
 		return a.parts.Add(t)
 	}
-	k := t.Key()
-	if _, ok := a.seen[k]; ok {
+	if !a.seen.insert(t) {
 		return nil
 	}
 	b := t.ApproxBytes()
 	if a.roomToRetain(b) {
 		if err := a.tr.Charge(1, b); err == nil {
-			a.seen[k] = struct{}{}
 			a.rel.Add(t)
 			a.rows++
 			a.bytes += b
@@ -362,23 +428,21 @@ func (a *dgAccum) replaySerial(set *relation.SubsumeSet) error {
 
 // replayPartition replays one partition of ps into set, charging what the
 // set keeps. Equal tuples share a partition, so the per-partition seen
-// map dedups exactly; InsertPruning both drops subsumed arrivals
+// filter dedups exactly; InsertPruning both drops subsumed arrivals
 // (never charged) and evicts entries the arrival subsumes (refunded on
 // the spot — satellite fix for evicted-but-still-charged residency).
 // A charge refusal removes the just-inserted tuple again so residency
 // equals charges; any front tuple its eviction orphaned is restored by
 // the recursive child replay that re-delivers the refused tuple.
 func (a *dgAccum) replayPartition(ctx context.Context, ps *spill.PartitionSet, idx int, set *relation.SubsumeSet, rows, bytes *int64) error {
-	seen := map[string]struct{}{}
+	seen := newTupleSeen(64)
 	return ps.Read(idx, a.s, func(t relation.Tuple) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		k := t.Key()
-		if _, ok := seen[k]; ok {
+		if !seen.insert(t) {
 			return nil
 		}
-		seen[k] = struct{}{}
 		displaced, inserted := set.InsertPruning(t)
 		for _, d := range displaced {
 			b := d.ApproxBytes()

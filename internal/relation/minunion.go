@@ -1,5 +1,11 @@
 package relation
 
+import (
+	"math/bits"
+
+	"clio/internal/value"
+)
+
 // This file implements the paper's null-aware set operations:
 // outer union, subsumption removal, and minimum union
 // (Definitions 3.8–3.9). Minimum union is the combining operator of
@@ -42,13 +48,17 @@ func MinimumUnionAll(name string, rels ...*Relation) *Relation {
 	for _, r := range rels[1:] {
 		s = s.Union(r.Scheme())
 	}
-	out := New(name, s)
+	// Pad columnar: remap each cached columnar view onto the union
+	// scheme (zero-copy) and gather into one accumulator batch; only
+	// the subsumption front ever materializes as tuples.
+	acc := NewBatch(s)
 	for _, r := range rels {
-		for _, t := range r.Tuples() {
-			out.Add(t.PadTo(s))
+		if r.Len() == 0 {
+			continue
 		}
+		acc.AppendBatch(r.Columns().Remapped(s, PadPerm(r.Scheme(), s)))
 	}
-	return RemoveSubsumed(out.Distinct())
+	return RemoveSubsumedBatch(name, acc)
 }
 
 // RemoveSubsumedNaive removes strictly subsumed tuples by comparing
@@ -90,9 +100,241 @@ func RemoveSubsumedNaive(r *Relation) *Relation {
 // a tuple t with mask m can only be strictly subsumed by a tuple in a
 // group whose mask is a superset of m (strict superset, or the same
 // mask with equal values — which is a duplicate, handled separately).
-// For each (superset group, m) pair we build a hash index keyed on m's
-// positions, so each candidate is found in O(1) expected time.
+//
+// The hot path (arity ≤ 64) runs columnar over the relation's cached
+// column view: dedup, null masks, and all subsumption-probe hashes are
+// computed from the typed vectors, null masks are plain uint64s, and
+// each group builds ONE hash index on its own positions which every
+// superset group then scans with a shared hash scratch buffer — so the
+// per-(group pair) work allocates nothing. Wider schemes fall back to
+// the Mask-keyed row-major implementation.
 func RemoveSubsumed(r *Relation) *Relation {
+	if r.Scheme().Arity() <= 64 {
+		return removeSubsumedColumnar(r)
+	}
+	return removeSubsumedWide(r)
+}
+
+// RemoveSubsumedBatch reduces the visible rows of b (which must carry
+// no selection vector) to the subsumption front, materializing only the
+// surviving rows — the columnar accumulator's finalize path, where the
+// padded multiset exists solely as column vectors.
+func RemoveSubsumedBatch(name string, b *Batch) *Relation {
+	if b.Scheme().Arity() > 64 {
+		tmp := New(name, b.Scheme())
+		tmp.AppendBatch(b)
+		out := removeSubsumedWide(tmp)
+		out.Name = name
+		return out
+	}
+	out := New(name, b.Scheme())
+	if b.Len() == 0 {
+		return out
+	}
+	keep := subsumedKeepBits(b)
+	sel := make([]int32, 0, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		if keep[i] {
+			sel = append(sel, int32(i))
+		}
+	}
+	out.AppendBatch(b.View(sel))
+	return out
+}
+
+// removeSubsumedColumnar is the vectorized arity≤64 path; see
+// RemoveSubsumed.
+func removeSubsumedColumnar(r *Relation) *Relation {
+	n := r.Len()
+	if n <= 1 {
+		return r.Distinct()
+	}
+	keep := subsumedKeepBits(r.Columns())
+	out := New(r.Name, r.Scheme())
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			out.Add(r.At(i))
+		}
+	}
+	return out
+}
+
+// subsumedKeepBits computes, over the physical rows of b, which rows
+// survive duplicate removal (first occurrence wins) and strict
+// subsumption removal.
+func subsumedKeepBits(b *Batch) []bool {
+	n := b.Rows()
+	w := b.Scheme().Arity()
+
+	// Hash every cell once per column up front. Both the dedup pass and
+	// the subsumption probes only need internally consistent bucket
+	// keys, not the canonical chained hash, so this single column sweep
+	// feeds everything below.
+	allRows := make([]int32, n)
+	for i := range allRows {
+		allRows[i] = int32(i)
+	}
+	colh := make([]uint64, w*n)
+	for c := 0; c < w; c++ {
+		dst := colh[c*n : c*n+n]
+		for j := range dst {
+			dst[j] = value.HashSeed()
+		}
+		b.Col(c).mixHashInto(dst, allRows)
+	}
+
+	// Whole-row hashes combined from the per-column hashes.
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = 0x9e3779b97f4a7c15
+	}
+	for c := 0; c < w; c++ {
+		src := colh[c*n : c*n+n]
+		for i := range hashes {
+			hashes[i] = (hashes[i] ^ src[i]) * 0x9e3779b97f4a7c15
+		}
+	}
+
+	// Dedup (first occurrence wins) through an open-addressed table:
+	// row hashes bucket into power-of-two slots, candidates confirmed
+	// value-wise, and true hash collisions simply keep probing — no
+	// overflow structure needed.
+	tsize := 1
+	for tsize < 2*n {
+		tsize <<= 1
+	}
+	tmask := uint64(tsize - 1)
+	slots := make([]int32, tsize) // row+1; 0 = empty
+	keep := make([]bool, n)
+	distinctRows := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		h := hashes[i]
+		idx := h & tmask
+		dup := false
+		for {
+			s := slots[idx]
+			if s == 0 {
+				slots[idx] = int32(i) + 1
+				break
+			}
+			j := int(s) - 1
+			if hashes[j] == h && b.EqualRows(j, b, i) {
+				dup = true
+				break
+			}
+			idx = (idx + 1) & tmask
+		}
+		if dup {
+			continue
+		}
+		keep[i] = true
+		distinctRows = append(distinctRows, int32(i))
+	}
+
+	// Null masks as plain uint64s, filled column-wise.
+	masks := make([]uint64, n)
+	for c := 0; c < w; c++ {
+		col := b.Col(c)
+		bit := uint64(1) << uint(c)
+		for _, row := range distinctRows {
+			if !col.IsNull(int(row)) {
+				masks[row] |= bit
+			}
+		}
+	}
+
+	// Group distinct rows by mask (first-occurrence order).
+	type vgroup struct {
+		mask      uint64
+		rows      []int32
+		positions []int
+		// index buckets the group's rows by their hash on the group's
+		// own positions — the probe target for every superset group.
+		index map[uint64][]int32
+	}
+	gm := make(map[uint64]*vgroup, 16)
+	var groups []*vgroup
+	for _, row := range distinctRows {
+		m := masks[row]
+		g := gm[m]
+		if g == nil {
+			g = &vgroup{mask: m}
+			gm[m] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, row)
+	}
+
+	if len(groups) > 1 {
+		// Subsumption probes combine the precomputed per-column hashes
+		// with one multiply-xor per position, so the per-(group pair)
+		// cost is a few array lookups per row rather than canonical
+		// re-hashing.
+		var scratch []uint64
+		hashOn := func(rows []int32, positions []int, dst []uint64) []uint64 {
+			dst = dst[:len(rows)]
+			for j, row := range rows {
+				h := uint64(0x9e3779b97f4a7c15)
+				for _, p := range positions {
+					h = (h ^ colh[p*n+int(row)]) * 0x9e3779b97f4a7c15
+				}
+				dst[j] = h
+			}
+			return dst
+		}
+		equalOn := func(i, j int32, positions []int) bool {
+			for _, p := range positions {
+				c := b.Col(p)
+				if !c.Value(int(i)).Equal(c.Value(int(j))) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, g := range groups {
+			if g.mask == 0 {
+				// All-null tuples are strictly subsumed by any other
+				// tuple; any second group implies one exists.
+				for _, row := range g.rows {
+					keep[row] = false
+				}
+				continue
+			}
+			for m := g.mask; m != 0; m &= m - 1 {
+				g.positions = append(g.positions, bits.TrailingZeros64(m))
+			}
+			gh := make([]uint64, len(g.rows))
+			hashOn(g.rows, g.positions, gh)
+			g.index = make(map[uint64][]int32, len(g.rows))
+			for j, row := range g.rows {
+				g.index[gh[j]] = append(g.index[gh[j]], row)
+			}
+			// Scan every strict-superset group's rows against g's index:
+			// a match strictly subsumes the g row it hits.
+			for _, h := range groups {
+				if h == g || h.mask&g.mask != g.mask || h.mask == g.mask {
+					continue
+				}
+				if cap(scratch) < len(h.rows) {
+					scratch = make([]uint64, len(h.rows))
+				}
+				hh := hashOn(h.rows, g.positions, scratch[:len(h.rows)])
+				for j, hrow := range h.rows {
+					for _, grow := range g.index[hh[j]] {
+						if keep[grow] && equalOn(hrow, grow, g.positions) {
+							keep[grow] = false
+						}
+					}
+				}
+			}
+		}
+	}
+	return keep
+}
+
+// removeSubsumedWide is the Mask-keyed row-major fallback for schemes
+// wider than 64 attributes.
+func removeSubsumedWide(r *Relation) *Relation {
 	r = r.Distinct()
 	tuples := r.Tuples()
 	if len(tuples) <= 1 {

@@ -1,0 +1,33 @@
+package relation
+
+import (
+	"testing"
+
+	"clio/internal/value"
+)
+
+// The columnar subsumption drain over n heavily-duplicated null-rich
+// rows must allocate O(survivors + columns), not O(n): the per-row
+// work is per-column hash mixing, an open-addressed dedup probe, and
+// bitmask grouping — none of which allocate per tuple.
+func TestRemoveSubsumedBatchAllocsDoNotScalePerTuple(t *testing.T) {
+	const n = 4096
+	s := NewScheme("a", "b", "c")
+	b := NewBatch(s)
+	// 32 distinct rows, each repeated n/32 times, with a null pattern
+	// so the subsumption sweep (not just dedup) does real work.
+	for i := 0; i < n; i++ {
+		k := int64(i % 32)
+		if k%4 == 0 {
+			b.AppendValues(value.Int(k), value.Null, value.Null)
+		} else {
+			b.AppendValues(value.Int(k), value.Int(k%8), value.String("s"))
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		RemoveSubsumedBatch("R", b)
+	})
+	if allocs >= n/4 {
+		t.Errorf("columnar subsumption drain allocated %.0f times for %d rows — scales per tuple", allocs, n)
+	}
+}

@@ -1,9 +1,12 @@
 package relation
 
 import (
+	"bytes"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"clio/internal/value"
 )
@@ -18,6 +21,13 @@ type Relation struct {
 	// version counts mutations (every Add bumps it), so caches keyed
 	// on relation state can detect staleness without rehashing content.
 	version uint64
+	// structMut counts non-append mutations (RemoveAt, InsertAt,
+	// SortByKey); statistics can be extended incrementally only while
+	// it is unchanged. See stats.go.
+	structMut uint64
+	// cache holds version-keyed derived state (statistics, columnar
+	// view); see stats.go.
+	cache atomic.Pointer[statsCache]
 }
 
 // New creates an empty relation over the scheme.
@@ -68,6 +78,7 @@ func (r *Relation) RemoveAt(i int) Tuple {
 	t := r.tuples[i]
 	r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
 	r.version++
+	r.structMut++
 	return t
 }
 
@@ -82,6 +93,7 @@ func (r *Relation) InsertAt(i int, t Tuple) {
 	copy(r.tuples[i+1:], r.tuples[i:])
 	r.tuples[i] = t
 	r.version++
+	r.structMut++
 }
 
 // IndexOf returns the position of the first tuple Equal to t, or -1.
@@ -230,6 +242,7 @@ func (r *Relation) Clone() *Relation {
 	out := New(r.Name, r.scheme)
 	out.tuples = append([]Tuple(nil), r.tuples...)
 	out.version = r.version
+	out.structMut = r.structMut
 	return out
 }
 
@@ -237,19 +250,41 @@ func (r *Relation) Clone() *Relation {
 // Every D(G) producer (any algorithm, leaf extension, delta
 // maintenance) sorts its result this way, so live, replayed, and
 // delta-maintained sessions render byte-identical views.
+//
+// All keys are appended into one shared buffer and compared as byte
+// spans, so the sort performs O(1) allocations instead of one key
+// string per tuple. The canonical per-value encodings are prefix-free,
+// which makes concatenated-key byte order equal to element-wise key
+// order; and because Key is injective on tuple content, equal keys are
+// identical tuples, so an unstable sort still yields a deterministic
+// tuple sequence.
 func (r *Relation) SortByKey() {
-	type kt struct {
-		k string
-		t Tuple
+	n := len(r.tuples)
+	if n > 1 {
+		type kspan struct {
+			off, end int32
+			row      int32
+		}
+		buf := make([]byte, 0, n*16)
+		spans := make([]kspan, n)
+		for i, t := range r.tuples {
+			off := int32(len(buf))
+			buf = t.AppendKey(buf)
+			spans[i] = kspan{off: off, end: int32(len(buf)), row: int32(i)}
+		}
+		slices.SortFunc(spans, func(a, b kspan) int {
+			return bytes.Compare(buf[a.off:a.end], buf[b.off:b.end])
+		})
+		scratch := make([]Tuple, n)
+		copy(scratch, r.tuples)
+		for i, sp := range spans {
+			r.tuples[i] = scratch[sp.row]
+		}
 	}
-	pairs := make([]kt, len(r.tuples))
-	for i, t := range r.tuples {
-		pairs[i] = kt{t.Key(), t}
-	}
-	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	for i := range pairs {
-		r.tuples[i] = pairs[i].t
-	}
+	// Tuple order changed without a version bump, so the derived-state
+	// cache (columnar view) cannot detect staleness by version alone.
+	r.structMut++
+	r.invalidateDerived()
 }
 
 // Sorted returns a new relation with tuples sorted by their canonical

@@ -1,0 +1,191 @@
+package relation
+
+// Per-relation statistics for the cost-based planner, plus the cached
+// columnar view. Both are derived from the tuple store and keyed on the
+// relation's version counter: a cache entry whose version matches the
+// relation is current, anything else is recomputed. Statistics are
+// additionally maintained incrementally across append-only growth —
+// the common mutation pattern (ingest, delta maintenance inserts) —
+// by folding just the new tail of tuples into the retained per-column
+// distinct-hash sets. Any structural mutation (RemoveAt, InsertAt,
+// in-place reorder) bumps structMut and forces a full rebuild.
+//
+// Concurrency model matches the rest of Relation: any number of
+// concurrent readers OR one mutator. Stats()/Columns() count as
+// readers; the internal mutex only serializes cache (re)computation
+// between concurrent readers.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats summarizes a relation for cardinality estimation.
+type Stats struct {
+	// Version is the relation version the statistics describe; compare
+	// with Relation.Version() to measure freshness.
+	Version uint64
+	// Rows is the tuple count (duplicates included).
+	Rows int
+	// Distinct[i] estimates the number of distinct non-null values in
+	// column i. It counts distinct canonical value hashes, so it is
+	// exact up to 64-bit hash collisions.
+	Distinct []int64
+	// Nulls[i] counts null cells in column i.
+	Nulls []int64
+}
+
+// DistinctOn returns the distinct-value estimate for the given column,
+// never less than 1 when the column has any non-null cell (so selectivity
+// divisions are safe).
+func (s *Stats) DistinctOn(col int) int64 {
+	if s == nil || col < 0 || col >= len(s.Distinct) {
+		return 1
+	}
+	if d := s.Distinct[col]; d > 0 {
+		return d
+	}
+	return 1
+}
+
+// relCache is the version-keyed derived state of a relation.
+type relCache struct {
+	version   uint64
+	structMut uint64
+	rows      int
+	stats     *Stats
+	colSets   []map[uint64]struct{} // distinct-hash sets backing stats
+	batch     *Batch                // columnar view (nil until requested)
+}
+
+// statsCache holds the atomic cache pointer and the recompute lock; it
+// lives in its own struct so Relation literals elsewhere in the package
+// stay valid.
+type statsCache struct {
+	mu  sync.Mutex
+	ptr atomic.Pointer[relCache]
+}
+
+// cacheState lazily allocates the relation's cache holder.
+func (r *Relation) cacheState() *statsCache {
+	c := r.cache.Load()
+	if c == nil {
+		c = &statsCache{}
+		if !r.cache.CompareAndSwap(nil, c) {
+			c = r.cache.Load()
+		}
+	}
+	return c
+}
+
+// invalidateDerived drops the derived-state cache entirely. Called by
+// mutations that reorder or rewrite tuples in place (SortByKey), which
+// the version/structMut counters cannot otherwise observe.
+func (r *Relation) invalidateDerived() {
+	if c := r.cache.Load(); c != nil {
+		c.ptr.Store(nil)
+	}
+}
+
+// noteStructMut records a non-append mutation, forcing the next stats
+// computation to rebuild instead of folding in a tail.
+func (r *Relation) noteStructMut() { r.structMut++ }
+
+// Stats returns current statistics for the relation, computing or
+// incrementally extending the cached ones as needed.
+func (r *Relation) Stats() *Stats {
+	cs := r.cacheState()
+	if c := cs.ptr.Load(); c != nil && c.version == r.version && c.stats != nil {
+		return c.stats
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	c := cs.ptr.Load()
+	if c != nil && c.version == r.version && c.stats != nil {
+		return c.stats
+	}
+	w := r.scheme.Arity()
+	var (
+		sets  []map[uint64]struct{}
+		nulls []int64
+		start int
+	)
+	if c != nil && c.stats != nil && c.structMut == r.structMut && c.rows <= len(r.tuples) {
+		// Append-only growth since the cached entry: extend in place.
+		sets = c.colSets
+		nulls = append([]int64(nil), c.stats.Nulls...)
+		start = c.rows
+	} else {
+		sets = make([]map[uint64]struct{}, w)
+		for i := range sets {
+			sets[i] = make(map[uint64]struct{})
+		}
+		nulls = make([]int64, w)
+	}
+	for _, t := range r.tuples[start:] {
+		for ci := 0; ci < w; ci++ {
+			v := t.At(ci)
+			if v.IsNull() {
+				nulls[ci]++
+				continue
+			}
+			sets[ci][v.Hash64()] = struct{}{}
+		}
+	}
+	st := &Stats{
+		Version:  r.version,
+		Rows:     len(r.tuples),
+		Distinct: make([]int64, w),
+		Nulls:    nulls,
+	}
+	for i := range sets {
+		st.Distinct[i] = int64(len(sets[i]))
+	}
+	next := &relCache{
+		version:   r.version,
+		structMut: r.structMut,
+		rows:      len(r.tuples),
+		stats:     st,
+		colSets:   sets,
+	}
+	if c != nil && c.version == r.version {
+		next.batch = c.batch
+	}
+	cs.ptr.Store(next)
+	return st
+}
+
+// CachedStats returns the cached statistics entry without computing
+// anything, or nil when none is resident. The entry's Version may lag
+// Relation.Version(); callers compare them to report freshness.
+func (r *Relation) CachedStats() *Stats {
+	if c := r.cacheState().ptr.Load(); c != nil && c.stats != nil {
+		return c.stats
+	}
+	return nil
+}
+
+// Columns returns a column-major view of the relation's tuples, cached
+// until the next mutation. The caller must treat it as read-only; the
+// same *Batch may be served to many readers.
+func (r *Relation) Columns() *Batch {
+	cs := r.cacheState()
+	if c := cs.ptr.Load(); c != nil && c.version == r.version && c.batch != nil {
+		return c.batch
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	c := cs.ptr.Load()
+	if c != nil && c.version == r.version && c.batch != nil {
+		return c.batch
+	}
+	b := BatchFromRelation(r)
+	next := &relCache{version: r.version, structMut: r.structMut, batch: b}
+	if c != nil && c.version == r.version {
+		next.rows = c.rows
+		next.stats = c.stats
+		next.colSets = c.colSets
+	}
+	cs.ptr.Store(next)
+	return b
+}

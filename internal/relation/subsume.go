@@ -22,6 +22,12 @@ import "sort"
 type SubsumeSet struct {
 	scheme *Scheme
 	groups map[string]*ssGroup
+	// live holds every live entry ordered by canonical key (keys are
+	// injective over tuples, so the order is total and stable). Kept
+	// sorted incrementally — one binary search plus a pointer memmove
+	// per insert or delete — so Rel() renders with a linear walk
+	// instead of re-sorting the whole front on every refresh.
+	live []*ssEntry
 	// liveNonNull counts live distinct tuples with at least one
 	// non-null attribute. The all-null tuple is maximal exactly when
 	// this is zero (the batch algorithm's "drop the all-null group
@@ -52,8 +58,10 @@ type ssSubIndex struct {
 }
 
 // ssEntry is one distinct live tuple with its multiset count. The
-// canonical key is computed once at entry creation — formatting every
-// value is expensive enough to dominate rendering if recomputed.
+// canonical key is rendered once at entry creation and cached: entries
+// persist across refreshes of a delta-maintained materialization, so
+// Rel() pays sort comparisons only — re-rendering ~|D(G)| keys on
+// every refresh would dominate the O(delta) maintenance cost.
 type ssEntry struct {
 	t       Tuple
 	key     string
@@ -126,6 +134,22 @@ func (g *ssGroup) remove(h uint64, e *ssEntry) {
 		if len(ix.buckets[ph]) == 0 {
 			delete(ix.buckets, ph)
 		}
+	}
+}
+
+// insertLive splices e into the key-ordered live slice.
+func (s *SubsumeSet) insertLive(e *ssEntry) {
+	i := sort.Search(len(s.live), func(i int) bool { return s.live[i].key >= e.key })
+	s.live = append(s.live, nil)
+	copy(s.live[i+1:], s.live[i:])
+	s.live[i] = e
+}
+
+// removeLive drops e from the key-ordered live slice.
+func (s *SubsumeSet) removeLive(e *ssEntry) {
+	i := sort.Search(len(s.live), func(i int) bool { return s.live[i].key >= e.key })
+	if i < len(s.live) && s.live[i] == e {
+		s.live = append(s.live[:i], s.live[i+1:]...)
 	}
 }
 
@@ -206,6 +230,7 @@ func (s *SubsumeSet) Insert(t Tuple) {
 	}
 	e := &ssEntry{t: t, key: t.Key(), count: 1}
 	g.add(h, e)
+	s.insertLive(e)
 	if len(g.positions) > 0 {
 		s.liveNonNull++
 	}
@@ -249,6 +274,7 @@ func (s *SubsumeSet) InsertPruning(t Tuple) (displaced []Tuple, inserted bool) {
 	}
 	e := &ssEntry{t: t, key: t.Key(), count: 1, maximal: true}
 	g.add(h, e)
+	s.insertLive(e)
 	if len(g.positions) > 0 {
 		s.liveNonNull++
 	}
@@ -262,6 +288,7 @@ func (s *SubsumeSet) InsertPruning(t Tuple) (displaced []Tuple, inserted bool) {
 	})
 	for i, v := range victims {
 		homes[i].remove(v.t.Hash64(), v)
+		s.removeLive(v)
 		if len(homes[i].positions) > 0 {
 			s.liveNonNull--
 		}
@@ -288,6 +315,7 @@ func (s *SubsumeSet) Delete(t Tuple) bool {
 		return true
 	}
 	g.remove(h, e)
+	s.removeLive(e)
 	if len(g.positions) > 0 {
 		s.liveNonNull--
 	}
@@ -307,24 +335,17 @@ func (s *SubsumeSet) Delete(t Tuple) bool {
 }
 
 // Rel materializes the current maximal tuples as a relation sorted by
-// canonical tuple key. The sort makes the result independent of
-// maintenance history: a delta-maintained set, a freshly rebuilt set,
-// and a replayed session all render byte-identical relations.
+// canonical tuple key. The live slice is maintained in key order, so a
+// refresh is one linear walk — no sort, no key rendering. The order
+// makes the result independent of maintenance history: a
+// delta-maintained set, a freshly rebuilt set, and a replayed session
+// all render byte-identical relations.
 func (s *SubsumeSet) Rel(name string) *Relation {
-	var tuples []*ssEntry
-	for _, g := range s.groups {
-		for _, es := range g.entries {
-			for _, e := range es {
-				if e.maximal {
-					tuples = append(tuples, e)
-				}
-			}
-		}
-	}
-	sort.Slice(tuples, func(i, j int) bool { return tuples[i].key < tuples[j].key })
 	out := New(name, s.scheme)
-	for _, e := range tuples {
-		out.Add(e.t)
+	for _, e := range s.live {
+		if e.maximal {
+			out.Add(e.t)
+		}
 	}
 	return out
 }

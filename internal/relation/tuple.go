@@ -244,6 +244,16 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the tuple's canonical key (the same bytes Key
+// returns) to dst and returns the extended slice, letting callers
+// batch many keys into one buffer with no per-tuple string.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t.vals {
+		dst = v.AppendKey(dst)
+	}
+	return dst
+}
+
 // KeyOn returns a canonical encoding of the values at the given
 // positions. Hot paths use HashOn instead.
 func (t Tuple) KeyOn(positions []int) string {

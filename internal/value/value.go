@@ -295,6 +295,13 @@ func (v Value) Key() string {
 	case KindString:
 		return "s" + strconv.Itoa(len(v.s)) + ":" + v.s
 	case KindInt:
+		if v.i > -1_000_000 && v.i < 1_000_000 {
+			// For |i| < 1e6 the 'g' shortest form of float64(i) is
+			// exactly the decimal digits (larger magnitudes switch to
+			// exponent notation), so the float formatter can be skipped.
+			// Verified exhaustively over the whole range.
+			return "f" + strconv.FormatInt(v.i, 10) + ";"
+		}
 		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64) + ";"
 	case KindFloat:
 		f := v.f
@@ -309,6 +316,50 @@ func (v Value) Key() string {
 		return "bf"
 	}
 	return "?;"
+}
+
+// AppendKey appends v's canonical Key encoding to dst and returns the
+// extended slice. It produces exactly the bytes of Key() without
+// allocating intermediate strings, so batch kernels can build sort keys
+// for thousands of rows into one shared buffer.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n', ';')
+	case KindString:
+		dst = append(dst, 's')
+		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
+		dst = append(dst, ':')
+		return append(dst, v.s...)
+	case KindInt:
+		dst = append(dst, 'f')
+		if v.i > -1_000_000 && v.i < 1_000_000 {
+			// Same fast path as Key: the 'g' form of a small integral
+			// float is its decimal digits.
+			dst = strconv.AppendInt(dst, v.i, 10)
+		} else {
+			dst = strconv.AppendFloat(dst, float64(v.i), 'g', -1, 64)
+		}
+		return append(dst, ';')
+	case KindFloat:
+		f := v.f
+		if f == 0 {
+			f = 0 // -0.0 equals +0.0: share one key
+		}
+		dst = append(dst, 'f')
+		if f == math.Trunc(f) && f > -1_000_000 && f < 1_000_000 {
+			dst = strconv.AppendInt(dst, int64(f), 10)
+		} else {
+			dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+		}
+		return append(dst, ';')
+	case KindBool:
+		if v.b {
+			return append(dst, 'b', 't')
+		}
+		return append(dst, 'b', 'f')
+	}
+	return append(dst, '?', ';')
 }
 
 // FNV-1a parameters for the canonical 64-bit value hash.
@@ -350,26 +401,52 @@ func MixUint64(h, x uint64) uint64 {
 func (v Value) MixHash64(h uint64) uint64 {
 	switch v.kind {
 	case KindNull:
-		return (h ^ 'n') * hashPrime64
+		return MixNullHash(h)
 	case KindString:
-		return MixBytes((h^'s')*hashPrime64, v.s)
-	case KindInt, KindFloat:
-		f, _ := v.AsFloat()
-		if f == 0 {
-			f = 0 // normalize -0.0 to +0.0 (they compare Equal)
-		}
-		bits := math.Float64bits(f)
-		if math.IsNaN(f) {
-			bits = 0x7ff8000000000000 // canonical quiet NaN
-		}
-		return MixUint64((h^'f')*hashPrime64, bits)
+		return MixStringHash(h, v.s)
+	case KindInt:
+		return MixNumericHash(h, float64(v.i))
+	case KindFloat:
+		return MixNumericHash(h, v.f)
 	case KindBool:
-		if v.b {
-			return (h ^ 't') * hashPrime64
-		}
-		return (h ^ 'u') * hashPrime64
+		return MixBoolHash(h, v.b)
 	}
 	return (h ^ '?') * hashPrime64
+}
+
+// The typed mixers below are the per-kind cases of MixHash64, exported
+// so columnar kernels can hash typed column storage (int64/float64/
+// string/bool vectors) in tight loops without materializing Values.
+// Each reproduces MixHash64's bytes exactly for the matching kind.
+
+// MixNullHash folds the null encoding into the hash state.
+func MixNullHash(h uint64) uint64 { return (h ^ 'n') * hashPrime64 }
+
+// MixStringHash folds a string datum into the hash state.
+func MixStringHash(h uint64, s string) uint64 {
+	return MixBytes((h^'s')*hashPrime64, s)
+}
+
+// MixNumericHash folds a numeric datum (int or float, already widened
+// to float64 — the canonical numeric hash domain) into the hash state,
+// normalizing -0.0 and NaN exactly like MixHash64.
+func MixNumericHash(h uint64, f float64) uint64 {
+	if f == 0 {
+		f = 0 // normalize -0.0 to +0.0 (they compare Equal)
+	}
+	bits := math.Float64bits(f)
+	if math.IsNaN(f) {
+		bits = 0x7ff8000000000000 // canonical quiet NaN
+	}
+	return MixUint64((h^'f')*hashPrime64, bits)
+}
+
+// MixBoolHash folds a boolean datum into the hash state.
+func MixBoolHash(h uint64, b bool) uint64 {
+	if b {
+		return (h ^ 't') * hashPrime64
+	}
+	return (h ^ 'u') * hashPrime64
 }
 
 // Hash64 returns the canonical 64-bit hash of v. Equal values share a
